@@ -1,0 +1,137 @@
+// Experiment S4f: the Section-4 flight-connection query (4-ary, first two
+// arguments bound). Compares the paper's binding-propagating binary-chain
+// transformation against naive, seminaive, magic sets, and the simple-bin
+// transformation (no binding propagation). The "fetches" counter shows the
+// set of potentially relevant facts each strategy touches.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "baselines/bottom_up.h"
+#include "baselines/magic.h"
+#include "datalog/parser.h"
+#include "transform/binarize.h"
+#include "transform/simple_bin.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace binchain;
+
+struct FlightCase {
+  Database db;
+  Program program;
+  Literal query;
+
+  explicit FlightCase(size_t flights) {
+    workloads::FlightSpec spec;
+    spec.airports = 20;
+    spec.flights = flights;
+    spec.horizon = flights / 4 + 10;
+    spec.seed = 99;
+    std::string origin = workloads::BuildFlights(db, spec);
+    SymbolId origin_sym = *db.symbols().Find(origin);
+    std::string dt;
+    for (const Tuple& t : db.Find("flight")->tuples()) {
+      if (t[0] == origin_sym) {
+        dt = db.symbols().Name(t[1]);
+        break;
+      }
+    }
+    program =
+        ParseProgram(workloads::FlightProgramText(), db.symbols()).take();
+    query = ParseLiteral("cnx(" + origin + ", " + dt + ", D, AT)",
+                         db.symbols())
+                .take();
+  }
+};
+
+void BM_FlightTransformed(benchmark::State& state) {
+  FlightCase fc(static_cast<size_t>(state.range(0)));
+  uint64_t fetches = 0;
+  size_t answers = 0;
+  for (auto _ : state) {
+    fc.db.ResetFetches();
+    auto r = EvaluateViaBinarization(fc.program, fc.db, fc.query);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().message().c_str());
+      return;
+    }
+    fetches = fc.db.TotalFetches();
+    answers = r.value().tuples.size();
+  }
+  state.counters["fetches"] = static_cast<double>(fetches);
+  state.counters["answers"] = static_cast<double>(answers);
+}
+
+void BM_FlightMagic(benchmark::State& state) {
+  FlightCase fc(static_cast<size_t>(state.range(0)));
+  uint64_t fetches = 0;
+  for (auto _ : state) {
+    BottomUpStats stats;
+    auto r = MagicQuery(fc.program, fc.db, fc.query, &stats);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().message().c_str());
+      return;
+    }
+    fetches = stats.fetches;
+  }
+  state.counters["fetches"] = static_cast<double>(fetches);
+}
+
+void BM_FlightSeminaive(benchmark::State& state) {
+  FlightCase fc(static_cast<size_t>(state.range(0)));
+  uint64_t fetches = 0;
+  for (auto _ : state) {
+    BottomUpStats stats;
+    auto r = SeminaiveQuery(fc.program, fc.db, fc.query, &stats);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().message().c_str());
+      return;
+    }
+    fetches = stats.fetches;
+  }
+  state.counters["fetches"] = static_cast<double>(fetches);
+}
+
+void BM_FlightNaive(benchmark::State& state) {
+  FlightCase fc(static_cast<size_t>(state.range(0)));
+  uint64_t fetches = 0;
+  for (auto _ : state) {
+    BottomUpStats stats;
+    auto r = NaiveQuery(fc.program, fc.db, fc.query, &stats);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().message().c_str());
+      return;
+    }
+    fetches = stats.fetches;
+  }
+  state.counters["fetches"] = static_cast<double>(fetches);
+}
+
+void BM_FlightSimpleBin(benchmark::State& state) {
+  FlightCase fc(static_cast<size_t>(state.range(0)));
+  uint64_t edges = 0;
+  for (auto _ : state) {
+    SimpleBinStats stats;
+    auto r = SimpleBinQuery(fc.program, fc.db, fc.query, &stats);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().message().c_str());
+      return;
+    }
+    edges = stats.bin_edges;
+  }
+  state.counters["bin_edges"] = static_cast<double>(edges);
+}
+
+}  // namespace
+
+BENCHMARK(BM_FlightTransformed)->Arg(200)->Arg(400)->Arg(800)->Arg(1600)->MinTime(0.05);
+BENCHMARK(BM_FlightMagic)->Arg(200)->Arg(400)->Arg(800)->Arg(1600)->MinTime(0.05);
+BENCHMARK(BM_FlightSeminaive)->Arg(200)->Arg(400)->Arg(800)->Arg(1600)->MinTime(0.02);
+BENCHMARK(BM_FlightNaive)->Arg(200)->Arg(400)->MinTime(0.02);
+// Simple-bin materializes 37M bin edges already at 200 flights and exceeds
+// the 50M edge limit at 400 (see EXPERIMENTS.md) — kept small on purpose.
+BENCHMARK(BM_FlightSimpleBin)->Arg(100)->Arg(200)->MinTime(0.02);
+
+BENCHMARK_MAIN();

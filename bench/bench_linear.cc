@@ -1,0 +1,98 @@
+// Experiment T4 (Theorem 4, the linear case): for p = e0 U e1.p.e2 the
+// query runs in O(h n t) time, with h bounded by the longest e1-path from
+// the query constant (statement (2): acyclic e1|a). Three sweeps:
+//   - h grows, width fixed   -> iterations track h exactly;
+//   - width grows, h fixed   -> nodes grow linearly in the per-level size;
+//   - complete binary up-trees -> iterations track the tree depth.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "eval/query.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace binchain;
+
+/// A "wide ladder": h levels; at each level `width` parallel flat rungs.
+std::string WideLadder(Database& db, size_t h, size_t width) {
+  for (size_t i = 1; i < h; ++i) {
+    db.AddFact("up", {"a" + std::to_string(i), "a" + std::to_string(i + 1)});
+    db.AddFact("down",
+               {"b" + std::to_string(i + 1), "b" + std::to_string(i)});
+  }
+  for (size_t i = 1; i <= h; ++i) {
+    for (size_t w = 0; w < width; ++w) {
+      std::string mid = "m" + std::to_string(i) + "_" + std::to_string(w);
+      db.AddFact("flat", {"a" + std::to_string(i), mid});
+      db.AddFact("down", {mid, "b" + std::to_string(i)});
+    }
+  }
+  return "a1";
+}
+
+void RunSg(benchmark::State& state, Database& db, const std::string& source,
+           uint64_t* iterations, uint64_t* nodes) {
+  QueryEngine engine(&db);
+  if (!engine.LoadProgramText(workloads::SgProgramText()).ok()) {
+    state.SkipWithError("load failed");
+    return;
+  }
+  std::string q = "sg(" + source + ", Y)";
+  for (auto _ : state) {
+    auto r = engine.Query(q);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().message().c_str());
+      return;
+    }
+    *iterations = r.value().stats.iterations;
+    *nodes = r.value().stats.nodes;
+  }
+}
+
+void BM_LinearCaseGrowH(benchmark::State& state) {
+  Database db;
+  size_t h = static_cast<size_t>(state.range(0));
+  std::string a = WideLadder(db, h, 4);
+  uint64_t iterations = 0, nodes = 0;
+  RunSg(state, db, a, &iterations, &nodes);
+  state.counters["iterations"] = static_cast<double>(iterations);
+  state.counters["h"] = static_cast<double>(h);
+  state.counters["nodes"] = static_cast<double>(nodes);
+}
+
+void BM_LinearCaseGrowWidth(benchmark::State& state) {
+  Database db;
+  std::string a = WideLadder(db, 16, static_cast<size_t>(state.range(0)));
+  uint64_t iterations = 0, nodes = 0;
+  RunSg(state, db, a, &iterations, &nodes);
+  state.counters["nodes"] = static_cast<double>(nodes);
+}
+
+void BM_LinearCaseUpTree(benchmark::State& state) {
+  Database db;
+  size_t levels = static_cast<size_t>(state.range(0));
+  std::string leaf = workloads::UpTree(db, "up", "t", levels);
+  // Mirror the tree downwards and add a flat loop at the root.
+  std::vector<Tuple> edges = db.Find("up")->tuples();
+  for (const Tuple& t : edges) {
+    db.AddFact("down", {db.symbols().Name(t[1]), db.symbols().Name(t[0])});
+  }
+  db.AddFact("flat", {"t1", "t1"});
+  uint64_t iterations = 0, nodes = 0;
+  RunSg(state, db, leaf, &iterations, &nodes);
+  // Theorem 4 (2): iterations bounded by the depth of the up-tree (plus the
+  // final empty iteration).
+  state.counters["iterations"] = static_cast<double>(iterations);
+  state.counters["depth"] = static_cast<double>(levels - 1);
+  state.counters["nodes"] = static_cast<double>(nodes);
+}
+
+}  // namespace
+
+BENCHMARK(BM_LinearCaseGrowH)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_LinearCaseGrowWidth)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_LinearCaseUpTree)->Arg(4)->Arg(6)->Arg(8)->Arg(10)->Arg(12);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,193 @@
+// Experiment T1: the complexity table of Section 3. Same-generation query
+// sg(a, Y) on the three Figure 7 samples, across the five strategies of the
+// paper's table (Henschen-Naqvi, magic sets, counting, reverse counting,
+// the graph-traversal algorithm) plus naive/seminaive for reference.
+//
+// The paper reports asymptotic orders; this harness reports measured wall
+// time plus the strategy's abstract work counter ("work") so the growth
+// exponent can be read off the n-sweep (n doubles -> work x2 = linear,
+// x4 = quadratic). Expected shape, prose of Section 3:
+//   (a): ours/counting/HN linear, magic quadratic;
+//   (b): ours/counting quadratic (Theta(n^2) nodes);
+//   (c): ours/counting linear, HN quadratic (path re-traversal).
+//
+// Databases are built once per benchmark (indexes warm); the timed region
+// is the query alone, matching the paper's cost model of constant-time
+// tuple retrieval.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "baselines/bottom_up.h"
+#include "baselines/counting.h"
+#include "baselines/magic.h"
+#include "datalog/parser.h"
+#include "equations/lemma1.h"
+#include "eval/query.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace binchain;
+
+using SampleFn = std::string (*)(Database&, size_t);
+
+SampleFn Sample(int id) {
+  switch (id) {
+    case 0:
+      return &workloads::Fig7a;
+    case 1:
+      return &workloads::Fig7b;
+    default:
+      return &workloads::Fig7c;
+  }
+}
+
+struct SgCase {
+  Database db;
+  std::string source;
+  Program program;
+  Literal query;
+
+  explicit SgCase(benchmark::State& state) {
+    source = Sample(static_cast<int>(state.range(1)))(
+        db, static_cast<size_t>(state.range(0)));
+    program = ParseProgram(workloads::SgProgramText(), db.symbols()).take();
+    query = ParseLiteral("sg(" + source + ", Y)", db.symbols()).take();
+  }
+};
+
+void BM_Ours(benchmark::State& state) {
+  SgCase c(state);
+  QueryEngine engine(&c.db);
+  if (!engine.LoadProgram(c.program).ok()) {
+    state.SkipWithError("load failed");
+    return;
+  }
+  uint64_t work = 0;
+  for (auto _ : state) {
+    auto r = engine.Query(c.query);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().message().c_str());
+      return;
+    }
+    work = r.value().stats.nodes;
+    benchmark::DoNotOptimize(r.value().tuples.size());
+  }
+  state.counters["work"] = static_cast<double>(work);
+}
+
+template <Result<std::vector<TermId>> (*Fn)(const ViewRegistry&,
+                                            const LinearNormalForm&, TermId,
+                                            size_t, LevelStats*)>
+void BM_Level(benchmark::State& state) {
+  SgCase c(state);
+  auto eqs = TransformToEquations(c.program, c.db.symbols());
+  LinearNormalForm nf;
+  if (!eqs.ok() ||
+      !MatchLinearNormalForm(eqs.value().final_system,
+                             *c.db.symbols().Find("sg"), &nf)) {
+    state.SkipWithError("normal form not found");
+    return;
+  }
+  ViewRegistry views(&c.db.symbols());
+  views.RegisterDatabase(c.db);
+  TermId src = views.pool().Unary(*c.db.symbols().Find(c.source));
+  size_t cap = 4 * static_cast<size_t>(state.range(0));
+  uint64_t work = 0;
+  for (auto _ : state) {
+    LevelStats stats;
+    auto r = Fn(views, nf, src, cap, &stats);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().message().c_str());
+      return;
+    }
+    work = stats.up_work + stats.down_work;
+    benchmark::DoNotOptimize(r.value().size());
+  }
+  state.counters["work"] = static_cast<double>(work);
+}
+
+template <Result<std::vector<Tuple>> (*Fn)(const Program&, Database&,
+                                           const Literal&, BottomUpStats*,
+                                           size_t)>
+void BM_BottomUp(benchmark::State& state) {
+  SgCase c(state);
+  uint64_t work = 0;
+  for (auto _ : state) {
+    BottomUpStats stats;
+    auto r = Fn(c.program, c.db, c.query, &stats, 1000000);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().message().c_str());
+      return;
+    }
+    work = stats.firings;
+    benchmark::DoNotOptimize(r.value().size());
+  }
+  state.counters["work"] = static_cast<double>(work);
+}
+
+void BM_Magic(benchmark::State& state) {
+  SgCase c(state);
+  uint64_t work = 0;
+  for (auto _ : state) {
+    BottomUpStats stats;
+    auto r = MagicQuery(c.program, c.db, c.query, &stats);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().message().c_str());
+      return;
+    }
+    work = stats.firings;
+    benchmark::DoNotOptimize(r.value().size());
+  }
+  state.counters["work"] = static_cast<double>(work);
+}
+
+void SampleSweep(benchmark::internal::Benchmark* b) {
+  for (int sample = 0; sample < 3; ++sample) {
+    for (int n : {64, 128, 256, 512}) {
+      b->Args({n, sample});
+    }
+  }
+}
+
+// Smaller sweep for the strategies whose quadratic growth makes large n
+// impractically slow.
+void SmallSweep(benchmark::internal::Benchmark* b) {
+  for (int sample = 0; sample < 3; ++sample) {
+    for (int n : {32, 64, 128, 256}) {
+      b->Args({n, sample});
+    }
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_Ours)->Apply(SampleSweep)->ArgNames({"n", "sample"});
+BENCHMARK(BM_Level<&binchain::CountingQuery>)
+    ->Apply(SampleSweep)
+    ->ArgNames({"n", "sample"})
+    ->Name("BM_Counting");
+BENCHMARK(BM_Level<&binchain::HenschenNaqviQuery>)
+    ->Apply(SampleSweep)
+    ->ArgNames({"n", "sample"})
+    ->Name("BM_HenschenNaqvi");
+BENCHMARK(BM_Level<&binchain::ReverseCountingQuery>)
+    ->Apply(SmallSweep)
+    ->ArgNames({"n", "sample"})
+    ->MinTime(0.05)
+    ->Name("BM_ReverseCounting");
+BENCHMARK(BM_Magic)->Apply(SmallSweep)->ArgNames({"n", "sample"})->MinTime(0.05);
+BENCHMARK(BM_BottomUp<&binchain::SeminaiveQuery>)
+    ->Apply(SmallSweep)
+    ->ArgNames({"n", "sample"})
+    ->MinTime(0.05)
+    ->Name("BM_Seminaive");
+BENCHMARK(BM_BottomUp<&binchain::NaiveQuery>)
+    ->Apply(SmallSweep)
+    ->ArgNames({"n", "sample"})
+    ->MinTime(0.05)
+    ->Name("BM_Naive");
+
+BENCHMARK_MAIN();

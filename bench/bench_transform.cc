@@ -1,0 +1,111 @@
+// Experiment L1: cost and output size of the Lemma 1 transformation itself
+// on generated linear binary-chain programs of growing size, plus the
+// Section-4 pipeline (adorn + binarize) on n-ary programs. The
+// transformation is a compile-time step: this harness documents that it
+// stays cheap relative to evaluation.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "datalog/parser.h"
+#include "equations/lemma1.h"
+#include "transform/adorn.h"
+#include "transform/binarize.h"
+#include "util/rng.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace binchain;
+
+/// Generates a layered linear binary-chain program with `npreds` predicates:
+/// regular and nonregular rules mixed, references only to earlier layers so
+/// recursion classes stay small (mirrors realistic rule sets).
+std::string LayeredProgram(size_t npreds, Rng& rng) {
+  std::string text;
+  for (size_t i = 0; i < npreds; ++i) {
+    std::string p = "p" + std::to_string(i);
+    std::string b = "b" + std::to_string(i % 5);
+    text += p + "(X, Y) :- " + b + "(X, Y).\n";
+    // Self-recursive rule, alternating left / right / middle shapes.
+    switch (i % 3) {
+      case 0:
+        text += p + "(X, Z) :- " + b + "(X, Y), " + p + "(Y, Z).\n";
+        break;
+      case 1:
+        text += p + "(X, Z) :- " + p + "(X, Y), " + b + "(Y, Z).\n";
+        break;
+      default:
+        text += p + "(X, Z) :- " + b + "(X, A), " + p + "(A, B), " + b +
+                "(B, Z).\n";
+        break;
+    }
+    if (i > 0) {
+      std::string q = "p" + std::to_string(rng.Below(i));
+      text += p + "(X, Z) :- " + q + "(X, Y), " + b + "(Y, Z).\n";
+    }
+  }
+  return text;
+}
+
+void BM_Lemma1Transform(benchmark::State& state) {
+  size_t npreds = static_cast<size_t>(state.range(0));
+  Rng rng(4711);
+  std::string text = LayeredProgram(npreds, rng);
+  SymbolTable symbols;
+  auto program = ParseProgram(text, symbols);
+  if (!program.ok()) {
+    state.SkipWithError(program.status().message().c_str());
+    return;
+  }
+  size_t leaves = 0, iterations = 0;
+  for (auto _ : state) {
+    auto r = TransformToEquations(program.value(), symbols);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().message().c_str());
+      return;
+    }
+    leaves = 0;
+    for (SymbolId p : r.value().final_system.preds()) {
+      leaves += LeafCount(r.value().final_system.Rhs(p));
+    }
+    iterations = r.value().iterations;
+    benchmark::DoNotOptimize(leaves);
+  }
+  state.counters["rules"] = static_cast<double>(program.value().rules.size());
+  state.counters["output_leaves"] = static_cast<double>(leaves);
+  state.counters["fixpoint_iters"] = static_cast<double>(iterations);
+}
+
+void BM_AdornAndBinarize(benchmark::State& state) {
+  SymbolTable symbols;
+  auto program = ParseProgram(workloads::FlightProgramText(), symbols);
+  auto query = ParseLiteral("cnx(p0, 3, D, AT)", symbols);
+  if (!program.ok() || !query.ok()) {
+    state.SkipWithError("parse failed");
+    return;
+  }
+  size_t views = 0;
+  for (auto _ : state) {
+    auto adorned = AdornProgram(program.value(), symbols, query.value());
+    if (!adorned.ok()) {
+      state.SkipWithError(adorned.status().message().c_str());
+      return;
+    }
+    auto bin = Binarize(adorned.value(), symbols);
+    if (!bin.ok()) {
+      state.SkipWithError(bin.status().message().c_str());
+      return;
+    }
+    views = bin.value().views.size();
+    benchmark::DoNotOptimize(bin.value().bin_program.rules.size());
+  }
+  state.counters["views"] = static_cast<double>(views);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Lemma1Transform)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+BENCHMARK(BM_AdornAndBinarize);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,160 @@
+// A small command-line Datalog runner over the library:
+//
+//   ./datalog_cli [--strategy=graph|seminaive|naive|magic|transform]
+//                 [--cyclic-bound] [--max-iterations=N] [--dot] <file.dl>
+//
+// The file contains rules, facts, and `?- query.` lines; every query is
+// evaluated with the chosen strategy and the answers plus work counters are
+// printed. With --dot the automaton M(e_p) of each queried predicate and
+// the equation dependency graph are emitted as Graphviz.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "baselines/bottom_up.h"
+#include "baselines/magic.h"
+#include "datalog/parser.h"
+#include "datalog/printer.h"
+#include "eval/dot_export.h"
+#include "eval/query.h"
+#include "transform/binarize.h"
+
+namespace {
+
+using namespace binchain;
+
+int Fail(const std::string& msg) {
+  std::fprintf(stderr, "error: %s\n", msg.c_str());
+  return 1;
+}
+
+void PrintAnswers(const Database& db, const Literal& query,
+                  const std::vector<Tuple>& tuples) {
+  std::printf("?- %s  (%zu answers)\n",
+              LiteralToString(query, db.symbols()).c_str(), tuples.size());
+  size_t shown = 0;
+  for (const Tuple& t : tuples) {
+    if (shown++ >= 20) {
+      std::printf("  ...\n");
+      break;
+    }
+    std::printf("  %s\n", TupleToString(t, db.symbols()).c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string strategy = "graph";
+  bool cyclic_bound = false;
+  bool dot = false;
+  size_t max_iterations = 0;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--strategy=", 0) == 0) {
+      strategy = arg.substr(11);
+    } else if (arg == "--cyclic-bound") {
+      cyclic_bound = true;
+    } else if (arg == "--dot") {
+      dot = true;
+    } else if (arg.rfind("--max-iterations=", 0) == 0) {
+      max_iterations = std::stoul(arg.substr(17));
+    } else if (arg == "--help") {
+      std::printf(
+          "usage: datalog_cli [--strategy=graph|seminaive|naive|magic|"
+          "transform] [--cyclic-bound] [--max-iterations=N] [--dot] "
+          "<file.dl>\n");
+      return 0;
+    } else {
+      path = arg;
+    }
+  }
+  if (path.empty()) return Fail("no input file (see --help)");
+
+  std::ifstream in(path);
+  if (!in) return Fail("cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  Database db;
+  auto parsed = ParseProgram(buffer.str(), db.symbols());
+  if (!parsed.ok()) return Fail(parsed.status().message());
+  Program program = parsed.take();
+  if (program.queries.empty()) return Fail("no ?- queries in " + path);
+
+  // Facts are shared by all strategies.
+  Program rules_only = program;
+  rules_only.queries.clear();
+
+  if (strategy == "graph") {
+    QueryEngine engine(&db);
+    if (Status s = engine.LoadProgram(rules_only); !s.ok()) {
+      return Fail(s.message());
+    }
+    if (dot) {
+      std::printf("%s\n", EquationDependenciesToDot(engine.equations(),
+                                                    db.symbols())
+                              .c_str());
+    }
+    EvalOptions options;
+    options.use_cyclic_bound = cyclic_bound;
+    options.max_iterations = max_iterations;
+    for (const Literal& q : program.queries) {
+      auto r = engine.Query(q, options);
+      if (!r.ok()) return Fail(r.status().message());
+      PrintAnswers(db, q, r.value().tuples);
+      std::printf(
+          "  [graph] nodes=%llu arcs=%llu iterations=%llu fetches=%llu%s\n",
+          static_cast<unsigned long long>(r.value().stats.nodes),
+          static_cast<unsigned long long>(r.value().stats.arcs),
+          static_cast<unsigned long long>(r.value().stats.iterations),
+          static_cast<unsigned long long>(r.value().fetches),
+          r.value().stats.hit_iteration_cap ? " (iteration cap hit!)" : "");
+    }
+    return 0;
+  }
+
+  // Bottom-up strategies need the facts in the database.
+  for (const Literal& f : rules_only.facts) {
+    Relation& rel = db.GetOrCreate(db.symbols().Name(f.predicate), f.arity());
+    Tuple t;
+    for (const Term& a : f.args) t.push_back(a.symbol);
+    rel.Insert(t);
+  }
+  rules_only.facts.clear();
+
+  for (const Literal& q : program.queries) {
+    BottomUpStats stats;
+    Result<std::vector<Tuple>> r = Status::Internal("unset");
+    if (strategy == "seminaive") {
+      r = SeminaiveQuery(rules_only, db, q, &stats);
+    } else if (strategy == "naive") {
+      r = NaiveQuery(rules_only, db, q, &stats);
+    } else if (strategy == "magic") {
+      r = MagicQuery(rules_only, db, q, &stats);
+    } else if (strategy == "transform") {
+      auto t = EvaluateViaBinarization(rules_only, db, q);
+      if (!t.ok()) return Fail(t.status().message());
+      PrintAnswers(db, q, t.value().tuples);
+      std::printf("  [transform] nodes=%llu iterations=%llu chain=%s\n",
+                  static_cast<unsigned long long>(t.value().stats.nodes),
+                  static_cast<unsigned long long>(t.value().stats.iterations),
+                  t.value().is_chain ? "yes" : "no");
+      continue;
+    } else {
+      return Fail("unknown strategy '" + strategy + "'");
+    }
+    if (!r.ok()) return Fail(r.status().message());
+    PrintAnswers(db, q, r.value());
+    std::printf("  [%s] firings=%llu tuples=%llu rounds=%llu fetches=%llu\n",
+                strategy.c_str(),
+                static_cast<unsigned long long>(stats.firings),
+                static_cast<unsigned long long>(stats.tuples),
+                static_cast<unsigned long long>(stats.rounds),
+                static_cast<unsigned long long>(stats.fetches));
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+// The Section-4 airline example: the 4-ary cnx predicate is transformed to a
+// binary-chain program (bin-cnx~bbff = in-r . bin-cnx~bbff | base-r) whose
+// demand views propagate the query bindings (source airport + departure
+// time) into the EDB lookups. Prints the generated binary-chain program and
+// compares the facts consulted against full seminaive evaluation.
+#include <cstdio>
+
+#include "baselines/bottom_up.h"
+#include "datalog/parser.h"
+#include "storage/database.h"
+#include "transform/binarize.h"
+#include "workloads/workloads.h"
+
+int main() {
+  using namespace binchain;
+  Database db;
+  workloads::FlightSpec spec;
+  spec.airports = 12;
+  spec.flights = 400;
+  spec.horizon = 80;
+  std::string origin = workloads::BuildFlights(db, spec);
+
+  // Pick a real departure time for the query.
+  SymbolId origin_sym = *db.symbols().Find(origin);
+  std::string dt;
+  for (const Tuple& t : db.Find("flight")->tuples()) {
+    if (t[0] == origin_sym) {
+      dt = db.symbols().Name(t[1]);
+      break;
+    }
+  }
+
+  auto program = ParseProgram(workloads::FlightProgramText(), db.symbols());
+  if (!program.ok()) {
+    std::fprintf(stderr, "%s\n", program.status().message().c_str());
+    return 1;
+  }
+  auto query = ParseLiteral("cnx(" + origin + ", " + dt + ", D, AT)",
+                            db.symbols());
+  if (!query.ok()) {
+    std::fprintf(stderr, "%s\n", query.status().message().c_str());
+    return 1;
+  }
+
+  std::printf("query: cnx(%s, %s, D, AT)\n\n", origin.c_str(), dt.c_str());
+
+  db.ResetFetches();
+  auto transformed = EvaluateViaBinarization(program.value(), db,
+                                             query.value());
+  if (!transformed.ok()) {
+    std::fprintf(stderr, "%s\n", transformed.status().message().c_str());
+    return 1;
+  }
+  uint64_t transformed_fetches = db.TotalFetches();
+
+  std::printf("generated binary-chain program:\n%s\n",
+              transformed.value().bin_program_text.c_str());
+  std::printf("connections reachable: %zu\n",
+              transformed.value().tuples.size());
+  for (size_t i = 0; i < transformed.value().tuples.size() && i < 8; ++i) {
+    const Tuple& t = transformed.value().tuples[i];
+    std::printf("  arrive %-4s at t=%s\n", db.symbols().Name(t[2]).c_str(),
+                db.symbols().Name(t[3]).c_str());
+  }
+  if (transformed.value().tuples.size() > 8) std::printf("  ...\n");
+
+  db.ResetFetches();
+  BottomUpStats semi_stats;
+  auto semi = SeminaiveQuery(program.value(), db, query.value(), &semi_stats);
+  if (!semi.ok()) {
+    std::fprintf(stderr, "%s\n", semi.status().message().c_str());
+    return 1;
+  }
+  std::printf(
+      "\nEDB fetches  transformed (by demand): %8llu\n"
+      "             seminaive (bottom-up):    %8llu\n",
+      static_cast<unsigned long long>(transformed_fetches),
+      static_cast<unsigned long long>(semi_stats.fetches));
+  std::printf("answers agree: %s\n",
+              transformed.value().tuples == semi.value() ? "yes" : "NO");
+  return 0;
+}

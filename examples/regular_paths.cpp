@@ -1,0 +1,60 @@
+// The regular case (Theorem 3): transitive closure as a regular binary-chain
+// program, evaluated by a single graph traversal, compared with the original
+// Hunt-Szymanski-Ullman preconstruction on which the paper improves. Shows
+// the "potentially relevant facts" factor: HSU materializes every tuple of
+// every occurrence, the demand-driven engine only the reachable part.
+#include <cstdio>
+
+#include "eval/hsu.h"
+#include "eval/query.h"
+#include "storage/database.h"
+#include "util/rng.h"
+#include "workloads/workloads.h"
+
+int main() {
+  using namespace binchain;
+  Database db;
+  Rng rng(2024);
+  // A graph with many components: most of it is irrelevant to the query.
+  workloads::RandomGraph(db, "e", "v", 4000, 6000, rng);
+
+  QueryEngine engine(&db);
+  Status s = engine.LoadProgramText(workloads::PathProgramText());
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.message().c_str());
+    return 1;
+  }
+  std::printf("equation: path = %s\n\n",
+              RexToString(engine.equations().Rhs(*db.symbols().Find("path")),
+                          db.symbols())
+                  .c_str());
+
+  auto r = engine.Query("path(v0, Y)");
+  if (!r.ok()) {
+    std::fprintf(stderr, "%s\n", r.status().message().c_str());
+    return 1;
+  }
+  std::printf("demand-driven: %zu reachable, %llu nodes, %llu arcs, "
+              "%llu iterations\n",
+              r.value().tuples.size(),
+              static_cast<unsigned long long>(r.value().stats.nodes),
+              static_cast<unsigned long long>(r.value().stats.arcs),
+              static_cast<unsigned long long>(r.value().stats.iterations));
+
+  HsuStats hsu_stats;
+  TermId source = engine.views().pool().Unary(*db.symbols().Find("v0"));
+  auto h = HsuEvaluate(engine.equations(), engine.views(),
+                       *db.symbols().Find("path"), source, &hsu_stats);
+  if (!h.ok()) {
+    std::fprintf(stderr, "%s\n", h.status().message().c_str());
+    return 1;
+  }
+  std::printf("HSU preconstruction: %llu arcs materialized, %llu nodes "
+              "visited, %zu answers\n",
+              static_cast<unsigned long long>(hsu_stats.preconstructed_arcs),
+              static_cast<unsigned long long>(hsu_stats.visited_nodes),
+              h.value().size());
+  std::printf("\nanswers agree: %s\n",
+              h.value().size() == r.value().tuples.size() ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Shared interface of the bottom-up baselines (naive, seminaive, magic).
+// All are fully general Datalog evaluators (any arity, any recursion) used
+// both as correctness oracles for the graph-traversal engine and as the
+// comparison strategies of the paper's evaluation section.
+#ifndef BINCHAIN_BASELINES_BOTTOM_UP_H_
+#define BINCHAIN_BASELINES_BOTTOM_UP_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace binchain {
+
+struct BottomUpStats {
+  uint64_t firings = 0;  // successful body instantiations
+  uint64_t tuples = 0;   // derived tuples (including rediscoveries? no: new)
+  uint64_t rounds = 0;   // fixpoint rounds
+  uint64_t fetches = 0;  // EDB retrievals
+};
+
+/// IDB state: one relation per derived predicate.
+class IdbStore {
+ public:
+  Relation& GetOrCreate(SymbolId pred, size_t arity);
+  const Relation* Find(SymbolId pred) const;
+
+ private:
+  std::unordered_map<SymbolId, Relation> rels_;
+};
+
+/// Selects the tuples of `pred` matching the constants of `query`.
+std::vector<Tuple> SelectMatching(const Relation* rel, const Literal& query);
+
+/// Naive evaluation: round-based T_P iteration; every rule is re-fired
+/// against the whole database each round (the duplication of work the paper
+/// discusses as factor (1)).
+Result<std::vector<Tuple>> NaiveQuery(const Program& program, Database& db,
+                                      const Literal& query,
+                                      BottomUpStats* stats,
+                                      size_t max_rounds = 1000000);
+
+/// Seminaive evaluation: delta-driven firing; each rule instantiation uses
+/// at least one delta tuple.
+Result<std::vector<Tuple>> SeminaiveQuery(const Program& program, Database& db,
+                                          const Literal& query,
+                                          BottomUpStats* stats,
+                                          size_t max_rounds = 1000000);
+
+/// Seminaive fixpoint over `program` with extra ground seed atoms for
+/// derived predicates (used by the magic-sets strategy, whose seed is the
+/// magic fact of the query). Evaluates every derived predicate; returns the
+/// IDB store.
+Result<IdbStore> SeminaiveFixpoint(const Program& program, Database& db,
+                                   const std::vector<Literal>& seeds,
+                                   BottomUpStats* stats,
+                                   size_t max_rounds = 1000000);
+
+}  // namespace binchain
+
+#endif  // BINCHAIN_BASELINES_BOTTOM_UP_H_

@@ -1,0 +1,56 @@
+#include "baselines/counting.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "eval/rex_image.h"
+
+namespace binchain {
+
+Result<std::vector<TermId>> CountingQuery(const ViewRegistry& views,
+                                          const LinearNormalForm& nf,
+                                          TermId source, size_t level_cap,
+                                          LevelStats* stats) {
+  LevelStats local;
+  LevelStats& st = (stats != nullptr) ? *stats : local;
+  st = LevelStats{};
+
+  // Up phase: U_0 = {a}, U_{d+1} = e1(U_d).
+  std::vector<std::vector<TermId>> levels;
+  levels.push_back({source});
+  st.up_work += 1;
+  while (!levels.back().empty()) {
+    if (levels.size() > level_cap) {
+      st.hit_cap = true;
+      break;
+    }
+    auto next = ImageUnderRex(views, nf.e1, levels.back(), &st.up_work);
+    if (!next.ok()) return next.status();
+    levels.push_back(next.take());
+  }
+  if (!levels.back().empty()) levels.pop_back();  // drop the capped level
+  st.levels = levels.size();
+
+  // Down phase in Horner order: W := e2(W) U e0(U_d), d = D .. 0.
+  std::vector<TermId> w;
+  std::unordered_set<TermId> w_set;
+  for (size_t d = levels.size(); d-- > 0;) {
+    auto stepped = ImageUnderRex(views, nf.e2, w, &st.down_work);
+    if (!stepped.ok()) return stepped.status();
+    auto landed = ImageUnderRex(views, nf.e0, levels[d], &st.down_work);
+    if (!landed.ok()) return landed.status();
+    w.clear();
+    w_set.clear();
+    for (TermId v : stepped.value()) {
+      if (w_set.insert(v).second) w.push_back(v);
+    }
+    for (TermId v : landed.value()) {
+      if (w_set.insert(v).second) w.push_back(v);
+    }
+    st.down_work += w.size();
+  }
+  std::sort(w.begin(), w.end());
+  return w;
+}
+
+}  // namespace binchain

@@ -1,0 +1,55 @@
+// Level-based strategies for equations in the linear normal form
+// p = e0 U e1 . p . e2 (the same-generation shape), used in the paper's
+// complexity comparison (Section 3):
+//
+//  * Counting [3]: compute the level sets U_d = e1^d(a) going up, then fold
+//    the answer going down in Horner order, W := e2(W) U e0(U_d). Work is
+//    linear in the number of (node, level) pairs — the bounds the paper
+//    proves identical to its own algorithm.
+//  * Henschen-Naqvi [7]: evaluate the compiled iterative form
+//    answer = U_d  e2^d(e0(e1^d(a))), recomputing the d-fold down image at
+//    every level (no memory of previously traversed paths — the re-traversal
+//    behaviour the paper contrasts with its graph traversal).
+//  * Reverse counting [3]: counting performed from the answer side: for
+//    every candidate answer y the inverted equation is evaluated from y and
+//    checked for reaching the query constant.
+//
+// All three take an explicit level cap (for cyclic data); acyclic runs
+// terminate when the up set empties.
+#ifndef BINCHAIN_BASELINES_COUNTING_H_
+#define BINCHAIN_BASELINES_COUNTING_H_
+
+#include <vector>
+
+#include "equations/equations.h"
+#include "eval/relation_view.h"
+#include "util/status.h"
+
+namespace binchain {
+
+struct LevelStats {
+  uint64_t up_work = 0;     // (state, term) pairs in up-phase traversals
+  uint64_t down_work = 0;   // pairs in down-phase traversals
+  uint64_t levels = 0;      // up levels explored
+  bool hit_cap = false;
+};
+
+Result<std::vector<TermId>> CountingQuery(const ViewRegistry& views,
+                                          const LinearNormalForm& nf,
+                                          TermId source, size_t level_cap,
+                                          LevelStats* stats);
+
+Result<std::vector<TermId>> HenschenNaqviQuery(const ViewRegistry& views,
+                                               const LinearNormalForm& nf,
+                                               TermId source, size_t level_cap,
+                                               LevelStats* stats);
+
+Result<std::vector<TermId>> ReverseCountingQuery(const ViewRegistry& views,
+                                                 const LinearNormalForm& nf,
+                                                 TermId source,
+                                                 size_t level_cap,
+                                                 LevelStats* stats);
+
+}  // namespace binchain
+
+#endif  // BINCHAIN_BASELINES_COUNTING_H_

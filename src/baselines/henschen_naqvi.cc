@@ -1,0 +1,91 @@
+#include <algorithm>
+#include <unordered_set>
+
+#include "baselines/counting.h"
+#include "eval/rex_image.h"
+
+namespace binchain {
+
+Result<std::vector<TermId>> HenschenNaqviQuery(const ViewRegistry& views,
+                                               const LinearNormalForm& nf,
+                                               TermId source, size_t level_cap,
+                                               LevelStats* stats) {
+  LevelStats local;
+  LevelStats& st = (stats != nullptr) ? *stats : local;
+  st = LevelStats{};
+
+  std::vector<TermId> answers;
+  std::unordered_set<TermId> answer_set;
+  std::vector<TermId> u = {source};
+  size_t d = 0;
+  while (!u.empty()) {
+    if (d > level_cap) {
+      st.hit_cap = true;
+      break;
+    }
+    ++st.levels;
+    // answer_d = e2^d(e0(U_d)), with the d-fold image recomputed from
+    // scratch (the method keeps no memory of earlier traversals).
+    auto t = ImageUnderRex(views, nf.e0, u, &st.down_work);
+    if (!t.ok()) return t.status();
+    std::vector<TermId> frontier = t.take();
+    for (size_t j = 0; j < d && !frontier.empty(); ++j) {
+      auto next = ImageUnderRex(views, nf.e2, frontier, &st.down_work);
+      if (!next.ok()) return next.status();
+      frontier = next.take();
+    }
+    for (TermId y : frontier) {
+      if (answer_set.insert(y).second) answers.push_back(y);
+    }
+    auto up = ImageUnderRex(views, nf.e1, u, &st.up_work);
+    if (!up.ok()) return up.status();
+    u = up.take();
+    ++d;
+  }
+  std::sort(answers.begin(), answers.end());
+  return answers;
+}
+
+Result<std::vector<TermId>> ReverseCountingQuery(const ViewRegistry& views,
+                                                 const LinearNormalForm& nf,
+                                                 TermId source,
+                                                 size_t level_cap,
+                                                 LevelStats* stats) {
+  LevelStats local;
+  LevelStats& st = (stats != nullptr) ? *stats : local;
+  st = LevelStats{};
+
+  // Candidate answers: everything e2-reachable from the e0-image of the
+  // e1-closure of the source (a superset of the true answers).
+  auto up_reach = ClosureUnderRex(views, nf.e1, {source}, &st.up_work);
+  if (!up_reach.ok()) return up_reach.status();
+  auto landings = ImageUnderRex(views, nf.e0, up_reach.value(), &st.up_work);
+  if (!landings.ok()) return landings.status();
+  auto candidates =
+      ClosureUnderRex(views, nf.e2, landings.value(), &st.up_work);
+  if (!candidates.ok()) return candidates.status();
+
+  // Inverted normal form: p~ = e0^-1 U e2^-1 . p~ . e1^-1.
+  auto flip = [](SymbolId p, bool inverted) { return Rex::Pred(p, !inverted); };
+  LinearNormalForm inv;
+  inv.e0 = Invert(nf.e0, flip);
+  inv.e1 = Invert(nf.e2, flip);
+  inv.e2 = Invert(nf.e1, flip);
+
+  std::vector<TermId> answers;
+  for (TermId y : candidates.value()) {
+    LevelStats sub;
+    auto r = CountingQuery(views, inv, y, level_cap, &sub);
+    if (!r.ok()) return r.status();
+    st.down_work += sub.up_work + sub.down_work;
+    st.levels = std::max<uint64_t>(st.levels, sub.levels);
+    st.hit_cap = st.hit_cap || sub.hit_cap;
+    if (std::binary_search(r.value().begin(), r.value().end(), source)) {
+      answers.push_back(y);
+    }
+  }
+  std::sort(answers.begin(), answers.end());
+  return answers;
+}
+
+}  // namespace binchain

@@ -1,0 +1,77 @@
+#include "baselines/magic.h"
+
+namespace binchain {
+namespace {
+
+std::vector<Term> BoundArgs(const Literal& lit, const Adornment& a) {
+  std::vector<Term> out;
+  for (size_t i = 0; i < lit.args.size(); ++i) {
+    if (a.bound[i]) out.push_back(lit.args[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<MagicProgram> BuildMagicProgram(const AdornedProgram& adorned,
+                                       SymbolTable& symbols) {
+  MagicProgram out;
+  auto adorned_name = [&](const AdornedPredicate& ap) {
+    return symbols.Intern(AdornedName(ap, symbols));
+  };
+  auto magic_name = [&](const AdornedPredicate& ap) {
+    return symbols.Intern("m~" + AdornedName(ap, symbols));
+  };
+
+  for (const AdornedRule& r : adorned.rules) {
+    // Guarded rule: p~a(X) :- m~p~a(Xb), prefix, [q~d(Z)], suffix.
+    Rule guarded;
+    guarded.head = Literal{adorned_name(r.head), r.head_literal.args};
+    guarded.body.push_back(
+        Literal{magic_name(r.head), BoundArgs(r.head_literal,
+                                              r.head.adornment)});
+    for (const Literal& lit : r.prefix) guarded.body.push_back(lit);
+    if (r.has_derived) {
+      guarded.body.push_back(
+          Literal{adorned_name(r.derived_adorned), r.derived.args});
+    }
+    for (const Literal& lit : r.suffix) guarded.body.push_back(lit);
+    out.program.rules.push_back(std::move(guarded));
+
+    // Magic rule: m~q~d(Zb) :- m~p~a(Xb), prefix.
+    if (r.has_derived) {
+      Rule magic;
+      magic.head = Literal{magic_name(r.derived_adorned),
+                           BoundArgs(r.derived, r.derived_adorned.adornment)};
+      magic.body.push_back(
+          Literal{magic_name(r.head), BoundArgs(r.head_literal,
+                                                r.head.adornment)});
+      for (const Literal& lit : r.prefix) magic.body.push_back(lit);
+      out.program.rules.push_back(std::move(magic));
+    }
+  }
+
+  // Seed: m~query(bound constants).
+  out.seed = Literal{magic_name(adorned.query),
+                     BoundArgs(adorned.query_literal,
+                               adorned.query.adornment)};
+  out.adorned_query =
+      Literal{adorned_name(adorned.query), adorned.query_literal.args};
+  return out;
+}
+
+Result<std::vector<Tuple>> MagicQuery(const Program& program, Database& db,
+                                      const Literal& query,
+                                      BottomUpStats* stats) {
+  auto adorned = AdornProgram(program, db.symbols(), query);
+  if (!adorned.ok()) return adorned.status();
+  auto magic = BuildMagicProgram(adorned.value(), db.symbols());
+  if (!magic.ok()) return magic.status();
+  auto idb =
+      SeminaiveFixpoint(magic.value().program, db, {magic.value().seed}, stats);
+  if (!idb.ok()) return idb.status();
+  return SelectMatching(idb.value().Find(magic.value().adorned_query.predicate),
+                        magic.value().adorned_query);
+}
+
+}  // namespace binchain

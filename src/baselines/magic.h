@@ -1,0 +1,33 @@
+// The magic-sets optimization strategy (Bancilhon et al. [3] / Beeri-
+// Ramakrishnan [5]) specialised to linear programs with at most one derived
+// literal per body: the adorned program is augmented with magic predicates
+// restricting bottom-up evaluation to facts relevant to the query bindings,
+// then evaluated seminaively.
+#ifndef BINCHAIN_BASELINES_MAGIC_H_
+#define BINCHAIN_BASELINES_MAGIC_H_
+
+#include <vector>
+
+#include "baselines/bottom_up.h"
+#include "transform/adorn.h"
+
+namespace binchain {
+
+struct MagicProgram {
+  Program program;             // adorned + magic rules
+  Literal seed;                // ground magic fact for the query
+  Literal adorned_query;       // query literal over the adorned predicate
+};
+
+/// Builds the magic-transformed program for an adorned program.
+Result<MagicProgram> BuildMagicProgram(const AdornedProgram& adorned,
+                                       SymbolTable& symbols);
+
+/// End-to-end: adorn, transform, evaluate seminaively, select answers.
+Result<std::vector<Tuple>> MagicQuery(const Program& program, Database& db,
+                                      const Literal& query,
+                                      BottomUpStats* stats);
+
+}  // namespace binchain
+
+#endif  // BINCHAIN_BASELINES_MAGIC_H_

@@ -1,0 +1,116 @@
+#include <algorithm>
+#include <unordered_set>
+
+#include "baselines/bottom_up.h"
+#include "datalog/analysis.h"
+#include "eval/join.h"
+
+namespace binchain {
+
+Relation& IdbStore::GetOrCreate(SymbolId pred, size_t arity) {
+  auto it = rels_.find(pred);
+  if (it == rels_.end()) {
+    it = rels_.emplace(pred, Relation(arity)).first;
+  }
+  return it->second;
+}
+
+const Relation* IdbStore::Find(SymbolId pred) const {
+  auto it = rels_.find(pred);
+  return it == rels_.end() ? nullptr : &it->second;
+}
+
+std::vector<Tuple> SelectMatching(const Relation* rel, const Literal& query) {
+  std::vector<Tuple> out;
+  if (rel == nullptr) return out;
+  // Variable equality constraints (e.g. p(X, X)).
+  for (const Tuple& t : rel->tuples()) {
+    bool match = true;
+    for (size_t i = 0; i < query.args.size() && match; ++i) {
+      const Term& a = query.args[i];
+      if (a.IsConst()) {
+        if (t[i] != a.symbol) match = false;
+        continue;
+      }
+      for (size_t j = 0; j < i; ++j) {
+        if (query.args[j].IsVar() && query.args[j].symbol == a.symbol &&
+            t[j] != t[i]) {
+          match = false;
+          break;
+        }
+      }
+    }
+    if (match) out.push_back(t);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+namespace {
+
+Status ValidateForBottomUp(const Program& program, const SymbolTable& symbols) {
+  ProgramAnalysis analysis(program, symbols);
+  for (const Rule& r : program.rules) {
+    if (r.body.empty()) {
+      return Status::Unsupported(
+          "bottom-up evaluation cannot handle empty-body rules with "
+          "variables (unsafe)");
+    }
+  }
+  return analysis.CheckSafety();
+}
+
+}  // namespace
+
+Result<std::vector<Tuple>> NaiveQuery(const Program& program, Database& db,
+                                      const Literal& query,
+                                      BottomUpStats* stats,
+                                      size_t max_rounds) {
+  BottomUpStats local;
+  BottomUpStats& st = (stats != nullptr) ? *stats : local;
+  st = BottomUpStats{};
+  if (auto s = ValidateForBottomUp(program, db.symbols()); !s.ok()) return s;
+
+  uint64_t fetches_before = db.TotalFetches();
+  IdbStore idb;
+  std::unordered_set<SymbolId> derived;
+  for (const Rule& r : program.rules) {
+    derived.insert(r.head.predicate);
+    idb.GetOrCreate(r.head.predicate, r.head.arity());
+  }
+  RelationResolver resolve = [&](SymbolId pred) -> const Relation* {
+    if (derived.count(pred)) return idb.Find(pred);
+    return db.Find(db.symbols().Name(pred));
+  };
+
+  bool changed = true;
+  while (changed) {
+    if (st.rounds++ >= max_rounds) {
+      return Status::Internal("naive evaluation exceeded the round limit");
+    }
+    changed = false;
+    for (const Rule& r : program.rules) {
+      std::vector<Tuple> new_tuples;
+      Binding binding;
+      Status s = EnumerateMatches(resolve, db.symbols(), r.body, binding,
+                                  [&](const Binding& b) {
+                                    ++st.firings;
+                                    new_tuples.push_back(
+                                        InstantiateHead(r.head, b));
+                                  });
+      if (!s.ok()) return s;
+      Relation& rel = idb.GetOrCreate(r.head.predicate, r.head.arity());
+      for (const Tuple& t : new_tuples) {
+        if (rel.Insert(t)) {
+          ++st.tuples;
+          changed = true;
+        }
+      }
+    }
+  }
+  st.fetches = db.TotalFetches() - fetches_before;
+  return SelectMatching(idb.Find(query.predicate), query);
+}
+
+}  // namespace binchain

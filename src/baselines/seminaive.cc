@@ -1,0 +1,149 @@
+#include <algorithm>
+#include <unordered_set>
+
+#include "baselines/bottom_up.h"
+#include "datalog/analysis.h"
+#include "eval/join.h"
+
+namespace binchain {
+namespace {
+
+/// Marker symbol used to point one body occurrence at the delta relation.
+constexpr const char* kDeltaMarker = "~delta";
+
+}  // namespace
+
+Result<IdbStore> SeminaiveFixpoint(const Program& program, Database& db,
+                                   const std::vector<Literal>& seeds,
+                                   BottomUpStats* stats, size_t max_rounds) {
+  BottomUpStats local;
+  BottomUpStats& st = (stats != nullptr) ? *stats : local;
+  st = BottomUpStats{};
+  {
+    ProgramAnalysis analysis(program, db.symbols());
+    for (const Rule& r : program.rules) {
+      if (r.body.empty()) {
+        return Status::Unsupported(
+            "bottom-up evaluation cannot handle empty-body rules with "
+            "variables (unsafe)");
+      }
+    }
+    if (auto s = analysis.CheckSafety(); !s.ok()) return s;
+  }
+  uint64_t fetches_before = db.TotalFetches();
+
+  IdbStore total;
+  IdbStore delta;
+  std::unordered_set<SymbolId> derived;
+  for (const Rule& r : program.rules) {
+    derived.insert(r.head.predicate);
+    total.GetOrCreate(r.head.predicate, r.head.arity());
+    delta.GetOrCreate(r.head.predicate, r.head.arity());
+  }
+  SymbolId delta_marker = db.symbols().Intern(kDeltaMarker);
+
+  // Seeds (magic facts, etc.) enter both total and the first delta.
+  for (const Literal& seed : seeds) {
+    Tuple t;
+    for (const Term& a : seed.args) {
+      if (a.IsVar()) {
+        return Status::InvalidArgument("seed atoms must be ground");
+      }
+      t.push_back(a.symbol);
+    }
+    if (total.GetOrCreate(seed.predicate, seed.arity()).Insert(t)) {
+      delta.GetOrCreate(seed.predicate, seed.arity()).Insert(t);
+      ++st.tuples;
+    }
+  }
+
+  // Round 0: fire rules without derived body literals.
+  IdbStore next_delta;
+  SymbolId current_delta_pred = 0;  // which predicate the marker stands for
+  RelationResolver resolve = [&](SymbolId pred) -> const Relation* {
+    if (pred == delta_marker) return delta.Find(current_delta_pred);
+    if (derived.count(pred)) return total.Find(pred);
+    return db.Find(db.symbols().Name(pred));
+  };
+
+  auto fire_rule = [&](const Rule& r, const std::vector<Literal>& body) {
+    std::vector<Tuple> out;
+    Binding binding;
+    Status s = EnumerateMatches(resolve, db.symbols(), body, binding,
+                                [&](const Binding& b) {
+                                  ++st.firings;
+                                  out.push_back(InstantiateHead(r.head, b));
+                                });
+    if (!s.ok()) return s;
+    Relation& total_rel = total.GetOrCreate(r.head.predicate, r.head.arity());
+    Relation& nd = next_delta.GetOrCreate(r.head.predicate, r.head.arity());
+    for (const Tuple& t : out) {
+      if (total_rel.Insert(t)) {
+        nd.Insert(t);
+        ++st.tuples;
+      }
+    }
+    return Status::Ok();
+  };
+
+  for (const Rule& r : program.rules) {
+    bool has_derived = false;
+    for (const Literal& lit : r.body) {
+      if (derived.count(lit.predicate)) has_derived = true;
+    }
+    if (!has_derived) {
+      if (auto s = fire_rule(r, r.body); !s.ok()) return s;
+    }
+  }
+  // Promote round-0 results into the delta.
+  for (SymbolId p : derived) {
+    const Relation* nd = next_delta.Find(p);
+    if (nd == nullptr) continue;
+    Relation& d = delta.GetOrCreate(p, nd->arity());
+    for (const Tuple& t : nd->tuples()) d.Insert(t);
+  }
+  next_delta = IdbStore{};
+
+  bool any_delta = true;
+  while (any_delta) {
+    if (st.rounds++ >= max_rounds) {
+      return Status::Internal("seminaive evaluation exceeded the round limit");
+    }
+    for (const Rule& r : program.rules) {
+      for (size_t j = 0; j < r.body.size(); ++j) {
+        if (!derived.count(r.body[j].predicate)) continue;
+        // Substitute occurrence j by the delta marker.
+        std::vector<Literal> body = r.body;
+        current_delta_pred = body[j].predicate;
+        body[j].predicate = delta_marker;
+        if (auto s = fire_rule(r, body); !s.ok()) return s;
+      }
+    }
+    any_delta = false;
+    IdbStore fresh;
+    for (SymbolId p : derived) {
+      const Relation* nd = next_delta.Find(p);
+      size_t arity = total.Find(p)->arity();
+      Relation& d = fresh.GetOrCreate(p, arity);
+      if (nd != nullptr) {
+        for (const Tuple& t : nd->tuples()) d.Insert(t);
+        if (!nd->empty()) any_delta = true;
+      }
+    }
+    delta = std::move(fresh);
+    next_delta = IdbStore{};
+  }
+  st.fetches = db.TotalFetches() - fetches_before;
+  return total;
+}
+
+Result<std::vector<Tuple>> SeminaiveQuery(const Program& program, Database& db,
+                                          const Literal& query,
+                                          BottomUpStats* stats,
+                                          size_t max_rounds) {
+  auto idb = SeminaiveFixpoint(program, db, {}, stats, max_rounds);
+  if (!idb.ok()) return idb.status();
+  return SelectMatching(idb.value().Find(query.predicate), query);
+}
+
+}  // namespace binchain

@@ -1,0 +1,201 @@
+#include "datalog/analysis.h"
+
+#include <algorithm>
+
+namespace binchain {
+
+ProgramAnalysis::ProgramAnalysis(const Program& program,
+                                 const SymbolTable& symbols)
+    : program_(program), symbols_(symbols) {
+  for (const Rule& r : program.rules) derived_.insert(r.head.predicate);
+  auto consider = [&](SymbolId pred) {
+    if (IsBuiltinName(symbols_.Name(pred))) builtins_.insert(pred);
+    if (!node_of_.count(pred)) {
+      node_of_.emplace(pred, static_cast<uint32_t>(pred_of_node_.size()));
+      pred_of_node_.push_back(pred);
+    }
+  };
+  for (const Rule& r : program.rules) {
+    consider(r.head.predicate);
+    for (const Literal& lit : r.body) consider(lit.predicate);
+  }
+  for (const Literal& f : program.facts) consider(f.predicate);
+
+  Digraph g(pred_of_node_.size());
+  for (const Rule& r : program.rules) {
+    for (const Literal& lit : r.body) {
+      g.AddEdge(NodeOf(r.head.predicate), NodeOf(lit.predicate));
+    }
+  }
+  scc_ = ComputeScc(g);
+}
+
+bool ProgramAnalysis::MutuallyRecursive(SymbolId p, SymbolId q) const {
+  auto ip = node_of_.find(p);
+  auto iq = node_of_.find(q);
+  if (ip == node_of_.end() || iq == node_of_.end()) return false;
+  if (p == q) return scc_.on_cycle[ip->second];
+  return scc_.component[ip->second] == scc_.component[iq->second];
+}
+
+bool ProgramAnalysis::IsRecursiveRule(const Rule& r) const {
+  for (const Literal& lit : r.body) {
+    if (MutuallyRecursive(r.head.predicate, lit.predicate)) return true;
+  }
+  return false;
+}
+
+bool ProgramAnalysis::IsLinearRule(const Rule& r) const {
+  int count = 0;
+  for (const Literal& lit : r.body) {
+    if (MutuallyRecursive(r.head.predicate, lit.predicate)) ++count;
+  }
+  return count <= 1;
+}
+
+bool ProgramAnalysis::IsLinearProgram() const {
+  return std::all_of(program_.rules.begin(), program_.rules.end(),
+                     [&](const Rule& r) { return IsLinearRule(r); });
+}
+
+bool ProgramAnalysis::IsRecursiveProgram() const {
+  return std::any_of(program_.rules.begin(), program_.rules.end(),
+                     [&](const Rule& r) { return IsRecursiveRule(r); });
+}
+
+bool ProgramAnalysis::IsBinaryChainRule(const Rule& r) {
+  if (r.head.arity() != 2) return false;
+  if (!r.head.args[0].IsVar() || !r.head.args[1].IsVar()) return false;
+  if (r.body.empty()) {
+    // p(X, X) :- .
+    return r.head.args[0] == r.head.args[1];
+  }
+  if (r.head.args[0] == r.head.args[1]) return false;
+  // Chain X1 .. X_{n+1}: body[i] = p_i(X_i, X_{i+1}).
+  std::vector<Term> chain;
+  chain.push_back(r.head.args[0]);
+  for (const Literal& lit : r.body) {
+    if (lit.arity() != 2) return false;
+    if (!lit.args[0].IsVar() || !lit.args[1].IsVar()) return false;
+    if (!(lit.args[0] == chain.back())) return false;
+    chain.push_back(lit.args[1]);
+  }
+  if (!(chain.back() == r.head.args[1])) return false;
+  // All chain variables distinct.
+  for (size_t i = 0; i < chain.size(); ++i) {
+    for (size_t j = i + 1; j < chain.size(); ++j) {
+      if (chain[i] == chain[j]) return false;
+    }
+  }
+  return true;
+}
+
+bool ProgramAnalysis::IsBinaryChainProgram() const {
+  for (const Rule& r : program_.rules) {
+    if (!IsBinaryChainRule(r)) return false;
+  }
+  for (const Literal& f : program_.facts) {
+    if (f.arity() != 2) return false;
+  }
+  return true;
+}
+
+bool ProgramAnalysis::IsRightLinearRule(const Rule& r) const {
+  if (!IsBinaryChainRule(r)) return false;
+  for (size_t i = 0; i + 1 < r.body.size(); ++i) {
+    if (MutuallyRecursive(r.body[i].predicate, r.head.predicate)) return false;
+  }
+  return true;
+}
+
+bool ProgramAnalysis::IsLeftLinearRule(const Rule& r) const {
+  if (!IsBinaryChainRule(r)) return false;
+  for (size_t i = 1; i < r.body.size(); ++i) {
+    if (MutuallyRecursive(r.body[i].predicate, r.head.predicate)) return false;
+  }
+  return true;
+}
+
+bool ProgramAnalysis::IsRightLinearPredicate(SymbolId p) const {
+  for (const Rule& r : program_.rules) {
+    if (!MutuallyRecursive(r.head.predicate, p)) continue;
+    if (!IsRightLinearRule(r)) return false;
+  }
+  return true;
+}
+
+bool ProgramAnalysis::IsLeftLinearPredicate(SymbolId p) const {
+  for (const Rule& r : program_.rules) {
+    if (!MutuallyRecursive(r.head.predicate, p)) continue;
+    if (!IsLeftLinearRule(r)) return false;
+  }
+  return true;
+}
+
+bool ProgramAnalysis::IsRegularProgram() const {
+  if (!IsBinaryChainProgram()) return false;
+  for (SymbolId p : program_.DerivedPredicates()) {
+    if (!IsRegularPredicate(p)) return false;
+  }
+  return true;
+}
+
+bool ProgramAnalysis::BodyHasAtMostOneDerived() const {
+  for (const Rule& r : program_.rules) {
+    int count = 0;
+    for (const Literal& lit : r.body) {
+      if (IsDerived(lit.predicate)) ++count;
+    }
+    if (count > 1) return false;
+  }
+  return true;
+}
+
+Status ProgramAnalysis::CheckSafety() const {
+  for (const Rule& r : program_.rules) {
+    std::unordered_set<SymbolId> positive_vars;
+    for (const Literal& lit : r.body) {
+      if (IsBuiltin(lit.predicate)) continue;
+      for (const Term& t : lit.args) {
+        if (t.IsVar()) positive_vars.insert(t.symbol);
+      }
+    }
+    for (const Term& t : r.head.args) {
+      if (t.IsVar() && !positive_vars.count(t.symbol)) {
+        if (r.body.empty() && IsBinaryChainRule(r)) continue;  // p(X, X) :- .
+        return Status::InvalidArgument(
+            "unsafe rule: head variable '" + symbols_.Name(t.symbol) +
+            "' does not occur in a positive body literal");
+      }
+    }
+    for (const Literal& lit : r.body) {
+      if (!IsBuiltin(lit.predicate)) continue;
+      for (const Term& t : lit.args) {
+        if (t.IsVar() && !positive_vars.count(t.symbol)) {
+          return Status::InvalidArgument(
+              "unsafe built-in: variable '" + symbols_.Name(t.symbol) +
+              "' does not occur in a base literal of the same rule");
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<std::vector<SymbolId>> ProgramAnalysis::MutualRecursionClasses()
+    const {
+  std::vector<std::vector<SymbolId>> out;
+  for (const auto& members : scc_.members) {
+    std::vector<SymbolId> cls;
+    for (uint32_t v : members) {
+      SymbolId pred = pred_of_node_[v];
+      if (IsDerived(pred) && MutuallyRecursive(pred, pred)) {
+        cls.push_back(pred);
+      }
+    }
+    if (!cls.empty()) out.push_back(std::move(cls));
+  }
+  return out;
+}
+
+}  // namespace binchain

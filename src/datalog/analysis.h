@@ -1,0 +1,99 @@
+// Program classification per Section 2 of the paper: recursive / mutually
+// recursive predicates, linear rules and programs, binary-chain rules and
+// programs, left-/right-linear and regular predicates, safety of built-ins.
+#ifndef BINCHAIN_DATALOG_ANALYSIS_H_
+#define BINCHAIN_DATALOG_ANALYSIS_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "graph/tarjan.h"
+#include "util/status.h"
+
+namespace binchain {
+
+class ProgramAnalysis {
+ public:
+  ProgramAnalysis(const Program& program, const SymbolTable& symbols);
+
+  bool IsDerived(SymbolId pred) const { return derived_.count(pred) > 0; }
+  bool IsBuiltin(SymbolId pred) const { return builtins_.count(pred) > 0; }
+  bool IsBase(SymbolId pred) const {
+    return !IsDerived(pred) && !IsBuiltin(pred);
+  }
+
+  /// Paper definition: p is mutually recursive to q iff each can derive a
+  /// set of literals mentioning the other (at least one derivation step).
+  /// For p == q this means "p is recursive".
+  bool MutuallyRecursive(SymbolId p, SymbolId q) const;
+
+  bool IsRecursivePredicate(SymbolId p) const {
+    return MutuallyRecursive(p, p);
+  }
+
+  /// A rule is recursive if its head predicate is mutually recursive to some
+  /// body predicate.
+  bool IsRecursiveRule(const Rule& r) const;
+
+  /// A rule is linear if at most one body literal's predicate is mutually
+  /// recursive to the head predicate.
+  bool IsLinearRule(const Rule& r) const;
+
+  bool IsLinearProgram() const;
+  bool IsRecursiveProgram() const;
+
+  /// Purely syntactic: head p(X1, Xn+1), body p1(X1,X2) ... pn(Xn,Xn+1),
+  /// n >= 0, all chain variables distinct. For n = 0 the head is p(X, X).
+  static bool IsBinaryChainRule(const Rule& r);
+
+  /// All predicates binary and every intensional rule a binary-chain rule.
+  bool IsBinaryChainProgram() const;
+
+  /// Right-linear: no body predicate before the last is mutually recursive
+  /// to the head. Left-linear: no body predicate after the first is.
+  /// Both require a binary-chain rule.
+  bool IsRightLinearRule(const Rule& r) const;
+  bool IsLeftLinearRule(const Rule& r) const;
+
+  /// p is right-linear (left-linear) if all rules for predicates mutually
+  /// recursive to p are right-linear (left-linear); regular if either.
+  /// Non-recursive derived predicates are vacuously regular.
+  bool IsRightLinearPredicate(SymbolId p) const;
+  bool IsLeftLinearPredicate(SymbolId p) const;
+  bool IsRegularPredicate(SymbolId p) const {
+    return IsRightLinearPredicate(p) || IsLeftLinearPredicate(p);
+  }
+
+  /// Binary-chain program whose derived predicates are all regular.
+  bool IsRegularProgram() const;
+
+  /// True if every rule body contains at most one derived literal
+  /// (precondition of the Section 4 transformation).
+  bool BodyHasAtMostOneDerived() const;
+
+  /// Safety: every head variable occurs in a positive (non-built-in) body
+  /// literal, and every built-in argument variable occurs in a non-built-in
+  /// body literal (the paper's restriction on unrestricted domains).
+  Status CheckSafety() const;
+
+  /// Maximal sets of mutually recursive predicates (only recursive derived
+  /// predicates appear; singletons without self-recursion are excluded).
+  std::vector<std::vector<SymbolId>> MutualRecursionClasses() const;
+
+ private:
+  uint32_t NodeOf(SymbolId pred) const { return node_of_.at(pred); }
+
+  const Program& program_;
+  const SymbolTable& symbols_;
+  std::unordered_set<SymbolId> derived_;
+  std::unordered_set<SymbolId> builtins_;
+  std::unordered_map<SymbolId, uint32_t> node_of_;
+  std::vector<SymbolId> pred_of_node_;
+  SccResult scc_;
+};
+
+}  // namespace binchain
+
+#endif  // BINCHAIN_DATALOG_ANALYSIS_H_

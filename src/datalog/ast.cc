@@ -1,0 +1,55 @@
+#include "datalog/ast.h"
+
+#include <unordered_set>
+
+namespace binchain {
+
+bool IsBuiltinName(std::string_view name) {
+  return BuiltinFromName(name).has_value();
+}
+
+std::optional<Builtin> BuiltinFromName(std::string_view name) {
+  if (name == "<") return Builtin::kLt;
+  if (name == "<=") return Builtin::kLe;
+  if (name == ">") return Builtin::kGt;
+  if (name == ">=") return Builtin::kGe;
+  if (name == "=") return Builtin::kEq;
+  if (name == "!=") return Builtin::kNe;
+  return std::nullopt;
+}
+
+bool Rule::IsFact() const {
+  if (!body.empty()) return false;
+  for (const Term& t : head.args) {
+    if (t.IsVar()) return false;
+  }
+  return true;
+}
+
+std::vector<SymbolId> Program::DerivedPredicates() const {
+  std::vector<SymbolId> out;
+  std::unordered_set<SymbolId> seen;
+  for (const Rule& r : rules) {
+    if (seen.insert(r.head.predicate).second) out.push_back(r.head.predicate);
+  }
+  return out;
+}
+
+std::vector<SymbolId> Program::BasePredicates(const SymbolTable& symbols) const {
+  std::unordered_set<SymbolId> derived;
+  for (const Rule& r : rules) derived.insert(r.head.predicate);
+  std::vector<SymbolId> out;
+  std::unordered_set<SymbolId> seen;
+  auto consider = [&](const Literal& lit) {
+    if (derived.count(lit.predicate)) return;
+    if (IsBuiltinName(symbols.Name(lit.predicate))) return;
+    if (seen.insert(lit.predicate).second) out.push_back(lit.predicate);
+  };
+  for (const Rule& r : rules) {
+    for (const Literal& lit : r.body) consider(lit);
+  }
+  for (const Literal& f : facts) consider(f);
+  return out;
+}
+
+}  // namespace binchain

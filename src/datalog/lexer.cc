@@ -1,0 +1,113 @@
+#include "datalog/lexer.h"
+
+#include <cctype>
+
+namespace binchain {
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(std::string_view src) {
+  std::vector<Token> out;
+  int line = 1;
+  int col = 1;
+  size_t i = 0;
+  auto advance = [&](size_t k) {
+    for (size_t j = 0; j < k; ++j) {
+      if (i < src.size() && src[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+      ++i;
+    }
+  };
+  auto error = [&](const std::string& msg) {
+    return Status::InvalidArgument("lex error at " + std::to_string(line) +
+                                   ":" + std::to_string(col) + ": " + msg);
+  };
+
+  while (i < src.size()) {
+    char c = src[i];
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance(1);
+      continue;
+    }
+    if (c == '%') {  // comment to end of line
+      while (i < src.size() && src[i] != '\n') advance(1);
+      continue;
+    }
+    int tl = line, tc = col;
+    auto push = [&](TokenKind kind, std::string text, size_t len) {
+      out.push_back(Token{kind, std::move(text), tl, tc});
+      advance(len);
+    };
+    switch (c) {
+      case '(':
+        push(TokenKind::kLParen, "(", 1);
+        continue;
+      case ')':
+        push(TokenKind::kRParen, ")", 1);
+        continue;
+      case ',':
+        push(TokenKind::kComma, ",", 1);
+        continue;
+      case '.':
+        push(TokenKind::kPeriod, ".", 1);
+        continue;
+      default:
+        break;
+    }
+    if (c == ':' && i + 1 < src.size() && src[i + 1] == '-') {
+      push(TokenKind::kIf, ":-", 2);
+      continue;
+    }
+    if (c == '?' && i + 1 < src.size() && src[i + 1] == '-') {
+      push(TokenKind::kQuery, "?-", 2);
+      continue;
+    }
+    if (c == '<' || c == '>') {
+      if (i + 1 < src.size() && src[i + 1] == '=') {
+        push(TokenKind::kCompare, std::string(1, c) + "=", 2);
+      } else {
+        push(TokenKind::kCompare, std::string(1, c), 1);
+      }
+      continue;
+    }
+    if (c == '=') {
+      push(TokenKind::kCompare, "=", 1);
+      continue;
+    }
+    if (c == '!' && i + 1 < src.size() && src[i + 1] == '=') {
+      push(TokenKind::kCompare, "!=", 2);
+      continue;
+    }
+    if (c == '\'') {  // quoted constant
+      size_t j = i + 1;
+      while (j < src.size() && src[j] != '\'') ++j;
+      if (j >= src.size()) return error("unterminated quoted constant");
+      std::string text(src.substr(i + 1, j - i - 1));
+      push(TokenKind::kLowerIdent, std::move(text), j - i + 1);
+      continue;
+    }
+    if (IsIdentChar(c)) {
+      size_t j = i;
+      while (j < src.size() && IsIdentChar(src[j])) ++j;
+      std::string text(src.substr(i, j - i));
+      bool upper = std::isupper(static_cast<unsigned char>(c)) || c == '_';
+      push(upper ? TokenKind::kUpperIdent : TokenKind::kLowerIdent,
+           std::move(text), j - i);
+      continue;
+    }
+    return error(std::string("unexpected character '") + c + "'");
+  }
+  out.push_back(Token{TokenKind::kEof, "", line, col});
+  return out;
+}
+
+}  // namespace binchain

@@ -1,0 +1,48 @@
+// Tokenizer for the Datalog surface syntax:
+//
+//   sg(X, Y) :- up(X, X1), sg(X1, Y1), down(Y1, Y).
+//   up(a, b).
+//   ?- sg(a, Y).
+//   % line comment
+//
+// Identifiers starting with a lowercase letter or digit (or quoted with
+// single quotes) are constants / predicate names; identifiers starting with
+// an uppercase letter or '_' are variables. Comparison operators
+// <, <=, >, >=, =, != are built-in predicate tokens in infix position.
+#ifndef BINCHAIN_DATALOG_LEXER_H_
+#define BINCHAIN_DATALOG_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace binchain {
+
+enum class TokenKind {
+  kLowerIdent,   // constants and predicate names (also quoted, also numbers)
+  kUpperIdent,   // variables
+  kLParen,
+  kRParen,
+  kComma,
+  kPeriod,
+  kIf,           // ":-"
+  kQuery,        // "?-"
+  kCompare,      // one of < <= > >= = !=
+  kEof,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line;
+  int col;
+};
+
+/// Tokenizes `src`; fails on unknown characters or unterminated quotes.
+Result<std::vector<Token>> Lex(std::string_view src);
+
+}  // namespace binchain
+
+#endif  // BINCHAIN_DATALOG_LEXER_H_

@@ -1,0 +1,169 @@
+#include "datalog/parser.h"
+
+#include <string>
+
+#include "datalog/lexer.h"
+
+namespace binchain {
+namespace {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, SymbolTable& symbols)
+      : tokens_(std::move(tokens)), symbols_(symbols) {}
+
+  Result<Program> ParseAll() {
+    Program program;
+    while (!At(TokenKind::kEof)) {
+      if (At(TokenKind::kQuery)) {
+        Next();
+        auto lit = ParseAtom();
+        if (!lit.ok()) return lit.status();
+        if (auto s = Expect(TokenKind::kPeriod); !s.ok()) return s;
+        program.queries.push_back(lit.take());
+        continue;
+      }
+      auto head = ParseAtom();
+      if (!head.ok()) return head.status();
+      Rule rule;
+      rule.head = head.take();
+      if (At(TokenKind::kIf)) {
+        Next();
+        while (true) {
+          auto lit = ParseBodyAtom();
+          if (!lit.ok()) return lit.status();
+          rule.body.push_back(lit.take());
+          if (At(TokenKind::kComma)) {
+            Next();
+            continue;
+          }
+          break;
+        }
+      }
+      if (auto s = Expect(TokenKind::kPeriod); !s.ok()) return s;
+      if (rule.IsFact()) {
+        program.facts.push_back(rule.head);
+      } else {
+        // Note: an empty-body clause with variables (e.g. the reflexivity
+        // rule `p(X, X).`) is an intensional rule, not a fact.
+        program.rules.push_back(std::move(rule));
+      }
+    }
+    return program;
+  }
+
+  Result<Literal> ParseSingleLiteral() {
+    auto lit = ParseAtom();
+    if (!lit.ok()) return lit.status();
+    if (!At(TokenKind::kEof)) return Error("trailing input after literal");
+    return lit;
+  }
+
+ private:
+  const Token& Cur() const { return tokens_[pos_]; }
+  bool At(TokenKind k) const { return Cur().kind == k; }
+  void Next() { ++pos_; }
+
+  Status Error(const std::string& msg) const {
+    const Token& t = Cur();
+    return Status::InvalidArgument("parse error at " + std::to_string(t.line) +
+                                   ":" + std::to_string(t.col) + ": " + msg);
+  }
+
+  Status Expect(TokenKind k) {
+    if (!At(k)) {
+      return Error("unexpected token '" + Cur().text + "'");
+    }
+    Next();
+    return Status::Ok();
+  }
+
+  Result<Term> ParseTerm() {
+    if (At(TokenKind::kLowerIdent)) {
+      Term t = Term::Const(symbols_.Intern(Cur().text));
+      Next();
+      return t;
+    }
+    if (At(TokenKind::kUpperIdent)) {
+      std::string name = Cur().text;
+      if (name == "_") {
+        name = "_G" + std::to_string(fresh_counter_++);
+      }
+      Term t = Term::Var(symbols_.Intern(name));
+      Next();
+      return t;
+    }
+    return Error("expected a term, got '" + Cur().text + "'");
+  }
+
+  /// predname(t1, ..., tn)
+  Result<Literal> ParseAtom() {
+    if (!At(TokenKind::kLowerIdent)) {
+      return Error("expected a predicate name, got '" + Cur().text + "'");
+    }
+    Literal lit;
+    lit.predicate = symbols_.Intern(Cur().text);
+    Next();
+    if (auto s = Expect(TokenKind::kLParen); !s.ok()) return s;
+    if (!At(TokenKind::kRParen)) {
+      while (true) {
+        auto t = ParseTerm();
+        if (!t.ok()) return t.status();
+        lit.args.push_back(t.take());
+        if (At(TokenKind::kComma)) {
+          Next();
+          continue;
+        }
+        break;
+      }
+    }
+    if (auto s = Expect(TokenKind::kRParen); !s.ok()) return s;
+    return lit;
+  }
+
+  /// Either an atom or an infix comparison `term OP term`.
+  Result<Literal> ParseBodyAtom() {
+    // Lookahead: lower ident followed by '(' is an atom; otherwise the token
+    // starts a term of an infix comparison.
+    if (At(TokenKind::kLowerIdent) &&
+        tokens_[pos_ + 1].kind == TokenKind::kLParen) {
+      return ParseAtom();
+    }
+    auto lhs = ParseTerm();
+    if (!lhs.ok()) return lhs.status();
+    if (!At(TokenKind::kCompare)) {
+      return Error("expected comparison operator");
+    }
+    Literal lit;
+    lit.predicate = symbols_.Intern(Cur().text);
+    Next();
+    auto rhs = ParseTerm();
+    if (!rhs.ok()) return rhs.status();
+    lit.args.push_back(lhs.take());
+    lit.args.push_back(rhs.take());
+    return lit;
+  }
+
+  std::vector<Token> tokens_;
+  SymbolTable& symbols_;
+  size_t pos_ = 0;
+  int fresh_counter_ = 0;
+};
+
+}  // namespace
+
+Result<Program> ParseProgram(std::string_view src, SymbolTable& symbols) {
+  auto tokens = Lex(src);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(tokens.take(), symbols);
+  return parser.ParseAll();
+}
+
+Result<Literal> ParseLiteral(std::string_view src, SymbolTable& symbols) {
+  auto tokens = Lex(src);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(tokens.take(), symbols);
+  return parser.ParseSingleLiteral();
+}
+
+}  // namespace binchain

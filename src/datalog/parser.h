@@ -1,0 +1,22 @@
+// Recursive-descent parser producing a Program. Comparison built-ins are
+// written infix (`AT1 < DT1`) and parsed into ordinary literals whose
+// predicate symbol is the operator.
+#ifndef BINCHAIN_DATALOG_PARSER_H_
+#define BINCHAIN_DATALOG_PARSER_H_
+
+#include <string_view>
+
+#include "datalog/ast.h"
+#include "util/status.h"
+
+namespace binchain {
+
+/// Parses Datalog source. All symbols are interned into `symbols`.
+Result<Program> ParseProgram(std::string_view src, SymbolTable& symbols);
+
+/// Parses a single literal such as "sg(john, Y)" (no trailing period).
+Result<Literal> ParseLiteral(std::string_view src, SymbolTable& symbols);
+
+}  // namespace binchain
+
+#endif  // BINCHAIN_DATALOG_PARSER_H_

@@ -1,0 +1,18 @@
+// Pretty-printing of AST nodes back into parseable syntax.
+#ifndef BINCHAIN_DATALOG_PRINTER_H_
+#define BINCHAIN_DATALOG_PRINTER_H_
+
+#include <string>
+
+#include "datalog/ast.h"
+
+namespace binchain {
+
+std::string TermToString(const Term& t, const SymbolTable& symbols);
+std::string LiteralToString(const Literal& lit, const SymbolTable& symbols);
+std::string RuleToString(const Rule& r, const SymbolTable& symbols);
+std::string ProgramToString(const Program& p, const SymbolTable& symbols);
+
+}  // namespace binchain
+
+#endif  // BINCHAIN_DATALOG_PRINTER_H_

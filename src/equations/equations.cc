@@ -1,0 +1,190 @@
+#include "equations/equations.h"
+
+#include "graph/tarjan.h"
+#include "util/check.h"
+
+namespace binchain {
+
+void EquationSystem::Set(SymbolId pred, RexPtr rhs) {
+  auto it = eqs_.find(pred);
+  if (it == eqs_.end()) {
+    eqs_.emplace(pred, std::move(rhs));
+    order_.push_back(pred);
+  } else {
+    it->second = std::move(rhs);
+  }
+}
+
+const RexPtr& EquationSystem::Rhs(SymbolId pred) const {
+  auto it = eqs_.find(pred);
+  BINCHAIN_CHECK(it != eqs_.end());
+  return it->second;
+}
+
+EquationSystem::Recursion EquationSystem::AnalyzeRecursion() const {
+  Recursion out;
+  std::unordered_map<SymbolId, uint32_t> node_of;
+  std::vector<SymbolId> pred_of;
+  for (SymbolId p : order_) {
+    node_of.emplace(p, static_cast<uint32_t>(pred_of.size()));
+    pred_of.push_back(p);
+  }
+  Digraph g(pred_of.size());
+  for (SymbolId p : order_) {
+    std::unordered_set<SymbolId> mentioned;
+    CollectPreds(Rhs(p), mentioned);
+    for (SymbolId q : mentioned) {
+      auto it = node_of.find(q);
+      if (it != node_of.end()) g.AddEdge(node_of.at(p), it->second);
+    }
+  }
+  SccResult scc = ComputeScc(g);
+  for (SymbolId p : order_) {
+    out.component.emplace(p, scc.component[node_of.at(p)]);
+    if (scc.on_cycle[node_of.at(p)]) out.recursive.insert(p);
+  }
+  for (const auto& members : scc.members) {
+    std::vector<SymbolId> cls;
+    for (uint32_t v : members) {
+      if (scc.on_cycle[v]) cls.push_back(pred_of[v]);
+    }
+    if (!cls.empty()) out.classes.push_back(std::move(cls));
+  }
+  return out;
+}
+
+std::string EquationSystem::ToString(const SymbolTable& symbols) const {
+  std::string out;
+  for (SymbolId p : order_) {
+    out += symbols.Name(p);
+    out += " = ";
+    out += RexToString(Rhs(p), symbols);
+    out += "\n";
+  }
+  return out;
+}
+
+EquationSystem InvertSystem(const EquationSystem& eqs, SymbolTable& symbols,
+                            std::unordered_map<SymbolId, SymbolId>& inverse_of) {
+  inverse_of.clear();
+  for (SymbolId p : eqs.preds()) {
+    inverse_of[p] = symbols.Intern(symbols.Name(p) + "~inv");
+  }
+  EquationSystem out;
+  for (SymbolId p : eqs.preds()) {
+    RexPtr inv = Invert(eqs.Rhs(p), [&](SymbolId q, bool inverted) {
+      auto it = inverse_of.find(q);
+      if (it != inverse_of.end()) {
+        // Derived predicate: refer to its inverted equation.
+        return Rex::Pred(it->second, false);
+      }
+      return Rex::Pred(q, !inverted);
+    });
+    out.Set(inverse_of[p], std::move(inv));
+  }
+  return out;
+}
+
+namespace {
+
+bool MentionsAnyDerived(const EquationSystem& eqs, const RexPtr& e) {
+  std::unordered_set<SymbolId> preds;
+  CollectPreds(e, preds);
+  for (SymbolId q : preds) {
+    if (eqs.IsDerived(q)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+namespace {
+
+RexPtr ExpandPiImpl(const EquationSystem& eqs, const RexPtr& e, size_t i) {
+  switch (e->kind) {
+    case Rex::Kind::kEmpty:
+    case Rex::Kind::kId:
+      return e;
+    case Rex::Kind::kPred: {
+      if (!eqs.Has(e->pred)) return e;  // base predicate
+      return ExpandPi(eqs, e->pred, i);
+    }
+    case Rex::Kind::kUnion: {
+      std::vector<RexPtr> kids;
+      for (const RexPtr& k : e->kids) kids.push_back(ExpandPiImpl(eqs, k, i));
+      return Rex::Union(std::move(kids));
+    }
+    case Rex::Kind::kConcat: {
+      std::vector<RexPtr> kids;
+      for (const RexPtr& k : e->kids) kids.push_back(ExpandPiImpl(eqs, k, i));
+      return Rex::Concat(std::move(kids));
+    }
+    case Rex::Kind::kStar:
+      return Rex::Star(ExpandPiImpl(eqs, e->kids[0], i));
+  }
+  return e;
+}
+
+}  // namespace
+
+RexPtr ExpandPi(const EquationSystem& eqs, SymbolId p, size_t i) {
+  if (i == 0) return Rex::Empty();
+  return ExpandPiImpl(eqs, eqs.Rhs(p), i - 1);
+}
+
+bool MatchLinearNormalForm(const EquationSystem& eqs, SymbolId p,
+                           LinearNormalForm* out) {
+  const RexPtr& rhs = eqs.Rhs(p);
+  std::vector<RexPtr> alts;
+  if (rhs->kind == Rex::Kind::kUnion) {
+    alts = rhs->kids;
+  } else {
+    alts.push_back(rhs);
+  }
+  std::vector<RexPtr> e0_parts;
+  RexPtr e1, e2;
+  bool seen_recursive = false;
+  for (const RexPtr& alt : alts) {
+    if (!ContainsPred(alt, p)) {
+      if (MentionsAnyDerived(eqs, alt)) return false;
+      e0_parts.push_back(alt);
+      continue;
+    }
+    if (seen_recursive) return false;  // more than one recursive alternative
+    seen_recursive = true;
+    // Expect alt = e1 . p . e2 with p occurring exactly once; e1 or e2 may be
+    // missing (identity).
+    std::vector<RexPtr> parts;
+    if (alt->kind == Rex::Kind::kConcat) {
+      parts = alt->kids;
+    } else {
+      parts.push_back(alt);
+    }
+    int p_index = -1;
+    for (size_t i = 0; i < parts.size(); ++i) {
+      if (parts[i]->IsPred(p)) {
+        if (p_index >= 0) return false;
+        p_index = static_cast<int>(i);
+      } else if (ContainsPred(parts[i], p)) {
+        return false;  // p nested below a star or union
+      }
+    }
+    if (p_index < 0) return false;
+    e1 = Rex::Concat(
+        std::vector<RexPtr>(parts.begin(), parts.begin() + p_index));
+    e2 = Rex::Concat(
+        std::vector<RexPtr>(parts.begin() + p_index + 1, parts.end()));
+    if (MentionsAnyDerived(eqs, e1) || MentionsAnyDerived(eqs, e2)) {
+      return false;
+    }
+  }
+  if (!seen_recursive) return false;
+  if (out != nullptr) {
+    out->e0 = Rex::Union(std::move(e0_parts));
+    out->e1 = e1;
+    out->e2 = e2;
+  }
+  return true;
+}
+
+}  // namespace binchain

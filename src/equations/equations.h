@@ -1,0 +1,75 @@
+// Systems of equations p = e_p over binary relational expressions, one per
+// derived predicate (Lemma 1). Includes dependency analysis over the system
+// (steps 2 and 6 of the transformation) and system inversion (used for
+// queries that bind the second argument).
+#ifndef BINCHAIN_EQUATIONS_EQUATIONS_H_
+#define BINCHAIN_EQUATIONS_EQUATIONS_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "rex/rex.h"
+#include "storage/symbol_table.h"
+#include "util/status.h"
+
+namespace binchain {
+
+class EquationSystem {
+ public:
+  EquationSystem() = default;
+
+  void Set(SymbolId pred, RexPtr rhs);
+  bool Has(SymbolId pred) const { return eqs_.count(pred) > 0; }
+  const RexPtr& Rhs(SymbolId pred) const;
+  const std::vector<SymbolId>& preds() const { return order_; }
+
+  bool IsDerived(SymbolId pred) const { return Has(pred); }
+
+  /// Maximal mutual-recursion classes of the *current* system: predicate p is
+  /// recursive iff p is reachable from p in >= 1 step of the dependency graph
+  /// (arc p -> q iff q occurs in e_p).
+  struct Recursion {
+    std::unordered_map<SymbolId, uint32_t> component;
+    std::vector<std::vector<SymbolId>> classes;  // only genuine recursive sets
+    std::unordered_set<SymbolId> recursive;      // preds on a cycle
+  };
+  Recursion AnalyzeRecursion() const;
+
+  /// Renders the whole system, one equation per line, in `order` of preds.
+  std::string ToString(const SymbolTable& symbols) const;
+
+ private:
+  std::unordered_map<SymbolId, RexPtr> eqs_;
+  std::vector<SymbolId> order_;
+};
+
+/// Builds the inverted system: for each p a fresh predicate named
+/// "<p>~inv" with e_{p~inv} = Invert(e_p), derived leaves r mapped to r~inv
+/// and base leaves flipping their inversion flag. Returns the new system and
+/// fills `inverse_of` with p -> p~inv.
+EquationSystem InvertSystem(const EquationSystem& eqs, SymbolTable& symbols,
+                            std::unordered_map<SymbolId, SymbolId>& inverse_of);
+
+/// Detects the linear normal form e_p = e0 U e1 . p . e2 (any of the parts
+/// possibly trivial; e1/e2 must not mention p or other derived predicates).
+/// Used by the counting/HN baselines and by the cyclic iteration bound.
+struct LinearNormalForm {
+  RexPtr e0;  // non-recursive alternatives
+  RexPtr e1;  // left factor
+  RexPtr e2;  // right factor
+};
+bool MatchLinearNormalForm(const EquationSystem& eqs, SymbolId p,
+                           LinearNormalForm* out);
+
+/// Lemma 2's unrolled expressions: p_0 = 0, and p_i is e_p with every
+/// derived leaf r replaced by r_{i-1}. The partial answer of the evaluation
+/// algorithm after its i-th iteration equals the answer to the query under
+/// p = p_i (Lemma 2 (1)); the sg example's Horner-rule expression sg_i is
+/// ExpandPi(eqs, sg, i).
+RexPtr ExpandPi(const EquationSystem& eqs, SymbolId p, size_t i);
+
+}  // namespace binchain
+
+#endif  // BINCHAIN_EQUATIONS_EQUATIONS_H_

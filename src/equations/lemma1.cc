@@ -1,0 +1,277 @@
+#include "equations/lemma1.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "datalog/analysis.h"
+#include "util/check.h"
+
+namespace binchain {
+namespace {
+
+/// Classification of one union alternative relative to the equation's
+/// left-hand side p.
+enum class AltShape {
+  kNoP,    // does not mention p
+  kLeft,   // p . rest   (direct left recursion; rest free of p)
+  kRight,  // rest . p   (direct right recursion; rest free of p)
+  kOther,  // p occurs nested / in the middle / several times
+};
+
+struct AltInfo {
+  AltShape shape;
+  RexPtr rest;  // the non-p factor for kLeft / kRight
+};
+
+AltInfo ClassifyAlt(const RexPtr& alt, SymbolId p) {
+  if (!ContainsPred(alt, p)) return {AltShape::kNoP, alt};
+  if (alt->IsPred(p)) return {AltShape::kLeft, Rex::Id()};  // p == p . id
+  if (alt->kind == Rex::Kind::kConcat) {
+    const auto& kids = alt->kids;
+    if (kids.front()->IsPred(p)) {
+      RexPtr rest =
+          Rex::Concat(std::vector<RexPtr>(kids.begin() + 1, kids.end()));
+      if (!ContainsPred(rest, p)) return {AltShape::kLeft, rest};
+    }
+    if (kids.back()->IsPred(p)) {
+      RexPtr rest =
+          Rex::Concat(std::vector<RexPtr>(kids.begin(), kids.end() - 1));
+      if (!ContainsPred(rest, p)) return {AltShape::kRight, rest};
+    }
+  }
+  return {AltShape::kOther, nullptr};
+}
+
+std::vector<RexPtr> UnionAlternatives(const RexPtr& e) {
+  if (e->kind == Rex::Kind::kUnion) return e->kids;
+  if (e->IsEmpty()) return {};
+  return {e};
+}
+
+/// Steps 3+4 for a single equation: group direct left/right recursion and
+/// eliminate it with the star construction. Mixed or nested self-occurrences
+/// are left alone (they are nonregular and are handled at evaluation time by
+/// the EM(p, i) expansion).
+RexPtr EliminateDirectRecursion(SymbolId p, const RexPtr& rhs) {
+  std::vector<RexPtr> e0_parts, left_rests, right_rests;
+  bool other = false;
+  for (const RexPtr& alt : UnionAlternatives(rhs)) {
+    AltInfo info = ClassifyAlt(alt, p);
+    switch (info.shape) {
+      case AltShape::kNoP:
+        e0_parts.push_back(alt);
+        break;
+      case AltShape::kLeft:
+        left_rests.push_back(info.rest);
+        break;
+      case AltShape::kRight:
+        right_rests.push_back(info.rest);
+        break;
+      case AltShape::kOther:
+        other = true;
+        break;
+    }
+  }
+  if (other || (left_rests.empty() && right_rests.empty()) ||
+      (!left_rests.empty() && !right_rests.empty())) {
+    return rhs;  // nothing to do / not a one-sided direct recursion
+  }
+  RexPtr e0 = Rex::Union(std::move(e0_parts));
+  if (!left_rests.empty()) {
+    // p = e0 U p.(f1 U ... U fm)  =>  p = e0 . (f1 U ... U fm)*
+    return Rex::Concat2(e0, Rex::Star(Rex::Union(std::move(left_rests))));
+  }
+  // p = e0 U (f1 U ... U fm).p  =>  p = (f1 U ... U fm)* . e0
+  return Rex::Concat2(Rex::Star(Rex::Union(std::move(right_rests))), e0);
+}
+
+}  // namespace
+
+Result<EquationSystem> BuildInitialEquations(const Program& program,
+                                             const SymbolTable& symbols) {
+  ProgramAnalysis analysis(program, symbols);
+  if (!analysis.IsBinaryChainProgram()) {
+    return Status::Unsupported(
+        "Lemma 1 requires a binary-chain program (all predicates binary, "
+        "all rules chain rules)");
+  }
+  if (!analysis.IsLinearProgram()) {
+    return Status::Unsupported("Lemma 1 requires a linear program");
+  }
+  EquationSystem eqs;
+  // Group rules per head predicate in first-appearance order.
+  std::vector<SymbolId> heads = program.DerivedPredicates();
+  for (SymbolId p : heads) {
+    std::vector<RexPtr> alts;
+    for (const Rule& r : program.rules) {
+      if (r.head.predicate != p) continue;
+      std::vector<RexPtr> parts;
+      for (const Literal& lit : r.body) {
+        parts.push_back(Rex::Pred(lit.predicate));
+      }
+      alts.push_back(Rex::Concat(std::move(parts)));  // empty body => id
+    }
+    eqs.Set(p, Rex::Union(std::move(alts)));
+  }
+  return eqs;
+}
+
+Result<Lemma1Result> TransformToEquations(const Program& program,
+                                          const SymbolTable& symbols) {
+  auto initial = BuildInitialEquations(program, symbols);
+  if (!initial.ok()) return initial.status();
+
+  Lemma1Result result;
+  result.initial = initial.take();
+  EquationSystem sys = result.initial;
+
+  // Step 2: mutual recursion in the *initial* system, used by step 5.
+  EquationSystem::Recursion initial_rec = result.initial.AnalyzeRecursion();
+  auto initially_mutually_recursive = [&](SymbolId p, SymbolId q) {
+    if (!initial_rec.recursive.count(p) || !initial_rec.recursive.count(q)) {
+      return false;
+    }
+    return initial_rec.component.at(p) == initial_rec.component.at(q);
+  };
+
+  const size_t kMaxIterations = 1000;
+  std::string prev_snapshot;
+  for (size_t iter = 0; iter < kMaxIterations; ++iter) {
+    result.iterations = iter;
+    std::string snapshot = sys.ToString(symbols);
+    if (snapshot == prev_snapshot) break;
+    prev_snapshot = snapshot;
+
+    // Steps 3 + 4: eliminate one-sided direct recursion.
+    for (SymbolId p : sys.preds()) {
+      sys.Set(p, EliminateDirectRecursion(p, sys.Rhs(p)));
+    }
+
+    // Step 5: substitute predicates whose RHS mentions nothing initially
+    // mutually recursive to them into all other equations.
+    for (SymbolId p : sys.preds()) {
+      std::unordered_set<SymbolId> mentioned;
+      CollectPreds(sys.Rhs(p), mentioned);
+      bool eliminable = true;
+      for (SymbolId q : mentioned) {
+        if (initially_mutually_recursive(p, q)) {
+          eliminable = false;
+          break;
+        }
+      }
+      if (!eliminable) continue;
+      for (SymbolId q : sys.preds()) {
+        if (q == p) continue;
+        sys.Set(q, SubstitutePred(sys.Rhs(q), p, sys.Rhs(p)));
+      }
+    }
+
+    // Step 6: recompute mutual recursion on the current system.
+    EquationSystem::Recursion rec = sys.AnalyzeRecursion();
+
+    // Step 7: inside each maximal mutually recursive set, eliminate one
+    // predicate whose equation does not mention itself.
+    std::unordered_map<SymbolId, size_t> decl_index;
+    for (size_t i = 0; i < sys.preds().size(); ++i) {
+      decl_index[sys.preds()[i]] = i;
+    }
+    for (std::vector<SymbolId> cls : rec.classes) {
+      if (cls.size() < 2) continue;  // single self-recursive pred: nothing
+      std::sort(cls.begin(), cls.end(), [&](SymbolId a, SymbolId b) {
+        return decl_index.at(a) < decl_index.at(b);
+      });
+      SymbolId best = 0;
+      bool found = false;
+      size_t best_cost = 0;
+      for (SymbolId p : cls) {
+        if (ContainsPred(sys.Rhs(p), p)) continue;
+        // Heuristic from the paper: prefer the equation with the fewest
+        // occurrences of derived predicates; break ties towards the latest
+        // declared predicate (this reproduces the worked example).
+        size_t cost = 0;
+        const RexPtr& rhs = sys.Rhs(p);
+        for (SymbolId q : sys.preds()) cost += CountPred(rhs, q);
+        if (!found || cost <= best_cost) {
+          best = p;
+          best_cost = cost;
+          found = true;
+        }
+      }
+      if (!found) continue;
+      for (SymbolId q : cls) {
+        if (q == best) continue;
+        sys.Set(q, SubstitutePred(sys.Rhs(q), best, sys.Rhs(best)));
+      }
+    }
+
+    // Step 8: distribute concatenation over unions that mention a predicate
+    // mutually recursive to the left-hand side.
+    rec = sys.AnalyzeRecursion();
+    for (SymbolId p : sys.preds()) {
+      if (!rec.recursive.count(p)) continue;
+      std::unordered_set<SymbolId> targets;
+      for (SymbolId q : sys.preds()) {
+        if (rec.recursive.count(q) &&
+            rec.component.at(q) == rec.component.at(p)) {
+          targets.insert(q);
+        }
+      }
+      sys.Set(p, DistributeOverUnion(sys.Rhs(p), targets));
+    }
+  }
+
+  result.final_system = std::move(sys);
+  return result;
+}
+
+Status VerifyLemma1Statements(const Program& program,
+                              const SymbolTable& symbols,
+                              const Lemma1Result& result) {
+  ProgramAnalysis analysis(program, symbols);
+  const EquationSystem& sys = result.final_system;
+
+  // Statement (1).
+  std::vector<SymbolId> derived = program.DerivedPredicates();
+  if (derived.size() != sys.preds().size()) {
+    return Status::Internal("statement (1): equation count mismatch");
+  }
+  for (SymbolId p : derived) {
+    if (!sys.Has(p)) {
+      return Status::Internal("statement (1): missing equation for '" +
+                              symbols.Name(p) + "'");
+    }
+  }
+
+  bool regular_program = analysis.IsRegularProgram();
+  for (SymbolId p : derived) {
+    std::unordered_set<SymbolId> mentioned;
+    CollectPreds(sys.Rhs(p), mentioned);
+    for (SymbolId q : mentioned) {
+      if (!sys.Has(q)) continue;  // base predicate
+      // Statement (5).
+      if (regular_program) {
+        return Status::Internal(
+            "statement (5): derived predicate '" + symbols.Name(q) +
+            "' left in a regular program's equation for '" +
+            symbols.Name(p) + "'");
+      }
+      // Statement (3). Non-recursive derived predicates are vacuously
+      // regular and must be eliminated too.
+      if (analysis.IsRegularPredicate(q)) {
+        return Status::Internal("statement (3): regular derived predicate '" +
+                                symbols.Name(q) + "' occurs in e_" +
+                                symbols.Name(p));
+      }
+      // Statement (4).
+      if (analysis.IsRegularPredicate(p) && analysis.MutuallyRecursive(p, q)) {
+        return Status::Internal(
+            "statement (4): equation of regular predicate '" +
+            symbols.Name(p) + "' mentions mutually recursive '" +
+            symbols.Name(q) + "'");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace binchain

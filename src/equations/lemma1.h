@@ -1,0 +1,56 @@
+// Lemma 1: transformation of a linear binary-chain Datalog program into a
+// system of equations p = e_p over U, ., * such that (statements of the
+// lemma):
+//   (1) exactly one equation per derived predicate;
+//   (3) no right-hand side contains a regular derived predicate;
+//   (4) if p is regular, e_p contains no argument mutually recursive to p;
+//   (5) for a regular program, right-hand sides contain only base predicates;
+//   (6) if every nonregular predicate has at most one recursive rule, each
+//       e_p contains at most one occurrence of a predicate mutually
+//       recursive to p;
+//   (7) the least solution equals the program's semantics.
+//
+// The implementation follows the paper's steps 1-9 literally, with the
+// deterministic step-7 heuristic "fewest derived occurrences, ties broken by
+// latest declaration" (which reproduces the paper's worked example).
+#ifndef BINCHAIN_EQUATIONS_LEMMA1_H_
+#define BINCHAIN_EQUATIONS_LEMMA1_H_
+
+#include "datalog/ast.h"
+#include "equations/equations.h"
+#include "util/status.h"
+
+namespace binchain {
+
+/// Step 1 only: the initial equation system (one union alternative per rule,
+/// concatenating the body predicates; an empty chain body contributes `id`).
+/// Fails if the program is not a linear binary-chain program.
+Result<EquationSystem> BuildInitialEquations(const Program& program,
+                                             const SymbolTable& symbols);
+
+struct Lemma1Result {
+  EquationSystem initial;
+  EquationSystem final_system;
+  size_t iterations = 0;
+};
+
+/// Full Lemma 1 transformation (steps 1-9).
+Result<Lemma1Result> TransformToEquations(const Program& program,
+                                          const SymbolTable& symbols);
+
+/// Checks the structural statements of Lemma 1 on a transformation result:
+/// (1) one equation per derived predicate of `program`;
+/// (3) no right-hand side mentions a regular derived predicate;
+/// (4) a regular predicate's right-hand side mentions nothing mutually
+///     recursive to it (in the initial system);
+/// (5) if the program is regular, right-hand sides mention only base
+///     predicates.
+/// Returns OK or a message naming the violated statement (used by the
+/// property tests on randomly generated programs).
+Status VerifyLemma1Statements(const Program& program,
+                              const SymbolTable& symbols,
+                              const Lemma1Result& result);
+
+}  // namespace binchain
+
+#endif  // BINCHAIN_EQUATIONS_LEMMA1_H_

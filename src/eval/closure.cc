@@ -1,0 +1,87 @@
+#include "eval/closure.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "graph/digraph.h"
+#include "graph/tarjan.h"
+
+namespace binchain {
+
+Result<std::vector<std::pair<TermId, TermId>>> TransitiveClosureAllPairs(
+    BinaryRelationView* view, ClosureStats* stats) {
+  ClosureStats local;
+  ClosureStats& st = (stats != nullptr) ? *stats : local;
+  st = ClosureStats{};
+  if (view == nullptr) return Status::InvalidArgument("null view");
+  if (!view->SupportsEnumerate()) {
+    return Status::Unsupported(
+        "all-pairs closure requires an enumerable relation");
+  }
+
+  // Collect terms and build the dense graph.
+  std::unordered_map<TermId, uint32_t> index;
+  std::vector<TermId> terms;
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  auto node = [&](TermId t) {
+    auto it = index.find(t);
+    if (it != index.end()) return it->second;
+    uint32_t id = static_cast<uint32_t>(terms.size());
+    index.emplace(t, id);
+    terms.push_back(t);
+    return id;
+  };
+  view->ForEachPair(
+      [&](TermId u, TermId v) { edges.emplace_back(node(u), node(v)); });
+  Digraph g(terms.size());
+  for (auto [u, v] : edges) g.AddEdge(u, v);
+  st.nodes = terms.size();
+
+  SccResult scc = ComputeScc(g);
+  st.components = scc.num_components;
+
+  // Condensation edges, deduplicated.
+  std::vector<std::vector<uint32_t>> csucc(scc.num_components);
+  for (auto [u, v] : edges) {
+    uint32_t cu = scc.component[u];
+    uint32_t cv = scc.component[v];
+    if (cu != cv) csucc[cu].push_back(cv);
+  }
+  for (auto& s : csucc) {
+    std::sort(s.begin(), s.end());
+    s.erase(std::unique(s.begin(), s.end()), s.end());
+  }
+
+  // Tarjan emits components in reverse topological order: successors of a
+  // component have smaller ids, so a single ascending pass merges descendant
+  // sets bottom-up.
+  std::vector<std::vector<uint32_t>> desc(scc.num_components);
+  for (uint32_t c = 0; c < scc.num_components; ++c) {
+    std::vector<uint32_t>& d = desc[c];
+    if (scc.members[c].size() > 1 || scc.on_cycle[scc.members[c][0]]) {
+      d.push_back(c);  // cyclic component reaches itself
+    }
+    for (uint32_t s : csucc[c]) {
+      d.push_back(s);
+      d.insert(d.end(), desc[s].begin(), desc[s].end());
+    }
+    std::sort(d.begin(), d.end());
+    d.erase(std::unique(d.begin(), d.end()), d.end());
+  }
+
+  std::vector<std::pair<TermId, TermId>> out;
+  for (uint32_t c = 0; c < scc.num_components; ++c) {
+    for (uint32_t u : scc.members[c]) {
+      for (uint32_t dc : desc[c]) {
+        for (uint32_t v : scc.members[dc]) {
+          out.emplace_back(terms[u], terms[v]);
+        }
+      }
+    }
+  }
+  st.pair_count = out.size();
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace binchain

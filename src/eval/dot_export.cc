@@ -1,0 +1,58 @@
+#include "eval/dot_export.h"
+
+#include <unordered_set>
+
+namespace binchain {
+
+std::string NfaToDot(const Nfa& nfa, const SymbolTable& symbols,
+                     const std::string& name) {
+  std::string out = "digraph " + name + " {\n  rankdir=LR;\n";
+  out += "  q" + std::to_string(nfa.initial()) + " [shape=circle, style=bold];\n";
+  out += "  q" + std::to_string(nfa.final()) + " [shape=doublecircle];\n";
+  for (uint32_t s = 0; s < nfa.NumStates(); ++s) {
+    for (const NfaTransition& t : nfa.Out(s)) {
+      out += "  q" + std::to_string(s) + " -> q" + std::to_string(t.target);
+      switch (t.label.kind) {
+        case NfaLabel::Kind::kId:
+          out += " [label=\"id\", style=dashed]";
+          break;
+        case NfaLabel::Kind::kRel:
+          out += " [label=\"" + symbols.Name(t.label.pred) +
+                 (t.label.inverted ? "^-1" : "") + "\"]";
+          break;
+        case NfaLabel::Kind::kDerived:
+          out += " [label=\"[" + symbols.Name(t.label.pred) +
+                 "]\", color=red]";
+          break;
+      }
+      out += ";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string EquationDependenciesToDot(const EquationSystem& eqs,
+                                      const SymbolTable& symbols,
+                                      const std::string& name) {
+  EquationSystem::Recursion rec = eqs.AnalyzeRecursion();
+  std::string out = "digraph " + name + " {\n";
+  for (SymbolId p : eqs.preds()) {
+    out += "  \"" + symbols.Name(p) + "\"";
+    if (rec.recursive.count(p)) out += " [peripheries=2]";
+    out += ";\n";
+  }
+  for (SymbolId p : eqs.preds()) {
+    std::unordered_set<SymbolId> mentioned;
+    CollectPreds(eqs.Rhs(p), mentioned);
+    for (SymbolId q : mentioned) {
+      if (!eqs.Has(q)) continue;
+      out += "  \"" + symbols.Name(p) + "\" -> \"" + symbols.Name(q) +
+             "\";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace binchain

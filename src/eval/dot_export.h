@@ -1,0 +1,28 @@
+// Graphviz (DOT) rendering of the structures the paper draws as figures:
+// automata M(e) / EM(p, i) (Figures 1, 2, 6) and the predicate dependency
+// graph of an equation system (the graph of Lemma 1, step 2).
+#ifndef BINCHAIN_EVAL_DOT_EXPORT_H_
+#define BINCHAIN_EVAL_DOT_EXPORT_H_
+
+#include <string>
+
+#include "automata/nfa.h"
+#include "equations/equations.h"
+
+namespace binchain {
+
+/// DOT digraph of an automaton; id-transitions drawn dashed, derived
+/// predicates in brackets (as in Figure 1).
+std::string NfaToDot(const Nfa& nfa, const SymbolTable& symbols,
+                     const std::string& name = "M");
+
+/// DOT digraph of the dependency graph of an equation system: an arc p -> q
+/// whenever q occurs in e_p. Recursive predicates are drawn with doubled
+/// borders.
+std::string EquationDependenciesToDot(const EquationSystem& eqs,
+                                      const SymbolTable& symbols,
+                                      const std::string& name = "deps");
+
+}  // namespace binchain
+
+#endif  // BINCHAIN_EVAL_DOT_EXPORT_H_

@@ -1,0 +1,196 @@
+#include "eval/engine.h"
+
+#include <algorithm>
+
+#include "eval/rex_image.h"
+#include "util/check.h"
+
+namespace binchain {
+namespace {
+
+uint64_t NodeKey(uint32_t state, TermId term) {
+  return (static_cast<uint64_t>(state) << 32) | term;
+}
+
+}  // namespace
+
+Engine::Engine(const EquationSystem* eqs, ViewRegistry* views)
+    : eqs_(eqs), views_(views) {}
+
+Result<const Nfa*> Engine::Machine(SymbolId pred) {
+  auto it = machines_.find(pred);
+  if (it != machines_.end()) return Result<const Nfa*>(&it->second);
+  if (!eqs_->Has(pred)) {
+    return Status::NotFound("no equation for predicate '" +
+                            views_->symbols().Name(pred) + "'");
+  }
+  // Validate that every non-derived leaf has a registered view.
+  std::unordered_set<SymbolId> preds;
+  CollectPreds(eqs_->Rhs(pred), preds);
+  for (SymbolId q : preds) {
+    if (!eqs_->Has(q) && views_->Find(q) == nullptr) {
+      return Status::NotFound("no relation view registered for '" +
+                              views_->symbols().Name(q) + "'");
+    }
+  }
+  Nfa nfa = BuildNfa(eqs_->Rhs(pred),
+                     [this](SymbolId q) { return eqs_->Has(q); });
+  auto [mit, _] = machines_.emplace(pred, std::move(nfa));
+  return Result<const Nfa*>(&mit->second);
+}
+
+Result<size_t> Engine::CyclicIterationBound(SymbolId pred, TermId source) {
+  LinearNormalForm nf;
+  if (!MatchLinearNormalForm(*eqs_, pred, &nf)) {
+    return Status::FailedPrecondition(
+        "cyclic iteration bound requires the form p = e0 U e1.p.e2");
+  }
+  // D1: nodes accessible from the query constant through e1.
+  auto d1 = ClosureUnderRex(*views_, nf.e1, {source});
+  if (!d1.ok()) return d1.status();
+  // D2: nodes accessible through e2 from the e0-images of D1.
+  auto landings = ImageUnderRex(*views_, nf.e0, d1.value());
+  if (!landings.ok()) return landings.status();
+  auto d2 = ClosureUnderRex(*views_, nf.e2, landings.value());
+  if (!d2.ok()) return d2.status();
+  size_t b1 = std::max<size_t>(1, d1.value().size());
+  size_t b2 = std::max<size_t>(1, d2.value().size());
+  return b1 * b2;
+}
+
+Result<std::vector<TermId>> Engine::EvalFrom(SymbolId pred, TermId source,
+                                             const EvalOptions& options,
+                                             EvalStats* stats) {
+  EvalStats local;
+  EvalStats& st = (stats != nullptr) ? *stats : local;
+  st = EvalStats{};
+
+  auto machine = Machine(pred);
+  if (!machine.ok()) return machine.status();
+
+  size_t iteration_cap = options.max_iterations;
+  if (options.use_cyclic_bound) {
+    auto bound = CyclicIterationBound(pred, source);
+    if (!bound.ok()) return bound.status();
+    if (iteration_cap == 0 || bound.value() < iteration_cap) {
+      iteration_cap = bound.value();
+    }
+  }
+
+  // EM := a copy of M(e_p). The final state of this copy stays the final
+  // state of every EM(p, i).
+  Nfa em;
+  uint32_t off = em.SpliceCopy(*machine.value());
+  em.set_initial(machine.value()->initial() + off);
+  em.set_final(machine.value()->final() + off);
+
+  std::unordered_set<uint64_t> g;  // the node set of G(p, a, i)
+  std::vector<TermId> answers;
+  std::unordered_set<TermId> answer_set;
+
+  // Continuation points of the current iteration, grouped by state.
+  std::unordered_map<uint32_t, std::vector<TermId>> c_by_state;
+  std::unordered_set<uint64_t> c_set;
+
+  std::vector<std::pair<uint32_t, TermId>> stack;
+
+  auto try_insert = [&](uint32_t q, TermId u) {
+    if (!g.insert(NodeKey(q, u)).second) return;
+    ++st.nodes;
+    if (q == em.final() && answer_set.insert(u).second) answers.push_back(u);
+    stack.emplace_back(q, u);
+  };
+
+  Status view_error = Status::Ok();
+  auto traverse = [&]() {
+    while (!stack.empty()) {
+      auto [q, u] = stack.back();
+      stack.pop_back();
+      for (const NfaTransition& t : em.Out(q)) {
+        switch (t.label.kind) {
+          case NfaLabel::Kind::kId:
+            ++st.arcs;
+            try_insert(t.target, u);
+            break;
+          case NfaLabel::Kind::kRel: {
+            BinaryRelationView* view = views_->Find(t.label.pred);
+            if (view == nullptr) {
+              view_error = Status::NotFound(
+                  "no relation view registered for '" +
+                  views_->symbols().Name(t.label.pred) + "'");
+              return;
+            }
+            auto emit = [&](TermId v) {
+              ++st.arcs;
+              try_insert(t.target, v);
+            };
+            if (t.label.inverted) {
+              if (!view->SupportsBackward()) {
+                view_error = Status::Unsupported(
+                    "view '" + views_->symbols().Name(t.label.pred) +
+                    "' does not support inverse enumeration");
+                return;
+              }
+              view->ForEachPred(u, emit);
+            } else {
+              view->ForEachSucc(u, emit);
+            }
+            break;
+          }
+          case NfaLabel::Kind::kDerived: {
+            if (c_set.insert(NodeKey(q, u)).second) {
+              c_by_state[q].push_back(u);
+              ++st.continuations;
+            }
+            break;
+          }
+        }
+      }
+    }
+  };
+
+  // Starting point of the first traversal: (q_s, a).
+  std::vector<std::pair<uint32_t, TermId>> s = {{em.initial(), source}};
+
+  while (true) {
+    c_by_state.clear();
+    c_set.clear();
+    for (auto [q, u] : s) try_insert(q, u);
+    traverse();
+    if (!view_error.ok()) return view_error;
+    ++st.iterations;
+    st.answers_per_iteration.push_back(answers.size());
+    s.clear();
+    if (c_by_state.empty()) break;  // C = 0: done
+    if (iteration_cap != 0 && st.iterations >= iteration_cap) {
+      st.hit_iteration_cap = true;
+      break;
+    }
+    // Expansion: replace every derived transition leaving a state with
+    // continuation points by a fresh copy of the corresponding machine.
+    for (auto& [q, terms] : c_by_state) {
+      // Collect the derived transitions of q first; expansion mutates em.
+      std::vector<NfaTransition> derived;
+      for (const NfaTransition& t : em.Out(q)) {
+        if (t.label.kind == NfaLabel::Kind::kDerived) derived.push_back(t);
+      }
+      for (const NfaTransition& t : derived) {
+        auto sub = Machine(t.label.pred);
+        if (!sub.ok()) return sub.status();
+        uint32_t sub_off = em.SpliceCopy(*sub.value());
+        uint32_t qs = sub.value()->initial() + sub_off;
+        uint32_t qf = sub.value()->final() + sub_off;
+        em.AddTransition(q, NfaLabel::Id(), qs);
+        em.AddTransition(qf, NfaLabel::Id(), t.target);
+        BINCHAIN_CHECK(em.RemoveDerivedTransition(q, t.label.pred, t.target));
+        ++st.expansions;
+        for (TermId u : terms) s.emplace_back(qs, u);
+      }
+    }
+  }
+  st.em_states = em.NumStates();
+  std::sort(answers.begin(), answers.end());
+  return answers;
+}
+
+}  // namespace binchain

@@ -1,0 +1,86 @@
+// The paper's evaluation algorithm (Figures 4 and 5).
+//
+// Given an equation system p = e_p (Lemma 1) and a query p(a, Y), the engine
+// traverses the interpretation graph G(p, a, i): nodes are pairs
+// (automaton state, term), constructed by demand. Iteration i is controlled
+// by the automaton EM(p, i); between iterations every derived-predicate
+// transition that gathered continuation points is replaced by a fresh copy
+// of the corresponding machine M(e_r). The run stops when an iteration adds
+// no continuation points (C = 0), when the iteration cap is reached, or —
+// for cyclic data — when the |D1|*|D2| bound of Marchetti-Spaccamela et al.
+// is exhausted.
+//
+// Only the *nodes* of G are stored, never its arcs (Section 3: "the arcs of
+// the graph need not be stored at all").
+#ifndef BINCHAIN_EVAL_ENGINE_H_
+#define BINCHAIN_EVAL_ENGINE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "automata/nfa.h"
+#include "equations/equations.h"
+#include "eval/relation_view.h"
+#include "util/status.h"
+
+namespace binchain {
+
+struct EvalStats {
+  uint64_t nodes = 0;        // |G|: (state, term) pairs created
+  uint64_t arcs = 0;         // arc traversals (edge enumerations)
+  uint64_t iterations = 0;   // main-loop iterations performed
+  uint64_t expansions = 0;   // machine copies spliced into EM
+  uint64_t continuations = 0;  // continuation points gathered overall
+  uint64_t em_states = 0;    // final size of EM(p, h)
+  bool hit_iteration_cap = false;
+
+  /// Cumulative answer-set size after each iteration (Lemma 2: the partial
+  /// answer after iteration i equals the answer of p defined by p = p_i).
+  /// On Figure 8's cyclic data the trace shows the paper's "periodically m
+  /// successive iterations during which nothing new is added".
+  std::vector<uint64_t> answers_per_iteration;
+};
+
+struct EvalOptions {
+  /// Hard cap on main-loop iterations; 0 = none (terminate on C = 0 only).
+  size_t max_iterations = 0;
+
+  /// If set, compute the cyclic termination bound |D1| * |D2| for equations
+  /// of the form p = e0 U e1.p.e2 and stop after that many iterations even
+  /// if C stays nonempty. Required for cyclic databases (Figure 8).
+  bool use_cyclic_bound = false;
+
+  /// All-free queries p(X, Y) over pure-closure equations (e*.e or e.e*)
+  /// normally share traversal work through one Tarjan condensation pass
+  /// (Section 3 end, citing [21]). Set to force per-source evaluation
+  /// instead (the ablation).
+  bool disable_closure_sharing = false;
+};
+
+class Engine {
+ public:
+  /// `eqs` and `views` must outlive the engine.
+  Engine(const EquationSystem* eqs, ViewRegistry* views);
+
+  /// Answers p(a, Y): the set of terms y with (a, y) in the relation p.
+  Result<std::vector<TermId>> EvalFrom(SymbolId pred, TermId source,
+                                       const EvalOptions& options,
+                                       EvalStats* stats);
+
+  /// The compiled machine M(e_p) (built on first use). Exposed for the
+  /// figure-dump example and tests.
+  Result<const Nfa*> Machine(SymbolId pred);
+
+ private:
+  Result<size_t> CyclicIterationBound(SymbolId pred, TermId source);
+
+  const EquationSystem* eqs_;
+  ViewRegistry* views_;
+  std::unordered_map<SymbolId, Nfa> machines_;
+};
+
+}  // namespace binchain
+
+#endif  // BINCHAIN_EVAL_ENGINE_H_

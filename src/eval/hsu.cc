@@ -1,0 +1,97 @@
+#include "eval/hsu.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "automata/nfa.h"
+
+namespace binchain {
+namespace {
+
+uint64_t NodeKey(uint32_t state, TermId term) {
+  return (static_cast<uint64_t>(state) << 32) | term;
+}
+
+}  // namespace
+
+Result<std::vector<TermId>> HsuEvaluate(const EquationSystem& eqs,
+                                        ViewRegistry& views, SymbolId pred,
+                                        TermId source, HsuStats* stats) {
+  HsuStats local;
+  HsuStats& st = (stats != nullptr) ? *stats : local;
+  st = HsuStats{};
+
+  if (!eqs.Has(pred)) return Status::NotFound("no equation for predicate");
+  const RexPtr& rhs = eqs.Rhs(pred);
+  std::unordered_set<SymbolId> preds;
+  CollectPreds(rhs, preds);
+  for (SymbolId q : preds) {
+    if (eqs.Has(q)) {
+      return Status::Unsupported(
+          "HSU preconstruction handles only regular equations "
+          "(no derived predicates in the right-hand side)");
+    }
+    if (views.Find(q) == nullptr) {
+      return Status::NotFound("no relation view registered");
+    }
+    if (!views.Find(q)->SupportsEnumerate()) {
+      return Status::Unsupported("HSU requires enumerable relations");
+    }
+  }
+
+  Nfa nfa = BuildNfa(rhs, [](SymbolId) { return false; });
+
+  // Preconstruct: one arc per tuple per relation-labelled transition.
+  std::unordered_map<uint64_t, std::vector<uint64_t>> arcs;
+  std::vector<std::pair<uint32_t, uint32_t>> id_arcs;  // state -> state
+  for (uint32_t q = 0; q < nfa.NumStates(); ++q) {
+    for (const NfaTransition& t : nfa.Out(q)) {
+      if (t.label.kind == NfaLabel::Kind::kId) {
+        id_arcs.emplace_back(q, t.target);
+        continue;
+      }
+      BinaryRelationView* view = views.Find(t.label.pred);
+      view->ForEachPair([&](TermId u, TermId v) {
+        if (t.label.inverted) std::swap(u, v);
+        arcs[NodeKey(q, u)].push_back(NodeKey(t.target, v));
+        ++st.preconstructed_arcs;
+      });
+    }
+  }
+  std::unordered_map<uint32_t, std::vector<uint32_t>> id_out;
+  for (auto [a, b] : id_arcs) id_out[a].push_back(b);
+
+  // Reachability from (q_s, a).
+  std::unordered_set<uint64_t> seen;
+  std::vector<uint64_t> stack;
+  std::vector<TermId> answers;
+  std::unordered_set<TermId> answer_set;
+  auto visit = [&](uint64_t key) {
+    if (!seen.insert(key).second) return;
+    ++st.visited_nodes;
+    uint32_t q = static_cast<uint32_t>(key >> 32);
+    TermId u = static_cast<TermId>(key & 0xffffffffu);
+    if (q == nfa.final() && answer_set.insert(u).second) answers.push_back(u);
+    stack.push_back(key);
+  };
+  visit(NodeKey(nfa.initial(), source));
+  while (!stack.empty()) {
+    uint64_t key = stack.back();
+    stack.pop_back();
+    uint32_t q = static_cast<uint32_t>(key >> 32);
+    TermId u = static_cast<TermId>(key & 0xffffffffu);
+    auto it = arcs.find(key);
+    if (it != arcs.end()) {
+      for (uint64_t next : it->second) visit(next);
+    }
+    auto idit = id_out.find(q);
+    if (idit != id_out.end()) {
+      for (uint32_t q2 : idit->second) visit(NodeKey(q2, u));
+    }
+  }
+  std::sort(answers.begin(), answers.end());
+  return answers;
+}
+
+}  // namespace binchain

@@ -1,0 +1,32 @@
+// The original Hunt-Szymanski-Ullman style evaluation (the paper's starting
+// point, described as "impractical" in Section 3): the entire graph G(p) is
+// *preconstructed* from the expression — one copy of every tuple of every
+// argument-relation occurrence — and the query p(a, Y) is then answered by a
+// plain reachability search. Serves as the ablation baseline for the
+// demand-driven engine (same answers; far more facts touched).
+//
+// Only regular equations (no derived predicates in e_p) are supported,
+// matching the scope of the original algorithm.
+#ifndef BINCHAIN_EVAL_HSU_H_
+#define BINCHAIN_EVAL_HSU_H_
+
+#include <vector>
+
+#include "equations/equations.h"
+#include "eval/relation_view.h"
+#include "util/status.h"
+
+namespace binchain {
+
+struct HsuStats {
+  uint64_t preconstructed_arcs = 0;  // arcs materialized up front
+  uint64_t visited_nodes = 0;        // nodes touched by the reachability pass
+};
+
+Result<std::vector<TermId>> HsuEvaluate(const EquationSystem& eqs,
+                                        ViewRegistry& views, SymbolId pred,
+                                        TermId source, HsuStats* stats);
+
+}  // namespace binchain
+
+#endif  // BINCHAIN_EVAL_HSU_H_

@@ -1,0 +1,179 @@
+#include "eval/join.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace binchain {
+
+bool EvalBuiltin(Builtin op, SymbolId lhs, SymbolId rhs,
+                 const SymbolTable& symbols) {
+  auto li = symbols.IntValue(lhs);
+  auto ri = symbols.IntValue(rhs);
+  int cmp;
+  if (li.has_value() && ri.has_value()) {
+    cmp = (*li < *ri) ? -1 : (*li > *ri ? 1 : 0);
+  } else {
+    cmp = symbols.Name(lhs).compare(symbols.Name(rhs));
+    cmp = (cmp < 0) ? -1 : (cmp > 0 ? 1 : 0);
+  }
+  switch (op) {
+    case Builtin::kLt:
+      return cmp < 0;
+    case Builtin::kLe:
+      return cmp <= 0;
+    case Builtin::kGt:
+      return cmp > 0;
+    case Builtin::kGe:
+      return cmp >= 0;
+    case Builtin::kEq:
+      return cmp == 0;
+    case Builtin::kNe:
+      return cmp != 0;
+  }
+  return false;
+}
+
+namespace {
+
+struct Matcher {
+  const RelationResolver& resolve;
+  const SymbolTable& symbols;
+  const std::vector<Literal>& body;
+  const std::function<void(const Binding&)>& fn;
+  std::vector<bool> done;
+  Binding& binding;
+  Status status = Status::Ok();
+
+  bool IsGround(const Literal& lit) const {
+    for (const Term& t : lit.args) {
+      if (t.IsVar() && !binding.count(t.symbol)) return false;
+    }
+    return true;
+  }
+
+  SymbolId ValueOf(const Term& t) const {
+    return t.IsConst() ? t.symbol : binding.at(t.symbol);
+  }
+
+  size_t BoundArgCount(const Literal& lit) const {
+    size_t n = 0;
+    for (const Term& t : lit.args) {
+      if (t.IsConst() || binding.count(t.symbol)) ++n;
+    }
+    return n;
+  }
+
+  void Run(size_t remaining) {
+    if (!status.ok()) return;
+    if (remaining == 0) {
+      fn(binding);
+      return;
+    }
+    // Fire any ground built-in first (cheap filter).
+    for (size_t i = 0; i < body.size(); ++i) {
+      if (done[i]) continue;
+      auto op = BuiltinFromName(symbols.Name(body[i].predicate));
+      if (!op.has_value() || !IsGround(body[i])) continue;
+      if (!EvalBuiltin(*op, ValueOf(body[i].args[0]), ValueOf(body[i].args[1]),
+                       symbols)) {
+        return;  // comparison failed: prune this branch
+      }
+      done[i] = true;
+      Run(remaining - 1);
+      done[i] = false;
+      return;
+    }
+    // Choose the most-bound non-built-in literal.
+    size_t best = body.size();
+    size_t best_bound = 0;
+    for (size_t i = 0; i < body.size(); ++i) {
+      if (done[i]) continue;
+      if (BuiltinFromName(symbols.Name(body[i].predicate)).has_value()) {
+        continue;
+      }
+      size_t b = BoundArgCount(body[i]);
+      if (best == body.size() || b > best_bound) {
+        best = i;
+        best_bound = b;
+      }
+    }
+    if (best == body.size()) {
+      // Only non-ground built-ins remain: the rule is unsafe.
+      status = Status::InvalidArgument(
+          "unsafe conjunction: built-in with unbound argument");
+      return;
+    }
+    const Literal& lit = body[best];
+    const Relation* rel = resolve(lit.predicate);
+    if (rel == nullptr) return;  // empty relation: no matches
+    if (rel->arity() != lit.arity()) {
+      status = Status::InvalidArgument("arity mismatch for predicate '" +
+                                       symbols.Name(lit.predicate) + "'");
+      return;
+    }
+    uint32_t mask = 0;
+    Tuple key(lit.arity(), 0);
+    for (size_t i = 0; i < lit.args.size(); ++i) {
+      const Term& t = lit.args[i];
+      if (t.IsConst()) {
+        mask |= (1u << i);
+        key[i] = t.symbol;
+      } else if (auto it = binding.find(t.symbol); it != binding.end()) {
+        mask |= (1u << i);
+        key[i] = it->second;
+      }
+    }
+    done[best] = true;
+    rel->ForEachMatch(mask, key, [&](const Tuple& m) {
+      if (!status.ok()) return;
+      // Extend the binding; repeated variables within the literal must agree.
+      std::vector<SymbolId> added;
+      bool consistent = true;
+      for (size_t i = 0; i < lit.args.size(); ++i) {
+        const Term& t = lit.args[i];
+        if (t.IsConst()) {
+          if (m[i] != t.symbol) consistent = false;
+        } else if (auto it = binding.find(t.symbol); it != binding.end()) {
+          if (it->second != m[i]) consistent = false;
+        } else {
+          binding.emplace(t.symbol, m[i]);
+          added.push_back(t.symbol);
+        }
+        if (!consistent) break;
+      }
+      if (consistent) Run(remaining - 1);
+      for (SymbolId v : added) binding.erase(v);
+    });
+    done[best] = false;
+  }
+};
+
+}  // namespace
+
+Status EnumerateMatches(const RelationResolver& resolve,
+                        const SymbolTable& symbols,
+                        const std::vector<Literal>& body, Binding& binding,
+                        const std::function<void(const Binding&)>& fn) {
+  Matcher m{resolve, symbols, body, fn, std::vector<bool>(body.size(), false),
+            binding};
+  m.Run(body.size());
+  return m.status;
+}
+
+Tuple InstantiateHead(const Literal& lit, const Binding& binding) {
+  Tuple out;
+  out.reserve(lit.args.size());
+  for (const Term& t : lit.args) {
+    if (t.IsConst()) {
+      out.push_back(t.symbol);
+    } else {
+      auto it = binding.find(t.symbol);
+      BINCHAIN_CHECK(it != binding.end());
+      out.push_back(it->second);
+    }
+  }
+  return out;
+}
+
+}  // namespace binchain

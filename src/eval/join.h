@@ -1,0 +1,45 @@
+// Conjunctive matching: enumerate all variable bindings satisfying a list of
+// literals against resolvable relations, honouring built-in comparisons.
+// This single matcher powers rule firing in the bottom-up baselines (naive /
+// seminaive / magic) and the Section-4 demand join views.
+#ifndef BINCHAIN_EVAL_JOIN_H_
+#define BINCHAIN_EVAL_JOIN_H_
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "storage/relation.h"
+#include "util/status.h"
+
+namespace binchain {
+
+/// Variable symbol -> constant symbol.
+using Binding = std::unordered_map<SymbolId, SymbolId>;
+
+/// Maps a (non-built-in) predicate symbol to the relation holding its
+/// current tuples, or nullptr if the relation is empty/unknown.
+using RelationResolver = std::function<const Relation*(SymbolId)>;
+
+/// Evaluates a ground built-in comparison. Integer-spelled constants compare
+/// numerically; otherwise lexicographically by spelling.
+bool EvalBuiltin(Builtin op, SymbolId lhs, SymbolId rhs,
+                 const SymbolTable& symbols);
+
+/// Enumerates every extension of `binding` satisfying all of `body`.
+/// Literal selection is greedy most-bound-first; built-ins run as soon as
+/// ground. Fails (kInvalidArgument) if a built-in can never become ground
+/// (unsafe rule). `fn` is invoked with the complete binding.
+Status EnumerateMatches(const RelationResolver& resolve,
+                        const SymbolTable& symbols,
+                        const std::vector<Literal>& body, Binding& binding,
+                        const std::function<void(const Binding&)>& fn);
+
+/// Instantiates `lit`'s arguments under `binding` (all variables must be
+/// bound).
+Tuple InstantiateHead(const Literal& lit, const Binding& binding);
+
+}  // namespace binchain
+
+#endif  // BINCHAIN_EVAL_JOIN_H_

@@ -1,0 +1,230 @@
+#include "eval/query.h"
+
+#include <algorithm>
+
+#include "datalog/parser.h"
+#include "eval/closure.h"
+#include "util/check.h"
+
+namespace binchain {
+
+QueryEngine::QueryEngine(Database* db) : db_(db) {}
+QueryEngine::~QueryEngine() = default;
+
+Status QueryEngine::LoadProgramText(std::string_view text) {
+  auto parsed = ParseProgram(text, db_->symbols());
+  if (!parsed.ok()) return parsed.status();
+  return LoadProgram(parsed.value());
+}
+
+Status QueryEngine::LoadProgram(const Program& program) {
+  if (lemma1_.has_value()) {
+    return Status::FailedPrecondition("program already loaded");
+  }
+  program_ = program;
+  for (const Literal& f : program.facts) {
+    Relation& rel =
+        db_->GetOrCreate(db_->symbols().Name(f.predicate), f.arity());
+    Tuple t;
+    for (const Term& a : f.args) t.push_back(a.symbol);
+    rel.Insert(t);
+  }
+  program_.facts.clear();
+  return Prepare();
+}
+
+Status QueryEngine::Prepare() {
+  auto transformed = TransformToEquations(program_, db_->symbols());
+  if (!transformed.ok()) return transformed.status();
+  lemma1_ = transformed.take();
+  views_ = std::make_unique<ViewRegistry>(&db_->symbols());
+  views_->RegisterDatabase(*db_);
+  engine_ = std::make_unique<Engine>(&lemma1_->final_system, views_.get());
+  return Status::Ok();
+}
+
+Status QueryEngine::PrepareInverse() {
+  if (inv_engine_ != nullptr) return Status::Ok();
+  combined_ = InvertSystem(lemma1_->final_system, db_->symbols(), inverse_of_);
+  inv_engine_ = std::make_unique<Engine>(&*combined_, views_.get());
+  return Status::Ok();
+}
+
+const EquationSystem& QueryEngine::equations() const {
+  BINCHAIN_CHECK(lemma1_.has_value());
+  return lemma1_->final_system;
+}
+
+Result<QueryAnswer> QueryEngine::Query(std::string_view literal_text,
+                                       const EvalOptions& options) {
+  auto lit = ParseLiteral(literal_text, db_->symbols());
+  if (!lit.ok()) return lit.status();
+  return Query(lit.value(), options);
+}
+
+std::vector<SymbolId> QueryEngine::CandidateSources(SymbolId pred) {
+  // Collect every predicate transitively mentioned from e_pred, then gather
+  // the constants of the corresponding EDB relations (both columns: a
+  // conservative superset of domain(pred)).
+  std::unordered_set<SymbolId> todo{pred}, seen;
+  std::unordered_set<SymbolId> base;
+  while (!todo.empty()) {
+    SymbolId p = *todo.begin();
+    todo.erase(todo.begin());
+    if (!seen.insert(p).second) continue;
+    if (!lemma1_->final_system.Has(p)) {
+      base.insert(p);
+      continue;
+    }
+    std::unordered_set<SymbolId> mentioned;
+    CollectPreds(lemma1_->final_system.Rhs(p), mentioned);
+    for (SymbolId q : mentioned) todo.insert(q);
+  }
+  std::unordered_set<SymbolId> consts;
+  for (SymbolId p : base) {
+    const Relation* rel = db_->Find(db_->symbols().Name(p));
+    if (rel == nullptr) continue;
+    for (const Tuple& t : rel->tuples()) {
+      for (SymbolId c : t) consts.insert(c);
+    }
+  }
+  std::vector<SymbolId> out(consts.begin(), consts.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool QueryEngine::TryAllPairsClosure(SymbolId pred, const Literal& query,
+                                     QueryAnswer* answer) {
+  // Match e*.e or e.e* with a single non-inverted base predicate e.
+  const RexPtr& rhs = lemma1_->final_system.Rhs(pred);
+  if (rhs->kind != Rex::Kind::kConcat || rhs->kids.size() != 2) return false;
+  const RexPtr& x = rhs->kids[0];
+  const RexPtr& y = rhs->kids[1];
+  const Rex* leaf = nullptr;
+  const Rex* star = nullptr;
+  if (x->kind == Rex::Kind::kStar && y->kind == Rex::Kind::kPred) {
+    star = x.get();
+    leaf = y.get();
+  } else if (y->kind == Rex::Kind::kStar && x->kind == Rex::Kind::kPred) {
+    star = y.get();
+    leaf = x.get();
+  } else {
+    return false;
+  }
+  if (leaf->inverted) return false;
+  if (star->kids[0]->kind != Rex::Kind::kPred ||
+      star->kids[0]->pred != leaf->pred || star->kids[0]->inverted) {
+    return false;
+  }
+  BinaryRelationView* view = views_->Find(leaf->pred);
+  if (view == nullptr || !view->SupportsEnumerate()) return false;
+
+  ClosureStats stats;
+  auto pairs = TransitiveClosureAllPairs(view, &stats);
+  if (!pairs.ok()) return false;
+  answer->stats.nodes = stats.nodes;
+  bool diagonal = query.args[0].IsVar() && query.args[1].IsVar() &&
+                  query.args[0] == query.args[1];
+  TermPool& pool = views_->pool();
+  for (auto [u, v] : pairs.value()) {
+    SymbolId cu = pool.AsUnary(u);
+    SymbolId cv = pool.AsUnary(v);
+    if (diagonal && cu != cv) continue;
+    answer->tuples.push_back(Tuple{cu, cv});
+  }
+  return true;
+}
+
+Result<QueryAnswer> QueryEngine::Query(const Literal& query,
+                                       const EvalOptions& options) {
+  if (!lemma1_.has_value()) {
+    return Status::FailedPrecondition("no program loaded");
+  }
+  if (query.arity() != 2) {
+    return Status::InvalidArgument("queries must be binary literals");
+  }
+  SymbolId pred = query.predicate;
+  uint64_t fetches_before = db_->TotalFetches();
+  QueryAnswer answer;
+
+  // Base-predicate queries answer directly from the extensional database.
+  if (!lemma1_->final_system.Has(pred)) {
+    const Relation* rel = db_->Find(db_->symbols().Name(pred));
+    if (rel == nullptr) {
+      return Status::NotFound("unknown predicate '" +
+                              db_->symbols().Name(pred) + "'");
+    }
+    for (const Tuple& t : rel->tuples()) {
+      bool match = true;
+      for (size_t i = 0; i < 2; ++i) {
+        if (query.args[i].IsConst() && query.args[i].symbol != t[i]) {
+          match = false;
+        }
+      }
+      if (query.args[0].IsVar() && query.args[1].IsVar() &&
+          query.args[0] == query.args[1] && t[0] != t[1]) {
+        match = false;
+      }
+      if (match) answer.tuples.push_back(t);
+    }
+    std::sort(answer.tuples.begin(), answer.tuples.end());
+    answer.fetches = db_->TotalFetches() - fetches_before;
+    return answer;
+  }
+
+  const Term& a0 = query.args[0];
+  const Term& a1 = query.args[1];
+  TermPool& pool = views_->pool();
+
+  auto term_const = [&](TermId id) { return pool.AsUnary(id); };
+
+  if (a0.IsConst()) {
+    // p(a, Y) or p(a, b).
+    auto r = engine_->EvalFrom(pred, pool.Unary(a0.symbol), options,
+                               &answer.stats);
+    if (!r.ok()) return r.status();
+    for (TermId y : r.value()) {
+      SymbolId c = term_const(y);
+      if (a1.IsConst() && c != a1.symbol) continue;
+      answer.tuples.push_back(Tuple{a0.symbol, c});
+    }
+  } else if (a1.IsConst()) {
+    // p(X, b): evaluate the inverted system from b.
+    if (auto s = PrepareInverse(); !s.ok()) return s;
+    auto r = inv_engine_->EvalFrom(inverse_of_.at(pred),
+                                   pool.Unary(a1.symbol), options,
+                                   &answer.stats);
+    if (!r.ok()) return r.status();
+    for (TermId x : r.value()) {
+      answer.tuples.push_back(Tuple{term_const(x), a1.symbol});
+    }
+  } else if (!options.disable_closure_sharing &&
+             TryAllPairsClosure(pred, query, &answer)) {
+    // Handled by the shared Tarjan-condensation closure.
+  } else {
+    // p(X, Y) / p(X, X): evaluate from every candidate source.
+    bool diagonal = (a0 == a1);
+    for (SymbolId c : CandidateSources(pred)) {
+      EvalStats stats;
+      auto r = engine_->EvalFrom(pred, pool.Unary(c), options, &stats);
+      if (!r.ok()) return r.status();
+      answer.stats.nodes += stats.nodes;
+      answer.stats.arcs += stats.arcs;
+      answer.stats.iterations += stats.iterations;
+      answer.stats.expansions += stats.expansions;
+      answer.stats.hit_iteration_cap |= stats.hit_iteration_cap;
+      for (TermId y : r.value()) {
+        SymbolId yc = term_const(y);
+        if (diagonal && yc != c) continue;
+        answer.tuples.push_back(Tuple{c, yc});
+      }
+    }
+  }
+  std::sort(answer.tuples.begin(), answer.tuples.end());
+  answer.tuples.erase(std::unique(answer.tuples.begin(), answer.tuples.end()),
+                      answer.tuples.end());
+  answer.fetches = db_->TotalFetches() - fetches_before;
+  return answer;
+}
+
+}  // namespace binchain

@@ -1,0 +1,76 @@
+// High-level facade: load a binary-chain Datalog program, transform it to
+// equations (Lemma 1), and answer queries with the graph-traversal engine.
+// Handles all binding patterns of Section 3:
+//   p(a, Y)  - direct evaluation;
+//   p(X, b)  - evaluation of the inverted equation system from b;
+//   p(a, b)  - p(a, Y) then membership test;
+//   p(X, Y)  - evaluation from every candidate source constant;
+//   p(X, X)  - p(X, Y) filtered to x = y.
+#ifndef BINCHAIN_EVAL_QUERY_H_
+#define BINCHAIN_EVAL_QUERY_H_
+
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "equations/lemma1.h"
+#include "eval/engine.h"
+#include "storage/database.h"
+
+namespace binchain {
+
+struct QueryAnswer {
+  std::vector<Tuple> tuples;  // sorted, deduplicated, full query arity
+  EvalStats stats;
+  uint64_t fetches = 0;  // EDB tuple retrievals during this query
+};
+
+class QueryEngine {
+ public:
+  /// `db` must outlive the engine; program facts are loaded into it.
+  explicit QueryEngine(Database* db);
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+  ~QueryEngine();
+
+  /// Parses `text`, storing rules and loading facts into the database.
+  /// May be called once per engine.
+  Status LoadProgramText(std::string_view text);
+  Status LoadProgram(const Program& program);
+
+  /// The Lemma 1 equation system (available after loading).
+  const EquationSystem& equations() const;
+  const Program& program() const { return program_; }
+  ViewRegistry& views() { return *views_; }
+
+  Result<QueryAnswer> Query(std::string_view literal_text,
+                            const EvalOptions& options = {});
+  Result<QueryAnswer> Query(const Literal& query,
+                            const EvalOptions& options = {});
+
+ private:
+  Status Prepare();
+  Status PrepareInverse();
+  std::vector<SymbolId> CandidateSources(SymbolId pred);
+
+  /// All-free queries over pure-closure equations (e*.e or e.e*, e a base
+  /// predicate) are answered with one shared Tarjan condensation pass;
+  /// returns false when the equation has another shape.
+  bool TryAllPairsClosure(SymbolId pred, const Literal& query,
+                          QueryAnswer* answer);
+
+  Database* db_;
+  Program program_;
+  std::optional<Lemma1Result> lemma1_;
+  std::unique_ptr<ViewRegistry> views_;
+  std::unique_ptr<Engine> engine_;
+  std::optional<EquationSystem> combined_;  // forward + inverted equations
+  std::unique_ptr<Engine> inv_engine_;
+  std::unordered_map<SymbolId, SymbolId> inverse_of_;
+};
+
+}  // namespace binchain
+
+#endif  // BINCHAIN_EVAL_QUERY_H_

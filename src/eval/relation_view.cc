@@ -1,0 +1,140 @@
+#include "eval/relation_view.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "eval/join.h"
+#include "util/check.h"
+
+namespace binchain {
+
+void EdbBinaryView::ForEachSucc(TermId u,
+                                const std::function<void(TermId)>& fn) {
+  const Tuple& t = pool_->Get(u);
+  if (t.size() != 1) return;  // non-constant term: no successors in an EDB
+  Tuple key{t[0], 0};
+  rel_->ForEachMatch(0b01u, key,
+                     [&](const Tuple& m) { fn(pool_->Unary(m[1])); });
+}
+
+void EdbBinaryView::ForEachPred(TermId v,
+                                const std::function<void(TermId)>& fn) {
+  const Tuple& t = pool_->Get(v);
+  if (t.size() != 1) return;
+  Tuple key{0, t[0]};
+  rel_->ForEachMatch(0b10u, key,
+                     [&](const Tuple& m) { fn(pool_->Unary(m[0])); });
+}
+
+void EdbBinaryView::ForEachPair(
+    const std::function<void(TermId, TermId)>& fn) {
+  for (const Tuple& t : rel_->tuples()) {
+    fn(pool_->Unary(t[0]), pool_->Unary(t[1]));
+  }
+}
+
+const std::vector<SymbolId>& DemandJoinView::ActiveDomain() {
+  if (!domain_built_) {
+    domain_built_ = true;
+    std::unordered_set<SymbolId> seen;
+    for (const std::string& name : db_->relation_names()) {
+      const Relation* rel = db_->Find(name);
+      for (const Tuple& t : rel->tuples()) {
+        for (SymbolId c : t) {
+          if (seen.insert(c).second) domain_.push_back(c);
+        }
+      }
+    }
+  }
+  return domain_;
+}
+
+void DemandJoinView::EmitOutputs(const Binding& binding,
+                                 std::vector<TermId>& results) {
+  // Distinct output variables left unbound by the match.
+  std::vector<SymbolId> unbound;
+  for (const Term& t : output_terms_) {
+    if (t.IsVar() && !binding.count(t.symbol)) {
+      if (std::find(unbound.begin(), unbound.end(), t.symbol) ==
+          unbound.end()) {
+        unbound.push_back(t.symbol);
+      }
+    }
+  }
+  Binding extended = binding;
+  std::function<void(size_t)> emit = [&](size_t i) {
+    if (i == unbound.size()) {
+      Tuple out;
+      out.reserve(output_terms_.size());
+      for (const Term& t : output_terms_) {
+        out.push_back(t.IsConst() ? t.symbol : extended.at(t.symbol));
+      }
+      results.push_back(pool_->InternTuple(out));
+      return;
+    }
+    for (SymbolId c : ActiveDomain()) {
+      extended[unbound[i]] = c;
+      emit(i + 1);
+    }
+    extended.erase(unbound[i]);
+  };
+  emit(0);
+}
+
+void DemandJoinView::ForEachSucc(TermId u,
+                                 const std::function<void(TermId)>& fn) {
+  auto it = memo_.find(u);
+  if (it != memo_.end()) {
+    for (TermId v : it->second) fn(v);
+    return;
+  }
+  const Tuple& in = pool_->Get(u);
+  std::vector<TermId> results;
+  if (in.size() == input_vars_.size()) {
+    Binding binding;
+    bool consistent = true;
+    for (size_t i = 0; i < input_vars_.size(); ++i) {
+      auto [bit, inserted] = binding.emplace(input_vars_[i], in[i]);
+      if (!inserted && bit->second != in[i]) {
+        consistent = false;  // repeated input variable, conflicting values
+        break;
+      }
+    }
+    if (consistent) {
+      RelationResolver resolve = [this](SymbolId pred) {
+        return db_->Find(db_->symbols().Name(pred));
+      };
+      Status s = EnumerateMatches(
+          resolve, db_->symbols(), body_, binding,
+          [&](const Binding& b) { EmitOutputs(b, results); });
+      if (!s.ok() && status_.ok()) status_ = s;
+      // Deduplicate (projections can repeat).
+      std::sort(results.begin(), results.end());
+      results.erase(std::unique(results.begin(), results.end()),
+                    results.end());
+    }
+  }
+  auto [mit, _] = memo_.emplace(u, std::move(results));
+  for (TermId v : mit->second) fn(v);
+}
+
+void ViewRegistry::Register(SymbolId pred,
+                            std::unique_ptr<BinaryRelationView> view) {
+  views_[pred] = std::move(view);
+}
+
+void ViewRegistry::RegisterDatabase(const Database& db) {
+  for (const std::string& name : db.relation_names()) {
+    const Relation* rel = db.Find(name);
+    if (rel == nullptr || rel->arity() != 2) continue;
+    SymbolId pred = symbols_->Intern(name);
+    Register(pred, std::make_unique<EdbBinaryView>(rel, &pool_));
+  }
+}
+
+BinaryRelationView* ViewRegistry::Find(SymbolId pred) const {
+  auto it = views_.find(pred);
+  return it == views_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace binchain

@@ -1,0 +1,136 @@
+// Engine-facing binary relation abstraction. A view enumerates successors
+// (and optionally predecessors) of a graph term. Implementations:
+//   - EdbBinaryView: a binary EDB relation (constant-time indexed lookups);
+//   - DemandJoinView: a Section-4 view predicate (base-r / in-r / out-r)
+//     whose tuples are *computed by demand* by joining EDB relations under
+//     the bindings carried by the source term, with per-source memoization
+//     so no fact is fetched or joined twice (Section 4: "tuples ... will
+//     only be retrieved by demand").
+#ifndef BINCHAIN_EVAL_RELATION_VIEW_H_
+#define BINCHAIN_EVAL_RELATION_VIEW_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "eval/join.h"
+#include "storage/database.h"
+#include "storage/term_pool.h"
+#include "util/status.h"
+
+namespace binchain {
+
+class BinaryRelationView {
+ public:
+  virtual ~BinaryRelationView() = default;
+
+  /// Enumerates v with R(u, v).
+  virtual void ForEachSucc(TermId u,
+                           const std::function<void(TermId)>& fn) = 0;
+
+  /// Enumerates u with R(u, v). Only if SupportsBackward().
+  virtual void ForEachPred(TermId v,
+                           const std::function<void(TermId)>& fn) = 0;
+
+  virtual bool SupportsBackward() const { return true; }
+
+  /// Enumerates all pairs (u, v). Only if SupportsEnumerate(). Used by the
+  /// HSU preconstruction baseline and by free-free query source discovery.
+  virtual void ForEachPair(
+      const std::function<void(TermId, TermId)>& fn) = 0;
+
+  virtual bool SupportsEnumerate() const { return true; }
+};
+
+/// Wraps a binary EDB relation; terms are unary (single constants).
+class EdbBinaryView : public BinaryRelationView {
+ public:
+  EdbBinaryView(const Relation* rel, TermPool* pool)
+      : rel_(rel), pool_(pool) {}
+
+  void ForEachSucc(TermId u, const std::function<void(TermId)>& fn) override;
+  void ForEachPred(TermId v, const std::function<void(TermId)>& fn) override;
+  void ForEachPair(const std::function<void(TermId, TermId)>& fn) override;
+
+ private:
+  const Relation* rel_;
+  TermPool* pool_;
+};
+
+/// A Section-4 view predicate. Tuples are pairs (t(input), t(output)) where
+/// `input` is a vector of variables bound by the incoming term and `output`
+/// a vector of terms (variables or constants) projected from the matches of
+/// `body` (base literals and built-ins of the original rule). Results are
+/// memoized per source term.
+class DemandJoinView : public BinaryRelationView {
+ public:
+  DemandJoinView(const Database* db, TermPool* pool,
+                 std::vector<Literal> body, std::vector<SymbolId> input_vars,
+                 std::vector<Term> output_terms)
+      : db_(db),
+        pool_(pool),
+        body_(std::move(body)),
+        input_vars_(std::move(input_vars)),
+        output_terms_(std::move(output_terms)) {}
+
+  void ForEachSucc(TermId u, const std::function<void(TermId)>& fn) override;
+
+  /// Demand views are evaluated with the first argument bound only.
+  bool SupportsBackward() const override { return false; }
+  void ForEachPred(TermId, const std::function<void(TermId)>&) override {}
+  bool SupportsEnumerate() const override { return false; }
+  void ForEachPair(const std::function<void(TermId, TermId)>&) override {}
+
+  /// Set if a body enumeration ever failed (unsafe built-in); checked by the
+  /// evaluator after the run.
+  const Status& status() const { return status_; }
+
+ private:
+  /// Emits output tuples for one body match. Output variables not bound by
+  /// the match range over the active domain of the database — this realizes
+  /// the paper's semantics for non-chain programs, where such variables
+  /// "can assume any value" (end of Section 4).
+  void EmitOutputs(const Binding& binding, std::vector<TermId>& results);
+  const std::vector<SymbolId>& ActiveDomain();
+
+  const Database* db_;
+  TermPool* pool_;
+  std::vector<Literal> body_;
+  std::vector<SymbolId> input_vars_;
+  std::vector<Term> output_terms_;
+  std::unordered_map<TermId, std::vector<TermId>> memo_;
+  std::vector<SymbolId> domain_;
+  bool domain_built_ = false;
+  Status status_ = Status::Ok();
+};
+
+/// Name -> view registry plus the shared term pool. Owned by the evaluation
+/// session (QueryEngine / transformed-program evaluator).
+class ViewRegistry {
+ public:
+  explicit ViewRegistry(SymbolTable* symbols) : symbols_(symbols) {}
+  ViewRegistry(const ViewRegistry&) = delete;
+  ViewRegistry& operator=(const ViewRegistry&) = delete;
+
+  TermPool& pool() { return pool_; }
+  SymbolTable& symbols() { return *symbols_; }
+
+  void Register(SymbolId pred, std::unique_ptr<BinaryRelationView> view);
+
+  /// Registers an EdbBinaryView for every binary relation in `db`.
+  void RegisterDatabase(const Database& db);
+
+  BinaryRelationView* Find(SymbolId pred) const;
+
+ private:
+  SymbolTable* symbols_;
+  TermPool pool_;
+  std::unordered_map<SymbolId, std::unique_ptr<BinaryRelationView>> views_;
+};
+
+}  // namespace binchain
+
+#endif  // BINCHAIN_EVAL_RELATION_VIEW_H_

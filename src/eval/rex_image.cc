@@ -1,0 +1,83 @@
+#include "eval/rex_image.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "automata/nfa.h"
+
+namespace binchain {
+
+Result<std::vector<TermId>> ImageUnderRex(const ViewRegistry& views,
+                                          const RexPtr& e,
+                                          const std::vector<TermId>& sources,
+                                          uint64_t* work) {
+  // Validate: every predicate leaf must have a view.
+  std::unordered_set<SymbolId> preds;
+  CollectPreds(e, preds);
+  for (SymbolId p : preds) {
+    if (views.Find(p) == nullptr) {
+      return Status::NotFound("no relation view registered for predicate");
+    }
+  }
+  Nfa nfa = BuildNfa(e, [](SymbolId) { return false; });
+
+  std::unordered_set<uint64_t> seen;
+  std::vector<std::pair<uint32_t, TermId>> stack;
+  std::vector<TermId> out;
+  std::unordered_set<TermId> out_set;
+  auto visit = [&](uint32_t q, TermId u) {
+    uint64_t key = (static_cast<uint64_t>(q) << 32) | u;
+    if (!seen.insert(key).second) return;
+    if (work != nullptr) ++*work;
+    if (q == nfa.final() && out_set.insert(u).second) out.push_back(u);
+    stack.emplace_back(q, u);
+  };
+  for (TermId s : sources) visit(nfa.initial(), s);
+  while (!stack.empty()) {
+    auto [q, u] = stack.back();
+    stack.pop_back();
+    for (const NfaTransition& t : nfa.Out(q)) {
+      switch (t.label.kind) {
+        case NfaLabel::Kind::kId:
+          visit(t.target, u);
+          break;
+        case NfaLabel::Kind::kRel: {
+          BinaryRelationView* view = views.Find(t.label.pred);
+          if (t.label.inverted) {
+            view->ForEachPred(u, [&](TermId v) { visit(t.target, v); });
+          } else {
+            view->ForEachSucc(u, [&](TermId v) { visit(t.target, v); });
+          }
+          break;
+        }
+        case NfaLabel::Kind::kDerived:
+          // Unreachable: BuildNfa was told nothing is derived.
+          break;
+      }
+    }
+  }
+  return out;
+}
+
+Result<std::vector<TermId>> ClosureUnderRex(const ViewRegistry& views,
+                                            const RexPtr& e,
+                                            const std::vector<TermId>& sources,
+                                            uint64_t* work) {
+  std::unordered_set<TermId> all(sources.begin(), sources.end());
+  std::vector<TermId> frontier(sources.begin(), sources.end());
+  std::vector<TermId> out(sources.begin(), sources.end());
+  while (!frontier.empty()) {
+    auto img = ImageUnderRex(views, e, frontier, work);
+    if (!img.ok()) return img.status();
+    frontier.clear();
+    for (TermId v : img.value()) {
+      if (all.insert(v).second) {
+        frontier.push_back(v);
+        out.push_back(v);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace binchain

@@ -1,0 +1,34 @@
+// Set-at-a-time evaluation of *regular* relational expressions (no derived
+// predicates): image and reflexive-transitive closure of a term set. Used by
+// the counting / Henschen-Naqvi / reverse-counting baselines and by the
+// cyclic iteration bound (|D1| * |D2|, Section 3).
+#ifndef BINCHAIN_EVAL_REX_IMAGE_H_
+#define BINCHAIN_EVAL_REX_IMAGE_H_
+
+#include <vector>
+
+#include "eval/relation_view.h"
+#include "rex/rex.h"
+#include "util/status.h"
+
+namespace binchain {
+
+/// Terms v such that (u, v) is in the relation denoted by `e`, for some
+/// source u. Fails if `e` mentions a predicate without a registered view.
+/// `work` (optional) accumulates the number of (state, term) pairs visited
+/// in the product traversal — the set-at-a-time cost measure.
+Result<std::vector<TermId>> ImageUnderRex(const ViewRegistry& views,
+                                          const RexPtr& e,
+                                          const std::vector<TermId>& sources,
+                                          uint64_t* work = nullptr);
+
+/// Image under e* : all terms reachable from `sources` by 0..k applications
+/// of `e`.
+Result<std::vector<TermId>> ClosureUnderRex(const ViewRegistry& views,
+                                            const RexPtr& e,
+                                            const std::vector<TermId>& sources,
+                                            uint64_t* work = nullptr);
+
+}  // namespace binchain
+
+#endif  // BINCHAIN_EVAL_REX_IMAGE_H_

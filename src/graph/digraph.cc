@@ -1,0 +1,53 @@
+#include "graph/digraph.h"
+
+#include "util/check.h"
+
+namespace binchain {
+
+uint32_t Digraph::AddNode() {
+  succ_.emplace_back();
+  return static_cast<uint32_t>(succ_.size() - 1);
+}
+
+void Digraph::Resize(size_t n) {
+  if (n > succ_.size()) succ_.resize(n);
+}
+
+void Digraph::AddEdge(uint32_t from, uint32_t to) {
+  BINCHAIN_DCHECK(from < succ_.size() && to < succ_.size());
+  succ_[from].push_back(to);
+  ++edges_;
+}
+
+std::vector<bool> Digraph::Reachable(
+    const std::vector<uint32_t>& sources) const {
+  std::vector<bool> seen(succ_.size(), false);
+  std::vector<uint32_t> stack;
+  for (uint32_t s : sources) {
+    if (s < seen.size() && !seen[s]) {
+      seen[s] = true;
+      stack.push_back(s);
+    }
+  }
+  while (!stack.empty()) {
+    uint32_t v = stack.back();
+    stack.pop_back();
+    for (uint32_t w : succ_[v]) {
+      if (!seen[w]) {
+        seen[w] = true;
+        stack.push_back(w);
+      }
+    }
+  }
+  return seen;
+}
+
+Digraph Digraph::Reversed() const {
+  Digraph r(succ_.size());
+  for (uint32_t v = 0; v < succ_.size(); ++v) {
+    for (uint32_t w : succ_[v]) r.AddEdge(w, v);
+  }
+  return r;
+}
+
+}  // namespace binchain

@@ -1,0 +1,41 @@
+// Minimal growable directed graph with adjacency lists.
+#ifndef BINCHAIN_GRAPH_DIGRAPH_H_
+#define BINCHAIN_GRAPH_DIGRAPH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace binchain {
+
+class Digraph {
+ public:
+  explicit Digraph(size_t n = 0) : succ_(n) {}
+
+  size_t NumNodes() const { return succ_.size(); }
+  size_t NumEdges() const { return edges_; }
+
+  /// Adds a node, returning its index.
+  uint32_t AddNode();
+
+  /// Ensures nodes [0, n) exist.
+  void Resize(size_t n);
+
+  void AddEdge(uint32_t from, uint32_t to);
+
+  const std::vector<uint32_t>& Succ(uint32_t v) const { return succ_[v]; }
+
+  /// Nodes reachable from any of `sources` (including the sources).
+  std::vector<bool> Reachable(const std::vector<uint32_t>& sources) const;
+
+  /// The reverse graph.
+  Digraph Reversed() const;
+
+ private:
+  std::vector<std::vector<uint32_t>> succ_;
+  size_t edges_ = 0;
+};
+
+}  // namespace binchain
+
+#endif  // BINCHAIN_GRAPH_DIGRAPH_H_

@@ -1,0 +1,96 @@
+#include "graph/tarjan.h"
+
+#include <algorithm>
+
+namespace binchain {
+
+SccResult ComputeScc(const Digraph& g) {
+  const size_t n = g.NumNodes();
+  SccResult out;
+  out.component.assign(n, 0);
+  out.on_cycle.assign(n, false);
+
+  constexpr uint32_t kUnvisited = 0xffffffffu;
+  std::vector<uint32_t> index(n, kUnvisited);
+  std::vector<uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<uint32_t> stack;
+  uint32_t next_index = 0;
+
+  // Explicit DFS stack: (node, next successor position).
+  struct Frame {
+    uint32_t v;
+    size_t succ_pos;
+  };
+  std::vector<Frame> frames;
+
+  for (uint32_t root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    frames.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const auto& succ = g.Succ(f.v);
+      if (f.succ_pos < succ.size()) {
+        uint32_t w = succ[f.succ_pos++];
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[f.v] = std::min(lowlink[f.v], index[w]);
+        }
+      } else {
+        uint32_t v = f.v;
+        frames.pop_back();
+        if (!frames.empty()) {
+          lowlink[frames.back().v] =
+              std::min(lowlink[frames.back().v], lowlink[v]);
+        }
+        if (lowlink[v] == index[v]) {
+          uint32_t comp = out.num_components++;
+          out.members.emplace_back();
+          while (true) {
+            uint32_t w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            out.component[w] = comp;
+            out.members[comp].push_back(w);
+            if (w == v) break;
+          }
+        }
+      }
+    }
+  }
+
+  // A node is on a cycle iff its SCC has several members or it has a
+  // self-loop.
+  for (uint32_t v = 0; v < n; ++v) {
+    if (out.members[out.component[v]].size() > 1) {
+      out.on_cycle[v] = true;
+    } else {
+      for (uint32_t w : g.Succ(v)) {
+        if (w == v) {
+          out.on_cycle[v] = true;
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<uint32_t> CondensationTopoOrder(const SccResult& scc) {
+  // Tarjan emits SCCs in reverse topological order.
+  std::vector<uint32_t> order(scc.num_components);
+  for (uint32_t i = 0; i < scc.num_components; ++i) {
+    order[i] = scc.num_components - 1 - i;
+  }
+  return order;
+}
+
+}  // namespace binchain

@@ -1,0 +1,38 @@
+// Tarjan's strongly-connected-components algorithm (iterative formulation).
+// Used for: (i) mutual-recursion analysis of Datalog programs and equation
+// systems (Lemma 1 steps 2 & 6); (ii) sharing traversal work across sources
+// when answering fully-free queries p(X, Y) (Section 3 end, citing [21]).
+#ifndef BINCHAIN_GRAPH_TARJAN_H_
+#define BINCHAIN_GRAPH_TARJAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace binchain {
+
+struct SccResult {
+  /// component[v] = id of v's SCC. Ids are in reverse topological order of
+  /// the condensation (a component's id is greater than those of components
+  /// it can reach... specifically Tarjan emits components in reverse
+  /// topological order, so component 0 is a sink).
+  std::vector<uint32_t> component;
+  uint32_t num_components = 0;
+
+  /// Members of each component.
+  std::vector<std::vector<uint32_t>> members;
+
+  /// True iff v lies on a cycle (its SCC has >1 node, or a self-loop).
+  std::vector<bool> on_cycle;
+};
+
+SccResult ComputeScc(const Digraph& g);
+
+/// Topological order of the condensation (components listed so that every
+/// edge goes from an earlier to a later entry).
+std::vector<uint32_t> CondensationTopoOrder(const SccResult& scc);
+
+}  // namespace binchain
+
+#endif  // BINCHAIN_GRAPH_TARJAN_H_

@@ -1,0 +1,311 @@
+#include "rex/rex.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace binchain {
+namespace {
+
+RexPtr Make(Rex r) { return std::make_shared<const Rex>(std::move(r)); }
+
+}  // namespace
+
+RexPtr Rex::Empty() {
+  static const RexPtr e = Make(Rex{Kind::kEmpty, 0, false, {}});
+  return e;
+}
+
+RexPtr Rex::Id() {
+  static const RexPtr e = Make(Rex{Kind::kId, 0, false, {}});
+  return e;
+}
+
+RexPtr Rex::Pred(SymbolId p, bool inverted) {
+  return Make(Rex{Kind::kPred, p, inverted, {}});
+}
+
+RexPtr Rex::Union(std::vector<RexPtr> es) {
+  std::vector<RexPtr> flat;
+  for (RexPtr& e : es) {
+    BINCHAIN_CHECK(e != nullptr);
+    if (e->IsEmpty()) continue;
+    if (e->kind == Kind::kUnion) {
+      flat.insert(flat.end(), e->kids.begin(), e->kids.end());
+    } else {
+      flat.push_back(std::move(e));
+    }
+  }
+  // Deduplicate structurally equal alternatives; keeps the systems produced
+  // by repeated substitution from blowing up with syntactic copies.
+  std::vector<RexPtr> uniq;
+  for (RexPtr& e : flat) {
+    bool dup = false;
+    for (const RexPtr& u : uniq) {
+      if (RexEquals(u, e)) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) uniq.push_back(std::move(e));
+  }
+  if (uniq.empty()) return Empty();
+  if (uniq.size() == 1) return uniq[0];
+  return Make(Rex{Kind::kUnion, 0, false, std::move(uniq)});
+}
+
+RexPtr Rex::Union2(RexPtr a, RexPtr b) {
+  return Union({std::move(a), std::move(b)});
+}
+
+RexPtr Rex::Concat(std::vector<RexPtr> es) {
+  std::vector<RexPtr> flat;
+  for (RexPtr& e : es) {
+    BINCHAIN_CHECK(e != nullptr);
+    if (e->IsEmpty()) return Empty();
+    if (e->IsId()) continue;
+    if (e->kind == Kind::kConcat) {
+      flat.insert(flat.end(), e->kids.begin(), e->kids.end());
+    } else {
+      flat.push_back(std::move(e));
+    }
+  }
+  if (flat.empty()) return Id();
+  if (flat.size() == 1) return flat[0];
+  return Make(Rex{Kind::kConcat, 0, false, std::move(flat)});
+}
+
+RexPtr Rex::Concat2(RexPtr a, RexPtr b) {
+  return Concat({std::move(a), std::move(b)});
+}
+
+RexPtr Rex::Star(RexPtr e) {
+  BINCHAIN_CHECK(e != nullptr);
+  if (e->IsEmpty() || e->IsId()) return Id();
+  if (e->kind == Kind::kStar) return e;
+  return Make(Rex{Kind::kStar, 0, false, {std::move(e)}});
+}
+
+bool ContainsPred(const RexPtr& e, SymbolId p) {
+  if (e->kind == Rex::Kind::kPred) return e->pred == p;
+  for (const RexPtr& k : e->kids) {
+    if (ContainsPred(k, p)) return true;
+  }
+  return false;
+}
+
+void CollectPreds(const RexPtr& e, std::unordered_set<SymbolId>& out) {
+  if (e->kind == Rex::Kind::kPred) {
+    out.insert(e->pred);
+    return;
+  }
+  for (const RexPtr& k : e->kids) CollectPreds(k, out);
+}
+
+size_t CountPred(const RexPtr& e, SymbolId p) {
+  if (e->kind == Rex::Kind::kPred) return e->pred == p ? 1 : 0;
+  size_t n = 0;
+  for (const RexPtr& k : e->kids) n += CountPred(k, p);
+  return n;
+}
+
+size_t LeafCount(const RexPtr& e) {
+  if (e->kind == Rex::Kind::kPred) return 1;
+  size_t n = 0;
+  for (const RexPtr& k : e->kids) n += LeafCount(k);
+  return n;
+}
+
+RexPtr SubstitutePred(const RexPtr& e, SymbolId p, const RexPtr& replacement) {
+  switch (e->kind) {
+    case Rex::Kind::kEmpty:
+    case Rex::Kind::kId:
+      return e;
+    case Rex::Kind::kPred:
+      return (e->pred == p) ? replacement : e;
+    case Rex::Kind::kUnion: {
+      std::vector<RexPtr> kids;
+      kids.reserve(e->kids.size());
+      for (const RexPtr& k : e->kids) {
+        kids.push_back(SubstitutePred(k, p, replacement));
+      }
+      return Rex::Union(std::move(kids));
+    }
+    case Rex::Kind::kConcat: {
+      std::vector<RexPtr> kids;
+      kids.reserve(e->kids.size());
+      for (const RexPtr& k : e->kids) {
+        kids.push_back(SubstitutePred(k, p, replacement));
+      }
+      return Rex::Concat(std::move(kids));
+    }
+    case Rex::Kind::kStar:
+      return Rex::Star(SubstitutePred(e->kids[0], p, replacement));
+  }
+  return e;
+}
+
+RexPtr Invert(const RexPtr& e,
+              const std::function<RexPtr(SymbolId, bool)>& map_pred) {
+  switch (e->kind) {
+    case Rex::Kind::kEmpty:
+    case Rex::Kind::kId:
+      return e;
+    case Rex::Kind::kPred:
+      return map_pred(e->pred, e->inverted);
+    case Rex::Kind::kUnion: {
+      std::vector<RexPtr> kids;
+      for (const RexPtr& k : e->kids) kids.push_back(Invert(k, map_pred));
+      return Rex::Union(std::move(kids));
+    }
+    case Rex::Kind::kConcat: {
+      std::vector<RexPtr> kids;
+      for (auto it = e->kids.rbegin(); it != e->kids.rend(); ++it) {
+        kids.push_back(Invert(*it, map_pred));
+      }
+      return Rex::Concat(std::move(kids));
+    }
+    case Rex::Kind::kStar:
+      return Rex::Star(Invert(e->kids[0], map_pred));
+  }
+  return e;
+}
+
+namespace {
+
+bool UnionMentions(const RexPtr& e, const std::unordered_set<SymbolId>& set) {
+  std::unordered_set<SymbolId> preds;
+  CollectPreds(e, preds);
+  for (SymbolId p : preds) {
+    if (set.count(p)) return true;
+  }
+  return false;
+}
+
+RexPtr DistributeOnce(const RexPtr& e, const std::unordered_set<SymbolId>& targets,
+                      bool& changed) {
+  switch (e->kind) {
+    case Rex::Kind::kEmpty:
+    case Rex::Kind::kId:
+    case Rex::Kind::kPred:
+      return e;
+    case Rex::Kind::kUnion: {
+      std::vector<RexPtr> kids;
+      for (const RexPtr& k : e->kids) {
+        kids.push_back(DistributeOnce(k, targets, changed));
+      }
+      return Rex::Union(std::move(kids));
+    }
+    case Rex::Kind::kStar:
+      return Rex::Star(DistributeOnce(e->kids[0], targets, changed));
+    case Rex::Kind::kConcat: {
+      std::vector<RexPtr> kids;
+      for (const RexPtr& k : e->kids) {
+        kids.push_back(DistributeOnce(k, targets, changed));
+      }
+      // Find a union factor that mentions a target predicate and distribute
+      // the whole concatenation over it.
+      for (size_t i = 0; i < kids.size(); ++i) {
+        if (kids[i]->kind != Rex::Kind::kUnion) continue;
+        if (!UnionMentions(kids[i], targets)) continue;
+        std::vector<RexPtr> alts;
+        for (const RexPtr& alt : kids[i]->kids) {
+          std::vector<RexPtr> parts(kids.begin(), kids.begin() + i);
+          parts.push_back(alt);
+          parts.insert(parts.end(), kids.begin() + i + 1, kids.end());
+          alts.push_back(Rex::Concat(std::move(parts)));
+        }
+        changed = true;
+        return Rex::Union(std::move(alts));
+      }
+      return Rex::Concat(std::move(kids));
+    }
+  }
+  return e;
+}
+
+}  // namespace
+
+RexPtr DistributeOverUnion(const RexPtr& e,
+                           const std::unordered_set<SymbolId>& targets) {
+  RexPtr cur = e;
+  for (int guard = 0; guard < 1000; ++guard) {
+    bool changed = false;
+    cur = DistributeOnce(cur, targets, changed);
+    if (!changed) return cur;
+  }
+  BINCHAIN_CHECK(false && "DistributeOverUnion did not converge");
+  return cur;
+}
+
+namespace {
+
+// Precedence: union (lowest) < concat < star/leaf.
+void Print(const RexPtr& e, const SymbolTable& symbols, int parent_prec,
+           std::string& out) {
+  switch (e->kind) {
+    case Rex::Kind::kEmpty:
+      out += "0";
+      return;
+    case Rex::Kind::kId:
+      out += "id";
+      return;
+    case Rex::Kind::kPred:
+      out += symbols.Name(e->pred);
+      if (e->inverted) out += "^-1";
+      return;
+    case Rex::Kind::kUnion: {
+      bool paren = parent_prec > 0;
+      if (paren) out += "(";
+      for (size_t i = 0; i < e->kids.size(); ++i) {
+        if (i) out += " U ";
+        Print(e->kids[i], symbols, 0, out);
+      }
+      if (paren) out += ")";
+      return;
+    }
+    case Rex::Kind::kConcat: {
+      bool paren = parent_prec > 1;
+      if (paren) out += "(";
+      for (size_t i = 0; i < e->kids.size(); ++i) {
+        if (i) out += ".";
+        Print(e->kids[i], symbols, 1, out);
+      }
+      if (paren) out += ")";
+      return;
+    }
+    case Rex::Kind::kStar:
+      Print(e->kids[0], symbols, 2, out);
+      out += "*";
+      return;
+  }
+}
+
+}  // namespace
+
+std::string RexToString(const RexPtr& e, const SymbolTable& symbols) {
+  std::string out;
+  Print(e, symbols, 0, out);
+  return out;
+}
+
+bool RexEquals(const RexPtr& a, const RexPtr& b) {
+  if (a.get() == b.get()) return true;
+  if (a->kind != b->kind) return false;
+  switch (a->kind) {
+    case Rex::Kind::kEmpty:
+    case Rex::Kind::kId:
+      return true;
+    case Rex::Kind::kPred:
+      return a->pred == b->pred && a->inverted == b->inverted;
+    default:
+      break;
+  }
+  if (a->kids.size() != b->kids.size()) return false;
+  for (size_t i = 0; i < a->kids.size(); ++i) {
+    if (!RexEquals(a->kids[i], b->kids[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace binchain

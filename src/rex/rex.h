@@ -1,0 +1,93 @@
+// Binary relational expressions over the operators U (union), . (composition)
+// and * (reflexive transitive closure), with predicate symbols (possibly
+// inverted) and the identity relation as leaves. These are the right-hand
+// sides of the equation systems produced by Lemma 1.
+//
+// Expressions are immutable and shared (shared_ptr DAG). Smart constructors
+// perform the algebraic normalizations the paper's transformation relies on
+// (flattening, unit and zero laws).
+#ifndef BINCHAIN_REX_REX_H_
+#define BINCHAIN_REX_REX_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "storage/symbol_table.h"
+
+namespace binchain {
+
+struct Rex;
+using RexPtr = std::shared_ptr<const Rex>;
+
+struct Rex {
+  enum class Kind {
+    kEmpty,   // the empty relation (denoted 0)
+    kId,      // the identity relation (empty-string transition)
+    kPred,    // a predicate symbol, optionally inverted (r^-1)
+    kUnion,   // e1 U ... U en   (n >= 2)
+    kConcat,  // e1 . ... . en   (n >= 2)
+    kStar,    // e*
+  };
+
+  Kind kind;
+  SymbolId pred = 0;     // kPred only
+  bool inverted = false; // kPred only
+  std::vector<RexPtr> kids;
+
+  static RexPtr Empty();
+  static RexPtr Id();
+  static RexPtr Pred(SymbolId p, bool inverted = false);
+  static RexPtr Union(std::vector<RexPtr> es);
+  static RexPtr Union2(RexPtr a, RexPtr b);
+  static RexPtr Concat(std::vector<RexPtr> es);
+  static RexPtr Concat2(RexPtr a, RexPtr b);
+  static RexPtr Star(RexPtr e);
+
+  bool IsEmpty() const { return kind == Kind::kEmpty; }
+  bool IsId() const { return kind == Kind::kId; }
+  bool IsPred(SymbolId p) const { return kind == Kind::kPred && pred == p; }
+};
+
+/// True iff `p` occurs (as a predicate leaf) anywhere in `e`.
+bool ContainsPred(const RexPtr& e, SymbolId p);
+
+/// All predicate symbols occurring in `e`.
+void CollectPreds(const RexPtr& e, std::unordered_set<SymbolId>& out);
+
+/// Number of occurrences of `p` in `e`.
+size_t CountPred(const RexPtr& e, SymbolId p);
+
+/// Total number of predicate-leaf occurrences (the paper's notion of
+/// expression size counts tuples per occurrence; this is the occurrence
+/// count used to bound it).
+size_t LeafCount(const RexPtr& e);
+
+/// Replaces every occurrence of predicate `p` by `replacement`.
+RexPtr SubstitutePred(const RexPtr& e, SymbolId p, const RexPtr& replacement);
+
+/// The inverse expression: (e1.e2)^-1 = e2^-1 . e1^-1, pushed to the leaves.
+/// `map_pred` decides how a (pred, inverted) leaf inverts — base predicates
+/// flip their `inverted` flag; derived predicates map to their inverse
+/// predicate's symbol.
+RexPtr Invert(const RexPtr& e,
+              const std::function<RexPtr(SymbolId, bool)>& map_pred);
+
+/// Distributes concatenation over union, but only for concat nodes where the
+/// union factor contains a predicate from `targets` (Lemma 1 step 8).
+/// Runs to fixpoint.
+RexPtr DistributeOverUnion(const RexPtr& e,
+                           const std::unordered_set<SymbolId>& targets);
+
+/// Paper-style rendering: "b.(d.e)*.c U ql.a". Inverted leaves print as
+/// "r^-1".
+std::string RexToString(const RexPtr& e, const SymbolTable& symbols);
+
+/// Structural equality (after smart-constructor normalization).
+bool RexEquals(const RexPtr& a, const RexPtr& b);
+
+}  // namespace binchain
+
+#endif  // BINCHAIN_REX_REX_H_

@@ -1,0 +1,255 @@
+#include "rex/rex_parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+namespace binchain {
+namespace {
+
+struct RexToken {
+  enum class Kind { kIdent, kUnion, kDot, kStar, kInverse, kLParen, kRParen,
+                    kEquals, kNewline, kEnd };
+  Kind kind;
+  std::string text;
+  int line;
+};
+
+Result<std::vector<RexToken>> LexRex(std::string_view src) {
+  std::vector<RexToken> out;
+  int line = 1;
+  size_t i = 0;
+  while (i < src.size()) {
+    char c = src[i];
+    if (c == '\n') {
+      out.push_back({RexToken::Kind::kNewline, "\n", line});
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+      continue;
+    }
+    if (c == '%') {
+      while (i < src.size() && src[i] != '\n') ++i;
+      continue;
+    }
+    switch (c) {
+      case '.':
+        out.push_back({RexToken::Kind::kDot, ".", line});
+        ++i;
+        continue;
+      case '*':
+        out.push_back({RexToken::Kind::kStar, "*", line});
+        ++i;
+        continue;
+      case '(':
+        out.push_back({RexToken::Kind::kLParen, "(", line});
+        ++i;
+        continue;
+      case ')':
+        out.push_back({RexToken::Kind::kRParen, ")", line});
+        ++i;
+        continue;
+      case '=':
+        out.push_back({RexToken::Kind::kEquals, "=", line});
+        ++i;
+        continue;
+      default:
+        break;
+    }
+    if (c == '^' && i + 2 < src.size() && src[i + 1] == '-' &&
+        src[i + 2] == '1') {
+      out.push_back({RexToken::Kind::kInverse, "^-1", line});
+      i += 3;
+      continue;
+    }
+    if (c == 'U' && (i + 1 >= src.size() ||
+                     !(std::isalnum(static_cast<unsigned char>(src[i + 1])) ||
+                       src[i + 1] == '_' || src[i + 1] == '~'))) {
+      out.push_back({RexToken::Kind::kUnion, "U", line});
+      ++i;
+      continue;
+    }
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '~') {
+      size_t j = i;
+      while (j < src.size() &&
+             (std::isalnum(static_cast<unsigned char>(src[j])) ||
+              src[j] == '_' || src[j] == '~')) {
+        ++j;
+      }
+      out.push_back(
+          {RexToken::Kind::kIdent, std::string(src.substr(i, j - i)), line});
+      i = j;
+      continue;
+    }
+    return Status::InvalidArgument("rex lex error at line " +
+                                   std::to_string(line) +
+                                   ": unexpected character '" +
+                                   std::string(1, c) + "'");
+  }
+  out.push_back({RexToken::Kind::kEnd, "", line});
+  return out;
+}
+
+bool HasInvertedDerived(const EquationSystem& sys, const RexPtr& e) {
+  if (e->kind == Rex::Kind::kPred) {
+    return e->inverted && sys.Has(e->pred);
+  }
+  for (const RexPtr& k : e->kids) {
+    if (HasInvertedDerived(sys, k)) return true;
+  }
+  return false;
+}
+
+class RexParser {
+ public:
+  RexParser(std::vector<RexToken> tokens, SymbolTable& symbols)
+      : tokens_(std::move(tokens)), symbols_(symbols) {}
+
+  Result<RexPtr> ParseSingle() {
+    SkipNewlines();
+    auto e = ParseUnion();
+    if (!e.ok()) return e;
+    SkipNewlines();
+    if (!At(RexToken::Kind::kEnd)) {
+      return Error("trailing input after expression");
+    }
+    return e;
+  }
+
+  Result<EquationSystem> ParseSystem() {
+    EquationSystem sys;
+    while (true) {
+      SkipNewlines();
+      if (At(RexToken::Kind::kEnd)) break;
+      if (!At(RexToken::Kind::kIdent)) {
+        return Error("expected an equation left-hand side");
+      }
+      SymbolId lhs = symbols_.Intern(Cur().text);
+      Next();
+      if (!At(RexToken::Kind::kEquals)) return Error("expected '='");
+      Next();
+      auto rhs = ParseUnion();
+      if (!rhs.ok()) return rhs.status();
+      if (sys.Has(lhs)) {
+        return Error("duplicate equation for '" + symbols_.Name(lhs) + "'");
+      }
+      sys.Set(lhs, rhs.take());
+      if (!At(RexToken::Kind::kNewline) && !At(RexToken::Kind::kEnd)) {
+        return Error("expected end of line after equation");
+      }
+    }
+    if (sys.preds().empty()) return Error("empty equation system");
+    // Inverses of *derived* predicates need the inverted system
+    // (InvertSystem); reject them here rather than mis-evaluate.
+    for (SymbolId p : sys.preds()) {
+      if (HasInvertedDerived(sys, sys.Rhs(p))) {
+        return Status::Unsupported(
+            "inverse of a derived predicate in equation for '" +
+            symbols_.Name(p) + "'; use InvertSystem instead");
+      }
+    }
+    return sys;
+  }
+
+ private:
+  const RexToken& Cur() const { return tokens_[pos_]; }
+  bool At(RexToken::Kind k) const { return Cur().kind == k; }
+  void Next() { ++pos_; }
+  void SkipNewlines() {
+    while (At(RexToken::Kind::kNewline)) Next();
+  }
+
+  Status Error(const std::string& msg) const {
+    return Status::InvalidArgument("rex parse error at line " +
+                                   std::to_string(Cur().line) + ": " + msg);
+  }
+
+  Result<RexPtr> ParseUnion() {
+    auto first = ParseConcat();
+    if (!first.ok()) return first;
+    std::vector<RexPtr> alts{first.take()};
+    while (At(RexToken::Kind::kUnion)) {
+      Next();
+      auto next = ParseConcat();
+      if (!next.ok()) return next;
+      alts.push_back(next.take());
+    }
+    return Rex::Union(std::move(alts));
+  }
+
+  Result<RexPtr> ParseConcat() {
+    auto first = ParseFactor();
+    if (!first.ok()) return first;
+    std::vector<RexPtr> parts{first.take()};
+    while (At(RexToken::Kind::kDot)) {
+      Next();
+      auto next = ParseFactor();
+      if (!next.ok()) return next;
+      parts.push_back(next.take());
+    }
+    return Rex::Concat(std::move(parts));
+  }
+
+  Result<RexPtr> ParseFactor() {
+    auto atom = ParseAtom();
+    if (!atom.ok()) return atom;
+    RexPtr e = atom.take();
+    while (true) {
+      if (At(RexToken::Kind::kStar)) {
+        Next();
+        e = Rex::Star(e);
+      } else if (At(RexToken::Kind::kInverse)) {
+        Next();
+        e = Invert(e, [](SymbolId p, bool inv) { return Rex::Pred(p, !inv); });
+      } else {
+        break;
+      }
+    }
+    return e;
+  }
+
+  Result<RexPtr> ParseAtom() {
+    if (At(RexToken::Kind::kLParen)) {
+      Next();
+      auto e = ParseUnion();
+      if (!e.ok()) return e;
+      if (!At(RexToken::Kind::kRParen)) return Error("expected ')'");
+      Next();
+      return e;
+    }
+    if (At(RexToken::Kind::kIdent)) {
+      std::string name = Cur().text;
+      Next();
+      if (name == "0") return Rex::Empty();
+      if (name == "id") return Rex::Id();
+      return Rex::Pred(symbols_.Intern(name));
+    }
+    return Error("expected an atom, got '" + Cur().text + "'");
+  }
+
+  std::vector<RexToken> tokens_;
+  SymbolTable& symbols_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<RexPtr> ParseRex(std::string_view text, SymbolTable& symbols) {
+  auto tokens = LexRex(text);
+  if (!tokens.ok()) return tokens.status();
+  RexParser parser(tokens.take(), symbols);
+  return parser.ParseSingle();
+}
+
+Result<EquationSystem> ParseEquationSystem(std::string_view text,
+                                           SymbolTable& symbols) {
+  auto tokens = LexRex(text);
+  if (!tokens.ok()) return tokens.status();
+  RexParser parser(tokens.take(), symbols);
+  return parser.ParseSystem();
+}
+
+}  // namespace binchain

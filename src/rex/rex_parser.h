@@ -1,0 +1,37 @@
+// Textual syntax for binary relational expressions and equation systems,
+// the interface of the binary-relational evaluation system the paper builds
+// on (Hunt et al. [8]; Kuittinen's implementation [12]):
+//
+//   expr     :=  term ('U' term)*                 union, lowest precedence
+//   term     :=  factor ('.' factor)*             composition
+//   factor   :=  atom ('*' | '^-1')*              closure / inverse, postfix
+//   atom     :=  identifier | '0' | 'id' | '(' expr ')'
+//
+// An equation system is one `name = expr` line per derived predicate:
+//
+//   sg = flat U up.sg.down
+//   path = e*.e
+//
+// Names on a left-hand side become derived predicates; all other
+// identifiers denote base relations.
+#ifndef BINCHAIN_REX_REX_PARSER_H_
+#define BINCHAIN_REX_REX_PARSER_H_
+
+#include <string_view>
+
+#include "equations/equations.h"
+#include "rex/rex.h"
+#include "util/status.h"
+
+namespace binchain {
+
+/// Parses a single expression. `0` is the empty relation, `id` the identity.
+Result<RexPtr> ParseRex(std::string_view text, SymbolTable& symbols);
+
+/// Parses a system of equations, one per line ('%' comments allowed).
+Result<EquationSystem> ParseEquationSystem(std::string_view text,
+                                           SymbolTable& symbols);
+
+}  // namespace binchain
+
+#endif  // BINCHAIN_REX_REX_PARSER_H_

@@ -1,0 +1,59 @@
+#include "storage/database.h"
+
+#include "util/check.h"
+
+namespace binchain {
+
+Relation& Database::GetOrCreate(std::string_view pred, size_t arity) {
+  std::string key(pred);
+  auto it = relations_.find(key);
+  if (it != relations_.end()) {
+    BINCHAIN_CHECK(it->second->arity() == arity);
+    return *it->second;
+  }
+  auto rel = std::make_unique<Relation>(arity);
+  Relation& ref = *rel;
+  relations_.emplace(key, std::move(rel));
+  names_.push_back(key);
+  return ref;
+}
+
+const Relation* Database::Find(std::string_view pred) const {
+  auto it = relations_.find(std::string(pred));
+  return it == relations_.end() ? nullptr : it->second.get();
+}
+
+Relation* Database::FindMutable(std::string_view pred) {
+  auto it = relations_.find(std::string(pred));
+  return it == relations_.end() ? nullptr : it->second.get();
+}
+
+void Database::AddFact(std::string_view pred,
+                       std::initializer_list<std::string_view> args) {
+  Relation& rel = GetOrCreate(pred, args.size());
+  Tuple t;
+  t.reserve(args.size());
+  for (std::string_view a : args) t.push_back(symbols_.Intern(a));
+  rel.Insert(t);
+}
+
+void Database::AddFact(std::string_view pred,
+                       const std::vector<std::string>& args) {
+  Relation& rel = GetOrCreate(pred, args.size());
+  Tuple t;
+  t.reserve(args.size());
+  for (const std::string& a : args) t.push_back(symbols_.Intern(a));
+  rel.Insert(t);
+}
+
+uint64_t Database::TotalFetches() const {
+  uint64_t total = 0;
+  for (const auto& [name, rel] : relations_) total += rel->fetch_count();
+  return total;
+}
+
+void Database::ResetFetches() {
+  for (auto& [name, rel] : relations_) rel->ResetFetchCount();
+}
+
+}  // namespace binchain

@@ -1,0 +1,58 @@
+// The extensional database: named relations over a shared symbol table.
+#ifndef BINCHAIN_STORAGE_DATABASE_H_
+#define BINCHAIN_STORAGE_DATABASE_H_
+
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/relation.h"
+#include "storage/symbol_table.h"
+
+namespace binchain {
+
+/// Owns the EDB relations and the symbol table. Derived predicates never
+/// appear here; evaluation strategies keep their own IDB state.
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  SymbolTable& symbols() { return symbols_; }
+  const SymbolTable& symbols() const { return symbols_; }
+
+  /// Returns the relation named `pred`, creating it with `arity` if absent.
+  /// Aborts if it exists with a different arity (schema violation).
+  Relation& GetOrCreate(std::string_view pred, size_t arity);
+
+  /// Returns the relation or nullptr.
+  const Relation* Find(std::string_view pred) const;
+  Relation* FindMutable(std::string_view pred);
+
+  /// Convenience: insert a fact with string constants.
+  void AddFact(std::string_view pred, std::initializer_list<std::string_view> args);
+  void AddFact(std::string_view pred, const std::vector<std::string>& args);
+
+  /// Interns a constant and returns its id.
+  SymbolId Const(std::string_view name) { return symbols_.Intern(name); }
+
+  /// Total single-tuple fetches over all relations (work counter).
+  uint64_t TotalFetches() const;
+  void ResetFetches();
+
+  /// Names of all stored relations (insertion order).
+  const std::vector<std::string>& relation_names() const { return names_; }
+
+ private:
+  SymbolTable symbols_;
+  std::unordered_map<std::string, std::unique_ptr<Relation>> relations_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace binchain
+
+#endif  // BINCHAIN_STORAGE_DATABASE_H_

@@ -1,0 +1,51 @@
+#include "storage/relation.h"
+
+#include "util/check.h"
+
+namespace binchain {
+
+bool Relation::Insert(const Tuple& t) {
+  BINCHAIN_CHECK(t.size() == arity_);
+  auto [it, inserted] = set_.insert(t);
+  if (inserted) tuples_.push_back(t);
+  return inserted;
+}
+
+Tuple Relation::KeyFor(uint32_t mask, const Tuple& t) const {
+  Tuple key;
+  key.reserve(static_cast<size_t>(__builtin_popcount(mask)));
+  for (size_t i = 0; i < arity_; ++i) {
+    if (mask & (1u << i)) key.push_back(t[i]);
+  }
+  return key;
+}
+
+Relation::MaskIndex& Relation::IndexFor(uint32_t mask) const {
+  MaskIndex& idx = indexes_[mask];
+  // Absorb tuples appended since the index was last touched.
+  for (size_t i = idx.indexed_upto; i < tuples_.size(); ++i) {
+    idx.buckets[KeyFor(mask, tuples_[i])].push_back(static_cast<uint32_t>(i));
+  }
+  idx.indexed_upto = tuples_.size();
+  return idx;
+}
+
+void Relation::ForEachMatch(uint32_t mask, const Tuple& key,
+                            const std::function<void(const Tuple&)>& fn) const {
+  if (mask == 0) {
+    for (const Tuple& t : tuples_) {
+      ++fetches_;
+      fn(t);
+    }
+    return;
+  }
+  MaskIndex& idx = IndexFor(mask);
+  auto it = idx.buckets.find(KeyFor(mask, key));
+  if (it == idx.buckets.end()) return;
+  for (uint32_t ti : it->second) {
+    ++fetches_;
+    fn(tuples_[ti]);
+  }
+}
+
+}  // namespace binchain

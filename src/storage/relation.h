@@ -1,0 +1,64 @@
+// An n-ary relation: deduplicated tuple store with lazily built hash indexes
+// for arbitrary bound-column masks. This is the "extensional database"
+// retrieval mechanism the paper assumes (constant-time tuple access).
+#ifndef BINCHAIN_STORAGE_RELATION_H_
+#define BINCHAIN_STORAGE_RELATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "storage/tuple.h"
+
+namespace binchain {
+
+/// Mutable set of same-arity tuples. Insertion preserves first-seen order
+/// (tuples are addressed by dense index), duplicates are ignored.
+class Relation {
+ public:
+  explicit Relation(size_t arity) : arity_(arity) {}
+
+  size_t arity() const { return arity_; }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  const Tuple& tuple(size_t i) const { return tuples_[i]; }
+
+  /// Inserts `t`; returns true if it was new. Invalidates no indexes
+  /// (indexes absorb appended tuples on next use).
+  bool Insert(const Tuple& t);
+
+  bool Contains(const Tuple& t) const { return set_.count(t) > 0; }
+
+  /// Enumerates tuples matching `key` on the columns of `mask` (bit i set =>
+  /// column i must equal key[i]; other key positions are ignored).
+  /// `fn` receives the matching tuple. Builds the mask's index on first use.
+  void ForEachMatch(uint32_t mask, const Tuple& key,
+                    const std::function<void(const Tuple&)>& fn) const;
+
+  /// Number of single-tuple retrievals served (the paper's `t`-cost unit).
+  uint64_t fetch_count() const { return fetches_; }
+  void ResetFetchCount() { fetches_ = 0; }
+
+ private:
+  struct MaskIndex {
+    std::unordered_map<Tuple, std::vector<uint32_t>, TupleHash> buckets;
+    size_t indexed_upto = 0;  // tuples_[0..indexed_upto) are in buckets
+  };
+
+  Tuple KeyFor(uint32_t mask, const Tuple& t) const;
+  MaskIndex& IndexFor(uint32_t mask) const;
+
+  size_t arity_;
+  std::vector<Tuple> tuples_;
+  std::unordered_set<Tuple, TupleHash> set_;
+  mutable std::unordered_map<uint32_t, MaskIndex> indexes_;
+  mutable uint64_t fetches_ = 0;
+};
+
+}  // namespace binchain
+
+#endif  // BINCHAIN_STORAGE_RELATION_H_

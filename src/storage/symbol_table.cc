@@ -1,0 +1,44 @@
+#include "storage/symbol_table.h"
+
+#include <cstdlib>
+
+namespace binchain {
+namespace {
+
+std::optional<int64_t> ParseInt(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  size_t i = 0;
+  bool neg = false;
+  if (s[0] == '-') {
+    if (s.size() == 1) return std::nullopt;
+    neg = true;
+    i = 1;
+  }
+  int64_t v = 0;
+  for (; i < s.size(); ++i) {
+    if (s[i] < '0' || s[i] > '9') return std::nullopt;
+    v = v * 10 + (s[i] - '0');
+    if (v < 0) return std::nullopt;  // overflow guard; huge ints stay symbolic
+  }
+  return neg ? -v : v;
+}
+
+}  // namespace
+
+SymbolId SymbolTable::Intern(std::string_view s) {
+  auto it = index_.find(std::string(s));
+  if (it != index_.end()) return it->second;
+  SymbolId id = static_cast<SymbolId>(names_.size());
+  names_.emplace_back(s);
+  ints_.push_back(ParseInt(s));
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+std::optional<SymbolId> SymbolTable::Find(std::string_view s) const {
+  auto it = index_.find(std::string(s));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace binchain

@@ -1,0 +1,46 @@
+// String interning. Every constant, variable name and predicate name in the
+// system is a 32-bit id into a SymbolTable; all joins and graph traversals
+// operate on ids only.
+#ifndef BINCHAIN_STORAGE_SYMBOL_TABLE_H_
+#define BINCHAIN_STORAGE_SYMBOL_TABLE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace binchain {
+
+using SymbolId = uint32_t;
+
+/// Append-only interner mapping strings <-> dense 32-bit ids.
+/// Symbols whose spelling lexes as a decimal integer additionally carry the
+/// parsed value, which the built-in comparison predicates use.
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+
+  /// Interns `s`, returning its id (existing or fresh).
+  SymbolId Intern(std::string_view s);
+
+  /// Returns the id of `s` if already interned.
+  std::optional<SymbolId> Find(std::string_view s) const;
+
+  const std::string& Name(SymbolId id) const { return names_[id]; }
+
+  /// Parsed integer value when the symbol spells a decimal integer.
+  std::optional<int64_t> IntValue(SymbolId id) const { return ints_[id]; }
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::optional<int64_t>> ints_;
+  std::unordered_map<std::string, SymbolId> index_;
+};
+
+}  // namespace binchain
+
+#endif  // BINCHAIN_STORAGE_SYMBOL_TABLE_H_

@@ -1,0 +1,14 @@
+#include "storage/term_pool.h"
+
+namespace binchain {
+
+TermId TermPool::InternTuple(const Tuple& t) {
+  auto it = index_.find(t);
+  if (it != index_.end()) return it->second;
+  TermId id = static_cast<TermId>(terms_.size());
+  terms_.push_back(t);
+  index_.emplace(t, id);
+  return id;
+}
+
+}  // namespace binchain

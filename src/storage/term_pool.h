@@ -1,0 +1,44 @@
+// Interning of *graph terms*. In the binary-chain engine a node is a pair
+// (automaton state, term). For plain binary programs a term is one constant;
+// after the Section-4 transformation a term is a tuple of constants, e.g.
+// t(S, DT). The TermPool interns both shapes into dense TermIds so the
+// traversal engine is oblivious to term structure.
+#ifndef BINCHAIN_STORAGE_TERM_POOL_H_
+#define BINCHAIN_STORAGE_TERM_POOL_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/tuple.h"
+
+namespace binchain {
+
+using TermId = uint32_t;
+
+class TermPool {
+ public:
+  TermPool() = default;
+
+  /// Interns a 1-constant term.
+  TermId Unary(SymbolId c) { return InternTuple(Tuple{c}); }
+
+  /// Interns a constant-vector term (possibly empty: the Section-4 "t()"
+  /// term produced when no arguments are bound/free).
+  TermId InternTuple(const Tuple& t);
+
+  const Tuple& Get(TermId id) const { return terms_[id]; }
+
+  /// For 1-constant terms, the constant itself.
+  SymbolId AsUnary(TermId id) const { return terms_[id][0]; }
+
+  size_t size() const { return terms_.size(); }
+
+ private:
+  std::vector<Tuple> terms_;
+  std::unordered_map<Tuple, TermId, TupleHash> index_;
+};
+
+}  // namespace binchain
+
+#endif  // BINCHAIN_STORAGE_TERM_POOL_H_

@@ -1,0 +1,15 @@
+#include "storage/tuple.h"
+
+namespace binchain {
+
+std::string TupleToString(const Tuple& t, const SymbolTable& symbols) {
+  std::string out = "(";
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (i) out += ", ";
+    out += symbols.Name(t[i]);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace binchain

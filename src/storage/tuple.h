@@ -1,0 +1,33 @@
+// Tuples of interned constants, plus hashing so they can key hash tables.
+#ifndef BINCHAIN_STORAGE_TUPLE_H_
+#define BINCHAIN_STORAGE_TUPLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "storage/symbol_table.h"
+
+namespace binchain {
+
+using Tuple = std::vector<SymbolId>;
+
+/// FNV-1a over the id sequence; adequate for the in-memory hash indexes.
+struct TupleHash {
+  size_t operator()(const Tuple& t) const {
+    uint64_t h = 1469598103934665603ull;
+    for (SymbolId v : t) {
+      h ^= v;
+      h *= 1099511628211ull;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+/// Renders "(a, b, c)" for diagnostics.
+std::string TupleToString(const Tuple& t, const SymbolTable& symbols);
+
+}  // namespace binchain
+
+#endif  // BINCHAIN_STORAGE_TUPLE_H_

@@ -1,0 +1,232 @@
+#include "transform/adorn.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "datalog/analysis.h"
+
+namespace binchain {
+
+size_t Adornment::BoundCount() const {
+  size_t n = 0;
+  for (bool b : bound) n += b ? 1 : 0;
+  return n;
+}
+
+std::string Adornment::ToString() const {
+  std::string s;
+  for (bool b : bound) s += b ? 'b' : 'f';
+  return s;
+}
+
+std::string AdornedName(const AdornedPredicate& ap,
+                        const SymbolTable& symbols) {
+  return symbols.Name(ap.pred) + "~" + ap.adornment.ToString();
+}
+
+namespace {
+
+std::unordered_set<SymbolId> VarsOf(const Literal& lit) {
+  std::unordered_set<SymbolId> out;
+  for (const Term& t : lit.args) {
+    if (t.IsVar()) out.insert(t.symbol);
+  }
+  return out;
+}
+
+bool SharesVar(const std::unordered_set<SymbolId>& a,
+               const std::unordered_set<SymbolId>& b) {
+  for (SymbolId v : a) {
+    if (b.count(v)) return true;
+  }
+  return false;
+}
+
+struct AdornKey {
+  SymbolId pred;
+  std::string adornment;
+  bool operator==(const AdornKey& o) const {
+    return pred == o.pred && adornment == o.adornment;
+  }
+};
+struct AdornKeyHash {
+  size_t operator()(const AdornKey& k) const {
+    return std::hash<std::string>()(k.adornment) ^ (k.pred * 2654435761u);
+  }
+};
+
+}  // namespace
+
+Result<AdornedProgram> AdornProgram(const Program& program,
+                                    const SymbolTable& symbols,
+                                    const Literal& query) {
+  ProgramAnalysis analysis(program, symbols);
+  if (!analysis.BodyHasAtMostOneDerived()) {
+    return Status::Unsupported(
+        "adornment requires at most one derived literal per rule body");
+  }
+  if (!analysis.IsDerived(query.predicate)) {
+    return Status::InvalidArgument("query predicate is not derived");
+  }
+
+  AdornedProgram out;
+  out.query_literal = query;
+  out.query.pred = query.predicate;
+  for (const Term& t : query.args) {
+    out.query.adornment.bound.push_back(t.IsConst());
+  }
+
+  std::deque<AdornedPredicate> worklist{out.query};
+  std::unordered_set<AdornKey, AdornKeyHash> done;
+
+  while (!worklist.empty()) {
+    AdornedPredicate ap = worklist.front();
+    worklist.pop_front();
+    AdornKey key{ap.pred, ap.adornment.ToString()};
+    if (!done.insert(key).second) continue;
+
+    for (const Rule& r : program.rules) {
+      if (r.head.predicate != ap.pred) continue;
+      if (r.head.arity() != ap.adornment.bound.size()) {
+        return Status::InvalidArgument("query/rule arity mismatch");
+      }
+      for (const Term& t : r.head.args) {
+        if (t.IsConst()) {
+          return Status::Unsupported(
+              "adornment does not support constants in rule heads");
+        }
+      }
+      AdornedRule ar;
+      ar.head = ap;
+      ar.head_literal = r.head;
+
+      // Partition body literals: the (single) derived literal vs base ones.
+      std::vector<Literal> base_lits;
+      bool has_derived = false;
+      Literal derived_lit;
+      for (const Literal& lit : r.body) {
+        if (analysis.IsDerived(lit.predicate)) {
+          has_derived = true;
+          derived_lit = lit;
+        } else {
+          base_lits.push_back(lit);
+        }
+      }
+
+      if (!has_derived) {
+        ar.prefix = base_lits;
+        out.rules.push_back(std::move(ar));
+        continue;
+      }
+
+      // Bound head variables.
+      std::unordered_set<SymbolId> bound_vars;
+      for (size_t i = 0; i < r.head.args.size(); ++i) {
+        if (ap.adornment.bound[i] && r.head.args[i].IsVar()) {
+          bound_vars.insert(r.head.args[i].symbol);
+        }
+      }
+
+      // Prefix = base literals transitively connected (via shared variables
+      // among base literals) to a bound head variable; suffix = the rest.
+      // By construction no prefix literal shares a variable with a suffix
+      // literal (condition (2)).
+      std::vector<std::unordered_set<SymbolId>> vars;
+      vars.reserve(base_lits.size());
+      for (const Literal& lit : base_lits) vars.push_back(VarsOf(lit));
+      std::vector<bool> in_prefix(base_lits.size(), false);
+      bool changed = true;
+      while (changed) {
+        changed = false;
+        for (size_t i = 0; i < base_lits.size(); ++i) {
+          if (in_prefix[i]) continue;
+          bool connect = SharesVar(vars[i], bound_vars);
+          for (size_t j = 0; j < base_lits.size() && !connect; ++j) {
+            if (in_prefix[j] && SharesVar(vars[i], vars[j])) connect = true;
+          }
+          if (connect) {
+            in_prefix[i] = true;
+            changed = true;
+          }
+        }
+      }
+      for (size_t i = 0; i < base_lits.size(); ++i) {
+        (in_prefix[i] ? ar.prefix : ar.suffix).push_back(base_lits[i]);
+      }
+
+      // Condition (3): prefix literals form one connected set.
+      if (!ar.prefix.empty()) {
+        std::vector<std::unordered_set<SymbolId>> pv;
+        for (const Literal& lit : ar.prefix) pv.push_back(VarsOf(lit));
+        std::vector<bool> reach(ar.prefix.size(), false);
+        reach[0] = true;
+        bool grow = true;
+        while (grow) {
+          grow = false;
+          for (size_t i = 0; i < ar.prefix.size(); ++i) {
+            if (reach[i]) continue;
+            for (size_t j = 0; j < ar.prefix.size(); ++j) {
+              if (reach[j] && SharesVar(pv[i], pv[j])) {
+                reach[i] = true;
+                grow = true;
+                break;
+              }
+            }
+          }
+        }
+        ar.prefix_connected =
+            std::all_of(reach.begin(), reach.end(), [](bool b) { return b; });
+      }
+
+      // Condition (5): the derived literal's adornment marks as bound the
+      // positions filled by prefix variables, bound head variables, or
+      // constants.
+      std::unordered_set<SymbolId> known = bound_vars;
+      for (const Literal& lit : ar.prefix) {
+        for (const Term& t : lit.args) {
+          if (t.IsVar()) known.insert(t.symbol);
+        }
+      }
+      ar.has_derived = true;
+      ar.derived = derived_lit;
+      ar.derived_adorned.pred = derived_lit.predicate;
+      for (const Term& t : derived_lit.args) {
+        bool b = t.IsConst() || known.count(t.symbol) > 0;
+        ar.derived_adorned.adornment.bound.push_back(b);
+      }
+      AdornKey dkey{ar.derived_adorned.pred,
+                    ar.derived_adorned.adornment.ToString()};
+      if (!done.count(dkey)) worklist.push_back(ar.derived_adorned);
+      out.rules.push_back(std::move(ar));
+    }
+  }
+  return out;
+}
+
+bool IsChainProgram(const AdornedProgram& adorned) {
+  // Note: condition (3) (a single connected prefix) is diagnostic only; a
+  // prefix made of several groups, each anchored at bound head variables,
+  // is still evaluated correctly (e.g. the bb-adorned same-generation
+  // query). Equivalence (Lemma 6) needs only the variable-disjointness
+  // condition below.
+  for (const AdornedRule& r : adorned.rules) {
+    if (!r.has_derived) continue;
+    // Free head variables.
+    std::unordered_set<SymbolId> free_head;
+    for (size_t i = 0; i < r.head_literal.args.size(); ++i) {
+      if (!r.head.adornment.bound[i] && r.head_literal.args[i].IsVar()) {
+        free_head.insert(r.head_literal.args[i].symbol);
+      }
+    }
+    for (const Literal& lit : r.prefix) {
+      for (const Term& t : lit.args) {
+        if (t.IsVar() && free_head.count(t.symbol)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace binchain

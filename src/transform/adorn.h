@@ -1,0 +1,80 @@
+// Adorned-program construction (Section 4, following Beeri-Ramakrishnan
+// sideways information passing): starting from the query's binding pattern,
+// every derived predicate occurrence is annotated with a bound/free
+// adornment, and each rule body is split around its (single) derived literal
+// into a prefix of base literals connected to the bound head variables and a
+// suffix of the remaining base literals — conditions (1)-(5) of the paper.
+#ifndef BINCHAIN_TRANSFORM_ADORN_H_
+#define BINCHAIN_TRANSFORM_ADORN_H_
+
+#include <string>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "util/status.h"
+
+namespace binchain {
+
+struct Adornment {
+  std::vector<bool> bound;  // one flag per argument position
+
+  size_t BoundCount() const;
+  std::string ToString() const;  // e.g. "bbff"
+
+  friend bool operator==(const Adornment& a, const Adornment& b) {
+    return a.bound == b.bound;
+  }
+};
+
+struct AdornedPredicate {
+  SymbolId pred;
+  Adornment adornment;
+
+  friend bool operator==(const AdornedPredicate& a, const AdornedPredicate& b) {
+    return a.pred == b.pred && a.adornment == b.adornment;
+  }
+};
+
+/// One adorned rule. The body is reordered as
+///   prefix base literals (incl. built-ins), derived literal, suffix.
+struct AdornedRule {
+  AdornedPredicate head;
+  Literal head_literal;            // original head (variables)
+  std::vector<Literal> prefix;     // b_1 ... b_i
+  bool has_derived = false;
+  Literal derived;                 // q(Z)
+  AdornedPredicate derived_adorned;  // q^d
+  std::vector<Literal> suffix;     // b_{i+1} ... b_n
+
+  /// True if the prefix literals form a single connected component among the
+  /// base literals (condition (3)); multiple disconnected groups each
+  /// touching bound variables violate it.
+  bool prefix_connected = true;
+};
+
+struct AdornedProgram {
+  AdornedPredicate query;
+  Literal query_literal;
+  std::vector<AdornedRule> rules;
+};
+
+/// Builds the adorned program for `program` under `query`'s binding pattern.
+/// Requires a linear program in the paper's special form: at most one
+/// derived literal per rule body.
+Result<AdornedProgram> AdornProgram(const Program& program,
+                                    const SymbolTable& symbols,
+                                    const Literal& query);
+
+/// The paper's chain condition (Lemma 6 / Theorem 7): in every adorned rule
+/// with a derived literal, the variables of the prefix literals are disjoint
+/// from the head variables designated free. Only chain programs are
+/// faithfully evaluated by the binary-chain transformation.
+bool IsChainProgram(const AdornedProgram& adorned);
+
+/// Name mangling used when adorned predicates materialize as relations:
+/// "sg" + bf -> "sg~bf".
+std::string AdornedName(const AdornedPredicate& ap, const SymbolTable& symbols);
+
+}  // namespace binchain
+
+#endif  // BINCHAIN_TRANSFORM_ADORN_H_

@@ -1,0 +1,77 @@
+// Section 4: transformation of an adorned n-ary linear program into a
+// binary-chain program over the view predicates bin-p^a, base-r, in-r and
+// out-r:
+//
+//   bin-p^a(U, V) :- base-r(U, V).                      (base-only rule r)
+//   bin-p^a(U, V) :- in-r(U, U1), bin-q^d(U1, V1), out-r(V1, V).
+//
+// where
+//   base-r(t(Xb), t(Xf)) :- b_1(Y1), ..., b_n(Yn).
+//   in-r  (t(Xb), t(Zb)) :- b_1(Y1), ..., b_i(Yi).
+//   out-r (t(Zf), t(Xf)) :- b_{i+1}(Y_{i+1}), ..., b_n(Yn).
+//
+// Trivial in-r / out-r (empty body, identical argument tuples) are omitted
+// from the chain, exactly as in the paper's examples. The tuples t(...) are
+// interned as tuple terms; the views are evaluated *by demand* during the
+// graph traversal, so the query bindings restrict the facts consulted.
+//
+// The transformation is sound for all linear programs in the special form
+// (Lemma 5) and complete precisely for chain programs (Lemma 6, Theorem 7);
+// Binarize reports whether the chain condition holds.
+#ifndef BINCHAIN_TRANSFORM_BINARIZE_H_
+#define BINCHAIN_TRANSFORM_BINARIZE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "eval/engine.h"
+#include "eval/relation_view.h"
+#include "storage/database.h"
+#include "transform/adorn.h"
+#include "util/status.h"
+
+namespace binchain {
+
+struct ViewDefinition {
+  SymbolId name;                  // base-r / in-r / out-r mangled symbol
+  std::vector<Literal> body;      // base literals + built-ins
+  std::vector<SymbolId> input_vars;   // variables bound by the source term
+  std::vector<Term> output_terms;     // projected output (vars or consts)
+};
+
+struct BinarizedProgram {
+  Program bin_program;            // binary-chain rules over bin/view preds
+  std::vector<ViewDefinition> views;
+  SymbolId query_pred = 0;        // bin-q^a
+  Tuple query_input;              // t(constants at bound positions)
+  std::vector<size_t> bound_positions;  // of the original query literal
+  std::vector<size_t> free_positions;
+  bool is_chain = false;          // Lemma 6 chain condition
+};
+
+/// Builds the binary-chain program for `adorned` (which must come from
+/// AdornProgram on the same original program).
+Result<BinarizedProgram> Binarize(const AdornedProgram& adorned,
+                                  SymbolTable& symbols);
+
+/// End-to-end evaluation of an n-ary query through the Section-4 pipeline:
+/// adorn -> binarize -> Lemma 1 -> graph traversal. Answers are full tuples
+/// of the original query predicate. Fails with kUnsupported if the adorned
+/// program is not a chain program (the transformation would be unsound)
+/// unless `allow_non_chain` is set (for demonstrating Lemma 5's
+/// containment direction).
+struct TransformedQueryResult {
+  std::vector<Tuple> tuples;
+  EvalStats stats;
+  bool is_chain = false;
+  std::string bin_program_text;   // for inspection / documentation
+};
+Result<TransformedQueryResult> EvaluateViaBinarization(
+    const Program& program, Database& db, const Literal& query,
+    const EvalOptions& options = {}, bool allow_non_chain = false);
+
+}  // namespace binchain
+
+#endif  // BINCHAIN_TRANSFORM_BINARIZE_H_

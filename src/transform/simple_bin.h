@@ -1,0 +1,38 @@
+// The "simple" transformation the paper describes before its own (Section 4,
+// after Jagadish et al. [9] / Naughton [15]): represent a linear program as
+// a single binary relation over instantiated literals,
+//
+//   bin(q(c_z), p(c_x)) :- b_1(Y1), ..., b_n(Yn)    (rules with derived q)
+//   bin(0,      p(c_x)) :- b_1(Y1), ..., b_n(Yn)    (base-only rules)
+//
+// compute the *whole* relation bin bottom-up with standard joins, and answer
+// the query as the set of literals reachable from 0 in bin+. This simulates
+// naive bottom-up evaluation and ignores query bindings — the baseline the
+// paper's binding-propagating transformation improves on.
+#ifndef BINCHAIN_TRANSFORM_SIMPLE_BIN_H_
+#define BINCHAIN_TRANSFORM_SIMPLE_BIN_H_
+
+#include <vector>
+
+#include "datalog/ast.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace binchain {
+
+struct SimpleBinStats {
+  uint64_t bin_edges = 0;      // materialized bin tuples (the full relation)
+  uint64_t visited_nodes = 0;  // literals reached from 0
+};
+
+/// Variables of the head / derived literal not covered by the base literals
+/// are expanded over the active domain; evaluation aborts with kUnsupported
+/// once `edge_limit` edges have been materialized.
+Result<std::vector<Tuple>> SimpleBinQuery(const Program& program, Database& db,
+                                          const Literal& query,
+                                          SimpleBinStats* stats,
+                                          size_t edge_limit = 50000000);
+
+}  // namespace binchain
+
+#endif  // BINCHAIN_TRANSFORM_SIMPLE_BIN_H_

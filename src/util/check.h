@@ -1,0 +1,26 @@
+// Internal invariant checks. BINCHAIN_CHECK is always on (cheap predicates
+// guarding algorithmic invariants); BINCHAIN_DCHECK compiles out in NDEBUG.
+#ifndef BINCHAIN_UTIL_CHECK_H_
+#define BINCHAIN_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define BINCHAIN_CHECK(cond)                                              \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,       \
+                   __LINE__, #cond);                                      \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#ifdef NDEBUG
+#define BINCHAIN_DCHECK(cond) \
+  do {                        \
+  } while (0)
+#else
+#define BINCHAIN_DCHECK(cond) BINCHAIN_CHECK(cond)
+#endif
+
+#endif  // BINCHAIN_UTIL_CHECK_H_

@@ -1,0 +1,38 @@
+// Deterministic splitmix64-based RNG used by property tests and workload
+// generators, so every experiment is reproducible from a seed.
+#ifndef BINCHAIN_UTIL_RNG_H_
+#define BINCHAIN_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace binchain {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + 0x9e3779b97f4a7c15ull) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform value in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform value in [lo, hi] inclusive.
+  uint64_t Between(uint64_t lo, uint64_t hi) {
+    return lo + Below(hi - lo + 1);
+  }
+
+  /// True with probability num/den.
+  bool Chance(uint64_t num, uint64_t den) { return Below(den) < num; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace binchain
+
+#endif  // BINCHAIN_UTIL_RNG_H_

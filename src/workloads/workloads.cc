@@ -1,0 +1,139 @@
+#include "workloads/workloads.h"
+
+namespace binchain {
+namespace workloads {
+namespace {
+
+std::string N(const std::string& prefix, size_t i) {
+  return prefix + std::to_string(i);
+}
+
+}  // namespace
+
+const char* SgProgramText() {
+  return "sg(X, Y) :- flat(X, Y).\n"
+         "sg(X, Y) :- up(X, X1), sg(X1, Y1), down(Y1, Y).\n";
+}
+
+std::string Fig7a(Database& db, size_t n) {
+  for (size_t i = 1; i <= n; ++i) {
+    db.AddFact("up", {"a", N("b", i)});
+    db.AddFact("up", {N("b", i), "c"});
+    db.AddFact("down", {"c2", N("d", i)});
+    db.AddFact("down", {N("d", i), N("e", i)});
+  }
+  db.AddFact("flat", {"c", "c2"});
+  return "a";
+}
+
+std::string Fig7b(Database& db, size_t n) {
+  for (size_t i = 1; i < n; ++i) {
+    db.AddFact("up", {N("a", i), N("a", i + 1)});
+    db.AddFact("down", {N("b", i + 1), N("b", i)});
+  }
+  for (size_t k = 1; k <= n; ++k) {
+    db.AddFact("flat", {N("a", k), N("b", n)});
+  }
+  return "a1";
+}
+
+std::string Fig7c(Database& db, size_t n) {
+  for (size_t i = 1; i < n; ++i) {
+    db.AddFact("up", {N("a", i), N("a", i + 1)});
+    db.AddFact("down", {N("b", i + 1), N("b", i)});
+  }
+  for (size_t i = 1; i <= n; ++i) {
+    db.AddFact("flat", {N("a", i), N("b", i)});
+  }
+  return "a1";
+}
+
+std::string Fig8(Database& db, size_t m, size_t n) {
+  for (size_t i = 1; i <= m; ++i) {
+    db.AddFact("up", {N("a", i), N("a", i % m + 1)});
+  }
+  for (size_t i = 1; i <= n; ++i) {
+    // down(b_i, b_{i-1}) cyclically: walking down decrements the index.
+    size_t prev = (i == 1) ? n : i - 1;
+    db.AddFact("down", {N("b", i), N("b", prev)});
+  }
+  db.AddFact("flat", {N("a", m), N("b", n)});
+  return "a1";
+}
+
+std::string Chain(Database& db, const std::string& rel,
+                  const std::string& prefix, size_t len) {
+  for (size_t i = 1; i < len; ++i) {
+    db.AddFact(rel, {N(prefix, i), N(prefix, i + 1)});
+  }
+  return N(prefix, 1);
+}
+
+std::string UpTree(Database& db, const std::string& rel,
+                   const std::string& prefix, size_t levels) {
+  // Nodes numbered heap-style: node i has parent i/2; edges child -> parent.
+  size_t total = (1u << levels) - 1;
+  for (size_t i = 2; i <= total; ++i) {
+    db.AddFact(rel, {N(prefix, i), N(prefix, i / 2)});
+  }
+  return N(prefix, total);  // a leaf
+}
+
+void RandomGraph(Database& db, const std::string& rel,
+                 const std::string& prefix, size_t nodes, size_t edges,
+                 Rng& rng) {
+  for (size_t i = 0; i < edges; ++i) {
+    size_t u = rng.Below(nodes);
+    size_t v = rng.Below(nodes);
+    db.AddFact(rel, {N(prefix, u), N(prefix, v)});
+  }
+}
+
+void RandomDag(Database& db, const std::string& rel,
+               const std::string& prefix, size_t nodes, size_t edges,
+               Rng& rng) {
+  for (size_t k = 0; k < edges; ++k) {
+    size_t i = rng.Below(nodes - 1);
+    size_t j = i + 1 + rng.Below(nodes - 1 - i);
+    db.AddFact(rel, {N(prefix, i), N(prefix, j)});
+  }
+}
+
+const char* PathProgramText() {
+  return "path(X, Y) :- e(X, Y).\n"
+         "path(X, Z) :- e(X, Y), path(Y, Z).\n";
+}
+
+std::string BuildFlights(Database& db, const FlightSpec& spec) {
+  Rng rng(spec.seed);
+  for (size_t i = 0; i < spec.flights; ++i) {
+    size_t s = rng.Below(spec.airports);
+    size_t d = rng.Below(spec.airports);
+    if (d == s) d = (d + 1) % spec.airports;
+    size_t dt = rng.Below(spec.horizon);
+    size_t at = dt + 1 + rng.Below(5);
+    db.AddFact("flight", {N("p", s), std::to_string(dt), N("p", d),
+                          std::to_string(at)});
+    db.AddFact("is-deptime", {std::to_string(dt)});
+  }
+  return "p0";
+}
+
+const char* FlightProgramText() {
+  return "cnx(S, DT, D, AT) :- flight(S, DT, D, AT).\n"
+         "cnx(S, DT, D, AT) :- flight(S, DT, D1, AT1), AT1 < DT1, "
+         "is-deptime(DT1), cnx(D1, DT1, D, AT).\n";
+}
+
+const char* AlternatingProgramText() {
+  return "p(X, Y) :- b0(X, Y).\n"
+         "p(X, Y) :- b1(X, Z), p(Y, Z).\n";
+}
+
+const char* NonChainProgramText() {
+  return "p(X, Y) :- b0(X, Y).\n"
+         "p(X, Y) :- b1(X, Y), p(Y, Z).\n";
+}
+
+}  // namespace workloads
+}  // namespace binchain

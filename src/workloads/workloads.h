@@ -1,0 +1,102 @@
+// Parametric workload generators for the paper's evaluation section:
+// the three same-generation samples of Figure 7, the cyclic sample of
+// Figure 8, random graphs for the regular case (Theorem 3), ladders/chains
+// for the linear case (Theorem 4), the airline-flight database of Section 4,
+// and the Naughton-style alternating-binding program.
+#ifndef BINCHAIN_WORKLOADS_WORKLOADS_H_
+#define BINCHAIN_WORKLOADS_WORKLOADS_H_
+
+#include <string>
+
+#include "storage/database.h"
+#include "util/rng.h"
+
+namespace binchain {
+namespace workloads {
+
+/// The same-generation program (Section 3):
+///   sg(X, Y) :- flat(X, Y).
+///   sg(X, Y) :- up(X, X1), sg(X1, Y1), down(Y1, Y).
+const char* SgProgramText();
+
+/// Figure 7 (a) rebuilt as a "double fan": up: a -> b_i -> c (fan n);
+/// flat: c -> c2; down: c2 -> d_i -> e_i. Constant iterations, Theta(n)
+/// nodes for the graph-traversal algorithm; Theta(n^2) for magic sets.
+/// Returns the query constant ("a").
+std::string Fig7a(Database& db, size_t n);
+
+/// Figure 7 (b): up-chain a_1 -> ... -> a_n, flat(a_k, b_n) for every k,
+/// down-chain b_n -> ... -> b_1. n iterations and Theta(n^2) nodes: term
+/// b_j appears on j-1 levels. Returns the query constant ("a1").
+std::string Fig7b(Database& db, size_t n);
+
+/// Figure 7 (c): the ladder. up-chain, one flat rung per level,
+/// down-chain. n iterations, Theta(n) nodes: every b_i gives rise to one
+/// node. Returns the query constant ("a1").
+std::string Fig7c(Database& db, size_t n);
+
+/// Figure 8: up-cycle of length m, down-cycle of length n,
+/// flat(a_m, b_n). For gcd(m, n) = 1 the full answer requires m*n
+/// iterations. Returns the query constant ("a1").
+std::string Fig8(Database& db, size_t m, size_t n);
+
+/// A plain chain u_1 -> ... -> u_len in relation `rel` with node prefix
+/// `prefix`; returns the first node name.
+std::string Chain(Database& db, const std::string& rel,
+                  const std::string& prefix, size_t len);
+
+/// Complete binary tree of `levels` levels in `rel`, edges child -> parent
+/// (pointing at the root); returns the root name. Used for Theorem 4.
+std::string UpTree(Database& db, const std::string& rel,
+                   const std::string& prefix, size_t levels);
+
+/// Random directed graph: `edges` uniform edges over `nodes` nodes named
+/// <prefix><i>.
+void RandomGraph(Database& db, const std::string& rel,
+                 const std::string& prefix, size_t nodes, size_t edges,
+                 Rng& rng);
+
+/// Random DAG: edges only from lower- to higher-numbered nodes. Acyclic base
+/// relations guarantee termination of the traversal (Theorem 4 (2)).
+void RandomDag(Database& db, const std::string& rel,
+               const std::string& prefix, size_t nodes, size_t edges,
+               Rng& rng);
+
+/// Transitive-closure program over base relation e (right-linear, regular):
+///   path(X, Y) :- e(X, Y).
+///   path(X, Z) :- e(X, Y), path(Y, Z).
+const char* PathProgramText();
+
+/// The Section-4 airline database: `flights` random flights over `airports`
+/// airports and integer times in [0, horizon); is-deptime facts for every
+/// departure time. Returns the query source airport ("p0").
+struct FlightSpec {
+  size_t airports = 10;
+  size_t flights = 100;
+  size_t horizon = 100;
+  uint64_t seed = 42;
+};
+std::string BuildFlights(Database& db, const FlightSpec& spec);
+
+/// The flight-connection program (Section 4):
+///   cnx(S, DT, D, AT) :- flight(S, DT, D, AT).
+///   cnx(S, DT, D, AT) :- flight(S, DT, D1, AT1), AT1 < DT1,
+///                        is-deptime(DT1), cnx(D1, DT1, D, AT).
+const char* FlightProgramText();
+
+/// Naughton's alternating-binding program (Section 4 example):
+///   p(X, Y) :- b0(X, Y).
+///   p(X, Y) :- b1(X, Z), p(Y, Z).
+const char* AlternatingProgramText();
+
+/// The paper's non-chain example (end of Section 4): with b1(a,b), b0(b,c)
+/// the transformed program would over-answer; used to exercise the chain
+/// detector.
+///   p(X, Y) :- b0(X, Y).
+///   p(X, Y) :- b1(X, Y), p(Y, Z).
+const char* NonChainProgramText();
+
+}  // namespace workloads
+}  // namespace binchain
+
+#endif  // BINCHAIN_WORKLOADS_WORKLOADS_H_

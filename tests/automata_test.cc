@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "automata/nfa.h"
+
+namespace binchain {
+namespace {
+
+class NfaTest : public ::testing::Test {
+ protected:
+  SymbolTable symbols_;
+  SymbolId a_ = symbols_.Intern("a");
+  SymbolId b_ = symbols_.Intern("b");
+  SymbolId p_ = symbols_.Intern("p");
+
+  static size_t CountKind(const Nfa& nfa, NfaLabel::Kind kind) {
+    size_t n = 0;
+    for (uint32_t s = 0; s < nfa.NumStates(); ++s) {
+      for (const NfaTransition& t : nfa.Out(s)) {
+        if (t.label.kind == kind) ++n;
+      }
+    }
+    return n;
+  }
+};
+
+TEST_F(NfaTest, PredLeafIsSingleTransition) {
+  Nfa nfa = BuildNfa(Rex::Pred(a_), [](SymbolId) { return false; });
+  EXPECT_EQ(nfa.NumStates(), 2u);
+  EXPECT_EQ(CountKind(nfa, NfaLabel::Kind::kRel), 1u);
+  EXPECT_EQ(nfa.Out(nfa.initial())[0].target, nfa.final());
+}
+
+TEST_F(NfaTest, DerivedClassifierControlsLabelKind) {
+  Nfa nfa = BuildNfa(Rex::Concat2(Rex::Pred(a_), Rex::Pred(p_)),
+                     [&](SymbolId s) { return s == p_; });
+  EXPECT_EQ(CountKind(nfa, NfaLabel::Kind::kRel), 1u);
+  EXPECT_EQ(CountKind(nfa, NfaLabel::Kind::kDerived), 1u);
+}
+
+TEST_F(NfaTest, EmptyExpressionDisconnects) {
+  Nfa nfa = BuildNfa(Rex::Empty(), [](SymbolId) { return false; });
+  EXPECT_EQ(CountKind(nfa, NfaLabel::Kind::kId), 0u);
+  EXPECT_NE(nfa.initial(), nfa.final());
+}
+
+TEST_F(NfaTest, StarAllowsSkipAndRepeat) {
+  Nfa nfa = BuildNfa(Rex::Star(Rex::Pred(a_)), [](SymbolId) { return false; });
+  // Thompson star: 4 id transitions (skip, enter, exit, repeat).
+  EXPECT_EQ(CountKind(nfa, NfaLabel::Kind::kId), 4u);
+  EXPECT_EQ(CountKind(nfa, NfaLabel::Kind::kRel), 1u);
+}
+
+TEST_F(NfaTest, SpliceCopyRenumbersStates) {
+  Nfa m = BuildNfa(Rex::Pred(a_), [](SymbolId) { return false; });
+  Nfa em;
+  uint32_t off1 = em.SpliceCopy(m);
+  uint32_t off2 = em.SpliceCopy(m);
+  EXPECT_EQ(off1, 0u);
+  EXPECT_EQ(off2, m.NumStates());
+  EXPECT_EQ(em.NumStates(), 2 * m.NumStates());
+  // The copied transitions point inside their own copy.
+  EXPECT_EQ(em.Out(off2 + m.initial())[0].target, off2 + m.final());
+}
+
+TEST_F(NfaTest, RemoveDerivedTransition) {
+  Nfa nfa = BuildNfa(Rex::Pred(p_), [&](SymbolId s) { return s == p_; });
+  uint32_t from = nfa.initial();
+  uint32_t to = nfa.final();
+  EXPECT_TRUE(nfa.RemoveDerivedTransition(from, p_, to));
+  EXPECT_FALSE(nfa.RemoveDerivedTransition(from, p_, to));
+  EXPECT_TRUE(nfa.Out(from).empty());
+}
+
+TEST_F(NfaTest, InvertedLeafKeepsFlag) {
+  Nfa nfa =
+      BuildNfa(Rex::Pred(a_, /*inverted=*/true), [](SymbolId) { return false; });
+  EXPECT_TRUE(nfa.Out(nfa.initial())[0].label.inverted);
+}
+
+TEST_F(NfaTest, FigureOneAutomatonShape) {
+  // e_p = (b3.b4* U b2.p).b1 (Figure 1): one derived transition, four
+  // relation transitions.
+  SymbolId b1 = symbols_.Intern("b1"), b2 = symbols_.Intern("b2"),
+           b3 = symbols_.Intern("b3"), b4 = symbols_.Intern("b4");
+  RexPtr e = Rex::Concat2(
+      Rex::Union2(Rex::Concat2(Rex::Pred(b3), Rex::Star(Rex::Pred(b4))),
+                  Rex::Concat2(Rex::Pred(b2), Rex::Pred(p_))),
+      Rex::Pred(b1));
+  Nfa nfa = BuildNfa(e, [&](SymbolId s) { return s == p_; });
+  EXPECT_EQ(CountKind(nfa, NfaLabel::Kind::kRel), 4u);
+  EXPECT_EQ(CountKind(nfa, NfaLabel::Kind::kDerived), 1u);
+}
+
+}  // namespace
+}  // namespace binchain

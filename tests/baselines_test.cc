@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/bottom_up.h"
+#include "baselines/counting.h"
+#include "baselines/magic.h"
+#include "datalog/parser.h"
+#include "equations/lemma1.h"
+#include "workloads/workloads.h"
+
+namespace binchain {
+namespace {
+
+Program MustParse(const std::string& text, SymbolTable& symbols) {
+  auto r = ParseProgram(text, symbols);
+  EXPECT_TRUE(r.ok()) << r.status().message();
+  return r.take();
+}
+
+Literal MustLiteral(const std::string& text, SymbolTable& symbols) {
+  auto r = ParseLiteral(text, symbols);
+  EXPECT_TRUE(r.ok()) << r.status().message();
+  return r.take();
+}
+
+std::set<std::string> Col(const Database& db, const std::vector<Tuple>& ts,
+                          size_t i) {
+  std::set<std::string> out;
+  for (const Tuple& t : ts) out.insert(db.symbols().Name(t[i]));
+  return out;
+}
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  Database db_;
+};
+
+TEST_F(BaselinesTest, NaiveTransitiveClosure) {
+  db_.AddFact("e", {"a", "b"});
+  db_.AddFact("e", {"b", "c"});
+  Program p = MustParse(workloads::PathProgramText(), db_.symbols());
+  BottomUpStats stats;
+  auto r = NaiveQuery(p, db_, MustLiteral("path(a, Y)", db_.symbols()),
+                      &stats);
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  EXPECT_EQ(Col(db_, r.value(), 1), (std::set<std::string>{"b", "c"}));
+  EXPECT_GT(stats.rounds, 1u);
+}
+
+TEST_F(BaselinesTest, SeminaiveMatchesNaive) {
+  Rng rng(3);
+  workloads::RandomGraph(db_, "e", "v", 25, 50, rng);
+  Program p = MustParse(workloads::PathProgramText(), db_.symbols());
+  Literal q = MustLiteral("path(v1, Y)", db_.symbols());
+  BottomUpStats ns, ss;
+  auto naive = NaiveQuery(p, db_, q, &ns);
+  auto semi = SeminaiveQuery(p, db_, q, &ss);
+  ASSERT_TRUE(naive.ok());
+  ASSERT_TRUE(semi.ok());
+  EXPECT_EQ(naive.value(), semi.value());
+  // Seminaive must not fire more often than naive re-derivation.
+  EXPECT_LE(ss.firings, ns.firings);
+}
+
+TEST_F(BaselinesTest, SeminaiveHandlesCycles) {
+  db_.AddFact("e", {"a", "b"});
+  db_.AddFact("e", {"b", "a"});
+  Program p = MustParse(workloads::PathProgramText(), db_.symbols());
+  auto r = SeminaiveQuery(p, db_, MustLiteral("path(a, Y)", db_.symbols()),
+                          nullptr);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Col(db_, r.value(), 1), (std::set<std::string>{"a", "b"}));
+}
+
+TEST_F(BaselinesTest, BottomUpRejectsUnsafePrograms) {
+  SymbolTable& symbols = db_.symbols();
+  Program unsafe = MustParse("p(X, Y) :- b(X, X).\n", symbols);
+  EXPECT_FALSE(
+      NaiveQuery(unsafe, db_, MustLiteral("p(a, Y)", symbols), nullptr).ok());
+  Program empty_body = MustParse("p(X, X).\n", symbols);
+  EXPECT_FALSE(
+      SeminaiveQuery(empty_body, db_, MustLiteral("p(a, Y)", symbols), nullptr)
+          .ok());
+}
+
+TEST_F(BaselinesTest, MagicMatchesSeminaiveOnSg) {
+  std::string a = workloads::Fig7a(db_, 6);
+  Program p = MustParse(workloads::SgProgramText(), db_.symbols());
+  Literal q = MustLiteral("sg(" + a + ", Y)", db_.symbols());
+  BottomUpStats ms, ss;
+  auto magic = MagicQuery(p, db_, q, &ms);
+  auto semi = SeminaiveQuery(p, db_, q, &ss);
+  ASSERT_TRUE(magic.ok()) << magic.status().message();
+  ASSERT_TRUE(semi.ok());
+  EXPECT_EQ(magic.value(), semi.value());
+  EXPECT_EQ(magic.value().size(), 6u);
+}
+
+TEST_F(BaselinesTest, MagicRestrictsWorkOnIrrelevantData) {
+  // Two disconnected sg instances: magic only touches the queried one.
+  std::string a = workloads::Fig7c(db_, 10);
+  // Irrelevant second component (fresh names).
+  for (int i = 0; i < 50; ++i) {
+    db_.AddFact("up", {"z" + std::to_string(i), "z" + std::to_string(i + 1)});
+    db_.AddFact("flat", {"z" + std::to_string(i), "w" + std::to_string(i)});
+    db_.AddFact("down", {"w" + std::to_string(i + 1), "w" + std::to_string(i)});
+  }
+  Program p = MustParse(workloads::SgProgramText(), db_.symbols());
+  Literal q = MustLiteral("sg(" + a + ", Y)", db_.symbols());
+  BottomUpStats ms, ss;
+  auto magic = MagicQuery(p, db_, q, &ms);
+  auto semi = SeminaiveQuery(p, db_, q, &ss);
+  ASSERT_TRUE(magic.ok());
+  ASSERT_TRUE(semi.ok());
+  EXPECT_EQ(magic.value(), semi.value());
+  EXPECT_LT(ms.tuples, ss.tuples);
+}
+
+class LevelTest : public ::testing::Test {
+ protected:
+  void Prepare() {
+    program_ = MustParse(workloads::SgProgramText(), db_.symbols());
+    auto eqs = TransformToEquations(program_, db_.symbols());
+    ASSERT_TRUE(eqs.ok());
+    ASSERT_TRUE(MatchLinearNormalForm(eqs.value().final_system,
+                                      *db_.symbols().Find("sg"), &nf_));
+    views_ = std::make_unique<ViewRegistry>(&db_.symbols());
+    views_->RegisterDatabase(db_);
+  }
+
+  std::set<std::string> Run(
+      const std::string& source,
+      Result<std::vector<TermId>> (*fn)(const ViewRegistry&,
+                                        const LinearNormalForm&, TermId,
+                                        size_t, LevelStats*),
+      LevelStats* stats = nullptr) {
+    TermId s = views_->pool().Unary(db_.symbols().Intern(source));
+    auto r = fn(*views_, nf_, s, 10000, stats);
+    EXPECT_TRUE(r.ok()) << r.status().message();
+    std::set<std::string> out;
+    for (TermId y : r.value()) {
+      out.insert(db_.symbols().Name(views_->pool().AsUnary(y)));
+    }
+    return out;
+  }
+
+  Database db_;
+  Program program_;
+  LinearNormalForm nf_;
+  std::unique_ptr<ViewRegistry> views_;
+};
+
+TEST_F(LevelTest, CountingAnswersLadder) {
+  std::string a = workloads::Fig7c(db_, 8);
+  Prepare();
+  EXPECT_EQ(Run(a, &CountingQuery), (std::set<std::string>{"b1"}));
+}
+
+TEST_F(LevelTest, HenschenNaqviMatchesCounting) {
+  std::string a = workloads::Fig7b(db_, 8);
+  Prepare();
+  EXPECT_EQ(Run(a, &CountingQuery), Run(a, &HenschenNaqviQuery));
+}
+
+TEST_F(LevelTest, ReverseCountingMatchesCounting) {
+  std::string a = workloads::Fig7a(db_, 5);
+  Prepare();
+  EXPECT_EQ(Run(a, &CountingQuery), Run(a, &ReverseCountingQuery));
+}
+
+TEST_F(LevelTest, HenschenNaqviRetraversesOnLadder) {
+  // On Figure 7(c) HN recomputes the d-fold down walk per level: its down
+  // work is quadratic while counting's Horner fold stays linear.
+  std::string a = workloads::Fig7c(db_, 60);
+  Prepare();
+  LevelStats cs, hs;
+  Run(a, &CountingQuery, &cs);
+  Run(a, &HenschenNaqviQuery, &hs);
+  EXPECT_GT(hs.down_work, 3 * cs.down_work);
+}
+
+TEST_F(LevelTest, CountingCapsOnCycles) {
+  std::string a = workloads::Fig8(db_, 2, 3);
+  Prepare();
+  TermId s = views_->pool().Unary(db_.symbols().Intern(a));
+  LevelStats stats;
+  auto r = CountingQuery(*views_, nf_, s, 6, &stats);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(stats.hit_cap);
+  EXPECT_EQ(r.value().size(), 3u);  // all down-cycle nodes reached within 6
+}
+
+}  // namespace
+}  // namespace binchain

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "eval/closure.h"
+#include "eval/dot_export.h"
+#include "eval/query.h"
+#include "util/rng.h"
+#include "workloads/workloads.h"
+
+namespace binchain {
+namespace {
+
+class ClosureTest : public ::testing::Test {
+ protected:
+  Database db_;
+
+  std::set<std::pair<std::string, std::string>> AllPairs() {
+    ViewRegistry views(&db_.symbols());
+    views.RegisterDatabase(db_);
+    ClosureStats stats;
+    auto r = TransitiveClosureAllPairs(views.Find(*db_.symbols().Find("e")),
+                                       &stats);
+    EXPECT_TRUE(r.ok()) << r.status().message();
+    std::set<std::pair<std::string, std::string>> out;
+    for (auto [u, v] : r.value()) {
+      out.emplace(db_.symbols().Name(views.pool().AsUnary(u)),
+                  db_.symbols().Name(views.pool().AsUnary(v)));
+    }
+    return out;
+  }
+};
+
+TEST_F(ClosureTest, ChainClosure) {
+  db_.AddFact("e", {"a", "b"});
+  db_.AddFact("e", {"b", "c"});
+  auto pairs = AllPairs();
+  EXPECT_EQ(pairs, (std::set<std::pair<std::string, std::string>>{
+                       {"a", "b"}, {"a", "c"}, {"b", "c"}}));
+}
+
+TEST_F(ClosureTest, CycleReachesItself) {
+  db_.AddFact("e", {"a", "b"});
+  db_.AddFact("e", {"b", "a"});
+  auto pairs = AllPairs();
+  // Every ordered pair including the diagonal.
+  EXPECT_EQ(pairs.size(), 4u);
+  EXPECT_TRUE(pairs.count({"a", "a"}));
+  EXPECT_TRUE(pairs.count({"b", "b"}));
+}
+
+TEST_F(ClosureTest, SelfLoopOnly) {
+  db_.AddFact("e", {"a", "a"});
+  db_.AddFact("e", {"b", "c"});
+  auto pairs = AllPairs();
+  EXPECT_TRUE(pairs.count({"a", "a"}));
+  EXPECT_FALSE(pairs.count({"b", "b"}));
+  EXPECT_TRUE(pairs.count({"b", "c"}));
+}
+
+TEST_F(ClosureTest, MatchesPerSourceEngineOnRandomGraphs) {
+  Rng rng(77);
+  workloads::RandomGraph(db_, "e", "v", 40, 90, rng);
+  QueryEngine qe(&db_);
+  ASSERT_TRUE(qe.LoadProgramText(workloads::PathProgramText()).ok());
+  auto shared = qe.Query("path(X, Y)");
+  ASSERT_TRUE(shared.ok());
+  EvalOptions per_source;
+  per_source.disable_closure_sharing = true;
+  auto slow = qe.Query("path(X, Y)", per_source);
+  ASSERT_TRUE(slow.ok());
+  EXPECT_EQ(shared.value().tuples, slow.value().tuples);
+}
+
+TEST_F(ClosureTest, DiagonalQueryMatches) {
+  Rng rng(78);
+  workloads::RandomGraph(db_, "e", "v", 25, 60, rng);
+  QueryEngine qe(&db_);
+  ASSERT_TRUE(qe.LoadProgramText(workloads::PathProgramText()).ok());
+  auto shared = qe.Query("path(X, X)");
+  ASSERT_TRUE(shared.ok());
+  EvalOptions per_source;
+  per_source.disable_closure_sharing = true;
+  auto slow = qe.Query("path(X, X)", per_source);
+  ASSERT_TRUE(slow.ok());
+  EXPECT_EQ(shared.value().tuples, slow.value().tuples);
+  for (const Tuple& t : shared.value().tuples) EXPECT_EQ(t[0], t[1]);
+}
+
+TEST_F(ClosureTest, LeftLinearClosureAlsoShared) {
+  db_.AddFact("e", {"a", "b"});
+  db_.AddFact("e", {"b", "c"});
+  QueryEngine qe(&db_);
+  ASSERT_TRUE(qe.LoadProgramText(
+                    "path(X, Y) :- e(X, Y).\n"
+                    "path(X, Z) :- path(X, Y), e(Y, Z).\n")
+                  .ok());
+  auto r = qe.Query("path(X, Y)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().tuples.size(), 3u);
+}
+
+TEST(DotExportTest, NfaDotContainsStatesAndLabels) {
+  SymbolTable symbols;
+  SymbolId p = symbols.Intern("p");
+  RexPtr e = Rex::Concat2(Rex::Pred(symbols.Intern("b")), Rex::Pred(p));
+  Nfa nfa = BuildNfa(e, [&](SymbolId s) { return s == p; });
+  std::string dot = NfaToDot(nfa, symbols);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"b\""), std::string::npos);
+  EXPECT_NE(dot.find("[p]"), std::string::npos);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);
+}
+
+TEST(DotExportTest, DependencyDotMarksRecursion) {
+  SymbolTable symbols;
+  EquationSystem eqs;
+  SymbolId p = symbols.Intern("p");
+  SymbolId q = symbols.Intern("q");
+  eqs.Set(p, Rex::Concat2(Rex::Pred(symbols.Intern("b")), Rex::Pred(p)));
+  eqs.Set(q, Rex::Pred(p));
+  std::string dot = EquationDependenciesToDot(eqs, symbols);
+  EXPECT_NE(dot.find("\"p\" [peripheries=2]"), std::string::npos);
+  EXPECT_NE(dot.find("\"q\" -> \"p\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace binchain

@@ -1,0 +1,253 @@
+// Edge cases across the stack: degenerate equations, reflexive closure,
+// empty relations, unknown constants, error paths, memoization behaviour.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datalog/parser.h"
+#include "equations/lemma1.h"
+#include "eval/query.h"
+#include "eval/relation_view.h"
+#include "workloads/workloads.h"
+
+namespace binchain {
+namespace {
+
+Program MustParse(const std::string& text, SymbolTable& symbols) {
+  auto r = ParseProgram(text, symbols);
+  EXPECT_TRUE(r.ok()) << r.status().message();
+  return r.take();
+}
+
+TEST(EquationEdgeTest, PureLeftRecursionWithoutBaseCaseIsEmpty) {
+  // p = p.e has least solution 0 (paper: "degenerate equations such as
+  // p = p.e1 are interpreted as p = 0").
+  SymbolTable symbols;
+  Program p = MustParse("p(X, Z) :- p(X, Y), e(Y, Z).\n", symbols);
+  auto r = TransformToEquations(p, symbols);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().final_system.Rhs(*symbols.Find("p"))->IsEmpty());
+}
+
+TEST(EquationEdgeTest, SelfAlternativeDisappears) {
+  // p = e U p  =>  p = e.id* = e.
+  SymbolTable symbols;
+  Program p = MustParse("p(X, Y) :- e(X, Y).\np(X, Y) :- p(X, Y).\n", symbols);
+  auto r = TransformToEquations(p, symbols);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(RexToString(r.value().final_system.Rhs(*symbols.Find("p")),
+                        symbols),
+            "e");
+}
+
+TEST(EquationEdgeTest, ReflexiveTransitiveClosureViaEmptyBodyRule) {
+  SymbolTable symbols;
+  Program p = MustParse("star(X, X).\nstar(X, Z) :- star(X, Y), e(Y, Z).\n",
+                        symbols);
+  auto r = TransformToEquations(p, symbols);
+  ASSERT_TRUE(r.ok());
+  // star = id U star.e => id.e* => e*.
+  EXPECT_EQ(RexToString(r.value().final_system.Rhs(*symbols.Find("star")),
+                        symbols),
+            "e*");
+}
+
+TEST(EngineEdgeTest, ReflexiveClosureIncludesSource) {
+  Database db;
+  db.AddFact("e", {"a", "b"});
+  QueryEngine qe(&db);
+  ASSERT_TRUE(qe.LoadProgramText(
+                    "star(X, X).\nstar(X, Z) :- star(X, Y), e(Y, Z).\n")
+                  .ok());
+  auto r = qe.Query("star(a, Y)");
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  std::set<std::string> names;
+  for (const Tuple& t : r.value().tuples) names.insert(db.symbols().Name(t[1]));
+  EXPECT_EQ(names, (std::set<std::string>{"a", "b"}));
+}
+
+TEST(EngineEdgeTest, UnknownSourceConstantYieldsEmptyAnswer) {
+  Database db;
+  db.AddFact("e", {"a", "b"});
+  QueryEngine qe(&db);
+  ASSERT_TRUE(qe.LoadProgramText(workloads::PathProgramText()).ok());
+  auto r = qe.Query("path(zzz, Y)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().tuples.empty());
+}
+
+TEST(EngineEdgeTest, MissingBaseRelationIsReported) {
+  Database db;
+  db.AddFact("e", {"a", "b"});
+  QueryEngine qe(&db);
+  // The program references `ghost`, which has no facts at all.
+  ASSERT_TRUE(qe.LoadProgramText(
+                    "p(X, Y) :- e(X, Y).\np(X, Z) :- ghost(X, Y), p(Y, Z).\n")
+                  .ok());
+  auto r = qe.Query("p(a, Y)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(EngineEdgeTest, DoubleLoadRejected) {
+  Database db;
+  db.AddFact("e", {"a", "b"});
+  QueryEngine qe(&db);
+  ASSERT_TRUE(qe.LoadProgramText(workloads::PathProgramText()).ok());
+  EXPECT_FALSE(qe.LoadProgramText(workloads::PathProgramText()).ok());
+}
+
+TEST(EngineEdgeTest, NonBinaryQueryRejected) {
+  Database db;
+  db.AddFact("e", {"a", "b"});
+  QueryEngine qe(&db);
+  ASSERT_TRUE(qe.LoadProgramText(workloads::PathProgramText()).ok());
+  auto r = qe.Query("path(a, Y, Z)");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(EngineEdgeTest, FigureOneEquationEvaluates) {
+  // p = (b3.b4* U b2.p).b1 expressed as a program; hand-computed answers.
+  Database db;
+  db.AddFact("b3", {"s", "x"});
+  db.AddFact("b4", {"x", "x2"});
+  db.AddFact("b1", {"x", "t1"});
+  db.AddFact("b1", {"x2", "t2"});
+  db.AddFact("b2", {"s", "s2"});
+  db.AddFact("b3", {"s2", "y"});
+  db.AddFact("b1", {"y", "t3"});
+  QueryEngine qe(&db);
+  // p :- m(X,Y), b1(Y,Z) with m = b3.b4* U b2.p; b4* via reflexive rule.
+  ASSERT_TRUE(qe.LoadProgramText(
+                    "p(X, Z) :- m(X, Y), b1(Y, Z).\n"
+                    "m(X, Z) :- b3(X, Y), s4(Y, Z).\n"
+                    "m(X, Z) :- b2(X, Y), p(Y, Z).\n"
+                    "s4(X, X).\n"
+                    "s4(X, Z) :- s4(X, Y), b4(Y, Z).\n")
+                  .ok());
+  auto r = qe.Query("p(s, Y)");
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  std::set<std::string> names;
+  for (const Tuple& t : r.value().tuples) names.insert(db.symbols().Name(t[1]));
+  // Direct: b3(s,x).b4*: {x, x2} -> b1 -> {t1, t2}.
+  // Via b2: b2(s,s2), p(s2,.): b3(s2,y).b4*: {y} -> b1 -> {t3};
+  //         then p(s,.) adds b1 after p(s2, t3): b1(t3, .) is empty.
+  EXPECT_TRUE(names.count("t1"));
+  EXPECT_TRUE(names.count("t2"));
+  EXPECT_EQ(names.size(), 2u);  // t3 is an answer of p(s2, .), not p(s, .)
+}
+
+TEST(EngineEdgeTest, EmptyRelationViewGivesEmptyAnswers) {
+  Database db;
+  db.GetOrCreate("e", 2);  // exists but empty
+  QueryEngine qe(&db);
+  ASSERT_TRUE(qe.LoadProgramText(workloads::PathProgramText()).ok());
+  auto r = qe.Query("path(a, Y)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().tuples.empty());
+}
+
+TEST(DemandViewTest, MemoizationAvoidsRefetching) {
+  Database db;
+  db.AddFact("b", {"a", "x"});
+  db.AddFact("b", {"a", "y"});
+  SymbolTable& symbols = db.symbols();
+  TermPool pool;
+  SymbolId var_in = symbols.Intern("I");
+  SymbolId var_out = symbols.Intern("O");
+  Literal body{symbols.Intern("b"), {Term::Var(var_in), Term::Var(var_out)}};
+  DemandJoinView view(&db, &pool, {body}, {var_in}, {Term::Var(var_out)});
+
+  TermId a = pool.Unary(symbols.Intern("a"));
+  size_t count1 = 0, count2 = 0;
+  view.ForEachSucc(a, [&](TermId) { ++count1; });
+  uint64_t fetches_after_first = db.TotalFetches();
+  view.ForEachSucc(a, [&](TermId) { ++count2; });
+  EXPECT_EQ(count1, 2u);
+  EXPECT_EQ(count2, 2u);
+  EXPECT_EQ(db.TotalFetches(), fetches_after_first);  // served from memo
+}
+
+TEST(DemandViewTest, ArityMismatchYieldsNoResults) {
+  Database db;
+  db.AddFact("b", {"a", "x"});
+  TermPool pool;
+  SymbolId var_in = db.symbols().Intern("I");
+  SymbolId var_out = db.symbols().Intern("O");
+  Literal body{db.symbols().Intern("b"),
+               {Term::Var(var_in), Term::Var(var_out)}};
+  DemandJoinView view(&db, &pool, {body}, {var_in}, {Term::Var(var_out)});
+  TermId pair = pool.InternTuple({1, 2});  // arity 2 input for 1-var view
+  size_t count = 0;
+  view.ForEachSucc(pair, [&](TermId) { ++count; });
+  EXPECT_EQ(count, 0u);
+}
+
+TEST(Lemma1VerifierTest, PassesOnPaperExample) {
+  SymbolTable symbols;
+  Program p = MustParse(
+      "p1(X, Z) :- b(X, Y), p2(Y, Z).\n"
+      "p1(X, Z) :- q1(X, Y), p3(Y, Z).\n"
+      "p2(X, Z) :- c(X, Y), p1(Y, Z).\n"
+      "p2(X, Z) :- d(X, Y), p3(Y, Z).\n"
+      "p3(X, Y) :- a(X, Y).\n"
+      "p3(X, Z) :- e(X, Y), p2(Y, Z).\n"
+      "q1(X, Z) :- a(X, Y), q2(Y, Z).\n"
+      "q2(X, Y) :- r2(X, Y).\n"
+      "q2(X, Z) :- q1(X, Y), r1(Y, Z).\n"
+      "r1(X, Y) :- b(X, Y).\n"
+      "r1(X, Y) :- r2(X, Y).\n"
+      "r2(X, Z) :- r1(X, Y), c(Y, Z).\n",
+      symbols);
+  auto r = TransformToEquations(p, symbols);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(VerifyLemma1Statements(p, symbols, r.value()).ok())
+      << VerifyLemma1Statements(p, symbols, r.value()).message();
+}
+
+TEST(ParserEdgeTest, ZeroArityAtomsAndLongPrograms) {
+  SymbolTable symbols;
+  auto p = ParseProgram("flag() :- b(X, Y).\n", symbols);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().rules[0].head.arity(), 0u);
+
+  // A generated 500-rule program parses cleanly.
+  std::string text;
+  for (int i = 0; i < 500; ++i) {
+    text += "p" + std::to_string(i) + "(X, Y) :- b(X, Y).\n";
+  }
+  auto big = ParseProgram(text, symbols);
+  ASSERT_TRUE(big.ok());
+  EXPECT_EQ(big.value().rules.size(), 500u);
+}
+
+TEST(ParserEdgeTest, RandomGarbageNeverCrashes) {
+  // Robustness: the parser must return a Status, never crash, on arbitrary
+  // byte soup assembled from its own token alphabet.
+  Rng rng(2718);
+  const char* pieces[] = {"p", "(", ")", ",", ".", ":-", "?-", "X", "42",
+                          "<", "'q", "%c\n", " ", "\n", "_", "b(", "a,"};
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string text;
+    size_t len = rng.Below(30);
+    for (size_t i = 0; i < len; ++i) {
+      text += pieces[rng.Below(sizeof(pieces) / sizeof(pieces[0]))];
+    }
+    SymbolTable symbols;
+    auto r = ParseProgram(text, symbols);  // must not crash or hang
+    (void)r;
+  }
+  SUCCEED();
+}
+
+TEST(ParserEdgeTest, HyphenatedAndNumericConstants) {
+  SymbolTable symbols;
+  auto p = ParseProgram("is-deptime(830).\nd(x, -5).\n", symbols);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().facts.size(), 2u);
+  EXPECT_EQ(symbols.IntValue(p.value().facts[1].args[1].symbol).value_or(0),
+            -5);
+}
+
+}  // namespace
+}  // namespace binchain

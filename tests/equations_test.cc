@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "datalog/parser.h"
+#include "equations/equations.h"
+#include "equations/lemma1.h"
+
+namespace binchain {
+namespace {
+
+/// The worked example of Lemma 1 (Section 3 of the paper).
+const char* kPaperExample =
+    "p1(X, Z) :- b(X, Y), p2(Y, Z).\n"
+    "p1(X, Z) :- q1(X, Y), p3(Y, Z).\n"
+    "p2(X, Z) :- c(X, Y), p1(Y, Z).\n"
+    "p2(X, Z) :- d(X, Y), p3(Y, Z).\n"
+    "p3(X, Y) :- a(X, Y).\n"
+    "p3(X, Z) :- e(X, Y), p2(Y, Z).\n"
+    "q1(X, Z) :- a(X, Y), q2(Y, Z).\n"
+    "q2(X, Y) :- r2(X, Y).\n"
+    "q2(X, Z) :- q1(X, Y), r1(Y, Z).\n"
+    "r1(X, Y) :- b(X, Y).\n"
+    "r1(X, Y) :- r2(X, Y).\n"
+    "r2(X, Z) :- r1(X, Y), c(Y, Z).\n";
+
+const char* kSg =
+    "sg(X, Y) :- flat(X, Y).\n"
+    "sg(X, Y) :- up(X, X1), sg(X1, Y1), down(Y1, Y).\n";
+
+Program MustParse(const std::string& text, SymbolTable& symbols) {
+  auto r = ParseProgram(text, symbols);
+  EXPECT_TRUE(r.ok()) << r.status().message();
+  return r.take();
+}
+
+TEST(InitialEquationsTest, Step1BuildsOneAlternativePerRule) {
+  SymbolTable symbols;
+  Program p = MustParse(kPaperExample, symbols);
+  auto eqs = BuildInitialEquations(p, symbols);
+  ASSERT_TRUE(eqs.ok()) << eqs.status().message();
+  const EquationSystem& sys = eqs.value();
+  EXPECT_EQ(RexToString(sys.Rhs(*symbols.Find("p1")), symbols), "b.p2 U q1.p3");
+  EXPECT_EQ(RexToString(sys.Rhs(*symbols.Find("p3")), symbols), "a U e.p2");
+  EXPECT_EQ(RexToString(sys.Rhs(*symbols.Find("r2")), symbols), "r1.c");
+  EXPECT_EQ(sys.preds().size(), 7u);
+}
+
+TEST(InitialEquationsTest, ReflexiveRuleBecomesId) {
+  SymbolTable symbols;
+  Program p = MustParse("star(X, X).\nstar(X, Z) :- star(X, Y), e(Y, Z).\n",
+                        symbols);
+  auto eqs = BuildInitialEquations(p, symbols);
+  ASSERT_TRUE(eqs.ok()) << eqs.status().message();
+  EXPECT_EQ(RexToString(eqs.value().Rhs(*symbols.Find("star")), symbols),
+            "id U star.e");
+}
+
+TEST(InitialEquationsTest, RejectsNonChainPrograms) {
+  SymbolTable symbols;
+  Program p = MustParse("p(X, Y) :- b(Y, X).\n", symbols);
+  EXPECT_FALSE(BuildInitialEquations(p, symbols).ok());
+
+  SymbolTable symbols2;
+  Program nonlinear =
+      MustParse("t(X, Z) :- t(X, Y), t(Y, Z).\nt(X, Y) :- e(X, Y).\n",
+                symbols2);
+  EXPECT_FALSE(BuildInitialEquations(nonlinear, symbols2).ok());
+}
+
+TEST(Lemma1Test, RegularProgramGetsBasePredicateOnlyEquations) {
+  // Statement (5): regular program => only base predicates on the right.
+  SymbolTable symbols;
+  Program p = MustParse(
+      "path(X, Y) :- e(X, Y).\n"
+      "path(X, Z) :- e(X, Y), path(Y, Z).\n",
+      symbols);
+  auto r = TransformToEquations(p, symbols);
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  const EquationSystem& sys = r.value().final_system;
+  EXPECT_EQ(RexToString(sys.Rhs(*symbols.Find("path")), symbols), "e*.e");
+}
+
+TEST(Lemma1Test, LeftLinearClosure) {
+  SymbolTable symbols;
+  Program p = MustParse(
+      "path(X, Y) :- e(X, Y).\n"
+      "path(X, Z) :- path(X, Y), e(Y, Z).\n",
+      symbols);
+  auto r = TransformToEquations(p, symbols);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(RexToString(r.value().final_system.Rhs(*symbols.Find("path")),
+                        symbols),
+            "e.e*");
+}
+
+TEST(Lemma1Test, SameGenerationStaysInNormalForm) {
+  SymbolTable symbols;
+  Program p = MustParse(kSg, symbols);
+  auto r = TransformToEquations(p, symbols);
+  ASSERT_TRUE(r.ok());
+  const EquationSystem& sys = r.value().final_system;
+  SymbolId sg = *symbols.Find("sg");
+  EXPECT_EQ(RexToString(sys.Rhs(sg), symbols), "flat U up.sg.down");
+  LinearNormalForm nf;
+  ASSERT_TRUE(MatchLinearNormalForm(sys, sg, &nf));
+  EXPECT_EQ(RexToString(nf.e0, symbols), "flat");
+  EXPECT_EQ(RexToString(nf.e1, symbols), "up");
+  EXPECT_EQ(RexToString(nf.e2, symbols), "down");
+}
+
+TEST(Lemma1Test, PaperExampleRegularPredicates) {
+  // The paper's trace: r1 = b.c*, r2 = b.c*.c, q1 = a.q2,
+  // q2 = b.c*.c U a.q2.b.c*.
+  SymbolTable symbols;
+  Program p = MustParse(kPaperExample, symbols);
+  auto r = TransformToEquations(p, symbols);
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  const EquationSystem& sys = r.value().final_system;
+  EXPECT_EQ(RexToString(sys.Rhs(*symbols.Find("r1")), symbols), "b.c*");
+  EXPECT_EQ(RexToString(sys.Rhs(*symbols.Find("r2")), symbols), "b.c*.c");
+  EXPECT_EQ(RexToString(sys.Rhs(*symbols.Find("q1")), symbols), "a.q2");
+  EXPECT_EQ(RexToString(sys.Rhs(*symbols.Find("q2")), symbols),
+            "b.c*.c U a.q2.b.c*");
+}
+
+TEST(Lemma1Test, PaperExampleStatements) {
+  SymbolTable symbols;
+  Program p = MustParse(kPaperExample, symbols);
+  auto r = TransformToEquations(p, symbols);
+  ASSERT_TRUE(r.ok());
+  const EquationSystem& sys = r.value().final_system;
+
+  // Statement (1): one equation per derived predicate.
+  EXPECT_EQ(sys.preds().size(), 7u);
+
+  auto derived_in = [&](const char* pred) {
+    std::unordered_set<SymbolId> mentioned;
+    CollectPreds(sys.Rhs(*symbols.Find(pred)), mentioned);
+    std::unordered_set<std::string> out;
+    for (SymbolId q : mentioned) {
+      if (sys.Has(q)) out.insert(symbols.Name(q));
+    }
+    return out;
+  };
+
+  // Statement (3): no regular derived predicates (p1..p3, r1, r2, q1) remain
+  // in any right-hand side; only the nonregular q2 and the non-eliminable q1
+  // may appear.
+  using Set = std::unordered_set<std::string>;
+  EXPECT_EQ(derived_in("p1"), (Set{"q1"}));
+  EXPECT_EQ(derived_in("p2"), (Set{"q1"}));
+  EXPECT_EQ(derived_in("p3"), (Set{"q1"}));
+  EXPECT_EQ(derived_in("q1"), (Set{"q2"}));
+  EXPECT_EQ(derived_in("q2"), (Set{"q2"}));
+  EXPECT_EQ(derived_in("r1"), (Set{}));
+  EXPECT_EQ(derived_in("r2"), (Set{}));
+
+  // Statement (6): at most one occurrence of a predicate mutually recursive
+  // to the left-hand side (here: q2 occurs once in its own equation).
+  EXPECT_EQ(CountPred(sys.Rhs(*symbols.Find("q2")), *symbols.Find("q2")), 1u);
+}
+
+TEST(MatchLinearNormalFormTest, RejectsNonMatchingShapes) {
+  SymbolTable symbols;
+  Program p = MustParse(
+      "path(X, Y) :- e(X, Y).\n"
+      "path(X, Z) :- e(X, Y), path(Y, Z).\n",
+      symbols);
+  auto init = BuildInitialEquations(p, symbols);
+  ASSERT_TRUE(init.ok());
+  // path = e U e.path: matches with empty e2.
+  LinearNormalForm nf;
+  ASSERT_TRUE(MatchLinearNormalForm(init.value(), *symbols.Find("path"), &nf));
+  EXPECT_TRUE(nf.e2->IsId());
+
+  // Two recursive alternatives do not match.
+  SymbolTable s2;
+  Program p2 = MustParse(
+      "t(X, Y) :- e(X, Y).\n"
+      "t(X, Z) :- a(X, Y), t(Y, Z).\n"
+      "t(X, Z) :- b(X, Y), t(Y, Z).\n",
+      s2);
+  auto init2 = BuildInitialEquations(p2, s2);
+  ASSERT_TRUE(init2.ok());
+  EXPECT_FALSE(MatchLinearNormalForm(init2.value(), *s2.Find("t"), nullptr));
+}
+
+TEST(InvertSystemTest, InvertsSgEquation) {
+  SymbolTable symbols;
+  Program p = MustParse(kSg, symbols);
+  auto r = TransformToEquations(p, symbols);
+  ASSERT_TRUE(r.ok());
+  std::unordered_map<SymbolId, SymbolId> inverse_of;
+  EquationSystem inv =
+      InvertSystem(r.value().final_system, symbols, inverse_of);
+  SymbolId sg_inv = inverse_of.at(*symbols.Find("sg"));
+  EXPECT_EQ(RexToString(inv.Rhs(sg_inv), symbols),
+            "flat^-1 U down^-1.sg~inv.up^-1");
+}
+
+TEST(Lemma1Test, TerminatesOnMutualRegularPair) {
+  SymbolTable symbols;
+  Program p = MustParse(
+      "even(X, Y) :- e(X, Y).\n"
+      "even(X, Z) :- e(X, Y), odd(Y, Z).\n"
+      "odd(X, Z) :- e(X, Y), even(Y, Z).\n",
+      symbols);
+  auto r = TransformToEquations(p, symbols);
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  const EquationSystem& sys = r.value().final_system;
+  // Both predicates are right-linear (regular): their final equations must
+  // contain only base predicates.
+  for (const char* name : {"even", "odd"}) {
+    std::unordered_set<SymbolId> mentioned;
+    CollectPreds(sys.Rhs(*symbols.Find(name)), mentioned);
+    for (SymbolId q : mentioned) {
+      EXPECT_FALSE(sys.Has(q)) << "derived predicate left in " << name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace binchain

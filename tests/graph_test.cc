@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "graph/digraph.h"
+#include "graph/tarjan.h"
+
+namespace binchain {
+namespace {
+
+TEST(DigraphTest, ReachabilityFollowsEdges) {
+  Digraph g(5);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(3, 4);
+  auto r = g.Reachable({0});
+  EXPECT_TRUE(r[0]);
+  EXPECT_TRUE(r[1]);
+  EXPECT_TRUE(r[2]);
+  EXPECT_FALSE(r[3]);
+  EXPECT_FALSE(r[4]);
+}
+
+TEST(DigraphTest, ReversedSwapsDirections) {
+  Digraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  Digraph r = g.Reversed();
+  auto reach = r.Reachable({2});
+  EXPECT_TRUE(reach[0]);
+  EXPECT_TRUE(reach[1]);
+  EXPECT_TRUE(reach[2]);
+}
+
+TEST(TarjanTest, SingleCycleIsOneComponent) {
+  Digraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 0);
+  SccResult scc = ComputeScc(g);
+  EXPECT_EQ(scc.num_components, 1u);
+  EXPECT_TRUE(scc.on_cycle[0]);
+  EXPECT_TRUE(scc.on_cycle[1]);
+  EXPECT_TRUE(scc.on_cycle[2]);
+}
+
+TEST(TarjanTest, DagHasSingletonComponentsOffCycle) {
+  Digraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  SccResult scc = ComputeScc(g);
+  EXPECT_EQ(scc.num_components, 3u);
+  EXPECT_FALSE(scc.on_cycle[0]);
+  EXPECT_FALSE(scc.on_cycle[1]);
+  EXPECT_FALSE(scc.on_cycle[2]);
+}
+
+TEST(TarjanTest, SelfLoopCountsAsCycle) {
+  Digraph g(2);
+  g.AddEdge(0, 0);
+  g.AddEdge(0, 1);
+  SccResult scc = ComputeScc(g);
+  EXPECT_TRUE(scc.on_cycle[0]);
+  EXPECT_FALSE(scc.on_cycle[1]);
+}
+
+TEST(TarjanTest, TwoCyclesBridged) {
+  // 0 <-> 1 -> 2 <-> 3
+  Digraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 2);
+  SccResult scc = ComputeScc(g);
+  EXPECT_EQ(scc.num_components, 2u);
+  EXPECT_EQ(scc.component[0], scc.component[1]);
+  EXPECT_EQ(scc.component[2], scc.component[3]);
+  EXPECT_NE(scc.component[0], scc.component[2]);
+}
+
+TEST(TarjanTest, MembersPartitionAllNodes) {
+  Digraph g(6);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  g.AddEdge(2, 3);
+  g.AddEdge(4, 4);
+  SccResult scc = ComputeScc(g);
+  size_t total = 0;
+  for (const auto& m : scc.members) total += m.size();
+  EXPECT_EQ(total, 6u);
+}
+
+}  // namespace
+}  // namespace binchain

@@ -1,0 +1,240 @@
+// Cross-strategy integration tests: the graph-traversal engine, the
+// bottom-up baselines, the level-based methods and the Section-4
+// transformation must agree on the paper's example programs and workloads.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/bottom_up.h"
+#include "baselines/counting.h"
+#include "baselines/magic.h"
+#include "datalog/parser.h"
+#include "equations/lemma1.h"
+#include "eval/query.h"
+#include "transform/binarize.h"
+#include "transform/simple_bin.h"
+#include "workloads/workloads.h"
+
+namespace binchain {
+namespace {
+
+Program MustParse(const std::string& text, SymbolTable& symbols) {
+  auto r = ParseProgram(text, symbols);
+  EXPECT_TRUE(r.ok()) << r.status().message();
+  return r.take();
+}
+
+Literal MustLiteral(const std::string& text, SymbolTable& symbols) {
+  auto r = ParseLiteral(text, symbols);
+  EXPECT_TRUE(r.ok()) << r.status().message();
+  return r.take();
+}
+
+/// Runs every applicable strategy on a binary query and checks agreement.
+void ExpectAllStrategiesAgree(Database& db, const std::string& program_text,
+                              const std::string& query_text) {
+  Program program = MustParse(program_text, db.symbols());
+  Literal query = MustLiteral(query_text, db.symbols());
+
+  auto semi = SeminaiveQuery(program, db, query, nullptr);
+  ASSERT_TRUE(semi.ok()) << semi.status().message();
+  const std::vector<Tuple>& expected = semi.value();
+
+  auto naive = NaiveQuery(program, db, query, nullptr);
+  ASSERT_TRUE(naive.ok());
+  EXPECT_EQ(naive.value(), expected) << "naive disagrees on " << query_text;
+
+  QueryEngine qe(&db);
+  ASSERT_TRUE(qe.LoadProgram(program).ok());
+  auto ours = qe.Query(query);
+  ASSERT_TRUE(ours.ok()) << ours.status().message();
+  EXPECT_EQ(ours.value().tuples, expected)
+      << "graph traversal disagrees on " << query_text;
+
+  auto magic = MagicQuery(program, db, query, nullptr);
+  ASSERT_TRUE(magic.ok()) << magic.status().message();
+  EXPECT_EQ(magic.value(), expected) << "magic disagrees on " << query_text;
+
+  auto transformed = EvaluateViaBinarization(program, db, query);
+  if (transformed.ok()) {
+    EXPECT_EQ(transformed.value().tuples, expected)
+        << "binarization disagrees on " << query_text;
+  }
+
+  auto simple = SimpleBinQuery(program, db, query, nullptr);
+  ASSERT_TRUE(simple.ok()) << simple.status().message();
+  EXPECT_EQ(simple.value(), expected)
+      << "simple-bin disagrees on " << query_text;
+}
+
+TEST(IntegrationTest, Fig7aAllStrategies) {
+  Database db;
+  std::string a = workloads::Fig7a(db, 6);
+  ExpectAllStrategiesAgree(db, workloads::SgProgramText(),
+                           "sg(" + a + ", Y)");
+}
+
+TEST(IntegrationTest, Fig7bAllStrategies) {
+  Database db;
+  std::string a = workloads::Fig7b(db, 7);
+  ExpectAllStrategiesAgree(db, workloads::SgProgramText(),
+                           "sg(" + a + ", Y)");
+}
+
+TEST(IntegrationTest, Fig7cAllStrategies) {
+  Database db;
+  std::string a = workloads::Fig7c(db, 7);
+  ExpectAllStrategiesAgree(db, workloads::SgProgramText(),
+                           "sg(" + a + ", Y)");
+}
+
+TEST(IntegrationTest, MidLadderSource) {
+  Database db;
+  workloads::Fig7c(db, 9);
+  ExpectAllStrategiesAgree(db, workloads::SgProgramText(), "sg(a4, Y)");
+}
+
+TEST(IntegrationTest, PathOnRandomGraph) {
+  Database db;
+  Rng rng(17);
+  workloads::RandomGraph(db, "e", "v", 20, 45, rng);
+  ExpectAllStrategiesAgree(db, workloads::PathProgramText(), "path(v3, Y)");
+}
+
+TEST(IntegrationTest, PaperExampleProgramAgainstSeminaive) {
+  // The Lemma 1 worked example evaluated end to end: the equation system the
+  // transformation produces must define the same relations as the rules.
+  Database db;
+  Rng rng(23);
+  // Acyclic base data: the nonregular predicates (q1, q2) expand one
+  // machine copy per base step, so cyclic data would not terminate without
+  // the iteration bound.
+  for (const char* rel : {"a", "b", "c", "d", "e"}) {
+    workloads::RandomDag(db, rel, "n", 10, 14, rng);
+  }
+  const char* program =
+      "p1(X, Z) :- b(X, Y), p2(Y, Z).\n"
+      "p1(X, Z) :- q1(X, Y), p3(Y, Z).\n"
+      "p2(X, Z) :- c(X, Y), p1(Y, Z).\n"
+      "p2(X, Z) :- d(X, Y), p3(Y, Z).\n"
+      "p3(X, Y) :- a(X, Y).\n"
+      "p3(X, Z) :- e(X, Y), p2(Y, Z).\n"
+      "q1(X, Z) :- a(X, Y), q2(Y, Z).\n"
+      "q2(X, Y) :- r2(X, Y).\n"
+      "q2(X, Z) :- q1(X, Y), r1(Y, Z).\n"
+      "r1(X, Y) :- b(X, Y).\n"
+      "r1(X, Y) :- r2(X, Y).\n"
+      "r2(X, Z) :- r1(X, Y), c(Y, Z).\n";
+  Program p = MustParse(program, db.symbols());
+
+  QueryEngine qe(&db);
+  ASSERT_TRUE(qe.LoadProgram(p).ok());
+  for (const char* pred : {"p1", "p2", "p3", "q1", "q2", "r1", "r2"}) {
+    for (int src = 0; src < 10; ++src) {
+      std::string q =
+          std::string(pred) + "(n" + std::to_string(src) + ", Y)";
+      Literal lit = MustLiteral(q, db.symbols());
+      auto expected = SeminaiveQuery(p, db, lit, nullptr);
+      ASSERT_TRUE(expected.ok());
+      auto got = qe.Query(lit);
+      ASSERT_TRUE(got.ok()) << got.status().message();
+      EXPECT_EQ(got.value().tuples, expected.value()) << q;
+    }
+  }
+}
+
+TEST(IntegrationTest, FlightConnectionsAgainstBaselines) {
+  Database db;
+  workloads::FlightSpec spec;
+  spec.airports = 5;
+  spec.flights = 30;
+  spec.horizon = 20;
+  spec.seed = 5;
+  std::string p0 = workloads::BuildFlights(db, spec);
+  SymbolId p0_sym = *db.symbols().Find(p0);
+  std::string dt;
+  for (const Tuple& t : db.Find("flight")->tuples()) {
+    if (t[0] == p0_sym) {
+      dt = db.symbols().Name(t[1]);
+      break;
+    }
+  }
+  ASSERT_FALSE(dt.empty());
+  Program program = MustParse(workloads::FlightProgramText(), db.symbols());
+  Literal query = MustLiteral("cnx(" + p0 + ", " + dt + ", D, AT)",
+                              db.symbols());
+
+  auto semi = SeminaiveQuery(program, db, query, nullptr);
+  ASSERT_TRUE(semi.ok());
+  auto naive = NaiveQuery(program, db, query, nullptr);
+  ASSERT_TRUE(naive.ok());
+  EXPECT_EQ(naive.value(), semi.value());
+  auto magic = MagicQuery(program, db, query, nullptr);
+  ASSERT_TRUE(magic.ok()) << magic.status().message();
+  EXPECT_EQ(magic.value(), semi.value());
+  auto transformed = EvaluateViaBinarization(program, db, query);
+  ASSERT_TRUE(transformed.ok()) << transformed.status().message();
+  EXPECT_EQ(transformed.value().tuples, semi.value());
+}
+
+TEST(IntegrationTest, InverseQueryMatchesForwardEnumeration) {
+  Database db;
+  Rng rng(31);
+  workloads::RandomGraph(db, "e", "v", 15, 30, rng);
+  QueryEngine qe(&db);
+  ASSERT_TRUE(qe.LoadProgramText(workloads::PathProgramText()).ok());
+  auto all = qe.Query("path(X, Y)");
+  ASSERT_TRUE(all.ok());
+  // For every target b, path(X, b) must equal the slice of path(X, Y).
+  std::set<SymbolId> targets;
+  for (const Tuple& t : all.value().tuples) targets.insert(t[1]);
+  for (SymbolId b : targets) {
+    auto r = qe.Query("path(X, " + db.symbols().Name(b) + ")");
+    ASSERT_TRUE(r.ok());
+    std::vector<Tuple> expected;
+    for (const Tuple& t : all.value().tuples) {
+      if (t[1] == b) expected.push_back(t);
+    }
+    EXPECT_EQ(r.value().tuples, expected);
+  }
+}
+
+TEST(IntegrationTest, CountingAgreesWithEngineOnAcyclicSg) {
+  Database db;
+  std::string a = workloads::Fig7b(db, 9);
+  Program program = MustParse(workloads::SgProgramText(), db.symbols());
+  auto eqs = TransformToEquations(program, db.symbols());
+  ASSERT_TRUE(eqs.ok());
+  LinearNormalForm nf;
+  ASSERT_TRUE(MatchLinearNormalForm(eqs.value().final_system,
+                                    *db.symbols().Find("sg"), &nf));
+  ViewRegistry views(&db.symbols());
+  views.RegisterDatabase(db);
+  TermId src = views.pool().Unary(*db.symbols().Find(a));
+
+  auto counting = CountingQuery(views, nf, src, 10000, nullptr);
+  ASSERT_TRUE(counting.ok());
+  auto hn = HenschenNaqviQuery(views, nf, src, 10000, nullptr);
+  ASSERT_TRUE(hn.ok());
+  auto rc = ReverseCountingQuery(views, nf, src, 10000, nullptr);
+  ASSERT_TRUE(rc.ok());
+  EXPECT_EQ(counting.value(), hn.value());
+  EXPECT_EQ(counting.value(), rc.value());
+
+  QueryEngine qe(&db);
+  ASSERT_TRUE(qe.LoadProgram(program).ok());
+  auto ours = qe.Query("sg(" + a + ", Y)");
+  ASSERT_TRUE(ours.ok());
+  std::set<std::string> engine_names;
+  for (const Tuple& t : ours.value().tuples) {
+    engine_names.insert(db.symbols().Name(t[1]));
+  }
+  std::set<std::string> counting_names;
+  for (TermId y : counting.value()) {
+    counting_names.insert(db.symbols().Name(views.pool().AsUnary(y)));
+  }
+  EXPECT_EQ(engine_names, counting_names);
+}
+
+}  // namespace
+}  // namespace binchain

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datalog/parser.h"
+#include "eval/join.h"
+#include "storage/database.h"
+
+namespace binchain {
+namespace {
+
+class JoinTest : public ::testing::Test {
+ protected:
+  Database db_;
+
+  RelationResolver Resolver() {
+    return [this](SymbolId pred) {
+      return db_.Find(db_.symbols().Name(pred));
+    };
+  }
+
+  std::vector<Literal> Body(const std::string& rule_text) {
+    auto p = ParseProgram(rule_text, db_.symbols());
+    EXPECT_TRUE(p.ok()) << p.status().message();
+    EXPECT_EQ(p.value().rules.size(), 1u);
+    return p.value().rules[0].body;
+  }
+
+  std::set<std::string> Matches(const std::string& rule_text,
+                                const std::string& head_var) {
+    std::vector<Literal> body = Body(rule_text);
+    SymbolId var = db_.symbols().Intern(head_var);
+    Binding binding;
+    std::set<std::string> out;
+    Status s = EnumerateMatches(Resolver(), db_.symbols(), body, binding,
+                                [&](const Binding& b) {
+                                  out.insert(db_.symbols().Name(b.at(var)));
+                                });
+    EXPECT_TRUE(s.ok()) << s.message();
+    return out;
+  }
+};
+
+TEST_F(JoinTest, SimpleJoinAcrossTwoLiterals) {
+  db_.AddFact("e", {"a", "b"});
+  db_.AddFact("e", {"b", "c"});
+  db_.AddFact("e", {"b", "d"});
+  auto got = Matches("h(Z) :- e(a, Y), e(Y, Z).", "Z");
+  EXPECT_EQ(got, (std::set<std::string>{"c", "d"}));
+}
+
+TEST_F(JoinTest, RepeatedVariableWithinLiteral) {
+  db_.AddFact("e", {"a", "a"});
+  db_.AddFact("e", {"a", "b"});
+  auto got = Matches("h(X) :- e(X, X).", "X");
+  EXPECT_EQ(got, (std::set<std::string>{"a"}));
+}
+
+TEST_F(JoinTest, ConstantsFilterMatches) {
+  db_.AddFact("t", {"a", "1", "x"});
+  db_.AddFact("t", {"a", "2", "y"});
+  auto got = Matches("h(Z) :- t(a, 2, Z).", "Z");
+  EXPECT_EQ(got, (std::set<std::string>{"y"}));
+}
+
+TEST_F(JoinTest, BuiltinComparisonNumeric) {
+  db_.AddFact("n", {"3"});
+  db_.AddFact("n", {"12"});
+  db_.AddFact("n", {"7"});
+  auto got = Matches("h(X) :- n(X), X < 10.", "X");
+  EXPECT_EQ(got, (std::set<std::string>{"3", "7"}));
+}
+
+TEST_F(JoinTest, BuiltinComparisonLexicographicFallback) {
+  db_.AddFact("w", {"apple"});
+  db_.AddFact("w", {"pear"});
+  auto got = Matches("h(X) :- w(X), X < banana.", "X");
+  EXPECT_EQ(got, (std::set<std::string>{"apple"}));
+}
+
+TEST_F(JoinTest, EqualityAndInequality) {
+  db_.AddFact("e", {"a", "a"});
+  db_.AddFact("e", {"a", "b"});
+  EXPECT_EQ(Matches("h(Y) :- e(X, Y), X = Y.", "Y"),
+            (std::set<std::string>{"a"}));
+  EXPECT_EQ(Matches("h(Y) :- e(X, Y), X != Y.", "Y"),
+            (std::set<std::string>{"b"}));
+}
+
+TEST_F(JoinTest, UnsafeBuiltinReported) {
+  db_.AddFact("e", {"a", "b"});
+  std::vector<Literal> body = Body("h(X) :- e(X, Y), Z < Y.");
+  Binding binding;
+  Status s = EnumerateMatches(Resolver(), db_.symbols(), body, binding,
+                              [](const Binding&) {});
+  EXPECT_FALSE(s.ok());
+}
+
+TEST_F(JoinTest, MissingRelationYieldsNoMatches) {
+  std::vector<Literal> body = Body("h(X) :- ghost(X).");
+  Binding binding;
+  size_t count = 0;
+  Status s = EnumerateMatches(Resolver(), db_.symbols(), body, binding,
+                              [&](const Binding&) { ++count; });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(count, 0u);
+}
+
+TEST_F(JoinTest, CrossProductWhenDisconnected) {
+  db_.AddFact("l", {"a"});
+  db_.AddFact("l", {"b"});
+  db_.AddFact("r", {"x"});
+  db_.AddFact("r", {"y"});
+  size_t count = 0;
+  std::vector<Literal> body = Body("h(X, Y) :- l(X), r(Y).");
+  Binding binding;
+  Status s = EnumerateMatches(Resolver(), db_.symbols(), body, binding,
+                              [&](const Binding&) { ++count; });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(count, 4u);
+}
+
+TEST_F(JoinTest, InstantiateHeadUsesBinding) {
+  db_.AddFact("e", {"a", "b"});
+  std::vector<Literal> body = Body("h(Y, c, X) :- e(X, Y).");
+  auto parsed = ParseProgram("h(Y, c, X) :- e(X, Y).", db_.symbols());
+  const Literal& head = parsed.value().rules[0].head;
+  Binding binding;
+  Tuple got;
+  Status s = EnumerateMatches(Resolver(), db_.symbols(), body, binding,
+                              [&](const Binding& b) {
+                                got = InstantiateHead(head, b);
+                              });
+  ASSERT_TRUE(s.ok());
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(db_.symbols().Name(got[0]), "b");
+  EXPECT_EQ(db_.symbols().Name(got[1]), "c");
+  EXPECT_EQ(db_.symbols().Name(got[2]), "a");
+}
+
+}  // namespace
+}  // namespace binchain

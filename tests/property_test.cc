@@ -1,0 +1,343 @@
+// Property-based cross-validation on randomly generated programs and
+// databases: every evaluation strategy must compute the same relation as
+// seminaive bottom-up evaluation (the semantics oracle). Parameterized over
+// RNG seeds.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "baselines/bottom_up.h"
+#include "baselines/counting.h"
+#include "baselines/magic.h"
+#include "datalog/parser.h"
+#include "equations/lemma1.h"
+#include "eval/hsu.h"
+#include "eval/query.h"
+#include "transform/binarize.h"
+#include "util/rng.h"
+#include "workloads/workloads.h"
+
+namespace binchain {
+namespace {
+
+std::string Node(size_t i) { return "u" + std::to_string(i); }
+
+/// Random DAG: edges only from lower- to higher-numbered nodes, so every
+/// base relation is acyclic and the traversal terminates by Theorem 4 (2).
+void RandomDag(Database& db, const std::string& rel, size_t nodes,
+               size_t edges, Rng& rng) {
+  for (size_t k = 0; k < edges; ++k) {
+    size_t i = rng.Below(nodes - 1);
+    size_t j = i + 1 + rng.Below(nodes - 1 - i);
+    db.AddFact(rel, {Node(i), Node(j)});
+  }
+}
+
+/// Random right-linear (regular) binary-chain program over `npreds` derived
+/// and `nbase` base predicates.
+std::string RandomRegularProgram(Rng& rng, size_t npreds, size_t nbase) {
+  std::string text;
+  for (size_t i = 0; i < npreds; ++i) {
+    std::string p = "p" + std::to_string(i);
+    // One or two base rules.
+    size_t base_rules = 1 + rng.Below(2);
+    for (size_t r = 0; r < base_rules; ++r) {
+      text += p + "(X, Y) :- b" + std::to_string(rng.Below(nbase)) +
+              "(X, Y).\n";
+    }
+    // One or two right-linear recursive rules (derived literal last).
+    size_t rec_rules = 1 + rng.Below(2);
+    for (size_t r = 0; r < rec_rules; ++r) {
+      std::string q = "p" + std::to_string(rng.Below(npreds));
+      text += p + "(X, Z) :- b" + std::to_string(rng.Below(nbase)) +
+              "(X, Y), " + q + "(Y, Z).\n";
+    }
+  }
+  return text;
+}
+
+/// Random nonregular linear binary-chain program: every recursive rule has
+/// base literals on both sides of the derived literal, so each iteration
+/// advances along a base path (termination on acyclic data).
+std::string RandomNonRegularProgram(Rng& rng, size_t npreds, size_t nbase) {
+  std::string text;
+  for (size_t i = 0; i < npreds; ++i) {
+    std::string p = "p" + std::to_string(i);
+    text += p + "(X, Y) :- b" + std::to_string(rng.Below(nbase)) +
+            "(X, Y).\n";
+    size_t rec_rules = 1 + rng.Below(2);
+    for (size_t r = 0; r < rec_rules; ++r) {
+      std::string q = "p" + std::to_string(rng.Below(npreds));
+      text += p + "(X, Z) :- b" + std::to_string(rng.Below(nbase)) +
+              "(X, A), " + q + "(A, B), b" + std::to_string(rng.Below(nbase)) +
+              "(B, Z).\n";
+    }
+  }
+  return text;
+}
+
+class SeededTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SeededTest, RegularProgramsMatchSeminaiveOnCyclicData) {
+  Rng rng(GetParam());
+  Database db;
+  size_t nbase = 2 + rng.Below(2);
+  for (size_t b = 0; b < nbase; ++b) {
+    // Cyclic random data is fine: regular queries terminate in one pass.
+    workloads::RandomGraph(db, "b" + std::to_string(b), "u", 12, 20, rng);
+  }
+  std::string text = RandomRegularProgram(rng, 2 + rng.Below(2), nbase);
+  auto parsed = ParseProgram(text, db.symbols());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+
+  QueryEngine qe(&db);
+  ASSERT_TRUE(qe.LoadProgram(parsed.value()).ok()) << text;
+  for (size_t s = 0; s < 12; s += 3) {
+    std::string q = "p0(" + Node(s) + ", Y)";
+    auto lit = ParseLiteral(q, db.symbols());
+    ASSERT_TRUE(lit.ok());
+    auto expected = SeminaiveQuery(parsed.value(), db, lit.value(), nullptr);
+    ASSERT_TRUE(expected.ok());
+    auto got = qe.Query(lit.value());
+    ASSERT_TRUE(got.ok()) << got.status().message() << "\n" << text;
+    EXPECT_EQ(got.value().tuples, expected.value()) << q << "\n" << text;
+  }
+}
+
+TEST_P(SeededTest, RegularProgramsMatchHsu) {
+  Rng rng(GetParam() * 7919 + 1);
+  Database db;
+  for (size_t b = 0; b < 2; ++b) {
+    workloads::RandomGraph(db, "b" + std::to_string(b), "u", 10, 18, rng);
+  }
+  std::string text = RandomRegularProgram(rng, 2, 2);
+  auto parsed = ParseProgram(text, db.symbols());
+  ASSERT_TRUE(parsed.ok());
+  QueryEngine qe(&db);
+  ASSERT_TRUE(qe.LoadProgram(parsed.value()).ok());
+  SymbolId p0 = *db.symbols().Find("p0");
+  TermId src = qe.views().pool().Unary(db.symbols().Intern(Node(0)));
+  auto h = HsuEvaluate(qe.equations(), qe.views(), p0, src, nullptr);
+  ASSERT_TRUE(h.ok()) << h.status().message();
+  auto r = qe.Query("p0(" + Node(0) + ", Y)");
+  ASSERT_TRUE(r.ok());
+  std::vector<SymbolId> engine_consts;
+  for (const Tuple& t : r.value().tuples) engine_consts.push_back(t[1]);
+  std::vector<SymbolId> hsu_consts;
+  for (TermId y : h.value()) {
+    hsu_consts.push_back(qe.views().pool().AsUnary(y));
+  }
+  std::sort(engine_consts.begin(), engine_consts.end());
+  std::sort(hsu_consts.begin(), hsu_consts.end());
+  EXPECT_EQ(engine_consts, hsu_consts) << text;
+}
+
+TEST_P(SeededTest, NonRegularProgramsMatchSeminaiveOnDags) {
+  Rng rng(GetParam() * 104729 + 3);
+  Database db;
+  size_t nbase = 2 + rng.Below(2);
+  for (size_t b = 0; b < nbase; ++b) {
+    RandomDag(db, "b" + std::to_string(b), 14, 24, rng);
+  }
+  std::string text = RandomNonRegularProgram(rng, 2 + rng.Below(2), nbase);
+  auto parsed = ParseProgram(text, db.symbols());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+
+  QueryEngine qe(&db);
+  ASSERT_TRUE(qe.LoadProgram(parsed.value()).ok()) << text;
+  for (size_t s = 0; s < 14; s += 4) {
+    std::string q = "p0(" + Node(s) + ", Y)";
+    auto lit = ParseLiteral(q, db.symbols());
+    ASSERT_TRUE(lit.ok());
+    auto expected = SeminaiveQuery(parsed.value(), db, lit.value(), nullptr);
+    ASSERT_TRUE(expected.ok());
+    auto got = qe.Query(lit.value());
+    ASSERT_TRUE(got.ok()) << got.status().message() << "\n" << text;
+    EXPECT_EQ(got.value().tuples, expected.value()) << q << "\n" << text;
+  }
+}
+
+TEST_P(SeededTest, MagicMatchesSeminaiveOnRandomSgData) {
+  Rng rng(GetParam() * 65537 + 11);
+  Database db;
+  RandomDag(db, "up", 16, 22, rng);
+  RandomDag(db, "down", 16, 22, rng);
+  RandomDag(db, "flat", 16, 10, rng);
+  auto parsed = ParseProgram(workloads::SgProgramText(), db.symbols());
+  ASSERT_TRUE(parsed.ok());
+  for (size_t s = 0; s < 16; s += 5) {
+    auto lit = ParseLiteral("sg(" + Node(s) + ", Y)", db.symbols());
+    ASSERT_TRUE(lit.ok());
+    auto expected = SeminaiveQuery(parsed.value(), db, lit.value(), nullptr);
+    ASSERT_TRUE(expected.ok());
+    auto magic = MagicQuery(parsed.value(), db, lit.value(), nullptr);
+    ASSERT_TRUE(magic.ok());
+    EXPECT_EQ(magic.value(), expected.value());
+  }
+}
+
+TEST_P(SeededTest, LevelMethodsMatchEngineOnRandomSgData) {
+  Rng rng(GetParam() * 193 + 7);
+  Database db;
+  RandomDag(db, "up", 14, 20, rng);
+  RandomDag(db, "down", 14, 20, rng);
+  RandomDag(db, "flat", 14, 12, rng);
+  auto parsed = ParseProgram(workloads::SgProgramText(), db.symbols());
+  ASSERT_TRUE(parsed.ok());
+  auto eqs = TransformToEquations(parsed.value(), db.symbols());
+  ASSERT_TRUE(eqs.ok());
+  LinearNormalForm nf;
+  ASSERT_TRUE(MatchLinearNormalForm(eqs.value().final_system,
+                                    *db.symbols().Find("sg"), &nf));
+  ViewRegistry views(&db.symbols());
+  views.RegisterDatabase(db);
+
+  QueryEngine qe(&db);
+  ASSERT_TRUE(qe.LoadProgram(parsed.value()).ok());
+  for (size_t s = 0; s < 14; s += 4) {
+    TermId src = views.pool().Unary(db.symbols().Intern(Node(s)));
+    auto counting = CountingQuery(views, nf, src, 1000, nullptr);
+    ASSERT_TRUE(counting.ok());
+    auto hn = HenschenNaqviQuery(views, nf, src, 1000, nullptr);
+    ASSERT_TRUE(hn.ok());
+    auto rc = ReverseCountingQuery(views, nf, src, 1000, nullptr);
+    ASSERT_TRUE(rc.ok());
+    EXPECT_EQ(counting.value(), hn.value());
+    EXPECT_EQ(counting.value(), rc.value());
+
+    auto engine = qe.Query("sg(" + Node(s) + ", Y)");
+    ASSERT_TRUE(engine.ok());
+    std::vector<SymbolId> engine_consts, counting_consts;
+    for (const Tuple& t : engine.value().tuples) {
+      engine_consts.push_back(t[1]);
+    }
+    for (TermId y : counting.value()) {
+      counting_consts.push_back(views.pool().AsUnary(y));
+    }
+    std::sort(engine_consts.begin(), engine_consts.end());
+    std::sort(counting_consts.begin(), counting_consts.end());
+    EXPECT_EQ(engine_consts, counting_consts);
+  }
+}
+
+TEST_P(SeededTest, BinarizationMatchesSeminaiveOnAlternating) {
+  Rng rng(GetParam() * 31 + 17);
+  Database db;
+  workloads::RandomGraph(db, "b0", "u", 10, 16, rng);
+  RandomDag(db, "b1", 10, 14, rng);  // the recursion walks b1: keep acyclic
+  auto parsed =
+      ParseProgram(workloads::AlternatingProgramText(), db.symbols());
+  ASSERT_TRUE(parsed.ok());
+  for (size_t s = 0; s < 10; s += 3) {
+    auto lit = ParseLiteral("p(" + Node(s) + ", Y)", db.symbols());
+    ASSERT_TRUE(lit.ok());
+    auto expected = SeminaiveQuery(parsed.value(), db, lit.value(), nullptr);
+    ASSERT_TRUE(expected.ok());
+    auto got = EvaluateViaBinarization(parsed.value(), db, lit.value());
+    ASSERT_TRUE(got.ok()) << got.status().message();
+    EXPECT_EQ(got.value().tuples, expected.value());
+  }
+}
+
+TEST_P(SeededTest, InvertedQueriesMatchForward) {
+  Rng rng(GetParam() * 131 + 29);
+  Database db;
+  workloads::RandomGraph(db, "b0", "u", 12, 24, rng);
+  std::string text =
+      "p0(X, Y) :- b0(X, Y).\n"
+      "p0(X, Z) :- b0(X, Y), p0(Y, Z).\n";
+  auto parsed = ParseProgram(text, db.symbols());
+  ASSERT_TRUE(parsed.ok());
+  QueryEngine qe(&db);
+  ASSERT_TRUE(qe.LoadProgram(parsed.value()).ok());
+  auto all = qe.Query("p0(X, Y)");
+  ASSERT_TRUE(all.ok());
+  for (size_t t = 0; t < 12; t += 5) {
+    auto r = qe.Query("p0(X, " + Node(t) + ")");
+    ASSERT_TRUE(r.ok());
+    std::vector<Tuple> expected;
+    SymbolId target = db.symbols().Intern(Node(t));
+    for (const Tuple& tup : all.value().tuples) {
+      if (tup[1] == target) expected.push_back(tup);
+    }
+    EXPECT_EQ(r.value().tuples, expected);
+  }
+}
+
+TEST_P(SeededTest, Lemma1StatementsHoldOnRandomPrograms) {
+  Rng rng(GetParam() * 8191 + 5);
+  SymbolTable symbols;
+  // Mix of regular and nonregular programs.
+  std::string text = (GetParam() % 2 == 0)
+                         ? RandomRegularProgram(rng, 3, 3)
+                         : RandomNonRegularProgram(rng, 3, 3);
+  auto parsed = ParseProgram(text, symbols);
+  ASSERT_TRUE(parsed.ok());
+  auto r = TransformToEquations(parsed.value(), symbols);
+  ASSERT_TRUE(r.ok()) << r.status().message() << "\n" << text;
+  Status s = VerifyLemma1Statements(parsed.value(), symbols, r.value());
+  EXPECT_TRUE(s.ok()) << s.message() << "\n" << text;
+}
+
+/// 3-ary chain program: colored reachability. The color argument rides
+/// along bound, so the adorned program is a chain program with tuple terms
+/// of width 2.
+TEST_P(SeededTest, ColoredPathBinarizationMatchesSeminaive) {
+  Rng rng(GetParam() * 523 + 41);
+  Database db;
+  const char* colors[] = {"red", "green"};
+  for (size_t k = 0; k < 40; ++k) {
+    size_t i = rng.Below(11);
+    size_t j = i + 1 + rng.Below(11 - i);
+    db.AddFact("edge", {Node(i), colors[rng.Below(2)], Node(j)});
+  }
+  const char* program_text =
+      "cpath(X, C, Y) :- edge(X, C, Y).\n"
+      "cpath(X, C, Y) :- edge(X, C, Z), cpath(Z, C, Y).\n";
+  auto parsed = ParseProgram(program_text, db.symbols());
+  ASSERT_TRUE(parsed.ok());
+  for (const char* color : colors) {
+    auto lit = ParseLiteral("cpath(u0, " + std::string(color) + ", Y)",
+                            db.symbols());
+    ASSERT_TRUE(lit.ok());
+    auto expected = SeminaiveQuery(parsed.value(), db, lit.value(), nullptr);
+    ASSERT_TRUE(expected.ok());
+    auto got = EvaluateViaBinarization(parsed.value(), db, lit.value());
+    ASSERT_TRUE(got.ok()) << got.status().message();
+    EXPECT_TRUE(got.value().is_chain);
+    EXPECT_EQ(got.value().tuples, expected.value());
+  }
+}
+
+/// 4-ary chain program whose recursive rule has both a prefix and a suffix
+/// join: pairs advance through b1 and the answer pair is produced by b2.
+TEST_P(SeededTest, PairChainBinarizationMatchesSeminaive) {
+  Rng rng(GetParam() * 811 + 3);
+  Database db;
+  for (size_t k = 0; k < 30; ++k) {
+    size_t i = rng.Below(9);
+    size_t j = i + 1 + rng.Below(9 - i);
+    db.AddFact("b1", {Node(i), Node(i + 100), Node(j), Node(j + 100)});
+    db.AddFact("b2", {Node(i), Node(i + 100), Node(j), Node(j + 100)});
+  }
+  const char* program_text =
+      "r(X, Y, U, V) :- b2(X, Y, U, V).\n"
+      "r(X, Y, U, V) :- b1(X, Y, Z, W), r(Z, W, U2, V2), b2(U2, V2, U, V).\n";
+  auto parsed = ParseProgram(program_text, db.symbols());
+  ASSERT_TRUE(parsed.ok());
+  auto lit = ParseLiteral("r(u0, u100, U, V)", db.symbols());
+  ASSERT_TRUE(lit.ok());
+  auto expected = SeminaiveQuery(parsed.value(), db, lit.value(), nullptr);
+  ASSERT_TRUE(expected.ok());
+  auto got = EvaluateViaBinarization(parsed.value(), db, lit.value());
+  ASSERT_TRUE(got.ok()) << got.status().message();
+  EXPECT_TRUE(got.value().is_chain);
+  EXPECT_EQ(got.value().tuples, expected.value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                           12));
+
+}  // namespace
+}  // namespace binchain

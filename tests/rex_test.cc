@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "rex/rex.h"
+
+namespace binchain {
+namespace {
+
+class RexTest : public ::testing::Test {
+ protected:
+  SymbolTable symbols_;
+  SymbolId a_ = symbols_.Intern("a");
+  SymbolId b_ = symbols_.Intern("b");
+  SymbolId c_ = symbols_.Intern("c");
+  RexPtr A_ = Rex::Pred(a_);
+  RexPtr B_ = Rex::Pred(b_);
+  RexPtr C_ = Rex::Pred(c_);
+
+  std::string Str(const RexPtr& e) { return RexToString(e, symbols_); }
+};
+
+TEST_F(RexTest, UnionDropsEmptyAndFlattens) {
+  RexPtr e = Rex::Union({A_, Rex::Empty(), Rex::Union2(B_, C_)});
+  EXPECT_EQ(Str(e), "a U b U c");
+}
+
+TEST_F(RexTest, UnionDeduplicates) {
+  RexPtr e = Rex::Union({A_, Rex::Pred(a_), B_});
+  EXPECT_EQ(Str(e), "a U b");
+}
+
+TEST_F(RexTest, UnionOfNothingIsEmpty) {
+  EXPECT_TRUE(Rex::Union({})->IsEmpty());
+  EXPECT_TRUE(Rex::Union({Rex::Empty()})->IsEmpty());
+}
+
+TEST_F(RexTest, ConcatZeroAndUnitLaws) {
+  EXPECT_TRUE(Rex::Concat({A_, Rex::Empty(), B_})->IsEmpty());
+  EXPECT_EQ(Str(Rex::Concat({Rex::Id(), A_, Rex::Id()})), "a");
+  EXPECT_TRUE(Rex::Concat({})->IsId());
+}
+
+TEST_F(RexTest, StarSimplifications) {
+  EXPECT_TRUE(Rex::Star(Rex::Empty())->IsId());
+  EXPECT_TRUE(Rex::Star(Rex::Id())->IsId());
+  EXPECT_EQ(Str(Rex::Star(Rex::Star(A_))), "a*");
+}
+
+TEST_F(RexTest, PrintingUsesPrecedence) {
+  RexPtr e = Rex::Concat2(B_, Rex::Star(Rex::Concat2(A_, C_)));
+  EXPECT_EQ(Str(e), "b.(a.c)*");
+  RexPtr u = Rex::Concat2(Rex::Union2(A_, B_), C_);
+  EXPECT_EQ(Str(u), "(a U b).c");
+}
+
+TEST_F(RexTest, ContainsAndCount) {
+  RexPtr e = Rex::Union2(Rex::Concat2(A_, B_), Rex::Star(A_));
+  EXPECT_TRUE(ContainsPred(e, a_));
+  EXPECT_TRUE(ContainsPred(e, b_));
+  EXPECT_FALSE(ContainsPred(e, c_));
+  EXPECT_EQ(CountPred(e, a_), 2u);
+  EXPECT_EQ(LeafCount(e), 3u);
+}
+
+TEST_F(RexTest, SubstituteReplacesAllOccurrences) {
+  RexPtr e = Rex::Union2(A_, Rex::Concat2(B_, A_));
+  RexPtr s = SubstitutePred(e, a_, C_);
+  EXPECT_EQ(Str(s), "c U b.c");
+  EXPECT_FALSE(ContainsPred(s, a_));
+}
+
+TEST_F(RexTest, InvertReversesConcatAndFlipsLeaves) {
+  auto flip = [](SymbolId p, bool inv) { return Rex::Pred(p, !inv); };
+  RexPtr e = Rex::Concat({A_, B_, Rex::Star(C_)});
+  RexPtr inv = Invert(e, flip);
+  EXPECT_EQ(Str(inv), "c^-1*.b^-1.a^-1");
+  // Inverting twice restores the original.
+  EXPECT_EQ(Str(Invert(inv, flip)), Str(e));
+}
+
+TEST_F(RexTest, DistributeOnlyOverTargetedUnions) {
+  std::unordered_set<SymbolId> targets{b_};
+  RexPtr e = Rex::Concat2(A_, Rex::Union2(B_, C_));
+  EXPECT_EQ(Str(DistributeOverUnion(e, targets)), "a.b U a.c");
+  // A union without target predicates stays factored.
+  std::unordered_set<SymbolId> none{symbols_.Intern("z")};
+  EXPECT_EQ(Str(DistributeOverUnion(e, none)), "a.(b U c)");
+}
+
+TEST_F(RexTest, DistributeHandlesNestedConcats) {
+  std::unordered_set<SymbolId> targets{b_};
+  RexPtr e = Rex::Concat({A_, Rex::Union2(B_, C_), C_});
+  EXPECT_EQ(Str(DistributeOverUnion(e, targets)), "a.b.c U a.c.c");
+}
+
+TEST_F(RexTest, StructuralEquality) {
+  EXPECT_TRUE(RexEquals(Rex::Concat2(A_, B_), Rex::Concat2(A_, B_)));
+  EXPECT_FALSE(RexEquals(Rex::Concat2(A_, B_), Rex::Concat2(B_, A_)));
+  EXPECT_TRUE(RexEquals(Rex::Pred(a_, true), Rex::Pred(a_, true)));
+  EXPECT_FALSE(RexEquals(Rex::Pred(a_, true), Rex::Pred(a_, false)));
+}
+
+}  // namespace
+}  // namespace binchain

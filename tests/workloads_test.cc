@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "workloads/workloads.h"
+
+namespace binchain {
+namespace {
+
+TEST(WorkloadsTest, Fig7aShape) {
+  Database db;
+  std::string a = workloads::Fig7a(db, 7);
+  EXPECT_EQ(a, "a");
+  EXPECT_EQ(db.Find("up")->size(), 14u);    // a->b_i, b_i->c
+  EXPECT_EQ(db.Find("flat")->size(), 1u);
+  EXPECT_EQ(db.Find("down")->size(), 14u);
+}
+
+TEST(WorkloadsTest, Fig7bShape) {
+  Database db;
+  workloads::Fig7b(db, 5);
+  EXPECT_EQ(db.Find("up")->size(), 4u);
+  EXPECT_EQ(db.Find("down")->size(), 4u);
+  EXPECT_EQ(db.Find("flat")->size(), 5u);  // every a_k lands on b_n
+}
+
+TEST(WorkloadsTest, Fig7cShape) {
+  Database db;
+  workloads::Fig7c(db, 5);
+  EXPECT_EQ(db.Find("up")->size(), 4u);
+  EXPECT_EQ(db.Find("down")->size(), 4u);
+  EXPECT_EQ(db.Find("flat")->size(), 5u);  // one rung per level
+  EXPECT_TRUE(db.Find("flat")->Contains(
+      {*db.symbols().Find("a3"), *db.symbols().Find("b3")}));
+}
+
+TEST(WorkloadsTest, Fig8CyclesAreClosed) {
+  Database db;
+  workloads::Fig8(db, 3, 4);
+  EXPECT_EQ(db.Find("up")->size(), 3u);
+  EXPECT_EQ(db.Find("down")->size(), 4u);
+  // Cycle closure edges exist.
+  EXPECT_TRUE(db.Find("up")->Contains(
+      {*db.symbols().Find("a3"), *db.symbols().Find("a1")}));
+  EXPECT_TRUE(db.Find("down")->Contains(
+      {*db.symbols().Find("b1"), *db.symbols().Find("b4")}));
+}
+
+TEST(WorkloadsTest, ChainAndTree) {
+  Database db;
+  std::string first = workloads::Chain(db, "e", "u", 6);
+  EXPECT_EQ(first, "u1");
+  EXPECT_EQ(db.Find("e")->size(), 5u);
+
+  Database db2;
+  std::string leaf = workloads::UpTree(db2, "up", "t", 3);
+  EXPECT_EQ(db2.Find("up")->size(), 6u);  // 7 nodes, 6 parent edges
+  EXPECT_EQ(leaf, "t7");
+}
+
+TEST(WorkloadsTest, RandomGraphIsDeterministic) {
+  Database a, b;
+  Rng ra(99), rb(99);
+  workloads::RandomGraph(a, "e", "v", 20, 40, ra);
+  workloads::RandomGraph(b, "e", "v", 20, 40, rb);
+  EXPECT_EQ(a.Find("e")->size(), b.Find("e")->size());
+  for (const Tuple& t : a.Find("e")->tuples()) {
+    Tuple tb{*b.symbols().Find(a.symbols().Name(t[0])),
+             *b.symbols().Find(a.symbols().Name(t[1]))};
+    EXPECT_TRUE(b.Find("e")->Contains(tb));
+  }
+}
+
+TEST(WorkloadsTest, FlightsAreWellFormed) {
+  Database db;
+  workloads::FlightSpec spec;
+  spec.airports = 4;
+  spec.flights = 25;
+  std::string p0 = workloads::BuildFlights(db, spec);
+  EXPECT_EQ(p0, "p0");
+  const Relation* flight = db.Find("flight");
+  ASSERT_NE(flight, nullptr);
+  EXPECT_EQ(flight->arity(), 4u);
+  for (const Tuple& t : flight->tuples()) {
+    auto dt = db.symbols().IntValue(t[1]);
+    auto at = db.symbols().IntValue(t[3]);
+    ASSERT_TRUE(dt.has_value());
+    ASSERT_TRUE(at.has_value());
+    EXPECT_LT(*dt, *at);           // flights land after departing
+    EXPECT_NE(t[0], t[2]);         // no self-loops
+  }
+  EXPECT_NE(db.Find("is-deptime"), nullptr);
+}
+
+}  // namespace
+}  // namespace binchain
