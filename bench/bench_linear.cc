@@ -75,7 +75,11 @@ void BM_LinearCaseUpTree(benchmark::State& state) {
   size_t levels = static_cast<size_t>(state.range(0));
   std::string leaf = workloads::UpTree(db, "up", "t", levels);
   // Mirror the tree downwards and add a flat loop at the root.
-  std::vector<Tuple> edges = db.Find("up")->tuples();
+  // (Materialize first: AddFact may intern symbols but must not observe a
+  // relation mid-iteration if "down" were aliased; "up" is distinct, yet a
+  // stable snapshot keeps the intent obvious.)
+  std::vector<Tuple> edges(db.Find("up")->tuples().begin(),
+                           db.Find("up")->tuples().end());
   for (const Tuple& t : edges) {
     db.AddFact("down", {db.symbols().Name(t[1]), db.symbols().Name(t[0])});
   }

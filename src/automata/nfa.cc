@@ -18,11 +18,12 @@ bool Nfa::RemoveDerivedTransition(uint32_t from, SymbolId pred, uint32_t to) {
 
 uint32_t Nfa::SpliceCopy(const Nfa& src) {
   uint32_t offset = static_cast<uint32_t>(states_.size());
+  states_.resize(states_.size() + src.states_.size());
   for (uint32_t s = 0; s < src.states_.size(); ++s) {
-    uint32_t ns = AddState();
-    (void)ns;
+    std::vector<NfaTransition>& out = states_[offset + s];
+    out.reserve(src.states_[s].size());
     for (const NfaTransition& t : src.states_[s]) {
-      states_[offset + s].push_back(NfaTransition{t.label, t.target + offset});
+      out.push_back(NfaTransition{t.label, t.target + offset});
     }
   }
   return offset;

@@ -24,7 +24,7 @@ std::vector<Tuple> SelectMatching(const Relation* rel, const Literal& query) {
   std::vector<Tuple> out;
   if (rel == nullptr) return out;
   // Variable equality constraints (e.g. p(X, X)).
-  for (const Tuple& t : rel->tuples()) {
+  for (TupleRef t : rel->tuples()) {
     bool match = true;
     for (size_t i = 0; i < query.args.size() && match; ++i) {
       const Term& a = query.args[i];
@@ -81,7 +81,7 @@ Result<std::vector<Tuple>> NaiveQuery(const Program& program, Database& db,
   }
   RelationResolver resolve = [&](SymbolId pred) -> const Relation* {
     if (derived.count(pred)) return idb.Find(pred);
-    return db.Find(db.symbols().Name(pred));
+    return db.FindById(pred);
   };
 
   bool changed = true;

@@ -63,7 +63,7 @@ Result<IdbStore> SeminaiveFixpoint(const Program& program, Database& db,
   RelationResolver resolve = [&](SymbolId pred) -> const Relation* {
     if (pred == delta_marker) return delta.Find(current_delta_pred);
     if (derived.count(pred)) return total.Find(pred);
-    return db.Find(db.symbols().Name(pred));
+    return db.FindById(pred);
   };
 
   auto fire_rule = [&](const Rule& r, const std::vector<Literal>& body) {
@@ -100,7 +100,7 @@ Result<IdbStore> SeminaiveFixpoint(const Program& program, Database& db,
     const Relation* nd = next_delta.Find(p);
     if (nd == nullptr) continue;
     Relation& d = delta.GetOrCreate(p, nd->arity());
-    for (const Tuple& t : nd->tuples()) d.Insert(t);
+    for (TupleRef t : nd->tuples()) d.Insert(t);
   }
   next_delta = IdbStore{};
 
@@ -126,7 +126,7 @@ Result<IdbStore> SeminaiveFixpoint(const Program& program, Database& db,
       size_t arity = total.Find(p)->arity();
       Relation& d = fresh.GetOrCreate(p, arity);
       if (nd != nullptr) {
-        for (const Tuple& t : nd->tuples()) d.Insert(t);
+        for (TupleRef t : nd->tuples()) d.Insert(t);
         if (!nd->empty()) any_delta = true;
       }
     }

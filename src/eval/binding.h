@@ -1,0 +1,127 @@
+// Variable -> constant binding environment for conjunctive matching.
+//
+// A rule body binds a handful of variables (binary-chain rules: at most ~6),
+// and the matcher probes the binding once per argument per visited tuple —
+// the innermost lookups of every bottom-up strategy. A linear scan over an
+// inline array beats a hash table at this size by a wide margin (no hashing,
+// no indirection, one cache line), so Binding is a small-buffer map with the
+// unordered_map surface the matcher and its callers use.
+#ifndef BINCHAIN_EVAL_BINDING_H_
+#define BINCHAIN_EVAL_BINDING_H_
+
+#include <algorithm>
+#include <utility>
+
+#include "storage/symbol_table.h"
+#include "util/check.h"
+
+namespace binchain {
+
+class Binding {
+ public:
+  using value_type = std::pair<SymbolId, SymbolId>;
+  using iterator = value_type*;
+  using const_iterator = const value_type*;
+  static constexpr size_t kInlineCapacity = 8;
+
+  Binding() : data_(inline_), size_(0), capacity_(kInlineCapacity) {}
+  Binding(const Binding& o) : Binding() { CopyFrom(o); }
+  Binding& operator=(const Binding& o) {
+    if (this != &o) {
+      size_ = 0;
+      CopyFrom(o);
+    }
+    return *this;
+  }
+  ~Binding() {
+    if (data_ != inline_) delete[] data_;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  void clear() { size_ = 0; }
+
+  iterator begin() { return data_; }
+  iterator end() { return data_ + size_; }
+  const_iterator begin() const { return data_; }
+  const_iterator end() const { return data_ + size_; }
+
+  iterator find(SymbolId k) {
+    for (size_t i = 0; i < size_; ++i) {
+      if (data_[i].first == k) return data_ + i;
+    }
+    return end();
+  }
+  const_iterator find(SymbolId k) const {
+    return const_cast<Binding*>(this)->find(k);
+  }
+
+  size_t count(SymbolId k) const { return find(k) == end() ? 0 : 1; }
+
+  SymbolId& at(SymbolId k) {
+    iterator it = find(k);
+    // Always-on check: the unordered_map::at this replaces threw on a
+    // missing key, and callers rely on that loudness (unbound output
+    // variables must not silently leak garbage into answers).
+    BINCHAIN_CHECK(it != end());
+    return it->second;
+  }
+  const SymbolId& at(SymbolId k) const {
+    return const_cast<Binding*>(this)->at(k);
+  }
+
+  std::pair<iterator, bool> emplace(SymbolId k, SymbolId v) {
+    iterator it = find(k);
+    if (it != end()) return {it, false};
+    PushBack(k, v);
+    return {data_ + size_ - 1, true};
+  }
+
+  SymbolId& operator[](SymbolId k) {
+    iterator it = find(k);
+    if (it != end()) return it->second;
+    PushBack(k, 0);
+    return data_[size_ - 1].second;
+  }
+
+  /// Removes `k` if present (swap-with-last; iteration order is not part of
+  /// the contract).
+  void erase(SymbolId k) {
+    iterator it = find(k);
+    if (it == end()) return;
+    *it = data_[size_ - 1];
+    --size_;
+  }
+
+ private:
+  void PushBack(SymbolId k, SymbolId v) {
+    if (size_ == capacity_) {
+      size_t cap = capacity_ * 2;
+      value_type* heap = new value_type[cap];
+      std::copy(data_, data_ + size_, heap);
+      if (data_ != inline_) delete[] data_;
+      data_ = heap;
+      capacity_ = cap;
+    }
+    data_[size_++] = {k, v};
+  }
+
+  void CopyFrom(const Binding& o) {
+    if (o.size_ > capacity_) {
+      if (data_ != inline_) delete[] data_;
+      data_ = new value_type[o.capacity_];
+      capacity_ = o.capacity_;
+    }
+    std::copy(o.data_, o.data_ + o.size_, data_);
+    size_ = o.size_;
+  }
+
+  value_type* data_;
+  size_t size_;
+  size_t capacity_;
+  value_type inline_[kInlineCapacity];
+};
+
+}  // namespace binchain
+
+#endif  // BINCHAIN_EVAL_BINDING_H_

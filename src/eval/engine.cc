@@ -4,6 +4,8 @@
 
 #include "eval/rex_image.h"
 #include "util/check.h"
+#include "util/dense_bits.h"
+#include "util/flat_set.h"
 
 namespace binchain {
 namespace {
@@ -40,11 +42,16 @@ Result<const Nfa*> Engine::Machine(SymbolId pred) {
 }
 
 Result<size_t> Engine::CyclicIterationBound(SymbolId pred, TermId source) {
-  LinearNormalForm nf;
-  if (!MatchLinearNormalForm(*eqs_, pred, &nf)) {
-    return Status::FailedPrecondition(
-        "cyclic iteration bound requires the form p = e0 U e1.p.e2");
+  auto nit = normal_forms_.find(pred);
+  if (nit == normal_forms_.end()) {
+    LinearNormalForm fresh;
+    if (!MatchLinearNormalForm(*eqs_, pred, &fresh)) {
+      return Status::FailedPrecondition(
+          "cyclic iteration bound requires the form p = e0 U e1.p.e2");
+    }
+    nit = normal_forms_.emplace(pred, std::move(fresh)).first;
   }
+  const LinearNormalForm& nf = nit->second;
   // D1: nodes accessible from the query constant through e1.
   auto d1 = ClosureUnderRex(*views_, nf.e1, {source});
   if (!d1.ok()) return d1.status();
@@ -84,20 +91,35 @@ Result<std::vector<TermId>> Engine::EvalFrom(SymbolId pred, TermId source,
   em.set_initial(machine.value()->initial() + off);
   em.set_final(machine.value()->final() + off);
 
-  std::unordered_set<uint64_t> g;  // the node set of G(p, a, i)
+  FlatSet64 g;  // the node set of G(p, a, i)
   std::vector<TermId> answers;
-  std::unordered_set<TermId> answer_set;
+  DenseBits answer_set;
+
+  // Transition predicates repeat across nodes; resolve each view once
+  // through a dense SymbolId-indexed cache instead of a map lookup per arc.
+  std::vector<BinaryRelationView*> view_cache;
+  auto find_view = [&](SymbolId p) -> BinaryRelationView* {
+    if (p < view_cache.size() && view_cache[p] != nullptr) {
+      return view_cache[p];
+    }
+    BinaryRelationView* v = views_->Find(p);
+    if (v != nullptr) {
+      if (p >= view_cache.size()) view_cache.resize(p + 1, nullptr);
+      view_cache[p] = v;
+    }
+    return v;
+  };
 
   // Continuation points of the current iteration, grouped by state.
   std::unordered_map<uint32_t, std::vector<TermId>> c_by_state;
-  std::unordered_set<uint64_t> c_set;
+  FlatSet64 c_set;
 
   std::vector<std::pair<uint32_t, TermId>> stack;
 
   auto try_insert = [&](uint32_t q, TermId u) {
-    if (!g.insert(NodeKey(q, u)).second) return;
+    if (!g.insert(NodeKey(q, u))) return;
     ++st.nodes;
-    if (q == em.final() && answer_set.insert(u).second) answers.push_back(u);
+    if (q == em.final() && !answer_set.TestAndSet(u)) answers.push_back(u);
     stack.emplace_back(q, u);
   };
 
@@ -113,7 +135,7 @@ Result<std::vector<TermId>> Engine::EvalFrom(SymbolId pred, TermId source,
             try_insert(t.target, u);
             break;
           case NfaLabel::Kind::kRel: {
-            BinaryRelationView* view = views_->Find(t.label.pred);
+            BinaryRelationView* view = find_view(t.label.pred);
             if (view == nullptr) {
               view_error = Status::NotFound(
                   "no relation view registered for '" +
@@ -138,7 +160,7 @@ Result<std::vector<TermId>> Engine::EvalFrom(SymbolId pred, TermId source,
             break;
           }
           case NfaLabel::Kind::kDerived: {
-            if (c_set.insert(NodeKey(q, u)).second) {
+            if (c_set.insert(NodeKey(q, u))) {
               c_by_state[q].push_back(u);
               ++st.continuations;
             }
@@ -168,6 +190,10 @@ Result<std::vector<TermId>> Engine::EvalFrom(SymbolId pred, TermId source,
     }
     // Expansion: replace every derived transition leaving a state with
     // continuation points by a fresh copy of the corresponding machine.
+    // Programs have a handful of derived predicates, so a one-entry machine
+    // cache removes the map lookup from the per-iteration loop.
+    SymbolId cached_pred = 0;
+    const Nfa* cached_machine = nullptr;
     for (auto& [q, terms] : c_by_state) {
       // Collect the derived transitions of q first; expansion mutates em.
       std::vector<NfaTransition> derived;
@@ -175,11 +201,15 @@ Result<std::vector<TermId>> Engine::EvalFrom(SymbolId pred, TermId source,
         if (t.label.kind == NfaLabel::Kind::kDerived) derived.push_back(t);
       }
       for (const NfaTransition& t : derived) {
-        auto sub = Machine(t.label.pred);
-        if (!sub.ok()) return sub.status();
-        uint32_t sub_off = em.SpliceCopy(*sub.value());
-        uint32_t qs = sub.value()->initial() + sub_off;
-        uint32_t qf = sub.value()->final() + sub_off;
+        if (cached_machine == nullptr || t.label.pred != cached_pred) {
+          auto sub = Machine(t.label.pred);
+          if (!sub.ok()) return sub.status();
+          cached_pred = t.label.pred;
+          cached_machine = sub.value();
+        }
+        uint32_t sub_off = em.SpliceCopy(*cached_machine);
+        uint32_t qs = cached_machine->initial() + sub_off;
+        uint32_t qf = cached_machine->final() + sub_off;
         em.AddTransition(q, NfaLabel::Id(), qs);
         em.AddTransition(qf, NfaLabel::Id(), t.target);
         BINCHAIN_CHECK(em.RemoveDerivedTransition(q, t.label.pred, t.target));

@@ -79,6 +79,10 @@ class Engine {
   const EquationSystem* eqs_;
   ViewRegistry* views_;
   std::unordered_map<SymbolId, Nfa> machines_;
+  // Linear normal forms matched for the cyclic bound, memoized per
+  // predicate so repeated cyclic-bound queries reuse the same Rex nodes
+  // (and thus hit the registry's compiled-machine cache).
+  std::unordered_map<SymbolId, LinearNormalForm> normal_forms_;
 };
 
 }  // namespace binchain

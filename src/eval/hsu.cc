@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "automata/nfa.h"
+#include "util/flat_set.h"
 
 namespace binchain {
 namespace {
@@ -63,12 +64,12 @@ Result<std::vector<TermId>> HsuEvaluate(const EquationSystem& eqs,
   for (auto [a, b] : id_arcs) id_out[a].push_back(b);
 
   // Reachability from (q_s, a).
-  std::unordered_set<uint64_t> seen;
+  FlatSet64 seen;
   std::vector<uint64_t> stack;
   std::vector<TermId> answers;
   std::unordered_set<TermId> answer_set;
   auto visit = [&](uint64_t key) {
-    if (!seen.insert(key).second) return;
+    if (!seen.insert(key)) return;
     ++st.visited_nodes;
     uint32_t q = static_cast<uint32_t>(key >> 32);
     TermId u = static_cast<TermId>(key & 0xffffffffu);

@@ -1,6 +1,7 @@
 #include "eval/join.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "util/check.h"
 
@@ -40,10 +41,28 @@ struct Matcher {
   const RelationResolver& resolve;
   const SymbolTable& symbols;
   const std::vector<Literal>& body;
-  const std::function<void(const Binding&)>& fn;
+  FunctionRef<void(const Binding&)> fn;
   std::vector<bool> done;
+  // Built-in op per body literal, resolved once at entry (the name lookup
+  // is a string hash; the inner loop must not repeat it).
+  std::vector<std::optional<Builtin>> builtin;
   Binding& binding;
   Status status = Status::Ok();
+
+  Matcher(const RelationResolver& resolve_in, const SymbolTable& symbols_in,
+          const std::vector<Literal>& body_in,
+          FunctionRef<void(const Binding&)> fn_in, Binding& binding_in)
+      : resolve(resolve_in),
+        symbols(symbols_in),
+        body(body_in),
+        fn(fn_in),
+        done(body_in.size(), false),
+        builtin(body_in.size()),
+        binding(binding_in) {
+    for (size_t i = 0; i < body.size(); ++i) {
+      builtin[i] = BuiltinFromName(symbols.Name(body[i].predicate));
+    }
+  }
 
   bool IsGround(const Literal& lit) const {
     for (const Term& t : lit.args) {
@@ -73,10 +92,9 @@ struct Matcher {
     // Fire any ground built-in first (cheap filter).
     for (size_t i = 0; i < body.size(); ++i) {
       if (done[i]) continue;
-      auto op = BuiltinFromName(symbols.Name(body[i].predicate));
-      if (!op.has_value() || !IsGround(body[i])) continue;
-      if (!EvalBuiltin(*op, ValueOf(body[i].args[0]), ValueOf(body[i].args[1]),
-                       symbols)) {
+      if (!builtin[i].has_value() || !IsGround(body[i])) continue;
+      if (!EvalBuiltin(*builtin[i], ValueOf(body[i].args[0]),
+                       ValueOf(body[i].args[1]), symbols)) {
         return;  // comparison failed: prune this branch
       }
       done[i] = true;
@@ -89,9 +107,7 @@ struct Matcher {
     size_t best_bound = 0;
     for (size_t i = 0; i < body.size(); ++i) {
       if (done[i]) continue;
-      if (BuiltinFromName(symbols.Name(body[i].predicate)).has_value()) {
-        continue;
-      }
+      if (builtin[i].has_value()) continue;
       size_t b = BoundArgCount(body[i]);
       if (best == body.size() || b > best_bound) {
         best = i;
@@ -113,7 +129,7 @@ struct Matcher {
       return;
     }
     uint32_t mask = 0;
-    Tuple key(lit.arity(), 0);
+    Tuple key(lit.arity(), 0);  // arity <= 4 stays on the stack
     for (size_t i = 0; i < lit.args.size(); ++i) {
       const Term& t = lit.args[i];
       if (t.IsConst()) {
@@ -125,10 +141,10 @@ struct Matcher {
       }
     }
     done[best] = true;
-    rel->ForEachMatch(mask, key, [&](const Tuple& m) {
+    rel->ForEachMatch(mask, key, [&](TupleRef m) {
       if (!status.ok()) return;
       // Extend the binding; repeated variables within the literal must agree.
-      std::vector<SymbolId> added;
+      Tuple added;  // variables bound by this match (inline storage)
       bool consistent = true;
       for (size_t i = 0; i < lit.args.size(); ++i) {
         const Term& t = lit.args[i];
@@ -154,9 +170,8 @@ struct Matcher {
 Status EnumerateMatches(const RelationResolver& resolve,
                         const SymbolTable& symbols,
                         const std::vector<Literal>& body, Binding& binding,
-                        const std::function<void(const Binding&)>& fn) {
-  Matcher m{resolve, symbols, body, fn, std::vector<bool>(body.size(), false),
-            binding};
+                        FunctionRef<void(const Binding&)> fn) {
+  Matcher m(resolve, symbols, body, fn, binding);
   m.Run(body.size());
   return m.status;
 }

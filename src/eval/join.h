@@ -10,13 +10,12 @@
 #include <vector>
 
 #include "datalog/ast.h"
+#include "eval/binding.h"
 #include "storage/relation.h"
+#include "util/function_ref.h"
 #include "util/status.h"
 
 namespace binchain {
-
-/// Variable symbol -> constant symbol.
-using Binding = std::unordered_map<SymbolId, SymbolId>;
 
 /// Maps a (non-built-in) predicate symbol to the relation holding its
 /// current tuples, or nullptr if the relation is empty/unknown.
@@ -31,10 +30,12 @@ bool EvalBuiltin(Builtin op, SymbolId lhs, SymbolId rhs,
 /// Literal selection is greedy most-bound-first; built-ins run as soon as
 /// ground. Fails (kInvalidArgument) if a built-in can never become ground
 /// (unsafe rule). `fn` is invoked with the complete binding.
+/// Built-in resolution (a string lookup) happens once per body literal at
+/// entry, not on every recursive call.
 Status EnumerateMatches(const RelationResolver& resolve,
                         const SymbolTable& symbols,
                         const std::vector<Literal>& body, Binding& binding,
-                        const std::function<void(const Binding&)>& fn);
+                        FunctionRef<void(const Binding&)> fn);
 
 /// Instantiates `lit`'s arguments under `binding` (all variables must be
 /// bound).

@@ -82,9 +82,9 @@ std::vector<SymbolId> QueryEngine::CandidateSources(SymbolId pred) {
   }
   std::unordered_set<SymbolId> consts;
   for (SymbolId p : base) {
-    const Relation* rel = db_->Find(db_->symbols().Name(p));
+    const Relation* rel = db_->FindById(p);
     if (rel == nullptr) continue;
-    for (const Tuple& t : rel->tuples()) {
+    for (TupleRef t : rel->tuples()) {
       for (SymbolId c : t) consts.insert(c);
     }
   }
@@ -149,12 +149,12 @@ Result<QueryAnswer> QueryEngine::Query(const Literal& query,
 
   // Base-predicate queries answer directly from the extensional database.
   if (!lemma1_->final_system.Has(pred)) {
-    const Relation* rel = db_->Find(db_->symbols().Name(pred));
+    const Relation* rel = db_->FindById(pred);
     if (rel == nullptr) {
       return Status::NotFound("unknown predicate '" +
                               db_->symbols().Name(pred) + "'");
     }
-    for (const Tuple& t : rel->tuples()) {
+    for (TupleRef t : rel->tuples()) {
       bool match = true;
       for (size_t i = 0; i < 2; ++i) {
         if (query.args[i].IsConst() && query.args[i].symbol != t[i]) {
@@ -165,7 +165,7 @@ Result<QueryAnswer> QueryEngine::Query(const Literal& query,
           query.args[0] == query.args[1] && t[0] != t[1]) {
         match = false;
       }
-      if (match) answer.tuples.push_back(t);
+      if (match) answer.tuples.push_back(Tuple(t));
     }
     std::sort(answer.tuples.begin(), answer.tuples.end());
     answer.fetches = db_->TotalFetches() - fetches_before;

@@ -8,27 +8,24 @@
 
 namespace binchain {
 
-void EdbBinaryView::ForEachSucc(TermId u,
-                                const std::function<void(TermId)>& fn) {
+void EdbBinaryView::ForEachSucc(TermId u, FunctionRef<void(TermId)> fn) {
   const Tuple& t = pool_->Get(u);
   if (t.size() != 1) return;  // non-constant term: no successors in an EDB
-  Tuple key{t[0], 0};
-  rel_->ForEachMatch(0b01u, key,
-                     [&](const Tuple& m) { fn(pool_->Unary(m[1])); });
+  const SymbolId key[2] = {t[0], 0};
+  rel_->ForEachMatch(0b01u, TupleRef(key, 2),
+                     [&](TupleRef m) { fn(pool_->Unary(m[1])); });
 }
 
-void EdbBinaryView::ForEachPred(TermId v,
-                                const std::function<void(TermId)>& fn) {
+void EdbBinaryView::ForEachPred(TermId v, FunctionRef<void(TermId)> fn) {
   const Tuple& t = pool_->Get(v);
   if (t.size() != 1) return;
-  Tuple key{0, t[0]};
-  rel_->ForEachMatch(0b10u, key,
-                     [&](const Tuple& m) { fn(pool_->Unary(m[0])); });
+  const SymbolId key[2] = {0, t[0]};
+  rel_->ForEachMatch(0b10u, TupleRef(key, 2),
+                     [&](TupleRef m) { fn(pool_->Unary(m[0])); });
 }
 
-void EdbBinaryView::ForEachPair(
-    const std::function<void(TermId, TermId)>& fn) {
-  for (const Tuple& t : rel_->tuples()) {
+void EdbBinaryView::ForEachPair(FunctionRef<void(TermId, TermId)> fn) {
+  for (TupleRef t : rel_->tuples()) {
     fn(pool_->Unary(t[0]), pool_->Unary(t[1]));
   }
 }
@@ -39,7 +36,7 @@ const std::vector<SymbolId>& DemandJoinView::ActiveDomain() {
     std::unordered_set<SymbolId> seen;
     for (const std::string& name : db_->relation_names()) {
       const Relation* rel = db_->Find(name);
-      for (const Tuple& t : rel->tuples()) {
+      for (TupleRef t : rel->tuples()) {
         for (SymbolId c : t) {
           if (seen.insert(c).second) domain_.push_back(c);
         }
@@ -81,8 +78,7 @@ void DemandJoinView::EmitOutputs(const Binding& binding,
   emit(0);
 }
 
-void DemandJoinView::ForEachSucc(TermId u,
-                                 const std::function<void(TermId)>& fn) {
+void DemandJoinView::ForEachSucc(TermId u, FunctionRef<void(TermId)> fn) {
   auto it = memo_.find(u);
   if (it != memo_.end()) {
     for (TermId v : it->second) fn(v);
@@ -102,7 +98,7 @@ void DemandJoinView::ForEachSucc(TermId u,
     }
     if (consistent) {
       RelationResolver resolve = [this](SymbolId pred) {
-        return db_->Find(db_->symbols().Name(pred));
+        return db_->FindById(pred);
       };
       Status s = EnumerateMatches(
           resolve, db_->symbols(), body_, binding,
@@ -135,6 +131,32 @@ void ViewRegistry::RegisterDatabase(const Database& db) {
 BinaryRelationView* ViewRegistry::Find(SymbolId pred) const {
   auto it = views_.find(pred);
   return it == views_.end() ? nullptr : it->second.get();
+}
+
+const ViewRegistry::CompiledRex& ViewRegistry::Compile(
+    const RexPtr& e) const {
+  auto it = rex_cache_.find(e.get());
+  if (it != rex_cache_.end()) return it->second;
+  CompiledRex compiled;
+  std::unordered_set<SymbolId> preds;
+  CollectPreds(e, preds);
+  for (SymbolId p : preds) {
+    if (Find(p) == nullptr) {
+      compiled.status =
+          Status::NotFound("no relation view registered for predicate");
+      break;
+    }
+  }
+  if (!compiled.status.ok()) {
+    // Failures are not memoized: registering the missing view later must
+    // let the same expression compile.
+    compile_error_ = std::move(compiled);
+    return compile_error_;
+  }
+  compiled.nfa = BuildNfa(e, [](SymbolId) { return false; });
+  compiled.pinned = e;
+  auto [cit, _] = rex_cache_.emplace(e.get(), std::move(compiled));
+  return cit->second;
 }
 
 }  // namespace binchain

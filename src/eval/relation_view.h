@@ -9,38 +9,38 @@
 #ifndef BINCHAIN_EVAL_RELATION_VIEW_H_
 #define BINCHAIN_EVAL_RELATION_VIEW_H_
 
-#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "automata/nfa.h"
 #include "datalog/ast.h"
 #include "eval/join.h"
 #include "storage/database.h"
 #include "storage/term_pool.h"
+#include "util/function_ref.h"
 #include "util/status.h"
 
 namespace binchain {
 
+/// Visitor parameters are FunctionRef (non-owning, non-allocating): one
+/// indirect call per enumeration, no std::function construction per probe.
 class BinaryRelationView {
  public:
   virtual ~BinaryRelationView() = default;
 
   /// Enumerates v with R(u, v).
-  virtual void ForEachSucc(TermId u,
-                           const std::function<void(TermId)>& fn) = 0;
+  virtual void ForEachSucc(TermId u, FunctionRef<void(TermId)> fn) = 0;
 
   /// Enumerates u with R(u, v). Only if SupportsBackward().
-  virtual void ForEachPred(TermId v,
-                           const std::function<void(TermId)>& fn) = 0;
+  virtual void ForEachPred(TermId v, FunctionRef<void(TermId)> fn) = 0;
 
   virtual bool SupportsBackward() const { return true; }
 
   /// Enumerates all pairs (u, v). Only if SupportsEnumerate(). Used by the
   /// HSU preconstruction baseline and by free-free query source discovery.
-  virtual void ForEachPair(
-      const std::function<void(TermId, TermId)>& fn) = 0;
+  virtual void ForEachPair(FunctionRef<void(TermId, TermId)> fn) = 0;
 
   virtual bool SupportsEnumerate() const { return true; }
 };
@@ -51,9 +51,9 @@ class EdbBinaryView : public BinaryRelationView {
   EdbBinaryView(const Relation* rel, TermPool* pool)
       : rel_(rel), pool_(pool) {}
 
-  void ForEachSucc(TermId u, const std::function<void(TermId)>& fn) override;
-  void ForEachPred(TermId v, const std::function<void(TermId)>& fn) override;
-  void ForEachPair(const std::function<void(TermId, TermId)>& fn) override;
+  void ForEachSucc(TermId u, FunctionRef<void(TermId)> fn) override;
+  void ForEachPred(TermId v, FunctionRef<void(TermId)> fn) override;
+  void ForEachPair(FunctionRef<void(TermId, TermId)> fn) override;
 
  private:
   const Relation* rel_;
@@ -76,13 +76,13 @@ class DemandJoinView : public BinaryRelationView {
         input_vars_(std::move(input_vars)),
         output_terms_(std::move(output_terms)) {}
 
-  void ForEachSucc(TermId u, const std::function<void(TermId)>& fn) override;
+  void ForEachSucc(TermId u, FunctionRef<void(TermId)> fn) override;
 
   /// Demand views are evaluated with the first argument bound only.
   bool SupportsBackward() const override { return false; }
-  void ForEachPred(TermId, const std::function<void(TermId)>&) override {}
+  void ForEachPred(TermId, FunctionRef<void(TermId)>) override {}
   bool SupportsEnumerate() const override { return false; }
-  void ForEachPair(const std::function<void(TermId, TermId)>&) override {}
+  void ForEachPair(FunctionRef<void(TermId, TermId)>) override {}
 
   /// Set if a body enumeration ever failed (unsafe built-in); checked by the
   /// evaluator after the run.
@@ -116,6 +116,7 @@ class ViewRegistry {
   ViewRegistry& operator=(const ViewRegistry&) = delete;
 
   TermPool& pool() { return pool_; }
+  const TermPool& pool() const { return pool_; }
   SymbolTable& symbols() { return *symbols_; }
 
   void Register(SymbolId pred, std::unique_ptr<BinaryRelationView> view);
@@ -125,10 +126,39 @@ class ViewRegistry {
 
   BinaryRelationView* Find(SymbolId pred) const;
 
+  /// A regular expression compiled to its machine (no derived predicates),
+  /// with the view-existence check folded in. Level-based strategies
+  /// evaluate the same e0/e1/e2 expressions once per level, so compilation
+  /// is memoized per Rex node for the registry's lifetime. Contract: hoist
+  /// expression construction (e.g. MatchLinearNormalForm) out of per-query
+  /// loops — entries are pinned and never evicted, so feeding freshly
+  /// allocated Rex trees every query grows the cache without ever hitting.
+  struct CompiledRex {
+    Nfa nfa;
+    Status status = Status::Ok();
+    RexPtr pinned;  // keeps the cache key's node alive (no address reuse)
+  };
+  const CompiledRex& Compile(const RexPtr& e) const;
+
+  /// Epoch-stamped visited marks reused across set-at-a-time traversals
+  /// (ImageUnderRex): bumping the epoch "clears" them in O(1), so each
+  /// call costs O(nodes visited), not O(term-pool size). Not reentrant —
+  /// one traversal at a time per registry (which is how the level-based
+  /// strategies and the cyclic bound use it).
+  struct TraversalScratch {
+    std::vector<uint32_t> node_stamp;  // indexed term * num_states + state
+    std::vector<uint32_t> term_stamp;  // indexed term
+    uint32_t epoch = 0;
+  };
+  TraversalScratch& scratch() const { return scratch_; }
+
  private:
   SymbolTable* symbols_;
   TermPool pool_;
   std::unordered_map<SymbolId, std::unique_ptr<BinaryRelationView>> views_;
+  mutable std::unordered_map<const Rex*, CompiledRex> rex_cache_;
+  mutable CompiledRex compile_error_;  // scratch for uncached failures
+  mutable TraversalScratch scratch_;
 };
 
 }  // namespace binchain

@@ -2,34 +2,59 @@
 
 #include <algorithm>
 #include <unordered_set>
+#include <vector>
 
 #include "automata/nfa.h"
 
 namespace binchain {
+namespace {
+
+/// Marks `i` in the epoch-stamped array; returns true if already marked
+/// this epoch. Ids above the current capacity (terms interned
+/// mid-traversal) grow the array transparently.
+bool Stamp(std::vector<uint32_t>& stamps, size_t i, uint32_t epoch) {
+  if (i >= stamps.size()) {
+    stamps.resize(std::max(i + 1, stamps.size() * 2), 0);
+  }
+  if (stamps[i] == epoch) return true;
+  stamps[i] = epoch;
+  return false;
+}
+
+}  // namespace
 
 Result<std::vector<TermId>> ImageUnderRex(const ViewRegistry& views,
                                           const RexPtr& e,
                                           const std::vector<TermId>& sources,
                                           uint64_t* work) {
-  // Validate: every predicate leaf must have a view.
-  std::unordered_set<SymbolId> preds;
-  CollectPreds(e, preds);
-  for (SymbolId p : preds) {
-    if (views.Find(p) == nullptr) {
-      return Status::NotFound("no relation view registered for predicate");
-    }
-  }
-  Nfa nfa = BuildNfa(e, [](SymbolId) { return false; });
+  // Compilation validates that every predicate leaf has a view and is
+  // memoized per Rex node: level strategies call this once per level.
+  const ViewRegistry::CompiledRex& compiled = views.Compile(e);
+  if (!compiled.status.ok()) return compiled.status;
+  const Nfa& nfa = compiled.nfa;
 
-  std::unordered_set<uint64_t> seen;
+  // The (state, term) seen-set lives in the registry's epoch-stamped
+  // scratch: clearing is an epoch bump, so a call touching few nodes pays
+  // for few nodes (the level strategies issue many small-frontier calls).
+  const size_t num_states = nfa.NumStates();
+  ViewRegistry::TraversalScratch& sc = views.scratch();
+  if (++sc.epoch == 0) {  // wrapped: do the rare real clear
+    std::fill(sc.node_stamp.begin(), sc.node_stamp.end(), 0);
+    std::fill(sc.term_stamp.begin(), sc.term_stamp.end(), 0);
+    sc.epoch = 1;
+  }
+  const uint32_t epoch = sc.epoch;
   std::vector<std::pair<uint32_t, TermId>> stack;
   std::vector<TermId> out;
-  std::unordered_set<TermId> out_set;
   auto visit = [&](uint32_t q, TermId u) {
-    uint64_t key = (static_cast<uint64_t>(q) << 32) | u;
-    if (!seen.insert(key).second) return;
+    if (Stamp(sc.node_stamp, static_cast<size_t>(u) * num_states + q,
+              epoch)) {
+      return;
+    }
     if (work != nullptr) ++*work;
-    if (q == nfa.final() && out_set.insert(u).second) out.push_back(u);
+    if (q == nfa.final() && !Stamp(sc.term_stamp, u, epoch)) {
+      out.push_back(u);
+    }
     stack.emplace_back(q, u);
   };
   for (TermId s : sources) visit(nfa.initial(), s);

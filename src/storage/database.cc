@@ -14,6 +14,7 @@ Relation& Database::GetOrCreate(std::string_view pred, size_t arity) {
   auto rel = std::make_unique<Relation>(arity);
   Relation& ref = *rel;
   relations_.emplace(key, std::move(rel));
+  by_id_.emplace(symbols_.Intern(pred), &ref);
   names_.push_back(key);
   return ref;
 }

@@ -33,6 +33,14 @@ class Database {
   const Relation* Find(std::string_view pred) const;
   Relation* FindMutable(std::string_view pred);
 
+  /// Returns the relation whose name interns to `pred`, or nullptr. Avoids
+  /// the per-lookup string round-trip of Find(symbols().Name(pred)) — the
+  /// form every evaluation-strategy resolver is on.
+  const Relation* FindById(SymbolId pred) const {
+    auto it = by_id_.find(pred);
+    return it == by_id_.end() ? nullptr : it->second;
+  }
+
   /// Convenience: insert a fact with string constants.
   void AddFact(std::string_view pred, std::initializer_list<std::string_view> args);
   void AddFact(std::string_view pred, const std::vector<std::string>& args);
@@ -50,6 +58,7 @@ class Database {
  private:
   SymbolTable symbols_;
   std::unordered_map<std::string, std::unique_ptr<Relation>> relations_;
+  std::unordered_map<SymbolId, Relation*> by_id_;
   std::vector<std::string> names_;
 };
 

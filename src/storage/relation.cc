@@ -3,48 +3,168 @@
 #include "util/check.h"
 
 namespace binchain {
+namespace {
 
-bool Relation::Insert(const Tuple& t) {
-  BINCHAIN_CHECK(t.size() == arity_);
-  auto [it, inserted] = set_.insert(t);
-  if (inserted) tuples_.push_back(t);
-  return inserted;
+uint64_t HashSpan(const SymbolId* d, size_t n) {
+  return TupleHash{}(TupleRef(d, n));
 }
 
-Tuple Relation::KeyFor(uint32_t mask, const Tuple& t) const {
-  Tuple key;
-  key.reserve(static_cast<size_t>(__builtin_popcount(mask)));
+}  // namespace
+
+uint64_t Relation::HashMasked(uint32_t mask, const SymbolId* t) const {
+  uint64_t h = TupleHash::kOffset;
   for (size_t i = 0; i < arity_; ++i) {
-    if (mask & (1u << i)) key.push_back(t[i]);
+    if (mask & (1u << i)) {
+      h ^= t[i];
+      h *= TupleHash::kPrime;
+    }
   }
-  return key;
+  return h;
+}
+
+bool Relation::MaskedEquals(uint32_t mask, uint32_t row,
+                            const SymbolId* key) const {
+  const SymbolId* r = arena_.data() + static_cast<size_t>(row) * arity_;
+  for (size_t i = 0; i < arity_; ++i) {
+    if ((mask & (1u << i)) && r[i] != key[i]) return false;
+  }
+  return true;
+}
+
+void Relation::DedupGrow() {
+  size_t cap = dedup_.empty() ? 16 : dedup_.size() * 2;
+  dedup_.assign(cap, kNoRow);
+  dedup_used_ = 0;
+  size_t m = cap - 1;
+  for (uint32_t row = 0; row < num_rows_; ++row) {
+    const SymbolId* d = arena_.data() + static_cast<size_t>(row) * arity_;
+    for (size_t i = HashSpan(d, arity_) & m;; i = (i + 1) & m) {
+      if (dedup_[i] == kNoRow) {
+        dedup_[i] = row;
+        ++dedup_used_;
+        break;
+      }
+    }
+  }
+}
+
+bool Relation::Insert(TupleRef t) {
+  BINCHAIN_CHECK(t.size() == arity_);
+  if ((dedup_used_ + 1) * 10 >= dedup_.size() * 7) DedupGrow();
+  size_t m = dedup_.size() - 1;
+  for (size_t i = HashSpan(t.data(), arity_) & m;; i = (i + 1) & m) {
+    uint32_t r = dedup_[i];
+    if (r == kNoRow) {
+      uint32_t row = static_cast<uint32_t>(num_rows_);
+      // `t` may view this relation's own arena; the append below can
+      // reallocate it, so stage aliasing rows in a stack-local copy.
+      const SymbolId* src = t.data();
+      Tuple staged;
+      if (!arena_.empty() && src >= arena_.data() &&
+          src < arena_.data() + arena_.size()) {
+        staged = t;
+        src = staged.data();
+      }
+      arena_.insert(arena_.end(), src, src + arity_);
+      ++num_rows_;
+      dedup_[i] = row;
+      ++dedup_used_;
+      return true;
+    }
+    if (Row(r) == t) return false;
+  }
+}
+
+bool Relation::Contains(TupleRef t) const {
+  if (t.size() != arity_ || dedup_.empty()) return false;
+  size_t m = dedup_.size() - 1;
+  for (size_t i = HashSpan(t.data(), arity_) & m;; i = (i + 1) & m) {
+    uint32_t r = dedup_[i];
+    if (r == kNoRow) return false;
+    if (Row(r) == t) return true;
+  }
+}
+
+void Relation::IndexGrow(MaskIndex& idx, size_t rows_done) const {
+  size_t cap = idx.slots.empty() ? 16 : idx.slots.size() * 2;
+  idx.slots.assign(cap, kNoRow);
+  idx.tails.assign(cap, kNoRow);
+  idx.used = 0;
+  // Re-thread rows already indexed, in ascending row order so chains keep
+  // enumerating in insertion order.
+  for (size_t r = 0; r < rows_done; ++r) idx.next[r] = kNoRow;
+  size_t m = cap - 1;
+  for (uint32_t row = 0; row < rows_done; ++row) {
+    const SymbolId* d = arena_.data() + static_cast<size_t>(row) * arity_;
+    for (size_t i = HashMasked(idx.mask, d) & m;; i = (i + 1) & m) {
+      uint32_t head = idx.slots[i];
+      if (head == kNoRow) {
+        idx.slots[i] = row;
+        idx.tails[i] = row;
+        ++idx.used;
+        break;
+      }
+      if (MaskedEquals(idx.mask, head, d)) {
+        idx.next[idx.tails[i]] = row;
+        idx.tails[i] = row;
+        break;
+      }
+    }
+  }
+}
+
+void Relation::IndexInsert(MaskIndex& idx, uint32_t row) const {
+  const SymbolId* d = arena_.data() + static_cast<size_t>(row) * arity_;
+  size_t m = idx.slots.size() - 1;
+  for (size_t i = HashMasked(idx.mask, d) & m;; i = (i + 1) & m) {
+    uint32_t head = idx.slots[i];
+    if (head == kNoRow) {
+      idx.slots[i] = row;
+      idx.tails[i] = row;
+      ++idx.used;
+      return;
+    }
+    if (MaskedEquals(idx.mask, head, d)) {
+      idx.next[idx.tails[i]] = row;
+      idx.tails[i] = row;
+      return;
+    }
+  }
 }
 
 Relation::MaskIndex& Relation::IndexFor(uint32_t mask) const {
-  MaskIndex& idx = indexes_[mask];
-  // Absorb tuples appended since the index was last touched.
-  for (size_t i = idx.indexed_upto; i < tuples_.size(); ++i) {
-    idx.buckets[KeyFor(mask, tuples_[i])].push_back(static_cast<uint32_t>(i));
+  MaskIndex* idx = nullptr;
+  for (MaskIndex& ix : indexes_) {
+    if (ix.mask == mask) {
+      idx = &ix;
+      break;
+    }
   }
-  idx.indexed_upto = tuples_.size();
-  return idx;
+  if (idx == nullptr) {
+    indexes_.emplace_back();
+    idx = &indexes_.back();
+    idx->mask = mask;
+  }
+  // Absorb rows appended since the index was last touched.
+  if (idx->indexed_upto < num_rows_) {
+    idx->next.resize(num_rows_, kNoRow);
+    for (size_t r = idx->indexed_upto; r < num_rows_; ++r) {
+      if ((idx->used + 1) * 10 >= idx->slots.size() * 7) IndexGrow(*idx, r);
+      IndexInsert(*idx, static_cast<uint32_t>(r));
+    }
+    idx->indexed_upto = num_rows_;
+  }
+  return *idx;
 }
 
-void Relation::ForEachMatch(uint32_t mask, const Tuple& key,
-                            const std::function<void(const Tuple&)>& fn) const {
-  if (mask == 0) {
-    for (const Tuple& t : tuples_) {
-      ++fetches_;
-      fn(t);
-    }
-    return;
-  }
-  MaskIndex& idx = IndexFor(mask);
-  auto it = idx.buckets.find(KeyFor(mask, key));
-  if (it == idx.buckets.end()) return;
-  for (uint32_t ti : it->second) {
-    ++fetches_;
-    fn(tuples_[ti]);
+uint32_t Relation::FindHead(const MaskIndex& idx, uint32_t mask,
+                            TupleRef key) const {
+  if (idx.slots.empty()) return kNoRow;
+  size_t m = idx.slots.size() - 1;
+  for (size_t i = HashMasked(mask, key.data()) & m;; i = (i + 1) & m) {
+    uint32_t head = idx.slots[i];
+    if (head == kNoRow) return kNoRow;
+    if (MaskedEquals(mask, head, key.data())) return head;
   }
 }
 

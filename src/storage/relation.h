@@ -1,61 +1,159 @@
 // An n-ary relation: deduplicated tuple store with lazily built hash indexes
 // for arbitrary bound-column masks. This is the "extensional database"
 // retrieval mechanism the paper assumes (constant-time tuple access).
+//
+// Storage layout: all tuples live in one contiguous SymbolId arena, row i at
+// arena[i*arity .. (i+1)*arity). Rows are handed out as TupleRef views — no
+// per-tuple allocation, no copy on probe. Deduplication and the per-mask
+// indexes are open-addressed tables over row ids whose hashes are computed
+// directly from arena data, so neither insert nor probe materializes a key
+// tuple. Indexes stay lazy: they absorb appended rows on next use
+// (`indexed_upto` catch-up), preserving the paper's pay-as-you-go cost
+// model.
 #ifndef BINCHAIN_STORAGE_RELATION_H_
 #define BINCHAIN_STORAGE_RELATION_H_
 
 #include <cstdint>
-#include <functional>
-#include <unordered_map>
-#include <unordered_set>
+#include <deque>
+#include <utility>
 #include <vector>
 
 #include "storage/tuple.h"
 
 namespace binchain {
 
+/// Forward view over the rows of a Relation; iteration yields TupleRef.
+/// (Compatible with `for (const Tuple& t : rel.tuples())`: the reference
+/// binds to a lifetime-extended materialized temporary.)
+class RowRange {
+ public:
+  class const_iterator {
+   public:
+    using value_type = TupleRef;
+    using difference_type = std::ptrdiff_t;
+    using iterator_category = std::forward_iterator_tag;
+    using pointer = const TupleRef*;
+    using reference = TupleRef;
+
+    const_iterator(const SymbolId* base, size_t arity, size_t idx)
+        : base_(base), arity_(arity), idx_(idx) {}
+    TupleRef operator*() const {
+      return TupleRef(base_ + idx_ * arity_, arity_);
+    }
+    const_iterator& operator++() {
+      ++idx_;
+      return *this;
+    }
+    bool operator==(const const_iterator& o) const { return idx_ == o.idx_; }
+    bool operator!=(const const_iterator& o) const { return idx_ != o.idx_; }
+
+   private:
+    const SymbolId* base_;
+    size_t arity_;
+    size_t idx_;
+  };
+
+  RowRange(const SymbolId* base, size_t arity, size_t rows)
+      : base_(base), arity_(arity), rows_(rows) {}
+
+  const_iterator begin() const { return const_iterator(base_, arity_, 0); }
+  const_iterator end() const { return const_iterator(base_, arity_, rows_); }
+  size_t size() const { return rows_; }
+  bool empty() const { return rows_ == 0; }
+  TupleRef operator[](size_t i) const {
+    return TupleRef(base_ + i * arity_, arity_);
+  }
+
+ private:
+  const SymbolId* base_;
+  size_t arity_;
+  size_t rows_;
+};
+
 /// Mutable set of same-arity tuples. Insertion preserves first-seen order
-/// (tuples are addressed by dense index), duplicates are ignored.
+/// (tuples are addressed by dense row id), duplicates are ignored.
 class Relation {
  public:
   explicit Relation(size_t arity) : arity_(arity) {}
 
   size_t arity() const { return arity_; }
-  size_t size() const { return tuples_.size(); }
-  bool empty() const { return tuples_.empty(); }
+  size_t size() const { return num_rows_; }
+  bool empty() const { return num_rows_ == 0; }
 
-  const std::vector<Tuple>& tuples() const { return tuples_; }
-  const Tuple& tuple(size_t i) const { return tuples_[i]; }
+  RowRange tuples() const { return RowRange(arena_.data(), arity_, num_rows_); }
+  TupleRef tuple(size_t i) const { return Row(static_cast<uint32_t>(i)); }
 
   /// Inserts `t`; returns true if it was new. Invalidates no indexes
   /// (indexes absorb appended tuples on next use).
-  bool Insert(const Tuple& t);
+  bool Insert(TupleRef t);
 
-  bool Contains(const Tuple& t) const { return set_.count(t) > 0; }
+  bool Contains(TupleRef t) const;
 
-  /// Enumerates tuples matching `key` on the columns of `mask` (bit i set =>
+  /// Enumerates rows matching `key` on the columns of `mask` (bit i set =>
   /// column i must equal key[i]; other key positions are ignored).
-  /// `fn` receives the matching tuple. Builds the mask's index on first use.
-  void ForEachMatch(uint32_t mask, const Tuple& key,
-                    const std::function<void(const Tuple&)>& fn) const;
+  /// `fn` receives a TupleRef per match (valid for the duration of the
+  /// callback; also binds to `const Tuple&` by materializing a copy).
+  /// Builds the mask's index on first use. Statically dispatched: the
+  /// visitor type is known at the call site, so the per-tuple call inlines.
+  template <typename Fn>
+  void ForEachMatch(uint32_t mask, TupleRef key, Fn&& fn) const {
+    if (mask == 0) {  // full scan, no index needed
+      for (size_t r = 0; r < num_rows_; ++r) {
+        ++fetches_;
+        fn(Row(static_cast<uint32_t>(r)));
+      }
+      return;
+    }
+    const MaskIndex& idx = IndexFor(mask);
+    for (uint32_t row = FindHead(idx, mask, key); row != kNoRow;
+         row = idx.next[row]) {
+      ++fetches_;
+      fn(Row(row));
+    }
+  }
 
   /// Number of single-tuple retrievals served (the paper's `t`-cost unit).
   uint64_t fetch_count() const { return fetches_; }
   void ResetFetchCount() { fetches_ = 0; }
 
  private:
+  static constexpr uint32_t kNoRow = 0xffffffffu;
+
+  /// Open-addressed index for one bound-column mask. `slots`/`tails` hold
+  /// the first/last row of each distinct key's chain; `next` threads rows
+  /// sharing a key in insertion order.
   struct MaskIndex {
-    std::unordered_map<Tuple, std::vector<uint32_t>, TupleHash> buckets;
-    size_t indexed_upto = 0;  // tuples_[0..indexed_upto) are in buckets
+    uint32_t mask = 0;
+    std::vector<uint32_t> slots;
+    std::vector<uint32_t> tails;
+    std::vector<uint32_t> next;
+    size_t indexed_upto = 0;  // rows [0, indexed_upto) are indexed
+    size_t used = 0;          // distinct keys (load-factor control)
   };
 
-  Tuple KeyFor(uint32_t mask, const Tuple& t) const;
+  TupleRef Row(uint32_t r) const {
+    return TupleRef(arena_.data() + static_cast<size_t>(r) * arity_, arity_);
+  }
+
+  uint64_t HashMasked(uint32_t mask, const SymbolId* t) const;
+  bool MaskedEquals(uint32_t mask, uint32_t row, const SymbolId* key) const;
+
   MaskIndex& IndexFor(uint32_t mask) const;
+  void IndexInsert(MaskIndex& idx, uint32_t row) const;
+  void IndexGrow(MaskIndex& idx, size_t rows_done) const;
+  uint32_t FindHead(const MaskIndex& idx, uint32_t mask, TupleRef key) const;
+
+  void DedupGrow();
 
   size_t arity_;
-  std::vector<Tuple> tuples_;
-  std::unordered_set<Tuple, TupleHash> set_;
-  mutable std::unordered_map<uint32_t, MaskIndex> indexes_;
+  size_t num_rows_ = 0;
+  std::vector<SymbolId> arena_;    // row-major tuple storage
+  std::vector<uint32_t> dedup_;    // open-addressed row set over full tuples
+  size_t dedup_used_ = 0;
+  // Few masks per relation: linear scan beats hashing. A deque keeps
+  // MaskIndex references stable while nested ForEachMatch calls (recursive
+  // joins) lazily create indexes for other masks.
+  mutable std::deque<MaskIndex> indexes_;
   mutable uint64_t fetches_ = 0;
 };
 

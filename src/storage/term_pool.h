@@ -20,8 +20,18 @@ class TermPool {
  public:
   TermPool() = default;
 
-  /// Interns a 1-constant term.
-  TermId Unary(SymbolId c) { return InternTuple(Tuple{c}); }
+  /// Interns a 1-constant term. Unary terms are the traversal hot path
+  /// (every EDB edge enumeration interns its endpoint), so they resolve
+  /// through a dense SymbolId-indexed cache instead of the tuple map.
+  TermId Unary(SymbolId c) {
+    if (c < unary_cache_.size() && unary_cache_[c] != kNoTerm) {
+      return unary_cache_[c];
+    }
+    TermId id = InternTuple(Tuple{c});
+    if (c >= unary_cache_.size()) unary_cache_.resize(c + 1, kNoTerm);
+    unary_cache_[c] = id;
+    return id;
+  }
 
   /// Interns a constant-vector term (possibly empty: the Section-4 "t()"
   /// term produced when no arguments are bound/free).
@@ -35,8 +45,11 @@ class TermPool {
   size_t size() const { return terms_.size(); }
 
  private:
+  static constexpr TermId kNoTerm = 0xffffffffu;
+
   std::vector<Tuple> terms_;
   std::unordered_map<Tuple, TermId, TupleHash> index_;
+  std::vector<TermId> unary_cache_;  // SymbolId -> TermId of its unary term
 };
 
 }  // namespace binchain

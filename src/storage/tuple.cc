@@ -2,7 +2,7 @@
 
 namespace binchain {
 
-std::string TupleToString(const Tuple& t, const SymbolTable& symbols) {
+std::string TupleToString(TupleRef t, const SymbolTable& symbols) {
   std::string out = "(";
   for (size_t i = 0; i < t.size(); ++i) {
     if (i) out += ", ";

@@ -1,32 +1,224 @@
-// Tuples of interned constants, plus hashing so they can key hash tables.
+// Tuples of interned constants.
+//
+// `Tuple` is an owning, small-buffer-optimized sequence of SymbolId: up to
+// kInlineCapacity constants live inline (no heap allocation), covering every
+// arity that occurs on the hot paths of the evaluator (binary chain
+// programs, the Section-4 flight predicates of arity 4, mask keys). Larger
+// tuples spill to the heap transparently.
+//
+// `TupleRef` is a borrowed view (pointer + arity) used to hand out tuples
+// straight from a Relation's arena without materializing them; it converts
+// implicitly to and from `Tuple` so call sites can choose between zero-copy
+// iteration (TupleRef) and ownership (Tuple).
 #ifndef BINCHAIN_STORAGE_TUPLE_H_
 #define BINCHAIN_STORAGE_TUPLE_H_
 
 #include <cstdint>
-#include <functional>
+#include <cstring>
+#include <initializer_list>
 #include <string>
-#include <vector>
+#include <type_traits>
 
 #include "storage/symbol_table.h"
 
 namespace binchain {
 
-using Tuple = std::vector<SymbolId>;
+class Tuple;
+
+/// Non-owning view of a tuple. Valid only while the underlying storage
+/// (arena or Tuple) is alive and unmodified; intended for immediate use in
+/// enumeration callbacks and lookup keys.
+class TupleRef {
+ public:
+  constexpr TupleRef() : data_(nullptr), size_(0) {}
+  constexpr TupleRef(const SymbolId* data, size_t n)
+      : data_(data), size_(static_cast<uint32_t>(n)) {}
+  /// Views the initializer list's backing array: usable as an immediate
+  /// call argument only (the array dies with the full-expression, which by
+  /// design outlives every use inside the called enumeration).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Winit-list-lifetime"
+#endif
+  TupleRef(std::initializer_list<SymbolId> init)  // NOLINT: implicit
+      : data_(init.begin()), size_(static_cast<uint32_t>(init.size())) {}
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+  inline TupleRef(const Tuple& t);  // NOLINT: implicit, defined below
+
+  const SymbolId* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  SymbolId operator[](size_t i) const { return data_[i]; }
+  const SymbolId* begin() const { return data_; }
+  const SymbolId* end() const { return data_ + size_; }
+
+ private:
+  const SymbolId* data_;
+  uint32_t size_;
+};
+
+class Tuple {
+ public:
+  static constexpr size_t kInlineCapacity = 4;
+
+  Tuple() : data_(inline_), size_(0), capacity_(kInlineCapacity) {}
+
+  Tuple(size_t n, SymbolId fill) : Tuple() {
+    reserve(n);
+    for (size_t i = 0; i < n; ++i) data_[i] = fill;
+    size_ = static_cast<uint32_t>(n);
+  }
+
+  Tuple(std::initializer_list<SymbolId> init) : Tuple() {
+    assign(init.begin(), init.size());
+  }
+
+  Tuple(const TupleRef& ref) : Tuple() {  // NOLINT: implicit by design
+    assign(ref.data(), ref.size());
+  }
+
+  template <typename It, typename = std::enable_if_t<
+                             !std::is_integral_v<std::decay_t<It>>>>
+  Tuple(It first, It last) : Tuple() {
+    for (; first != last; ++first) push_back(*first);
+  }
+
+  Tuple(const Tuple& o) : Tuple() { assign(o.data_, o.size_); }
+
+  Tuple(Tuple&& o) noexcept : Tuple() { MoveFrom(o); }
+
+  Tuple& operator=(const Tuple& o) {
+    if (this != &o) assign(o.data_, o.size_);
+    return *this;
+  }
+
+  Tuple& operator=(Tuple&& o) noexcept {
+    if (this != &o) {
+      FreeHeap();
+      data_ = inline_;
+      capacity_ = kInlineCapacity;
+      size_ = 0;
+      MoveFrom(o);
+    }
+    return *this;
+  }
+
+  ~Tuple() { FreeHeap(); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  SymbolId* data() { return data_; }
+  const SymbolId* data() const { return data_; }
+  SymbolId& operator[](size_t i) { return data_[i]; }
+  const SymbolId& operator[](size_t i) const { return data_[i]; }
+  SymbolId* begin() { return data_; }
+  SymbolId* end() { return data_ + size_; }
+  const SymbolId* begin() const { return data_; }
+  const SymbolId* end() const { return data_ + size_; }
+  SymbolId back() const { return data_[size_ - 1]; }
+
+  void clear() { size_ = 0; }
+
+  void reserve(size_t n) {
+    if (n <= capacity_) return;
+    size_t cap = capacity_;
+    while (cap < n) cap *= 2;
+    SymbolId* heap = new SymbolId[cap];
+    std::memcpy(heap, data_, size_ * sizeof(SymbolId));
+    FreeHeap();
+    data_ = heap;
+    capacity_ = static_cast<uint32_t>(cap);
+  }
+
+  void push_back(SymbolId v) {
+    if (size_ == capacity_) reserve(size_ + 1);
+    data_[size_++] = v;
+  }
+
+  void pop_back() { --size_; }
+
+  /// Insert [first, last) before `pos` (pos must point into this tuple).
+  template <typename It>
+  void insert(SymbolId* pos, It first, It last) {
+    size_t at = static_cast<size_t>(pos - data_);
+    size_t count = static_cast<size_t>(last - first);
+    reserve(size_ + count);
+    std::memmove(data_ + at + count, data_ + at,
+                 (size_ - at) * sizeof(SymbolId));
+    for (size_t i = 0; first != last; ++first, ++i) data_[at + i] = *first;
+    size_ += static_cast<uint32_t>(count);
+  }
+
+ private:
+  void assign(const SymbolId* src, size_t n) {
+    size_ = 0;
+    reserve(n);
+    std::memcpy(data_, src, n * sizeof(SymbolId));
+    size_ = static_cast<uint32_t>(n);
+  }
+
+  void MoveFrom(Tuple& o) {
+    if (o.data_ != o.inline_) {  // steal the heap buffer
+      data_ = o.data_;
+      capacity_ = o.capacity_;
+      size_ = o.size_;
+      o.data_ = o.inline_;
+      o.capacity_ = kInlineCapacity;
+      o.size_ = 0;
+    } else {
+      assign(o.data_, o.size_);
+      o.size_ = 0;
+    }
+  }
+
+  void FreeHeap() {
+    if (data_ != inline_) delete[] data_;
+  }
+
+  SymbolId* data_;
+  uint32_t size_;
+  uint32_t capacity_;
+  SymbolId inline_[kInlineCapacity];
+};
+
+inline TupleRef::TupleRef(const Tuple& t) : data_(t.data()),
+                                            size_(static_cast<uint32_t>(t.size())) {}
+
+inline bool operator==(TupleRef a, TupleRef b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(SymbolId)) == 0;
+}
+inline bool operator!=(TupleRef a, TupleRef b) { return !(a == b); }
+inline bool operator<(TupleRef a, TupleRef b) {
+  size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] != b[i]) return a[i] < b[i];
+  }
+  return a.size() < b.size();
+}
 
 /// FNV-1a over the id sequence; adequate for the in-memory hash indexes.
+/// Accepts both Tuple (via implicit view conversion) and TupleRef. The
+/// constants are public so Relation's masked-column hashing stays in
+/// agreement with full-tuple hashing by construction.
 struct TupleHash {
-  size_t operator()(const Tuple& t) const {
-    uint64_t h = 1469598103934665603ull;
+  static constexpr uint64_t kOffset = 1469598103934665603ull;
+  static constexpr uint64_t kPrime = 1099511628211ull;
+
+  size_t operator()(TupleRef t) const {
+    uint64_t h = kOffset;
     for (SymbolId v : t) {
       h ^= v;
-      h *= 1099511628211ull;
+      h *= kPrime;
     }
     return static_cast<size_t>(h);
   }
 };
 
 /// Renders "(a, b, c)" for diagnostics.
-std::string TupleToString(const Tuple& t, const SymbolTable& symbols);
+std::string TupleToString(TupleRef t, const SymbolTable& symbols);
 
 }  // namespace binchain
 

@@ -1,0 +1,44 @@
+// Growable bitset for dense id spaces (TermId, (state, term) products).
+// Test-and-set is one load and one OR — no hashing, no probing, no per-node
+// allocation — which is why the traversal seen-sets use it instead of hash
+// sets: ids are pool-interned and dense, so the bit array stays compact.
+#ifndef BINCHAIN_UTIL_DENSE_BITS_H_
+#define BINCHAIN_UTIL_DENSE_BITS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace binchain {
+
+class DenseBits {
+ public:
+  DenseBits() = default;
+  explicit DenseBits(size_t expected_bits) {
+    words_.resize((expected_bits >> 6) + 1, 0);
+  }
+
+  /// Sets the bit; returns true if it was already set.
+  bool TestAndSet(size_t bit) {
+    size_t word = bit >> 6;
+    if (word >= words_.size()) {
+      words_.resize(std::max(word + 1, words_.size() * 2), 0);
+    }
+    uint64_t m = 1ull << (bit & 63);
+    if (words_[word] & m) return true;
+    words_[word] |= m;
+    return false;
+  }
+
+  bool Test(size_t bit) const {
+    size_t word = bit >> 6;
+    return word < words_.size() && (words_[word] & (1ull << (bit & 63)));
+  }
+
+ private:
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace binchain
+
+#endif  // BINCHAIN_UTIL_DENSE_BITS_H_

@@ -1,0 +1,50 @@
+// A non-owning, non-allocating reference to a callable, used on hot
+// enumeration interfaces instead of std::function (which may heap-allocate
+// its target and always dispatches through two indirections). A FunctionRef
+// is two words: the callable's address and a monomorphic trampoline.
+//
+// Lifetime: a FunctionRef borrows its callable, so it must not outlive the
+// full-expression that created it unless the callable demonstrably lives
+// longer. All uses in this codebase pass it straight down an enumeration
+// call, which is safe.
+#ifndef BINCHAIN_UTIL_FUNCTION_REF_H_
+#define BINCHAIN_UTIL_FUNCTION_REF_H_
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace binchain {
+
+template <typename Sig>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f) noexcept  // NOLINT: implicit by design
+      : obj_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        call_(&Invoke<std::remove_reference_t<F>>) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  template <typename F>
+  static R Invoke(void* obj, Args... args) {
+    return (*static_cast<F*>(obj))(std::forward<Args>(args)...);
+  }
+
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
+
+}  // namespace binchain
+
+#endif  // BINCHAIN_UTIL_FUNCTION_REF_H_

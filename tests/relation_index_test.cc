@@ -1,0 +1,196 @@
+// Index semantics of the arena-backed Relation: lazy catch-up after
+// post-index inserts, empty-mask full scans, all-columns point lookups,
+// duplicate rejection, view/arena consistency, and repeated-variable
+// literals flowing through EnumerateMatches.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "datalog/parser.h"
+#include "eval/join.h"
+#include "storage/database.h"
+#include "storage/relation.h"
+
+namespace binchain {
+namespace {
+
+std::vector<Tuple> Matches(const Relation& r, uint32_t mask,
+                           const Tuple& key) {
+  std::vector<Tuple> got;
+  r.ForEachMatch(mask, key, [&](TupleRef t) { got.push_back(Tuple(t)); });
+  return got;
+}
+
+TEST(RelationIndexTest, LazyCatchUpAfterPostIndexInserts) {
+  Relation r(2);
+  r.Insert({1, 10});
+  r.Insert({2, 20});
+  // Build the column-0 index, then append behind its back — twice, with a
+  // probe in between, so indexed_upto advances incrementally.
+  EXPECT_EQ(Matches(r, 0b01, {1, 0}).size(), 1u);
+  r.Insert({1, 11});
+  EXPECT_EQ(Matches(r, 0b01, {1, 0}).size(), 2u);
+  r.Insert({1, 12});
+  r.Insert({3, 30});
+  auto got = Matches(r, 0b01, {1, 0});
+  ASSERT_EQ(got.size(), 3u);
+  // Chains enumerate in insertion order.
+  EXPECT_EQ(got[0], (Tuple{1, 10}));
+  EXPECT_EQ(got[1], (Tuple{1, 11}));
+  EXPECT_EQ(got[2], (Tuple{1, 12}));
+}
+
+TEST(RelationIndexTest, CatchUpAcrossManyInsertsForcesTableGrowth) {
+  Relation r(2);
+  r.Insert({0, 0});
+  EXPECT_EQ(Matches(r, 0b01, {0, 0}).size(), 1u);  // index exists, 1 key
+  // Push the index through several open-addressing growth cycles during one
+  // catch-up batch.
+  for (SymbolId i = 1; i < 500; ++i) r.Insert({i, i + 1000});
+  for (SymbolId i = 0; i < 500; ++i) {
+    ASSERT_EQ(Matches(r, 0b01, {i, 0}).size(), 1u) << i;
+  }
+}
+
+TEST(RelationIndexTest, EmptyMaskIsFullScan) {
+  Relation r(3);
+  r.Insert({1, 2, 3});
+  r.Insert({4, 5, 6});
+  r.Insert({7, 8, 9});
+  auto got = Matches(r, 0, {0, 0, 0});
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], (Tuple{1, 2, 3}));  // dense row order
+  EXPECT_EQ(got[2], (Tuple{7, 8, 9}));
+}
+
+TEST(RelationIndexTest, AllColumnsMaskIsPointLookup) {
+  Relation r(2);
+  r.Insert({1, 10});
+  r.Insert({1, 11});
+  r.Insert({2, 10});
+  auto got = Matches(r, 0b11, {1, 11});
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], (Tuple{1, 11}));
+  EXPECT_TRUE(Matches(r, 0b11, {2, 11}).empty());
+}
+
+TEST(RelationIndexTest, DuplicateInsertRejectedAndNotDoubleIndexed) {
+  Relation r(2);
+  EXPECT_TRUE(r.Insert({5, 6}));
+  EXPECT_FALSE(r.Insert({5, 6}));
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_EQ(Matches(r, 0b01, {5, 0}).size(), 1u);
+  EXPECT_FALSE(r.Insert({5, 6}));  // also rejected after the index exists
+  EXPECT_EQ(Matches(r, 0b01, {5, 0}).size(), 1u);
+}
+
+TEST(RelationIndexTest, FetchCountsMatchDeliveredTuples) {
+  Relation r(2);
+  r.Insert({1, 10});
+  r.Insert({1, 11});
+  r.Insert({2, 20});
+  r.ResetFetchCount();
+  Matches(r, 0b01, {1, 0});  // 2 tuples
+  Matches(r, 0, {0, 0});     // 3 tuples (full scan)
+  Matches(r, 0b01, {9, 0});  // miss: 0 tuples
+  EXPECT_EQ(r.fetch_count(), 5u);
+}
+
+TEST(RelationIndexTest, TupleViewsStayValidAcrossArenaGrowth) {
+  Relation r(2);
+  r.Insert({1, 2});
+  Tuple copy(r.tuple(0));  // materialized before growth
+  for (SymbolId i = 0; i < 1000; ++i) r.Insert({i + 10, i});
+  EXPECT_EQ(Tuple(r.tuple(0)), copy);  // row 0 content is stable
+  EXPECT_TRUE(r.Contains(copy));
+}
+
+TEST(RelationIndexTest, SelfInsertFromOwnArenaIsSafe) {
+  // Inserting a TupleRef that views the relation's own arena must survive
+  // the arena reallocation the insert may trigger.
+  Relation r(2);
+  for (SymbolId i = 0; i < 100; ++i) r.Insert({i, i + 1});
+  size_t before = r.size();
+  TupleRef row0 = r.tuple(0);
+  EXPECT_FALSE(r.Insert(row0));  // duplicate of itself
+  std::vector<Tuple> shifted;
+  for (size_t i = 0; i < before; ++i) {
+    TupleRef t = r.tuple(i);
+    shifted.push_back(Tuple{t[1], t[0]});
+  }
+  for (const Tuple& t : shifted) r.Insert(t);
+  EXPECT_GT(r.size(), before);
+}
+
+TEST(RelationIndexTest, ZeroArityRelationHoldsOneRow) {
+  Relation r(0);
+  EXPECT_TRUE(r.Insert(Tuple{}));
+  EXPECT_FALSE(r.Insert(Tuple{}));
+  EXPECT_EQ(r.size(), 1u);
+  size_t count = 0;
+  r.ForEachMatch(0, Tuple{}, [&](TupleRef) { ++count; });
+  EXPECT_EQ(count, 1u);
+}
+
+class EnumerateTest : public ::testing::Test {
+ protected:
+  RelationResolver Resolver() {
+    return [this](SymbolId pred) { return db_.FindById(pred); };
+  }
+
+  std::vector<Literal> Body(const std::string& rule_text) {
+    auto p = ParseProgram(rule_text, db_.symbols());
+    return p.value().rules[0].body;
+  }
+
+  Database db_;
+};
+
+TEST_F(EnumerateTest, RepeatedVariableWithinLiteralFiltersMatches) {
+  db_.AddFact("e", {"a", "a"});
+  db_.AddFact("e", {"a", "b"});
+  db_.AddFact("e", {"b", "b"});
+  std::vector<Literal> body = Body("h(X) :- e(X, X).");
+  Binding binding;
+  std::set<std::string> xs;
+  Status s = EnumerateMatches(Resolver(), db_.symbols(), body, binding,
+                              [&](const Binding& b) {
+                                xs.insert(db_.symbols().Name(
+                                    b.at(*db_.symbols().Find("X"))));
+                              });
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(xs, (std::set<std::string>{"a", "b"}));
+}
+
+TEST_F(EnumerateTest, RepeatedVariableAcrossLiteralsJoins) {
+  db_.AddFact("e", {"a", "b"});
+  db_.AddFact("e", {"b", "c"});
+  db_.AddFact("e", {"b", "d"});
+  std::vector<Literal> body = Body("h(X, Z) :- e(X, Y), e(Y, Z).");
+  Binding binding;
+  size_t count = 0;
+  Status s = EnumerateMatches(Resolver(), db_.symbols(), body, binding,
+                              [&](const Binding&) { ++count; });
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(count, 2u);  // a->b->c and a->b->d
+}
+
+TEST_F(EnumerateTest, RepeatedVariableAgainstPartialBinding) {
+  // With X pre-bound, e(X, X) must only match the diagonal tuple for that
+  // binding (exercises the masked probe with a repeated variable).
+  db_.AddFact("e", {"a", "a"});
+  db_.AddFact("e", {"a", "b"});
+  std::vector<Literal> body = Body("h(X) :- e(X, X).");
+  Binding binding;
+  binding.emplace(*db_.symbols().Find("X"), *db_.symbols().Find("a"));
+  size_t count = 0;
+  Status s = EnumerateMatches(Resolver(), db_.symbols(), body, binding,
+                              [&](const Binding&) { ++count; });
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(count, 1u);
+}
+
+}  // namespace
+}  // namespace binchain
