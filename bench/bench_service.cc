@@ -1,0 +1,281 @@
+// Standalone query-service throughput benchmark: evaluates an all-sources
+// same-generation batch (one sg(c, Y) request per constant, the
+// bench_table1 samples) through QueryService at 1/2/4/8 threads, verifying
+// that every thread count returns byte-identical result sets before
+// reporting aggregate queries/sec. A cyclic Figure-8 batch (overlapping
+// sources under the |D1|*|D2| bound) rides along as the contention-heavy
+// case.
+//
+// Usage:
+//   bench_service [--n <size>] [--reps <k>] [--threads <list>] [--smoke]
+//                 [--json [path]]
+//
+// `--json` writes BENCH_service.json (default path) so successive PRs can
+// track the throughput trajectory alongside BENCH_storage.json.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "datalog/parser.h"
+#include "service/query_service.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace binchain;
+using bench::JsonEscape;
+using bench::MsSince;
+
+struct BenchResult {
+  std::string name;
+  size_t threads = 1;
+  uint64_t queries = 0;
+  uint64_t tuples = 0;   // sanity: must match across thread counts and PRs
+  uint64_t fetches = 0;  // aggregate t-cost, deterministic per batch
+  double wall_ms = 0;    // best-of-reps batch wall time
+  double qps = 0;        // queries / second at the best rep
+  double speedup = 1;    // vs the 1-thread run of the same batch
+  bool identical = true;  // result sets match the 1-thread reference
+  bool ok = true;
+  std::string error;
+};
+
+/// Every constant interned in the database: the all-sources request set.
+std::vector<std::string> AllConstants(const Database& db) {
+  std::vector<std::string> out;
+  std::set<std::string> seen;
+  for (const std::string& name : db.relation_names()) {
+    const Relation* rel = db.Find(name);
+    for (TupleRef t : rel->tuples()) {
+      for (SymbolId c : t) {
+        if (seen.insert(db.symbols().Name(c)).second) {
+          out.push_back(db.symbols().Name(c));
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+struct Batch {
+  std::string label;
+  std::unique_ptr<Database> db;
+  Program program;
+  std::vector<QueryRequest> requests;
+};
+
+std::unique_ptr<Batch> MakeSgBatch(const std::string& label,
+                                   std::string (*build)(Database&, size_t),
+                                   size_t n, const EvalOptions& options) {
+  auto b = std::make_unique<Batch>();
+  b->label = label;
+  b->db = std::make_unique<Database>();
+  build(*b->db, n);
+  auto parsed = ParseProgram(workloads::SgProgramText(), b->db->symbols());
+  if (!parsed.ok()) return nullptr;
+  b->program = parsed.take();
+  for (const std::string& c : AllConstants(*b->db)) {
+    QueryRequest req;
+    req.pred = "sg";
+    req.source = c;
+    req.options = options;
+    b->requests.push_back(std::move(req));
+  }
+  return b;
+}
+
+std::unique_ptr<Batch> MakeFig8Batch(size_t m, size_t n, int overlap) {
+  auto b = std::make_unique<Batch>();
+  b->label = "fig8/m=" + std::to_string(m) + ",n=" + std::to_string(n);
+  b->db = std::make_unique<Database>();
+  workloads::Fig8(*b->db, m, n);
+  auto parsed = ParseProgram(workloads::SgProgramText(), b->db->symbols());
+  if (!parsed.ok()) return nullptr;
+  b->program = parsed.take();
+  EvalOptions options;
+  options.use_cyclic_bound = true;
+  // Overlapping sources: every up-cycle node, `overlap` times over, so
+  // several workers traverse the same cyclic region simultaneously.
+  for (int rep = 0; rep < overlap; ++rep) {
+    for (size_t i = 1; i <= m; ++i) {
+      QueryRequest req;
+      req.pred = "sg";
+      req.source = "a" + std::to_string(i);
+      req.options = options;
+      b->requests.push_back(std::move(req));
+    }
+  }
+  return b;
+}
+
+/// Runs the batch at `threads` on a service over the (shared, frozen-after-
+/// first-service) database; fills throughput numbers and compares result
+/// sets against `reference` (the 1-thread responses) when given.
+BenchResult RunBatch(Batch& batch, size_t threads, int reps,
+                     const std::vector<QueryResponse>* reference,
+                     std::vector<QueryResponse>* out_responses) {
+  BenchResult r;
+  r.name = batch.label + "/threads=" + std::to_string(threads);
+  r.threads = threads;
+  r.queries = batch.requests.size();
+
+  QueryService::Options opts;
+  opts.num_threads = threads;
+  QueryService service(batch.db.get(), batch.program, opts);
+  if (!service.status().ok()) {
+    r.ok = false;
+    r.error = service.status().message();
+    return r;
+  }
+
+  r.wall_ms = 1e300;
+  std::vector<QueryResponse> responses;
+  for (int i = 0; i < reps; ++i) {
+    BatchStats stats;
+    auto t0 = std::chrono::steady_clock::now();
+    responses = service.EvalBatch(batch.requests, &stats);
+    double ms = MsSince(t0);
+    if (stats.failed != 0) {
+      for (const QueryResponse& resp : responses) {
+        if (!resp.status.ok()) {
+          r.ok = false;
+          r.error = resp.status.message();
+          return r;
+        }
+      }
+    }
+    if (ms < r.wall_ms) {
+      r.wall_ms = ms;
+      r.tuples = stats.tuples;
+      r.fetches = stats.fetches;
+    }
+  }
+  r.qps = r.wall_ms > 0 ? 1000.0 * static_cast<double>(r.queries) / r.wall_ms
+                        : 0;
+  if (reference != nullptr) {
+    r.identical = responses.size() == reference->size();
+    for (size_t i = 0; r.identical && i < responses.size(); ++i) {
+      r.identical = responses[i].tuples == (*reference)[i].tuples;
+    }
+  }
+  if (out_responses != nullptr) *out_responses = std::move(responses);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t n = 128;
+  int reps = 3;
+  bool json = false;
+  std::string json_path = "BENCH_service.json";
+  std::vector<size_t> thread_counts = {1, 2, 4, 8};
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--n") && i + 1 < argc) {
+      n = static_cast<size_t>(std::atol(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--reps") && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+      if (reps < 1) {
+        std::fprintf(stderr, "--reps must be >= 1\n");
+        return 2;
+      }
+    } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
+      thread_counts.clear();
+      for (const char* p = argv[++i]; *p;) {
+        char* end = nullptr;
+        size_t t = static_cast<size_t>(std::strtoul(p, &end, 10));
+        if (end == p || t == 0) {
+          std::fprintf(stderr, "bad --threads list (want e.g. 1,2,4)\n");
+          return 2;
+        }
+        p = end;
+        if (*p == ',') ++p;
+        thread_counts.push_back(t);
+      }
+    } else if (!std::strcmp(argv[i], "--smoke")) {
+      n = 32;
+      reps = 1;
+    } else if (!std::strcmp(argv[i], "--json")) {
+      json = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') json_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--n <size>] [--reps <k>] [--threads <list>] "
+                   "[--smoke] [--json [path]]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::vector<std::unique_ptr<Batch>> batches;
+  batches.push_back(MakeSgBatch("fig7a", &workloads::Fig7a, n, {}));
+  batches.push_back(MakeSgBatch("fig7b", &workloads::Fig7b, n / 2, {}));
+  batches.push_back(MakeSgBatch("fig7c", &workloads::Fig7c, n, {}));
+  batches.push_back(MakeFig8Batch(17, 19, 4));
+
+  std::vector<BenchResult> results;
+  int failures = 0;
+  for (auto& batch : batches) {
+    if (batch == nullptr) {
+      ++failures;
+      continue;
+    }
+    std::vector<QueryResponse> reference;
+    double base_qps = 0;
+    for (size_t ti = 0; ti < thread_counts.size(); ++ti) {
+      // The first entry (by position, so duplicate thread values still get
+      // checked) is the reference run all others are compared against.
+      bool is_reference = ti == 0;
+      BenchResult r = RunBatch(*batch, thread_counts[ti], reps,
+                               is_reference ? nullptr : &reference,
+                               is_reference ? &reference : nullptr);
+      if (is_reference) base_qps = r.qps;
+      if (base_qps > 0) r.speedup = r.qps / base_qps;
+      results.push_back(std::move(r));
+    }
+  }
+
+  std::printf("%-28s %8s %10s %10s %12s %10s %8s %6s\n", "batch", "queries",
+              "tuples", "wall_ms", "queries/sec", "speedup", "fetches",
+              "same");
+  for (const BenchResult& r : results) {
+    if (!r.ok) {
+      ++failures;
+      std::printf("%-28s ERROR: %s\n", r.name.c_str(), r.error.c_str());
+      continue;
+    }
+    if (!r.identical) ++failures;
+    std::printf("%-28s %8llu %10llu %10.3f %12.1f %9.2fx %8llu %6s\n",
+                r.name.c_str(), static_cast<unsigned long long>(r.queries),
+                static_cast<unsigned long long>(r.tuples), r.wall_ms, r.qps,
+                r.speedup, static_cast<unsigned long long>(r.fetches),
+                r.identical ? "yes" : "NO");
+  }
+
+  if (json) {
+    std::ofstream out(json_path);
+    out << "{\n  \"bench\": \"service\",\n  \"benchmarks\": [\n";
+    for (size_t i = 0; i < results.size(); ++i) {
+      const BenchResult& r = results[i];
+      out << "    {\"name\": \"" << JsonEscape(r.name) << "\", \"ok\": "
+          << (r.ok && r.identical ? "true" : "false")
+          << ", \"threads\": " << r.threads << ", \"queries\": " << r.queries
+          << ", \"wall_ms\": " << r.wall_ms << ", \"qps\": " << r.qps
+          << ", \"speedup\": " << r.speedup << ", \"tuples\": " << r.tuples
+          << ", \"fetches\": " << r.fetches << "}"
+          << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -19,6 +19,7 @@
 #include "baselines/bottom_up.h"
 #include "baselines/counting.h"
 #include "baselines/magic.h"
+#include "bench_util.h"
 #include "datalog/parser.h"
 #include "equations/lemma1.h"
 #include "eval/query.h"
@@ -27,6 +28,8 @@
 namespace {
 
 using namespace binchain;
+using bench::JsonEscape;
+using bench::MsSince;
 
 struct BenchResult {
   std::string name;
@@ -36,12 +39,6 @@ struct BenchResult {
   bool ok = true;
   std::string error;
 };
-
-double MsSince(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now() - t0)
-      .count();
-}
 
 /// Runs `body` `reps` times; records the fastest wall time and the fetch
 /// delta / result count of that run.
@@ -211,15 +208,6 @@ void RunAll(size_t n, size_t small_n, int reps, std::vector<BenchResult>& out) {
           }));
     }
   }
-}
-
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
-  }
-  return out;
 }
 
 }  // namespace

@@ -1,0 +1,31 @@
+// Helpers shared by the standalone benchmark runners (bench_storage,
+// bench_service): wall-clock deltas and the escaping used by their
+// BENCH_*.json emitters.
+#ifndef BINCHAIN_BENCH_BENCH_UTIL_H_
+#define BINCHAIN_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <string>
+
+namespace binchain {
+namespace bench {
+
+inline double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace bench
+}  // namespace binchain
+
+#endif  // BINCHAIN_BENCH_BENCH_UTIL_H_

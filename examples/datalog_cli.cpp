@@ -1,12 +1,16 @@
 // A small command-line Datalog runner over the library:
 //
 //   ./datalog_cli [--strategy=graph|seminaive|naive|magic|transform]
-//                 [--cyclic-bound] [--max-iterations=N] [--dot] <file.dl>
+//                 [--cyclic-bound] [--max-iterations=N] [--threads=N]
+//                 [--dot] <file.dl>
 //
 // The file contains rules, facts, and `?- query.` lines; every query is
 // evaluated with the chosen strategy and the answers plus work counters are
 // printed. With --dot the automaton M(e_p) of each queried predicate and
-// the equation dependency graph are emitted as Graphviz.
+// the equation dependency graph are emitted as Graphviz. With --threads=N
+// (graph strategy only) the queries are dispatched as one batch to a
+// QueryService over a frozen database snapshot, N workers wide, and the
+// batch throughput is reported.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -19,6 +23,7 @@
 #include "datalog/printer.h"
 #include "eval/dot_export.h"
 #include "eval/query.h"
+#include "service/query_service.h"
 #include "transform/binarize.h"
 
 namespace {
@@ -51,6 +56,7 @@ int main(int argc, char** argv) {
   bool cyclic_bound = false;
   bool dot = false;
   size_t max_iterations = 0;
+  size_t threads = 0;
   std::string path;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -62,11 +68,13 @@ int main(int argc, char** argv) {
       dot = true;
     } else if (arg.rfind("--max-iterations=", 0) == 0) {
       max_iterations = std::stoul(arg.substr(17));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads = std::stoul(arg.substr(10));
     } else if (arg == "--help") {
       std::printf(
           "usage: datalog_cli [--strategy=graph|seminaive|naive|magic|"
-          "transform] [--cyclic-bound] [--max-iterations=N] [--dot] "
-          "<file.dl>\n");
+          "transform] [--cyclic-bound] [--max-iterations=N] [--threads=N] "
+          "[--dot] <file.dl>\n");
       return 0;
     } else {
       path = arg;
@@ -88,6 +96,58 @@ int main(int argc, char** argv) {
   // Facts are shared by all strategies.
   Program rules_only = program;
   rules_only.queries.clear();
+
+  if (strategy == "graph" && threads > 0) {
+    // Service mode: freeze the database and evaluate the queries as one
+    // batch over the thread pool.
+    QueryService::Options opts;
+    opts.num_threads = threads;
+    QueryService service(&db, rules_only, opts);
+    if (!service.status().ok()) return Fail(service.status().message());
+    EvalOptions options;
+    options.use_cyclic_bound = cyclic_bound;
+    options.max_iterations = max_iterations;
+    std::vector<QueryRequest> batch;
+    for (const Literal& q : program.queries) {
+      if (q.arity() != 2) return Fail("service queries must be binary");
+      QueryRequest req;
+      req.pred = db.symbols().Name(q.predicate);
+      if (q.args[0].IsConst()) req.source = db.symbols().Name(q.args[0].symbol);
+      if (q.args[1].IsConst()) req.target = db.symbols().Name(q.args[1].symbol);
+      req.diagonal = q.args[0].IsVar() && q.args[0] == q.args[1];
+      req.options = options;
+      batch.push_back(std::move(req));
+    }
+    BatchStats stats;
+    auto responses = service.EvalBatch(batch, &stats);
+    for (size_t i = 0; i < responses.size(); ++i) {
+      const QueryResponse& r = responses[i];
+      if (!r.status.ok()) {
+        std::printf("?- %s  ERROR: %s\n",
+                    LiteralToString(program.queries[i], db.symbols()).c_str(),
+                    r.status.message().c_str());
+        continue;
+      }
+      PrintAnswers(db, program.queries[i], r.tuples);
+      std::printf(
+          "  [service] nodes=%llu arcs=%llu iterations=%llu fetches=%llu%s\n",
+          static_cast<unsigned long long>(r.stats.nodes),
+          static_cast<unsigned long long>(r.stats.arcs),
+          static_cast<unsigned long long>(r.stats.iterations),
+          static_cast<unsigned long long>(r.fetches),
+          r.stats.hit_iteration_cap ? " (iteration cap hit!)" : "");
+    }
+    std::printf(
+        "[service] %llu queries (%llu failed) on %zu threads: %.3f ms, "
+        "%.1f queries/sec\n",
+        static_cast<unsigned long long>(stats.queries),
+        static_cast<unsigned long long>(stats.failed), service.num_threads(),
+        stats.wall_ms,
+        stats.wall_ms > 0
+            ? 1000.0 * static_cast<double>(stats.queries) / stats.wall_ms
+            : 0.0);
+    return 0;
+  }
 
   if (strategy == "graph") {
     QueryEngine engine(&db);
@@ -118,12 +178,7 @@ int main(int argc, char** argv) {
   }
 
   // Bottom-up strategies need the facts in the database.
-  for (const Literal& f : rules_only.facts) {
-    Relation& rel = db.GetOrCreate(db.symbols().Name(f.predicate), f.arity());
-    Tuple t;
-    for (const Term& a : f.args) t.push_back(a.symbol);
-    rel.Insert(t);
-  }
+  LoadFactsInto(db, rules_only.facts);
   rules_only.facts.clear();
 
   for (const Literal& q : program.queries) {

@@ -71,6 +71,23 @@ Result<std::vector<TermId>> Engine::EvalFrom(SymbolId pred, TermId source,
   EvalStats local;
   EvalStats& st = (stats != nullptr) ? *stats : local;
   st = EvalStats{};
+  uint64_t tls_fetches_before = Relation::ThreadFetchCount();
+
+  // Reset-and-reuse: empty the scratch sets but keep their capacity, so a
+  // query stream on one engine stops paying per-query growth.
+  g_.clear();
+  answer_set_.clear();
+  c_set_.clear();
+  // The continuation map is cleared once per fixpoint iteration, and
+  // unordered_map::clear costs O(bucket count) — drop a table left huge by
+  // an earlier query so later small queries don't inherit that bill.
+  if (c_by_state_.bucket_count() > 1024) {
+    c_by_state_ = decltype(c_by_state_)();
+  } else {
+    c_by_state_.clear();
+  }
+  stack_.clear();
+  seeds_.clear();
 
   auto machine = Machine(pred);
   if (!machine.ok()) return machine.status();
@@ -91,43 +108,35 @@ Result<std::vector<TermId>> Engine::EvalFrom(SymbolId pred, TermId source,
   em.set_initial(machine.value()->initial() + off);
   em.set_final(machine.value()->final() + off);
 
-  FlatSet64 g;  // the node set of G(p, a, i)
   std::vector<TermId> answers;
-  DenseBits answer_set;
 
   // Transition predicates repeat across nodes; resolve each view once
   // through a dense SymbolId-indexed cache instead of a map lookup per arc.
-  std::vector<BinaryRelationView*> view_cache;
+  // The cache outlives the query: registry entries are stable.
   auto find_view = [&](SymbolId p) -> BinaryRelationView* {
-    if (p < view_cache.size() && view_cache[p] != nullptr) {
-      return view_cache[p];
+    if (p < view_cache_.size() && view_cache_[p] != nullptr) {
+      return view_cache_[p];
     }
     BinaryRelationView* v = views_->Find(p);
     if (v != nullptr) {
-      if (p >= view_cache.size()) view_cache.resize(p + 1, nullptr);
-      view_cache[p] = v;
+      if (p >= view_cache_.size()) view_cache_.resize(p + 1, nullptr);
+      view_cache_[p] = v;
     }
     return v;
   };
 
-  // Continuation points of the current iteration, grouped by state.
-  std::unordered_map<uint32_t, std::vector<TermId>> c_by_state;
-  FlatSet64 c_set;
-
-  std::vector<std::pair<uint32_t, TermId>> stack;
-
   auto try_insert = [&](uint32_t q, TermId u) {
-    if (!g.insert(NodeKey(q, u))) return;
+    if (!g_.insert(NodeKey(q, u))) return;
     ++st.nodes;
-    if (q == em.final() && !answer_set.TestAndSet(u)) answers.push_back(u);
-    stack.emplace_back(q, u);
+    if (q == em.final() && !answer_set_.TestAndSet(u)) answers.push_back(u);
+    stack_.emplace_back(q, u);
   };
 
   Status view_error = Status::Ok();
   auto traverse = [&]() {
-    while (!stack.empty()) {
-      auto [q, u] = stack.back();
-      stack.pop_back();
+    while (!stack_.empty()) {
+      auto [q, u] = stack_.back();
+      stack_.pop_back();
       for (const NfaTransition& t : em.Out(q)) {
         switch (t.label.kind) {
           case NfaLabel::Kind::kId:
@@ -160,8 +169,8 @@ Result<std::vector<TermId>> Engine::EvalFrom(SymbolId pred, TermId source,
             break;
           }
           case NfaLabel::Kind::kDerived: {
-            if (c_set.insert(NodeKey(q, u))) {
-              c_by_state[q].push_back(u);
+            if (c_set_.insert(NodeKey(q, u))) {
+              c_by_state_[q].push_back(u);
               ++st.continuations;
             }
             break;
@@ -172,18 +181,18 @@ Result<std::vector<TermId>> Engine::EvalFrom(SymbolId pred, TermId source,
   };
 
   // Starting point of the first traversal: (q_s, a).
-  std::vector<std::pair<uint32_t, TermId>> s = {{em.initial(), source}};
+  seeds_.emplace_back(em.initial(), source);
 
   while (true) {
-    c_by_state.clear();
-    c_set.clear();
-    for (auto [q, u] : s) try_insert(q, u);
+    c_by_state_.clear();
+    c_set_.clear();
+    for (auto [q, u] : seeds_) try_insert(q, u);
     traverse();
     if (!view_error.ok()) return view_error;
     ++st.iterations;
     st.answers_per_iteration.push_back(answers.size());
-    s.clear();
-    if (c_by_state.empty()) break;  // C = 0: done
+    seeds_.clear();
+    if (c_by_state_.empty()) break;  // C = 0: done
     if (iteration_cap != 0 && st.iterations >= iteration_cap) {
       st.hit_iteration_cap = true;
       break;
@@ -194,7 +203,7 @@ Result<std::vector<TermId>> Engine::EvalFrom(SymbolId pred, TermId source,
     // cache removes the map lookup from the per-iteration loop.
     SymbolId cached_pred = 0;
     const Nfa* cached_machine = nullptr;
-    for (auto& [q, terms] : c_by_state) {
+    for (auto& [q, terms] : c_by_state_) {
       // Collect the derived transitions of q first; expansion mutates em.
       std::vector<NfaTransition> derived;
       for (const NfaTransition& t : em.Out(q)) {
@@ -214,11 +223,14 @@ Result<std::vector<TermId>> Engine::EvalFrom(SymbolId pred, TermId source,
         em.AddTransition(qf, NfaLabel::Id(), t.target);
         BINCHAIN_CHECK(em.RemoveDerivedTransition(q, t.label.pred, t.target));
         ++st.expansions;
-        for (TermId u : terms) s.emplace_back(qs, u);
+        for (TermId u : terms) seeds_.emplace_back(qs, u);
       }
     }
   }
   st.em_states = em.NumStates();
+  // Frozen relations count retrievals per thread; unfrozen ones still count
+  // into the database (QueryEngine folds those in for the combined total).
+  st.fetches = Relation::ThreadFetchCount() - tls_fetches_before;
   std::sort(answers.begin(), answers.end());
   return answers;
 }

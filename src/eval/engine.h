@@ -18,11 +18,14 @@
 #include <cstdint>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "automata/nfa.h"
 #include "equations/equations.h"
 #include "eval/relation_view.h"
+#include "util/dense_bits.h"
+#include "util/flat_set.h"
 #include "util/status.h"
 
 namespace binchain {
@@ -34,6 +37,7 @@ struct EvalStats {
   uint64_t expansions = 0;   // machine copies spliced into EM
   uint64_t continuations = 0;  // continuation points gathered overall
   uint64_t em_states = 0;    // final size of EM(p, h)
+  uint64_t fetches = 0;      // EDB tuple retrievals during this query
   bool hit_iteration_cap = false;
 
   /// Cumulative answer-set size after each iteration (Lemma 2: the partial
@@ -65,6 +69,11 @@ class Engine {
   Engine(const EquationSystem* eqs, ViewRegistry* views);
 
   /// Answers p(a, Y): the set of terms y with (a, y) in the relation p.
+  /// Reusable: each call resets `stats` and the engine's internal scratch
+  /// state (node sets, traversal stack, continuation buffers), so one
+  /// engine serves any number of queries back to back with warm capacity
+  /// and warm machine caches. Not reentrant — one EvalFrom at a time per
+  /// engine (concurrent callers use one engine per thread).
   Result<std::vector<TermId>> EvalFrom(SymbolId pred, TermId source,
                                        const EvalOptions& options,
                                        EvalStats* stats);
@@ -83,6 +92,19 @@ class Engine {
   // predicate so repeated cyclic-bound queries reuse the same Rex nodes
   // (and thus hit the registry's compiled-machine cache).
   std::unordered_map<SymbolId, LinearNormalForm> normal_forms_;
+
+  // Per-query scratch, cleared (capacity kept) at the top of EvalFrom so a
+  // long-lived engine answers query streams without reallocating its node
+  // sets from scratch each time.
+  FlatSet64 g_;          // the node set of G(p, a, i)
+  DenseBits answer_set_;
+  FlatSet64 c_set_;
+  std::unordered_map<uint32_t, std::vector<TermId>> c_by_state_;
+  std::vector<std::pair<uint32_t, TermId>> stack_;
+  std::vector<std::pair<uint32_t, TermId>> seeds_;
+  // View pointers per transition predicate; registry entries are stable for
+  // the engine's lifetime, so this cache persists across queries.
+  std::vector<BinaryRelationView*> view_cache_;
 };
 
 }  // namespace binchain

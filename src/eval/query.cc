@@ -8,6 +8,15 @@
 
 namespace binchain {
 
+void LoadFactsInto(Database& db, const std::vector<Literal>& facts) {
+  for (const Literal& f : facts) {
+    Relation& rel = db.GetOrCreate(db.symbols().Name(f.predicate), f.arity());
+    Tuple t;
+    for (const Term& a : f.args) t.push_back(a.symbol);
+    rel.Insert(t);
+  }
+}
+
 QueryEngine::QueryEngine(Database* db) : db_(db) {}
 QueryEngine::~QueryEngine() = default;
 
@@ -22,13 +31,7 @@ Status QueryEngine::LoadProgram(const Program& program) {
     return Status::FailedPrecondition("program already loaded");
   }
   program_ = program;
-  for (const Literal& f : program.facts) {
-    Relation& rel =
-        db_->GetOrCreate(db_->symbols().Name(f.predicate), f.arity());
-    Tuple t;
-    for (const Term& a : f.args) t.push_back(a.symbol);
-    rel.Insert(t);
-  }
+  LoadFactsInto(*db_, program_.facts);
   program_.facts.clear();
   return Prepare();
 }
@@ -47,6 +50,20 @@ Status QueryEngine::PrepareInverse() {
   if (inv_engine_ != nullptr) return Status::Ok();
   combined_ = InvertSystem(lemma1_->final_system, db_->symbols(), inverse_of_);
   inv_engine_ = std::make_unique<Engine>(&*combined_, views_.get());
+  return Status::Ok();
+}
+
+Status QueryEngine::PrepareAll() {
+  if (!lemma1_.has_value()) {
+    return Status::FailedPrecondition("no program loaded");
+  }
+  if (Status s = PrepareInverse(); !s.ok()) return s;
+  for (SymbolId p : lemma1_->final_system.preds()) {
+    if (auto m = engine_->Machine(p); !m.ok()) return m.status();
+  }
+  for (SymbolId p : combined_->preds()) {
+    if (auto m = inv_engine_->Machine(p); !m.ok()) return m.status();
+  }
   return Status::Ok();
 }
 
@@ -144,7 +161,15 @@ Result<QueryAnswer> QueryEngine::Query(const Literal& query,
     return Status::InvalidArgument("queries must be binary literals");
   }
   SymbolId pred = query.predicate;
-  uint64_t fetches_before = db_->TotalFetches();
+  // Unfrozen relations count into the database, frozen ones into the
+  // calling thread; the sum's delta is the query's exact fetch count in
+  // either mode. Once frozen the per-relation counters can never move, so
+  // the concurrent hot path skips walking the relation map entirely.
+  auto fetch_total = [this] {
+    return Relation::ThreadFetchCount() +
+           (db_->frozen() ? 0 : db_->TotalFetches());
+  };
+  uint64_t fetches_before = fetch_total();
   QueryAnswer answer;
 
   // Base-predicate queries answer directly from the extensional database.
@@ -168,7 +193,8 @@ Result<QueryAnswer> QueryEngine::Query(const Literal& query,
       if (match) answer.tuples.push_back(Tuple(t));
     }
     std::sort(answer.tuples.begin(), answer.tuples.end());
-    answer.fetches = db_->TotalFetches() - fetches_before;
+    answer.fetches = fetch_total() - fetches_before;
+    answer.stats.fetches = answer.fetches;
     return answer;
   }
 
@@ -212,6 +238,8 @@ Result<QueryAnswer> QueryEngine::Query(const Literal& query,
       answer.stats.arcs += stats.arcs;
       answer.stats.iterations += stats.iterations;
       answer.stats.expansions += stats.expansions;
+      answer.stats.continuations += stats.continuations;
+      answer.stats.em_states += stats.em_states;
       answer.stats.hit_iteration_cap |= stats.hit_iteration_cap;
       for (TermId y : r.value()) {
         SymbolId yc = term_const(y);
@@ -223,7 +251,8 @@ Result<QueryAnswer> QueryEngine::Query(const Literal& query,
   std::sort(answer.tuples.begin(), answer.tuples.end());
   answer.tuples.erase(std::unique(answer.tuples.begin(), answer.tuples.end()),
                       answer.tuples.end());
-  answer.fetches = db_->TotalFetches() - fetches_before;
+  answer.fetches = fetch_total() - fetches_before;
+  answer.stats.fetches = answer.fetches;
   return answer;
 }
 

@@ -24,8 +24,15 @@ namespace binchain {
 struct QueryAnswer {
   std::vector<Tuple> tuples;  // sorted, deduplicated, full query arity
   EvalStats stats;
-  uint64_t fetches = 0;  // EDB tuple retrievals during this query
+  /// EDB tuple retrievals during this query (same value as stats.fetches):
+  /// the per-relation counters plus the calling thread's frozen-mode
+  /// counter, so it is exact whether or not the database is frozen.
+  uint64_t fetches = 0;
 };
+
+/// Inserts ground facts into their (created-on-demand) relations. Shared by
+/// QueryEngine::LoadProgram, the query service, and the CLI drivers.
+void LoadFactsInto(Database& db, const std::vector<Literal>& facts);
 
 class QueryEngine {
  public:
@@ -39,6 +46,13 @@ class QueryEngine {
   /// May be called once per engine.
   Status LoadProgramText(std::string_view text);
   Status LoadProgram(const Program& program);
+
+  /// Eagerly completes every lazy preparation step that would otherwise run
+  /// on first use: the inverted equation system and the compiled machines
+  /// M(e_p) of both systems. Called by the query service before
+  /// Database::Freeze() so no symbol interning or shared-cache fill happens
+  /// on worker threads.
+  Status PrepareAll();
 
   /// The Lemma 1 equation system (available after loading).
   const EquationSystem& equations() const;

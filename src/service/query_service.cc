@@ -1,0 +1,191 @@
+#include "service/query_service.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "eval/query.h"
+#include "util/check.h"
+
+namespace binchain {
+
+/// A worker's private evaluation context. Everything mutable during query
+/// evaluation lives here (term pool, view registry with its memo and rex
+/// caches, both engines' machines and scratch), so workers never
+/// synchronize with each other after construction.
+struct QueryService::Worker {
+  explicit Worker(Database* db) : engine(db) {}
+  QueryEngine engine;
+};
+
+QueryService::QueryService(Database* db, const Program& program,
+                           Options options)
+    : db_(db) {
+  Program prog = program;
+  prog.queries.clear();
+  if (!prog.facts.empty()) {
+    if (db_->frozen()) {
+      init_status_ = Status::FailedPrecondition(
+          "cannot load program facts into a frozen database");
+      return;
+    }
+    LoadFactsInto(*db_, prog.facts);
+    prog.facts.clear();
+  }
+
+  // Free-variable spellings for request literals, interned while the table
+  // still accepts new symbols.
+  if (!db_->symbols().frozen()) {
+    var_x_ = db_->symbols().Intern("X");
+    var_y_ = db_->symbols().Intern("Y");
+    has_free_vars_ = true;
+  } else {
+    auto x = db_->symbols().Find("X");
+    auto y = db_->symbols().Find("Y");
+    if (x && y) {
+      var_x_ = *x;
+      var_y_ = *y;
+      has_free_vars_ = true;
+    }
+  }
+
+  size_t n = options.num_threads;
+  if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
+
+  // Context construction is the mutating phase: program transformation and
+  // machine compilation intern symbols, so it runs sequentially here. The
+  // first worker interns every fresh name; the rest resolve to the same
+  // ids.
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto w = std::make_unique<Worker>(db_);
+    if (Status s = w->engine.LoadProgram(prog); !s.ok()) {
+      init_status_ = s;
+      return;
+    }
+    if (Status s = w->engine.PrepareAll(); !s.ok()) {
+      init_status_ = s;
+      return;
+    }
+    workers_.push_back(std::move(w));
+  }
+
+  // Snapshot: complete all lazy index work and forbid mutation, making the
+  // shared storage safe for the concurrent read phase.
+  db_->Freeze();
+  pool_ = std::make_unique<ThreadPool>(n);
+}
+
+QueryService::~QueryService() = default;
+
+size_t QueryService::num_threads() const {
+  return pool_ ? pool_->size() : 0;
+}
+
+Status QueryService::BuildLiteral(const QueryRequest& request, Literal* out,
+                                  bool* empty_ok) const {
+  *empty_ok = false;
+  auto pred = db_->symbols().Find(request.pred);
+  if (!pred) {
+    return Status::NotFound("unknown predicate '" + request.pred + "'");
+  }
+  out->predicate = *pred;
+  out->args.clear();
+  if (request.diagonal &&
+      !(request.source.empty() && request.target.empty())) {
+    return Status::InvalidArgument(
+        "diagonal requests must leave source and target free");
+  }
+  const std::string* names[2] = {&request.source, &request.target};
+  // The diagonal query p(X, X) repeats one variable; otherwise the free
+  // positions get distinct variables.
+  SymbolId vars[2] = {var_x_, request.diagonal ? var_x_ : var_y_};
+  for (int i = 0; i < 2; ++i) {
+    if (names[i]->empty()) {
+      if (!has_free_vars_) {
+        return Status::FailedPrecondition(
+            "free-variable queries need variable symbols interned before the "
+            "database froze");
+      }
+      out->args.push_back(Term::Var(vars[i]));
+    } else {
+      auto c = db_->symbols().Find(*names[i]);
+      if (!c) {
+        // A constant the database has never seen occurs in no tuple: the
+        // answer set is empty, which is a result, not an error.
+        *empty_ok = true;
+        return Status::Ok();
+      }
+      out->args.push_back(Term::Const(*c));
+    }
+  }
+  return Status::Ok();
+}
+
+QueryResponse QueryService::Eval(const QueryRequest& request) {
+  return EvalBatch({request})[0];
+}
+
+std::vector<QueryResponse> QueryService::EvalBatch(
+    const std::vector<QueryRequest>& batch, BatchStats* stats) {
+  std::vector<QueryResponse> responses(batch.size());
+  if (!init_status_.ok()) {
+    for (QueryResponse& r : responses) r.status = init_status_;
+    if (stats != nullptr) {
+      *stats = BatchStats{};
+      stats->queries = batch.size();
+      stats->failed = batch.size();
+    }
+    return responses;
+  }
+
+  std::lock_guard<std::mutex> batch_lock(batch_mu_);
+  auto t0 = std::chrono::steady_clock::now();
+  auto run_one = [&](size_t worker_id, size_t i) {
+    QueryResponse& resp = responses[i];
+    Literal lit;
+    bool empty_ok = false;
+    if (Status s = BuildLiteral(batch[i], &lit, &empty_ok); !s.ok()) {
+      resp.status = s;
+      return;
+    }
+    if (empty_ok) return;  // unknown constant: empty answer set
+    auto r = workers_[worker_id]->engine.Query(lit, batch[i].options);
+    if (!r.ok()) {
+      resp.status = r.status();
+      return;
+    }
+    resp.tuples = std::move(r.value().tuples);
+    resp.stats = std::move(r.value().stats);
+    resp.fetches = r.value().fetches;
+  };
+  pool_->ParallelFor(batch.size(), run_one);
+  double wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+
+  if (stats != nullptr) {
+    *stats = BatchStats{};
+    stats->queries = batch.size();
+    stats->wall_ms = wall_ms;
+    for (const QueryResponse& r : responses) {
+      if (!r.status.ok()) {
+        ++stats->failed;
+        continue;
+      }
+      stats->tuples += r.tuples.size();
+      stats->fetches += r.fetches;
+      stats->total.nodes += r.stats.nodes;
+      stats->total.arcs += r.stats.arcs;
+      stats->total.iterations += r.stats.iterations;
+      stats->total.expansions += r.stats.expansions;
+      stats->total.continuations += r.stats.continuations;
+      stats->total.em_states += r.stats.em_states;
+      stats->total.fetches += r.stats.fetches;
+      stats->total.hit_iteration_cap |= r.stats.hit_iteration_cap;
+    }
+  }
+  return responses;
+}
+
+}  // namespace binchain

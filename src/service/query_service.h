@@ -1,0 +1,127 @@
+// Concurrent query service: batch evaluation over a frozen database
+// snapshot. The paper's engine answers one p(a, Y) query at a time; this
+// layer turns it into a reusable service in the sense of the QSQ-style
+// evaluator frameworks — it owns a fixed thread pool, one complete
+// evaluation context per worker (QueryEngine with its own term pool, view
+// registry, compiled machines, and reset-and-reuse scratch), and the
+// freeze step that makes the shared storage safe to read concurrently.
+//
+// Construction performs every mutating step up front, on the calling
+// thread: program facts are loaded, per-worker contexts transform the
+// program and compile all machines (interning whatever symbols that
+// needs), and finally Database::Freeze() completes all lazy index work.
+// From then on workers only read shared state; everything they write —
+// term pools, memo tables, engine scratch, the thread-local fetch counter
+// — is worker-private, so batches scale with cores and results are
+// byte-identical to sequential evaluation.
+#ifndef BINCHAIN_SERVICE_QUERY_SERVICE_H_
+#define BINCHAIN_SERVICE_QUERY_SERVICE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "eval/engine.h"
+#include "service/thread_pool.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace binchain {
+
+/// One query, by name: `pred(source, target)` with an empty string standing
+/// for a free variable. All binding patterns of Section 3 are reachable:
+/// {pred, "a", ""} is p(a, Y); {pred, "", "b"} is p(X, b) (inverted
+/// system); {pred, "a", "b"} is the membership test; {pred, "", ""} is the
+/// all-pairs query, or the diagonal p(X, X) when `diagonal` is set.
+struct QueryRequest {
+  std::string pred;
+  std::string source;  // empty => first argument free
+  std::string target;  // empty => second argument free
+  /// Both arguments are the same free variable (p(X, X)). Requires empty
+  /// source and target.
+  bool diagonal = false;
+  EvalOptions options;
+};
+
+struct QueryResponse {
+  Status status = Status::Ok();
+  std::vector<Tuple> tuples;  // sorted, deduplicated SymbolId pairs
+  EvalStats stats;
+  uint64_t fetches = 0;  // EDB retrievals, counted on the worker thread
+};
+
+/// Order-independent aggregates over one batch: every field is a sum (or
+/// OR) of per-query values, so the totals are identical for any thread
+/// count and any scheduling. (Result sets are always schedule-independent;
+/// fetch counts additionally rely on the graph path's views being
+/// memo-free, which holds for the EDB views the service registers —
+/// per-source memo views like DemandJoinView would make fetch counts
+/// depend on which worker served earlier queries.)
+struct BatchStats {
+  uint64_t queries = 0;
+  uint64_t failed = 0;   // responses with !status.ok()
+  uint64_t tuples = 0;   // answers over all successful queries
+  uint64_t fetches = 0;
+  EvalStats total;       // scalar fields summed; answers_per_iteration unused
+  double wall_ms = 0;    // batch wall time (dispatch to last completion)
+};
+
+/// Service configuration (namespace-scope so it can appear in default
+/// arguments of QueryService members).
+struct QueryServiceOptions {
+  /// Worker threads; 0 means std::thread::hardware_concurrency().
+  size_t num_threads = 0;
+};
+
+class QueryService {
+ public:
+  using Options = QueryServiceOptions;
+
+  /// Loads `program` (rules and facts) against `db`, builds one evaluation
+  /// context per worker, then freezes the database. Check status() before
+  /// issuing queries. If `db` is already frozen, the program must carry no
+  /// facts and an identical program must have been prepared against the
+  /// database before it froze (so no new symbols are interned).
+  QueryService(Database* db, const Program& program, Options options = {});
+  ~QueryService();
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Construction outcome; queries on a failed service return this status.
+  const Status& status() const { return init_status_; }
+
+  size_t num_threads() const;
+  const Database& database() const { return *db_; }
+
+  /// Evaluates one query on the pool (blocking).
+  QueryResponse Eval(const QueryRequest& request);
+
+  /// Evaluates a batch across the pool; the response vector is indexed like
+  /// `batch`. Blocking; safe to call from multiple client threads (batches
+  /// are serialized onto the one pool).
+  std::vector<QueryResponse> EvalBatch(const std::vector<QueryRequest>& batch,
+                                       BatchStats* stats = nullptr);
+
+ private:
+  struct Worker;
+
+  /// Resolves a request to a query literal without interning: unknown
+  /// predicates fail, unknown constants report "no answers" through
+  /// `empty_ok`. Read-only, callable from workers.
+  Status BuildLiteral(const QueryRequest& request, Literal* out,
+                      bool* empty_ok) const;
+
+  Database* db_;
+  Status init_status_ = Status::Ok();
+  SymbolId var_x_ = 0, var_y_ = 0;  // free-variable symbols, interned early
+  bool has_free_vars_ = false;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::mutex batch_mu_;  // one batch on the pool at a time
+};
+
+}  // namespace binchain
+
+#endif  // BINCHAIN_SERVICE_QUERY_SERVICE_H_

@@ -1,0 +1,60 @@
+// Fixed-size worker pool with stable worker identities. The query service
+// keeps one evaluation context (engine + caches + scratch) per worker, so
+// tasks are dispatched as (worker_id, item) pairs: any worker may claim any
+// item, but a worker only ever touches its own context. Items are claimed
+// from a shared atomic cursor, which load-balances heavy and light queries
+// without any per-item queue allocation.
+#ifndef BINCHAIN_SERVICE_THREAD_POOL_H_
+#define BINCHAIN_SERVICE_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/function_ref.h"
+
+namespace binchain {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1). Workers idle on a
+  /// condition variable between jobs.
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return threads_.size(); }
+
+  /// Runs task(worker_id, index) for every index in [0, count), spreading
+  /// indexes over the workers; blocks until all complete. worker_id is in
+  /// [0, size()) and identifies the executing worker for the whole call.
+  /// A single-item job runs inline on the calling thread as worker 0
+  /// (avoiding a full-pool wakeup per one-off task). One job at a time:
+  /// ParallelFor itself must not be called concurrently.
+  void ParallelFor(size_t count, FunctionRef<void(size_t, size_t)> task);
+
+ private:
+  void WorkerLoop(size_t worker_id);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait here for a job
+  std::condition_variable done_cv_;   // ParallelFor waits here for drain
+  // Borrowed from the ParallelFor argument, which outlives the job (the
+  // call blocks until every worker drains).
+  const FunctionRef<void(size_t, size_t)>* task_ = nullptr;
+  size_t count_ = 0;
+  std::atomic<size_t> next_{0};  // shared claim cursor of the active job
+  size_t active_ = 0;            // workers still inside the active job
+  uint64_t generation_ = 0;      // bumped per job so workers see new work
+  bool stop_ = false;
+
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace binchain
+
+#endif  // BINCHAIN_SERVICE_THREAD_POOL_H_

@@ -11,6 +11,7 @@ Relation& Database::GetOrCreate(std::string_view pred, size_t arity) {
     BINCHAIN_CHECK(it->second->arity() == arity);
     return *it->second;
   }
+  BINCHAIN_CHECK(!frozen_);
   auto rel = std::make_unique<Relation>(arity);
   Relation& ref = *rel;
   relations_.emplace(key, std::move(rel));
@@ -45,6 +46,13 @@ void Database::AddFact(std::string_view pred,
   t.reserve(args.size());
   for (const std::string& a : args) t.push_back(symbols_.Intern(a));
   rel.Insert(t);
+}
+
+void Database::Freeze() {
+  if (frozen_) return;
+  symbols_.Freeze();
+  for (auto& [name, rel] : relations_) rel->Freeze();
+  frozen_ = true;
 }
 
 uint64_t Database::TotalFetches() const {

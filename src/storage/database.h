@@ -26,8 +26,16 @@ class Database {
   const SymbolTable& symbols() const { return symbols_; }
 
   /// Returns the relation named `pred`, creating it with `arity` if absent.
-  /// Aborts if it exists with a different arity (schema violation).
+  /// Aborts if it exists with a different arity (schema violation), or if
+  /// the database is frozen and the relation would be created.
   Relation& GetOrCreate(std::string_view pred, size_t arity);
+
+  /// Snapshot step for concurrent readers: freezes the symbol table and
+  /// every relation (eager index catch-up, no further inserts). After this,
+  /// all const entry points — Find/FindById, ForEachMatch, Contains,
+  /// tuples() — are safe to call from any number of threads. One-way.
+  void Freeze();
+  bool frozen() const { return frozen_; }
 
   /// Returns the relation or nullptr.
   const Relation* Find(std::string_view pred) const;
@@ -60,6 +68,7 @@ class Database {
   std::unordered_map<std::string, std::unique_ptr<Relation>> relations_;
   std::unordered_map<SymbolId, Relation*> by_id_;
   std::vector<std::string> names_;
+  bool frozen_ = false;
 };
 
 }  // namespace binchain

@@ -48,8 +48,21 @@ void Relation::DedupGrow() {
   }
 }
 
+void Relation::Freeze() {
+  if (frozen_) return;
+  if (arity_ <= kEagerFreezeArity) {
+    // Pre-build every bound-column mask so no reader can demand an index the
+    // frozen relation would have to build.
+    for (uint32_t mask = 1; mask < (1u << arity_); ++mask) IndexFor(mask);
+  } else {
+    for (MaskIndex& ix : indexes_) IndexFor(ix.mask);  // catch up existing
+  }
+  frozen_ = true;
+}
+
 bool Relation::Insert(TupleRef t) {
   BINCHAIN_CHECK(t.size() == arity_);
+  BINCHAIN_CHECK(!frozen_);
   if ((dedup_used_ + 1) * 10 >= dedup_.size() * 7) DedupGrow();
   size_t m = dedup_.size() - 1;
   for (size_t i = HashSpan(t.data(), arity_) & m;; i = (i + 1) & m) {
@@ -133,6 +146,9 @@ void Relation::IndexInsert(MaskIndex& idx, uint32_t row) const {
 }
 
 Relation::MaskIndex& Relation::IndexFor(uint32_t mask) const {
+  // Lazy index creation / catch-up mutates shared state; the frozen read
+  // path must route through FrozenIndex instead.
+  BINCHAIN_DCHECK(!frozen_);
   MaskIndex* idx = nullptr;
   for (MaskIndex& ix : indexes_) {
     if (ix.mask == mask) {

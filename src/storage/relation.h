@@ -10,6 +10,13 @@
 // tuple. Indexes stay lazy: they absorb appended rows on next use
 // (`indexed_upto` catch-up), preserving the paper's pay-as-you-go cost
 // model.
+//
+// Concurrency: a Relation is single-writer until Freeze(). Freeze eagerly
+// completes every lazy index (and pre-builds all bound-column masks for
+// small arities), after which the read path — ForEachMatch, Contains,
+// tuples() — touches no shared mutable state: lazy catch-up is disabled and
+// fetch accounting moves to a thread-local counter, so any number of
+// threads may probe a frozen relation concurrently.
 #ifndef BINCHAIN_STORAGE_RELATION_H_
 #define BINCHAIN_STORAGE_RELATION_H_
 
@@ -19,6 +26,7 @@
 #include <vector>
 
 #include "storage/tuple.h"
+#include "util/check.h"
 
 namespace binchain {
 
@@ -84,37 +92,73 @@ class Relation {
   TupleRef tuple(size_t i) const { return Row(static_cast<uint32_t>(i)); }
 
   /// Inserts `t`; returns true if it was new. Invalidates no indexes
-  /// (indexes absorb appended tuples on next use).
+  /// (indexes absorb appended tuples on next use). Aborts after Freeze().
   bool Insert(TupleRef t);
 
   bool Contains(TupleRef t) const;
+
+  /// Completes all lazy index work and forbids further mutation, making
+  /// every read entry point safe for concurrent callers. Existing indexes
+  /// are caught up to the last row; for arities up to kEagerFreezeArity
+  /// every nonempty bound-column mask is pre-built so no query can demand a
+  /// missing index later (wider relations fall back to a read-only filtered
+  /// scan for masks never probed before the freeze). One-way.
+  void Freeze();
+  bool frozen() const { return frozen_; }
 
   /// Enumerates rows matching `key` on the columns of `mask` (bit i set =>
   /// column i must equal key[i]; other key positions are ignored).
   /// `fn` receives a TupleRef per match (valid for the duration of the
   /// callback; also binds to `const Tuple&` by materializing a copy).
-  /// Builds the mask's index on first use. Statically dispatched: the
-  /// visitor type is known at the call site, so the per-tuple call inlines.
+  /// Builds the mask's index on first use; once frozen, never mutates —
+  /// concurrent calls are safe. Statically dispatched: the visitor type is
+  /// known at the call site, so the per-tuple call inlines.
   template <typename Fn>
   void ForEachMatch(uint32_t mask, TupleRef key, Fn&& fn) const {
     if (mask == 0) {  // full scan, no index needed
       for (size_t r = 0; r < num_rows_; ++r) {
-        ++fetches_;
+        CountFetch();
         fn(Row(static_cast<uint32_t>(r)));
       }
       return;
     }
-    const MaskIndex& idx = IndexFor(mask);
-    for (uint32_t row = FindHead(idx, mask, key); row != kNoRow;
-         row = idx.next[row]) {
-      ++fetches_;
+    const MaskIndex* idx;
+    if (frozen_) {
+      idx = FrozenIndex(mask);
+      if (idx == nullptr) {  // mask never indexed pre-freeze: read-only scan
+        for (size_t r = 0; r < num_rows_; ++r) {
+          if (MaskedEquals(mask, static_cast<uint32_t>(r), key.data())) {
+            CountFetch();
+            fn(Row(static_cast<uint32_t>(r)));
+          }
+        }
+        return;
+      }
+    } else {
+      idx = &IndexFor(mask);
+    }
+    for (uint32_t row = FindHead(*idx, mask, key); row != kNoRow;
+         row = idx->next[row]) {
+      CountFetch();
       fn(Row(row));
     }
   }
 
   /// Number of single-tuple retrievals served (the paper's `t`-cost unit).
+  /// Only advanced while unfrozen; frozen relations account fetches in the
+  /// per-thread counter below instead.
   uint64_t fetch_count() const { return fetches_; }
   void ResetFetchCount() { fetches_ = 0; }
+
+  /// Fetches served to the calling thread by *frozen* relations (all of
+  /// them — the counter is global per thread, which is what a per-query
+  /// delta needs). Complements fetch_count(): exactly one of the two moves
+  /// per retrieval, so `TotalFetches() + ThreadFetchCount()` deltas count
+  /// every fetch in both modes.
+  static uint64_t ThreadFetchCount() { return tls_fetches_; }
+
+  /// Largest arity for which Freeze() pre-builds every mask index.
+  static constexpr size_t kEagerFreezeArity = 4;
 
  private:
   static constexpr uint32_t kNoRow = 0xffffffffu;
@@ -133,6 +177,26 @@ class Relation {
 
   TupleRef Row(uint32_t r) const {
     return TupleRef(arena_.data() + static_cast<size_t>(r) * arity_, arity_);
+  }
+
+  void CountFetch() const {
+    if (frozen_) {
+      ++tls_fetches_;  // thread-local: no shared write on the frozen path
+    } else {
+      ++fetches_;
+    }
+  }
+
+  /// Read-only index lookup for the frozen path; nullptr if the mask was
+  /// never indexed before the freeze.
+  const MaskIndex* FrozenIndex(uint32_t mask) const {
+    for (const MaskIndex& ix : indexes_) {
+      if (ix.mask == mask) {
+        BINCHAIN_DCHECK(ix.indexed_upto == num_rows_);
+        return &ix;
+      }
+    }
+    return nullptr;
   }
 
   uint64_t HashMasked(uint32_t mask, const SymbolId* t) const;
@@ -155,6 +219,8 @@ class Relation {
   // joins) lazily create indexes for other masks.
   mutable std::deque<MaskIndex> indexes_;
   mutable uint64_t fetches_ = 0;
+  bool frozen_ = false;
+  inline static thread_local uint64_t tls_fetches_ = 0;
 };
 
 }  // namespace binchain

@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "util/check.h"
+
 namespace binchain {
 namespace {
 
@@ -28,6 +30,7 @@ std::optional<int64_t> ParseInt(std::string_view s) {
 SymbolId SymbolTable::Intern(std::string_view s) {
   auto it = index_.find(std::string(s));
   if (it != index_.end()) return it->second;
+  BINCHAIN_CHECK(!frozen_);  // new spellings would race concurrent readers
   SymbolId id = static_cast<SymbolId>(names_.size());
   names_.emplace_back(s);
   ints_.push_back(ParseInt(s));

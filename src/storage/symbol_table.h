@@ -18,12 +18,21 @@ using SymbolId = uint32_t;
 /// Append-only interner mapping strings <-> dense 32-bit ids.
 /// Symbols whose spelling lexes as a decimal integer additionally carry the
 /// parsed value, which the built-in comparison predicates use.
+///
+/// Thread safety: not synchronized. After Freeze() the table is immutable —
+/// Intern of an existing spelling degenerates to a lookup and is safe from
+/// concurrent readers; interning a *new* spelling aborts.
 class SymbolTable {
  public:
   SymbolTable() = default;
 
-  /// Interns `s`, returning its id (existing or fresh).
+  /// Interns `s`, returning its id (existing or fresh). Aborts on a fresh
+  /// spelling after Freeze().
   SymbolId Intern(std::string_view s);
+
+  /// Forbids further interning. One-way; part of Database::Freeze().
+  void Freeze() { frozen_ = true; }
+  bool frozen() const { return frozen_; }
 
   /// Returns the id of `s` if already interned.
   std::optional<SymbolId> Find(std::string_view s) const;
@@ -39,6 +48,7 @@ class SymbolTable {
   std::vector<std::string> names_;
   std::vector<std::optional<int64_t>> ints_;
   std::unordered_map<std::string, SymbolId> index_;
+  bool frozen_ = false;
 };
 
 }  // namespace binchain

@@ -35,6 +35,11 @@ class DenseBits {
     return word < words_.size() && (words_[word] & (1ull << (bit & 63)));
   }
 
+  /// Zeroes every bit but keeps the backing array, so reset-and-reuse loops
+  /// (one engine answering many queries) pay O(peak id / 64) per query
+  /// instead of re-growing from scratch.
+  void clear() { std::fill(words_.begin(), words_.end(), 0); }
+
  private:
   std::vector<uint64_t> words_;
 };

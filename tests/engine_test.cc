@@ -167,6 +167,33 @@ TEST_F(EngineTest, QuadraticNodesOnFig7b) {
   EXPECT_GT(r.value().stats.nodes, 40u * 15u);
 }
 
+TEST_F(EngineTest, EngineReuseAcrossRepeatedAndDistinctQueries) {
+  // One engine, many queries: EvalFrom resets stats and scratch per call,
+  // so a repeated query reproduces answers, stats, and fetch counts
+  // exactly, and interleaved different queries don't leak state into it.
+  std::string a = workloads::Fig7b(db_, 12);
+  QueryEngine qe(&db_);
+  ASSERT_TRUE(qe.LoadProgramText(workloads::SgProgramText()).ok());
+  auto first = qe.Query("sg(" + a + ", Y)");
+  ASSERT_TRUE(first.ok()) << first.status().message();
+  ASSERT_FALSE(first.value().tuples.empty());
+  for (int i = 0; i < 3; ++i) {
+    auto other = qe.Query("sg(a3, Y)");  // different source in between
+    ASSERT_TRUE(other.ok());
+    auto again = qe.Query("sg(" + a + ", Y)");
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again.value().tuples, first.value().tuples);
+    EXPECT_EQ(again.value().stats.nodes, first.value().stats.nodes);
+    EXPECT_EQ(again.value().stats.arcs, first.value().stats.arcs);
+    EXPECT_EQ(again.value().stats.iterations, first.value().stats.iterations);
+    EXPECT_EQ(again.value().stats.expansions, first.value().stats.expansions);
+    EXPECT_EQ(again.value().stats.answers_per_iteration,
+              first.value().stats.answers_per_iteration);
+    EXPECT_EQ(again.value().fetches, first.value().fetches);
+    EXPECT_EQ(again.value().stats.fetches, first.value().fetches);
+  }
+}
+
 TEST_F(EngineTest, BaseRelationQueriesAnswerDirectly) {
   db_.AddFact("e", {"a", "b"});
   db_.AddFact("e", {"a", "a"});

@@ -98,6 +98,69 @@ TEST(RelationIndexTest, FetchCountsMatchDeliveredTuples) {
   EXPECT_EQ(r.fetch_count(), 5u);
 }
 
+TEST(RelationIndexTest, FreezeCompletesLazyCatchUpAndStopsCounting) {
+  Relation r(2);
+  r.Insert({1, 10});
+  EXPECT_EQ(Matches(r, 0b01, {1, 0}).size(), 1u);  // index exists, stale soon
+  r.Insert({1, 11});
+  r.Insert({2, 20});
+  r.ResetFetchCount();
+  uint64_t tls_before = Relation::ThreadFetchCount();
+  r.Freeze();
+  EXPECT_TRUE(r.frozen());
+  // Catch-up happened eagerly at freeze time; probes see every row.
+  auto got = Matches(r, 0b01, {1, 0});
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], (Tuple{1, 10}));
+  EXPECT_EQ(got[1], (Tuple{1, 11}));
+  // Binary relations get both single-column masks pre-built by Freeze, so
+  // a mask never probed before the freeze is still served by an index.
+  EXPECT_EQ(Matches(r, 0b10, {0, 20}).size(), 1u);
+  EXPECT_EQ(Matches(r, 0b11, {2, 20}).size(), 1u);
+  EXPECT_EQ(Matches(r, 0, {0, 0}).size(), 3u);
+  EXPECT_TRUE(r.Contains(Tuple{2, 20}));
+  // Frozen fetches land in the thread-local counter, not the relation.
+  EXPECT_EQ(r.fetch_count(), 0u);
+  EXPECT_EQ(Relation::ThreadFetchCount() - tls_before, 7u);
+}
+
+TEST(RelationIndexTest, FrozenWideRelationFallsBackToScanForNewMasks) {
+  // Arity above kEagerFreezeArity: only masks indexed before the freeze
+  // have indexes; fresh masks are answered by a read-only filtered scan.
+  Relation r(Relation::kEagerFreezeArity + 1);
+  r.Insert({1, 2, 3, 4, 5});
+  r.Insert({1, 9, 9, 9, 6});
+  r.Insert({7, 2, 3, 4, 5});
+  EXPECT_EQ(Matches(r, 0b00001, {1, 0, 0, 0, 0}).size(), 2u);  // pre-freeze
+  r.Freeze();
+  EXPECT_EQ(Matches(r, 0b00001, {1, 0, 0, 0, 0}).size(), 2u);  // via index
+  auto got = Matches(r, 0b00110, {0, 2, 3, 0, 0});  // fresh mask: scan
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], (Tuple{1, 2, 3, 4, 5}));
+  EXPECT_EQ(got[1], (Tuple{7, 2, 3, 4, 5}));
+}
+
+TEST(RelationIndexTest, FrozenRelationRejectsInserts) {
+  Relation r(2);
+  r.Insert({1, 2});
+  r.Freeze();
+  EXPECT_DEATH(r.Insert(Tuple{3, 4}), "frozen");
+}
+
+TEST(RelationIndexTest, DatabaseFreezePropagates) {
+  Database db;
+  db.AddFact("e", {"a", "b"});
+  db.Freeze();
+  EXPECT_TRUE(db.frozen());
+  EXPECT_TRUE(db.symbols().frozen());
+  EXPECT_TRUE(db.Find("e")->frozen());
+  db.Freeze();  // idempotent
+  // Existing spellings still intern (pure lookup); fresh ones abort.
+  EXPECT_EQ(db.symbols().Intern("a"), *db.symbols().Find("a"));
+  EXPECT_DEATH(db.symbols().Intern("brand_new_symbol"), "frozen");
+  EXPECT_DEATH(db.GetOrCreate("fresh_rel", 2), "frozen");
+}
+
 TEST(RelationIndexTest, TupleViewsStayValidAcrossArenaGrowth) {
   Relation r(2);
   r.Insert({1, 2});

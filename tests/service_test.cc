@@ -1,0 +1,307 @@
+// Concurrency semantics of the query service: identical result sets and
+// deterministic aggregate stats across thread counts, engine reuse across
+// repeated queries, freeze behavior of the storage snapshot, and a stress
+// run with overlapping sources on the Figure-8 cyclic workload.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datalog/parser.h"
+#include "service/query_service.h"
+#include "service/thread_pool.h"
+#include "workloads/workloads.h"
+
+namespace binchain {
+namespace {
+
+Program SgProgram(Database& db) {
+  return ParseProgram(workloads::SgProgramText(), db.symbols()).take();
+}
+
+/// All-sources batch over every constant of the database.
+std::vector<QueryRequest> AllSourcesBatch(const Database& db,
+                                          const EvalOptions& options = {}) {
+  std::set<std::string> constants;
+  for (const std::string& name : db.relation_names()) {
+    for (TupleRef t : db.Find(name)->tuples()) {
+      for (SymbolId c : t) constants.insert(db.symbols().Name(c));
+    }
+  }
+  std::vector<QueryRequest> batch;
+  for (const std::string& c : constants) {
+    QueryRequest req;
+    req.pred = "sg";
+    req.source = c;
+    req.options = options;
+    batch.push_back(std::move(req));
+  }
+  return batch;
+}
+
+void ExpectSameResponses(const std::vector<QueryResponse>& a,
+                         const std::vector<QueryResponse>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].status.ok(), b[i].status.ok()) << i;
+    EXPECT_EQ(a[i].tuples, b[i].tuples) << i;
+    EXPECT_EQ(a[i].stats.nodes, b[i].stats.nodes) << i;
+    EXPECT_EQ(a[i].stats.iterations, b[i].stats.iterations) << i;
+    EXPECT_EQ(a[i].fetches, b[i].fetches) << i;
+  }
+}
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::atomic<int>> hits(1000);
+  for (auto& h : hits) h = 0;
+  pool.ParallelFor(hits.size(), [&](size_t worker, size_t i) {
+    EXPECT_LT(worker, 4u);
+    ++hits[i];
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossJobsAndEmptyJob) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [&](size_t, size_t) { FAIL(); });
+  std::atomic<int> total{0};
+  for (int round = 0; round < 10; ++round) {
+    pool.ParallelFor(round, [&](size_t, size_t) { ++total; });
+  }
+  EXPECT_EQ(total.load(), 45);
+}
+
+TEST(ServiceTest, BatchMatchesSingleThreadedOnFig7Samples) {
+  for (auto build : {&workloads::Fig7a, &workloads::Fig7b, &workloads::Fig7c}) {
+    Database db;
+    build(db, 24);
+    Program program = SgProgram(db);
+    std::vector<QueryRequest> batch = AllSourcesBatch(db);
+    ASSERT_FALSE(batch.empty());
+
+    QueryService seq(&db, program, {1});
+    ASSERT_TRUE(seq.status().ok()) << seq.status().message();
+    BatchStats seq_stats;
+    auto seq_responses = seq.EvalBatch(batch, &seq_stats);
+
+    QueryService par(&db, program, {4});
+    ASSERT_TRUE(par.status().ok()) << par.status().message();
+    BatchStats par_stats;
+    auto par_responses = par.EvalBatch(batch, &par_stats);
+
+    ExpectSameResponses(seq_responses, par_responses);
+    // Aggregates are sums of per-query values: identical for any schedule.
+    EXPECT_EQ(seq_stats.queries, par_stats.queries);
+    EXPECT_EQ(seq_stats.failed, par_stats.failed);
+    EXPECT_EQ(seq_stats.tuples, par_stats.tuples);
+    EXPECT_EQ(seq_stats.fetches, par_stats.fetches);
+    EXPECT_EQ(seq_stats.total.nodes, par_stats.total.nodes);
+    EXPECT_EQ(seq_stats.total.arcs, par_stats.total.arcs);
+    EXPECT_EQ(seq_stats.total.iterations, par_stats.total.iterations);
+    EXPECT_EQ(seq_stats.total.expansions, par_stats.total.expansions);
+  }
+}
+
+TEST(ServiceTest, RepeatedQueryOnOneServiceIsDeterministic) {
+  // Engine reuse: the same request through the same (warm) worker contexts
+  // must reproduce answers and stats exactly.
+  Database db;
+  std::string a = workloads::Fig7b(db, 16);
+  QueryService service(&db, SgProgram(db), {2});
+  ASSERT_TRUE(service.status().ok());
+  QueryRequest req;
+  req.pred = "sg";
+  req.source = a;
+  QueryResponse first = service.Eval(req);
+  ASSERT_TRUE(first.status.ok());
+  EXPECT_FALSE(first.tuples.empty());
+  for (int i = 0; i < 5; ++i) {
+    QueryResponse again = service.Eval(req);
+    ASSERT_TRUE(again.status.ok());
+    EXPECT_EQ(again.tuples, first.tuples);
+    EXPECT_EQ(again.stats.nodes, first.stats.nodes);
+    EXPECT_EQ(again.stats.arcs, first.stats.arcs);
+    EXPECT_EQ(again.stats.iterations, first.stats.iterations);
+    EXPECT_EQ(again.fetches, first.fetches);
+  }
+}
+
+TEST(ServiceTest, AllBindingPatternsThroughTheService) {
+  Database db;
+  std::string a = workloads::Fig7c(db, 8);
+  QueryService service(&db, SgProgram(db), {2});
+  ASSERT_TRUE(service.status().ok());
+
+  QueryResponse bound_free = service.Eval({"sg", a, "", {}});
+  ASSERT_TRUE(bound_free.status.ok());
+  ASSERT_FALSE(bound_free.tuples.empty());
+
+  // p(a, b): membership of a known answer.
+  const Tuple& first = bound_free.tuples.front();
+  QueryResponse bound_bound = service.Eval(
+      {"sg", db.symbols().Name(first[0]), db.symbols().Name(first[1]), {}});
+  ASSERT_TRUE(bound_bound.status.ok());
+  EXPECT_EQ(bound_bound.tuples.size(), 1u);
+
+  // p(X, b): the inverted system; must include (a, b).
+  QueryResponse free_bound =
+      service.Eval({"sg", "", db.symbols().Name(first[1]), {}});
+  ASSERT_TRUE(free_bound.status.ok());
+  EXPECT_NE(std::find(free_bound.tuples.begin(), free_bound.tuples.end(),
+                      first),
+            free_bound.tuples.end());
+
+  // p(X, Y): all pairs; every bound-free answer appears.
+  QueryResponse free_free = service.Eval({"sg", "", ""});
+  ASSERT_TRUE(free_free.status.ok());
+  for (const Tuple& t : bound_free.tuples) {
+    EXPECT_NE(std::find(free_free.tuples.begin(), free_free.tuples.end(), t),
+              free_free.tuples.end());
+  }
+}
+
+TEST(ServiceTest, DiagonalQueryFiltersToEqualPairs) {
+  Database db;
+  db.AddFact("flat", {"a", "a"});
+  db.AddFact("flat", {"b", "c"});
+  db.AddFact("up", {"d", "b"});
+  db.AddFact("down", {"c", "d"});  // sg(d, d) via up.flat.down
+  QueryService service(&db, SgProgram(db), {2});
+  ASSERT_TRUE(service.status().ok());
+  QueryRequest req;
+  req.pred = "sg";
+  req.diagonal = true;
+  QueryResponse diag = service.Eval(req);
+  ASSERT_TRUE(diag.status.ok()) << diag.status.message();
+  SymbolId a = *db.symbols().Find("a");
+  SymbolId d = *db.symbols().Find("d");
+  EXPECT_EQ(diag.tuples, (std::vector<Tuple>{Tuple{a, a}, Tuple{d, d}}));
+  // Malformed: diagonal with a bound argument.
+  req.source = "a";
+  EXPECT_FALSE(service.Eval(req).status.ok());
+}
+
+TEST(ServiceTest, ErrorAndEmptyRequestsDoNotPoisonTheBatch) {
+  Database db;
+  std::string a = workloads::Fig7a(db, 8);
+  QueryService service(&db, SgProgram(db), {2});
+  ASSERT_TRUE(service.status().ok());
+  std::vector<QueryRequest> batch = {
+      {"sg", a, "", {}},
+      {"nonexistent_predicate", a, "", {}},
+      {"sg", "never_interned_constant", "", {}},
+  };
+  BatchStats stats;
+  auto responses = service.EvalBatch(batch, &stats);
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_TRUE(responses[0].status.ok());
+  EXPECT_FALSE(responses[0].tuples.empty());
+  EXPECT_FALSE(responses[1].status.ok());
+  EXPECT_TRUE(responses[2].status.ok());  // unknown constant: empty answer
+  EXPECT_TRUE(responses[2].tuples.empty());
+  EXPECT_EQ(stats.queries, 3u);
+  EXPECT_EQ(stats.failed, 1u);
+}
+
+TEST(ServiceTest, ConstructionFreezesTheDatabase) {
+  Database db;
+  workloads::Fig7a(db, 8);
+  EXPECT_FALSE(db.frozen());
+  QueryService service(&db, SgProgram(db), {2});
+  ASSERT_TRUE(service.status().ok());
+  EXPECT_TRUE(db.frozen());
+  EXPECT_TRUE(db.symbols().frozen());
+  // Facts cannot be loaded against a frozen snapshot.
+  Database frozen_db;
+  workloads::Fig7a(frozen_db, 4);
+  Program with_facts =
+      ParseProgram("p(X, Y) :- e(X, Y). e(a, b).", frozen_db.symbols()).take();
+  frozen_db.Freeze();
+  QueryService bad(&frozen_db, with_facts, {1});
+  EXPECT_FALSE(bad.status().ok());
+  // A failed service reports the failure through responses AND BatchStats.
+  BatchStats bad_stats;
+  auto bad_responses = bad.EvalBatch({{"p", "a", ""}}, &bad_stats);
+  ASSERT_EQ(bad_responses.size(), 1u);
+  EXPECT_FALSE(bad_responses[0].status.ok());
+  EXPECT_EQ(bad_stats.queries, 1u);
+  EXPECT_EQ(bad_stats.failed, 1u);
+}
+
+TEST(ServiceTest, Fig8CyclicStressWithOverlappingSources) {
+  // Overlapping sources over cyclic data: every worker traverses the same
+  // two cycles under the |D1|*|D2| bound, repeatedly, on shared frozen
+  // storage. Compare 1-thread and 4-thread runs response-for-response.
+  Database db;
+  workloads::Fig8(db, 7, 9);
+  Program program = SgProgram(db);
+  EvalOptions options;
+  options.use_cyclic_bound = true;
+  std::vector<QueryRequest> batch;
+  for (int rep = 0; rep < 6; ++rep) {
+    for (size_t i = 1; i <= 7; ++i) {
+      QueryRequest req;
+      req.pred = "sg";
+      req.source = "a" + std::to_string(i);
+      req.options = options;
+      batch.push_back(std::move(req));
+    }
+  }
+
+  QueryService seq(&db, program, {1});
+  ASSERT_TRUE(seq.status().ok());
+  BatchStats seq_stats;
+  auto expected = seq.EvalBatch(batch, &seq_stats);
+  EXPECT_EQ(seq_stats.failed, 0u);
+
+  QueryService par(&db, program, {4});
+  ASSERT_TRUE(par.status().ok());
+  for (int round = 0; round < 3; ++round) {
+    BatchStats par_stats;
+    auto got = par.EvalBatch(batch, &par_stats);
+    ExpectSameResponses(expected, got);
+    EXPECT_EQ(par_stats.fetches, seq_stats.fetches);
+    EXPECT_EQ(par_stats.total.nodes, seq_stats.total.nodes);
+  }
+}
+
+TEST(ServiceTest, ConcurrentClientBatches) {
+  // Two client threads hammering the same service: batches serialize onto
+  // the pool and each client still sees exactly its own results.
+  Database db;
+  workloads::Fig7b(db, 12);
+  Program program = SgProgram(db);
+  QueryService service(&db, program, {2});
+  ASSERT_TRUE(service.status().ok());
+  std::vector<QueryRequest> batch = AllSourcesBatch(db);
+  auto expected = service.EvalBatch(batch);
+
+  std::vector<std::thread> clients;
+  std::atomic<int> mismatches{0};
+  for (int c = 0; c < 2; ++c) {
+    clients.emplace_back([&] {
+      for (int i = 0; i < 3; ++i) {
+        auto got = service.EvalBatch(batch);
+        if (got.size() != expected.size()) {
+          ++mismatches;
+          continue;
+        }
+        for (size_t j = 0; j < got.size(); ++j) {
+          if (got[j].tuples != expected[j].tuples) ++mismatches;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace binchain
