@@ -40,6 +40,7 @@ struct BenchResult {
   uint64_t queries = 0;
   uint64_t tuples = 0;   // sanity: must match across thread counts and PRs
   uint64_t fetches = 0;  // aggregate t-cost, deterministic per batch
+  double startup_ms = 0;  // service construction (plan + workers + freeze)
   double wall_ms = 0;    // best-of-reps batch wall time
   double qps = 0;        // queries / second at the best rep
   double speedup = 1;    // vs the 1-thread run of the same batch
@@ -130,7 +131,11 @@ BenchResult RunBatch(Batch& batch, size_t threads, int reps,
 
   QueryService::Options opts;
   opts.num_threads = threads;
+  // Startup cost: with the shared plan, program transformation and machine
+  // compilation happen once, so this should stay flat as threads grow.
+  auto ts = std::chrono::steady_clock::now();
   QueryService service(batch.db.get(), batch.program, opts);
+  r.startup_ms = MsSince(ts);
   if (!service.status().ok()) {
     r.ok = false;
     r.error = service.status().message();
@@ -244,9 +249,9 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("%-28s %8s %10s %10s %12s %10s %8s %6s\n", "batch", "queries",
-              "tuples", "wall_ms", "queries/sec", "speedup", "fetches",
-              "same");
+  std::printf("%-28s %8s %10s %10s %10s %12s %10s %8s %6s\n", "batch",
+              "queries", "tuples", "startup_ms", "wall_ms", "queries/sec",
+              "speedup", "fetches", "same");
   for (const BenchResult& r : results) {
     if (!r.ok) {
       ++failures;
@@ -254,10 +259,11 @@ int main(int argc, char** argv) {
       continue;
     }
     if (!r.identical) ++failures;
-    std::printf("%-28s %8llu %10llu %10.3f %12.1f %9.2fx %8llu %6s\n",
+    std::printf("%-28s %8llu %10llu %10.3f %10.3f %12.1f %9.2fx %8llu %6s\n",
                 r.name.c_str(), static_cast<unsigned long long>(r.queries),
-                static_cast<unsigned long long>(r.tuples), r.wall_ms, r.qps,
-                r.speedup, static_cast<unsigned long long>(r.fetches),
+                static_cast<unsigned long long>(r.tuples), r.startup_ms,
+                r.wall_ms, r.qps, r.speedup,
+                static_cast<unsigned long long>(r.fetches),
                 r.identical ? "yes" : "NO");
   }
 
@@ -269,6 +275,7 @@ int main(int argc, char** argv) {
       out << "    {\"name\": \"" << JsonEscape(r.name) << "\", \"ok\": "
           << (r.ok && r.identical ? "true" : "false")
           << ", \"threads\": " << r.threads << ", \"queries\": " << r.queries
+          << ", \"startup_ms\": " << r.startup_ms
           << ", \"wall_ms\": " << r.wall_ms << ", \"qps\": " << r.qps
           << ", \"speedup\": " << r.speedup << ", \"tuples\": " << r.tuples
           << ", \"fetches\": " << r.fetches << "}"

@@ -2,7 +2,7 @@
 //
 //   ./datalog_cli [--strategy=graph|seminaive|naive|magic|transform]
 //                 [--cyclic-bound] [--max-iterations=N] [--threads=N]
-//                 [--dot] <file.dl>
+//                 [--live] [--dot] <file.dl>
 //
 // The file contains rules, facts, and `?- query.` lines; every query is
 // evaluated with the chosen strategy and the answers plus work counters are
@@ -11,11 +11,26 @@
 // (graph strategy only) the queries are dispatched as one batch to a
 // QueryService over a frozen database snapshot, N workers wide, and the
 // batch throughput is reported.
+//
+// With --live the file's rules and facts become the genesis epoch of a
+// SnapshotManager-backed service, and stdin becomes a load/publish REPL:
+//
+//   live> +up(a9, a10).      stage a fact for the next publish
+//   live> publish            merge staged facts into a new serving epoch
+//   live> ?- sg(a1, Y).      query the current epoch
+//   live> epoch | pending    inspect the serving state
+//   live> quit
+//
+// Staged facts never touch the serving epoch until `publish`; queries keep
+// running (and may be issued from other clients) while a publish builds.
+#include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "baselines/bottom_up.h"
 #include "baselines/magic.h"
@@ -23,6 +38,7 @@
 #include "datalog/printer.h"
 #include "eval/dot_export.h"
 #include "eval/query.h"
+#include "live/snapshot_manager.h"
 #include "service/query_service.h"
 #include "transform/binarize.h"
 
@@ -49,12 +65,157 @@ void PrintAnswers(const Database& db, const Literal& query,
   }
 }
 
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+/// Parses `pred(arg, ..., arg)` with an optional trailing period, without
+/// touching any symbol table — the live REPL must not intern into frozen
+/// epochs (constants unseen by the current epoch simply yield no answers).
+bool ParseNameArgs(const std::string& text, std::string* pred,
+                   std::vector<std::string>* args) {
+  std::string s = Trim(text);
+  if (!s.empty() && s.back() == '.') s = Trim(s.substr(0, s.size() - 1));
+  size_t open = s.find('(');
+  if (open == std::string::npos || s.back() != ')') return false;
+  *pred = Trim(s.substr(0, open));
+  if (pred->empty()) return false;
+  args->clear();
+  std::string inner = s.substr(open + 1, s.size() - open - 2);
+  size_t start = 0;
+  while (true) {
+    size_t comma = inner.find(',', start);
+    std::string arg = Trim(comma == std::string::npos
+                               ? inner.substr(start)
+                               : inner.substr(start, comma - start));
+    if (arg.empty()) return false;
+    args->push_back(arg);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return true;
+}
+
+bool IsVariableSpelling(const std::string& s) {
+  return !s.empty() && (std::isupper(static_cast<unsigned char>(s[0])) ||
+                        s[0] == '_');
+}
+
+/// The load/publish REPL over a live service. Returns the process exit
+/// code.
+int RunLiveRepl(SnapshotManager& manager, QueryService& service,
+                const EvalOptions& options) {
+  std::printf(
+      "[live] epoch %llu serving on %zu threads; commands: +fact(...), "
+      "publish, ?- query, epoch, pending, quit\n",
+      static_cast<unsigned long long>(manager.epoch()),
+      service.num_threads());
+  std::string line;
+  while (std::printf("live> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    std::string cmd = Trim(line);
+    if (cmd.empty()) continue;
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "epoch") {
+      std::printf("epoch %llu\n",
+                  static_cast<unsigned long long>(manager.epoch()));
+      continue;
+    }
+    if (cmd == "pending") {
+      std::printf("%zu staged fact(s)\n", manager.PendingFacts());
+      continue;
+    }
+    if (cmd == "publish") {
+      PublishStats ps = manager.Publish();
+      std::printf(
+          "epoch %llu published in %.3f ms: +%llu facts (%llu duplicate, "
+          "%llu rejected), %llu new symbols, %llu relation(s) layered, "
+          "%llu flattened\n",
+          static_cast<unsigned long long>(ps.epoch), ps.wall_ms,
+          static_cast<unsigned long long>(ps.facts_added),
+          static_cast<unsigned long long>(ps.facts_duplicate),
+          static_cast<unsigned long long>(ps.facts_rejected),
+          static_cast<unsigned long long>(ps.new_symbols),
+          static_cast<unsigned long long>(ps.relations_touched),
+          static_cast<unsigned long long>(ps.relations_flattened));
+      continue;
+    }
+    if (cmd[0] == '+') {
+      std::string pred;
+      std::vector<std::string> args;
+      if (!ParseNameArgs(cmd.substr(1), &pred, &args)) {
+        std::printf("cannot parse fact; want +pred(c1, ..., cn).\n");
+        continue;
+      }
+      bool ground = true;
+      for (const std::string& arg : args) {
+        if (IsVariableSpelling(arg)) {
+          std::printf("facts must be ground: '%s' spells a variable\n",
+                      arg.c_str());
+          ground = false;
+          break;
+        }
+      }
+      if (!ground) continue;
+      manager.AddFact(pred, args);
+      std::printf("staged (%zu pending)\n", manager.PendingFacts());
+      continue;
+    }
+    if (cmd.rfind("?-", 0) == 0) {
+      std::string pred;
+      std::vector<std::string> args;
+      if (!ParseNameArgs(cmd.substr(2), &pred, &args) || args.size() != 2) {
+        std::printf("cannot parse query; want ?- pred(a, Y).\n");
+        continue;
+      }
+      QueryRequest req;
+      req.pred = pred;
+      req.options = options;
+      if (!IsVariableSpelling(args[0])) req.source = args[0];
+      if (!IsVariableSpelling(args[1])) req.target = args[1];
+      req.diagonal = IsVariableSpelling(args[0]) && args[0] == args[1];
+      QueryResponse resp = service.Eval(req);
+      if (!resp.status.ok()) {
+        std::printf("ERROR: %s\n", resp.status.message().c_str());
+        continue;
+      }
+      // Any tip at or past the response's epoch can render its symbols
+      // (epochs only extend the id space).
+      auto tip = manager.Acquire();
+      std::printf("(%zu answers @ epoch %llu)\n", resp.tuples.size(),
+                  static_cast<unsigned long long>(resp.epoch));
+      size_t shown = 0;
+      for (const Tuple& t : resp.tuples) {
+        if (shown++ >= 20) {
+          std::printf("  ...\n");
+          break;
+        }
+        std::printf("  %s\n", TupleToString(t, tip->symbols()).c_str());
+      }
+      std::printf(
+          "  [live] nodes=%llu iterations=%llu fetches=%llu wide_scans=%llu\n",
+          static_cast<unsigned long long>(resp.stats.nodes),
+          static_cast<unsigned long long>(resp.stats.iterations),
+          static_cast<unsigned long long>(resp.fetches),
+          static_cast<unsigned long long>(resp.stats.wide_mask_scans));
+      continue;
+    }
+    std::printf(
+        "commands: +fact(...), publish, ?- query, epoch, pending, quit\n");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string strategy = "graph";
   bool cyclic_bound = false;
   bool dot = false;
+  bool live = false;
   size_t max_iterations = 0;
   size_t threads = 0;
   std::string path;
@@ -66,6 +227,8 @@ int main(int argc, char** argv) {
       cyclic_bound = true;
     } else if (arg == "--dot") {
       dot = true;
+    } else if (arg == "--live") {
+      live = true;
     } else if (arg.rfind("--max-iterations=", 0) == 0) {
       max_iterations = std::stoul(arg.substr(17));
     } else if (arg.rfind("--threads=", 0) == 0) {
@@ -74,7 +237,7 @@ int main(int argc, char** argv) {
       std::printf(
           "usage: datalog_cli [--strategy=graph|seminaive|naive|magic|"
           "transform] [--cyclic-bound] [--max-iterations=N] [--threads=N] "
-          "[--dot] <file.dl>\n");
+          "[--live] [--dot] <file.dl>\n");
       return 0;
     } else {
       path = arg;
@@ -86,6 +249,41 @@ int main(int argc, char** argv) {
   if (!in) return Fail("cannot open " + path);
   std::stringstream buffer;
   buffer << in.rdbuf();
+
+  if (live) {
+    // Live mode: the file seeds the genesis epoch; stdin drives ingestion.
+    auto genesis = std::make_unique<Database>();
+    auto parsed = ParseProgram(buffer.str(), genesis->symbols());
+    if (!parsed.ok()) return Fail(parsed.status().message());
+    Program program = parsed.take();
+    Program rules_only = program;
+    rules_only.queries.clear();
+    EvalOptions options;
+    options.use_cyclic_bound = cyclic_bound;
+    options.max_iterations = max_iterations;
+
+    SnapshotManager manager(std::move(genesis));
+    QueryService::Options opts;
+    opts.num_threads = threads;
+    QueryService service(&manager, rules_only, opts);
+    if (!service.status().ok()) return Fail(service.status().message());
+
+    // The file's own queries run once against the genesis epoch.
+    auto tip = manager.Acquire();
+    for (const Literal& q : program.queries) {
+      if (q.arity() != 2) return Fail("live queries must be binary");
+      QueryRequest req;
+      req.pred = tip->symbols().Name(q.predicate);
+      if (q.args[0].IsConst()) req.source = tip->symbols().Name(q.args[0].symbol);
+      if (q.args[1].IsConst()) req.target = tip->symbols().Name(q.args[1].symbol);
+      req.diagonal = q.args[0].IsVar() && q.args[0] == q.args[1];
+      req.options = options;
+      QueryResponse resp = service.Eval(req);
+      if (!resp.status.ok()) return Fail(resp.status.message());
+      PrintAnswers(*tip, q, resp.tuples);
+    }
+    return RunLiveRepl(manager, service, options);
+  }
 
   Database db;
   auto parsed = ParseProgram(buffer.str(), db.symbols());

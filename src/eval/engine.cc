@@ -16,10 +16,17 @@ uint64_t NodeKey(uint32_t state, TermId term) {
 
 }  // namespace
 
-Engine::Engine(const EquationSystem* eqs, ViewRegistry* views)
-    : eqs_(eqs), views_(views) {}
+Engine::Engine(const EquationSystem* eqs, ViewRegistry* views,
+               const std::unordered_map<SymbolId, Nfa>* shared_machines)
+    : eqs_(eqs), views_(views), shared_machines_(shared_machines) {}
 
 Result<const Nfa*> Engine::Machine(SymbolId pred) {
+  if (shared_machines_ != nullptr) {
+    auto sit = shared_machines_->find(pred);
+    if (sit != shared_machines_->end()) {
+      return Result<const Nfa*>(&sit->second);
+    }
+  }
   auto it = machines_.find(pred);
   if (it != machines_.end()) return Result<const Nfa*>(&it->second);
   if (!eqs_->Has(pred)) {
@@ -72,6 +79,7 @@ Result<std::vector<TermId>> Engine::EvalFrom(SymbolId pred, TermId source,
   EvalStats& st = (stats != nullptr) ? *stats : local;
   st = EvalStats{};
   uint64_t tls_fetches_before = Relation::ThreadFetchCount();
+  uint64_t tls_wide_before = Relation::ThreadWideScanCount();
 
   // Reset-and-reuse: empty the scratch sets but keep their capacity, so a
   // query stream on one engine stops paying per-query growth.
@@ -231,6 +239,7 @@ Result<std::vector<TermId>> Engine::EvalFrom(SymbolId pred, TermId source,
   // Frozen relations count retrievals per thread; unfrozen ones still count
   // into the database (QueryEngine folds those in for the combined total).
   st.fetches = Relation::ThreadFetchCount() - tls_fetches_before;
+  st.wide_mask_scans = Relation::ThreadWideScanCount() - tls_wide_before;
   std::sort(answers.begin(), answers.end());
   return answers;
 }

@@ -38,6 +38,11 @@ struct EvalStats {
   uint64_t continuations = 0;  // continuation points gathered overall
   uint64_t em_states = 0;    // final size of EM(p, h)
   uint64_t fetches = 0;      // EDB tuple retrievals during this query
+  /// Read-only fallback scans of frozen wide relations (arity >
+  /// Relation::kEagerFreezeArity) whose probed mask was never indexed
+  /// before the freeze. Nonzero means a hot mask is missing its index —
+  /// visible here so the silent O(n)-per-probe path can't regress unseen.
+  uint64_t wide_mask_scans = 0;
   bool hit_iteration_cap = false;
 
   /// Cumulative answer-set size after each iteration (Lemma 2: the partial
@@ -65,8 +70,14 @@ struct EvalOptions {
 
 class Engine {
  public:
-  /// `eqs` and `views` must outlive the engine.
-  Engine(const EquationSystem* eqs, ViewRegistry* views);
+  /// `eqs` and `views` must outlive the engine. `shared_machines`, if
+  /// given, is an immutable pre-compiled machine set (pred -> M(e_p)) that
+  /// may be shared by any number of engines: Machine() serves from it
+  /// without compiling or caching locally, so service workers skip the
+  /// per-worker NFA compilation entirely. Predicates absent from the shared
+  /// set still compile lazily into this engine's private cache.
+  Engine(const EquationSystem* eqs, ViewRegistry* views,
+         const std::unordered_map<SymbolId, Nfa>* shared_machines = nullptr);
 
   /// Answers p(a, Y): the set of terms y with (a, y) in the relation p.
   /// Reusable: each call resets `stats` and the engine's internal scratch
@@ -78,15 +89,23 @@ class Engine {
                                        const EvalOptions& options,
                                        EvalStats* stats);
 
-  /// The compiled machine M(e_p) (built on first use). Exposed for the
-  /// figure-dump example and tests.
+  /// The compiled machine M(e_p) (from the shared set, or built on first
+  /// use). Exposed for the figure-dump example and tests.
   Result<const Nfa*> Machine(SymbolId pred);
+
+  /// Moves the privately compiled machines out (e.g. into a shared set
+  /// other engines are constructed over). The engine keeps working — it
+  /// simply recompiles on demand.
+  std::unordered_map<SymbolId, Nfa> TakeMachines() {
+    return std::move(machines_);
+  }
 
  private:
   Result<size_t> CyclicIterationBound(SymbolId pred, TermId source);
 
   const EquationSystem* eqs_;
   ViewRegistry* views_;
+  const std::unordered_map<SymbolId, Nfa>* shared_machines_;
   std::unordered_map<SymbolId, Nfa> machines_;
   // Linear normal forms matched for the cyclic bound, memoized per
   // predicate so repeated cyclic-bound queries reuse the same Rex nodes

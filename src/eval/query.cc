@@ -17,7 +17,46 @@ void LoadFactsInto(Database& db, const std::vector<Literal>& facts) {
   }
 }
 
+Result<std::shared_ptr<const PreparedProgram>> PrepareProgram(
+    Database* db, Program program, bool compile_machines) {
+  auto plan = std::make_shared<PreparedProgram>();
+  plan->program = std::move(program);
+  LoadFactsInto(*db, plan->program.facts);
+  plan->program.facts.clear();
+  plan->program.queries.clear();
+  auto transformed = TransformToEquations(plan->program, db->symbols());
+  if (!transformed.ok()) return transformed.status();
+  plan->lemma1 = transformed.take();
+  plan->combined =
+      InvertSystem(plan->lemma1.final_system, db->symbols(), plan->inverse_of);
+  if (compile_machines) {
+    // A throwaway registry satisfies Machine()'s view-existence validation;
+    // the compiled NFAs themselves depend only on the equations.
+    ViewRegistry views(&db->symbols());
+    views.RegisterDatabase(*db);
+    Engine fwd(&plan->lemma1.final_system, &views);
+    for (SymbolId p : plan->lemma1.final_system.preds()) {
+      if (auto m = fwd.Machine(p); !m.ok()) return m.status();
+    }
+    plan->forward_machines = fwd.TakeMachines();
+    Engine inv(&plan->combined, &views);
+    for (SymbolId p : plan->combined.preds()) {
+      if (auto m = inv.Machine(p); !m.ok()) return m.status();
+    }
+    plan->inverse_machines = inv.TakeMachines();
+  }
+  return Result<std::shared_ptr<const PreparedProgram>>(std::move(plan));
+}
+
 QueryEngine::QueryEngine(Database* db) : db_(db) {}
+
+QueryEngine::QueryEngine(Database* db,
+                         std::shared_ptr<const PreparedProgram> plan)
+    : db_(db), plan_(std::move(plan)) {
+  BINCHAIN_CHECK(plan_ != nullptr);
+  InitFromPlan();
+}
+
 QueryEngine::~QueryEngine() = default;
 
 Status QueryEngine::LoadProgramText(std::string_view text) {
@@ -27,49 +66,58 @@ Status QueryEngine::LoadProgramText(std::string_view text) {
 }
 
 Status QueryEngine::LoadProgram(const Program& program) {
-  if (lemma1_.has_value()) {
+  if (plan_ != nullptr) {
     return Status::FailedPrecondition("program already loaded");
   }
-  program_ = program;
-  LoadFactsInto(*db_, program_.facts);
-  program_.facts.clear();
-  return Prepare();
+  auto plan = PrepareProgram(db_, program, /*compile_machines=*/false);
+  if (!plan.ok()) return plan.status();
+  plan_ = plan.take();
+  InitFromPlan();
+  return Status::Ok();
 }
 
-Status QueryEngine::Prepare() {
-  auto transformed = TransformToEquations(program_, db_->symbols());
-  if (!transformed.ok()) return transformed.status();
-  lemma1_ = transformed.take();
+void QueryEngine::InitFromPlan() {
   views_ = std::make_unique<ViewRegistry>(&db_->symbols());
   views_->RegisterDatabase(*db_);
-  engine_ = std::make_unique<Engine>(&lemma1_->final_system, views_.get());
-  return Status::Ok();
-}
-
-Status QueryEngine::PrepareInverse() {
-  if (inv_engine_ != nullptr) return Status::Ok();
-  combined_ = InvertSystem(lemma1_->final_system, db_->symbols(), inverse_of_);
-  inv_engine_ = std::make_unique<Engine>(&*combined_, views_.get());
-  return Status::Ok();
+  engine_ = std::make_unique<Engine>(&plan_->lemma1.final_system,
+                                     views_.get(), &plan_->forward_machines);
+  inv_engine_ = std::make_unique<Engine>(&plan_->combined, views_.get(),
+                                         &plan_->inverse_machines);
 }
 
 Status QueryEngine::PrepareAll() {
-  if (!lemma1_.has_value()) {
+  if (plan_ == nullptr) {
     return Status::FailedPrecondition("no program loaded");
   }
-  if (Status s = PrepareInverse(); !s.ok()) return s;
-  for (SymbolId p : lemma1_->final_system.preds()) {
+  for (SymbolId p : plan_->lemma1.final_system.preds()) {
     if (auto m = engine_->Machine(p); !m.ok()) return m.status();
   }
-  for (SymbolId p : combined_->preds()) {
+  for (SymbolId p : plan_->combined.preds()) {
     if (auto m = inv_engine_->Machine(p); !m.ok()) return m.status();
   }
   return Status::Ok();
 }
 
+Status QueryEngine::BindSnapshot(const Database& db) {
+  if (plan_ == nullptr) {
+    return Status::FailedPrecondition("no program loaded");
+  }
+  if (!db.frozen()) {
+    return Status::FailedPrecondition(
+        "BindSnapshot requires a frozen database epoch");
+  }
+  // Epoch snapshots extend the engine's original symbol-id space, so
+  // compiled machines, interned terms, and the rex cache all stay valid;
+  // only the relation pointers (and the database read below) move. The
+  // const_cast is sound: a frozen epoch is never mutated through db_.
+  db_ = const_cast<Database*>(&db);
+  views_->BindDatabase(db);
+  return Status::Ok();
+}
+
 const EquationSystem& QueryEngine::equations() const {
-  BINCHAIN_CHECK(lemma1_.has_value());
-  return lemma1_->final_system;
+  BINCHAIN_CHECK(plan_ != nullptr);
+  return plan_->lemma1.final_system;
 }
 
 Result<QueryAnswer> QueryEngine::Query(std::string_view literal_text,
@@ -89,12 +137,12 @@ std::vector<SymbolId> QueryEngine::CandidateSources(SymbolId pred) {
     SymbolId p = *todo.begin();
     todo.erase(todo.begin());
     if (!seen.insert(p).second) continue;
-    if (!lemma1_->final_system.Has(p)) {
+    if (!plan_->lemma1.final_system.Has(p)) {
       base.insert(p);
       continue;
     }
     std::unordered_set<SymbolId> mentioned;
-    CollectPreds(lemma1_->final_system.Rhs(p), mentioned);
+    CollectPreds(plan_->lemma1.final_system.Rhs(p), mentioned);
     for (SymbolId q : mentioned) todo.insert(q);
   }
   std::unordered_set<SymbolId> consts;
@@ -113,7 +161,7 @@ std::vector<SymbolId> QueryEngine::CandidateSources(SymbolId pred) {
 bool QueryEngine::TryAllPairsClosure(SymbolId pred, const Literal& query,
                                      QueryAnswer* answer) {
   // Match e*.e or e.e* with a single non-inverted base predicate e.
-  const RexPtr& rhs = lemma1_->final_system.Rhs(pred);
+  const RexPtr& rhs = plan_->lemma1.final_system.Rhs(pred);
   if (rhs->kind != Rex::Kind::kConcat || rhs->kids.size() != 2) return false;
   const RexPtr& x = rhs->kids[0];
   const RexPtr& y = rhs->kids[1];
@@ -154,7 +202,7 @@ bool QueryEngine::TryAllPairsClosure(SymbolId pred, const Literal& query,
 
 Result<QueryAnswer> QueryEngine::Query(const Literal& query,
                                        const EvalOptions& options) {
-  if (!lemma1_.has_value()) {
+  if (plan_ == nullptr) {
     return Status::FailedPrecondition("no program loaded");
   }
   if (query.arity() != 2) {
@@ -170,10 +218,11 @@ Result<QueryAnswer> QueryEngine::Query(const Literal& query,
            (db_->frozen() ? 0 : db_->TotalFetches());
   };
   uint64_t fetches_before = fetch_total();
+  uint64_t wide_before = Relation::ThreadWideScanCount();
   QueryAnswer answer;
 
   // Base-predicate queries answer directly from the extensional database.
-  if (!lemma1_->final_system.Has(pred)) {
+  if (!plan_->lemma1.final_system.Has(pred)) {
     const Relation* rel = db_->FindById(pred);
     if (rel == nullptr) {
       return Status::NotFound("unknown predicate '" +
@@ -195,6 +244,8 @@ Result<QueryAnswer> QueryEngine::Query(const Literal& query,
     std::sort(answer.tuples.begin(), answer.tuples.end());
     answer.fetches = fetch_total() - fetches_before;
     answer.stats.fetches = answer.fetches;
+    answer.stats.wide_mask_scans =
+        Relation::ThreadWideScanCount() - wide_before;
     return answer;
   }
 
@@ -216,8 +267,7 @@ Result<QueryAnswer> QueryEngine::Query(const Literal& query,
     }
   } else if (a1.IsConst()) {
     // p(X, b): evaluate the inverted system from b.
-    if (auto s = PrepareInverse(); !s.ok()) return s;
-    auto r = inv_engine_->EvalFrom(inverse_of_.at(pred),
+    auto r = inv_engine_->EvalFrom(plan_->inverse_of.at(pred),
                                    pool.Unary(a1.symbol), options,
                                    &answer.stats);
     if (!r.ok()) return r.status();
@@ -253,6 +303,7 @@ Result<QueryAnswer> QueryEngine::Query(const Literal& query,
                       answer.tuples.end());
   answer.fetches = fetch_total() - fetches_before;
   answer.stats.fetches = answer.fetches;
+  answer.stats.wide_mask_scans = Relation::ThreadWideScanCount() - wide_before;
   return answer;
 }
 

@@ -12,6 +12,7 @@
 #include <memory>
 #include <optional>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "datalog/ast.h"
@@ -34,10 +35,40 @@ struct QueryAnswer {
 /// QueryEngine::LoadProgram, the query service, and the CLI drivers.
 void LoadFactsInto(Database& db, const std::vector<Literal>& facts);
 
+/// Everything derived from the *program* alone — the Lemma 1 equation
+/// system, the inverted system, and (optionally) the compiled machines
+/// M(e_p) of both. Immutable once built, so one instance is shared by every
+/// worker of a query service: per-worker state shrinks to the view
+/// registry, term pool, and engine scratch. (The ROADMAP's "share one
+/// compiled machine/equation set across workers".)
+struct PreparedProgram {
+  Program program;  // rules only; facts and queries stripped
+  Lemma1Result lemma1;
+  EquationSystem combined;  // forward + inverted equations
+  std::unordered_map<SymbolId, SymbolId> inverse_of;
+  std::unordered_map<SymbolId, Nfa> forward_machines;  // empty => lazy
+  std::unordered_map<SymbolId, Nfa> inverse_machines;  // empty => lazy
+};
+
+/// Loads `program`'s facts into `db`, transforms the rules (Lemma 1 plus
+/// the inverted system), and — with `compile_machines` — compiles M(e_p)
+/// for every predicate of both systems. Interns symbols, so call while the
+/// database still accepts them (pre-Freeze). Takes the program by value:
+/// std::move it in to avoid copying a fact-heavy program.
+Result<std::shared_ptr<const PreparedProgram>> PrepareProgram(
+    Database* db, Program program, bool compile_machines);
+
 class QueryEngine {
  public:
   /// `db` must outlive the engine; program facts are loaded into it.
   explicit QueryEngine(Database* db);
+
+  /// Worker constructor: adopts a shared immutable plan instead of
+  /// transforming and compiling privately. Only the per-worker view
+  /// registry, term pool, and scratch are built — construction does no
+  /// program work at all.
+  QueryEngine(Database* db, std::shared_ptr<const PreparedProgram> plan);
+
   QueryEngine(const QueryEngine&) = delete;
   QueryEngine& operator=(const QueryEngine&) = delete;
   ~QueryEngine();
@@ -48,15 +79,23 @@ class QueryEngine {
   Status LoadProgram(const Program& program);
 
   /// Eagerly completes every lazy preparation step that would otherwise run
-  /// on first use: the inverted equation system and the compiled machines
-  /// M(e_p) of both systems. Called by the query service before
-  /// Database::Freeze() so no symbol interning or shared-cache fill happens
-  /// on worker threads.
+  /// on first use: the compiled machines M(e_p) of both equation systems
+  /// (no-ops for machines already in the shared plan). Called by the query
+  /// service before Database::Freeze() so no symbol interning or
+  /// shared-cache fill happens on worker threads.
   Status PrepareAll();
+
+  /// Re-points the engine at another database epoch (a BeginDelta successor
+  /// of the database it was built over, or any snapshot extending the same
+  /// symbol-id space). EDB views rebind in place; compiled machines, the
+  /// term pool, and the rex cache survive untouched — nothing is recomputed
+  /// per query after an epoch bump. `db` must be frozen (the engine only
+  /// reads it).
+  Status BindSnapshot(const Database& db);
 
   /// The Lemma 1 equation system (available after loading).
   const EquationSystem& equations() const;
-  const Program& program() const { return program_; }
+  const Program& program() const { return plan_->program; }
   ViewRegistry& views() { return *views_; }
 
   Result<QueryAnswer> Query(std::string_view literal_text,
@@ -65,8 +104,7 @@ class QueryEngine {
                             const EvalOptions& options = {});
 
  private:
-  Status Prepare();
-  Status PrepareInverse();
+  void InitFromPlan();
   std::vector<SymbolId> CandidateSources(SymbolId pred);
 
   /// All-free queries over pure-closure equations (e*.e or e.e*, e a base
@@ -76,13 +114,10 @@ class QueryEngine {
                           QueryAnswer* answer);
 
   Database* db_;
-  Program program_;
-  std::optional<Lemma1Result> lemma1_;
+  std::shared_ptr<const PreparedProgram> plan_;
   std::unique_ptr<ViewRegistry> views_;
   std::unique_ptr<Engine> engine_;
-  std::optional<EquationSystem> combined_;  // forward + inverted equations
   std::unique_ptr<Engine> inv_engine_;
-  std::unordered_map<SymbolId, SymbolId> inverse_of_;
 };
 
 }  // namespace binchain

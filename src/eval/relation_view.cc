@@ -116,15 +116,31 @@ void DemandJoinView::ForEachSucc(TermId u, FunctionRef<void(TermId)> fn) {
 
 void ViewRegistry::Register(SymbolId pred,
                             std::unique_ptr<BinaryRelationView> view) {
+  edb_views_.erase(pred);  // a custom view shadows any rebindable EDB view
   views_[pred] = std::move(view);
 }
 
-void ViewRegistry::RegisterDatabase(const Database& db) {
+void ViewRegistry::RegisterDatabase(const Database& db) { BindDatabase(db); }
+
+void ViewRegistry::BindDatabase(const Database& db) {
+  // Frozen epochs are never written through the registry: Intern below only
+  // resolves spellings the epoch already holds (relation names are interned
+  // when the relation is created).
+  symbols_ = const_cast<SymbolTable*>(&db.symbols());
   for (const std::string& name : db.relation_names()) {
     const Relation* rel = db.Find(name);
     if (rel == nullptr || rel->arity() != 2) continue;
     SymbolId pred = symbols_->Intern(name);
-    Register(pred, std::make_unique<EdbBinaryView>(rel, &pool_));
+    auto it = edb_views_.find(pred);
+    if (it != edb_views_.end()) {
+      it->second->Rebind(rel);
+      continue;
+    }
+    if (views_.count(pred) > 0) continue;  // custom view wins; leave it
+    auto view = std::make_unique<EdbBinaryView>(rel, &pool_);
+    EdbBinaryView* raw = view.get();
+    Register(pred, std::move(view));
+    edb_views_[pred] = raw;
   }
 }
 

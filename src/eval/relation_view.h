@@ -55,6 +55,11 @@ class EdbBinaryView : public BinaryRelationView {
   void ForEachPred(TermId v, FunctionRef<void(TermId)> fn) override;
   void ForEachPair(FunctionRef<void(TermId, TermId)> fn) override;
 
+  /// Points the view at another epoch's copy of the relation. Keeps the
+  /// view object (and thus every engine-side pointer to it) stable across
+  /// snapshot swaps — only the storage behind it moves.
+  void Rebind(const Relation* rel) { rel_ = rel; }
+
  private:
   const Relation* rel_;
   TermPool* pool_;
@@ -124,6 +129,15 @@ class ViewRegistry {
   /// Registers an EdbBinaryView for every binary relation in `db`.
   void RegisterDatabase(const Database& db);
 
+  /// Re-points the registry at another database epoch: existing EDB views
+  /// are rebound in place (object identity preserved, so engine view caches
+  /// stay valid) and relations that first appeared in this epoch get fresh
+  /// views. The epoch must extend the symbol-id space the registry was
+  /// built over (true for every BeginDelta successor). The registry's
+  /// symbol table becomes the epoch's — on a frozen epoch this is
+  /// lookup-only use.
+  void BindDatabase(const Database& db);
+
   BinaryRelationView* Find(SymbolId pred) const;
 
   /// A regular expression compiled to its machine (no derived predicates),
@@ -156,6 +170,8 @@ class ViewRegistry {
   SymbolTable* symbols_;
   TermPool pool_;
   std::unordered_map<SymbolId, std::unique_ptr<BinaryRelationView>> views_;
+  /// EDB views owned by views_ that BindDatabase may rebind in place.
+  std::unordered_map<SymbolId, EdbBinaryView*> edb_views_;
   mutable std::unordered_map<const Rex*, CompiledRex> rex_cache_;
   mutable CompiledRex compile_error_;  // scratch for uncached failures
   mutable TraversalScratch scratch_;

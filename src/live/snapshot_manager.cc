@@ -1,0 +1,143 @@
+#include "live/snapshot_manager.h"
+
+#include <chrono>
+#include <utility>
+
+#include "util/check.h"
+
+namespace binchain {
+namespace {
+
+double MsBetween(std::chrono::steady_clock::time_point a,
+                 std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+}  // namespace
+
+SnapshotManager::SnapshotManager(std::unique_ptr<Database> genesis)
+    : genesis_(std::move(genesis)) {
+  BINCHAIN_CHECK(genesis_ != nullptr);
+  BINCHAIN_CHECK(!genesis_->frozen());
+}
+
+Database* SnapshotManager::genesis() {
+  std::lock_guard<std::mutex> lock(mu_);
+  BINCHAIN_CHECK(genesis_ != nullptr);  // sealed managers have no open db
+  return genesis_.get();
+}
+
+void SnapshotManager::Seal() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (genesis_ == nullptr) return;  // already sealed
+  genesis_->Freeze();
+  tip_ = std::shared_ptr<const Database>(std::move(genesis_));
+  genesis_keeper_ = tip_;
+}
+
+bool SnapshotManager::sealed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tip_ != nullptr;
+}
+
+void SnapshotManager::AddFact(std::string pred,
+                              std::vector<std::string> args) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_.push_back(PendingFact{std::move(pred), std::move(args)});
+}
+
+size_t SnapshotManager::PendingFacts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+std::shared_ptr<const Database> SnapshotManager::Acquire() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  BINCHAIN_CHECK(tip_ != nullptr);  // Seal() before serving
+  return tip_;
+}
+
+uint64_t SnapshotManager::epoch() const { return Acquire()->epoch(); }
+
+PublishStats SnapshotManager::Publish() {
+  std::lock_guard<std::mutex> publish_lock(publish_mu_);
+  auto t0 = std::chrono::steady_clock::now();
+
+  std::vector<PendingFact> delta;
+  std::shared_ptr<const Database> base;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    BINCHAIN_CHECK(tip_ != nullptr);  // Seal() before publishing
+    delta.swap(pending_);
+    base = tip_;
+  }
+
+  PublishStats stats;
+  // Build the successor: shared relations, extended symbol space. Only the
+  // facts of `delta` cost anything; readers keep serving `base` untouched.
+  std::unique_ptr<Database> next = Database::BeginDelta(base);
+  size_t symbols_before = next->symbols().size();
+  for (const PendingFact& f : delta) {
+    // Staged facts are unvalidated client input: a schema violation must
+    // reject the fact, not abort the serving process inside GetOrCreate.
+    const Relation* existing = next->Find(f.pred);
+    if (existing != nullptr && existing->arity() != f.args.size()) {
+      ++stats.facts_rejected;
+      continue;
+    }
+    if (existing != nullptr) {
+      // Duplicate probe before AddFact: resolving through Find (never
+      // interning) keeps an already-present fact from triggering the
+      // copy-on-write — a duplicate-only publish must not layer, flatten,
+      // or re-index anything. A constant the chain has never seen means
+      // the tuple is certainly new.
+      Tuple t;
+      bool resolvable = true;
+      for (const std::string& arg : f.args) {
+        auto id = next->symbols().Find(arg);
+        if (!id) {
+          resolvable = false;
+          break;
+        }
+        t.push_back(*id);
+      }
+      if (resolvable && existing->Contains(t)) {
+        ++stats.facts_duplicate;
+        continue;
+      }
+    }
+    if (next->AddFact(f.pred, f.args)) {
+      ++stats.facts_added;
+    } else {
+      ++stats.facts_duplicate;
+    }
+  }
+  next->PruneEmptyDeltas();
+  stats.new_symbols = next->symbols().size() - symbols_before;
+  for (const std::string& name : next->relation_names()) {
+    if (next->SharesWithBase(name)) continue;
+    ++stats.relations_touched;
+    const Relation* rel = next->Find(name);
+    if (rel->base() == nullptr && base->Find(name) != nullptr) {
+      ++stats.relations_flattened;
+    }
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  stats.build_ms = MsBetween(t0, t1);
+
+  // Incremental re-freeze: index work happens only on the delta layers
+  // (indexed_upto catch-up), never on shared base storage.
+  next->Freeze();
+  auto t2 = std::chrono::steady_clock::now();
+  stats.freeze_ms = MsBetween(t1, t2);
+  stats.epoch = next->epoch();
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tip_ = std::shared_ptr<const Database>(std::move(next));
+  }
+  stats.wall_ms = MsBetween(t0, std::chrono::steady_clock::now());
+  return stats;
+}
+
+}  // namespace binchain

@@ -1,0 +1,107 @@
+// Live-update subsystem: epoch-based snapshot lifecycle over the frozen
+// storage the query service reads.
+//
+// PR 2 made concurrent serving sound by freezing the database once; this
+// layer turns that one-shot freeze into a continuous loop. A
+// SnapshotManager owns a chain of versioned immutable database epochs plus
+// a mutable batch of pending fact insertions (the delta). Publish() merges
+// the delta into a successor snapshot built with Database::BeginDelta —
+// unchanged relations are shared by pointer, touched relations get a delta
+// layer whose Freeze() indexes only the new rows (`indexed_upto`
+// catch-up), and the symbol table is extended, never re-interned — then
+// atomically swaps the successor in as the serving tip. In-flight queries
+// keep the shared_ptr epoch handle they acquired and finish on their old
+// epoch; new queries land on the new one. Publish cost is therefore
+// O(delta), not O(database): the occasional flatten (compaction) that
+// keeps layer chains shallow is amortized against the rows that forced it.
+//
+// Thread safety: AddFact/PendingFacts/Acquire/epoch may be called from any
+// thread, concurrently with queries and with Publish. Publish itself is
+// internally serialized (concurrent calls queue up).
+#ifndef BINCHAIN_LIVE_SNAPSHOT_MANAGER_H_
+#define BINCHAIN_LIVE_SNAPSHOT_MANAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "storage/database.h"
+
+namespace binchain {
+
+/// What one Publish() did, for operators and the live benchmark.
+struct PublishStats {
+  uint64_t epoch = 0;             // epoch id that became the serving tip
+  uint64_t facts_added = 0;       // new tuples inserted into the successor
+  uint64_t facts_duplicate = 0;   // staged facts already present
+  uint64_t facts_rejected = 0;    // arity mismatch with the existing schema
+  uint64_t new_symbols = 0;       // fresh spellings interned by the delta
+  uint64_t relations_touched = 0;    // relations that got a delta layer
+  uint64_t relations_flattened = 0;  // of those, compacted to standalone
+  double build_ms = 0;   // BeginDelta + inserts + prune
+  double freeze_ms = 0;  // incremental index work on the delta layers
+  double wall_ms = 0;    // total, including the tip swap
+};
+
+/// Owns the epoch chain and the pending delta. Constructed around an open
+/// (unfrozen) genesis database; once the initial facts and program
+/// preparation are done, Seal() freezes the genesis as the first served
+/// epoch. From then on the database contents only advance through
+/// AddFact + Publish.
+class SnapshotManager {
+ public:
+  explicit SnapshotManager(std::unique_ptr<Database> genesis);
+  SnapshotManager(const SnapshotManager&) = delete;
+  SnapshotManager& operator=(const SnapshotManager&) = delete;
+
+  /// Mutable access to the genesis database for initial loading and
+  /// program preparation (symbol interning). Aborts once sealed.
+  Database* genesis();
+
+  /// Freezes the genesis database and publishes it as the first serving
+  /// epoch. Idempotent.
+  void Seal();
+  bool sealed() const;
+
+  /// Stages one fact for the next Publish(). Constants are carried as
+  /// strings and interned during Publish (into the successor epoch's
+  /// symbol layer), so staging never touches serving state.
+  void AddFact(std::string pred, std::vector<std::string> args);
+  size_t PendingFacts() const;
+
+  /// Merges every staged fact into a successor snapshot, freezes it
+  /// (incremental: only delta layers get index work), and atomically makes
+  /// it the serving tip. Runs concurrently with queries; epochs already
+  /// handed out stay valid and immutable. An empty delta still bumps the
+  /// epoch id but re-shares all storage (no chain growth).
+  PublishStats Publish();
+
+  /// The current serving epoch. The returned handle pins the snapshot (and
+  /// exactly the storage layers it reads) for as long as the caller keeps
+  /// it; queries evaluated against it are unaffected by later publishes.
+  std::shared_ptr<const Database> Acquire() const;
+
+  /// Epoch id of the current serving tip.
+  uint64_t epoch() const;
+
+ private:
+  mutable std::mutex mu_;  // guards tip_, pending_, genesis_/sealed state
+  std::mutex publish_mu_;  // serializes Publish pipelines
+  std::unique_ptr<Database> genesis_;         // until sealed
+  std::shared_ptr<const Database> tip_;       // after sealing
+  /// The genesis snapshot, pinned for the manager's lifetime so raw
+  /// pointers handed out pre-seal (e.g. QueryService::database()) stay
+  /// valid after the serving tip moves on.
+  std::shared_ptr<const Database> genesis_keeper_;
+  struct PendingFact {
+    std::string pred;
+    std::vector<std::string> args;
+  };
+  std::vector<PendingFact> pending_;
+};
+
+}  // namespace binchain
+
+#endif  // BINCHAIN_LIVE_SNAPSHOT_MANAGER_H_

@@ -5,32 +5,52 @@
 #include <utility>
 
 #include "eval/query.h"
+#include "live/snapshot_manager.h"
 #include "util/check.h"
 
 namespace binchain {
 
 /// A worker's private evaluation context. Everything mutable during query
 /// evaluation lives here (term pool, view registry with its memo and rex
-/// caches, both engines' machines and scratch), so workers never
-/// synchronize with each other after construction.
+/// caches, both engines' scratch), so workers never synchronize with each
+/// other after construction. The program-derived immutables — equations
+/// and compiled machines — come from the service-wide shared plan.
 struct QueryService::Worker {
-  explicit Worker(Database* db) : engine(db) {}
+  Worker(Database* db, std::shared_ptr<const PreparedProgram> plan)
+      : engine(db, std::move(plan)), bound_epoch(db->epoch()) {}
   QueryEngine engine;
+  /// Epoch the engine's views currently point at; workers rebind lazily on
+  /// the first query they serve after a publish.
+  uint64_t bound_epoch;
 };
 
 QueryService::QueryService(Database* db, const Program& program,
                            Options options)
     : db_(db) {
+  if (!Init(program, options)) return;
+  // Snapshot: complete all lazy index work and forbid mutation, making the
+  // shared storage safe for the concurrent read phase.
+  db_->Freeze();
+  pool_ = std::make_unique<ThreadPool>(workers_.size());
+}
+
+QueryService::QueryService(SnapshotManager* live, const Program& program,
+                           Options options)
+    : db_(live->genesis()), live_(live) {
+  if (!Init(program, options)) return;
+  // Seal instead of a bare freeze: the genesis becomes epoch 0 of the
+  // manager's chain, and every batch from here on acquires the tip.
+  live_->Seal();
+  pool_ = std::make_unique<ThreadPool>(workers_.size());
+}
+
+bool QueryService::Init(const Program& program, const Options& options) {
   Program prog = program;
   prog.queries.clear();
-  if (!prog.facts.empty()) {
-    if (db_->frozen()) {
-      init_status_ = Status::FailedPrecondition(
-          "cannot load program facts into a frozen database");
-      return;
-    }
-    LoadFactsInto(*db_, prog.facts);
-    prog.facts.clear();
+  if (!prog.facts.empty() && db_->frozen()) {
+    init_status_ = Status::FailedPrecondition(
+        "cannot load program facts into a frozen database");
+    return false;
   }
 
   // Free-variable spellings for request literals, interned while the table
@@ -49,31 +69,25 @@ QueryService::QueryService(Database* db, const Program& program,
     }
   }
 
+  // The mutating phase, once per service rather than once per worker:
+  // loads facts, transforms the program, and compiles every machine of
+  // both equation systems (interning symbols as needed). Workers then
+  // share the immutable plan — their construction is view registration
+  // only, so startup cost stays flat as threads grow.
+  auto plan = PrepareProgram(db_, std::move(prog), /*compile_machines=*/true);
+  if (!plan.ok()) {
+    init_status_ = plan.status();
+    return false;
+  }
+  plan_ = plan.take();
+
   size_t n = options.num_threads;
   if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
-
-  // Context construction is the mutating phase: program transformation and
-  // machine compilation intern symbols, so it runs sequentially here. The
-  // first worker interns every fresh name; the rest resolve to the same
-  // ids.
   workers_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    auto w = std::make_unique<Worker>(db_);
-    if (Status s = w->engine.LoadProgram(prog); !s.ok()) {
-      init_status_ = s;
-      return;
-    }
-    if (Status s = w->engine.PrepareAll(); !s.ok()) {
-      init_status_ = s;
-      return;
-    }
-    workers_.push_back(std::move(w));
+    workers_.push_back(std::make_unique<Worker>(db_, plan_));
   }
-
-  // Snapshot: complete all lazy index work and forbid mutation, making the
-  // shared storage safe for the concurrent read phase.
-  db_->Freeze();
-  pool_ = std::make_unique<ThreadPool>(n);
+  return true;
 }
 
 QueryService::~QueryService() = default;
@@ -82,10 +96,11 @@ size_t QueryService::num_threads() const {
   return pool_ ? pool_->size() : 0;
 }
 
-Status QueryService::BuildLiteral(const QueryRequest& request, Literal* out,
+Status QueryService::BuildLiteral(const Database& db,
+                                  const QueryRequest& request, Literal* out,
                                   bool* empty_ok) const {
   *empty_ok = false;
-  auto pred = db_->symbols().Find(request.pred);
+  auto pred = db.symbols().Find(request.pred);
   if (!pred) {
     return Status::NotFound("unknown predicate '" + request.pred + "'");
   }
@@ -109,7 +124,7 @@ Status QueryService::BuildLiteral(const QueryRequest& request, Literal* out,
       }
       out->args.push_back(Term::Var(vars[i]));
     } else {
-      auto c = db_->symbols().Find(*names[i]);
+      auto c = db.symbols().Find(*names[i]);
       if (!c) {
         // A constant the database has never seen occurs in no tuple: the
         // answer set is empty, which is a result, not an error.
@@ -140,17 +155,40 @@ std::vector<QueryResponse> QueryService::EvalBatch(
   }
 
   std::lock_guard<std::mutex> batch_lock(batch_mu_);
+  // One epoch per batch: acquired once, so every query of the batch sees
+  // the same snapshot even if Publish() swaps the tip mid-batch. The
+  // handle pins the epoch (and the storage layers it reads) until the last
+  // response is written.
+  std::shared_ptr<const Database> epoch_handle;
+  const Database* qdb = db_;
+  if (live_ != nullptr) {
+    epoch_handle = live_->Acquire();
+    qdb = epoch_handle.get();
+  }
   auto t0 = std::chrono::steady_clock::now();
   auto run_one = [&](size_t worker_id, size_t i) {
     QueryResponse& resp = responses[i];
+    Worker& w = *workers_[worker_id];
+    if (live_ != nullptr && w.bound_epoch != qdb->epoch()) {
+      // Epoch bump: re-point this worker's views at the new snapshot.
+      // Term pool, compiled machines, and rex cache survive — the epoch
+      // extends the same symbol-id space — so this is O(#relations), not a
+      // per-query rebuild.
+      if (Status s = w.engine.BindSnapshot(*qdb); !s.ok()) {
+        resp.status = s;
+        return;
+      }
+      w.bound_epoch = qdb->epoch();
+    }
+    resp.epoch = qdb->epoch();
     Literal lit;
     bool empty_ok = false;
-    if (Status s = BuildLiteral(batch[i], &lit, &empty_ok); !s.ok()) {
+    if (Status s = BuildLiteral(*qdb, batch[i], &lit, &empty_ok); !s.ok()) {
       resp.status = s;
       return;
     }
     if (empty_ok) return;  // unknown constant: empty answer set
-    auto r = workers_[worker_id]->engine.Query(lit, batch[i].options);
+    auto r = w.engine.Query(lit, batch[i].options);
     if (!r.ok()) {
       resp.status = r.status();
       return;
@@ -168,6 +206,7 @@ std::vector<QueryResponse> QueryService::EvalBatch(
     *stats = BatchStats{};
     stats->queries = batch.size();
     stats->wall_ms = wall_ms;
+    stats->epoch = qdb->epoch();
     for (const QueryResponse& r : responses) {
       if (!r.status.ok()) {
         ++stats->failed;
@@ -182,6 +221,7 @@ std::vector<QueryResponse> QueryService::EvalBatch(
       stats->total.continuations += r.stats.continuations;
       stats->total.em_states += r.stats.em_states;
       stats->total.fetches += r.stats.fetches;
+      stats->total.wide_mask_scans += r.stats.wide_mask_scans;
       stats->total.hit_iteration_cap |= r.stats.hit_iteration_cap;
     }
   }

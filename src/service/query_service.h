@@ -1,19 +1,28 @@
 // Concurrent query service: batch evaluation over a frozen database
 // snapshot. The paper's engine answers one p(a, Y) query at a time; this
 // layer turns it into a reusable service in the sense of the QSQ-style
-// evaluator frameworks — it owns a fixed thread pool, one complete
-// evaluation context per worker (QueryEngine with its own term pool, view
-// registry, compiled machines, and reset-and-reuse scratch), and the
-// freeze step that makes the shared storage safe to read concurrently.
+// evaluator frameworks — it owns a fixed thread pool, one evaluation
+// context per worker (QueryEngine with its own term pool, view registry and
+// reset-and-reuse scratch), and the freeze step that makes the shared
+// storage safe to read concurrently. The program-derived artifacts — the
+// Lemma 1 equation system, the inverted system, and every compiled machine
+// M(e_p) — are built once and shared read-only by all workers, so startup
+// cost no longer scales with the thread count.
 //
 // Construction performs every mutating step up front, on the calling
-// thread: program facts are loaded, per-worker contexts transform the
-// program and compile all machines (interning whatever symbols that
-// needs), and finally Database::Freeze() completes all lazy index work.
-// From then on workers only read shared state; everything they write —
-// term pools, memo tables, engine scratch, the thread-local fetch counter
-// — is worker-private, so batches scale with cores and results are
-// byte-identical to sequential evaluation.
+// thread: program facts are loaded, the shared plan transforms the program
+// and compiles all machines (interning whatever symbols that needs), and
+// finally the database is frozen. From then on workers only read shared
+// state; everything they write — term pools, memo tables, engine scratch,
+// the thread-local fetch counter — is worker-private, so batches scale
+// with cores and results are byte-identical to sequential evaluation.
+//
+// Live mode: constructed over a SnapshotManager instead of a bare
+// database, the service serves a *sequence* of epochs. Every batch
+// acquires the current epoch handle once, so all its queries see one
+// consistent snapshot even while Publish() swaps the tip mid-batch;
+// workers re-point their views at the new epoch on first use after an
+// epoch bump (cheap — nothing program-derived is rebuilt).
 #ifndef BINCHAIN_SERVICE_QUERY_SERVICE_H_
 #define BINCHAIN_SERVICE_QUERY_SERVICE_H_
 
@@ -24,11 +33,14 @@
 
 #include "datalog/ast.h"
 #include "eval/engine.h"
+#include "eval/query.h"
 #include "service/thread_pool.h"
 #include "storage/database.h"
 #include "util/status.h"
 
 namespace binchain {
+
+class SnapshotManager;
 
 /// One query, by name: `pred(source, target)` with an empty string standing
 /// for a free variable. All binding patterns of Section 3 are reachable:
@@ -50,6 +62,9 @@ struct QueryResponse {
   std::vector<Tuple> tuples;  // sorted, deduplicated SymbolId pairs
   EvalStats stats;
   uint64_t fetches = 0;  // EDB retrievals, counted on the worker thread
+  /// Epoch id of the snapshot this query evaluated against (0 unless the
+  /// service runs in live mode and epochs have advanced).
+  uint64_t epoch = 0;
 };
 
 /// Order-independent aggregates over one batch: every field is a sum (or
@@ -64,6 +79,7 @@ struct BatchStats {
   uint64_t failed = 0;   // responses with !status.ok()
   uint64_t tuples = 0;   // answers over all successful queries
   uint64_t fetches = 0;
+  uint64_t epoch = 0;    // snapshot the whole batch evaluated against
   EvalStats total;       // scalar fields summed; answers_per_iteration unused
   double wall_ms = 0;    // batch wall time (dispatch to last completion)
 };
@@ -79,12 +95,22 @@ class QueryService {
  public:
   using Options = QueryServiceOptions;
 
-  /// Loads `program` (rules and facts) against `db`, builds one evaluation
-  /// context per worker, then freezes the database. Check status() before
-  /// issuing queries. If `db` is already frozen, the program must carry no
-  /// facts and an identical program must have been prepared against the
-  /// database before it froze (so no new symbols are interned).
+  /// Loads `program` (rules and facts) against `db`, builds the shared
+  /// plan plus one evaluation context per worker, then freezes the
+  /// database. Check status() before issuing queries. If `db` is already
+  /// frozen, the program must carry no facts and must intern no new
+  /// symbols (i.e. an identical program was prepared against the database
+  /// before it froze).
   QueryService(Database* db, const Program& program, Options options = {});
+
+  /// Live mode: same preparation against `live`'s genesis database, then
+  /// seals the manager (the genesis becomes the first served epoch).
+  /// Queries always evaluate against the manager's current tip; publishes
+  /// may run concurrently with batches. `live` must outlive the service
+  /// and must not be sealed yet.
+  QueryService(SnapshotManager* live, const Program& program,
+               Options options = {});
+
   ~QueryService();
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
@@ -93,6 +119,8 @@ class QueryService {
   const Status& status() const { return init_status_; }
 
   size_t num_threads() const;
+  /// The database the service was prepared against (the genesis epoch in
+  /// live mode — later epochs are reached through the manager).
   const Database& database() const { return *db_; }
 
   /// Evaluates one query on the pool (blocking).
@@ -107,16 +135,23 @@ class QueryService {
  private:
   struct Worker;
 
+  /// Shared construction tail: plan + workers. Returns false on failure
+  /// (init_status_ is set).
+  bool Init(const Program& program, const Options& options);
+
   /// Resolves a request to a query literal without interning: unknown
   /// predicates fail, unknown constants report "no answers" through
-  /// `empty_ok`. Read-only, callable from workers.
-  Status BuildLiteral(const QueryRequest& request, Literal* out,
-                      bool* empty_ok) const;
+  /// `empty_ok`. Read-only, callable from workers; resolves against the
+  /// epoch the batch acquired.
+  Status BuildLiteral(const Database& db, const QueryRequest& request,
+                      Literal* out, bool* empty_ok) const;
 
   Database* db_;
+  SnapshotManager* live_ = nullptr;
   Status init_status_ = Status::Ok();
   SymbolId var_x_ = 0, var_y_ = 0;  // free-variable symbols, interned early
   bool has_free_vars_ = false;
+  std::shared_ptr<const PreparedProgram> plan_;  // shared by all workers
   std::vector<std::unique_ptr<Worker>> workers_;
   std::unique_ptr<ThreadPool> pool_;
   std::mutex batch_mu_;  // one batch on the pool at a time

@@ -1,21 +1,64 @@
 #include "storage/database.h"
 
+#include <algorithm>
+
 #include "util/check.h"
 
 namespace binchain {
+
+std::unique_ptr<Database> Database::BeginDelta(
+    const std::shared_ptr<const Database>& base) {
+  BINCHAIN_CHECK(base != nullptr);
+  BINCHAIN_CHECK(base->frozen_);
+  auto next = std::make_unique<Database>();
+  next->epoch_ = base->epoch_ + 1;
+
+  // Extend the symbol-id space: every id interned in any earlier epoch
+  // keeps its meaning; only genuinely new spellings will be interned. The
+  // flatten policy bounds lookup cost the same way Relation::Extend does.
+  std::shared_ptr<const SymbolTable> base_syms = base->symbols_;
+  if (Relation::ShouldFlatten(base_syms->chain_depth() + 1,
+                              base_syms->size() - base_syms->root_size(),
+                              base_syms->root_size(), kMaxSymbolChainDepth,
+                              kFlattenMinSymbols)) {
+    base_syms->FlattenInto(next->symbols_.get());
+  } else {
+    next->symbols_->ChainTo(std::move(base_syms));
+  }
+
+  // Share every relation; copy-on-write happens on first insert.
+  next->relations_ = base->relations_;
+  next->by_id_ = base->by_id_;
+  next->names_ = base->names_;
+  for (const std::string& name : next->names_) next->borrowed_.insert(name);
+  return next;
+}
+
+Relation* Database::MutableRelation(const std::string& name) {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) return nullptr;
+  if (borrowed_.erase(name) > 0) {
+    BINCHAIN_CHECK(!frozen_);
+    it->second = Relation::Extend(it->second);
+    auto id = symbols_->Find(name);
+    BINCHAIN_CHECK(id.has_value());
+    by_id_[*id] = it->second.get();
+  }
+  return it->second.get();
+}
 
 Relation& Database::GetOrCreate(std::string_view pred, size_t arity) {
   std::string key(pred);
   auto it = relations_.find(key);
   if (it != relations_.end()) {
     BINCHAIN_CHECK(it->second->arity() == arity);
-    return *it->second;
+    return *MutableRelation(key);
   }
   BINCHAIN_CHECK(!frozen_);
-  auto rel = std::make_unique<Relation>(arity);
+  auto rel = std::make_shared<Relation>(arity);
   Relation& ref = *rel;
   relations_.emplace(key, std::move(rel));
-  by_id_.emplace(symbols_.Intern(pred), &ref);
+  by_id_.emplace(symbols_->Intern(pred), &ref);
   names_.push_back(key);
   return ref;
 }
@@ -26,33 +69,67 @@ const Relation* Database::Find(std::string_view pred) const {
 }
 
 Relation* Database::FindMutable(std::string_view pred) {
-  auto it = relations_.find(std::string(pred));
-  return it == relations_.end() ? nullptr : it->second.get();
+  return MutableRelation(std::string(pred));
 }
 
-void Database::AddFact(std::string_view pred,
+bool Database::AddFact(std::string_view pred,
                        std::initializer_list<std::string_view> args) {
   Relation& rel = GetOrCreate(pred, args.size());
   Tuple t;
   t.reserve(args.size());
-  for (std::string_view a : args) t.push_back(symbols_.Intern(a));
-  rel.Insert(t);
+  for (std::string_view a : args) t.push_back(symbols_->Intern(a));
+  return rel.Insert(t);
 }
 
-void Database::AddFact(std::string_view pred,
+bool Database::AddFact(std::string_view pred,
                        const std::vector<std::string>& args) {
   Relation& rel = GetOrCreate(pred, args.size());
   Tuple t;
   t.reserve(args.size());
-  for (const std::string& a : args) t.push_back(symbols_.Intern(a));
-  rel.Insert(t);
+  for (const std::string& a : args) t.push_back(symbols_->Intern(a));
+  return rel.Insert(t);
 }
 
 void Database::Freeze() {
   if (frozen_) return;
-  symbols_.Freeze();
-  for (auto& [name, rel] : relations_) rel->Freeze();
+  // Layers inherited from the base epoch are frozen already; freezing only
+  // what this epoch owns keeps Freeze O(delta) and, just as important,
+  // write-free on storage that concurrent readers of older epochs hold.
+  if (!symbols_->frozen()) symbols_->Freeze();
+  for (auto& [name, rel] : relations_) {
+    if (!rel->frozen()) rel->Freeze();
+  }
   frozen_ = true;
+}
+
+void Database::Thaw() {
+  // Borrowed layers belong to older epochs that may still be serving —
+  // that goes for a re-shared symbol table exactly as for relations.
+  if (!symbols_borrowed_) symbols_->Thaw();
+  for (auto& [name, rel] : relations_) {
+    if (borrowed_.count(name) == 0) rel->Thaw();
+  }
+  frozen_ = false;
+}
+
+void Database::PruneEmptyDeltas() {
+  BINCHAIN_CHECK(!frozen_);
+  for (auto& [name, rel] : relations_) {
+    if (borrowed_.count(name) > 0) continue;
+    if (rel->base() != nullptr && rel->local_size() == 0) {
+      // Frozen base layers are immutable; re-sharing one as this epoch's
+      // relation is read-only from here on (borrowed_ guards mutation).
+      rel = std::const_pointer_cast<Relation>(rel->base());
+      auto id = symbols_->Find(name);
+      BINCHAIN_CHECK(id.has_value());
+      by_id_[*id] = rel.get();
+      borrowed_.insert(name);
+    }
+  }
+  if (symbols_->local_size() == 0 && symbols_->base() != nullptr) {
+    symbols_ = std::const_pointer_cast<SymbolTable>(symbols_->base());
+    symbols_borrowed_ = true;
+  }
 }
 
 uint64_t Database::TotalFetches() const {

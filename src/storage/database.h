@@ -2,11 +2,13 @@
 #ifndef BINCHAIN_STORAGE_DATABASE_H_
 #define BINCHAIN_STORAGE_DATABASE_H_
 
+#include <cstdint>
 #include <initializer_list>
 #include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "storage/relation.h"
@@ -16,26 +18,62 @@ namespace binchain {
 
 /// Owns the EDB relations and the symbol table. Derived predicates never
 /// appear here; evaluation strategies keep their own IDB state.
+///
+/// Epochs (live-update subsystem): every database carries an epoch id.
+/// `BeginDelta(base)` starts the successor epoch of a frozen snapshot: the
+/// new database *shares* every relation of `base` (shared_ptr, no copy) and
+/// extends its symbol-id space, then copies a relation on first write into
+/// a delta layer (Relation::Extend) so only inserted facts cost anything.
+/// Freeze() of the successor therefore indexes just the delta. Published
+/// epochs are immutable; concurrent readers hold them alive through
+/// shared_ptr handles, and an epoch pins exactly the storage layers it
+/// reads — never the predecessor Database object itself.
 class Database {
  public:
-  Database() = default;
+  Database() : symbols_(std::make_shared<SymbolTable>()) {}
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
-  SymbolTable& symbols() { return symbols_; }
-  const SymbolTable& symbols() const { return symbols_; }
+  SymbolTable& symbols() { return *symbols_; }
+  const SymbolTable& symbols() const { return *symbols_; }
+
+  /// Monotone snapshot version: 0 for a fresh database, +1 per BeginDelta.
+  uint64_t epoch() const { return epoch_; }
+
+  /// Starts the successor epoch of a frozen snapshot (see class comment).
+  /// The result is open (unfrozen): load the delta facts, then Freeze() and
+  /// publish. `base` stays untouched and serveable throughout.
+  static std::unique_ptr<Database> BeginDelta(
+      const std::shared_ptr<const Database>& base);
 
   /// Returns the relation named `pred`, creating it with `arity` if absent.
   /// Aborts if it exists with a different arity (schema violation), or if
-  /// the database is frozen and the relation would be created.
+  /// the database is frozen and the relation would be created. On a delta
+  /// epoch, the first write access copies the relation into a delta layer
+  /// (copy-on-write); read-only epochs sharing it are unaffected.
   Relation& GetOrCreate(std::string_view pred, size_t arity);
 
   /// Snapshot step for concurrent readers: freezes the symbol table and
   /// every relation (eager index catch-up, no further inserts). After this,
   /// all const entry points — Find/FindById, ForEachMatch, Contains,
-  /// tuples() — are safe to call from any number of threads. One-way.
+  /// tuples() — are safe to call from any number of threads.
   void Freeze();
   bool frozen() const { return frozen_; }
+
+  /// Re-opens a frozen database for mutation: thaws the symbol table and
+  /// every relation layer owned by this epoch, so facts can be inserted and
+  /// a later Freeze() completes only the incremental index work. Requires
+  /// exclusive ownership — no concurrent reader, no live epoch sharing
+  /// these layers (relations inherited via BeginDelta and not yet written
+  /// stay frozen). The concurrent-serving path never thaws; it publishes
+  /// successor epochs with BeginDelta instead.
+  void Thaw();
+
+  /// Drops delta layers that received no rows (and a symbol layer that
+  /// interned nothing), re-sharing the base storage directly so no-op
+  /// publishes do not deepen chains. Called by the epoch publisher before
+  /// Freeze().
+  void PruneEmptyDeltas();
 
   /// Returns the relation or nullptr.
   const Relation* Find(std::string_view pred) const;
@@ -49,12 +87,14 @@ class Database {
     return it == by_id_.end() ? nullptr : it->second;
   }
 
-  /// Convenience: insert a fact with string constants.
-  void AddFact(std::string_view pred, std::initializer_list<std::string_view> args);
-  void AddFact(std::string_view pred, const std::vector<std::string>& args);
+  /// Convenience: insert a fact with string constants. Returns true if the
+  /// tuple was new (false: duplicate of an existing row anywhere in the
+  /// relation's epoch chain).
+  bool AddFact(std::string_view pred, std::initializer_list<std::string_view> args);
+  bool AddFact(std::string_view pred, const std::vector<std::string>& args);
 
   /// Interns a constant and returns its id.
-  SymbolId Const(std::string_view name) { return symbols_.Intern(name); }
+  SymbolId Const(std::string_view name) { return symbols_->Intern(name); }
 
   /// Total single-tuple fetches over all relations (work counter).
   uint64_t TotalFetches() const;
@@ -63,11 +103,35 @@ class Database {
   /// Names of all stored relations (insertion order).
   const std::vector<std::string>& relation_names() const { return names_; }
 
+  /// True if `pred` is still the base epoch's relation object (shared, not
+  /// yet copied-on-write). Introspection for the epoch publisher's stats.
+  bool SharesWithBase(std::string_view pred) const {
+    return borrowed_.count(std::string(pred)) > 0;
+  }
+
+  /// Symbol-layer compaction policy for BeginDelta, mirroring
+  /// Relation::Extend: flatten when the chain gets deeper than this ...
+  static constexpr size_t kMaxSymbolChainDepth = 8;
+  /// ... or when accumulated delta symbols reach
+  /// max(root_size, kFlattenMinSymbols).
+  static constexpr size_t kFlattenMinSymbols = 256;
+
  private:
-  SymbolTable symbols_;
-  std::unordered_map<std::string, std::unique_ptr<Relation>> relations_;
+  /// Copy-on-write step: if `name` is still shared with the base epoch,
+  /// replace it with a delta layer owned by this epoch.
+  Relation* MutableRelation(const std::string& name);
+
+  std::shared_ptr<SymbolTable> symbols_;
+  std::unordered_map<std::string, std::shared_ptr<Relation>> relations_;
   std::unordered_map<SymbolId, Relation*> by_id_;
   std::vector<std::string> names_;
+  /// Relations inherited from the base epoch and not yet copied-on-write.
+  /// Frozen; must not be mutated or thawed through this database.
+  std::unordered_set<std::string> borrowed_;
+  /// Set when PruneEmptyDeltas re-shared the base epoch's symbol table;
+  /// Thaw() must then leave it frozen (older epochs still read it).
+  bool symbols_borrowed_ = false;
+  uint64_t epoch_ = 0;
   bool frozen_ = false;
 };
 

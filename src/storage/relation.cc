@@ -1,5 +1,7 @@
 #include "storage/relation.h"
 
+#include <algorithm>
+
 #include "util/check.h"
 
 namespace binchain {
@@ -48,6 +50,29 @@ void Relation::DedupGrow() {
   }
 }
 
+std::shared_ptr<Relation> Relation::Extend(
+    std::shared_ptr<const Relation> base) {
+  BINCHAIN_CHECK(base != nullptr);
+  BINCHAIN_CHECK(base->frozen());
+  if (ShouldFlatten(base->chain_depth() + 1,
+                    base->size() - base->root_rows(), base->root_rows(),
+                    kMaxChainDepth, kFlattenMinRows)) {
+    return base->Flatten();
+  }
+  // make_shared needs a public constructor; the chain constructor stays
+  // private so layering is only reachable through the policy above.
+  return std::shared_ptr<Relation>(new Relation(std::move(base)));
+}
+
+std::shared_ptr<Relation> Relation::Flatten() const {
+  auto out = std::make_shared<Relation>(arity_);
+  out->arena_.reserve(size() * arity_);
+  // Global row order in, same dense row ids out (no duplicates exist in a
+  // chain, so Insert never rejects).
+  for (TupleRef t : tuples()) out->Insert(t);
+  return out;
+}
+
 void Relation::Freeze() {
   if (frozen_) return;
   if (arity_ <= kEagerFreezeArity) {
@@ -63,6 +88,7 @@ void Relation::Freeze() {
 bool Relation::Insert(TupleRef t) {
   BINCHAIN_CHECK(t.size() == arity_);
   BINCHAIN_CHECK(!frozen_);
+  if (base_ != nullptr && base_->Contains(t)) return false;
   if ((dedup_used_ + 1) * 10 >= dedup_.size() * 7) DedupGrow();
   size_t m = dedup_.size() - 1;
   for (size_t i = HashSpan(t.data(), arity_) & m;; i = (i + 1) & m) {
@@ -89,7 +115,9 @@ bool Relation::Insert(TupleRef t) {
 }
 
 bool Relation::Contains(TupleRef t) const {
-  if (t.size() != arity_ || dedup_.empty()) return false;
+  if (t.size() != arity_) return false;
+  if (base_ != nullptr && base_->Contains(t)) return true;
+  if (dedup_.empty()) return false;
   size_t m = dedup_.size() - 1;
   for (size_t i = HashSpan(t.data(), arity_) & m;; i = (i + 1) & m) {
     uint32_t r = dedup_[i];

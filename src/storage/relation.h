@@ -11,17 +11,34 @@
 // (`indexed_upto` catch-up), preserving the paper's pay-as-you-go cost
 // model.
 //
+// Delta layering (live-update subsystem): a Relation may be an *extension*
+// of a frozen base relation (Relation::Extend). The extension stores only
+// its own delta rows; global row ids [0, base->size()) resolve through the
+// base chain, ids above it into the local arena. Probes (ForEachMatch,
+// Contains) consult the base first, then the local layer, so enumeration
+// order stays global insertion order. Base layers are immutable — an
+// extension never writes through its base — which is what lets consecutive
+// database epochs share unchanged storage. Chains are kept shallow by
+// Extend's flatten policy (see kMaxChainDepth / kFlattenMinRows).
+//
 // Concurrency: a Relation is single-writer until Freeze(). Freeze eagerly
 // completes every lazy index (and pre-builds all bound-column masks for
 // small arities), after which the read path — ForEachMatch, Contains,
 // tuples() — touches no shared mutable state: lazy catch-up is disabled and
 // fetch accounting moves to a thread-local counter, so any number of
-// threads may probe a frozen relation concurrently.
+// threads may probe a frozen relation concurrently. Thaw() re-opens a
+// frozen relation for inserts (single-writer again); a later Freeze()
+// completes only the index work for the appended rows (`indexed_upto`
+// catch-up), not a rebuild. Thaw requires that no concurrent reader is
+// still probing the relation — epochs that need old readers to survive use
+// Extend() instead.
 #ifndef BINCHAIN_STORAGE_RELATION_H_
 #define BINCHAIN_STORAGE_RELATION_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -32,9 +49,19 @@ namespace binchain {
 
 /// Forward view over the rows of a Relation; iteration yields TupleRef.
 /// (Compatible with `for (const Tuple& t : rel.tuples())`: the reference
-/// binds to a lifetime-extended materialized temporary.)
+/// binds to a lifetime-extended materialized temporary.) A range covers the
+/// whole base chain of a layered relation as a short run of contiguous
+/// segments, bottom (oldest rows) first.
 class RowRange {
  public:
+  struct Segment {
+    const SymbolId* base = nullptr;
+    size_t rows = 0;
+  };
+  /// Base chain depth is bounded by Relation's flatten policy; one extra
+  /// slot for the local layer.
+  static constexpr size_t kMaxSegments = 10;
+
   class const_iterator {
    public:
     using value_type = TupleRef;
@@ -43,39 +70,72 @@ class RowRange {
     using pointer = const TupleRef*;
     using reference = TupleRef;
 
-    const_iterator(const SymbolId* base, size_t arity, size_t idx)
-        : base_(base), arity_(arity), idx_(idx) {}
+    const_iterator(const RowRange* range, size_t seg, size_t idx)
+        : range_(range), seg_(seg), idx_(idx) {
+      SkipEmpty();
+    }
     TupleRef operator*() const {
-      return TupleRef(base_ + idx_ * arity_, arity_);
+      const Segment& s = range_->segs_[seg_];
+      return TupleRef(s.base + idx_ * range_->arity_, range_->arity_);
     }
     const_iterator& operator++() {
       ++idx_;
+      if (idx_ >= range_->segs_[seg_].rows) {
+        ++seg_;
+        idx_ = 0;
+        SkipEmpty();
+      }
       return *this;
     }
-    bool operator==(const const_iterator& o) const { return idx_ == o.idx_; }
-    bool operator!=(const const_iterator& o) const { return idx_ != o.idx_; }
+    bool operator==(const const_iterator& o) const {
+      return seg_ == o.seg_ && idx_ == o.idx_;
+    }
+    bool operator!=(const const_iterator& o) const { return !(*this == o); }
 
    private:
-    const SymbolId* base_;
-    size_t arity_;
+    void SkipEmpty() {
+      while (seg_ < range_->num_segs_ && range_->segs_[seg_].rows == 0) {
+        ++seg_;
+      }
+    }
+    const RowRange* range_;
+    size_t seg_;
     size_t idx_;
   };
 
-  RowRange(const SymbolId* base, size_t arity, size_t rows)
-      : base_(base), arity_(arity), rows_(rows) {}
+  RowRange(const SymbolId* base, size_t arity, size_t rows) : arity_(arity) {
+    segs_[0] = Segment{base, rows};
+    num_segs_ = 1;
+    rows_ = rows;
+  }
+  /// Multi-segment range; `Append` segments bottom-first.
+  explicit RowRange(size_t arity) : arity_(arity) {}
+  void Append(const SymbolId* base, size_t rows) {
+    BINCHAIN_CHECK(num_segs_ < kMaxSegments);
+    segs_[num_segs_++] = Segment{base, rows};
+    rows_ += rows;
+  }
 
-  const_iterator begin() const { return const_iterator(base_, arity_, 0); }
-  const_iterator end() const { return const_iterator(base_, arity_, rows_); }
+  const_iterator begin() const { return const_iterator(this, 0, 0); }
+  const_iterator end() const { return const_iterator(this, num_segs_, 0); }
   size_t size() const { return rows_; }
   bool empty() const { return rows_ == 0; }
   TupleRef operator[](size_t i) const {
-    return TupleRef(base_ + i * arity_, arity_);
+    for (size_t s = 0; s < num_segs_; ++s) {
+      if (i < segs_[s].rows) {
+        return TupleRef(segs_[s].base + i * arity_, arity_);
+      }
+      i -= segs_[s].rows;
+    }
+    BINCHAIN_CHECK(false);
+    return TupleRef(nullptr, 0);
   }
 
  private:
-  const SymbolId* base_;
+  Segment segs_[kMaxSegments];
+  size_t num_segs_ = 0;
   size_t arity_;
-  size_t rows_;
+  size_t rows_ = 0;
 };
 
 /// Mutable set of same-arity tuples. Insertion preserves first-seen order
@@ -84,15 +144,50 @@ class Relation {
  public:
   explicit Relation(size_t arity) : arity_(arity) {}
 
+  /// Delta extension of a frozen base: the new relation answers for every
+  /// base row plus whatever is inserted into it, while storing (and later
+  /// indexing) only the delta. When the accumulated deltas of `base`'s
+  /// chain have grown past the flatten policy, returns a flattened
+  /// standalone copy instead so probe cost and chain depth stay bounded
+  /// (the O(total) copy is amortized against the rows that forced it).
+  /// The result is unfrozen; `base` is shared, never copied, never written.
+  static std::shared_ptr<Relation> Extend(std::shared_ptr<const Relation> base);
+
+  /// A standalone (chain-free), unfrozen relation holding every row of this
+  /// chain in global row order.
+  std::shared_ptr<Relation> Flatten() const;
+
   size_t arity() const { return arity_; }
-  size_t size() const { return num_rows_; }
-  bool empty() const { return num_rows_ == 0; }
+  size_t size() const { return base_rows_ + num_rows_; }
+  bool empty() const { return size() == 0; }
 
-  RowRange tuples() const { return RowRange(arena_.data(), arity_, num_rows_); }
-  TupleRef tuple(size_t i) const { return Row(static_cast<uint32_t>(i)); }
+  /// Rows inherited from the base chain (0 for standalone relations).
+  size_t base_size() const { return base_rows_; }
+  /// Rows stored in this layer only.
+  size_t local_size() const { return num_rows_; }
+  /// Layers above the standalone bottom of the chain.
+  size_t chain_depth() const { return base_ ? base_->chain_depth() + 1 : 0; }
+  /// Size of the standalone bottom layer (the last flatten point).
+  size_t root_rows() const { return base_ ? base_->root_rows() : num_rows_; }
+  const std::shared_ptr<const Relation>& base() const { return base_; }
 
-  /// Inserts `t`; returns true if it was new. Invalidates no indexes
-  /// (indexes absorb appended tuples on next use). Aborts after Freeze().
+  RowRange tuples() const {
+    if (base_ == nullptr) {
+      return RowRange(arena_.data(), arity_, num_rows_);
+    }
+    RowRange range(arity_);
+    AppendSegments(&range);
+    return range;
+  }
+  /// Row `i` of the whole chain, in global insertion order.
+  TupleRef tuple(size_t i) const {
+    return i < base_rows_ ? base_->tuple(i)
+                          : Row(static_cast<uint32_t>(i - base_rows_));
+  }
+
+  /// Inserts `t`; returns true if it was new anywhere in the chain.
+  /// Invalidates no indexes (indexes absorb appended tuples on next use).
+  /// Aborts after Freeze().
   bool Insert(TupleRef t);
 
   bool Contains(TupleRef t) const;
@@ -102,12 +197,21 @@ class Relation {
   /// are caught up to the last row; for arities up to kEagerFreezeArity
   /// every nonempty bound-column mask is pre-built so no query can demand a
   /// missing index later (wider relations fall back to a read-only filtered
-  /// scan for masks never probed before the freeze). One-way.
+  /// scan for masks never probed before the freeze — counted in
+  /// ThreadWideScanCount). After Thaw()+Insert, a second Freeze() only
+  /// indexes the appended rows (indexed_upto catch-up), never rebuilds.
   void Freeze();
   bool frozen() const { return frozen_; }
 
+  /// Re-opens a frozen relation for inserts. Only this layer is thawed;
+  /// base layers (if any) stay frozen and are never written. The caller
+  /// must guarantee no concurrent reader still probes this relation —
+  /// intended for exclusively-owned databases between serving windows.
+  void Thaw() { frozen_ = false; }
+
   /// Enumerates rows matching `key` on the columns of `mask` (bit i set =>
-  /// column i must equal key[i]; other key positions are ignored).
+  /// column i must equal key[i]; other key positions are ignored), base
+  /// chain first so matches arrive in global insertion order.
   /// `fn` receives a TupleRef per match (valid for the duration of the
   /// callback; also binds to `const Tuple&` by materializing a copy).
   /// Builds the mask's index on first use; once frozen, never mutates —
@@ -115,6 +219,7 @@ class Relation {
   /// known at the call site, so the per-tuple call inlines.
   template <typename Fn>
   void ForEachMatch(uint32_t mask, TupleRef key, Fn&& fn) const {
+    if (base_ != nullptr) base_->ForEachMatch(mask, key, fn);
     if (mask == 0) {  // full scan, no index needed
       for (size_t r = 0; r < num_rows_; ++r) {
         CountFetch();
@@ -126,6 +231,7 @@ class Relation {
     if (frozen_) {
       idx = FrozenIndex(mask);
       if (idx == nullptr) {  // mask never indexed pre-freeze: read-only scan
+        ++tls_wide_scans_;
         for (size_t r = 0; r < num_rows_; ++r) {
           if (MaskedEquals(mask, static_cast<uint32_t>(r), key.data())) {
             CountFetch();
@@ -157,15 +263,42 @@ class Relation {
   /// every fetch in both modes.
   static uint64_t ThreadFetchCount() { return tls_fetches_; }
 
+  /// Read-only fallback scans taken by this thread because a frozen
+  /// relation was probed on a mask it never indexed before the freeze (only
+  /// possible for arity > kEagerFreezeArity). Each ForEachMatch that takes
+  /// the scan path counts one per layer scanned. Surfaced per query as
+  /// EvalStats::wide_mask_scans so silent index regressions are visible.
+  static uint64_t ThreadWideScanCount() { return tls_wide_scans_; }
+
   /// Largest arity for which Freeze() pre-builds every mask index.
   static constexpr size_t kEagerFreezeArity = 4;
+
+  /// Extend() flattens when the chain would exceed this many layers above
+  /// the standalone bottom. Must stay below RowRange::kMaxSegments.
+  static constexpr size_t kMaxChainDepth = 8;
+  /// ... or when the chain's accumulated delta rows reach
+  /// max(root_rows, kFlattenMinRows) — a doubling rule, so the O(total)
+  /// flatten is amortized O(1) per delta row.
+  static constexpr size_t kFlattenMinRows = 256;
+
+  /// The shared amortization rule behind both caps, also used by the
+  /// symbol-table compaction in Database::BeginDelta so the two policies
+  /// can never drift apart: flatten a chain `depth` layers deep holding
+  /// `delta` accumulated entries over a standalone bottom of `root`
+  /// entries when it is deeper than `max_depth` or the delta has reached
+  /// max(root, min_delta).
+  static bool ShouldFlatten(size_t depth, size_t delta, size_t root,
+                            size_t max_depth, size_t min_delta) {
+    return depth > max_depth || delta >= std::max(root, min_delta);
+  }
 
  private:
   static constexpr uint32_t kNoRow = 0xffffffffu;
 
   /// Open-addressed index for one bound-column mask. `slots`/`tails` hold
   /// the first/last row of each distinct key's chain; `next` threads rows
-  /// sharing a key in insertion order.
+  /// sharing a key in insertion order. Rows here are *local* (this layer's
+  /// arena); each layer of a chain indexes only its own rows.
   struct MaskIndex {
     uint32_t mask = 0;
     std::vector<uint32_t> slots;
@@ -175,8 +308,20 @@ class Relation {
     size_t used = 0;          // distinct keys (load-factor control)
   };
 
+  explicit Relation(std::shared_ptr<const Relation> base)
+      : arity_(base->arity()),
+        base_rows_(base->size()),
+        base_(std::move(base)) {
+    BINCHAIN_CHECK(base_->frozen());
+  }
+
   TupleRef Row(uint32_t r) const {
     return TupleRef(arena_.data() + static_cast<size_t>(r) * arity_, arity_);
+  }
+
+  void AppendSegments(RowRange* range) const {
+    if (base_ != nullptr) base_->AppendSegments(range);
+    range->Append(arena_.data(), num_rows_);
   }
 
   void CountFetch() const {
@@ -210,8 +355,10 @@ class Relation {
   void DedupGrow();
 
   size_t arity_;
-  size_t num_rows_ = 0;
-  std::vector<SymbolId> arena_;    // row-major tuple storage
+  size_t num_rows_ = 0;              // local rows (this layer's arena)
+  size_t base_rows_ = 0;             // rows answered by the base chain
+  std::shared_ptr<const Relation> base_;  // frozen; null for standalone
+  std::vector<SymbolId> arena_;    // row-major tuple storage (local rows)
   std::vector<uint32_t> dedup_;    // open-addressed row set over full tuples
   size_t dedup_used_ = 0;
   // Few masks per relation: linear scan beats hashing. A deque keeps
@@ -221,7 +368,11 @@ class Relation {
   mutable uint64_t fetches_ = 0;
   bool frozen_ = false;
   inline static thread_local uint64_t tls_fetches_ = 0;
+  inline static thread_local uint64_t tls_wide_scans_ = 0;
 };
+
+static_assert(Relation::kMaxChainDepth + 1 < RowRange::kMaxSegments,
+              "RowRange must fit every layer of a maximal chain");
 
 }  // namespace binchain
 

@@ -28,10 +28,13 @@ std::optional<int64_t> ParseInt(std::string_view s) {
 }  // namespace
 
 SymbolId SymbolTable::Intern(std::string_view s) {
+  if (base_ != nullptr) {
+    if (auto id = base_->Find(s)) return *id;
+  }
   auto it = index_.find(std::string(s));
   if (it != index_.end()) return it->second;
   BINCHAIN_CHECK(!frozen_);  // new spellings would race concurrent readers
-  SymbolId id = static_cast<SymbolId>(names_.size());
+  SymbolId id = base_size_ + static_cast<SymbolId>(names_.size());
   names_.emplace_back(s);
   ints_.push_back(ParseInt(s));
   index_.emplace(names_.back(), id);
@@ -39,9 +42,25 @@ SymbolId SymbolTable::Intern(std::string_view s) {
 }
 
 std::optional<SymbolId> SymbolTable::Find(std::string_view s) const {
+  if (base_ != nullptr) {
+    if (auto id = base_->Find(s)) return id;
+  }
   auto it = index_.find(std::string(s));
   if (it == index_.end()) return std::nullopt;
   return it->second;
+}
+
+void SymbolTable::ChainTo(std::shared_ptr<const SymbolTable> base) {
+  BINCHAIN_CHECK(base != nullptr);
+  BINCHAIN_CHECK(base->frozen());
+  BINCHAIN_CHECK(names_.empty() && base_ == nullptr && !frozen_);
+  base_size_ = static_cast<SymbolId>(base->size());
+  base_ = std::move(base);
+}
+
+void SymbolTable::FlattenInto(SymbolTable* out) const {
+  if (base_ != nullptr) base_->FlattenInto(out);
+  for (const std::string& name : names_) out->Intern(name);
 }
 
 }  // namespace binchain

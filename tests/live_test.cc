@@ -1,0 +1,433 @@
+// Live-update subsystem: the epoch-based snapshot lifecycle. Publishing a
+// sequence of deltas must be observationally identical to cold-rebuilding
+// the database at every epoch (the snapshot chain is an optimization, never
+// a semantics change), including while queries run concurrently with
+// Publish() (the TSan target of the live CI job). Also covers the
+// freeze -> thaw -> insert -> re-freeze story on an exclusively owned
+// database, epoch storage sharing (copy-on-write), chain compaction, and
+// symbol-id stability across epochs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datalog/parser.h"
+#include "eval/query.h"
+#include "live/snapshot_manager.h"
+#include "service/query_service.h"
+#include "workloads/workloads.h"
+
+namespace binchain {
+namespace {
+
+struct Fact {
+  std::string pred;
+  std::vector<std::string> args;
+};
+
+/// Reads a workload database back out as string facts, so the same facts
+/// can be replayed through the live pipeline and through cold rebuilds.
+std::vector<Fact> ExtractFacts(const Database& db) {
+  std::vector<Fact> facts;
+  for (const std::string& name : db.relation_names()) {
+    const Relation* rel = db.Find(name);
+    for (TupleRef t : rel->tuples()) {
+      Fact f;
+      f.pred = name;
+      for (SymbolId c : t) f.args.push_back(db.symbols().Name(c));
+      facts.push_back(std::move(f));
+    }
+  }
+  return facts;
+}
+
+/// Result tuples rendered as sorted "a|b" strings: epoch chains and cold
+/// rebuilds intern in different orders, so ids are not comparable — names
+/// are.
+std::vector<std::string> Render(const std::vector<Tuple>& tuples,
+                                const SymbolTable& symbols) {
+  std::vector<std::string> out;
+  for (const Tuple& t : tuples) {
+    std::string s;
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (i > 0) s += "|";
+      s += symbols.Name(t[i]);
+    }
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string RequestLiteral(const QueryRequest& req) {
+  std::string s = req.pred + "(";
+  s += req.source.empty() ? "X" : req.source;
+  s += ", ";
+  s += req.target.empty() ? (req.diagonal ? "X" : "Y") : req.target;
+  return s + ")";
+}
+
+/// Cold rebuild: a fresh database holding exactly `facts`, a solo engine,
+/// and the same queries. The reference the live pipeline must match.
+std::vector<std::vector<std::string>> ColdAnswers(
+    const std::vector<Fact>& facts, const std::vector<Fact>& schema,
+    const char* program_text, const std::vector<QueryRequest>& requests) {
+  Database db;
+  // Pre-declare every relation of the full workload so the program
+  // compiles even when a relation's facts have not been published yet
+  // (mirrors the live genesis).
+  for (const Fact& f : schema) db.GetOrCreate(f.pred, f.args.size());
+  for (const Fact& f : facts) db.AddFact(f.pred, f.args);
+  QueryEngine engine(&db);
+  EXPECT_TRUE(engine.LoadProgramText(program_text).ok());
+  std::vector<std::vector<std::string>> answers;
+  for (const QueryRequest& req : requests) {
+    auto r = engine.Query(RequestLiteral(req), req.options);
+    EXPECT_TRUE(r.ok()) << r.status().message();
+    answers.push_back(
+        r.ok() ? Render(r.value().tuples, db.symbols())
+               : std::vector<std::string>{"<error>"});
+  }
+  return answers;
+}
+
+/// Splits a workload's facts into a genesis load plus `cycles` deltas,
+/// publishes them one by one, and checks every epoch's batch results
+/// against a cold rebuild of the facts published so far.
+void RunPublishEquivalence(const Database& workload, const char* program_text,
+                           const std::vector<QueryRequest>& requests,
+                           size_t cycles) {
+  std::vector<Fact> facts = ExtractFacts(workload);
+  ASSERT_GE(facts.size(), cycles + 1);
+  size_t genesis_count = facts.size() / 2;
+  size_t per_cycle = (facts.size() - genesis_count + cycles - 1) / cycles;
+
+  auto genesis = std::make_unique<Database>();
+  // Pre-declare every relation so the program compiles even when all of a
+  // relation's facts arrive in later epochs.
+  for (const Fact& f : facts) genesis->GetOrCreate(f.pred, f.args.size());
+  for (size_t i = 0; i < genesis_count; ++i) {
+    genesis->AddFact(facts[i].pred, facts[i].args);
+  }
+  Program program =
+      ParseProgram(program_text, genesis->symbols()).take();
+
+  SnapshotManager manager(std::move(genesis));
+  QueryService::Options opts;
+  opts.num_threads = 2;
+  QueryService service(&manager, program, opts);
+  ASSERT_TRUE(service.status().ok()) << service.status().message();
+
+  // Epoch 0 (the sealed genesis) must already match a cold rebuild.
+  std::vector<Fact> published(facts.begin(), facts.begin() + genesis_count);
+  size_t next_fact = genesis_count;
+  for (size_t cycle = 0; cycle <= cycles; ++cycle) {
+    if (cycle > 0) {
+      size_t end = std::min(facts.size(), next_fact + per_cycle);
+      size_t staged = end - next_fact;
+      for (; next_fact < end; ++next_fact) {
+        manager.AddFact(facts[next_fact].pred, facts[next_fact].args);
+        published.push_back(facts[next_fact]);
+      }
+      PublishStats ps = manager.Publish();
+      EXPECT_EQ(ps.epoch, cycle);
+      EXPECT_EQ(ps.facts_added + ps.facts_duplicate, staged);
+    }
+    auto expected = ColdAnswers(published, facts, program_text, requests);
+    BatchStats stats;
+    auto responses = service.EvalBatch(requests, &stats);
+    EXPECT_EQ(stats.epoch, cycle);
+    auto tip = manager.Acquire();
+    ASSERT_EQ(responses.size(), requests.size());
+    for (size_t i = 0; i < responses.size(); ++i) {
+      ASSERT_TRUE(responses[i].status.ok())
+          << responses[i].status.message();
+      EXPECT_EQ(responses[i].epoch, cycle) << i;
+      EXPECT_EQ(Render(responses[i].tuples, tip->symbols()), expected[i])
+          << "query " << i << " at epoch " << cycle;
+    }
+  }
+  EXPECT_EQ(next_fact, facts.size());
+}
+
+std::vector<QueryRequest> SgRequests(const std::vector<std::string>& sources,
+                                     const EvalOptions& options = {}) {
+  std::vector<QueryRequest> out;
+  for (const std::string& s : sources) {
+    QueryRequest req;
+    req.pred = "sg";
+    req.source = s;
+    req.options = options;
+    out.push_back(std::move(req));
+  }
+  return out;
+}
+
+TEST(LiveTest, Fig7bPublishMatchesColdRebuild) {
+  Database workload;
+  workloads::Fig7b(workload, 12);
+  RunPublishEquivalence(workload, workloads::SgProgramText(),
+                        SgRequests({"a1", "a3", "a7"}), 3);
+}
+
+TEST(LiveTest, LadderPublishMatchesColdRebuild) {
+  Database workload;
+  workloads::Fig7c(workload, 16);
+  RunPublishEquivalence(workload, workloads::SgProgramText(),
+                        SgRequests({"a1", "a2", "a8"}), 4);
+}
+
+TEST(LiveTest, Fig8CyclicPublishMatchesColdRebuild) {
+  Database workload;
+  workloads::Fig8(workload, 5, 7);
+  EvalOptions options;
+  options.use_cyclic_bound = true;
+  RunPublishEquivalence(workload, workloads::SgProgramText(),
+                        SgRequests({"a1", "a2"}, options), 3);
+}
+
+TEST(LiveTest, InvertedAndAllFreeQueriesAcrossEpochs) {
+  Database workload;
+  workloads::Fig7c(workload, 10);
+  QueryRequest inverted;  // sg(X, b3): inverted system
+  inverted.pred = "sg";
+  inverted.target = "b3";
+  QueryRequest all_free;  // sg(X, Y)
+  all_free.pred = "sg";
+  RunPublishEquivalence(workload, workloads::SgProgramText(),
+                        {inverted, all_free}, 3);
+}
+
+// Queries running while Publish() swaps the tip: every batch must see one
+// consistent epoch, and its results must equal the cold rebuild of exactly
+// that epoch's facts. Run under TSan in CI.
+TEST(LiveTest, ConcurrentPublishAndQueries) {
+  Database workload;
+  workloads::Fig7c(workload, 14);
+  std::vector<Fact> facts = ExtractFacts(workload);
+  const size_t kCycles = 4;
+  size_t genesis_count = facts.size() / 2;
+  size_t per_cycle = (facts.size() - genesis_count + kCycles - 1) / kCycles;
+
+  auto genesis = std::make_unique<Database>();
+  for (const Fact& f : facts) genesis->GetOrCreate(f.pred, f.args.size());
+  for (size_t i = 0; i < genesis_count; ++i) {
+    genesis->AddFact(facts[i].pred, facts[i].args);
+  }
+  Program program =
+      ParseProgram(workloads::SgProgramText(), genesis->symbols()).take();
+
+  std::vector<QueryRequest> requests = SgRequests({"a1", "a2", "a5"});
+  // Expected answers per epoch, precomputed from cold rebuilds.
+  std::vector<std::vector<std::vector<std::string>>> expected;
+  {
+    std::vector<Fact> published(facts.begin(),
+                                facts.begin() + genesis_count);
+    expected.push_back(
+        ColdAnswers(published, facts, workloads::SgProgramText(), requests));
+    size_t next = genesis_count;
+    for (size_t c = 1; c <= kCycles; ++c) {
+      size_t end = std::min(facts.size(), next + per_cycle);
+      for (; next < end; ++next) published.push_back(facts[next]);
+      expected.push_back(ColdAnswers(published, facts,
+                                     workloads::SgProgramText(), requests));
+    }
+  }
+
+  SnapshotManager manager(std::move(genesis));
+  QueryService::Options opts;
+  opts.num_threads = 2;
+  QueryService service(&manager, program, opts);
+  ASSERT_TRUE(service.status().ok()) << service.status().message();
+
+  std::atomic<bool> done{false};
+  std::thread publisher([&] {
+    size_t next = genesis_count;
+    for (size_t c = 1; c <= kCycles; ++c) {
+      size_t end = std::min(facts.size(), next + per_cycle);
+      for (; next < end; ++next) {
+        manager.AddFact(facts[next].pred, facts[next].args);
+      }
+      manager.Publish();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    done.store(true);
+  });
+
+  size_t batches = 0;
+  while (true) {
+    bool was_done = done.load();
+    BatchStats stats;
+    auto responses = service.EvalBatch(requests, &stats);
+    auto tip = manager.Acquire();  // any tip >= response epoch renders names
+    ASSERT_LT(stats.epoch, expected.size());
+    for (size_t i = 0; i < responses.size(); ++i) {
+      ASSERT_TRUE(responses[i].status.ok())
+          << responses[i].status.message();
+      ASSERT_EQ(responses[i].epoch, stats.epoch);  // batch-consistent epoch
+      EXPECT_EQ(Render(responses[i].tuples, tip->symbols()),
+                expected[stats.epoch][i])
+          << "query " << i << " at epoch " << stats.epoch;
+    }
+    ++batches;
+    if (was_done && stats.epoch == kCycles) break;
+  }
+  publisher.join();
+  EXPECT_GE(batches, 1u);
+}
+
+// The exclusive-ownership story: freeze -> thaw -> insert -> re-freeze on
+// one database, no snapshot chain. The second freeze only has delta index
+// work to do (indexed_upto catch-up), and results match a cold rebuild.
+TEST(LiveTest, ThawInsertRefreezeMatchesColdRebuild) {
+  Database db;
+  workloads::Fig7b(db, 10);
+  QueryEngine engine(&db);
+  ASSERT_TRUE(engine.LoadProgramText(workloads::SgProgramText()).ok());
+  db.Freeze();
+  EXPECT_TRUE(db.frozen());
+  auto before = engine.Query("sg(a1, Y)");
+  ASSERT_TRUE(before.ok());
+
+  db.Thaw();
+  EXPECT_FALSE(db.frozen());
+  // Extend the up/down chains by one level and rewire flat to the new top.
+  db.AddFact("up", {"a10", "a11"});
+  db.AddFact("down", {"b11", "b10"});
+  db.AddFact("flat", {"a11", "b11"});
+  db.Freeze();
+  EXPECT_TRUE(db.frozen());
+
+  auto after = engine.Query("sg(a1, Y)");
+  ASSERT_TRUE(after.ok());
+  // The new top level is visible: a11 answers through flat(a11, b11).
+  auto novel = engine.Query("sg(a11, Y)");
+  ASSERT_TRUE(novel.ok());
+  EXPECT_FALSE(novel.value().tuples.empty());
+
+  std::vector<Fact> all = ExtractFacts(db);
+  QueryRequest req_a1, req_a11;
+  req_a1.pred = req_a11.pred = "sg";
+  req_a1.source = "a1";
+  req_a11.source = "a11";
+  auto expected =
+      ColdAnswers(all, all, workloads::SgProgramText(), {req_a1, req_a11});
+  EXPECT_EQ(Render(after.value().tuples, db.symbols()), expected[0]);
+  EXPECT_EQ(Render(novel.value().tuples, db.symbols()), expected[1]);
+}
+
+// Copy-on-write at relation granularity: a publish that touches one
+// relation shares every other relation object with the previous epoch and
+// layers only the touched one.
+TEST(LiveTest, PublishSharesUntouchedRelations) {
+  auto genesis = std::make_unique<Database>();
+  workloads::Fig7c(*genesis, 8);
+  SnapshotManager manager(std::move(genesis));
+  manager.Seal();
+  auto e0 = manager.Acquire();
+
+  manager.AddFact("up", {"a8", "a9"});
+  PublishStats ps = manager.Publish();
+  EXPECT_EQ(ps.epoch, 1u);
+  EXPECT_EQ(ps.facts_added, 1u);
+  EXPECT_EQ(ps.relations_touched, 1u);
+  auto e1 = manager.Acquire();
+
+  EXPECT_EQ(e1->Find("flat"), e0->Find("flat"));  // shared object
+  EXPECT_EQ(e1->Find("down"), e0->Find("down"));
+  EXPECT_NE(e1->Find("up"), e0->Find("up"));      // delta layer
+  EXPECT_EQ(e1->Find("up")->base().get(), e0->Find("up"));
+  EXPECT_EQ(e1->Find("up")->size(), e0->Find("up")->size() + 1);
+  EXPECT_EQ(e1->Find("up")->local_size(), 1u);
+
+  // Duplicate-only delta: no new rows anywhere, no chain growth.
+  manager.AddFact("up", {"a8", "a9"});
+  PublishStats dup = manager.Publish();
+  EXPECT_EQ(dup.facts_added, 0u);
+  EXPECT_EQ(dup.facts_duplicate, 1u);
+  EXPECT_EQ(dup.relations_touched, 0u);
+  auto e2 = manager.Acquire();
+  EXPECT_EQ(e2->Find("up"), e1->Find("up"));  // re-shared, not re-layered
+
+  // Old epochs still answer their own contents.
+  EXPECT_EQ(e0->Find("up")->size() + 1, e2->Find("up")->size());
+}
+
+// Staged facts are unvalidated client input: an arity mismatch with the
+// existing schema must be rejected by Publish(), never abort the server.
+TEST(LiveTest, PublishRejectsArityMismatch) {
+  auto genesis = std::make_unique<Database>();
+  genesis->GetOrCreate("e", 2);
+  genesis->AddFact("e", {"a", "b"});
+  SnapshotManager manager(std::move(genesis));
+  manager.Seal();
+
+  manager.AddFact("e", {"a"});            // wrong arity: rejected
+  manager.AddFact("e", {"b", "c"});       // fine
+  manager.AddFact("e", {"a", "b", "c"});  // wrong arity: rejected
+  PublishStats ps = manager.Publish();
+  EXPECT_EQ(ps.facts_rejected, 2u);
+  EXPECT_EQ(ps.facts_added, 1u);
+  auto tip = manager.Acquire();
+  EXPECT_EQ(tip->Find("e")->size(), 2u);
+}
+
+// Chain depth stays bounded: enough tiny publishes force a flatten, after
+// which the relation is standalone again and still holds every row.
+TEST(LiveTest, ChainCompactionBoundsDepth) {
+  auto genesis = std::make_unique<Database>();
+  genesis->GetOrCreate("e", 2);
+  for (int i = 0; i < 4; ++i) {
+    genesis->AddFact("e", {"n" + std::to_string(i),
+                           "n" + std::to_string(i + 1)});
+  }
+  SnapshotManager manager(std::move(genesis));
+  manager.Seal();
+
+  size_t publishes = Relation::kMaxChainDepth + 4;
+  size_t max_depth_seen = 0;
+  bool flattened = false;
+  for (size_t i = 0; i < publishes; ++i) {
+    manager.AddFact("e", {"x" + std::to_string(i),
+                          "x" + std::to_string(i + 1)});
+    PublishStats ps = manager.Publish();
+    flattened |= ps.relations_flattened > 0;
+    const Relation* rel = manager.Acquire()->Find("e");
+    max_depth_seen = std::max(max_depth_seen, rel->chain_depth());
+    EXPECT_LE(rel->chain_depth(), Relation::kMaxChainDepth);
+  }
+  EXPECT_TRUE(flattened);
+  EXPECT_GT(max_depth_seen, 1u);
+  EXPECT_EQ(manager.Acquire()->Find("e")->size(), 4 + publishes);
+}
+
+// Symbol ids are stable across the whole epoch chain: an id minted in any
+// epoch names the same constant in every later epoch, and new spellings
+// extend rather than re-intern.
+TEST(LiveTest, SymbolIdsStableAcrossEpochs) {
+  auto genesis = std::make_unique<Database>();
+  genesis->GetOrCreate("e", 2);
+  genesis->AddFact("e", {"alpha", "beta"});
+  SnapshotManager manager(std::move(genesis));
+  manager.Seal();
+  auto e0 = manager.Acquire();
+  SymbolId alpha = *e0->symbols().Find("alpha");
+
+  manager.AddFact("e", {"beta", "gamma"});
+  PublishStats ps = manager.Publish();
+  EXPECT_EQ(ps.new_symbols, 1u);  // only "gamma" is new
+  auto e1 = manager.Acquire();
+  EXPECT_EQ(*e1->symbols().Find("alpha"), alpha);
+  EXPECT_EQ(e1->symbols().Name(alpha), "alpha");
+  SymbolId gamma = *e1->symbols().Find("gamma");
+  EXPECT_GE(gamma, e0->symbols().size());  // extension, not re-intern
+  EXPECT_FALSE(e0->symbols().Find("gamma").has_value());  // old epoch clean
+}
+
+}  // namespace
+}  // namespace binchain

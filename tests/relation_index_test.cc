@@ -240,6 +240,104 @@ TEST_F(EnumerateTest, RepeatedVariableAcrossLiteralsJoins) {
   EXPECT_EQ(count, 2u);  // a->b->c and a->b->d
 }
 
+TEST(RelationIndexTest, WideMaskScanCounterOnFrozenFallback) {
+  // Arity above kEagerFreezeArity: Freeze() only catches up indexes that
+  // already exist, so a mask first probed after the freeze takes the
+  // read-only scan path — and must say so in the thread-local counter.
+  Relation r(5);
+  for (SymbolId i = 0; i < 20; ++i) {
+    r.Insert(Tuple{i, i + 1, i + 2, i % 3, i % 2});
+  }
+  // Probe column 0 before the freeze: its index exists and survives.
+  EXPECT_EQ(Matches(r, 0b00001, Tuple{3, 0, 0, 0, 0}).size(), 1u);
+  r.Freeze();
+
+  uint64_t before = Relation::ThreadWideScanCount();
+  // Indexed mask: served by the frozen index, no fallback scan.
+  EXPECT_EQ(Matches(r, 0b00001, Tuple{4, 0, 0, 0, 0}).size(), 1u);
+  EXPECT_EQ(Relation::ThreadWideScanCount(), before);
+  // Never-indexed mask: correct answers via the scan path, counted once.
+  auto got = Matches(r, 0b01000, Tuple{0, 0, 0, 1, 0});
+  EXPECT_EQ(got.size(), 7u);  // i % 3 == 1 for 20 rows
+  EXPECT_EQ(Relation::ThreadWideScanCount(), before + 1);
+  // Full scans (mask 0) are not "wide scans".
+  EXPECT_EQ(Matches(r, 0, Tuple{0, 0, 0, 0, 0}).size(), 20u);
+  EXPECT_EQ(Relation::ThreadWideScanCount(), before + 1);
+}
+
+TEST(RelationIndexTest, SmallArityNeverWideScans) {
+  Relation r(2);
+  r.Insert({1, 10});
+  r.Insert({2, 20});
+  r.Freeze();  // arity <= kEagerFreezeArity: every mask pre-built
+  uint64_t before = Relation::ThreadWideScanCount();
+  for (uint32_t mask = 1; mask < 4; ++mask) {
+    Matches(r, mask, Tuple{2, 20});
+  }
+  EXPECT_EQ(Relation::ThreadWideScanCount(), before);
+}
+
+TEST(RelationIndexTest, ThawInsertRefreezeCatchesUpIndexes) {
+  Relation r(2);
+  for (SymbolId i = 0; i < 8; ++i) r.Insert(Tuple{i, i * 10});
+  r.Freeze();
+  EXPECT_EQ(Matches(r, 0b01, Tuple{5, 0}).size(), 1u);
+
+  r.Thaw();
+  EXPECT_FALSE(r.frozen());
+  EXPECT_TRUE(r.Insert(Tuple{100, 1000}));
+  EXPECT_FALSE(r.Insert(Tuple{5, 50}));  // still deduplicated
+  r.Freeze();
+
+  // Existing indexes absorbed the appended row; point lookups see it.
+  EXPECT_EQ(Matches(r, 0b01, Tuple{100, 0}).size(), 1u);
+  EXPECT_EQ(Matches(r, 0b10, Tuple{0, 1000}).size(), 1u);
+  EXPECT_EQ(Matches(r, 0b11, Tuple{100, 1000}).size(), 1u);
+  EXPECT_EQ(r.size(), 9u);
+}
+
+TEST(RelationIndexTest, ExtendLayersAnswerLikeOneRelation) {
+  auto base = std::make_shared<Relation>(2);
+  for (SymbolId i = 0; i < 6; ++i) base->Insert(Tuple{i, i + 100});
+  base->Freeze();
+
+  auto delta = Relation::Extend(base);
+  EXPECT_EQ(delta->base(), base);
+  EXPECT_EQ(delta->size(), 6u);
+  EXPECT_FALSE(delta->Insert(Tuple{2, 102}));  // dedup sees through layers
+  EXPECT_TRUE(delta->Insert(Tuple{50, 150}));
+  EXPECT_TRUE(delta->Contains(Tuple{2, 102}));
+  EXPECT_TRUE(delta->Contains(Tuple{50, 150}));
+  delta->Freeze();
+
+  EXPECT_EQ(delta->size(), 7u);
+  EXPECT_EQ(delta->local_size(), 1u);
+  // Probes merge base matches (first) with local matches.
+  EXPECT_EQ(Matches(*delta, 0b01, Tuple{2, 0}).size(), 1u);
+  EXPECT_EQ(Matches(*delta, 0b01, Tuple{50, 0}).size(), 1u);
+  // Global row ids cover the chain in insertion order.
+  EXPECT_EQ(delta->tuple(0), TupleRef(Tuple{0, 100}));
+  EXPECT_EQ(delta->tuple(6), TupleRef(Tuple{50, 150}));
+  // Segmented iteration covers every layer.
+  size_t rows = 0;
+  for (TupleRef t : delta->tuples()) {
+    (void)t;
+    ++rows;
+  }
+  EXPECT_EQ(rows, 7u);
+  // The base is untouched.
+  EXPECT_EQ(base->size(), 6u);
+  EXPECT_FALSE(base->Contains(Tuple{50, 150}));
+
+  // Flatten preserves contents and global row order.
+  auto flat = delta->Flatten();
+  EXPECT_EQ(flat->size(), 7u);
+  EXPECT_EQ(flat->chain_depth(), 0u);
+  for (size_t i = 0; i < flat->size(); ++i) {
+    EXPECT_EQ(Tuple(flat->tuple(i)), Tuple(delta->tuple(i))) << i;
+  }
+}
+
 TEST_F(EnumerateTest, RepeatedVariableAgainstPartialBinding) {
   // With X pre-bound, e(X, X) must only match the diagonal tuple for that
   // binding (exercises the masked probe with a repeated variable).
