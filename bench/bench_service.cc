@@ -4,7 +4,9 @@
 // that every thread count returns byte-identical result sets before
 // reporting aggregate queries/sec. A cyclic Figure-8 batch (overlapping
 // sources under the |D1|*|D2| bound) rides along as the contention-heavy
-// case.
+// case, and an all-free sg(X, Y) batch as the shared-artifact stress.
+// `fetches` and `memo_hits` together show the epoch-shared artifact effect:
+// probes served by the snapshot-owned memos cost no EDB fetches.
 //
 // Usage:
 //   bench_service [--n <size>] [--reps <k>] [--threads <list>] [--smoke]
@@ -40,6 +42,7 @@ struct BenchResult {
   uint64_t queries = 0;
   uint64_t tuples = 0;   // sanity: must match across thread counts and PRs
   uint64_t fetches = 0;  // aggregate t-cost, deterministic per batch
+  uint64_t memo_hits = 0;  // probes served by the epoch-shared artifacts
   double startup_ms = 0;  // service construction (plan + workers + freeze)
   double wall_ms = 0;    // best-of-reps batch wall time
   double qps = 0;        // queries / second at the best rep
@@ -89,6 +92,27 @@ std::unique_ptr<Batch> MakeSgBatch(const std::string& label,
     req.pred = "sg";
     req.source = c;
     req.options = options;
+    b->requests.push_back(std::move(req));
+  }
+  return b;
+}
+
+/// All-pairs-style stress on the shared caches: every request is the free-
+/// free sg(X, Y), so each one sweeps every candidate source. Pre-refactor,
+/// every worker recomputed the candidate set and re-fetched every edge per
+/// sweep; with epoch-shared artifacts the source set is computed once per
+/// epoch and every probe is memo-served.
+std::unique_ptr<Batch> MakeAllFreeBatch(size_t n, size_t repeats) {
+  auto b = std::make_unique<Batch>();
+  b->label = "allfree/n=" + std::to_string(n);
+  b->db = std::make_unique<Database>();
+  workloads::Fig7c(*b->db, n);
+  auto parsed = ParseProgram(workloads::SgProgramText(), b->db->symbols());
+  if (!parsed.ok()) return nullptr;
+  b->program = parsed.take();
+  for (size_t i = 0; i < repeats; ++i) {
+    QueryRequest req;
+    req.pred = "sg";
     b->requests.push_back(std::move(req));
   }
   return b;
@@ -162,6 +186,7 @@ BenchResult RunBatch(Batch& batch, size_t threads, int reps,
       r.wall_ms = ms;
       r.tuples = stats.tuples;
       r.fetches = stats.fetches;
+      r.memo_hits = stats.total.memo_hits;
     }
   }
   r.qps = r.wall_ms > 0 ? 1000.0 * static_cast<double>(r.queries) / r.wall_ms
@@ -226,6 +251,7 @@ int main(int argc, char** argv) {
   batches.push_back(MakeSgBatch("fig7b", &workloads::Fig7b, n / 2, {}));
   batches.push_back(MakeSgBatch("fig7c", &workloads::Fig7c, n, {}));
   batches.push_back(MakeFig8Batch(17, 19, 4));
+  batches.push_back(MakeAllFreeBatch(n, 8));
 
   std::vector<BenchResult> results;
   int failures = 0;
@@ -249,9 +275,9 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("%-28s %8s %10s %10s %10s %12s %10s %8s %6s\n", "batch",
+  std::printf("%-28s %8s %10s %10s %10s %12s %10s %8s %10s %6s\n", "batch",
               "queries", "tuples", "startup_ms", "wall_ms", "queries/sec",
-              "speedup", "fetches", "same");
+              "speedup", "fetches", "memo_hits", "same");
   for (const BenchResult& r : results) {
     if (!r.ok) {
       ++failures;
@@ -259,12 +285,13 @@ int main(int argc, char** argv) {
       continue;
     }
     if (!r.identical) ++failures;
-    std::printf("%-28s %8llu %10llu %10.3f %10.3f %12.1f %9.2fx %8llu %6s\n",
-                r.name.c_str(), static_cast<unsigned long long>(r.queries),
-                static_cast<unsigned long long>(r.tuples), r.startup_ms,
-                r.wall_ms, r.qps, r.speedup,
-                static_cast<unsigned long long>(r.fetches),
-                r.identical ? "yes" : "NO");
+    std::printf(
+        "%-28s %8llu %10llu %10.3f %10.3f %12.1f %9.2fx %8llu %10llu %6s\n",
+        r.name.c_str(), static_cast<unsigned long long>(r.queries),
+        static_cast<unsigned long long>(r.tuples), r.startup_ms, r.wall_ms,
+        r.qps, r.speedup, static_cast<unsigned long long>(r.fetches),
+        static_cast<unsigned long long>(r.memo_hits),
+        r.identical ? "yes" : "NO");
   }
 
   if (json) {
@@ -278,7 +305,8 @@ int main(int argc, char** argv) {
           << ", \"startup_ms\": " << r.startup_ms
           << ", \"wall_ms\": " << r.wall_ms << ", \"qps\": " << r.qps
           << ", \"speedup\": " << r.speedup << ", \"tuples\": " << r.tuples
-          << ", \"fetches\": " << r.fetches << "}"
+          << ", \"fetches\": " << r.fetches
+          << ", \"memo_hits\": " << r.memo_hits << "}"
           << (i + 1 < results.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";

@@ -2,11 +2,13 @@
 //
 //   ./datalog_cli [--strategy=graph|seminaive|naive|magic|transform]
 //                 [--cyclic-bound] [--max-iterations=N] [--threads=N]
-//                 [--live] [--dot] <file.dl>
+//                 [--live] [--stats] [--dot] <file.dl>
 //
 // The file contains rules, facts, and `?- query.` lines; every query is
 // evaluated with the chosen strategy and the answers plus work counters are
-// printed. With --dot the automaton M(e_p) of each queried predicate and
+// printed. With --stats, service and live modes print the full EvalStats of
+// every query (nodes, arcs, iterations, expansions, fetches,
+// wide_mask_scans, memo_hits). With --dot the automaton M(e_p) of each queried predicate and
 // the equation dependency graph are emitted as Graphviz. With --threads=N
 // (graph strategy only) the queries are dispatched as one batch to a
 // QueryService over a frozen database snapshot, N workers wide, and the
@@ -65,6 +67,25 @@ void PrintAnswers(const Database& db, const Literal& query,
   }
 }
 
+/// Full per-query EvalStats line (service and live modes, --stats).
+void PrintEvalStats(const char* tag, const EvalStats& stats,
+                    uint64_t fetches) {
+  std::printf(
+      "  [%s] nodes=%llu arcs=%llu iterations=%llu expansions=%llu "
+      "continuations=%llu em_states=%llu fetches=%llu wide_mask_scans=%llu "
+      "memo_hits=%llu%s\n",
+      tag, static_cast<unsigned long long>(stats.nodes),
+      static_cast<unsigned long long>(stats.arcs),
+      static_cast<unsigned long long>(stats.iterations),
+      static_cast<unsigned long long>(stats.expansions),
+      static_cast<unsigned long long>(stats.continuations),
+      static_cast<unsigned long long>(stats.em_states),
+      static_cast<unsigned long long>(fetches),
+      static_cast<unsigned long long>(stats.wide_mask_scans),
+      static_cast<unsigned long long>(stats.memo_hits),
+      stats.hit_iteration_cap ? " (iteration cap hit!)" : "");
+}
+
 std::string Trim(const std::string& s) {
   size_t b = s.find_first_not_of(" \t\r\n");
   if (b == std::string::npos) return "";
@@ -107,7 +128,7 @@ bool IsVariableSpelling(const std::string& s) {
 /// The load/publish REPL over a live service. Returns the process exit
 /// code.
 int RunLiveRepl(SnapshotManager& manager, QueryService& service,
-                const EvalOptions& options) {
+                const EvalOptions& options, bool print_stats) {
   std::printf(
       "[live] epoch %llu serving on %zu threads; commands: +fact(...), "
       "publish, ?- query, epoch, pending, quit\n",
@@ -195,12 +216,17 @@ int RunLiveRepl(SnapshotManager& manager, QueryService& service,
         }
         std::printf("  %s\n", TupleToString(t, tip->symbols()).c_str());
       }
-      std::printf(
-          "  [live] nodes=%llu iterations=%llu fetches=%llu wide_scans=%llu\n",
-          static_cast<unsigned long long>(resp.stats.nodes),
-          static_cast<unsigned long long>(resp.stats.iterations),
-          static_cast<unsigned long long>(resp.fetches),
-          static_cast<unsigned long long>(resp.stats.wide_mask_scans));
+      if (print_stats) {
+        PrintEvalStats("live", resp.stats, resp.fetches);
+      } else {
+        std::printf(
+            "  [live] nodes=%llu iterations=%llu fetches=%llu "
+            "wide_scans=%llu\n",
+            static_cast<unsigned long long>(resp.stats.nodes),
+            static_cast<unsigned long long>(resp.stats.iterations),
+            static_cast<unsigned long long>(resp.fetches),
+            static_cast<unsigned long long>(resp.stats.wide_mask_scans));
+      }
       continue;
     }
     std::printf(
@@ -216,6 +242,7 @@ int main(int argc, char** argv) {
   bool cyclic_bound = false;
   bool dot = false;
   bool live = false;
+  bool print_stats = false;
   size_t max_iterations = 0;
   size_t threads = 0;
   std::string path;
@@ -229,6 +256,8 @@ int main(int argc, char** argv) {
       dot = true;
     } else if (arg == "--live") {
       live = true;
+    } else if (arg == "--stats") {
+      print_stats = true;
     } else if (arg.rfind("--max-iterations=", 0) == 0) {
       max_iterations = std::stoul(arg.substr(17));
     } else if (arg.rfind("--threads=", 0) == 0) {
@@ -237,7 +266,7 @@ int main(int argc, char** argv) {
       std::printf(
           "usage: datalog_cli [--strategy=graph|seminaive|naive|magic|"
           "transform] [--cyclic-bound] [--max-iterations=N] [--threads=N] "
-          "[--live] [--dot] <file.dl>\n");
+          "[--live] [--stats] [--dot] <file.dl>\n");
       return 0;
     } else {
       path = arg;
@@ -281,8 +310,9 @@ int main(int argc, char** argv) {
       QueryResponse resp = service.Eval(req);
       if (!resp.status.ok()) return Fail(resp.status.message());
       PrintAnswers(*tip, q, resp.tuples);
+      if (print_stats) PrintEvalStats("live", resp.stats, resp.fetches);
     }
-    return RunLiveRepl(manager, service, options);
+    return RunLiveRepl(manager, service, options, print_stats);
   }
 
   Database db;
@@ -327,13 +357,18 @@ int main(int argc, char** argv) {
         continue;
       }
       PrintAnswers(db, program.queries[i], r.tuples);
-      std::printf(
-          "  [service] nodes=%llu arcs=%llu iterations=%llu fetches=%llu%s\n",
-          static_cast<unsigned long long>(r.stats.nodes),
-          static_cast<unsigned long long>(r.stats.arcs),
-          static_cast<unsigned long long>(r.stats.iterations),
-          static_cast<unsigned long long>(r.fetches),
-          r.stats.hit_iteration_cap ? " (iteration cap hit!)" : "");
+      if (print_stats) {
+        PrintEvalStats("service", r.stats, r.fetches);
+      } else {
+        std::printf(
+            "  [service] nodes=%llu arcs=%llu iterations=%llu "
+            "fetches=%llu%s\n",
+            static_cast<unsigned long long>(r.stats.nodes),
+            static_cast<unsigned long long>(r.stats.arcs),
+            static_cast<unsigned long long>(r.stats.iterations),
+            static_cast<unsigned long long>(r.fetches),
+            r.stats.hit_iteration_cap ? " (iteration cap hit!)" : "");
+      }
     }
     std::printf(
         "[service] %llu queries (%llu failed) on %zu threads: %.3f ms, "

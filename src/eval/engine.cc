@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "eval/eval_artifacts.h"
 #include "eval/rex_image.h"
 #include "util/check.h"
 #include "util/dense_bits.h"
@@ -80,6 +81,7 @@ Result<std::vector<TermId>> Engine::EvalFrom(SymbolId pred, TermId source,
   st = EvalStats{};
   uint64_t tls_fetches_before = Relation::ThreadFetchCount();
   uint64_t tls_wide_before = Relation::ThreadWideScanCount();
+  uint64_t tls_memo_before = EvalArtifacts::ThreadMemoHits();
 
   // Reset-and-reuse: empty the scratch sets but keep their capacity, so a
   // query stream on one engine stops paying per-query growth.
@@ -240,6 +242,7 @@ Result<std::vector<TermId>> Engine::EvalFrom(SymbolId pred, TermId source,
   // into the database (QueryEngine folds those in for the combined total).
   st.fetches = Relation::ThreadFetchCount() - tls_fetches_before;
   st.wide_mask_scans = Relation::ThreadWideScanCount() - tls_wide_before;
+  st.memo_hits = EvalArtifacts::ThreadMemoHits() - tls_memo_before;
   std::sort(answers.begin(), answers.end());
   return answers;
 }

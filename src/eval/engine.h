@@ -43,6 +43,11 @@ struct EvalStats {
   /// before the freeze. Nonzero means a hot mask is missing its index —
   /// visible here so the silent O(n)-per-probe path can't regress unseen.
   uint64_t wide_mask_scans = 0;
+  /// Probes served from epoch-shared memos (snapshot-owned adjacency /
+  /// closure / demand-join artifacts) instead of EDB retrievals. Each hit
+  /// stands for the fetches the shared artifact saved; `fetches` stays the
+  /// true EDB retrieval count.
+  uint64_t memo_hits = 0;
   bool hit_iteration_cap = false;
 
   /// Cumulative answer-set size after each iteration (Lemma 2: the partial

@@ -1,0 +1,278 @@
+#include "eval/eval_artifacts.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "datalog/printer.h"
+#include "eval/query.h"
+#include "rex/rex.h"
+#include "util/check.h"
+
+namespace binchain {
+
+std::vector<SymbolId> TransitiveBasePreds(const EquationSystem& eqs,
+                                          SymbolId pred) {
+  std::unordered_set<SymbolId> todo{pred}, seen, base;
+  while (!todo.empty()) {
+    SymbolId p = *todo.begin();
+    todo.erase(todo.begin());
+    if (!seen.insert(p).second) continue;
+    if (!eqs.Has(p)) {
+      base.insert(p);
+      continue;
+    }
+    std::unordered_set<SymbolId> mentioned;
+    CollectPreds(eqs.Rhs(p), mentioned);
+    for (SymbolId q : mentioned) todo.insert(q);
+  }
+  std::vector<SymbolId> out(base.begin(), base.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+SharedAdjacency::SharedAdjacency(const Relation* rel)
+    : rel_(rel), total_rows_(rel->size()) {
+  BINCHAIN_CHECK(rel_->frozen());
+}
+
+SharedAdjacency::SharedAdjacency(const Relation* rel,
+                                 std::shared_ptr<const SharedAdjacency> base)
+    : rel_(rel),
+      base_(std::move(base)),
+      local_begin_(base_->relation()->size()),
+      total_rows_(rel->size()) {
+  BINCHAIN_CHECK(rel_->frozen());
+  BINCHAIN_CHECK(local_begin_ <= total_rows_);
+}
+
+void SharedAdjacency::EnsureBuilt() const {
+  if (ready_.load(std::memory_order_acquire)) return;
+  if (base_ != nullptr) base_->EnsureBuilt();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ready_.load(std::memory_order_relaxed)) return;
+  BuildLocal();
+  ready_.store(true, std::memory_order_release);
+}
+
+void SharedAdjacency::BuildLocal() const {
+  // Counting sort of this layer's rows by source (and by target for the
+  // backward direction). Filling in ascending row order keeps every
+  // per-key target list in insertion order — the enumeration order
+  // Relation::ForEachMatch delivers.
+  SymbolId bound = 0;
+  for (size_t r = local_begin_; r < total_rows_; ++r) {
+    TupleRef t = rel_->tuple(r);
+    bound = std::max({bound, static_cast<SymbolId>(t[0] + 1),
+                      static_cast<SymbolId>(t[1] + 1)});
+  }
+  size_t rows = total_rows_ - local_begin_;
+  fwd_.off.assign(bound + 1, 0);
+  bwd_.off.assign(bound + 1, 0);
+  fwd_.tgt.resize(rows);
+  bwd_.tgt.resize(rows);
+  for (size_t r = local_begin_; r < total_rows_; ++r) {
+    TupleRef t = rel_->tuple(r);
+    ++fwd_.off[t[0] + 1];
+    ++bwd_.off[t[1] + 1];
+  }
+  for (SymbolId c = 1; c <= bound; ++c) {
+    fwd_.off[c] += fwd_.off[c - 1];
+    bwd_.off[c] += bwd_.off[c - 1];
+  }
+  std::vector<uint32_t> fcur(fwd_.off.begin(), fwd_.off.end());
+  std::vector<uint32_t> bcur(bwd_.off.begin(), bwd_.off.end());
+  for (size_t r = local_begin_; r < total_rows_; ++r) {
+    TupleRef t = rel_->tuple(r);
+    fwd_.tgt[fcur[t[0]]++] = t[1];
+    bwd_.tgt[bcur[t[1]]++] = t[0];
+  }
+}
+
+void SharedAdjacency::ForEachSucc(SymbolId u,
+                                  FunctionRef<void(SymbolId)> fn) const {
+  BINCHAIN_DCHECK(built());
+  EvalArtifacts::BumpThreadMemoHits();
+  // Base layers hold older rows; emitting them first preserves global
+  // insertion order. The chain is shallow (flatten policy), so a small
+  // fixed stack suffices.
+  const SharedAdjacency* layers[RowRange::kMaxSegments];
+  size_t n = 0;
+  for (const SharedAdjacency* layer = this; layer != nullptr;
+       layer = layer->base_.get()) {
+    BINCHAIN_CHECK(n < RowRange::kMaxSegments);
+    layers[n++] = layer;
+  }
+  while (n > 0) layers[--n]->fwd_.ForKey(u, fn);
+}
+
+void SharedAdjacency::ForEachPred(SymbolId v,
+                                  FunctionRef<void(SymbolId)> fn) const {
+  BINCHAIN_DCHECK(built());
+  EvalArtifacts::BumpThreadMemoHits();
+  const SharedAdjacency* layers[RowRange::kMaxSegments];
+  size_t n = 0;
+  for (const SharedAdjacency* layer = this; layer != nullptr;
+       layer = layer->base_.get()) {
+    BINCHAIN_CHECK(n < RowRange::kMaxSegments);
+    layers[n++] = layer;
+  }
+  while (n > 0) layers[--n]->bwd_.ForKey(v, fn);
+}
+
+SharedDemandMemo::Shard& SharedDemandMemo::ShardFor(
+    const Tuple& input) const {
+  return shards_[TupleHash{}(input) % kShards];
+}
+
+const std::vector<Tuple>* SharedDemandMemo::Find(const Tuple& input) const {
+  Shard& shard = ShardFor(input);
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  auto it = shard.map.find(input);
+  if (it == shard.map.end()) return nullptr;
+  EvalArtifacts::BumpThreadMemoHits();
+  return it->second.get();
+}
+
+const std::vector<Tuple>* SharedDemandMemo::Publish(
+    const Tuple& input, std::vector<Tuple> outputs) const {
+  Shard& shard = ShardFor(input);
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  auto it = shard.map.find(input);
+  if (it != shard.map.end()) return it->second.get();
+  auto stored =
+      std::make_unique<const std::vector<Tuple>>(std::move(outputs));
+  const std::vector<Tuple>* raw = stored.get();
+  shard.map.emplace(input, std::move(stored));
+  return raw;
+}
+
+uint64_t SharedDemandMemo::entries() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    total += shard.map.size();
+  }
+  return total;
+}
+
+std::shared_ptr<const EvalArtifacts> EvalArtifacts::BuildFor(
+    const Database& db, std::shared_ptr<const PreparedProgram> plan,
+    const std::shared_ptr<const EvalArtifacts>& prev) {
+  BINCHAIN_CHECK(db.frozen());
+  BINCHAIN_CHECK(plan != nullptr);
+  std::shared_ptr<EvalArtifacts> out(new EvalArtifacts());
+  out->epoch_ = db.epoch();
+  out->plan_ = plan;
+
+  for (const std::string& name : db.relation_names()) {
+    const Relation* rel = db.Find(name);
+    auto id = db.symbols().Find(name);
+    if (rel == nullptr || !id) continue;
+    out->rel_by_id_.emplace(*id, rel);
+    if (rel->arity() != 2) continue;
+    out->binary_.emplace_back(*id, rel);
+    ++out->refresh_.adjacency_entries;
+
+    std::shared_ptr<SharedAdjacency> prev_adj;
+    if (prev != nullptr) {
+      auto pit = prev->adjacency_.find(*id);
+      if (pit != prev->adjacency_.end()) prev_adj = pit->second;
+    }
+    if (prev_adj != nullptr && prev_adj->relation() == rel) {
+      // Untouched relation: the previous epoch's memo answers verbatim.
+      out->adjacency_.emplace(*id, prev_adj);
+      ++out->refresh_.adjacency_reused;
+    } else if (prev_adj != nullptr &&
+               rel->base().get() == prev_adj->relation() &&
+               !Relation::ShouldFlatten(
+                   prev_adj->chain_depth() + 1,
+                   rel->size() - prev_adj->root_rows(), prev_adj->root_rows(),
+                   Relation::kMaxChainDepth, Relation::kFlattenMinRows)) {
+      // Delta layer on the relation the old memo covered: chain a memo
+      // layer over just the new rows. Built lazily, O(delta).
+      out->adjacency_.emplace(
+          *id, std::make_shared<SharedAdjacency>(rel, std::move(prev_adj)));
+      ++out->refresh_.adjacency_extended;
+    } else {
+      // New relation, flattened relation, or a memo chain deep enough that
+      // the shared flatten policy says to compact: standalone rebuild
+      // (lazy; eager below for the first freeze).
+      out->adjacency_.emplace(*id, std::make_shared<SharedAdjacency>(rel));
+      ++out->refresh_.adjacency_rebuilt;
+    }
+  }
+
+  const EquationSystem& eqs = plan->lemma1.final_system;
+  for (SymbolId p : eqs.preds()) {
+    DerivedEntry entry;
+    entry.deps = TransitiveBasePreds(eqs, p);
+    ++out->refresh_.derived_entries;
+    const DerivedEntry* prev_entry = nullptr;
+    if (prev != nullptr) {
+      auto pit = prev->derived_.find(p);
+      if (pit != prev->derived_.end()) prev_entry = &pit->second;
+    }
+    bool clean = prev_entry != nullptr;
+    if (clean) {
+      for (SymbolId d : entry.deps) {
+        const Relation* now = db.FindById(d);
+        auto bit = prev->rel_by_id_.find(d);
+        const Relation* before =
+            bit == prev->rel_by_id_.end() ? nullptr : bit->second;
+        if (now != before) {
+          clean = false;
+          break;
+        }
+      }
+    }
+    if (clean) {
+      entry.closure = prev_entry->closure;
+      entry.sources = prev_entry->sources;
+      ++out->refresh_.derived_reused;
+    } else {
+      entry.closure = std::make_shared<SharedClosure>();
+      entry.sources = std::make_shared<SharedSources>();
+      ++out->refresh_.derived_invalidated;
+    }
+    out->derived_.emplace(p, std::move(entry));
+  }
+
+  if (prev == nullptr) {
+    // First freeze: pay the one-time adjacency build here, on the calling
+    // thread, so serving starts with every memo warm ("built at freeze
+    // time"). Post-publish epochs skip this — their refreshed entries
+    // build on first probe, keeping Publish() O(delta).
+    for (auto& [id, adj] : out->adjacency_) adj->EnsureBuilt();
+  }
+  return out;
+}
+
+bool EvalArtifacts::CompatiblePlan(const PreparedProgram& plan,
+                                   const SymbolTable& symbols) const {
+  return ProgramToString(plan_->program, symbols) ==
+         ProgramToString(plan.program, symbols);
+}
+
+const SharedAdjacency* EvalArtifacts::Adjacency(SymbolId pred) const {
+  auto it = adjacency_.find(pred);
+  return it == adjacency_.end() ? nullptr : it->second.get();
+}
+
+const SharedClosure* EvalArtifacts::Closure(SymbolId pred) const {
+  auto it = derived_.find(pred);
+  return it == derived_.end() ? nullptr : it->second.closure.get();
+}
+
+const SharedSources* EvalArtifacts::Sources(SymbolId pred) const {
+  auto it = derived_.find(pred);
+  return it == derived_.end() ? nullptr : it->second.sources.get();
+}
+
+const SharedDemandMemo& EvalArtifacts::DemandMemo(SymbolId pred) const {
+  std::lock_guard<std::mutex> lock(demand_mu_);
+  auto& slot = demand_[pred];
+  if (slot == nullptr) slot = std::make_unique<SharedDemandMemo>();
+  return *slot;
+}
+
+}  // namespace binchain

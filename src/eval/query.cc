@@ -4,6 +4,7 @@
 
 #include "datalog/parser.h"
 #include "eval/closure.h"
+#include "eval/eval_artifacts.h"
 #include "util/check.h"
 
 namespace binchain {
@@ -111,7 +112,12 @@ Status QueryEngine::BindSnapshot(const Database& db) {
   // only the relation pointers (and the database read below) move. The
   // const_cast is sound: a frozen epoch is never mutated through db_.
   db_ = const_cast<Database*>(&db);
-  views_->BindDatabase(db);
+  // Adopt the epoch's shared artifacts (if the snapshot publisher attached
+  // any): views rebind from the artifacts' frozen relation table and start
+  // serving from the snapshot-owned memos, and the all-free paths below
+  // from the shared closure / source caches.
+  artifacts_ = std::dynamic_pointer_cast<const EvalArtifacts>(db.artifact());
+  views_->BindSnapshot(db, artifacts_.get());
   return Status::Ok();
 }
 
@@ -127,26 +133,30 @@ Result<QueryAnswer> QueryEngine::Query(std::string_view literal_text,
   return Query(lit.value(), options);
 }
 
-std::vector<SymbolId> QueryEngine::CandidateSources(SymbolId pred) {
-  // Collect every predicate transitively mentioned from e_pred, then gather
-  // the constants of the corresponding EDB relations (both columns: a
-  // conservative superset of domain(pred)).
-  std::unordered_set<SymbolId> todo{pred}, seen;
-  std::unordered_set<SymbolId> base;
-  while (!todo.empty()) {
-    SymbolId p = *todo.begin();
-    todo.erase(todo.begin());
-    if (!seen.insert(p).second) continue;
-    if (!plan_->lemma1.final_system.Has(p)) {
-      base.insert(p);
-      continue;
+const std::vector<SymbolId>& QueryEngine::CandidateSources(SymbolId pred) {
+  if (artifacts_ != nullptr) {
+    if (const SharedSources* cache = artifacts_->Sources(pred)) {
+      if (const std::vector<SymbolId>* v = cache->Get()) {
+        EvalArtifacts::BumpThreadMemoHits();
+        return *v;
+      }
+      // First all-free query of this epoch: compute once, publish for every
+      // worker. All computations over one frozen snapshot are identical, so
+      // first-wins is deterministic in content. The cell's storage is
+      // stable, so the reference stays valid for the sweep.
+      return *cache->Publish(ComputeCandidateSources(pred));
     }
-    std::unordered_set<SymbolId> mentioned;
-    CollectPreds(plan_->lemma1.final_system.Rhs(p), mentioned);
-    for (SymbolId q : mentioned) todo.insert(q);
   }
+  source_scratch_ = ComputeCandidateSources(pred);
+  return source_scratch_;
+}
+
+std::vector<SymbolId> QueryEngine::ComputeCandidateSources(SymbolId pred) {
+  // The base predicates e_pred transitively reads (the same dependency set
+  // artifact invalidation keys on), then the constants of those relations
+  // (both columns: a conservative superset of domain(pred)).
   std::unordered_set<SymbolId> consts;
-  for (SymbolId p : base) {
+  for (SymbolId p : TransitiveBasePreds(plan_->lemma1.final_system, pred)) {
     const Relation* rel = db_->FindById(p);
     if (rel == nullptr) continue;
     for (TupleRef t : rel->tuples()) {
@@ -184,16 +194,34 @@ bool QueryEngine::TryAllPairsClosure(SymbolId pred, const Literal& query,
   BinaryRelationView* view = views_->Find(leaf->pred);
   if (view == nullptr || !view->SupportsEnumerate()) return false;
 
-  ClosureStats stats;
-  auto pairs = TransitiveClosureAllPairs(view, &stats);
-  if (!pairs.ok()) return false;
-  answer->stats.nodes = stats.nodes;
   bool diagonal = query.args[0].IsVar() && query.args[1].IsVar() &&
                   query.args[0] == query.args[1];
   TermPool& pool = views_->pool();
-  for (auto [u, v] : pairs.value()) {
-    SymbolId cu = pool.AsUnary(u);
-    SymbolId cv = pool.AsUnary(v);
+
+  // Epoch-shared closure cache: the first worker runs Tarjan and publishes
+  // the pairs as SymbolIds (meaningful in every pool); everyone else — and
+  // every later all-free query of the epoch — replays the shared value.
+  // Without artifacts the same value is simply computed locally.
+  const SharedClosure* cache =
+      artifacts_ != nullptr ? artifacts_->Closure(pred) : nullptr;
+  const ClosureValue* v = cache != nullptr ? cache->Get() : nullptr;
+  ClosureValue local;
+  if (v != nullptr) {
+    EvalArtifacts::BumpThreadMemoHits();
+  } else {
+    ClosureStats stats;
+    auto pairs = TransitiveClosureAllPairs(view, &stats);
+    if (!pairs.ok()) return false;
+    local.nodes = stats.nodes;
+    local.pairs.reserve(pairs.value().size());
+    for (auto [u, w] : pairs.value()) {
+      local.pairs.emplace_back(pool.AsUnary(u), pool.AsUnary(w));
+    }
+    std::sort(local.pairs.begin(), local.pairs.end());
+    v = cache != nullptr ? cache->Publish(std::move(local)) : &local;
+  }
+  answer->stats.nodes = v->nodes;
+  for (auto [cu, cv] : v->pairs) {
     if (diagonal && cu != cv) continue;
     answer->tuples.push_back(Tuple{cu, cv});
   }
@@ -219,6 +247,7 @@ Result<QueryAnswer> QueryEngine::Query(const Literal& query,
   };
   uint64_t fetches_before = fetch_total();
   uint64_t wide_before = Relation::ThreadWideScanCount();
+  uint64_t memo_before = EvalArtifacts::ThreadMemoHits();
   QueryAnswer answer;
 
   // Base-predicate queries answer directly from the extensional database.
@@ -246,6 +275,7 @@ Result<QueryAnswer> QueryEngine::Query(const Literal& query,
     answer.stats.fetches = answer.fetches;
     answer.stats.wide_mask_scans =
         Relation::ThreadWideScanCount() - wide_before;
+    answer.stats.memo_hits = EvalArtifacts::ThreadMemoHits() - memo_before;
     return answer;
   }
 
@@ -304,6 +334,7 @@ Result<QueryAnswer> QueryEngine::Query(const Literal& query,
   answer.fetches = fetch_total() - fetches_before;
   answer.stats.fetches = answer.fetches;
   answer.stats.wide_mask_scans = Relation::ThreadWideScanCount() - wide_before;
+  answer.stats.memo_hits = EvalArtifacts::ThreadMemoHits() - memo_before;
   return answer;
 }
 

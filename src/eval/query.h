@@ -22,6 +22,8 @@
 
 namespace binchain {
 
+class EvalArtifacts;
+
 struct QueryAnswer {
   std::vector<Tuple> tuples;  // sorted, deduplicated, full query arity
   EvalStats stats;
@@ -90,8 +92,18 @@ class QueryEngine {
   /// symbol-id space). EDB views rebind in place; compiled machines, the
   /// term pool, and the rex cache survive untouched — nothing is recomputed
   /// per query after an epoch bump. `db` must be frozen (the engine only
-  /// reads it).
+  /// reads it). If the epoch carries an EvalArtifacts set
+  /// (Database::artifact), the engine adopts it: EDB probes serve from the
+  /// epoch-shared adjacency memos and all-free queries from the shared
+  /// closure / candidate-source caches, so only worker-private scratch
+  /// remains per engine.
   Status BindSnapshot(const Database& db);
+
+  /// The epoch-shared artifacts currently bound (nullptr outside a
+  /// snapshot-serving context).
+  const std::shared_ptr<const EvalArtifacts>& artifacts() const {
+    return artifacts_;
+  }
 
   /// The Lemma 1 equation system (available after loading).
   const EquationSystem& equations() const;
@@ -105,7 +117,13 @@ class QueryEngine {
 
  private:
   void InitFromPlan();
-  std::vector<SymbolId> CandidateSources(SymbolId pred);
+  /// Candidate constants for the all-free sweep: the epoch-shared cache
+  /// when artifacts are bound (computed once per epoch, by whichever worker
+  /// gets there first), a private walk otherwise. The reference is stable
+  /// for the duration of one query (shared-cell storage, or the engine's
+  /// own scratch below).
+  const std::vector<SymbolId>& CandidateSources(SymbolId pred);
+  std::vector<SymbolId> ComputeCandidateSources(SymbolId pred);
 
   /// All-free queries over pure-closure equations (e*.e or e.e*, e a base
   /// predicate) are answered with one shared Tarjan condensation pass;
@@ -115,9 +133,12 @@ class QueryEngine {
 
   Database* db_;
   std::shared_ptr<const PreparedProgram> plan_;
+  std::shared_ptr<const EvalArtifacts> artifacts_;  // epoch-shared, or null
   std::unique_ptr<ViewRegistry> views_;
   std::unique_ptr<Engine> engine_;
   std::unique_ptr<Engine> inv_engine_;
+  /// Backing store for CandidateSources when no shared cache serves it.
+  std::vector<SymbolId> source_scratch_;
 };
 
 }  // namespace binchain

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "eval/eval_artifacts.h"
 #include "eval/join.h"
 #include "util/check.h"
 
@@ -11,6 +12,13 @@ namespace binchain {
 void EdbBinaryView::ForEachSucc(TermId u, FunctionRef<void(TermId)> fn) {
   const Tuple& t = pool_->Get(u);
   if (t.size() != 1) return;  // non-constant term: no successors in an EDB
+  if (adj_ != nullptr) {
+    // Snapshot-owned memo: same successors in the same order, one memo hit
+    // in place of the per-tuple EDB fetches.
+    adj_->EnsureBuilt();
+    adj_->ForEachSucc(t[0], [&](SymbolId c) { fn(pool_->Unary(c)); });
+    return;
+  }
   const SymbolId key[2] = {t[0], 0};
   rel_->ForEachMatch(0b01u, TupleRef(key, 2),
                      [&](TupleRef m) { fn(pool_->Unary(m[1])); });
@@ -19,6 +27,11 @@ void EdbBinaryView::ForEachSucc(TermId u, FunctionRef<void(TermId)> fn) {
 void EdbBinaryView::ForEachPred(TermId v, FunctionRef<void(TermId)> fn) {
   const Tuple& t = pool_->Get(v);
   if (t.size() != 1) return;
+  if (adj_ != nullptr) {
+    adj_->EnsureBuilt();
+    adj_->ForEachPred(t[0], [&](SymbolId c) { fn(pool_->Unary(c)); });
+    return;
+  }
   const SymbolId key[2] = {0, t[0]};
   rel_->ForEachMatch(0b10u, TupleRef(key, 2),
                      [&](TupleRef m) { fn(pool_->Unary(m[0])); });
@@ -84,7 +97,23 @@ void DemandJoinView::ForEachSucc(TermId u, FunctionRef<void(TermId)> fn) {
     for (TermId v : it->second) fn(v);
     return;
   }
-  const Tuple& in = pool_->Get(u);
+  // By value: the computation below interns output terms, which may grow
+  // the pool and invalidate references into it (Tuple's small-buffer copy
+  // is cheap).
+  Tuple in = pool_->Get(u);
+  if (shared_ != nullptr) {
+    // A worker anywhere already joined this source this epoch: intern its
+    // outputs into our pool and memoize locally — no body enumeration, no
+    // EDB fetches.
+    if (const std::vector<Tuple>* hit = shared_->Find(in)) {
+      std::vector<TermId> interned;
+      interned.reserve(hit->size());
+      for (const Tuple& out : *hit) interned.push_back(pool_->InternTuple(out));
+      auto [mit, _] = memo_.emplace(u, std::move(interned));
+      for (TermId v : mit->second) fn(v);
+      return;
+    }
+  }
   std::vector<TermId> results;
   if (in.size() == input_vars_.size()) {
     Binding binding;
@@ -110,6 +139,15 @@ void DemandJoinView::ForEachSucc(TermId u, FunctionRef<void(TermId)> fn) {
                     results.end());
     }
   }
+  if (shared_ != nullptr && status_.ok()) {
+    // Publish by content so every worker's pool can replay it. Only clean
+    // computations are shared — a failed body enumeration must not poison
+    // other workers with a partial result.
+    std::vector<Tuple> outs;
+    outs.reserve(results.size());
+    for (TermId v : results) outs.push_back(pool_->Get(v));
+    shared_->Publish(in, std::move(outs));
+  }
   auto [mit, _] = memo_.emplace(u, std::move(results));
   for (TermId v : mit->second) fn(v);
 }
@@ -117,10 +155,27 @@ void DemandJoinView::ForEachSucc(TermId u, FunctionRef<void(TermId)> fn) {
 void ViewRegistry::Register(SymbolId pred,
                             std::unique_ptr<BinaryRelationView> view) {
   edb_views_.erase(pred);  // a custom view shadows any rebindable EDB view
+  demand_views_.erase(pred);
+  if (auto* demand = dynamic_cast<DemandJoinView*>(view.get())) {
+    demand_views_[pred] = demand;
+  }
   views_[pred] = std::move(view);
 }
 
 void ViewRegistry::RegisterDatabase(const Database& db) { BindDatabase(db); }
+
+void ViewRegistry::RebindOrCreateEdbView(SymbolId pred, const Relation* rel) {
+  auto it = edb_views_.find(pred);
+  if (it != edb_views_.end()) {
+    it->second->Rebind(rel);
+    return;
+  }
+  if (views_.count(pred) > 0) return;  // custom view wins; leave it
+  auto view = std::make_unique<EdbBinaryView>(rel, &pool_);
+  EdbBinaryView* raw = view.get();
+  Register(pred, std::move(view));
+  edb_views_[pred] = raw;
+}
 
 void ViewRegistry::BindDatabase(const Database& db) {
   // Frozen epochs are never written through the registry: Intern below only
@@ -130,18 +185,36 @@ void ViewRegistry::BindDatabase(const Database& db) {
   for (const std::string& name : db.relation_names()) {
     const Relation* rel = db.Find(name);
     if (rel == nullptr || rel->arity() != 2) continue;
-    SymbolId pred = symbols_->Intern(name);
-    auto it = edb_views_.find(pred);
-    if (it != edb_views_.end()) {
-      it->second->Rebind(rel);
-      continue;
-    }
-    if (views_.count(pred) > 0) continue;  // custom view wins; leave it
-    auto view = std::make_unique<EdbBinaryView>(rel, &pool_);
-    EdbBinaryView* raw = view.get();
-    Register(pred, std::move(view));
-    edb_views_[pred] = raw;
+    RebindOrCreateEdbView(symbols_->Intern(name), rel);
   }
+}
+
+void ViewRegistry::BindArtifacts(const EvalArtifacts* artifacts) {
+  for (auto& [pred, view] : edb_views_) {
+    view->BindSharedAdjacency(
+        artifacts == nullptr ? nullptr : artifacts->Adjacency(pred));
+  }
+  for (auto& [pred, view] : demand_views_) {
+    view->BindSharedMemo(
+        artifacts == nullptr ? nullptr : &artifacts->DemandMemo(pred));
+  }
+}
+
+void ViewRegistry::BindSnapshot(const Database& db,
+                                const EvalArtifacts* artifacts) {
+  if (artifacts == nullptr) {
+    BindDatabase(db);
+    BindArtifacts(nullptr);
+    return;
+  }
+  // The artifact set already resolved every binary relation of the epoch
+  // to (pred id, relation); rebind straight from that table — no name
+  // walk, no Intern.
+  symbols_ = const_cast<SymbolTable*>(&db.symbols());
+  for (auto [pred, rel] : artifacts->binary_relations()) {
+    RebindOrCreateEdbView(pred, rel);
+  }
+  BindArtifacts(artifacts);
 }
 
 BinaryRelationView* ViewRegistry::Find(SymbolId pred) const {

@@ -24,6 +24,10 @@
 
 namespace binchain {
 
+class EvalArtifacts;
+class SharedAdjacency;
+class SharedDemandMemo;
+
 /// Visitor parameters are FunctionRef (non-owning, non-allocating): one
 /// indirect call per enumeration, no std::function construction per probe.
 class BinaryRelationView {
@@ -60,9 +64,17 @@ class EdbBinaryView : public BinaryRelationView {
   /// snapshot swaps — only the storage behind it moves.
   void Rebind(const Relation* rel) { rel_ = rel; }
 
+  /// Binds the epoch's shared adjacency memo (or nullptr to detach).
+  /// While bound, ForEachSucc/ForEachPred serve from the snapshot-owned
+  /// memo: identical enumeration, zero per-tuple EDB fetches (counted as
+  /// EvalStats::memo_hits instead). Rebound together with Rebind on every
+  /// epoch bump so view and memo always describe the same snapshot.
+  void BindSharedAdjacency(const SharedAdjacency* adj) { adj_ = adj; }
+
  private:
   const Relation* rel_;
   TermPool* pool_;
+  const SharedAdjacency* adj_ = nullptr;
 };
 
 /// A Section-4 view predicate. Tuples are pairs (t(input), t(output)) where
@@ -93,6 +105,13 @@ class DemandJoinView : public BinaryRelationView {
   /// evaluator after the run.
   const Status& status() const { return status_; }
 
+  /// Binds an epoch-shared demand memo. The private per-source memo_ stays
+  /// (TermIds are pool-local); the shared memo is keyed by input-tuple
+  /// *content*, so a source any worker evaluated is joined exactly once per
+  /// epoch — the Section-4 "no fact fetched twice" discipline extended
+  /// across workers.
+  void BindSharedMemo(const SharedDemandMemo* shared) { shared_ = shared; }
+
  private:
   /// Emits output tuples for one body match. Output variables not bound by
   /// the match range over the active domain of the database — this realizes
@@ -107,6 +126,7 @@ class DemandJoinView : public BinaryRelationView {
   std::vector<SymbolId> input_vars_;
   std::vector<Term> output_terms_;
   std::unordered_map<TermId, std::vector<TermId>> memo_;
+  const SharedDemandMemo* shared_ = nullptr;
   std::vector<SymbolId> domain_;
   bool domain_built_ = false;
   Status status_ = Status::Ok();
@@ -138,6 +158,21 @@ class ViewRegistry {
   /// lookup-only use.
   void BindDatabase(const Database& db);
 
+  /// Wires the epoch's shared artifacts into every registered view: EDB
+  /// views get the matching adjacency memo, demand views the shared demand
+  /// memo. Pass nullptr to detach (views fall back to direct EDB probing).
+  /// Call after BindDatabase on every epoch bump, so views and memos always
+  /// describe the same snapshot.
+  void BindArtifacts(const EvalArtifacts* artifacts);
+
+  /// Epoch rebind in one step. With artifacts, EDB views are rebound from
+  /// the artifact set's frozen binary-relation table — no name walk, no
+  /// Intern — and the shared memos are wired; without, this is
+  /// BindDatabase + detached memos. The epoch must extend the symbol-id
+  /// space the registry was built over, and `artifacts` (when given) must
+  /// describe exactly `db`.
+  void BindSnapshot(const Database& db, const EvalArtifacts* artifacts);
+
   BinaryRelationView* Find(SymbolId pred) const;
 
   /// A regular expression compiled to its machine (no derived predicates),
@@ -167,11 +202,18 @@ class ViewRegistry {
   TraversalScratch& scratch() const { return scratch_; }
 
  private:
+  /// The one rebind-or-create step both bind paths share: re-point an
+  /// existing EDB view at `rel`, leave custom views alone, create and track
+  /// a fresh EdbBinaryView otherwise.
+  void RebindOrCreateEdbView(SymbolId pred, const Relation* rel);
+
   SymbolTable* symbols_;
   TermPool pool_;
   std::unordered_map<SymbolId, std::unique_ptr<BinaryRelationView>> views_;
   /// EDB views owned by views_ that BindDatabase may rebind in place.
   std::unordered_map<SymbolId, EdbBinaryView*> edb_views_;
+  /// Demand views owned by views_ that BindArtifacts wires shared memos to.
+  std::unordered_map<SymbolId, DemandJoinView*> demand_views_;
   mutable std::unordered_map<const Rex*, CompiledRex> rex_cache_;
   mutable CompiledRex compile_error_;  // scratch for uncached failures
   mutable TraversalScratch scratch_;

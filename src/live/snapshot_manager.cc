@@ -27,10 +27,18 @@ Database* SnapshotManager::genesis() {
   return genesis_.get();
 }
 
+void SnapshotManager::SetArtifactBuilder(ArtifactBuilder builder) {
+  std::lock_guard<std::mutex> lock(mu_);
+  artifact_builder_ = std::move(builder);
+}
+
 void SnapshotManager::Seal() {
   std::lock_guard<std::mutex> lock(mu_);
   if (genesis_ == nullptr) return;  // already sealed
   genesis_->Freeze();
+  if (artifact_builder_) {
+    genesis_->AttachArtifact(artifact_builder_(*genesis_, nullptr));
+  }
   tip_ = std::shared_ptr<const Database>(std::move(genesis_));
   genesis_keeper_ = tip_;
 }
@@ -65,11 +73,13 @@ PublishStats SnapshotManager::Publish() {
 
   std::vector<PendingFact> delta;
   std::shared_ptr<const Database> base;
+  ArtifactBuilder builder;
   {
     std::lock_guard<std::mutex> lock(mu_);
     BINCHAIN_CHECK(tip_ != nullptr);  // Seal() before publishing
     delta.swap(pending_);
     base = tip_;
+    builder = artifact_builder_;
   }
 
   PublishStats stats;
@@ -131,6 +141,15 @@ PublishStats SnapshotManager::Publish() {
   auto t2 = std::chrono::steady_clock::now();
   stats.freeze_ms = MsBetween(t1, t2);
   stats.epoch = next->epoch();
+
+  // Artifact refresh rides the epoch: the successor's shared evaluation
+  // state is derived from the predecessor's in O(delta) (reuse by pointer /
+  // chained extension; see EvalArtifacts::BuildFor) and attached before the
+  // tip swap, so no reader ever sees an epoch without its artifacts.
+  if (builder) {
+    next->AttachArtifact(builder(*next, base->artifact()));
+  }
+  stats.artifact_ms = MsBetween(t2, std::chrono::steady_clock::now());
 
   {
     std::lock_guard<std::mutex> lock(mu_);

@@ -22,6 +22,7 @@
 #define BINCHAIN_LIVE_SNAPSHOT_MANAGER_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -42,6 +43,10 @@ struct PublishStats {
   uint64_t relations_flattened = 0;  // of those, compacted to standalone
   double build_ms = 0;   // BeginDelta + inserts + prune
   double freeze_ms = 0;  // incremental index work on the delta layers
+  /// Artifact-builder hook time (epoch-shared memo refresh). O(delta) by
+  /// contract: untouched entries are re-shared by pointer, touched ones are
+  /// invalidated or chained and rebuilt lazily off the publish path.
+  double artifact_ms = 0;
   double wall_ms = 0;    // total, including the tip swap
 };
 
@@ -59,6 +64,22 @@ class SnapshotManager {
   /// Mutable access to the genesis database for initial loading and
   /// program preparation (symbol interning). Aborts once sealed.
   Database* genesis();
+
+  /// Builds an epoch's derived-artifact set right after it froze, before it
+  /// becomes the serving tip. `epoch` is the freshly frozen database;
+  /// `prev` is the predecessor epoch's artifact set (nullptr for the
+  /// genesis), enabling O(delta) refresh by reuse. Runs on the sealing /
+  /// publishing thread, never concurrently with itself.
+  using ArtifactBuilder =
+      std::function<std::shared_ptr<const SnapshotArtifact>(
+          const Database& epoch,
+          const std::shared_ptr<const SnapshotArtifact>& prev)>;
+
+  /// Installs the hook Seal() and every Publish() invoke. Set it before
+  /// Seal() so the genesis epoch carries artifacts too; one builder per
+  /// manager (the query service installs its eval-layer builder at
+  /// construction).
+  void SetArtifactBuilder(ArtifactBuilder builder);
 
   /// Freezes the genesis database and publishes it as the first serving
   /// epoch. Idempotent.
@@ -100,6 +121,7 @@ class SnapshotManager {
     std::vector<std::string> args;
   };
   std::vector<PendingFact> pending_;
+  ArtifactBuilder artifact_builder_;  // guarded by mu_
 };
 
 }  // namespace binchain

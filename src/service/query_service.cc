@@ -4,17 +4,19 @@
 #include <thread>
 #include <utility>
 
+#include "eval/eval_artifacts.h"
 #include "eval/query.h"
 #include "live/snapshot_manager.h"
 #include "util/check.h"
 
 namespace binchain {
 
-/// A worker's private evaluation context. Everything mutable during query
-/// evaluation lives here (term pool, view registry with its memo and rex
-/// caches, both engines' scratch), so workers never synchronize with each
-/// other after construction. The program-derived immutables — equations
-/// and compiled machines — come from the service-wide shared plan.
+/// A worker's private evaluation context. Only the cheap mutable scratch
+/// lives here (term pool, view registry, both engines' node sets);
+/// everything immutable-per-snapshot — the program plan, and the epoch's
+/// EvalArtifacts (shared adjacency memos, closure/source caches) — is
+/// shared read-only, so workers never synchronize with each other after
+/// construction beyond the artifacts' fill-once publication.
 struct QueryService::Worker {
   Worker(Database* db, std::shared_ptr<const PreparedProgram> plan)
       : engine(db, std::move(plan)), bound_epoch(db->epoch()) {}
@@ -29,8 +31,11 @@ QueryService::QueryService(Database* db, const Program& program,
     : db_(db) {
   if (!Init(program, options)) return;
   // Snapshot: complete all lazy index work and forbid mutation, making the
-  // shared storage safe for the concurrent read phase.
+  // shared storage safe for the concurrent read phase; then hang the
+  // epoch's shared evaluation artifacts off it and point the workers there.
   db_->Freeze();
+  AdoptSnapshot(db_);
+  if (!init_status_.ok()) return;
   pool_ = std::make_unique<ThreadPool>(workers_.size());
 }
 
@@ -38,10 +43,43 @@ QueryService::QueryService(SnapshotManager* live, const Program& program,
                            Options options)
     : db_(live->genesis()), live_(live) {
   if (!Init(program, options)) return;
+  // The artifact lifecycle rides the epoch chain: Seal() builds the genesis
+  // epoch's artifacts through this hook, and every later Publish() derives
+  // the successor's set from the predecessor's in O(delta).
+  live_->SetArtifactBuilder(
+      [plan = plan_](const Database& epoch,
+                     const std::shared_ptr<const SnapshotArtifact>& prev)
+          -> std::shared_ptr<const SnapshotArtifact> {
+        return EvalArtifacts::BuildFor(
+            epoch, plan,
+            std::dynamic_pointer_cast<const EvalArtifacts>(prev));
+      });
   // Seal instead of a bare freeze: the genesis becomes epoch 0 of the
   // manager's chain, and every batch from here on acquires the tip.
   live_->Seal();
+  AdoptSnapshot(db_);
+  if (!init_status_.ok()) return;
   pool_ = std::make_unique<ThreadPool>(workers_.size());
+}
+
+void QueryService::AdoptSnapshot(Database* db) {
+  BINCHAIN_CHECK(db->frozen());
+  auto existing =
+      std::dynamic_pointer_cast<const EvalArtifacts>(db->artifact());
+  if (existing == nullptr ||
+      !existing->CompatiblePlan(*plan_, db->symbols())) {
+    // No artifacts yet, or artifacts another service built for a different
+    // rule set over the same symbols: build our own. Attaching replaces the
+    // slot; the other service's workers keep their shared_ptr unharmed.
+    db->AttachArtifact(EvalArtifacts::BuildFor(*db, plan_, nullptr));
+  }
+  for (auto& w : workers_) {
+    if (Status s = w->engine.BindSnapshot(*db); !s.ok()) {
+      init_status_ = s;
+      return;
+    }
+    w->bound_epoch = db->epoch();
+  }
 }
 
 bool QueryService::Init(const Program& program, const Options& options) {
@@ -168,6 +206,20 @@ std::vector<QueryResponse> QueryService::EvalBatch(
   auto t0 = std::chrono::steady_clock::now();
   auto run_one = [&](size_t worker_id, size_t i) {
     QueryResponse& resp = responses[i];
+    // Admission control: a deadline measured from batch dispatch. Expired
+    // requests are answered without evaluating (or rebinding) anything.
+    if (batch[i].deadline_ms > 0) {
+      double elapsed_ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+      if (elapsed_ms >= batch[i].deadline_ms) {
+        resp.timed_out = true;
+        resp.epoch = qdb->epoch();
+        resp.status = Status::DeadlineExceeded(
+            "request deadline expired before evaluation");
+        return;
+      }
+    }
     Worker& w = *workers_[worker_id];
     if (live_ != nullptr && w.bound_epoch != qdb->epoch()) {
       // Epoch bump: re-point this worker's views at the new snapshot.
@@ -210,6 +262,7 @@ std::vector<QueryResponse> QueryService::EvalBatch(
     for (const QueryResponse& r : responses) {
       if (!r.status.ok()) {
         ++stats->failed;
+        if (r.timed_out) ++stats->timed_out;
         continue;
       }
       stats->tuples += r.tuples.size();
@@ -222,6 +275,7 @@ std::vector<QueryResponse> QueryService::EvalBatch(
       stats->total.em_states += r.stats.em_states;
       stats->total.fetches += r.stats.fetches;
       stats->total.wide_mask_scans += r.stats.wide_mask_scans;
+      stats->total.memo_hits += r.stats.memo_hits;
       stats->total.hit_iteration_cap |= r.stats.hit_iteration_cap;
     }
   }

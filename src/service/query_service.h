@@ -11,11 +11,14 @@
 //
 // Construction performs every mutating step up front, on the calling
 // thread: program facts are loaded, the shared plan transforms the program
-// and compiles all machines (interning whatever symbols that needs), and
-// finally the database is frozen. From then on workers only read shared
-// state; everything they write — term pools, memo tables, engine scratch,
-// the thread-local fetch counter — is worker-private, so batches scale
-// with cores and results are byte-identical to sequential evaluation.
+// and compiles all machines (interning whatever symbols that needs), the
+// database is frozen, and the epoch's EvalArtifacts set — snapshot-owned
+// adjacency memos, closure and candidate-source caches — is built and
+// attached to it. From then on workers only read shared state (plan +
+// artifacts); everything they write — term pools, engine scratch, the
+// thread-local counters — is worker-private or fill-once-with-publication,
+// so batches scale with cores and results are byte-identical to sequential
+// evaluation.
 //
 // Live mode: constructed over a SnapshotManager instead of a bare
 // database, the service serves a *sequence* of epochs. Every batch
@@ -54,6 +57,13 @@ struct QueryRequest {
   /// Both arguments are the same free variable (p(X, X)). Requires empty
   /// source and target.
   bool diagonal = false;
+  /// Evaluation budget in milliseconds, measured from batch dispatch
+  /// (admission control, first slice): a request whose deadline has already
+  /// passed when a worker picks it up returns a timed-out response instead
+  /// of evaluating. <= 0 disables the deadline. Requests admitted before
+  /// the deadline run to completion — the engine is not interrupted
+  /// mid-traversal.
+  double deadline_ms = 0;
   EvalOptions options;
 };
 
@@ -65,18 +75,29 @@ struct QueryResponse {
   /// Epoch id of the snapshot this query evaluated against (0 unless the
   /// service runs in live mode and epochs have advanced).
   uint64_t epoch = 0;
+  /// The request's deadline expired before evaluation started; status
+  /// carries kDeadlineExceeded and no evaluation work was done.
+  bool timed_out = false;
 };
 
 /// Order-independent aggregates over one batch: every field is a sum (or
 /// OR) of per-query values, so the totals are identical for any thread
-/// count and any scheduling. (Result sets are always schedule-independent;
-/// fetch counts additionally rely on the graph path's views being
-/// memo-free, which holds for the EDB views the service registers —
-/// per-source memo views like DemandJoinView would make fetch counts
-/// depend on which worker served earlier queries.)
+/// count and any scheduling. Result sets are always schedule-independent.
+/// Fetch counts are too, now for a stronger reason: probes over the
+/// epoch-shared artifacts (adjacency memos, closure caches) cost zero
+/// fetches for *every* worker — the artifact builds themselves are
+/// accounted at the artifact layer, never against whichever query happened
+/// to trigger them. The exception remains demand-join views, whose body
+/// enumerations do fetch: the worker that fills a shared demand entry pays
+/// its fetches, later probes are free, so per-query fetch counts for
+/// non-chain programs depend on scheduling (totals still converge).
+/// EvalStats::memo_hits totals are deterministic up to the handful of
+/// fill-once cells (closure / source caches): the filling query reports
+/// one fewer hit than a replaying one.
 struct BatchStats {
   uint64_t queries = 0;
-  uint64_t failed = 0;   // responses with !status.ok()
+  uint64_t failed = 0;   // responses with !status.ok(), timeouts included
+  uint64_t timed_out = 0;  // of failed: requests expired before evaluating
   uint64_t tuples = 0;   // answers over all successful queries
   uint64_t fetches = 0;
   uint64_t epoch = 0;    // snapshot the whole batch evaluated against
@@ -138,6 +159,13 @@ class QueryService {
   /// Shared construction tail: plan + workers. Returns false on failure
   /// (init_status_ is set).
   bool Init(const Program& program, const Options& options);
+
+  /// Post-freeze tail: ensures the (frozen) snapshot carries an
+  /// EvalArtifacts set — adopting one already attached (a second service
+  /// over the same frozen database and, per the constructor contract, the
+  /// same program), building and attaching otherwise — then rebinds every
+  /// worker to it.
+  void AdoptSnapshot(Database* db);
 
   /// Resolves a request to a query literal without interning: unknown
   /// predicates fail, unknown constants report "no answers" through

@@ -103,6 +103,9 @@ void Database::Freeze() {
 }
 
 void Database::Thaw() {
+  // Artifacts describe the frozen contents; stale ones must not survive a
+  // mutation window.
+  artifact_.reset();
   // Borrowed layers belong to older epochs that may still be serving —
   // that goes for a re-shared symbol table exactly as for relations.
   if (!symbols_borrowed_) symbols_->Thaw();

@@ -16,6 +16,15 @@
 
 namespace binchain {
 
+/// Base class for snapshot-derived artifact sets built by layers above
+/// storage (e.g. the eval layer's epoch-shared memos and closure caches).
+/// The slot on Database is type-erased so storage stays below eval in the
+/// layering; concrete artifact types downcast on retrieval.
+class SnapshotArtifact {
+ public:
+  virtual ~SnapshotArtifact() = default;
+};
+
 /// Owns the EDB relations and the symbol table. Derived predicates never
 /// appear here; evaluation strategies keep their own IDB state.
 ///
@@ -56,9 +65,27 @@ class Database {
   /// Snapshot step for concurrent readers: freezes the symbol table and
   /// every relation (eager index catch-up, no further inserts). After this,
   /// all const entry points — Find/FindById, ForEachMatch, Contains,
-  /// tuples() — are safe to call from any number of threads.
+  /// tuples() — are safe to call from any number of threads. Freezing also
+  /// opens the artifact slot below: evaluation layers attach their
+  /// snapshot-derived shared state right after the freeze, before the epoch
+  /// is handed to readers.
   void Freeze();
   bool frozen() const { return frozen_; }
+
+  /// Attaches the epoch's derived-artifact set (shared memos, caches —
+  /// anything immutable-per-snapshot that evaluation layers build at freeze
+  /// time). Called once per epoch on a frozen database, *before* the epoch
+  /// is shared with concurrent readers: the slot is written single-threaded
+  /// and read-only afterwards, so no synchronization is needed on reads.
+  void AttachArtifact(std::shared_ptr<const SnapshotArtifact> artifact) {
+    BINCHAIN_CHECK(frozen_);
+    artifact_ = std::move(artifact);
+  }
+  /// The attached artifact set, or nullptr. Holders downcast to the
+  /// concrete type they attached (e.g. eval's EvalArtifacts).
+  const std::shared_ptr<const SnapshotArtifact>& artifact() const {
+    return artifact_;
+  }
 
   /// Re-opens a frozen database for mutation: thaws the symbol table and
   /// every relation layer owned by this epoch, so facts can be inserted and
@@ -131,6 +158,9 @@ class Database {
   /// Set when PruneEmptyDeltas re-shared the base epoch's symbol table;
   /// Thaw() must then leave it frozen (older epochs still read it).
   bool symbols_borrowed_ = false;
+  /// Epoch-attached derived state (see AttachArtifact); dropped by Thaw()
+  /// because artifacts describe the frozen contents only.
+  std::shared_ptr<const SnapshotArtifact> artifact_;
   uint64_t epoch_ = 0;
   bool frozen_ = false;
 };

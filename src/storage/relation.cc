@@ -70,6 +70,17 @@ std::shared_ptr<Relation> Relation::Flatten() const {
   // Global row order in, same dense row ids out (no duplicates exist in a
   // chain, so Insert never rejects).
   for (TupleRef t : tuples()) out->Insert(t);
+  // Re-demand every mask any layer of the chain had indexed. Freeze() of a
+  // wide relation (arity > kEagerFreezeArity) only catches up indexes that
+  // already exist, so without this a flattened-then-frozen relation would
+  // answer masks the chain served by index with wide fallback scans
+  // forever. Small arities skip it: their freeze pre-builds every mask.
+  if (arity_ > kEagerFreezeArity) {
+    for (const Relation* layer = this; layer != nullptr;
+         layer = layer->base_.get()) {
+      for (const MaskIndex& ix : layer->indexes_) out->IndexFor(ix.mask);
+    }
+  }
   return out;
 }
 

@@ -154,7 +154,10 @@ class Relation {
   static std::shared_ptr<Relation> Extend(std::shared_ptr<const Relation> base);
 
   /// A standalone (chain-free), unfrozen relation holding every row of this
-  /// chain in global row order.
+  /// chain in global row order. For arities above kEagerFreezeArity the
+  /// copy rebuilds an index for every mask any layer of the chain had
+  /// indexed, so a later Freeze() cannot demote previously indexed probes
+  /// to wide fallback scans.
   std::shared_ptr<Relation> Flatten() const;
 
   size_t arity() const { return arity_; }

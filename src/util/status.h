@@ -16,6 +16,7 @@ enum class StatusCode {
   kUnsupported,       // program outside the class a component handles
   kNotFound,          // missing predicate / relation
   kFailedPrecondition,
+  kDeadlineExceeded,  // request expired before (or while) evaluating
   kInternal,
 };
 
@@ -38,6 +39,9 @@ class Status {
   }
   static Status FailedPrecondition(std::string m) {
     return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
   }
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));

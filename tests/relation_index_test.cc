@@ -265,6 +265,38 @@ TEST(RelationIndexTest, WideMaskScanCounterOnFrozenFallback) {
   EXPECT_EQ(Relation::ThreadWideScanCount(), before + 1);
 }
 
+TEST(RelationIndexTest, FlattenedWideRelationKeepsChainMasks) {
+  // Flatten() must carry the chain's mask knowledge forward: a wide
+  // relation (arity > kEagerFreezeArity) whose mask was indexed anywhere in
+  // the chain must not degrade to wide fallback scans after it is
+  // flattened and re-frozen. (The chained path is covered above; this
+  // pins the flatten path, which used to drop all indexes.)
+  auto base = std::make_shared<Relation>(5);
+  for (SymbolId i = 0; i < 12; ++i) {
+    base->Insert(Tuple{i, i + 1, i + 2, i % 3, i % 2});
+  }
+  // Index column 0 on the base before it freezes.
+  EXPECT_EQ(Matches(*base, 0b00001, Tuple{3, 0, 0, 0, 0}).size(), 1u);
+  base->Freeze();
+  auto delta = Relation::Extend(base);
+  delta->Insert(Tuple{100, 1, 2, 0, 0});
+  // Index column 1 on the delta layer only.
+  EXPECT_EQ(Matches(*delta, 0b00010, Tuple{0, 1, 0, 0, 0}).size(), 2u);
+
+  auto flat = delta->Flatten();
+  flat->Freeze();
+  ASSERT_EQ(flat->size(), 13u);
+  uint64_t before = Relation::ThreadWideScanCount();
+  // Masks indexed by any chain layer are served by rebuilt indexes.
+  EXPECT_EQ(Matches(*flat, 0b00001, Tuple{3, 0, 0, 0, 0}).size(), 1u);
+  EXPECT_EQ(Matches(*flat, 0b00001, Tuple{100, 0, 0, 0, 0}).size(), 1u);
+  EXPECT_EQ(Matches(*flat, 0b00010, Tuple{0, 1, 0, 0, 0}).size(), 2u);
+  EXPECT_EQ(Relation::ThreadWideScanCount(), before);
+  // A mask no layer ever indexed still takes (and counts) the scan path.
+  EXPECT_EQ(Matches(*flat, 0b01000, Tuple{0, 0, 0, 1, 0}).size(), 4u);
+  EXPECT_EQ(Relation::ThreadWideScanCount(), before + 1);
+}
+
 TEST(RelationIndexTest, SmallArityNeverWideScans) {
   Relation r(2);
   r.Insert({1, 10});

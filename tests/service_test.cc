@@ -272,6 +272,42 @@ TEST(ServiceTest, Fig8CyclicStressWithOverlappingSources) {
   }
 }
 
+TEST(ServiceTest, ExpiredDeadlineReturnsTimedOutWithoutEvaluating) {
+  Database db;
+  std::string a = workloads::Fig7b(db, 12);
+  QueryService service(&db, SgProgram(db), {2});
+  ASSERT_TRUE(service.status().ok());
+
+  // A vanishingly small positive budget is already expired by the time any
+  // worker picks the request up (the clock has nanosecond resolution), so
+  // the outcome is deterministic; zero disables the deadline entirely.
+  QueryRequest expired{"sg", a, "", {}};
+  expired.deadline_ms = 1e-9;
+  QueryRequest unlimited{"sg", a, "", {}};
+  QueryRequest generous{"sg", a, "", {}};
+  generous.deadline_ms = 1e9;
+
+  BatchStats stats;
+  auto responses = service.EvalBatch({expired, unlimited, generous}, &stats);
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_TRUE(responses[0].timed_out);
+  EXPECT_FALSE(responses[0].status.ok());
+  EXPECT_EQ(responses[0].status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(responses[0].tuples.empty());
+  EXPECT_EQ(responses[0].stats.nodes, 0u);  // never evaluated
+
+  EXPECT_FALSE(responses[1].timed_out);
+  ASSERT_TRUE(responses[1].status.ok());
+  EXPECT_FALSE(responses[1].tuples.empty());
+  EXPECT_FALSE(responses[2].timed_out);
+  ASSERT_TRUE(responses[2].status.ok());
+  EXPECT_EQ(responses[2].tuples, responses[1].tuples);
+
+  EXPECT_EQ(stats.queries, 3u);
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.timed_out, 1u);
+}
+
 TEST(ServiceTest, ConcurrentClientBatches) {
   // Two client threads hammering the same service: batches serialize onto
   // the pool and each client still sees exactly its own results.
