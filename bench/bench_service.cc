@@ -8,6 +8,19 @@
 // `fetches` and `memo_hits` together show the epoch-shared artifact effect:
 // probes served by the snapshot-owned memos cost no EDB fetches.
 //
+// Each batch also runs once through the async future-based submission path
+// (SubmitBatch + Take), reported as `async_qps` next to the blocking
+// throughput, and a dedicated cancellation benchmark measures in-flight
+// deadline-enforcement latency: how far past its deadline a provably long
+// query (Figure 7 (b)) actually runs before the engine's cancellation
+// points unwind it.
+//
+// The JSON snapshot carries, per benchmark, a `status` object counting
+// per-query status codes and a `result_hash` over the response tuples, so
+// the CI regression gate (bench/check_regression.py) can assert that
+// result sets agree across thread counts and that failure modes
+// (deadline_exceeded / cancelled / overloaded) appear only where expected.
+//
 // Usage:
 //   bench_service [--n <size>] [--reps <k>] [--threads <list>] [--smoke]
 //                 [--json [path]]
@@ -36,6 +49,25 @@ using namespace binchain;
 using bench::JsonEscape;
 using bench::MsSince;
 
+/// Per-query status-code counts over one batch run (the regression gate
+/// asserts on these).
+struct StatusCounts {
+  uint64_t ok = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t cancelled = 0;
+  uint64_t overloaded = 0;
+  uint64_t other = 0;
+  void Count(const Status& s) {
+    switch (s.code()) {
+      case StatusCode::kOk: ++ok; break;
+      case StatusCode::kDeadlineExceeded: ++deadline_exceeded; break;
+      case StatusCode::kCancelled: ++cancelled; break;
+      case StatusCode::kOverloaded: ++overloaded; break;
+      default: ++other; break;
+    }
+  }
+};
+
 struct BenchResult {
   std::string name;
   size_t threads = 1;
@@ -45,12 +77,34 @@ struct BenchResult {
   uint64_t memo_hits = 0;  // probes served by the epoch-shared artifacts
   double startup_ms = 0;  // service construction (plan + workers + freeze)
   double wall_ms = 0;    // best-of-reps batch wall time
-  double qps = 0;        // queries / second at the best rep
+  double qps = 0;        // queries / second at the best rep (blocking path)
+  double async_qps = 0;  // same batch through SubmitBatch + futures
   double speedup = 1;    // vs the 1-thread run of the same batch
+  uint64_t result_hash = 0;  // over all response tuples; order-sensitive
+  StatusCounts status;   // per-query status codes of the recorded run
   bool identical = true;  // result sets match the 1-thread reference
   bool ok = true;
   std::string error;
 };
+
+/// FNV-1a over every response's tuples (in batch order): equal across
+/// thread counts and submission paths for deterministic batches, so the
+/// regression gate can catch result divergence without shipping tuples.
+uint64_t HashResponses(const std::vector<QueryResponse>& responses) {
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (const QueryResponse& r : responses) {
+    mix(r.status.ok() ? 1 : 2);
+    mix(r.tuples.size());
+    for (const Tuple& t : r.tuples) {
+      for (SymbolId c : t) mix(c);
+    }
+  }
+  return h;
+}
 
 /// Every constant interned in the database: the all-sources request set.
 std::vector<std::string> AllConstants(const Database& db) {
@@ -155,6 +209,9 @@ BenchResult RunBatch(Batch& batch, size_t threads, int reps,
 
   QueryService::Options opts;
   opts.num_threads = threads;
+  // Async submission below pushes the whole batch at once; keep the
+  // high-water mark above the batch so admission never sheds here.
+  opts.queue_depth = std::max<size_t>(1024, batch.requests.size());
   // Startup cost: with the shared plan, program transformation and machine
   // compilation happen once, so this should stay flat as threads grow.
   auto ts = std::chrono::steady_clock::now();
@@ -191,6 +248,28 @@ BenchResult RunBatch(Batch& batch, size_t threads, int reps,
   }
   r.qps = r.wall_ms > 0 ? 1000.0 * static_cast<double>(r.queries) / r.wall_ms
                         : 0;
+  for (const QueryResponse& resp : responses) r.status.Count(resp.status);
+  r.result_hash = HashResponses(responses);
+
+  // One async rep: the same batch through SubmitBatch + futures. Results
+  // must be identical to the blocking path (same workers, same epoch);
+  // wall time includes future wakeups, so async_qps vs qps is the price
+  // of the future-based surface.
+  {
+    auto t0 = std::chrono::steady_clock::now();
+    BatchHandle handle = service.SubmitBatch(batch.requests);
+    BatchStats astats;
+    std::vector<QueryResponse> aresp = handle.Take(&astats);
+    double ms = MsSince(t0);
+    r.async_qps =
+        ms > 0 ? 1000.0 * static_cast<double>(r.queries) / ms : 0;
+    if (astats.failed != 0 || HashResponses(aresp) != r.result_hash) {
+      r.ok = false;
+      r.error = "async submission diverged from blocking batch";
+      return r;
+    }
+  }
+
   if (reference != nullptr) {
     r.identical = responses.size() == reference->size();
     for (size_t i = 0; r.identical && i < responses.size(); ++i) {
@@ -199,6 +278,74 @@ BenchResult RunBatch(Batch& batch, size_t threads, int reps,
   }
   if (out_responses != nullptr) *out_responses = std::move(responses);
   return r;
+}
+
+/// In-flight deadline-enforcement latency: a provably long query (Figure
+/// 7 (b), Theta(n^2) nodes) with a budget far below its uncancelled
+/// runtime, evaluated one at a time so the deadline always lands
+/// mid-traversal. Reports how far past the deadline each unwind completed.
+struct CancelResult {
+  uint64_t queries = 0;
+  double deadline_ms = 0;
+  double uncancelled_ms = 0;    // the same query, run to completion
+  double latency_p50_ms = 0;    // overshoot past the deadline, median
+  double latency_max_ms = 0;    // overshoot past the deadline, worst
+  uint64_t partial_tuples = 0;  // answers gathered before the last unwind
+  StatusCounts status;
+  bool ok = true;
+  std::string error;
+};
+
+CancelResult RunCancellationLatency(size_t n, int reps) {
+  CancelResult cr;
+  Database db;
+  std::string source = workloads::Fig7b(db, n);
+  auto parsed = ParseProgram(workloads::SgProgramText(), db.symbols());
+  if (!parsed.ok()) {
+    cr.ok = false;
+    cr.error = parsed.status().message();
+    return cr;
+  }
+  QueryService service(&db, parsed.take(), {1, 64});
+  if (!service.status().ok()) {
+    cr.ok = false;
+    cr.error = service.status().message();
+    return cr;
+  }
+  QueryRequest req{"sg", source, "", {}};
+  auto t0 = std::chrono::steady_clock::now();
+  QueryResponse full = service.Eval(req);
+  cr.uncancelled_ms = MsSince(t0);
+  if (!full.status.ok()) {
+    cr.ok = false;
+    cr.error = full.status.message();
+    return cr;
+  }
+  // A budget an order of magnitude under the uncancelled runtime, so the
+  // unwind is always mid-flight.
+  cr.deadline_ms = std::max(2.0, cr.uncancelled_ms / 16);
+  cr.queries = static_cast<uint64_t>(std::max(3, reps * 3));
+  std::vector<double> overshoot;
+  for (uint64_t i = 0; i < cr.queries; ++i) {
+    QueryRequest limited = req;
+    limited.deadline_ms = cr.deadline_ms;
+    t0 = std::chrono::steady_clock::now();
+    QueryResponse resp = service.Eval(limited);
+    double ms = MsSince(t0);
+    cr.status.Count(resp.status);
+    if (resp.status.code() != StatusCode::kDeadlineExceeded ||
+        !resp.partial) {
+      cr.ok = false;
+      cr.error = "expected a mid-flight deadline unwind";
+      return cr;
+    }
+    overshoot.push_back(ms - cr.deadline_ms);
+    cr.partial_tuples = resp.tuples.size();
+  }
+  std::sort(overshoot.begin(), overshoot.end());
+  cr.latency_p50_ms = overshoot[overshoot.size() / 2];
+  cr.latency_max_ms = overshoot.back();
+  return cr;
 }
 
 }  // namespace
@@ -275,9 +422,13 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("%-28s %8s %10s %10s %10s %12s %10s %8s %10s %6s\n", "batch",
-              "queries", "tuples", "startup_ms", "wall_ms", "queries/sec",
-              "speedup", "fetches", "memo_hits", "same");
+  CancelResult cancel = RunCancellationLatency(512, reps);
+  if (!cancel.ok) ++failures;
+
+  std::printf("%-28s %8s %10s %10s %10s %12s %12s %10s %8s %10s %6s\n",
+              "batch", "queries", "tuples", "startup_ms", "wall_ms",
+              "queries/sec", "async_qps", "speedup", "fetches", "memo_hits",
+              "same");
   for (const BenchResult& r : results) {
     if (!r.ok) {
       ++failures;
@@ -286,30 +437,67 @@ int main(int argc, char** argv) {
     }
     if (!r.identical) ++failures;
     std::printf(
-        "%-28s %8llu %10llu %10.3f %10.3f %12.1f %9.2fx %8llu %10llu %6s\n",
+        "%-28s %8llu %10llu %10.3f %10.3f %12.1f %12.1f %9.2fx %8llu %10llu "
+        "%6s\n",
         r.name.c_str(), static_cast<unsigned long long>(r.queries),
         static_cast<unsigned long long>(r.tuples), r.startup_ms, r.wall_ms,
-        r.qps, r.speedup, static_cast<unsigned long long>(r.fetches),
+        r.qps, r.async_qps, r.speedup,
+        static_cast<unsigned long long>(r.fetches),
         static_cast<unsigned long long>(r.memo_hits),
         r.identical ? "yes" : "NO");
   }
+  if (cancel.ok) {
+    std::printf(
+        "cancellation latency (fig7b/n=512): uncancelled %.2f ms, deadline "
+        "%.2f ms, overshoot p50 %.3f ms / max %.3f ms over %llu queries "
+        "(%llu partial tuples at last unwind)\n",
+        cancel.uncancelled_ms, cancel.deadline_ms, cancel.latency_p50_ms,
+        cancel.latency_max_ms,
+        static_cast<unsigned long long>(cancel.queries),
+        static_cast<unsigned long long>(cancel.partial_tuples));
+  } else {
+    std::printf("cancellation latency: ERROR: %s\n", cancel.error.c_str());
+  }
 
   if (json) {
+    auto status_json = [](const StatusCounts& s) {
+      std::string out = "{\"ok\": " + std::to_string(s.ok) +
+                        ", \"deadline_exceeded\": " +
+                        std::to_string(s.deadline_exceeded) +
+                        ", \"cancelled\": " + std::to_string(s.cancelled) +
+                        ", \"overloaded\": " + std::to_string(s.overloaded) +
+                        ", \"other\": " + std::to_string(s.other) + "}";
+      return out;
+    };
+    char hash_buf[32];
     std::ofstream out(json_path);
     out << "{\n  \"bench\": \"service\",\n  \"benchmarks\": [\n";
     for (size_t i = 0; i < results.size(); ++i) {
       const BenchResult& r = results[i];
+      std::snprintf(hash_buf, sizeof(hash_buf), "0x%016llx",
+                    static_cast<unsigned long long>(r.result_hash));
       out << "    {\"name\": \"" << JsonEscape(r.name) << "\", \"ok\": "
           << (r.ok && r.identical ? "true" : "false")
           << ", \"threads\": " << r.threads << ", \"queries\": " << r.queries
           << ", \"startup_ms\": " << r.startup_ms
           << ", \"wall_ms\": " << r.wall_ms << ", \"qps\": " << r.qps
+          << ", \"async_qps\": " << r.async_qps
           << ", \"speedup\": " << r.speedup << ", \"tuples\": " << r.tuples
           << ", \"fetches\": " << r.fetches
-          << ", \"memo_hits\": " << r.memo_hits << "}"
+          << ", \"memo_hits\": " << r.memo_hits
+          << ", \"result_hash\": \"" << hash_buf << "\""
+          << ", \"status\": " << status_json(r.status) << "}"
           << (i + 1 < results.size() ? "," : "") << "\n";
     }
-    out << "  ]\n}\n";
+    out << "  ],\n";
+    out << "  \"cancellation\": {\"ok\": " << (cancel.ok ? "true" : "false")
+        << ", \"queries\": " << cancel.queries
+        << ", \"deadline_ms\": " << cancel.deadline_ms
+        << ", \"uncancelled_ms\": " << cancel.uncancelled_ms
+        << ", \"latency_p50_ms\": " << cancel.latency_p50_ms
+        << ", \"latency_max_ms\": " << cancel.latency_max_ms
+        << ", \"status\": " << status_json(cancel.status) << "}\n";
+    out << "}\n";
     std::printf("wrote %s\n", json_path.c_str());
   }
   return failures == 0 ? 0 : 1;

@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""CI bench-regression gate.
+
+Compares a smoke-run bench JSON against the committed baseline snapshot and
+fails (exit 1) on structural regressions that survive machine-speed noise:
+
+* any benchmark entry with ``ok: false`` (covers result-set divergence
+  across thread counts — bench_service folds its identical-results check
+  into ``ok``);
+* ``bench_service``: within one smoke run, entries of the same batch at
+  different thread counts must agree on ``result_hash``, ``tuples`` and
+  ``fetches`` (schedule-independence of results and aggregate t-cost);
+* ``bench_service``: a batch family whose committed baseline shows zero
+  batch fetches (the epoch-shared-artifact effect) must still show zero in
+  the smoke run — fetch totals "bouncing back from zero" was the
+  regression mode that motivated the artifacts work;
+* ``bench_service``: unexpected per-query status codes — throughput
+  batches must be all-OK, and the cancellation benchmark must report every
+  query as ``deadline_exceeded`` (in-flight enforcement actually fired);
+* ``bench_live``: the publish-scaling sanity flag, when present in both
+  files, must not regress from sublinear to superlinear.
+
+Wall-clock numbers are never compared: smoke runs use smaller inputs and
+CI machines vary. The gate asserts invariants, not speed.
+
+Usage:  check_regression.py <baseline.json> <smoke.json>
+"""
+
+import json
+import re
+import sys
+from collections import defaultdict
+
+
+def fail(errors):
+    for e in errors:
+        print(f"REGRESSION: {e}")
+    print(f"{len(errors)} bench regression(s) detected")
+    sys.exit(1)
+
+
+def family(name):
+    """Batch family: the benchmark name with thread-count and size params
+    stripped, so smoke (small n) and baseline (full n) entries match."""
+    name = re.sub(r"/threads=\d+$", "", name)
+    name = re.sub(r"/n=\d+", "", name)
+    name = re.sub(r"/h=\d+", "", name)
+    return name
+
+
+def check_ok_flags(tag, entries, errors):
+    for b in entries:
+        if not b.get("ok", False):
+            errors.append(f"{tag}: benchmark '{b.get('name')}' reports ok=false")
+
+
+def check_service(baseline, smoke, errors):
+    sm = smoke.get("benchmarks", [])
+    base = baseline.get("benchmarks", [])
+    check_ok_flags("service", sm, errors)
+
+    # Cross-thread-count agreement within the smoke run.
+    groups = defaultdict(list)
+    for b in sm:
+        groups[family(b["name"])].append(b)
+    for fam, entries in groups.items():
+        for key in ("result_hash", "tuples", "fetches"):
+            if key not in entries[0]:
+                continue  # older snapshot without the field
+            values = {e.get(key) for e in entries}
+            if len(values) > 1:
+                errors.append(
+                    f"service: batch '{fam}' disagrees on {key} across "
+                    f"thread counts: {sorted(map(str, values))}")
+
+    # Fetch totals must not bounce back from zero where the baseline
+    # established zero (epoch-shared artifacts serving every probe).
+    base_zero = {
+        family(b["name"])
+        for b in base
+        if b.get("ok") and b.get("fetches", 1) == 0
+    }
+    for fam, entries in groups.items():
+        if fam not in base_zero:
+            continue
+        bad = [e["name"] for e in entries if e.get("fetches", 0) != 0]
+        if bad:
+            errors.append(
+                f"service: batch '{fam}' had 0 fetches in the committed "
+                f"baseline but smoke shows nonzero fetches in {bad}")
+
+    # Status codes: throughput batches are all-OK...
+    for b in sm:
+        status = b.get("status")
+        if status is None:
+            continue
+        unexpected = {k: v for k, v in status.items() if k != "ok" and v != 0}
+        if unexpected:
+            errors.append(
+                f"service: batch '{b['name']}' has non-OK query statuses "
+                f"{unexpected}")
+    # ...and the cancellation benchmark is all-deadline_exceeded.
+    cancel = smoke.get("cancellation")
+    if cancel is not None:
+        if not cancel.get("ok", False):
+            errors.append("service: cancellation benchmark reports ok=false")
+        status = cancel.get("status", {})
+        queries = cancel.get("queries", 0)
+        if status.get("deadline_exceeded", 0) != queries:
+            errors.append(
+                "service: cancellation benchmark expected "
+                f"{queries} deadline_exceeded responses, got {status}")
+
+
+def check_storage(baseline, smoke, errors):
+    del baseline  # smoke sizes differ; only invariants are checked
+    check_ok_flags("storage", smoke.get("benchmarks", []), errors)
+
+
+def check_live(baseline, smoke, errors):
+    check_ok_flags("live", smoke.get("benchmarks", []), errors)
+    base_scaling = baseline.get("publish_scaling", {})
+    smoke_scaling = smoke.get("publish_scaling", {})
+    if base_scaling.get("sublinear") and "sublinear" in smoke_scaling:
+        if not smoke_scaling["sublinear"]:
+            errors.append(
+                "live: publish scaling regressed from sublinear "
+                f"(latency_ratio={smoke_scaling.get('latency_ratio')} over "
+                f"size_ratio={smoke_scaling.get('size_ratio')})")
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__)
+        return 2
+    with open(argv[1]) as f:
+        baseline = json.load(f)
+    with open(argv[2]) as f:
+        smoke = json.load(f)
+
+    kind_b = baseline.get("bench")
+    kind_s = smoke.get("bench")
+    if kind_b != kind_s:
+        fail([f"baseline is a '{kind_b}' snapshot but smoke is '{kind_s}'"])
+
+    errors = []
+    if kind_s == "service":
+        check_service(baseline, smoke, errors)
+    elif kind_s == "storage":
+        check_storage(baseline, smoke, errors)
+    elif kind_s == "live":
+        check_live(baseline, smoke, errors)
+    else:
+        errors.append(f"unknown bench kind '{kind_s}'")
+    if errors:
+        fail(errors)
+    n = len(smoke.get("benchmarks", []))
+    print(f"bench-regression gate OK: {kind_s} ({n} benchmarks checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -2,6 +2,7 @@
 //
 //   ./datalog_cli [--strategy=graph|seminaive|naive|magic|transform]
 //                 [--cyclic-bound] [--max-iterations=N] [--threads=N]
+//                 [--async] [--deadline-ms=X] [--queue-depth=N]
 //                 [--live] [--stats] [--dot] <file.dl>
 //
 // The file contains rules, facts, and `?- query.` lines; every query is
@@ -12,7 +13,12 @@
 // the equation dependency graph are emitted as Graphviz. With --threads=N
 // (graph strategy only) the queries are dispatched as one batch to a
 // QueryService over a frozen database snapshot, N workers wide, and the
-// batch throughput is reported.
+// batch throughput is reported. --async switches that dispatch to the
+// future-based submission API (per-query futures, completion callback);
+// --deadline-ms=X gives every query an evaluation budget enforced both at
+// pickup and mid-flight (expired traversals unwind with partial answers),
+// and --queue-depth=N sets the submission queue's high-water mark past
+// which async submissions are shed with kOverloaded.
 //
 // With --live the file's rules and facts become the genesis epoch of a
 // SnapshotManager-backed service, and stdin becomes a load/publish REPL:
@@ -67,13 +73,28 @@ void PrintAnswers(const Database& db, const Literal& query,
   }
 }
 
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kUnsupported: return "UNSUPPORTED";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kCancelled: return "CANCELLED";
+    case StatusCode::kOverloaded: return "OVERLOADED";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
 /// Full per-query EvalStats line (service and live modes, --stats).
 void PrintEvalStats(const char* tag, const EvalStats& stats,
                     uint64_t fetches) {
   std::printf(
       "  [%s] nodes=%llu arcs=%llu iterations=%llu expansions=%llu "
       "continuations=%llu em_states=%llu fetches=%llu wide_mask_scans=%llu "
-      "memo_hits=%llu%s\n",
+      "memo_hits=%llu cancel_checks=%llu%s\n",
       tag, static_cast<unsigned long long>(stats.nodes),
       static_cast<unsigned long long>(stats.arcs),
       static_cast<unsigned long long>(stats.iterations),
@@ -83,6 +104,7 @@ void PrintEvalStats(const char* tag, const EvalStats& stats,
       static_cast<unsigned long long>(fetches),
       static_cast<unsigned long long>(stats.wide_mask_scans),
       static_cast<unsigned long long>(stats.memo_hits),
+      static_cast<unsigned long long>(stats.cancel_checks),
       stats.hit_iteration_cap ? " (iteration cap hit!)" : "");
 }
 
@@ -128,7 +150,8 @@ bool IsVariableSpelling(const std::string& s) {
 /// The load/publish REPL over a live service. Returns the process exit
 /// code.
 int RunLiveRepl(SnapshotManager& manager, QueryService& service,
-                const EvalOptions& options, bool print_stats) {
+                const EvalOptions& options, bool print_stats,
+                double deadline_ms) {
   std::printf(
       "[live] epoch %llu serving on %zu threads; commands: +fact(...), "
       "publish, ?- query, epoch, pending, quit\n",
@@ -195,6 +218,7 @@ int RunLiveRepl(SnapshotManager& manager, QueryService& service,
       QueryRequest req;
       req.pred = pred;
       req.options = options;
+      req.deadline_ms = deadline_ms;
       if (!IsVariableSpelling(args[0])) req.source = args[0];
       if (!IsVariableSpelling(args[1])) req.target = args[1];
       req.diagonal = IsVariableSpelling(args[0]) && args[0] == args[1];
@@ -243,6 +267,9 @@ int main(int argc, char** argv) {
   bool dot = false;
   bool live = false;
   bool print_stats = false;
+  bool async = false;
+  double deadline_ms = 0;
+  size_t queue_depth = 0;  // 0 = service default
   size_t max_iterations = 0;
   size_t threads = 0;
   std::string path;
@@ -258,6 +285,12 @@ int main(int argc, char** argv) {
       live = true;
     } else if (arg == "--stats") {
       print_stats = true;
+    } else if (arg == "--async") {
+      async = true;
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      deadline_ms = std::stod(arg.substr(14));
+    } else if (arg.rfind("--queue-depth=", 0) == 0) {
+      queue_depth = std::stoul(arg.substr(14));
     } else if (arg.rfind("--max-iterations=", 0) == 0) {
       max_iterations = std::stoul(arg.substr(17));
     } else if (arg.rfind("--threads=", 0) == 0) {
@@ -266,6 +299,7 @@ int main(int argc, char** argv) {
       std::printf(
           "usage: datalog_cli [--strategy=graph|seminaive|naive|magic|"
           "transform] [--cyclic-bound] [--max-iterations=N] [--threads=N] "
+          "[--async] [--deadline-ms=X] [--queue-depth=N] "
           "[--live] [--stats] [--dot] <file.dl>\n");
       return 0;
     } else {
@@ -273,6 +307,16 @@ int main(int argc, char** argv) {
     }
   }
   if (path.empty()) return Fail("no input file (see --help)");
+  if (async && threads == 0) {
+    return Fail("--async requires service mode (--threads=N)");
+  }
+  // Deadlines and queue depth are service-layer machinery; rejecting them
+  // elsewhere beats silently running an unbounded query.
+  if ((deadline_ms > 0 || queue_depth > 0) && threads == 0 && !live) {
+    return Fail(
+        "--deadline-ms/--queue-depth require service mode (--threads=N or "
+        "--live)");
+  }
 
   std::ifstream in(path);
   if (!in) return Fail("cannot open " + path);
@@ -294,6 +338,7 @@ int main(int argc, char** argv) {
     SnapshotManager manager(std::move(genesis));
     QueryService::Options opts;
     opts.num_threads = threads;
+    if (queue_depth > 0) opts.queue_depth = queue_depth;
     QueryService service(&manager, rules_only, opts);
     if (!service.status().ok()) return Fail(service.status().message());
 
@@ -307,12 +352,13 @@ int main(int argc, char** argv) {
       if (q.args[1].IsConst()) req.target = tip->symbols().Name(q.args[1].symbol);
       req.diagonal = q.args[0].IsVar() && q.args[0] == q.args[1];
       req.options = options;
+      req.deadline_ms = deadline_ms;
       QueryResponse resp = service.Eval(req);
       if (!resp.status.ok()) return Fail(resp.status.message());
       PrintAnswers(*tip, q, resp.tuples);
       if (print_stats) PrintEvalStats("live", resp.stats, resp.fetches);
     }
-    return RunLiveRepl(manager, service, options, print_stats);
+    return RunLiveRepl(manager, service, options, print_stats, deadline_ms);
   }
 
   Database db;
@@ -326,10 +372,12 @@ int main(int argc, char** argv) {
   rules_only.queries.clear();
 
   if (strategy == "graph" && threads > 0) {
-    // Service mode: freeze the database and evaluate the queries as one
-    // batch over the thread pool.
+    // Service mode: freeze the database and evaluate the queries over the
+    // thread pool — as one blocking batch, or through the async
+    // future-based submission API with --async.
     QueryService::Options opts;
     opts.num_threads = threads;
+    if (queue_depth > 0) opts.queue_depth = queue_depth;
     QueryService service(&db, rules_only, opts);
     if (!service.status().ok()) return Fail(service.status().message());
     EvalOptions options;
@@ -343,20 +391,38 @@ int main(int argc, char** argv) {
       if (q.args[0].IsConst()) req.source = db.symbols().Name(q.args[0].symbol);
       if (q.args[1].IsConst()) req.target = db.symbols().Name(q.args[1].symbol);
       req.diagonal = q.args[0].IsVar() && q.args[0] == q.args[1];
+      req.deadline_ms = deadline_ms;
       req.options = options;
       batch.push_back(std::move(req));
     }
     BatchStats stats;
-    auto responses = service.EvalBatch(batch, &stats);
+    std::vector<QueryResponse> responses;
+    if (async) {
+      // Async submission: per-query futures, aggregates delivered through
+      // the completion callback (fired by the worker finishing last).
+      BatchHandle handle = service.SubmitBatch(batch, [](const BatchStats& s) {
+        std::printf("[async] batch complete: %llu queries, %.3f ms\n",
+                    static_cast<unsigned long long>(s.queries), s.wall_ms);
+      });
+      responses = handle.Take(&stats);
+    } else {
+      responses = service.EvalBatch(batch, &stats);
+    }
     for (size_t i = 0; i < responses.size(); ++i) {
       const QueryResponse& r = responses[i];
-      if (!r.status.ok()) {
-        std::printf("?- %s  ERROR: %s\n",
+      if (!r.status.ok() && !r.partial) {
+        std::printf("?- %s  %s: %s\n",
                     LiteralToString(program.queries[i], db.symbols()).c_str(),
+                    StatusCodeName(r.status.code()),
                     r.status.message().c_str());
         continue;
       }
       PrintAnswers(db, program.queries[i], r.tuples);
+      if (r.partial) {
+        std::printf("  [service] %s: partial answer set (%s)\n",
+                    StatusCodeName(r.status.code()),
+                    r.timed_out ? "deadline expired mid-flight" : "cancelled");
+      }
       if (print_stats) {
         PrintEvalStats("service", r.stats, r.fetches);
       } else {
@@ -371,11 +437,16 @@ int main(int argc, char** argv) {
       }
     }
     std::printf(
-        "[service] %llu queries (%llu failed) on %zu threads: %.3f ms, "
+        "[service%s] %llu queries (%llu failed, %llu timed out, "
+        "%llu cancelled, %llu overloaded) on %zu threads: %.3f ms, "
         "%.1f queries/sec\n",
+        async ? "/async" : "",
         static_cast<unsigned long long>(stats.queries),
-        static_cast<unsigned long long>(stats.failed), service.num_threads(),
-        stats.wall_ms,
+        static_cast<unsigned long long>(stats.failed),
+        static_cast<unsigned long long>(stats.timed_out),
+        static_cast<unsigned long long>(stats.cancelled),
+        static_cast<unsigned long long>(stats.overloaded),
+        service.num_threads(), stats.wall_ms,
         stats.wall_ms > 0
             ? 1000.0 * static_cast<double>(stats.queries) / stats.wall_ms
             : 0.0);

@@ -143,8 +143,21 @@ Result<std::vector<TermId>> Engine::EvalFrom(SymbolId pred, TermId source,
   };
 
   Status view_error = Status::Ok();
+  // Cancellation points: the token is polled every kCancelCheckStride node
+  // expansions (stack pops), so the steady_clock read amortizes to noise.
+  // With no token the whole machinery is one never-taken branch per pop.
+  const CancelToken* cancel = options.cancel;
+  size_t cancel_countdown = kCancelCheckStride;
   auto traverse = [&]() {
     while (!stack_.empty()) {
+      if (cancel != nullptr && --cancel_countdown == 0) {
+        cancel_countdown = kCancelCheckStride;
+        ++st.cancel_checks;
+        if (cancel->ShouldStop()) {
+          st.cancelled = true;
+          return;
+        }
+      }
       auto [q, u] = stack_.back();
       stack_.pop_back();
       for (const NfaTransition& t : em.Out(q)) {
@@ -202,7 +215,21 @@ Result<std::vector<TermId>> Engine::EvalFrom(SymbolId pred, TermId source,
     ++st.iterations;
     st.answers_per_iteration.push_back(answers.size());
     seeds_.clear();
+    if (st.cancelled) break;  // unwind with the partial answer set
     if (c_by_state_.empty()) break;  // C = 0: done
+    // One poll per fixpoint iteration besides the decimated in-traversal
+    // ones, so even queries whose iterations expand fewer than a stride of
+    // nodes (e.g. each source of an all-free sweep) hit a cancellation
+    // point at least once per iteration. Strictly after the C = 0 check: a
+    // traversal that just converged has its complete answer set, and
+    // marking it cancelled would misreport a finished result as partial.
+    if (cancel != nullptr) {
+      ++st.cancel_checks;
+      if (cancel->ShouldStop()) {
+        st.cancelled = true;
+        break;
+      }
+    }
     if (iteration_cap != 0 && st.iterations >= iteration_cap) {
       st.hit_iteration_cap = true;
       break;

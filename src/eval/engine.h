@@ -24,6 +24,7 @@
 #include "automata/nfa.h"
 #include "equations/equations.h"
 #include "eval/relation_view.h"
+#include "util/cancel_token.h"
 #include "util/dense_bits.h"
 #include "util/flat_set.h"
 #include "util/status.h"
@@ -48,7 +49,17 @@ struct EvalStats {
   /// stands for the fetches the shared artifact saved; `fetches` stays the
   /// true EDB retrieval count.
   uint64_t memo_hits = 0;
+  /// Cancellation polls performed (one per kCancelCheckStride node
+  /// expansions plus one per fixpoint iteration; zero when no token rides
+  /// the query). The decimation keeps the steady_clock reads off the hot
+  /// path — bench_storage budgets <2% overhead for the polling.
+  uint64_t cancel_checks = 0;
   bool hit_iteration_cap = false;
+  /// The traversal was unwound early by its CancelToken (deadline passed
+  /// mid-flight, or the future was cancelled/dropped). The returned answers
+  /// are a valid *partial* result: every tuple reported is a true answer,
+  /// but the set may be incomplete.
+  bool cancelled = false;
 
   /// Cumulative answer-set size after each iteration (Lemma 2: the partial
   /// answer after iteration i equals the answer of p defined by p = p_i).
@@ -71,10 +82,26 @@ struct EvalOptions {
   /// (Section 3 end, citing [21]). Set to force per-source evaluation
   /// instead (the ablation).
   bool disable_closure_sharing = false;
+
+  /// Cooperative cancellation: when set, the traversal polls the token at
+  /// decimated cancellation points (every Engine::kCancelCheckStride node
+  /// expansions, and once per fixpoint iteration) and unwinds with the
+  /// partial answer set gathered so far, marking EvalStats::cancelled.
+  /// Borrowed — must outlive the evaluation call. nullptr disables polling
+  /// entirely (the only residual cost is one pointer test per expansion).
+  const CancelToken* cancel = nullptr;
 };
 
 class Engine {
  public:
+  /// Node expansions between two cancellation polls. Tuned so the poll —
+  /// a branch per expansion plus a clock read per stride — stays under the
+  /// 2% bench_storage budget while keeping worst-case cancellation latency
+  /// low: one expansion can enumerate a whole adjacency list (thousands of
+  /// arcs on dense workloads), so a stride of 512 bounds the latency to a
+  /// few milliseconds even there, and to microseconds on sparse data.
+  static constexpr size_t kCancelCheckStride = 512;
+
   /// `eqs` and `views` must outlive the engine. `shared_machines`, if
   /// given, is an immutable pre-compiled machine set (pred -> M(e_p)) that
   /// may be shared by any number of engines: Machine() serves from it

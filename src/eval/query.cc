@@ -321,10 +321,17 @@ Result<QueryAnswer> QueryEngine::Query(const Literal& query,
       answer.stats.continuations += stats.continuations;
       answer.stats.em_states += stats.em_states;
       answer.stats.hit_iteration_cap |= stats.hit_iteration_cap;
+      answer.stats.cancel_checks += stats.cancel_checks;
       for (TermId y : r.value()) {
         SymbolId yc = term_const(y);
         if (diagonal && yc != c) continue;
         answer.tuples.push_back(Tuple{c, yc});
+      }
+      // A cancelled source unwinds the whole sweep: the remaining sources
+      // would only widen the already-partial answer set.
+      if (stats.cancelled) {
+        answer.stats.cancelled = true;
+        break;
       }
     }
   }

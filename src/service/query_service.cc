@@ -1,6 +1,9 @@
 #include "service/query_service.h"
 
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <thread>
 #include <utility>
 
@@ -10,6 +13,148 @@
 #include "util/check.h"
 
 namespace binchain {
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+/// Per-batch shared state: the completion rendezvous (mutex + condvar over
+/// `remaining`), the order-independent aggregates folded in as queries
+/// land, the epoch pin, and the completion callback the last finisher
+/// fires. Single submissions are one-query batches, so every query has
+/// exactly one of these behind it.
+struct BatchShared {
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t remaining = 0;  // queries not yet completed (guarded by mu)
+  BatchStats stats;      // folded under mu; final once remaining hits 0
+  BatchCallback on_complete;  // moved out and invoked by the last finisher
+  std::chrono::steady_clock::time_point t0;  // submission time
+  /// Live mode: pins the acquired epoch (and every storage layer it reads)
+  /// until the batch's last response is written.
+  std::shared_ptr<const Database> epoch_handle;
+  const Database* db = nullptr;  // the epoch all queries evaluate against
+  /// Claim cursor for the blocking-batch runner path (see EvalBatch).
+  std::atomic<size_t> next{0};
+  /// Future-based submissions have waiters per query, so every completion
+  /// broadcasts; the blocking-batch path waits only for the whole batch,
+  /// so only the last completion needs to.
+  bool notify_each = true;
+};
+
+/// One submitted query: the request (frozen at submission), the token the
+/// future and the evaluating worker share, and the response slot. `done`
+/// and `response` hand-off is guarded by the batch mutex.
+struct AsyncQueryState {
+  QueryRequest request;
+  CancelToken token;
+  QueryResponse response;
+  bool done = false;  // guarded by batch->mu
+  std::shared_ptr<BatchShared> batch;
+};
+
+// ----------------------------------------------------------- QueryFuture
+
+QueryFuture::QueryFuture(std::shared_ptr<AsyncQueryState> state)
+    : state_(std::move(state)) {}
+
+QueryFuture::QueryFuture(QueryFuture&& other) noexcept
+    : state_(std::move(other.state_)) {}
+
+QueryFuture& QueryFuture::operator=(QueryFuture&& other) noexcept {
+  if (this != &other) {
+    if (state_ != nullptr) state_->token.Cancel();
+    state_ = std::move(other.state_);
+  }
+  return *this;
+}
+
+QueryFuture::~QueryFuture() {
+  // An abandoned result is demand nobody wants: dropping the future
+  // cancels the query so the engine stops paying for it. The worker still
+  // completes the state (it holds its own reference); the response is
+  // simply never read.
+  if (state_ != nullptr) state_->token.Cancel();
+}
+
+bool QueryFuture::Ready() const {
+  if (state_ == nullptr) return false;
+  std::lock_guard<std::mutex> lock(state_->batch->mu);
+  return state_->done;
+}
+
+void QueryFuture::Wait() const {
+  if (state_ == nullptr) return;
+  std::unique_lock<std::mutex> lock(state_->batch->mu);
+  state_->batch->cv.wait(lock, [&] { return state_->done; });
+}
+
+bool QueryFuture::WaitFor(double ms) const {
+  if (state_ == nullptr) return false;
+  std::unique_lock<std::mutex> lock(state_->batch->mu);
+  return state_->batch->cv.wait_for(
+      lock, std::chrono::duration<double, std::milli>(ms),
+      [&] { return state_->done; });
+}
+
+void QueryFuture::Cancel() {
+  if (state_ != nullptr) state_->token.Cancel();
+}
+
+QueryResponse QueryFuture::Take() {
+  BINCHAIN_CHECK(state_ != nullptr);
+  QueryResponse out;
+  {
+    std::unique_lock<std::mutex> lock(state_->batch->mu);
+    state_->batch->cv.wait(lock, [&] { return state_->done; });
+    out = std::move(state_->response);
+  }
+  state_.reset();
+  return out;
+}
+
+// ----------------------------------------------------------- BatchHandle
+
+BatchHandle::BatchHandle(BatchHandle&&) noexcept = default;
+BatchHandle& BatchHandle::operator=(BatchHandle&&) noexcept = default;
+// Per-future drop semantics do the cancelling of whatever was not taken.
+BatchHandle::~BatchHandle() = default;
+
+void BatchHandle::Wait() const {
+  if (shared_ == nullptr) return;
+  std::unique_lock<std::mutex> lock(shared_->mu);
+  shared_->cv.wait(lock, [&] { return shared_->remaining == 0; });
+}
+
+void BatchHandle::Cancel() {
+  for (QueryFuture& f : futures_) f.Cancel();
+}
+
+std::vector<QueryResponse> BatchHandle::Take(BatchStats* stats) {
+  Wait();
+  std::vector<QueryResponse> out(futures_.size());
+  for (size_t i = 0; i < futures_.size(); ++i) {
+    if (futures_[i].valid()) out[i] = futures_[i].Take();
+  }
+  if (stats != nullptr) {
+    *stats = BatchStats{};
+    if (shared_ != nullptr) {
+      std::lock_guard<std::mutex> lock(shared_->mu);
+      *stats = shared_->stats;
+    }
+  }
+  futures_.clear();
+  shared_.reset();
+  return out;
+}
+
+// ---------------------------------------------------------- QueryService
 
 /// A worker's private evaluation context. Only the cheap mutable scratch
 /// lives here (term pool, view registry, both engines' node sets);
@@ -36,7 +181,7 @@ QueryService::QueryService(Database* db, const Program& program,
   db_->Freeze();
   AdoptSnapshot(db_);
   if (!init_status_.ok()) return;
-  pool_ = std::make_unique<ThreadPool>(workers_.size());
+  pool_ = std::make_unique<ThreadPool>(workers_.size(), queue_depth_);
 }
 
 QueryService::QueryService(SnapshotManager* live, const Program& program,
@@ -59,7 +204,7 @@ QueryService::QueryService(SnapshotManager* live, const Program& program,
   live_->Seal();
   AdoptSnapshot(db_);
   if (!init_status_.ok()) return;
-  pool_ = std::make_unique<ThreadPool>(workers_.size());
+  pool_ = std::make_unique<ThreadPool>(workers_.size(), queue_depth_);
 }
 
 void QueryService::AdoptSnapshot(Database* db) {
@@ -83,6 +228,7 @@ void QueryService::AdoptSnapshot(Database* db) {
 }
 
 bool QueryService::Init(const Program& program, const Options& options) {
+  queue_depth_ = options.queue_depth > 0 ? options.queue_depth : 1024;
   Program prog = program;
   prog.queries.clear();
   if (!prog.facts.empty() && db_->frozen()) {
@@ -134,6 +280,10 @@ size_t QueryService::num_threads() const {
   return pool_ ? pool_->size() : 0;
 }
 
+size_t QueryService::pending() const {
+  return pool_ ? pool_->pending() : 0;
+}
+
 Status QueryService::BuildLiteral(const Database& db,
                                   const QueryRequest& request, Literal* out,
                                   bool* empty_ok) const {
@@ -175,109 +325,254 @@ Status QueryService::BuildLiteral(const Database& db,
   return Status::Ok();
 }
 
+void QueryService::RunOne(size_t worker_id, AsyncQueryState& q) {
+  QueryResponse& resp = q.response;
+  const Database* qdb = q.batch->db;
+  resp.epoch = qdb->epoch();
+  // Token check at pickup: a request cancelled or expired while queued is
+  // answered without evaluating (or rebinding) anything.
+  if (q.token.cancelled()) {
+    resp.cancelled = true;
+    resp.status = Status::Cancelled("request cancelled before evaluation");
+    return;
+  }
+  if (q.token.Expired()) {
+    resp.timed_out = true;
+    resp.status = Status::DeadlineExceeded(
+        "request deadline expired before evaluation");
+    return;
+  }
+  Worker& w = *workers_[worker_id];
+  if (live_ != nullptr && w.bound_epoch != qdb->epoch()) {
+    // Epoch bump: re-point this worker's views at the batch's snapshot.
+    // Term pool, compiled machines, and rex cache survive — the epoch
+    // extends the same symbol-id space — so this is O(#relations), not a
+    // per-query rebuild.
+    if (Status s = w.engine.BindSnapshot(*qdb); !s.ok()) {
+      resp.status = s;
+      return;
+    }
+    w.bound_epoch = qdb->epoch();
+  }
+  Literal lit;
+  bool empty_ok = false;
+  if (Status s = BuildLiteral(*qdb, q.request, &lit, &empty_ok); !s.ok()) {
+    resp.status = s;
+    return;
+  }
+  if (empty_ok) return;  // unknown constant: empty answer set
+  // Thread the token into the engine: the traversal polls it at decimated
+  // cancellation points and unwinds with a partial answer set when it
+  // trips.
+  EvalOptions options = q.request.options;
+  options.cancel = &q.token;
+  auto r = w.engine.Query(lit, options);
+  if (!r.ok()) {
+    resp.status = r.status();
+    return;
+  }
+  resp.tuples = std::move(r.value().tuples);
+  resp.stats = std::move(r.value().stats);
+  resp.fetches = r.value().fetches;
+  if (resp.stats.cancelled) {
+    // Mid-flight unwind. The tuples gathered so far are true answers, just
+    // possibly not all of them; the marker keeps anyone from mistaking the
+    // prefix for the complete set. Cancellation wins the tie over the
+    // deadline: an explicit Cancel() is the stronger, caller-driven signal.
+    resp.partial = true;
+    if (q.token.cancelled()) {
+      resp.cancelled = true;
+      resp.status =
+          Status::Cancelled("request cancelled mid-flight; partial answers");
+    } else {
+      resp.timed_out = true;
+      resp.status = Status::DeadlineExceeded(
+          "request deadline expired mid-flight; partial answers");
+    }
+  }
+}
+
+void QueryService::CompleteQuery(AsyncQueryState& q) {
+  BatchShared& b = *q.batch;
+  BatchCallback callback;
+  BatchStats aggregates;
+  bool last = false;
+  {
+    std::lock_guard<std::mutex> lock(b.mu);
+    q.done = true;
+    const QueryResponse& r = q.response;
+    BatchStats& s = b.stats;
+    if (!r.status.ok()) {
+      ++s.failed;
+      if (r.timed_out) ++s.timed_out;
+      if (r.cancelled) ++s.cancelled;
+      if (r.status.code() == StatusCode::kOverloaded) ++s.overloaded;
+    } else {
+      s.tuples += r.tuples.size();
+      s.fetches += r.fetches;
+      s.total.nodes += r.stats.nodes;
+      s.total.arcs += r.stats.arcs;
+      s.total.iterations += r.stats.iterations;
+      s.total.expansions += r.stats.expansions;
+      s.total.continuations += r.stats.continuations;
+      s.total.em_states += r.stats.em_states;
+      s.total.fetches += r.stats.fetches;
+      s.total.wide_mask_scans += r.stats.wide_mask_scans;
+      s.total.memo_hits += r.stats.memo_hits;
+      s.total.cancel_checks += r.stats.cancel_checks;
+      s.total.hit_iteration_cap |= r.stats.hit_iteration_cap;
+    }
+    if (--b.remaining == 0) {
+      last = true;
+      s.wall_ms = MsSince(b.t0);
+      callback = std::move(b.on_complete);
+      aggregates = s;
+    }
+  }
+  if (b.notify_each || last) b.cv.notify_all();
+  // Outside the lock: the callback may wait on other futures or submit
+  // follow-up work (but must not block on this service's own queue).
+  if (last && callback) callback(aggregates);
+}
+
+std::shared_ptr<BatchShared> QueryService::MakeBatchShared(size_t queries) {
+  auto shared = std::make_shared<BatchShared>();
+  shared->t0 = std::chrono::steady_clock::now();
+  shared->remaining = queries;
+  shared->stats.queries = queries;
+  // One epoch per batch, acquired once at submission: every query of the
+  // batch sees the same snapshot even if Publish() swaps the tip while the
+  // batch drains. The shared state pins the epoch until the last response
+  // lands.
+  const Database* qdb = db_;
+  if (init_status_.ok() && live_ != nullptr) {
+    shared->epoch_handle = live_->Acquire();
+    qdb = shared->epoch_handle.get();
+  }
+  shared->db = qdb;
+  shared->stats.epoch = qdb->epoch();
+  return shared;
+}
+
+BatchHandle QueryService::SubmitShared(std::vector<QueryRequest> batch,
+                                       BatchCallback on_complete) {
+  BatchHandle handle;
+  auto shared = MakeBatchShared(batch.size());
+  shared->on_complete = std::move(on_complete);
+  handle.shared_ = shared;
+  if (batch.empty()) {
+    if (shared->on_complete) {
+      BatchCallback cb = std::move(shared->on_complete);
+      cb(shared->stats);
+    }
+    return handle;
+  }
+
+  handle.futures_.reserve(batch.size());
+  for (QueryRequest& req : batch) {
+    auto state = std::make_shared<AsyncQueryState>();
+    state->batch = shared;
+    // The deadline clock starts at submission: time spent queued counts
+    // against the request's budget, so queue delay cannot launder an
+    // expired request into a fresh one.
+    if (req.deadline_ms > 0) state->token.SetDeadlineAfter(req.deadline_ms);
+    state->request = std::move(req);
+    handle.futures_.push_back(QueryFuture(state));
+    if (!init_status_.ok()) {
+      state->response.status = init_status_;
+      state->response.epoch = shared->db->epoch();
+      CompleteQuery(*state);
+      continue;
+    }
+    ThreadPool::Task task = [this, state](size_t worker_id) {
+      RunOne(worker_id, *state);
+      CompleteQuery(*state);
+    };
+    if (!pool_->TrySubmit(std::move(task))) {
+      // Admission control: the queue is at its high-water mark. Shed this
+      // request immediately — an honest kOverloaded now beats an unbounded
+      // queue that deadlines everything later.
+      state->response.status = Status::Overloaded(
+          "submission queue at high-water mark (" +
+          std::to_string(queue_depth_) + " pending)");
+      state->response.epoch = shared->db->epoch();
+      CompleteQuery(*state);
+    }
+  }
+  return handle;
+}
+
+QueryFuture QueryService::Submit(QueryRequest request) {
+  std::vector<QueryRequest> one;
+  one.push_back(std::move(request));
+  BatchHandle handle = SubmitShared(std::move(one), nullptr);
+  // Moving the future out disarms the handle's drop-cancellation; the
+  // batch state stays alive behind the future.
+  return std::move(handle.futures_[0]);
+}
+
+BatchHandle QueryService::SubmitBatch(std::vector<QueryRequest> batch,
+                                      BatchCallback on_complete) {
+  return SubmitShared(std::move(batch), std::move(on_complete));
+}
+
 QueryResponse QueryService::Eval(const QueryRequest& request) {
   return EvalBatch({request})[0];
 }
 
 std::vector<QueryResponse> QueryService::EvalBatch(
     const std::vector<QueryRequest>& batch, BatchStats* stats) {
-  std::vector<QueryResponse> responses(batch.size());
-  if (!init_status_.ok()) {
-    for (QueryResponse& r : responses) r.status = init_status_;
-    if (stats != nullptr) {
-      *stats = BatchStats{};
-      stats->queries = batch.size();
-      stats->failed = batch.size();
-    }
-    return responses;
-  }
-
-  std::lock_guard<std::mutex> batch_lock(batch_mu_);
-  // One epoch per batch: acquired once, so every query of the batch sees
-  // the same snapshot even if Publish() swaps the tip mid-batch. The
-  // handle pins the epoch (and the storage layers it reads) until the last
-  // response is written.
-  std::shared_ptr<const Database> epoch_handle;
-  const Database* qdb = db_;
-  if (live_ != nullptr) {
-    epoch_handle = live_->Acquire();
-    qdb = epoch_handle.get();
-  }
-  auto t0 = std::chrono::steady_clock::now();
-  auto run_one = [&](size_t worker_id, size_t i) {
-    QueryResponse& resp = responses[i];
-    // Admission control: a deadline measured from batch dispatch. Expired
-    // requests are answered without evaluating (or rebinding) anything.
-    if (batch[i].deadline_ms > 0) {
-      double elapsed_ms = std::chrono::duration<double, std::milli>(
-                              std::chrono::steady_clock::now() - t0)
-                              .count();
-      if (elapsed_ms >= batch[i].deadline_ms) {
-        resp.timed_out = true;
-        resp.epoch = qdb->epoch();
-        resp.status = Status::DeadlineExceeded(
-            "request deadline expired before evaluation");
-        return;
+  const size_t n = batch.size();
+  auto shared = MakeBatchShared(n);
+  shared->notify_each = false;  // no per-query waiters on this path
+  std::vector<QueryResponse> responses(n);
+  if (n > 0) {
+    // One state per query in a single allocation. No futures exist here,
+    // so the (blocking) call owns the states for the batch's whole
+    // lifetime: the cv wait below synchronizes with the last
+    // CompleteQuery, after which no runner touches them.
+    std::unique_ptr<AsyncQueryState[]> states(new AsyncQueryState[n]);
+    for (size_t i = 0; i < n; ++i) {
+      states[i].batch = shared;
+      if (batch[i].deadline_ms > 0) {
+        states[i].token.SetDeadlineAfter(batch[i].deadline_ms);
       }
+      states[i].request = batch[i];
     }
-    Worker& w = *workers_[worker_id];
-    if (live_ != nullptr && w.bound_epoch != qdb->epoch()) {
-      // Epoch bump: re-point this worker's views at the new snapshot.
-      // Term pool, compiled machines, and rex cache survive — the epoch
-      // extends the same symbol-id space — so this is O(#relations), not a
-      // per-query rebuild.
-      if (Status s = w.engine.BindSnapshot(*qdb); !s.ok()) {
-        resp.status = s;
-        return;
+    if (!init_status_.ok()) {
+      for (size_t i = 0; i < n; ++i) {
+        states[i].response.status = init_status_;
+        states[i].response.epoch = shared->db->epoch();
+        CompleteQuery(states[i]);
       }
-      w.bound_epoch = qdb->epoch();
+    } else {
+      // Claim-cursor runners instead of one queued closure per query: the
+      // blocking path enqueues at most one task per worker, and workers
+      // claim batch indexes from the shared cursor (self-balancing, FIFO).
+      // Per-query heap/queue traffic stays off this hot path; backpressure
+      // comes from SubmitBlocking when other batches own the queue.
+      AsyncQueryState* raw = states.get();
+      size_t runners = std::min(workers_.size(), n);
+      for (size_t r = 0; r < runners; ++r) {
+        pool_->SubmitBlocking([this, shared, raw, n](size_t worker_id) {
+          for (size_t i = shared->next.fetch_add(1, std::memory_order_relaxed);
+               i < n;
+               i = shared->next.fetch_add(1, std::memory_order_relaxed)) {
+            RunOne(worker_id, raw[i]);
+            CompleteQuery(raw[i]);
+          }
+        });
+      }
+      std::unique_lock<std::mutex> lock(shared->mu);
+      shared->cv.wait(lock, [&] { return shared->remaining == 0; });
     }
-    resp.epoch = qdb->epoch();
-    Literal lit;
-    bool empty_ok = false;
-    if (Status s = BuildLiteral(*qdb, batch[i], &lit, &empty_ok); !s.ok()) {
-      resp.status = s;
-      return;
+    for (size_t i = 0; i < n; ++i) {
+      responses[i] = std::move(states[i].response);
     }
-    if (empty_ok) return;  // unknown constant: empty answer set
-    auto r = w.engine.Query(lit, batch[i].options);
-    if (!r.ok()) {
-      resp.status = r.status();
-      return;
-    }
-    resp.tuples = std::move(r.value().tuples);
-    resp.stats = std::move(r.value().stats);
-    resp.fetches = r.value().fetches;
-  };
-  pool_->ParallelFor(batch.size(), run_one);
-  double wall_ms = std::chrono::duration<double, std::milli>(
-                       std::chrono::steady_clock::now() - t0)
-                       .count();
-
+  }
   if (stats != nullptr) {
-    *stats = BatchStats{};
-    stats->queries = batch.size();
-    stats->wall_ms = wall_ms;
-    stats->epoch = qdb->epoch();
-    for (const QueryResponse& r : responses) {
-      if (!r.status.ok()) {
-        ++stats->failed;
-        if (r.timed_out) ++stats->timed_out;
-        continue;
-      }
-      stats->tuples += r.tuples.size();
-      stats->fetches += r.fetches;
-      stats->total.nodes += r.stats.nodes;
-      stats->total.arcs += r.stats.arcs;
-      stats->total.iterations += r.stats.iterations;
-      stats->total.expansions += r.stats.expansions;
-      stats->total.continuations += r.stats.continuations;
-      stats->total.em_states += r.stats.em_states;
-      stats->total.fetches += r.stats.fetches;
-      stats->total.wide_mask_scans += r.stats.wide_mask_scans;
-      stats->total.memo_hits += r.stats.memo_hits;
-      stats->total.hit_iteration_cap |= r.stats.hit_iteration_cap;
-    }
+    std::lock_guard<std::mutex> lock(shared->mu);
+    *stats = shared->stats;
   }
   return responses;
 }

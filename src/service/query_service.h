@@ -1,13 +1,33 @@
-// Concurrent query service: batch evaluation over a frozen database
+// Concurrent query service: async submission over a frozen database
 // snapshot. The paper's engine answers one p(a, Y) query at a time; this
 // layer turns it into a reusable service in the sense of the QSQ-style
-// evaluator frameworks — it owns a fixed thread pool, one evaluation
-// context per worker (QueryEngine with its own term pool, view registry and
-// reset-and-reuse scratch), and the freeze step that makes the shared
-// storage safe to read concurrently. The program-derived artifacts — the
-// Lemma 1 equation system, the inverted system, and every compiled machine
-// M(e_p) — are built once and shared read-only by all workers, so startup
-// cost no longer scales with the thread count.
+// evaluator frameworks — it owns a fixed thread pool fed by a bounded
+// submission queue, one evaluation context per worker (QueryEngine with its
+// own term pool, view registry and reset-and-reuse scratch), and the freeze
+// step that makes the shared storage safe to read concurrently. The
+// program-derived artifacts — the Lemma 1 equation system, the inverted
+// system, and every compiled machine M(e_p) — are built once and shared
+// read-only by all workers, so startup cost no longer scales with the
+// thread count.
+//
+// Submission is future-based: Submit() enqueues one query and returns a
+// QueryFuture; SubmitBatch() enqueues a whole batch and returns a
+// BatchHandle with per-query futures plus an optional completion callback
+// that fires (on the worker that finishes last) with the batch aggregates.
+// The queue has a configurable high-water mark: submissions past it are
+// answered immediately with StatusCode::kOverloaded instead of queueing
+// without bound. The blocking Eval/EvalBatch calls share the same
+// lifecycle (states, tokens, aggregates) but dispatch as claim-cursor
+// runner tasks — at most one per worker — with backpressure (waiting for
+// queue room) rather than shedding, so batch clients keep their
+// all-queries-answered contract and pay no per-query queue traffic.
+//
+// Every request carries a CancelToken for its whole lifetime: a deadline
+// armed at submission, and a flag flipped by QueryFuture::Cancel() (or by
+// dropping the future unconsumed). A queued request whose token trips is
+// answered without evaluating; an in-flight one unwinds at the engine's
+// next cancellation point with kDeadlineExceeded/kCancelled and whatever
+// partial answer set the traversal had gathered (QueryResponse::partial).
 //
 // Construction performs every mutating step up front, on the calling
 // thread: program facts are loaded, the shared plan transforms the program
@@ -22,15 +42,15 @@
 //
 // Live mode: constructed over a SnapshotManager instead of a bare
 // database, the service serves a *sequence* of epochs. Every batch
-// acquires the current epoch handle once, so all its queries see one
-// consistent snapshot even while Publish() swaps the tip mid-batch;
-// workers re-point their views at the new epoch on first use after an
-// epoch bump (cheap — nothing program-derived is rebuilt).
+// acquires the current epoch handle once at submission, so all its queries
+// see one consistent snapshot even while Publish() swaps the tip mid-batch;
+// workers re-point their views at a submission's epoch on first use after
+// an epoch bump (cheap — nothing program-derived is rebuilt).
 #ifndef BINCHAIN_SERVICE_QUERY_SERVICE_H_
 #define BINCHAIN_SERVICE_QUERY_SERVICE_H_
 
+#include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -39,6 +59,7 @@
 #include "eval/query.h"
 #include "service/thread_pool.h"
 #include "storage/database.h"
+#include "util/cancel_token.h"
 #include "util/status.h"
 
 namespace binchain {
@@ -57,12 +78,12 @@ struct QueryRequest {
   /// Both arguments are the same free variable (p(X, X)). Requires empty
   /// source and target.
   bool diagonal = false;
-  /// Evaluation budget in milliseconds, measured from batch dispatch
-  /// (admission control, first slice): a request whose deadline has already
-  /// passed when a worker picks it up returns a timed-out response instead
-  /// of evaluating. <= 0 disables the deadline. Requests admitted before
-  /// the deadline run to completion — the engine is not interrupted
-  /// mid-traversal.
+  /// Evaluation budget in milliseconds, measured from submission. Enforced
+  /// twice: a request whose deadline has already passed when a worker picks
+  /// it up is answered without evaluating, and an in-flight traversal whose
+  /// deadline passes unwinds at the engine's next cancellation point with a
+  /// partial answer set. Either way the response carries kDeadlineExceeded
+  /// and timed_out. <= 0 disables the deadline.
   double deadline_ms = 0;
   EvalOptions options;
 };
@@ -75,9 +96,17 @@ struct QueryResponse {
   /// Epoch id of the snapshot this query evaluated against (0 unless the
   /// service runs in live mode and epochs have advanced).
   uint64_t epoch = 0;
-  /// The request's deadline expired before evaluation started; status
-  /// carries kDeadlineExceeded and no evaluation work was done.
+  /// The request's deadline expired — before evaluation started (tuples
+  /// empty, no work done) or mid-flight (see `partial`). status carries
+  /// kDeadlineExceeded.
   bool timed_out = false;
+  /// The request was cancelled through its future (Cancel() or drop);
+  /// status carries kCancelled.
+  bool cancelled = false;
+  /// The traversal was unwound mid-flight: `tuples` is a valid but possibly
+  /// incomplete prefix of the answer set (every tuple reported is a true
+  /// answer). Only ever set together with timed_out or cancelled.
+  bool partial = false;
 };
 
 /// Order-independent aggregates over one batch: every field is a sum (or
@@ -93,16 +122,20 @@ struct QueryResponse {
 /// non-chain programs depend on scheduling (totals still converge).
 /// EvalStats::memo_hits totals are deterministic up to the handful of
 /// fill-once cells (closure / source caches): the filling query reports
-/// one fewer hit than a replaying one.
+/// one fewer hit than a replaying one. Failed queries (cancelled, timed
+/// out, shed) contribute to their counters but never to the work totals —
+/// cancellation timing is inherently nondeterministic.
 struct BatchStats {
   uint64_t queries = 0;
   uint64_t failed = 0;   // responses with !status.ok(), timeouts included
-  uint64_t timed_out = 0;  // of failed: requests expired before evaluating
+  uint64_t timed_out = 0;  // of failed: deadline expired (before or mid-flight)
+  uint64_t cancelled = 0;  // of failed: future cancelled or dropped
+  uint64_t overloaded = 0;  // of failed: shed at the submission queue
   uint64_t tuples = 0;   // answers over all successful queries
   uint64_t fetches = 0;
   uint64_t epoch = 0;    // snapshot the whole batch evaluated against
   EvalStats total;       // scalar fields summed; answers_per_iteration unused
-  double wall_ms = 0;    // batch wall time (dispatch to last completion)
+  double wall_ms = 0;    // batch wall time (submission to last completion)
 };
 
 /// Service configuration (namespace-scope so it can appear in default
@@ -110,6 +143,92 @@ struct BatchStats {
 struct QueryServiceOptions {
   /// Worker threads; 0 means std::thread::hardware_concurrency().
   size_t num_threads = 0;
+  /// High-water mark of the submission queue: pending (accepted, not yet
+  /// claimed) requests past this are shed with kOverloaded on the async
+  /// paths; the blocking paths wait for room instead.
+  size_t queue_depth = 1024;
+};
+
+class QueryService;
+struct AsyncQueryState;  // one submitted query (opaque; query_service.cc)
+struct BatchShared;      // per-batch aggregates + completion (opaque)
+
+/// Handle to one submitted query. Move-only; the result must be claimed
+/// with Take() (or the future dropped, which *cancels* the query — an
+/// abandoned result is demand nobody wants, so the engine stops paying for
+/// it). Safe to wait from any thread; Cancel() is safe from any thread at
+/// any time.
+class QueryFuture {
+ public:
+  QueryFuture() = default;
+  QueryFuture(QueryFuture&&) noexcept;
+  QueryFuture& operator=(QueryFuture&&) noexcept;
+  QueryFuture(const QueryFuture&) = delete;
+  QueryFuture& operator=(const QueryFuture&) = delete;
+  /// Dropping an unconsumed future cancels the query (cooperatively: a
+  /// queued query is answered kCancelled without evaluating, an in-flight
+  /// one unwinds at its next cancellation point; the response is discarded
+  /// when it lands).
+  ~QueryFuture();
+
+  bool valid() const { return state_ != nullptr; }
+  /// True once the response is ready (never blocks).
+  bool Ready() const;
+  /// Blocks until the response is ready.
+  void Wait() const;
+  /// Blocks up to `ms`; returns whether the response became ready.
+  bool WaitFor(double ms) const;
+  /// Requests cooperative cancellation; the future still completes (with
+  /// kCancelled, or normally if evaluation already passed its last
+  /// cancellation point).
+  void Cancel();
+  /// Blocks until ready and moves the response out; the future becomes
+  /// invalid.
+  QueryResponse Take();
+
+ private:
+  friend class QueryService;
+  explicit QueryFuture(std::shared_ptr<AsyncQueryState> state);
+  std::shared_ptr<AsyncQueryState> state_;
+};
+
+/// Invoked exactly once per SubmitBatch, by the worker completing the
+/// batch's last query (or inline when every query was shed/failed at
+/// submission). Runs on a worker thread: keep it cheap and do not call
+/// back into blocking service methods from it.
+using BatchCallback = std::function<void(const BatchStats&)>;
+
+/// Handle to a submitted batch: per-query futures plus batch-level wait /
+/// take / cancel. Move-only; dropping the handle cancels every query whose
+/// future was neither taken out nor individually consumed.
+class BatchHandle {
+ public:
+  BatchHandle() = default;
+  BatchHandle(BatchHandle&&) noexcept;
+  BatchHandle& operator=(BatchHandle&&) noexcept;
+  BatchHandle(const BatchHandle&) = delete;
+  BatchHandle& operator=(const BatchHandle&) = delete;
+  ~BatchHandle();
+
+  size_t size() const { return futures_.size(); }
+  /// Per-query future, indexed like the submitted batch. May be moved out
+  /// for individual waiting; Take() then reports a default (moved-from)
+  /// response at that index.
+  QueryFuture& future(size_t i) { return futures_[i]; }
+
+  /// Blocks until every query of the batch completed.
+  void Wait() const;
+  /// Requests cooperative cancellation of every query in the batch.
+  void Cancel();
+  /// Blocks until completion and moves all responses out (indexed like the
+  /// submitted batch); optionally reports the batch aggregates. The handle
+  /// becomes empty.
+  std::vector<QueryResponse> Take(BatchStats* stats = nullptr);
+
+ private:
+  friend class QueryService;
+  std::shared_ptr<BatchShared> shared_;
+  std::vector<QueryFuture> futures_;
 };
 
 class QueryService {
@@ -132,6 +251,9 @@ class QueryService {
   QueryService(SnapshotManager* live, const Program& program,
                Options options = {});
 
+  /// Drains the submission queue (cancelled work unwinds promptly) and
+  /// joins the workers. Outstanding futures complete before destruction
+  /// returns.
   ~QueryService();
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
@@ -140,16 +262,36 @@ class QueryService {
   const Status& status() const { return init_status_; }
 
   size_t num_threads() const;
+  /// Requests accepted into the submission queue but not yet claimed by a
+  /// worker (advisory; see ThreadPool::pending).
+  size_t pending() const;
   /// The database the service was prepared against (the genesis epoch in
   /// live mode — later epochs are reached through the manager).
   const Database& database() const { return *db_; }
 
-  /// Evaluates one query on the pool (blocking).
+  /// Async submission: enqueues the request and returns immediately. If
+  /// the queue is at its high-water mark the future is already completed
+  /// with kOverloaded (admission control); a failed service completes it
+  /// with status(). The request's deadline starts now.
+  QueryFuture Submit(QueryRequest request);
+
+  /// Async batch submission: every request is enqueued (admission applies
+  /// per query — shed queries complete immediately with kOverloaded while
+  /// the rest proceed), all against one epoch acquired now. `on_complete`,
+  /// if given, fires once with the aggregates when the last query lands.
+  BatchHandle SubmitBatch(std::vector<QueryRequest> batch,
+                          BatchCallback on_complete = nullptr);
+
+  /// Evaluates one query, blocking until the response (backpressure
+  /// instead of shedding when the queue is full).
   QueryResponse Eval(const QueryRequest& request);
 
-  /// Evaluates a batch across the pool; the response vector is indexed like
-  /// `batch`. Blocking; safe to call from multiple client threads (batches
-  /// are serialized onto the one pool).
+  /// Evaluates a batch, blocking; the response vector is indexed like
+  /// `batch`. Dispatched as claim-cursor runner tasks (at most one per
+  /// worker) rather than per-query submissions, so large blocking batches
+  /// pay no per-query queue traffic and never shed; deadlines and
+  /// EvalStats semantics are identical to the async path. Safe to call
+  /// from multiple client threads — batches queue FIFO.
   std::vector<QueryResponse> EvalBatch(const std::vector<QueryRequest>& batch,
                                        BatchStats* stats = nullptr);
 
@@ -174,6 +316,25 @@ class QueryService {
   Status BuildLiteral(const Database& db, const QueryRequest& request,
                       Literal* out, bool* empty_ok) const;
 
+  /// Per-batch shared state (completion rendezvous, aggregates, epoch
+  /// pin), with the epoch acquired now.
+  std::shared_ptr<BatchShared> MakeBatchShared(size_t queries);
+
+  /// Async submission tail: wraps `batch` into future states under one
+  /// BatchHandle, one queued task per query, shedding with kOverloaded
+  /// past the high-water mark. (The blocking EvalBatch does not go through
+  /// here — it enqueues claim-cursor runner tasks instead, keeping
+  /// per-query queue/allocation traffic off the batch hot path.)
+  BatchHandle SubmitShared(std::vector<QueryRequest> batch,
+                           BatchCallback on_complete);
+
+  /// Evaluates one claimed query on worker `worker_id`'s context, writing
+  /// the response into its state.
+  void RunOne(size_t worker_id, AsyncQueryState& q);
+  /// Marks `q` done, folds it into the batch aggregates, and fires the
+  /// completion callback if it was the batch's last query.
+  static void CompleteQuery(AsyncQueryState& q);
+
   Database* db_;
   SnapshotManager* live_ = nullptr;
   Status init_status_ = Status::Ok();
@@ -181,8 +342,8 @@ class QueryService {
   bool has_free_vars_ = false;
   std::shared_ptr<const PreparedProgram> plan_;  // shared by all workers
   std::vector<std::unique_ptr<Worker>> workers_;
+  size_t queue_depth_ = 1024;  // submission-queue high-water mark
   std::unique_ptr<ThreadPool> pool_;
-  std::mutex batch_mu_;  // one batch on the pool at a time
 };
 
 }  // namespace binchain

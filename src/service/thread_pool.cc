@@ -1,10 +1,12 @@
 #include "service/thread_pool.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace binchain {
 
-ThreadPool::ThreadPool(size_t num_threads) {
+ThreadPool::ThreadPool(size_t num_threads, size_t queue_capacity)
+    : capacity_(std::max<size_t>(1, queue_capacity)) {
   size_t n = std::max<size_t>(1, num_threads);
   threads_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
@@ -17,60 +19,52 @@ ThreadPool::~ThreadPool() {
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
   }
+  // Wake everyone: workers drain what remains of the queue and exit;
+  // blocked submitters (there should be none by contract) fail fast.
   work_cv_.notify_all();
+  space_cv_.notify_all();
   for (std::thread& t : threads_) t.join();
 }
 
-void ThreadPool::WorkerLoop(size_t worker_id) {
-  uint64_t seen_generation = 0;
-  while (true) {
-    const FunctionRef<void(size_t, size_t)>* task;
-    size_t count;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] {
-        return stop_ || generation_ != seen_generation;
-      });
-      if (stop_) return;
-      seen_generation = generation_;
-      task = task_;
-      count = count_;
-    }
-    // Claim items until the cursor runs past the end. Claiming is the only
-    // cross-thread interaction inside a job, so cheap queries on one worker
-    // naturally absorb more items while an expensive query holds another.
-    for (size_t i = next_.fetch_add(1, std::memory_order_relaxed); i < count;
-         i = next_.fetch_add(1, std::memory_order_relaxed)) {
-      (*task)(worker_id, i);
-    }
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (--active_ == 0) done_cv_.notify_all();
-    }
-  }
+size_t ThreadPool::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
 }
 
-void ThreadPool::ParallelFor(size_t count,
-                             FunctionRef<void(size_t, size_t)> task) {
-  if (count == 0) return;
-  if (count == 1) {
-    // Single item: run inline as worker 0 rather than waking the whole
-    // pool. No job is active (callers serialize ParallelFor), so worker 0's
-    // identity is free to borrow.
-    task(0, 0);
-    return;
+bool ThreadPool::TrySubmit(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_ || queue_.size() >= capacity_) return false;
+    queue_.push_back(std::move(task));
   }
-  std::unique_lock<std::mutex> lock(mu_);
-  task_ = &task;
-  count_ = count;
-  next_.store(0, std::memory_order_relaxed);
-  active_ = threads_.size();
-  ++generation_;
-  lock.unlock();
-  work_cv_.notify_all();
-  lock.lock();
-  done_cv_.wait(lock, [&] { return active_ == 0; });
-  task_ = nullptr;
+  work_cv_.notify_one();
+  return true;
+}
+
+void ThreadPool::SubmitBlocking(Task task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    space_cv_.wait(lock, [&] { return stop_ || queue_.size() < capacity_; });
+    if (stop_) return;  // shutdown raced a straggling submitter: drop
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop(size_t worker_id) {
+  while (true) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    // A slot opened up; let one blocked submitter through.
+    space_cv_.notify_one();
+    task(worker_id);
+  }
 }
 
 }  // namespace binchain

@@ -1,55 +1,69 @@
-// Fixed-size worker pool with stable worker identities. The query service
-// keeps one evaluation context (engine + caches + scratch) per worker, so
-// tasks are dispatched as (worker_id, item) pairs: any worker may claim any
-// item, but a worker only ever touches its own context. Items are claimed
-// from a shared atomic cursor, which load-balances heavy and light queries
-// without any per-item queue allocation.
+// Fixed-size worker pool with stable worker identities, fed by a bounded
+// submission queue. The query service keeps one evaluation context (engine
+// + caches + scratch) per worker, so tasks are dispatched as
+// (worker_id, task) pairs: any worker may claim any task, but a worker only
+// ever touches its own context.
+//
+// The queue is the service's admission-control surface: TrySubmit fails the
+// moment the high-water mark is reached (the caller turns that into
+// StatusCode::kOverloaded), while SubmitBlocking waits for room — the
+// backpressure path for blocking batch clients. Tasks are claimed FIFO;
+// destruction drains the queue (every accepted task runs — cancelled
+// queries unwind in microseconds, so a shutdown with a deep queue stays
+// prompt) and then joins the workers.
 #ifndef BINCHAIN_SERVICE_THREAD_POOL_H_
 #define BINCHAIN_SERVICE_THREAD_POOL_H_
 
-#include <atomic>
 #include <condition_variable>
-#include <cstdint>
+#include <cstddef>
+#include <deque>
+#include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
-
-#include "util/function_ref.h"
 
 namespace binchain {
 
 class ThreadPool {
  public:
-  /// Spawns `num_threads` workers (clamped to >= 1). Workers idle on a
-  /// condition variable between jobs.
-  explicit ThreadPool(size_t num_threads);
+  /// A unit of work; receives the executing worker's stable id in
+  /// [0, size()).
+  using Task = std::function<void(size_t worker_id)>;
+
+  /// Spawns `num_threads` workers (clamped to >= 1) over a queue holding at
+  /// most `queue_capacity` pending tasks (clamped to >= 1). Workers idle on
+  /// a condition variable between tasks.
+  ThreadPool(size_t num_threads, size_t queue_capacity);
   ~ThreadPool();
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   size_t size() const { return threads_.size(); }
+  size_t queue_capacity() const { return capacity_; }
 
-  /// Runs task(worker_id, index) for every index in [0, count), spreading
-  /// indexes over the workers; blocks until all complete. worker_id is in
-  /// [0, size()) and identifies the executing worker for the whole call.
-  /// A single-item job runs inline on the calling thread as worker 0
-  /// (avoiding a full-pool wakeup per one-off task). One job at a time:
-  /// ParallelFor itself must not be called concurrently.
-  void ParallelFor(size_t count, FunctionRef<void(size_t, size_t)> task);
+  /// Tasks accepted but not yet claimed by a worker. Advisory — another
+  /// thread may change it immediately — but monotone observations hold:
+  /// once a submitter sees 0 pending after its own submissions, all of them
+  /// have been claimed.
+  size_t pending() const;
+
+  /// Enqueues `task` unless the queue is at capacity (or the pool is
+  /// shutting down); returns whether the task was accepted. Never blocks:
+  /// this is the admission-control path.
+  bool TrySubmit(Task task);
+
+  /// Enqueues `task`, waiting for queue room if necessary (backpressure for
+  /// blocking clients). Must not be called after destruction has begun.
+  void SubmitBlocking(Task task);
 
  private:
   void WorkerLoop(size_t worker_id);
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;   // workers wait here for a job
-  std::condition_variable done_cv_;   // ParallelFor waits here for drain
-  // Borrowed from the ParallelFor argument, which outlives the job (the
-  // call blocks until every worker drains).
-  const FunctionRef<void(size_t, size_t)>* task_ = nullptr;
-  size_t count_ = 0;
-  std::atomic<size_t> next_{0};  // shared claim cursor of the active job
-  size_t active_ = 0;            // workers still inside the active job
-  uint64_t generation_ = 0;      // bumped per job so workers see new work
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait here for tasks
+  std::condition_variable space_cv_;  // SubmitBlocking waits here for room
+  std::deque<Task> queue_;
   bool stop_ = false;
 
   std::vector<std::thread> threads_;

@@ -155,7 +155,9 @@ class Tuple {
   void assign(const SymbolId* src, size_t n) {
     size_ = 0;
     reserve(n);
-    std::memcpy(data_, src, n * sizeof(SymbolId));
+    // memcpy's pointer arguments are declared nonnull even for n == 0, and
+    // a zero-arity view may legitimately carry a null data pointer.
+    if (n != 0) std::memcpy(data_, src, n * sizeof(SymbolId));
     size_ = static_cast<uint32_t>(n);
   }
 
@@ -187,8 +189,11 @@ inline TupleRef::TupleRef(const Tuple& t) : data_(t.data()),
                                             size_(static_cast<uint32_t>(t.size())) {}
 
 inline bool operator==(TupleRef a, TupleRef b) {
+  // Zero-arity views (the nullary-predicate seed rows) may hold null data
+  // pointers; memcmp's arguments are declared nonnull even at size 0.
   return a.size() == b.size() &&
-         std::memcmp(a.data(), b.data(), a.size() * sizeof(SymbolId)) == 0;
+         (a.size() == 0 ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(SymbolId)) == 0);
 }
 inline bool operator!=(TupleRef a, TupleRef b) { return !(a == b); }
 inline bool operator<(TupleRef a, TupleRef b) {

@@ -17,6 +17,8 @@ enum class StatusCode {
   kNotFound,          // missing predicate / relation
   kFailedPrecondition,
   kDeadlineExceeded,  // request expired before (or while) evaluating
+  kCancelled,         // caller cancelled (or dropped) the request's future
+  kOverloaded,        // submission queue at its high-water mark; retry later
   kInternal,
 };
 
@@ -42,6 +44,12 @@ class Status {
   }
   static Status DeadlineExceeded(std::string m) {
     return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
+  static Status Cancelled(std::string m) {
+    return Status(StatusCode::kCancelled, std::move(m));
+  }
+  static Status Overloaded(std::string m) {
+    return Status(StatusCode::kOverloaded, std::move(m));
   }
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));

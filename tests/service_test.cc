@@ -1,12 +1,17 @@
 // Concurrency semantics of the query service: identical result sets and
 // deterministic aggregate stats across thread counts, engine reuse across
-// repeated queries, freeze behavior of the storage snapshot, and a stress
-// run with overlapping sources on the Figure-8 cyclic workload.
+// repeated queries, freeze behavior of the storage snapshot, a stress run
+// with overlapping sources on the Figure-8 cyclic workload, and the async
+// submission surface — futures, mid-flight deadline/cancellation unwinds,
+// queue-depth admission, and batch completion callbacks.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
@@ -56,26 +61,54 @@ void ExpectSameResponses(const std::vector<QueryResponse>& a,
   }
 }
 
-TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
-  ThreadPool pool(4);
-  EXPECT_EQ(pool.size(), 4u);
+TEST(ThreadPoolTest, RunsEverySubmittedTaskExactlyOnceAndDrainsOnExit) {
   std::vector<std::atomic<int>> hits(1000);
   for (auto& h : hits) h = 0;
-  pool.ParallelFor(hits.size(), [&](size_t worker, size_t i) {
-    EXPECT_LT(worker, 4u);
-    ++hits[i];
-  });
+  {
+    ThreadPool pool(4, 64);
+    EXPECT_EQ(pool.size(), 4u);
+    EXPECT_EQ(pool.queue_capacity(), 64u);
+    for (size_t i = 0; i < hits.size(); ++i) {
+      pool.SubmitBlocking([&hits, i](size_t worker) {
+        EXPECT_LT(worker, 4u);
+        ++hits[i];
+      });
+    }
+    // Destruction drains: every accepted task runs before join.
+  }
   for (auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
-TEST(ThreadPoolTest, ReusableAcrossJobsAndEmptyJob) {
-  ThreadPool pool(2);
-  pool.ParallelFor(0, [&](size_t, size_t) { FAIL(); });
-  std::atomic<int> total{0};
-  for (int round = 0; round < 10; ++round) {
-    pool.ParallelFor(round, [&](size_t, size_t) { ++total; });
+TEST(ThreadPoolTest, TrySubmitShedsAtCapacityAndBlockedSubmitWaits) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1, 2);
+    // Park the single worker so the queue state is deterministic.
+    pool.SubmitBlocking([&](size_t) {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return release; });
+      ++ran;
+    });
+    while (pool.pending() != 0) std::this_thread::yield();
+    // Two slots fill the queue; the third submission is shed.
+    EXPECT_TRUE(pool.TrySubmit([&](size_t) { ++ran; }));
+    EXPECT_TRUE(pool.TrySubmit([&](size_t) { ++ran; }));
+    EXPECT_EQ(pool.pending(), 2u);
+    EXPECT_FALSE(pool.TrySubmit([&](size_t) { ++ran; }));
+    // A blocking submitter waits for room instead of shedding.
+    std::thread blocked([&] { pool.SubmitBlocking([&](size_t) { ++ran; }); });
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      release = true;
+    }
+    cv.notify_all();
+    blocked.join();
+    // Destruction drains the remaining queue.
   }
-  EXPECT_EQ(total.load(), 45);
+  EXPECT_EQ(ran.load(), 4);
 }
 
 TEST(ServiceTest, BatchMatchesSingleThreadedOnFig7Samples) {
@@ -306,6 +339,263 @@ TEST(ServiceTest, ExpiredDeadlineReturnsTimedOutWithoutEvaluating) {
   EXPECT_EQ(stats.queries, 3u);
   EXPECT_EQ(stats.failed, 1u);
   EXPECT_EQ(stats.timed_out, 1u);
+}
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// A workload whose single bound-source query runs for hundreds of
+/// milliseconds uncancelled (Figure 7 (b) at n = 1024: Theta(n^2) nodes),
+/// so deadlines and cancellations land provably mid-flight.
+struct LongQueryRig {
+  Database db;
+  std::string source;
+  Program program;
+  LongQueryRig() : source(workloads::Fig7b(db, 1024)), program(SgProgram(db)) {}
+  QueryRequest Request(double deadline_ms = 0) const {
+    QueryRequest req{"sg", source, "", {}};
+    req.deadline_ms = deadline_ms;
+    return req;
+  }
+};
+
+TEST(AsyncServiceTest, MidFlightDeadlineInterruptsLongQuery) {
+  LongQueryRig rig;
+  QueryService service(&rig.db, rig.program, {1, 64});
+  ASSERT_TRUE(service.status().ok()) << service.status().message();
+
+  // Reference: the same query without a deadline, to completion.
+  auto t0 = std::chrono::steady_clock::now();
+  QueryResponse full = service.Eval(rig.Request());
+  double uncancelled_ms = MsSince(t0);
+  ASSERT_TRUE(full.status.ok());
+  ASSERT_FALSE(full.tuples.empty());
+
+  // A budget an order of magnitude below the uncancelled runtime: the
+  // deadline provably passes mid-traversal, not in the queue.
+  double deadline_ms = std::max(5.0, std::min(50.0, uncancelled_ms / 8));
+  t0 = std::chrono::steady_clock::now();
+  QueryResponse cut = service.Eval(rig.Request(deadline_ms));
+  double cancelled_ms = MsSince(t0);
+
+  EXPECT_EQ(cut.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(cut.timed_out);
+  EXPECT_FALSE(cut.cancelled);
+  EXPECT_TRUE(cut.partial);  // interrupted mid-flight, not at admission
+  EXPECT_TRUE(cut.stats.cancelled);
+  EXPECT_GT(cut.stats.cancel_checks, 0u);
+  EXPECT_GT(cut.stats.nodes, 0u);  // it really was evaluating
+  // The unwind happened well before uncancelled completion time.
+  EXPECT_LT(cancelled_ms, uncancelled_ms / 2)
+      << "uncancelled=" << uncancelled_ms << "ms cancelled=" << cancelled_ms;
+  // Partial answers are a true subset of the full answer set.
+  EXPECT_LT(cut.tuples.size(), full.tuples.size());
+  for (const Tuple& t : cut.tuples) {
+    EXPECT_TRUE(std::binary_search(full.tuples.begin(), full.tuples.end(), t));
+  }
+}
+
+TEST(AsyncServiceTest, FutureCancelUnwindsInFlightQuery) {
+  LongQueryRig rig;
+  QueryService service(&rig.db, rig.program, {1, 64});
+  ASSERT_TRUE(service.status().ok());
+
+  auto t0 = std::chrono::steady_clock::now();
+  QueryResponse full = service.Eval(rig.Request());
+  double uncancelled_ms = MsSince(t0);
+  ASSERT_TRUE(full.status.ok());
+
+  t0 = std::chrono::steady_clock::now();
+  QueryFuture future = service.Submit(rig.Request());
+  ASSERT_TRUE(future.valid());
+  // Wait until the worker claimed it, then give the traversal a head
+  // start so the cancel provably lands mid-flight.
+  while (service.pending() != 0) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  future.Cancel();
+  QueryResponse resp = future.Take();
+  double cancelled_ms = MsSince(t0);
+  EXPECT_FALSE(future.valid());
+
+  EXPECT_EQ(resp.status.code(), StatusCode::kCancelled);
+  EXPECT_TRUE(resp.cancelled);
+  EXPECT_FALSE(resp.timed_out);
+  EXPECT_TRUE(resp.partial);
+  EXPECT_LT(cancelled_ms, uncancelled_ms / 2)
+      << "uncancelled=" << uncancelled_ms << "ms cancelled=" << cancelled_ms;
+}
+
+TEST(AsyncServiceTest, DroppedFutureCancelsAndFreesTheWorker) {
+  LongQueryRig rig;
+  QueryService service(&rig.db, rig.program, {1, 64});
+  ASSERT_TRUE(service.status().ok());
+
+  auto t0 = std::chrono::steady_clock::now();
+  QueryResponse full = service.Eval(rig.Request());
+  double uncancelled_ms = MsSince(t0);
+  ASSERT_TRUE(full.status.ok());
+
+  t0 = std::chrono::steady_clock::now();
+  {
+    QueryFuture dropped = service.Submit(rig.Request());
+    while (service.pending() != 0) std::this_thread::yield();
+    // Dropping the future unconsumed cancels the in-flight query.
+  }
+  // The single worker frees up almost immediately: a follow-up query on
+  // the same (1-thread) service completes long before the abandoned query
+  // could have run to completion.
+  QueryRequest cheap{"sg", rig.source, rig.source, {}};
+  cheap.options.max_iterations = 1;
+  QueryResponse after = service.Eval(cheap);
+  double followup_ms = MsSince(t0);
+  EXPECT_TRUE(after.status.ok());
+  EXPECT_LT(followup_ms, uncancelled_ms / 2)
+      << "uncancelled=" << uncancelled_ms << "ms follow-up=" << followup_ms;
+}
+
+TEST(AsyncServiceTest, QueueOverloadShedsWithKOverloaded) {
+  LongQueryRig rig;
+  QueryService service(&rig.db, rig.program, {1, 2});
+  ASSERT_TRUE(service.status().ok());
+
+  // Park the single worker on a long query and fill the 2-deep queue.
+  QueryFuture running = service.Submit(rig.Request());
+  while (service.pending() != 0) std::this_thread::yield();
+  QueryFuture queued1 = service.Submit(rig.Request());
+  QueryFuture queued2 = service.Submit(rig.Request());
+  EXPECT_EQ(service.pending(), 2u);
+
+  // Past the high-water mark: shed immediately, future already completed.
+  QueryFuture shed = service.Submit(rig.Request());
+  EXPECT_TRUE(shed.Ready());
+  QueryResponse shed_resp = shed.Take();
+  EXPECT_EQ(shed_resp.status.code(), StatusCode::kOverloaded);
+  EXPECT_TRUE(shed_resp.tuples.empty());
+
+  // Unwind the parked work; queued queries are answered kCancelled
+  // without evaluating.
+  running.Cancel();
+  queued1.Cancel();
+  queued2.Cancel();
+  QueryResponse r1 = queued1.Take();
+  EXPECT_EQ(r1.status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(r1.stats.nodes, 0u);  // never evaluated
+  QueryResponse r0 = running.Take();
+  EXPECT_EQ(r0.status.code(), StatusCode::kCancelled);
+  queued2.Wait();
+}
+
+TEST(AsyncServiceTest, BatchAdmissionShedsOverflowAndReportsCallback) {
+  LongQueryRig rig;
+  QueryService service(&rig.db, rig.program, {1, 2});
+  ASSERT_TRUE(service.status().ok());
+
+  // Park the worker so the queue state is deterministic.
+  QueryFuture running = service.Submit(rig.Request());
+  while (service.pending() != 0) std::this_thread::yield();
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool fired = false;
+  BatchStats from_callback;
+  std::vector<QueryRequest> batch(5, rig.Request());
+  BatchHandle handle =
+      service.SubmitBatch(batch, [&](const BatchStats& stats) {
+        std::lock_guard<std::mutex> lock(mu);
+        fired = true;
+        from_callback = stats;
+        cv.notify_all();
+      });
+  ASSERT_EQ(handle.size(), 5u);
+  // Queue depth 2: exactly two of the five were admitted, three shed.
+  handle.Cancel();   // the two admitted ones unwind as kCancelled
+  running.Cancel();  // free the worker so the admitted pair completes
+
+  BatchStats stats;
+  std::vector<QueryResponse> responses = handle.Take(&stats);
+  EXPECT_EQ(stats.queries, 5u);
+  EXPECT_EQ(stats.failed, 5u);
+  EXPECT_EQ(stats.overloaded, 3u);
+  EXPECT_EQ(stats.cancelled, 2u);
+  size_t overloaded = 0, cancelled = 0;
+  for (const QueryResponse& r : responses) {
+    if (r.status.code() == StatusCode::kOverloaded) ++overloaded;
+    if (r.status.code() == StatusCode::kCancelled) ++cancelled;
+  }
+  EXPECT_EQ(overloaded, 3u);
+  EXPECT_EQ(cancelled, 2u);
+
+  // The completion callback fired exactly once with the same aggregates.
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return fired; });
+    EXPECT_EQ(from_callback.queries, 5u);
+    EXPECT_EQ(from_callback.overloaded, 3u);
+    EXPECT_EQ(from_callback.cancelled, 2u);
+  }
+  running.Wait();
+}
+
+TEST(AsyncServiceTest, DeadlineBudgetIncludesQueueTime) {
+  LongQueryRig rig;
+  QueryService service(&rig.db, rig.program, {1, 64});
+  ASSERT_TRUE(service.status().ok());
+
+  // Occupy the worker long enough for the queued request's budget to
+  // expire before pickup.
+  QueryFuture running = service.Submit(rig.Request());
+  while (service.pending() != 0) std::this_thread::yield();
+  QueryFuture starved = service.Submit(rig.Request(/*deadline_ms=*/5));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  running.Cancel();
+  running.Wait();
+  QueryResponse resp = starved.Take();
+  EXPECT_EQ(resp.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(resp.timed_out);
+  EXPECT_FALSE(resp.partial);       // expired in the queue, not mid-flight
+  EXPECT_EQ(resp.stats.nodes, 0u);  // answered without evaluating
+}
+
+TEST(AsyncServiceTest, SubmitBatchMatchesBlockingEvalBatch) {
+  Database db;
+  workloads::Fig7b(db, 16);
+  Program program = SgProgram(db);
+  QueryService service(&db, program, {2, 256});
+  ASSERT_TRUE(service.status().ok());
+  std::vector<QueryRequest> batch = AllSourcesBatch(db);
+
+  BatchStats blocking_stats;
+  auto blocking = service.EvalBatch(batch, &blocking_stats);
+
+  BatchHandle handle = service.SubmitBatch(batch);
+  BatchStats async_stats;
+  auto async = handle.Take(&async_stats);
+
+  ExpectSameResponses(blocking, async);
+  EXPECT_EQ(blocking_stats.tuples, async_stats.tuples);
+  EXPECT_EQ(blocking_stats.fetches, async_stats.fetches);
+  EXPECT_EQ(blocking_stats.failed, async_stats.failed);
+  EXPECT_EQ(async_stats.overloaded, 0u);
+}
+
+TEST(AsyncServiceTest, BlockingBatchBackpressuresInsteadOfShedding) {
+  // A queue far smaller than the batch: the blocking path waits for room
+  // rather than shedding, so every query completes.
+  Database db;
+  workloads::Fig7b(db, 16);
+  QueryService service(&db, SgProgram(db), {2, 2});
+  ASSERT_TRUE(service.status().ok());
+  std::vector<QueryRequest> batch = AllSourcesBatch(db);
+  ASSERT_GT(batch.size(), 4u);
+  BatchStats stats;
+  auto responses = service.EvalBatch(batch, &stats);
+  EXPECT_EQ(stats.queries, batch.size());
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.overloaded, 0u);
+  for (const QueryResponse& r : responses) EXPECT_TRUE(r.status.ok());
 }
 
 TEST(ServiceTest, ConcurrentClientBatches) {
