@@ -16,26 +16,44 @@
 // service; reports queries/sec, publishes completed, and the epoch range
 // observed, then verifies the drained final epoch against a cold rebuild.
 //
+// Part 3 — durable publish overhead: the same publish train run three
+// ways against the largest ladder — in-memory (no sink), with a WAL
+// attached but fdatasync off (the structural cost of logging every staged
+// op plus a COMMIT record), and with fdatasync'd commits (a real durable
+// deployment). Reports the p50 of each and the overhead ratios; the
+// regression gate (bench/check_regression.py) bounds the no-fsync ratio —
+// record framing and appends must stay cheap relative to Publish() itself,
+// while raw fdatasync latency is hardware the gate does not second-guess.
+// The fsync'd run's WAL directory is then recovered from scratch and the
+// recovered tip must render fact-for-fact identical to the pre-shutdown
+// tip (folded into `ok`).
+//
 // Usage:
 //   bench_live [--sizes <list>] [--publishes <k>] [--delta <rungs>]
 //              [--threads <n>] [--duration-ms <t>] [--smoke] [--json [path]]
 //
 // `--json` writes BENCH_live.json (default path) so successive PRs can
 // track the live-serving trajectory alongside BENCH_storage/BENCH_service.
+#include <stdlib.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_util.h"
 #include "datalog/parser.h"
+#include "durability/recovery.h"
+#include "durability/wal.h"
 #include "live/snapshot_manager.h"
 #include "service/query_service.h"
 #include "workloads/workloads.h"
@@ -293,6 +311,199 @@ IngestResult RunIngest(size_t size, size_t delta_rungs, size_t threads,
   return r;
 }
 
+/// Part 3 result: the same publish train in-memory, WAL-attached without
+/// fdatasync, and WAL-attached with fdatasync'd commits.
+struct DurableResult {
+  std::string name;
+  size_t initial_size = 0;
+  size_t publishes = 0;
+  size_t delta_rungs = 0;
+  double memory_p50_ms = 0;
+  double wal_p50_ms = 0;    // sink attached, fsync_commits = false
+  double fsync_p50_ms = 0;  // sink attached, fsync_commits = true
+  double wal_overhead = 0;  // wal_p50 / memory_p50 — the gated ratio
+  double fsync_overhead = 0;
+  uint64_t log_bytes = 0;          // log growth over the fsync'd train
+  size_t recovered_batches = 0;    // replayed + checkpoint-skipped
+  uint64_t recovered_epoch = 0;
+  bool ok = true;
+  std::string error;
+};
+
+/// Scratch WAL directory, removed on destruction.
+class ScratchDir {
+ public:
+  ScratchDir() {
+    std::string tmpl = (std::filesystem::temp_directory_path() /
+                        "binchain_bench_wal_XXXXXX")
+                           .string();
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    if (char* p = mkdtemp(buf.data())) path_ = p;
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    if (!path_.empty()) std::filesystem::remove_all(path_, ec);
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Every live fact of a snapshot rendered by name, so tips survive the
+/// symbol re-interning a recovery implies.
+std::set<std::string> RenderTip(const Database& db) {
+  std::set<std::string> out;
+  for (const std::string& name : db.relation_names()) {
+    const Relation* rel = db.Find(name);
+    for (TupleRef t : rel->tuples()) {
+      std::string s = name;
+      for (SymbolId c : t) s += "|" + db.symbols().Name(c);
+      out.insert(std::move(s));
+    }
+  }
+  return out;
+}
+
+/// Runs one publish train (Part 1 shape, no service) and returns the p50
+/// publish wall time, or -1 with `error` set on a refused commit.
+double DurableTrainP50(SnapshotManager& manager, size_t size,
+                       size_t publishes, size_t delta_rungs,
+                       std::string* error) {
+  std::vector<double> wall;
+  size_t next_rung = size + 1;
+  for (size_t p = 0; p < publishes; ++p) {
+    for (size_t d = 0; d < delta_rungs; ++d) StageRung(manager, next_rung++);
+    PublishStats ps = manager.Publish();
+    if (!ps.status.ok()) {
+      *error = ps.status.message();
+      return -1;
+    }
+    wall.push_back(ps.wall_ms);
+  }
+  return Median(wall);
+}
+
+/// Part 3 runner. The three trains share size/publish count; the WAL
+/// checkpoint threshold is left at its default so no mid-train checkpoint
+/// pollutes the publish timings (the Sealed-time genesis checkpoint lands
+/// before the timed region).
+DurableResult RunDurableOverhead(size_t size, size_t publishes,
+                                 size_t delta_rungs) {
+  using durability::RecoveredSystem;
+  using durability::RecoverSnapshotManager;
+  using durability::Wal;
+  using durability::WalOptions;
+
+  DurableResult r;
+  r.name = "durable/n=" + std::to_string(size);
+  r.initial_size = size;
+  // Medians of a handful of ~tens-of-microseconds publishes are too noisy
+  // to gate on; give the ratio a wider sample than Part 1 needs.
+  r.publishes = std::max<size_t>(publishes, 32);
+  r.delta_rungs = delta_rungs;
+
+  auto fresh_manager = [&](durability::Wal* sink) {
+    auto genesis = std::make_unique<Database>();
+    workloads::Fig7c(*genesis, size);
+    auto manager = std::make_unique<SnapshotManager>(std::move(genesis));
+    if (sink != nullptr) manager->SetDurabilitySink(sink);
+    manager->Seal();
+    return manager;
+  };
+
+  // In-memory baseline: no sink attached.
+  {
+    auto manager = fresh_manager(nullptr);
+    r.memory_p50_ms =
+        DurableTrainP50(*manager, size, r.publishes, delta_rungs, &r.error);
+    if (r.memory_p50_ms < 0) {
+      r.ok = false;
+      return r;
+    }
+  }
+
+  // WAL attached, commits flushed to the OS but not fdatasync'd: the
+  // structural logging cost (framing, CRC, appends) alone.
+  {
+    ScratchDir dir;
+    WalOptions wopts;
+    wopts.fsync_commits = false;
+    auto wal = Wal::Open(dir.path(), wopts);
+    if (!wal.ok()) {
+      r.ok = false;
+      r.error = wal.status().message();
+      return r;
+    }
+    auto manager = fresh_manager(wal.value().get());
+    r.wal_p50_ms =
+        DurableTrainP50(*manager, size, r.publishes, delta_rungs, &r.error);
+    manager->SetDurabilitySink(nullptr);
+    if (r.wal_p50_ms < 0) {
+      r.ok = false;
+      return r;
+    }
+  }
+
+  // WAL attached with fdatasync'd commits — a real durable deployment —
+  // then a from-scratch recovery of the directory, which must land on the
+  // same epoch serving the same facts.
+  {
+    ScratchDir dir;
+    std::set<std::string> pre_tip;
+    uint64_t pre_epoch = 0;
+    {
+      auto wal = Wal::Open(dir.path(), WalOptions{});
+      if (!wal.ok()) {
+        r.ok = false;
+        r.error = wal.status().message();
+        return r;
+      }
+      auto manager = fresh_manager(wal.value().get());
+      r.fsync_p50_ms =
+          DurableTrainP50(*manager, size, r.publishes, delta_rungs, &r.error);
+      manager->SetDurabilitySink(nullptr);
+      if (r.fsync_p50_ms < 0) {
+        r.ok = false;
+        return r;
+      }
+      r.log_bytes = wal.value()->log_bytes();
+      auto tip = manager->Acquire();
+      pre_tip = RenderTip(*tip);
+      pre_epoch = manager->epoch();
+    }
+    auto recovered = RecoverSnapshotManager(dir.path(), WalOptions{}, nullptr);
+    if (!recovered.ok()) {
+      r.ok = false;
+      r.error = recovered.status().message();
+      return r;
+    }
+    RecoveredSystem sys = recovered.take();
+    sys.manager->SetDurabilitySink(nullptr);
+    r.recovered_batches =
+        sys.stats.batches_replayed + sys.stats.batches_skipped;
+    r.recovered_epoch = sys.manager->epoch();
+    if (r.recovered_epoch != pre_epoch) {
+      r.ok = false;
+      r.error = "recovered epoch " + std::to_string(r.recovered_epoch) +
+                " != pre-shutdown epoch " + std::to_string(pre_epoch);
+      return r;
+    }
+    if (RenderTip(*sys.manager->Acquire()) != pre_tip) {
+      r.ok = false;
+      r.error = "recovered tip diverged from pre-shutdown tip";
+      return r;
+    }
+  }
+
+  r.wal_overhead =
+      r.memory_p50_ms > 0 ? r.wal_p50_ms / r.memory_p50_ms : 0;
+  r.fsync_overhead =
+      r.memory_p50_ms > 0 ? r.fsync_p50_ms / r.memory_p50_ms : 0;
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -406,6 +617,24 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(ingest.last_epoch));
   }
 
+  DurableResult durable =
+      RunDurableOverhead(sizes.back(), publishes, delta_rungs);
+  if (!durable.ok) {
+    ++failures;
+    std::printf("%-20s ERROR: %s\n", durable.name.c_str(),
+                durable.error.c_str());
+  } else {
+    std::printf(
+        "%-20s publish p50 %.4f ms in-memory, %.4f ms +wal (x%.2f), "
+        "%.4f ms +fsync (x%.2f); %llu log bytes, recovered %zu batch(es) "
+        "to epoch %llu\n",
+        durable.name.c_str(), durable.memory_p50_ms, durable.wal_p50_ms,
+        durable.wal_overhead, durable.fsync_p50_ms, durable.fsync_overhead,
+        static_cast<unsigned long long>(durable.log_bytes),
+        durable.recovered_batches,
+        static_cast<unsigned long long>(durable.recovered_epoch));
+  }
+
   if (json) {
     std::ofstream out(json_path);
     out << "{\n  \"bench\": \"live\",\n  \"benchmarks\": [\n";
@@ -428,6 +657,18 @@ int main(int argc, char** argv) {
         << ", \"publish_p50_ms\": " << ingest.publish_p50_ms
         << ", \"first_epoch\": " << ingest.first_epoch
         << ", \"last_epoch\": " << ingest.last_epoch << "}\n  ],\n";
+    out << "  \"durable_publish\": {\"name\": \"" << JsonEscape(durable.name)
+        << "\", \"ok\": " << (durable.ok ? "true" : "false")
+        << ", \"publishes\": " << durable.publishes
+        << ", \"delta_rungs\": " << durable.delta_rungs
+        << ", \"memory_p50_ms\": " << durable.memory_p50_ms
+        << ", \"wal_p50_ms\": " << durable.wal_p50_ms
+        << ", \"fsync_p50_ms\": " << durable.fsync_p50_ms
+        << ", \"wal_overhead\": " << durable.wal_overhead
+        << ", \"fsync_overhead\": " << durable.fsync_overhead
+        << ", \"log_bytes\": " << durable.log_bytes
+        << ", \"recovered_batches\": " << durable.recovered_batches
+        << ", \"recovered_epoch\": " << durable.recovered_epoch << "},\n";
     out << "  \"publish_scaling\": {\"size_ratio\": " << size_ratio
         << ", \"latency_ratio\": " << latency_ratio
         << ", \"sublinear\": " << (sublinear ? "true" : "false") << "}\n}\n";

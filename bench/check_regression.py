@@ -18,7 +18,14 @@ fails (exit 1) on structural regressions that survive machine-speed noise:
   batches must be all-OK, and the cancellation benchmark must report every
   query as ``deadline_exceeded`` (in-flight enforcement actually fired);
 * ``bench_live``: the publish-scaling sanity flag, when present in both
-  files, must not regress from sublinear to superlinear.
+  files, must not regress from sublinear to superlinear;
+* ``bench_live``: the durable-publish block must report ``ok`` (the
+  recovered tip renders identical to the pre-shutdown tip) and the
+  no-fsync WAL overhead ratio — durable publish over in-memory publish,
+  measured within the same run so machine speed cancels — must stay
+  within 25% (record framing, CRC and appends staying cheap relative to
+  Publish() itself; raw fdatasync latency is hardware and is reported
+  but not gated).
 
 Wall-clock numbers are never compared: smoke runs use smaller inputs and
 CI machines vary. The gate asserts invariants, not speed.
@@ -117,8 +124,30 @@ def check_storage(baseline, smoke, errors):
     check_ok_flags("storage", smoke.get("benchmarks", []), errors)
 
 
+# Durable publish (WAL attached, fsync off) may cost at most this much
+# over in-memory publish, as a within-run p50 ratio.
+DURABLE_OVERHEAD_BOUND = 1.25
+
+
 def check_live(baseline, smoke, errors):
     check_ok_flags("live", smoke.get("benchmarks", []), errors)
+    durable = smoke.get("durable_publish")
+    if durable is not None:
+        if not durable.get("ok", False):
+            errors.append(
+                "live: durable-publish benchmark reports ok=false "
+                f"({durable.get('name')}): recovery or a publish failed")
+        ratio = durable.get("wal_overhead")
+        if ratio is not None and ratio > DURABLE_OVERHEAD_BOUND:
+            errors.append(
+                "live: durable publish (WAL, no fsync) costs "
+                f"x{ratio:.2f} of in-memory publish, bound is "
+                f"x{DURABLE_OVERHEAD_BOUND} — WAL appends have crept into "
+                "the publish critical path")
+    elif baseline.get("durable_publish") is not None:
+        errors.append(
+            "live: baseline has a durable_publish block but the smoke "
+            "run produced none")
     base_scaling = baseline.get("publish_scaling", {})
     smoke_scaling = smoke.get("publish_scaling", {})
     if base_scaling.get("sublinear") and "sublinear" in smoke_scaling:

@@ -3,7 +3,7 @@
 //   ./datalog_cli [--strategy=graph|seminaive|naive|magic|transform]
 //                 [--cyclic-bound] [--max-iterations=N] [--threads=N]
 //                 [--async] [--deadline-ms=X] [--queue-depth=N]
-//                 [--live] [--stats] [--dot] <file.dl>
+//                 [--live] [--wal=<dir>] [--stats] [--dot] <file.dl>
 //
 // The file contains rules, facts, and `?- query.` lines; every query is
 // evaluated with the chosen strategy and the answers plus work counters are
@@ -24,18 +24,31 @@
 // SnapshotManager-backed service, and stdin becomes a load/publish REPL:
 //
 //   live> +up(a9, a10).      stage a fact for the next publish
-//   live> publish            merge staged facts into a new serving epoch
+//   live> -up(a3, a4).       stage a retraction (tombstone) likewise
+//   live> publish            merge staged ops into a new serving epoch
 //   live> ?- sg(a1, Y).      query the current epoch
 //   live> epoch | pending    inspect the serving state
+//   live> recover            show the startup recovery report (--wal)
 //   live> quit
 //
 // Staged facts never touch the serving epoch until `publish`; queries keep
 // running (and may be issued from other clients) while a publish builds.
+//
+// With --wal=<dir> (live mode only) every staged op is written to a
+// write-ahead log and each publish is committed to stable storage before
+// the epoch swaps in; the .dl file still seeds the genesis epoch, the WAL
+// carries everything ingested after it. Restarting with the same directory
+// replays the committed batches — the service answers kUnavailable until
+// the replay lands back on the pre-crash tip — so `publish`ed epochs
+// survive a crash or quit.
+#include <sys/stat.h>
+
 #include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -44,6 +57,7 @@
 #include "baselines/magic.h"
 #include "datalog/parser.h"
 #include "datalog/printer.h"
+#include "durability/recovery.h"
 #include "eval/dot_export.h"
 #include "eval/query.h"
 #include "live/snapshot_manager.h"
@@ -147,14 +161,18 @@ bool IsVariableSpelling(const std::string& s) {
                         s[0] == '_');
 }
 
-/// The load/publish REPL over a live service. Returns the process exit
-/// code.
+/// The load/publish REPL over a live service. `recovered` carries the
+/// startup recovery report when the deployment is durable (--wal), nullptr
+/// otherwise. Returns the process exit code.
 int RunLiveRepl(SnapshotManager& manager, QueryService& service,
                 const EvalOptions& options, bool print_stats,
-                double deadline_ms) {
+                double deadline_ms,
+                const durability::RecoveryStats* recovered,
+                const std::string& wal_dir) {
   std::printf(
-      "[live] epoch %llu serving on %zu threads; commands: +fact(...), "
-      "publish, ?- query, epoch, pending, quit\n",
+      "[live%s] epoch %llu serving on %zu threads; commands: +fact(...), "
+      "-fact(...), publish, ?- query, epoch, pending, recover, quit\n",
+      wal_dir.empty() ? "" : "/durable",
       static_cast<unsigned long long>(manager.epoch()),
       service.num_threads());
   std::string line;
@@ -172,26 +190,61 @@ int RunLiveRepl(SnapshotManager& manager, QueryService& service,
       std::printf("%zu staged fact(s)\n", manager.PendingFacts());
       continue;
     }
+    if (cmd == "recover") {
+      if (recovered == nullptr) {
+        std::printf("not durable; restart with --wal=<dir> to enable\n");
+        continue;
+      }
+      std::printf(
+          "[wal] dir=%s\n"
+          "  checkpoint: %s (epoch %llu, %llu facts)\n"
+          "  log: %llu record(s) scanned, %llu committed batch(es) "
+          "(%llu replayed, %llu skipped as checkpointed)\n"
+          "  tail: %s (%llu bytes truncated)\n",
+          wal_dir.c_str(), recovered->checkpoint_found ? "found" : "none",
+          static_cast<unsigned long long>(recovered->checkpoint_epoch),
+          static_cast<unsigned long long>(recovered->checkpoint_facts),
+          static_cast<unsigned long long>(recovered->records_scanned),
+          static_cast<unsigned long long>(recovered->batches_committed),
+          static_cast<unsigned long long>(recovered->batches_replayed),
+          static_cast<unsigned long long>(recovered->batches_skipped),
+          recovered->tail_truncated ? "truncated (torn/uncommitted)" : "clean",
+          static_cast<unsigned long long>(recovered->truncated_bytes));
+      continue;
+    }
     if (cmd == "publish") {
       PublishStats ps = manager.Publish();
+      if (!ps.status.ok()) {
+        // A refused durable commit: no epoch swap, the batch stays staged.
+        std::printf("publish REFUSED (%s); %zu op(s) re-queued\n",
+                    ps.status.message().c_str(), manager.PendingFacts());
+        continue;
+      }
       std::printf(
           "epoch %llu published in %.3f ms: +%llu facts (%llu duplicate, "
-          "%llu rejected), %llu new symbols, %llu relation(s) layered, "
-          "%llu flattened\n",
+          "%llu rejected), -%llu retracted (%llu missing), %llu new "
+          "symbols, %llu relation(s) layered, %llu flattened%s\n",
           static_cast<unsigned long long>(ps.epoch), ps.wall_ms,
           static_cast<unsigned long long>(ps.facts_added),
           static_cast<unsigned long long>(ps.facts_duplicate),
           static_cast<unsigned long long>(ps.facts_rejected),
+          static_cast<unsigned long long>(ps.facts_deleted),
+          static_cast<unsigned long long>(ps.facts_delete_missing),
           static_cast<unsigned long long>(ps.new_symbols),
           static_cast<unsigned long long>(ps.relations_touched),
-          static_cast<unsigned long long>(ps.relations_flattened));
+          static_cast<unsigned long long>(ps.relations_flattened),
+          wal_dir.empty()
+              ? ""
+              : (", commit " + std::to_string(ps.commit_ms) + " ms").c_str());
       continue;
     }
-    if (cmd[0] == '+') {
+    if (cmd[0] == '+' || cmd[0] == '-') {
+      const bool is_delete = cmd[0] == '-';
       std::string pred;
       std::vector<std::string> args;
       if (!ParseNameArgs(cmd.substr(1), &pred, &args)) {
-        std::printf("cannot parse fact; want +pred(c1, ..., cn).\n");
+        std::printf("cannot parse fact; want %cpred(c1, ..., cn).\n",
+                    cmd[0]);
         continue;
       }
       bool ground = true;
@@ -204,8 +257,14 @@ int RunLiveRepl(SnapshotManager& manager, QueryService& service,
         }
       }
       if (!ground) continue;
-      manager.AddFact(pred, args);
-      std::printf("staged (%zu pending)\n", manager.PendingFacts());
+      if (is_delete) {
+        manager.DeleteFact(pred, args);
+        std::printf("staged retraction (%zu pending)\n",
+                    manager.PendingFacts());
+      } else {
+        manager.AddFact(pred, args);
+        std::printf("staged (%zu pending)\n", manager.PendingFacts());
+      }
       continue;
     }
     if (cmd.rfind("?-", 0) == 0) {
@@ -254,7 +313,8 @@ int RunLiveRepl(SnapshotManager& manager, QueryService& service,
       continue;
     }
     std::printf(
-        "commands: +fact(...), publish, ?- query, epoch, pending, quit\n");
+        "commands: +fact(...), -fact(...), publish, ?- query, epoch, "
+        "pending, recover, quit\n");
   }
   return 0;
 }
@@ -266,6 +326,7 @@ int main(int argc, char** argv) {
   bool cyclic_bound = false;
   bool dot = false;
   bool live = false;
+  std::string wal_dir;
   bool print_stats = false;
   bool async = false;
   double deadline_ms = 0;
@@ -283,6 +344,8 @@ int main(int argc, char** argv) {
       dot = true;
     } else if (arg == "--live") {
       live = true;
+    } else if (arg.rfind("--wal=", 0) == 0) {
+      wal_dir = arg.substr(6);
     } else if (arg == "--stats") {
       print_stats = true;
     } else if (arg == "--async") {
@@ -300,7 +363,7 @@ int main(int argc, char** argv) {
           "usage: datalog_cli [--strategy=graph|seminaive|naive|magic|"
           "transform] [--cyclic-bound] [--max-iterations=N] [--threads=N] "
           "[--async] [--deadline-ms=X] [--queue-depth=N] "
-          "[--live] [--stats] [--dot] <file.dl>\n");
+          "[--live] [--wal=<dir>] [--stats] [--dot] <file.dl>\n");
       return 0;
     } else {
       path = arg;
@@ -309,6 +372,9 @@ int main(int argc, char** argv) {
   if (path.empty()) return Fail("no input file (see --help)");
   if (async && threads == 0) {
     return Fail("--async requires service mode (--threads=N)");
+  }
+  if (!wal_dir.empty() && !live) {
+    return Fail("--wal requires --live (durability covers published epochs)");
   }
   // Deadlines and queue depth are service-layer machinery; rejecting them
   // elsewhere beats silently running an unbounded query.
@@ -325,7 +391,18 @@ int main(int argc, char** argv) {
 
   if (live) {
     // Live mode: the file seeds the genesis epoch; stdin drives ingestion.
+    // With --wal the genesis is instead the recovered pre-crash state (the
+    // on-disk checkpoint, with the file's facts folded in by program
+    // loading — a fresh directory recovers to the file contents alone).
     auto genesis = std::make_unique<Database>();
+    std::unique_ptr<durability::RecoveryManager> recovery;
+    if (!wal_dir.empty()) {
+      ::mkdir(wal_dir.c_str(), 0777);  // fine if it already exists
+      auto loaded = durability::RecoveryManager::Load(wal_dir);
+      if (!loaded.ok()) return Fail(loaded.status().message());
+      recovery = loaded.take();
+      genesis = recovery->BuildGenesis();
+    }
     auto parsed = ParseProgram(buffer.str(), genesis->symbols());
     if (!parsed.ok()) return Fail(parsed.status().message());
     Program program = parsed.take();
@@ -339,10 +416,34 @@ int main(int argc, char** argv) {
     QueryService::Options opts;
     opts.num_threads = threads;
     if (queue_depth > 0) opts.queue_depth = queue_depth;
-    QueryService service(&manager, rules_only, opts);
-    if (!service.status().ok()) return Fail(service.status().message());
+    std::unique_ptr<QueryService> service;
+    if (recovery != nullptr) {
+      service = std::make_unique<QueryService>(&manager, recovery.get(),
+                                               rules_only, opts);
+    } else {
+      service = std::make_unique<QueryService>(&manager, rules_only, opts);
+    }
+    if (!service->status().ok()) return Fail(service->status().message());
 
-    // The file's own queries run once against the genesis epoch.
+    durability::RecoveryStats recovery_stats;
+    if (recovery != nullptr) {
+      // Replays the committed WAL batches and opens the serving gate; the
+      // WAL is owned by the service (and drives every publish) from here.
+      if (Status st = service->FinishRecovery(); !st.ok()) {
+        return Fail(st.message());
+      }
+      recovery_stats = recovery->stats();
+      recovery.reset();
+      std::printf(
+          "[wal] recovered %s to epoch %llu: %llu batch(es) replayed, "
+          "%llu skipped%s\n",
+          wal_dir.c_str(), static_cast<unsigned long long>(manager.epoch()),
+          static_cast<unsigned long long>(recovery_stats.batches_replayed),
+          static_cast<unsigned long long>(recovery_stats.batches_skipped),
+          recovery_stats.tail_truncated ? " (torn tail truncated)" : "");
+    }
+
+    // The file's own queries run once against the serving tip.
     auto tip = manager.Acquire();
     for (const Literal& q : program.queries) {
       if (q.arity() != 2) return Fail("live queries must be binary");
@@ -353,12 +454,13 @@ int main(int argc, char** argv) {
       req.diagonal = q.args[0].IsVar() && q.args[0] == q.args[1];
       req.options = options;
       req.deadline_ms = deadline_ms;
-      QueryResponse resp = service.Eval(req);
+      QueryResponse resp = service->Eval(req);
       if (!resp.status.ok()) return Fail(resp.status.message());
       PrintAnswers(*tip, q, resp.tuples);
       if (print_stats) PrintEvalStats("live", resp.stats, resp.fetches);
     }
-    return RunLiveRepl(manager, service, options, print_stats, deadline_ms);
+    return RunLiveRepl(manager, *service, options, print_stats, deadline_ms,
+                       wal_dir.empty() ? nullptr : &recovery_stats, wal_dir);
   }
 
   Database db;

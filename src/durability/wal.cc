@@ -1,0 +1,514 @@
+#include "durability/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "util/check.h"
+#include "util/fault_points.h"
+
+namespace binchain {
+namespace durability {
+namespace {
+
+constexpr char kCheckpointMagic[4] = {'B', 'C', 'K', 'P'};
+constexpr uint32_t kCheckpointVersion = 1;
+
+Status ErrnoStatus(const char* op) {
+  return Status::Internal(std::string("wal: ") + op + ": " +
+                          std::strerror(errno));
+}
+
+// --- little-endian buffer encoding -----------------------------------------
+
+void PutU16(std::string* out, uint16_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+/// Bounds-checked decoder over a byte span; every Get* fails soft so a torn
+/// or corrupt payload surfaces as `ok() == false`, never as a read overrun.
+class Decoder {
+ public:
+  Decoder(const char* data, size_t n) : p_(data), end_(data + n) {}
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return p_ == end_; }
+
+  uint8_t GetU8() {
+    if (!Need(1)) return 0;
+    return static_cast<uint8_t>(*p_++);
+  }
+  uint16_t GetU16() {
+    if (!Need(2)) return 0;
+    uint16_t v = 0;
+    for (int i = 0; i < 2; ++i) v |= static_cast<uint16_t>(static_cast<uint8_t>(*p_++)) << (8 * i);
+    return v;
+  }
+  uint32_t GetU32() {
+    if (!Need(4)) return 0;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(static_cast<uint8_t>(*p_++)) << (8 * i);
+    return v;
+  }
+  uint64_t GetU64() {
+    if (!Need(8)) return 0;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(static_cast<uint8_t>(*p_++)) << (8 * i);
+    return v;
+  }
+  std::string GetString() {
+    uint32_t n = GetU32();
+    if (!Need(n)) return std::string();
+    std::string s(p_, p_ + n);
+    p_ += n;
+    return s;
+  }
+
+ private:
+  bool Need(size_t n) {
+    if (!ok_ || static_cast<size_t>(end_ - p_) < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+  const char* p_;
+  const char* end_;
+  bool ok_ = true;
+};
+
+std::string EncodePayload(const WalRecord& rec) {
+  std::string payload;
+  payload.push_back(static_cast<char>(rec.kind));
+  if (rec.kind == WalRecord::kCommit) {
+    PutU64(&payload, rec.epoch);
+    return payload;
+  }
+  PutU16(&payload, static_cast<uint16_t>(rec.args.size()));
+  PutString(&payload, rec.pred);
+  for (const std::string& a : rec.args) PutString(&payload, a);
+  return payload;
+}
+
+bool DecodePayload(const char* data, size_t n, WalRecord* rec) {
+  Decoder d(data, n);
+  uint8_t kind = d.GetU8();
+  switch (kind) {
+    case WalRecord::kCommit:
+      rec->kind = WalRecord::kCommit;
+      rec->epoch = d.GetU64();
+      return d.ok() && d.AtEnd();
+    case WalRecord::kAdd:
+    case WalRecord::kDelete: {
+      rec->kind = static_cast<WalRecord::Kind>(kind);
+      uint16_t nargs = d.GetU16();
+      rec->pred = d.GetString();
+      rec->args.clear();
+      rec->args.reserve(nargs);
+      for (uint16_t i = 0; i < nargs; ++i) rec->args.push_back(d.GetString());
+      return d.ok() && d.AtEnd();
+    }
+    default:
+      return false;
+  }
+}
+
+Status WriteFully(int fd, const char* data, size_t n) {
+  while (n > 0) {
+    ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("write");
+    }
+    data += w;
+    n -= static_cast<size_t>(w);
+  }
+  return Status::Ok();
+}
+
+Status ReadWholeFile(const std::string& path, std::string* out) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound(path + ": no such file");
+    return ErrnoStatus("open");
+  }
+  out->clear();
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t r = ::read(fd, buf, sizeof(buf));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return ErrnoStatus("read");
+    }
+    if (r == 0) break;
+    out->append(buf, static_cast<size_t>(r));
+  }
+  ::close(fd);
+  return Status::Ok();
+}
+
+Status SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return ErrnoStatus("open dir");
+  Status st = Status::Ok();
+  if (::fsync(fd) != 0) st = ErrnoStatus("fsync dir");
+  ::close(fd);
+  return st;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t n) {
+  // IEEE 802.3 reflected polynomial, table built on first use.
+  static const uint32_t* kTable = [] {
+    static uint32_t table[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      table[i] = c;
+    }
+    return table;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) crc = kTable[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string Wal::LogPath(const std::string& dir) { return dir + "/wal.log"; }
+std::string Wal::CheckpointPath(const std::string& dir) {
+  return dir + "/checkpoint.bin";
+}
+std::string Wal::CheckpointTmpPath(const std::string& dir) {
+  return dir + "/checkpoint.tmp";
+}
+
+const std::vector<const char*>& Wal::FaultPointNames() {
+  static const std::vector<const char*> kNames = {
+      "wal.append.crash_before",
+      "wal.append.short_write",
+      "wal.append.crash_after",
+      "wal.commit.crash_before",
+      "wal.commit.short_write",
+      "wal.commit.crash_after_write",
+      "wal.commit.fsync_fail",
+      "wal.commit.crash_after_fsync",
+      "wal.checkpoint.crash_before",
+      "wal.checkpoint.short_write",
+      "wal.checkpoint.fsync_fail",
+      "wal.checkpoint.crash_before_rename",
+      "wal.checkpoint.crash_after_rename",
+  };
+  return kNames;
+}
+
+Wal::Wal(std::string dir, WalOptions options)
+    : dir_(std::move(dir)), options_(options) {}
+
+Wal::~Wal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<Wal>> Wal::Open(const std::string& dir,
+                                       WalOptions options) {
+  struct stat st;
+  if (::stat(dir.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
+    return Status::InvalidArgument("wal: not a directory: " + dir);
+  }
+  std::unique_ptr<Wal> wal(new Wal(dir, options));
+  wal->fd_ = ::open(LogPath(dir).c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+  if (wal->fd_ < 0) return ErrnoStatus("open wal.log");
+  struct stat log_st;
+  if (::fstat(wal->fd_, &log_st) != 0) return ErrnoStatus("fstat wal.log");
+  wal->log_bytes_ = static_cast<uint64_t>(log_st.st_size);
+  return wal;
+}
+
+uint64_t Wal::log_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_bytes_;
+}
+
+uint64_t Wal::checkpoints_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return checkpoints_;
+}
+
+Status Wal::poisoned() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return poison_;
+}
+
+Status Wal::Poison(Status st) {
+  poison_ = st;
+  return st;
+}
+
+Status Wal::AppendLocked(const WalRecord& rec) {
+  if (!poison_.ok()) return poison_;
+  std::string payload = EncodePayload(rec);
+  std::string frame;
+  frame.reserve(8 + payload.size());
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  PutU32(&frame, Crc32(payload.data(), payload.size()));
+  frame.append(payload);
+
+  const bool commit = rec.kind == WalRecord::kCommit;
+  FaultCrashPoint(commit ? "wal.commit.crash_before"
+                         : "wal.append.crash_before");
+  if (FaultFailPoint(commit ? "wal.commit.short_write"
+                            : "wal.append.short_write")) {
+    // Simulated torn write: half the frame reaches the file, then the
+    // process dies. Recovery must detect and truncate this tail.
+    (void)WriteFully(fd_, frame.data(), frame.size() / 2);
+    log_bytes_ += frame.size() / 2;
+    throw FaultInjectedCrash(commit ? "wal.commit.short_write"
+                                    : "wal.append.short_write");
+  }
+  Status st = WriteFully(fd_, frame.data(), frame.size());
+  if (!st.ok()) return Poison(std::move(st));
+  log_bytes_ += frame.size();
+  FaultCrashPoint(commit ? "wal.commit.crash_after_write"
+                         : "wal.append.crash_after");
+  return Status::Ok();
+}
+
+Status Wal::AppendRecord(const WalRecord& rec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return AppendLocked(rec);
+}
+
+Status Wal::StageAdd(const std::string& pred,
+                     const std::vector<std::string>& args) {
+  WalRecord rec;
+  rec.kind = WalRecord::kAdd;
+  rec.pred = pred;
+  rec.args = args;
+  return AppendRecord(rec);
+}
+
+Status Wal::StageDelete(const std::string& pred,
+                        const std::vector<std::string>& args) {
+  WalRecord rec;
+  rec.kind = WalRecord::kDelete;
+  rec.pred = pred;
+  rec.args = args;
+  return AppendRecord(rec);
+}
+
+Status Wal::Commit(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  WalRecord rec;
+  rec.kind = WalRecord::kCommit;
+  rec.epoch = epoch;
+  Status st = AppendLocked(rec);
+  if (!st.ok()) return st;
+  if (options_.fsync_commits) {
+    if (FaultFailPoint("wal.commit.fsync_fail")) {
+      // A failed commit fsync means we cannot know whether the record is
+      // durable; the only safe answer is to refuse this and every later op
+      // so the manager never swaps in an epoch the log might not cover.
+      return Poison(Status::Internal("wal: injected commit fsync failure"));
+    }
+    if (::fdatasync(fd_) != 0) return Poison(ErrnoStatus("fdatasync"));
+  }
+  FaultCrashPoint("wal.commit.crash_after_fsync");
+  return Status::Ok();
+}
+
+void Wal::Published(const Database& tip) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!poison_.ok()) return;
+  if (log_bytes_ < options_.checkpoint_log_bytes) return;
+  // Failure keeps the log authoritative: the tip is still recoverable by
+  // replaying it, and the next publish retries the checkpoint.
+  (void)CheckpointLocked(tip);
+}
+
+void Wal::Sealed(const Database& genesis) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!poison_.ok()) return;
+  // The genesis checkpoint anchors recovery: without it, a crash before
+  // the first threshold checkpoint would replay onto an *empty* database
+  // and silently lose the initial load. Startup-time failure is sticky.
+  Status st = CheckpointLocked(genesis);
+  if (!st.ok()) Poison(std::move(st));
+}
+
+Status Wal::Checkpoint(const Database& tip) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CheckpointLocked(tip);
+}
+
+Status Wal::CheckpointLocked(const Database& tip) {
+  if (!poison_.ok()) return poison_;
+  FaultCrashPoint("wal.checkpoint.crash_before");
+
+  std::string payload;
+  PutU64(&payload, tip.epoch());
+  const std::vector<std::string>& names = tip.relation_names();
+  PutU32(&payload, static_cast<uint32_t>(names.size()));
+  for (const std::string& name : names) {
+    const Relation* rel = tip.Find(name);
+    BINCHAIN_CHECK(rel != nullptr);
+    PutString(&payload, name);
+    PutU16(&payload, static_cast<uint16_t>(rel->arity()));
+    PutU32(&payload, static_cast<uint32_t>(rel->live_size()));
+    // tuples() is the live view: tombstoned rows are filtered out here, so
+    // a checkpoint + empty log *is* the compaction of every retraction.
+    for (TupleRef t : rel->tuples()) {
+      for (size_t i = 0; i < t.size(); ++i) {
+        PutString(&payload, std::string(tip.symbols().Name(t[i])));
+      }
+    }
+  }
+
+  std::string blob;
+  blob.reserve(16 + payload.size());
+  blob.append(kCheckpointMagic, sizeof(kCheckpointMagic));
+  PutU32(&blob, kCheckpointVersion);
+  PutU32(&blob, Crc32(payload.data(), payload.size()));
+  PutU32(&blob, static_cast<uint32_t>(payload.size()));
+  blob.append(payload);
+
+  const std::string tmp = CheckpointTmpPath(dir_);
+  int fd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) return ErrnoStatus("open checkpoint.tmp");
+  if (FaultFailPoint("wal.checkpoint.short_write")) {
+    (void)WriteFully(fd, blob.data(), blob.size() / 2);
+    ::close(fd);
+    throw FaultInjectedCrash("wal.checkpoint.short_write");
+  }
+  Status st = WriteFully(fd, blob.data(), blob.size());
+  if (st.ok()) {
+    if (FaultFailPoint("wal.checkpoint.fsync_fail")) {
+      st = Status::Internal("wal: injected checkpoint fsync failure");
+    } else if (::fsync(fd) != 0) {
+      st = ErrnoStatus("fsync checkpoint.tmp");
+    }
+  }
+  ::close(fd);
+  if (!st.ok()) {
+    ::unlink(tmp.c_str());
+    return st;  // log stays authoritative; not poisoned
+  }
+
+  FaultCrashPoint("wal.checkpoint.crash_before_rename");
+  // rename is the atomic commit of the checkpoint: readers (recovery) see
+  // either the old complete file or the new complete file, never a mix.
+  if (::rename(tmp.c_str(), CheckpointPath(dir_).c_str()) != 0) {
+    return ErrnoStatus("rename checkpoint");
+  }
+  Status dir_st = SyncDir(dir_);
+  if (!dir_st.ok()) return dir_st;
+  FaultCrashPoint("wal.checkpoint.crash_after_rename");
+
+  // Truncating the log is *not* required for correctness — COMMIT records
+  // carry epochs and replay skips batches at or below the checkpoint — so
+  // a crash anywhere around here merely leaves redundant records behind.
+  if (::ftruncate(fd_, 0) != 0) return Poison(ErrnoStatus("ftruncate"));
+  log_bytes_ = 0;
+  ++checkpoints_;
+  return Status::Ok();
+}
+
+Result<WalScan> ScanLog(const std::string& path) {
+  WalScan scan;
+  std::string bytes;
+  Status st = ReadWholeFile(path, &bytes);
+  if (!st.ok()) {
+    if (st.code() == StatusCode::kNotFound) return scan;  // fresh start
+    return st;
+  }
+  size_t off = 0;
+  while (off < bytes.size()) {
+    if (bytes.size() - off < 8) break;  // torn header
+    Decoder hdr(bytes.data() + off, 8);
+    uint32_t len = hdr.GetU32();
+    uint32_t crc = hdr.GetU32();
+    if (bytes.size() - off - 8 < len) break;  // torn payload
+    const char* payload = bytes.data() + off + 8;
+    if (Crc32(payload, len) != crc) break;  // corrupt payload
+    WalRecord rec;
+    if (!DecodePayload(payload, len, &rec)) break;
+    bool commit = rec.kind == WalRecord::kCommit;
+    scan.records.push_back(std::move(rec));
+    off += 8 + len;
+    scan.good_bytes = off;
+    if (commit) scan.committed_bytes = off;
+  }
+  scan.file_bytes = bytes.size();
+  scan.torn_tail = scan.good_bytes < bytes.size();
+  return scan;
+}
+
+Result<CheckpointData> ReadCheckpoint(const std::string& path) {
+  std::string bytes;
+  Status st = ReadWholeFile(path, &bytes);
+  if (!st.ok()) return st;
+  if (bytes.size() < 16 ||
+      std::memcmp(bytes.data(), kCheckpointMagic, 4) != 0) {
+    return Status::Internal("checkpoint: bad magic");
+  }
+  Decoder hdr(bytes.data() + 4, 12);
+  uint32_t version = hdr.GetU32();
+  uint32_t crc = hdr.GetU32();
+  uint32_t len = hdr.GetU32();
+  if (version != kCheckpointVersion) {
+    return Status::Internal("checkpoint: unknown version");
+  }
+  if (bytes.size() - 16 != len) {
+    return Status::Internal("checkpoint: truncated payload");
+  }
+  const char* payload = bytes.data() + 16;
+  if (Crc32(payload, len) != crc) {
+    return Status::Internal("checkpoint: payload CRC mismatch");
+  }
+  Decoder d(payload, len);
+  CheckpointData data;
+  data.epoch = d.GetU64();
+  uint32_t nrels = d.GetU32();
+  data.relations.reserve(nrels);
+  for (uint32_t i = 0; i < nrels && d.ok(); ++i) {
+    CheckpointData::RelationRows rel;
+    rel.name = d.GetString();
+    rel.arity = d.GetU16();
+    uint32_t nrows = d.GetU32();
+    rel.rows.reserve(nrows);
+    for (uint32_t r = 0; r < nrows && d.ok(); ++r) {
+      std::vector<std::string> row;
+      row.reserve(rel.arity);
+      for (uint16_t a = 0; a < rel.arity; ++a) row.push_back(d.GetString());
+      rel.rows.push_back(std::move(row));
+    }
+    data.relations.push_back(std::move(rel));
+  }
+  if (!d.ok() || !d.AtEnd()) {
+    return Status::Internal("checkpoint: malformed payload");
+  }
+  return data;
+}
+
+}  // namespace durability
+}  // namespace binchain

@@ -1,0 +1,179 @@
+// Write-ahead log for the live-update subsystem: durable epochs.
+//
+// The SnapshotManager's publish pipeline is crash-safe only if every batch
+// a reader could have observed survives a process kill. The Wal implements
+// the DurabilitySink protocol: each staged op (fact add / tombstone
+// retraction) is appended to an append-only log as it is staged, and
+// Publish writes a COMMIT record — fdatasync'ed to stable storage —
+// *before* the tip swap. Recovery (durability/recovery.h) replays the
+// committed batches on top of the last checkpoint and provably lands on
+// the same serving tip; anything after the last durable COMMIT is
+// truncated, never half-applied.
+//
+// On-disk layout (<dir>/):
+//   wal.log         length-prefixed, CRC-guarded records (format below)
+//   checkpoint.bin  full snapshot of a published epoch (atomic rename)
+//   checkpoint.tmp  in-flight checkpoint (ignored by recovery)
+//
+// Record framing: uint32 payload_len, uint32 crc32(payload), payload.
+// Payload: uint8 kind (1=ADD, 2=DELETE, 3=COMMIT); ADD/DELETE carry
+// uint16 nargs + length-prefixed pred + length-prefixed args; COMMIT
+// carries the uint64 epoch id that became durable. All integers are
+// little-endian, written on the platform this log is read on (the log is
+// machine-local, not an interchange format).
+//
+// Torn-tail rule: a trailing record with a short header, short payload, or
+// CRC mismatch marks the crash frontier. Recovery truncates the file at
+// the last well-formed COMMIT boundary — complete-but-uncommitted Stage
+// records are cut too, because the in-memory manager that staged them is
+// gone and a later commit must not sweep in ops nobody re-staged.
+//
+// Checkpoint policy: after a publish, once the log has grown past
+// WalOptions::checkpoint_log_bytes, Published() serializes the freshly
+// swapped tip to checkpoint.tmp, fsyncs, renames over checkpoint.bin,
+// fsyncs the directory, then truncates the log. COMMIT records carry the
+// epoch so a crash between rename and truncate cannot double-apply: replay
+// skips batches whose epoch is <= the checkpoint's.
+//
+// Fault injection: every crash-consistency-relevant step is bracketed by a
+// named FaultInjector point (util/fault_points.h); tests/recovery_test.cc
+// arms each in turn, kills the "process" (unwinds via FaultInjectedCrash),
+// and asserts recovery lands on the pre-crash committed tip or the
+// post-publish tip — never anything else.
+#ifndef BINCHAIN_DURABILITY_WAL_H_
+#define BINCHAIN_DURABILITY_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "live/snapshot_manager.h"
+#include "util/status.h"
+
+namespace binchain {
+namespace durability {
+
+/// One logical log record, as parsed back by recovery.
+struct WalRecord {
+  enum Kind : uint8_t { kAdd = 1, kDelete = 2, kCommit = 3 };
+  Kind kind = kAdd;
+  std::string pred;                // kAdd / kDelete
+  std::vector<std::string> args;   // kAdd / kDelete
+  uint64_t epoch = 0;              // kCommit
+};
+
+struct WalOptions {
+  /// Published() triggers a checkpoint + log truncation once the log file
+  /// exceeds this many bytes. 0 checkpoints after every publish.
+  uint64_t checkpoint_log_bytes = 1 << 20;
+  /// When false, Commit() skips the fdatasync (still flushes to the OS).
+  /// For benchmarking the fsync cost; a real deployment keeps it on.
+  bool fsync_commits = true;
+};
+
+/// Append side of the log; implements the SnapshotManager's sink protocol.
+/// Thread-safe: Stage* arrive under the manager's staging lock, Commit /
+/// Published / Sealed from the publishing thread; an internal mutex makes
+/// the file state consistent anyway. After any I/O failure the Wal poisons
+/// itself — every later op returns the sticky error and Commit refuses, so
+/// the manager aborts the publish instead of swapping in an epoch the log
+/// does not cover.
+class Wal : public DurabilitySink {
+ public:
+  /// Opens (creating if needed) the log in `dir`. The directory itself must
+  /// exist after this call; the log file is created empty if absent and
+  /// appended to if present (recovery truncates the tail first).
+  static Result<std::unique_ptr<Wal>> Open(const std::string& dir,
+                                           WalOptions options = {});
+  ~Wal() override;
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  // DurabilitySink:
+  Status StageAdd(const std::string& pred,
+                  const std::vector<std::string>& args) override;
+  Status StageDelete(const std::string& pred,
+                     const std::vector<std::string>& args) override;
+  Status Commit(uint64_t epoch) override;
+  void Published(const Database& tip) override;
+  void Sealed(const Database& genesis) override;
+
+  /// Forces a checkpoint of `tip` regardless of the log-size threshold.
+  Status Checkpoint(const Database& tip);
+
+  /// Current size of the log file in bytes (as appended by this handle).
+  uint64_t log_bytes() const;
+  /// Number of checkpoints written by this handle.
+  uint64_t checkpoints_written() const;
+  /// The sticky error, or OK. Once non-OK the Wal accepts no further ops.
+  Status poisoned() const;
+
+  /// Path helpers shared with recovery.
+  static std::string LogPath(const std::string& dir);
+  static std::string CheckpointPath(const std::string& dir);
+  static std::string CheckpointTmpPath(const std::string& dir);
+
+  /// Names of every fault point the Wal honors, with the recovery outcome
+  /// the matrix test asserts. Order: temporal, along the publish pipeline.
+  static const std::vector<const char*>& FaultPointNames();
+
+ private:
+  Wal(std::string dir, WalOptions options);
+
+  Status AppendRecord(const WalRecord& rec);
+  Status AppendLocked(const WalRecord& rec);
+  Status CheckpointLocked(const Database& tip);
+  Status Poison(Status st);
+
+  const std::string dir_;
+  const WalOptions options_;
+  mutable std::mutex mu_;
+  int fd_ = -1;                  // wal.log, O_APPEND
+  uint64_t log_bytes_ = 0;       // bytes written through this handle
+  uint64_t checkpoints_ = 0;
+  Status poison_ = Status::Ok();
+};
+
+/// CRC-32 (IEEE, reflected) over `n` bytes — self-contained, table-based.
+/// Exposed for recovery and tests.
+uint32_t Crc32(const void* data, size_t n);
+
+/// Read side of the log, used by recovery and the fault-matrix tests.
+/// Well-formed records parse into `records`; `good_bytes` is the offset
+/// just past the last well-formed record (a torn tail, if any, starts
+/// there). A missing file scans clean and empty.
+struct WalScan {
+  std::vector<WalRecord> records;
+  uint64_t good_bytes = 0;
+  /// Offset just past the last well-formed COMMIT record: the recovery
+  /// frontier. Bytes past it (torn tails, but also complete Stage records
+  /// whose commit never made it) must be physically truncated — the
+  /// in-memory manager that staged them is gone, and a future commit must
+  /// not sweep in ops nobody re-staged.
+  uint64_t committed_bytes = 0;
+  uint64_t file_bytes = 0;
+  bool torn_tail = false;  // short/corrupt trailing bytes were present
+};
+Result<WalScan> ScanLog(const std::string& path);
+
+/// Decoded checkpoint.bin: the full live contents of one published epoch.
+struct CheckpointData {
+  struct RelationRows {
+    std::string name;
+    uint16_t arity = 0;
+    std::vector<std::vector<std::string>> rows;  // live rows, string form
+  };
+  uint64_t epoch = 0;
+  std::vector<RelationRows> relations;
+};
+/// NotFound when no checkpoint exists yet; Internal on a corrupt file
+/// (checkpoint writes are rename-atomic, so corruption is never expected).
+Result<CheckpointData> ReadCheckpoint(const std::string& path);
+
+}  // namespace durability
+}  // namespace binchain
+
+#endif  // BINCHAIN_DURABILITY_WAL_H_

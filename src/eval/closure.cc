@@ -9,7 +9,8 @@
 namespace binchain {
 
 Result<std::vector<std::pair<TermId, TermId>>> TransitiveClosureAllPairs(
-    BinaryRelationView* view, ClosureStats* stats) {
+    BinaryRelationView* view, ClosureStats* stats,
+    const CancelToken* cancel) {
   ClosureStats local;
   ClosureStats& st = (stats != nullptr) ? *stats : local;
   st = ClosureStats{};
@@ -18,6 +19,16 @@ Result<std::vector<std::pair<TermId, TermId>>> TransitiveClosureAllPairs(
     return Status::Unsupported(
         "all-pairs closure requires an enumerable relation");
   }
+  // Decimated polling shared by every phase below; the clock read is
+  // amortized over kStride steps (edge collections, merges, emissions).
+  constexpr size_t kStride = 512;
+  size_t countdown = kStride;
+  auto cancelled = [&]() {
+    if (cancel == nullptr) return false;
+    if (--countdown > 0) return false;
+    countdown = kStride;
+    return cancel->ShouldStop();
+  };
 
   // Collect terms and build the dense graph.
   std::unordered_map<TermId, uint32_t> index;
@@ -31,8 +42,18 @@ Result<std::vector<std::pair<TermId, TermId>>> TransitiveClosureAllPairs(
     terms.push_back(t);
     return id;
   };
-  view->ForEachPair(
-      [&](TermId u, TermId v) { edges.emplace_back(node(u), node(v)); });
+  // ForEachPair offers no early exit; a tripped token degrades the rest of
+  // the enumeration to a no-op and the cancellation is acted on right after.
+  bool enum_cancelled = false;
+  view->ForEachPair([&](TermId u, TermId v) {
+    if (enum_cancelled) return;
+    if (cancelled()) {
+      enum_cancelled = true;
+      return;
+    }
+    edges.emplace_back(node(u), node(v));
+  });
+  if (enum_cancelled) return Status::Cancelled("all-pairs closure cancelled");
   Digraph g(terms.size());
   for (auto [u, v] : edges) g.AddEdge(u, v);
   st.nodes = terms.size();
@@ -57,6 +78,10 @@ Result<std::vector<std::pair<TermId, TermId>>> TransitiveClosureAllPairs(
   // sets bottom-up.
   std::vector<std::vector<uint32_t>> desc(scc.num_components);
   for (uint32_t c = 0; c < scc.num_components; ++c) {
+    // Descendant-set merging is the quadratic-in-the-worst-case phase;
+    // one poll per component keeps the unwind latency proportional to a
+    // single component's merge.
+    if (cancelled()) return Status::Cancelled("all-pairs closure cancelled");
     std::vector<uint32_t>& d = desc[c];
     if (scc.members[c].size() > 1 || scc.on_cycle[scc.members[c][0]]) {
       d.push_back(c);  // cyclic component reaches itself
@@ -72,6 +97,9 @@ Result<std::vector<std::pair<TermId, TermId>>> TransitiveClosureAllPairs(
   std::vector<std::pair<TermId, TermId>> out;
   for (uint32_t c = 0; c < scc.num_components; ++c) {
     for (uint32_t u : scc.members[c]) {
+      if (cancelled()) {
+        return Status::Cancelled("all-pairs closure cancelled");
+      }
       for (uint32_t dc : desc[c]) {
         for (uint32_t v : scc.members[dc]) {
           out.emplace_back(terms[u], terms[v]);

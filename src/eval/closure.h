@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "eval/relation_view.h"
+#include "util/cancel_token.h"
 #include "util/status.h"
 
 namespace binchain {
@@ -23,9 +24,14 @@ struct ClosureStats {
 /// Computes the full transitive closure R+ of the relation behind `view`
 /// (which must support pair enumeration), emitting each (u, v) with v
 /// reachable from u in >= 1 step. Runs Tarjan once, then merges descendant
-/// sets over the condensation in reverse topological order.
+/// sets over the condensation in reverse topological order. `cancel`
+/// (optional, borrowed) is polled between phases and every few hundred
+/// steps inside each — the pair-emission phase alone is Theta(answer), up
+/// to |V|^2, so an expired deadline must be able to unwind from inside.
+/// Returns Status::Cancelled on a tripped token (no partial pairs).
 Result<std::vector<std::pair<TermId, TermId>>> TransitiveClosureAllPairs(
-    BinaryRelationView* view, ClosureStats* stats);
+    BinaryRelationView* view, ClosureStats* stats,
+    const CancelToken* cancel = nullptr);
 
 }  // namespace binchain
 

@@ -49,7 +49,8 @@ Result<const Nfa*> Engine::Machine(SymbolId pred) {
   return Result<const Nfa*>(&mit->second);
 }
 
-Result<size_t> Engine::CyclicIterationBound(SymbolId pred, TermId source) {
+Result<size_t> Engine::CyclicIterationBound(SymbolId pred, TermId source,
+                                            const CancelToken* cancel) {
   auto nit = normal_forms_.find(pred);
   if (nit == normal_forms_.end()) {
     LinearNormalForm fresh;
@@ -60,13 +61,16 @@ Result<size_t> Engine::CyclicIterationBound(SymbolId pred, TermId source) {
     nit = normal_forms_.emplace(pred, std::move(fresh)).first;
   }
   const LinearNormalForm& nf = nit->second;
+  // The three traversals below are closure *precomputation* — they run
+  // before the main loop's own cancellation points, and on dense cyclic
+  // data D1/D2 can dwarf the query itself, so each threads the token.
   // D1: nodes accessible from the query constant through e1.
-  auto d1 = ClosureUnderRex(*views_, nf.e1, {source});
+  auto d1 = ClosureUnderRex(*views_, nf.e1, {source}, nullptr, cancel);
   if (!d1.ok()) return d1.status();
   // D2: nodes accessible through e2 from the e0-images of D1.
-  auto landings = ImageUnderRex(*views_, nf.e0, d1.value());
+  auto landings = ImageUnderRex(*views_, nf.e0, d1.value(), nullptr, cancel);
   if (!landings.ok()) return landings.status();
-  auto d2 = ClosureUnderRex(*views_, nf.e2, landings.value());
+  auto d2 = ClosureUnderRex(*views_, nf.e2, landings.value(), nullptr, cancel);
   if (!d2.ok()) return d2.status();
   size_t b1 = std::max<size_t>(1, d1.value().size());
   size_t b2 = std::max<size_t>(1, d2.value().size());
@@ -104,8 +108,17 @@ Result<std::vector<TermId>> Engine::EvalFrom(SymbolId pred, TermId source,
 
   size_t iteration_cap = options.max_iterations;
   if (options.use_cyclic_bound) {
-    auto bound = CyclicIterationBound(pred, source);
-    if (!bound.ok()) return bound.status();
+    auto bound = CyclicIterationBound(pred, source, options.cancel);
+    if (!bound.ok()) {
+      // A cancelled precomputation is a partial (empty) answer, not an
+      // error: report it the way a mid-traversal unwind would, so the
+      // service maps it to kCancelled/kDeadlineExceeded with partial=true.
+      if (bound.status().code() == StatusCode::kCancelled) {
+        st.cancelled = true;
+        return std::vector<TermId>{};
+      }
+      return bound.status();
+    }
     if (iteration_cap == 0 || bound.value() < iteration_cap) {
       iteration_cap = bound.value();
     }

@@ -133,7 +133,8 @@ class Engine {
   }
 
  private:
-  Result<size_t> CyclicIterationBound(SymbolId pred, TermId source);
+  Result<size_t> CyclicIterationBound(SymbolId pred, TermId source,
+                                      const CancelToken* cancel);
 
   const EquationSystem* eqs_;
   ViewRegistry* views_;

@@ -58,19 +58,25 @@ void SharedAdjacency::BuildLocal() const {
   // Counting sort of this layer's rows by source (and by target for the
   // backward direction). Filling in ascending row order keeps every
   // per-key target list in insertion order — the enumeration order
-  // Relation::ForEachMatch delivers.
+  // Relation::ForEachMatch delivers. Tombstoned rows are skipped: the memo
+  // bakes the relation's (frozen, immutable) dead set into the CSR, which
+  // is why a later retraction forces the shrunk rebuild instead of a chain
+  // extension (see EvalArtifacts::BuildFor).
   SymbolId bound = 0;
+  size_t rows = 0;
   for (size_t r = local_begin_; r < total_rows_; ++r) {
+    if (rel_->RowDead(r)) continue;
     TupleRef t = rel_->tuple(r);
     bound = std::max({bound, static_cast<SymbolId>(t[0] + 1),
                       static_cast<SymbolId>(t[1] + 1)});
+    ++rows;
   }
-  size_t rows = total_rows_ - local_begin_;
   fwd_.off.assign(bound + 1, 0);
   bwd_.off.assign(bound + 1, 0);
   fwd_.tgt.resize(rows);
   bwd_.tgt.resize(rows);
   for (size_t r = local_begin_; r < total_rows_; ++r) {
+    if (rel_->RowDead(r)) continue;
     TupleRef t = rel_->tuple(r);
     ++fwd_.off[t[0] + 1];
     ++bwd_.off[t[1] + 1];
@@ -82,6 +88,7 @@ void SharedAdjacency::BuildLocal() const {
   std::vector<uint32_t> fcur(fwd_.off.begin(), fwd_.off.end());
   std::vector<uint32_t> bcur(bwd_.off.begin(), bwd_.off.end());
   for (size_t r = local_begin_; r < total_rows_; ++r) {
+    if (rel_->RowDead(r)) continue;
     TupleRef t = rel_->tuple(r);
     fwd_.tgt[fcur[t[0]]++] = t[1];
     bwd_.tgt[bcur[t[1]]++] = t[0];
@@ -184,15 +191,29 @@ std::shared_ptr<const EvalArtifacts> EvalArtifacts::BuildFor(
       ++out->refresh_.adjacency_reused;
     } else if (prev_adj != nullptr &&
                rel->base().get() == prev_adj->relation() &&
+               rel->dead_mutations() ==
+                   prev_adj->relation()->dead_mutations() &&
                !Relation::ShouldFlatten(
                    prev_adj->chain_depth() + 1,
                    rel->size() - prev_adj->root_rows(), prev_adj->root_rows(),
                    Relation::kMaxChainDepth, Relation::kFlattenMinRows)) {
-      // Delta layer on the relation the old memo covered: chain a memo
-      // layer over just the new rows. Built lazily, O(delta).
+      // Delta layer on the relation the old memo covered, with an
+      // *identical* dead set (equal mutation counts — count equality alone
+      // would miss a resurrect+delete pair): chain a memo layer over just
+      // the new rows. Built lazily, O(delta).
       out->adjacency_.emplace(
           *id, std::make_shared<SharedAdjacency>(rel, std::move(prev_adj)));
       ++out->refresh_.adjacency_extended;
+    } else if (prev_adj != nullptr &&
+               rel->base().get() == prev_adj->relation() &&
+               rel->dead_mutations() !=
+                   prev_adj->relation()->dead_mutations()) {
+      // Shrunk path: same underlying chain, but the delta layer edited the
+      // tombstone set, which the old memo baked into its CSR at build time.
+      // Rebuild this one relation's memo standalone (lazily); untouched
+      // relations above still reused by pointer.
+      out->adjacency_.emplace(*id, std::make_shared<SharedAdjacency>(rel));
+      ++out->refresh_.adjacency_shrunk;
     } else {
       // New relation, flattened relation, or a memo chain deep enough that
       // the shared flatten policy says to compact: standalone rebuild

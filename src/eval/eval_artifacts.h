@@ -192,6 +192,11 @@ class EvalArtifacts : public SnapshotArtifact {
     uint64_t adjacency_reused = 0;    // relation untouched: shared by pointer
     uint64_t adjacency_extended = 0;  // delta layer: chained memo, O(delta)
     uint64_t adjacency_rebuilt = 0;   // new/replaced relation or flatten
+    /// Retraction path: the delta layer tombstoned (or resurrected) rows,
+    /// so the old memo chain — which baked the old dead set into its CSR —
+    /// cannot be extended. Only this relation's memo rebuilds (lazily);
+    /// every untouched relation still shares by pointer.
+    uint64_t adjacency_shrunk = 0;
     uint64_t derived_entries = 0;     // closure + source cells per predicate
     uint64_t derived_reused = 0;      // no dependency relation changed
     uint64_t derived_invalidated = 0;  // fresh (empty) cells

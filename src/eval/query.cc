@@ -169,6 +169,7 @@ std::vector<SymbolId> QueryEngine::ComputeCandidateSources(SymbolId pred) {
 }
 
 bool QueryEngine::TryAllPairsClosure(SymbolId pred, const Literal& query,
+                                     const EvalOptions& options,
                                      QueryAnswer* answer) {
   // Match e*.e or e.e* with a single non-inverted base predicate e.
   const RexPtr& rhs = plan_->lemma1.final_system.Rhs(pred);
@@ -210,8 +211,17 @@ bool QueryEngine::TryAllPairsClosure(SymbolId pred, const Literal& query,
     EvalArtifacts::BumpThreadMemoHits();
   } else {
     ClosureStats stats;
-    auto pairs = TransitiveClosureAllPairs(view, &stats);
-    if (!pairs.ok()) return false;
+    auto pairs = TransitiveClosureAllPairs(view, &stats, options.cancel);
+    if (!pairs.ok()) {
+      if (pairs.status().code() == StatusCode::kCancelled) {
+        // Handled-but-partial: report the cancellation (empty answer set)
+        // instead of falling through to the per-source sweep, and leave the
+        // shared cache empty — a partial value must never be published.
+        answer->stats.cancelled = true;
+        return true;
+      }
+      return false;
+    }
     local.nodes = stats.nodes;
     local.pairs.reserve(pairs.value().size());
     for (auto [u, w] : pairs.value()) {
@@ -305,7 +315,7 @@ Result<QueryAnswer> QueryEngine::Query(const Literal& query,
       answer.tuples.push_back(Tuple{term_const(x), a1.symbol});
     }
   } else if (!options.disable_closure_sharing &&
-             TryAllPairsClosure(pred, query, &answer)) {
+             TryAllPairsClosure(pred, query, options, &answer)) {
     // Handled by the shared Tarjan-condensation closure.
   } else {
     // p(X, Y) / p(X, X): evaluate from every candidate source.

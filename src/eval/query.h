@@ -127,9 +127,13 @@ class QueryEngine {
 
   /// All-free queries over pure-closure equations (e*.e or e.e*, e a base
   /// predicate) are answered with one shared Tarjan condensation pass;
-  /// returns false when the equation has another shape.
+  /// returns false when the equation has another shape. A cancellation
+  /// mid-pass still returns true — handled, with stats.cancelled set and an
+  /// empty partial answer — and never publishes to the epoch-shared cache;
+  /// falling back to the per-source sweep would only burn more of an
+  /// already-expired budget.
   bool TryAllPairsClosure(SymbolId pred, const Literal& query,
-                          QueryAnswer* answer);
+                          const EvalOptions& options, QueryAnswer* answer);
 
   Database* db_;
   std::shared_ptr<const PreparedProgram> plan_;

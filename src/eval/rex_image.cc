@@ -26,7 +26,8 @@ bool Stamp(std::vector<uint32_t>& stamps, size_t i, uint32_t epoch) {
 Result<std::vector<TermId>> ImageUnderRex(const ViewRegistry& views,
                                           const RexPtr& e,
                                           const std::vector<TermId>& sources,
-                                          uint64_t* work) {
+                                          uint64_t* work,
+                                          const CancelToken* cancel) {
   // Compilation validates that every predicate leaf has a view and is
   // memoized per Rex node: level strategies call this once per level.
   const ViewRegistry::CompiledRex& compiled = views.Compile(e);
@@ -58,7 +59,18 @@ Result<std::vector<TermId>> ImageUnderRex(const ViewRegistry& views,
     stack.emplace_back(q, u);
   };
   for (TermId s : sources) visit(nfa.initial(), s);
+  // Same decimation as the engine's node loop: a pop can fan out over a
+  // whole adjacency list, so a stride of a few hundred bounds cancellation
+  // latency to milliseconds while keeping the clock read off the hot path.
+  constexpr size_t kCancelStride = 512;
+  size_t cancel_countdown = kCancelStride;
   while (!stack.empty()) {
+    if (cancel != nullptr && --cancel_countdown == 0) {
+      cancel_countdown = kCancelStride;
+      if (cancel->ShouldStop()) {
+        return Status::Cancelled("image traversal cancelled");
+      }
+    }
     auto [q, u] = stack.back();
     stack.pop_back();
     for (const NfaTransition& t : nfa.Out(q)) {
@@ -87,12 +99,18 @@ Result<std::vector<TermId>> ImageUnderRex(const ViewRegistry& views,
 Result<std::vector<TermId>> ClosureUnderRex(const ViewRegistry& views,
                                             const RexPtr& e,
                                             const std::vector<TermId>& sources,
-                                            uint64_t* work) {
+                                            uint64_t* work,
+                                            const CancelToken* cancel) {
   std::unordered_set<TermId> all(sources.begin(), sources.end());
   std::vector<TermId> frontier(sources.begin(), sources.end());
   std::vector<TermId> out(sources.begin(), sources.end());
   while (!frontier.empty()) {
-    auto img = ImageUnderRex(views, e, frontier, work);
+    // Per-round poll on top of the per-visit decimation inside the image
+    // call: rounds with tiny frontiers would otherwise stretch the stride.
+    if (cancel != nullptr && cancel->ShouldStop()) {
+      return Status::Cancelled("closure traversal cancelled");
+    }
+    auto img = ImageUnderRex(views, e, frontier, work, cancel);
     if (!img.ok()) return img.status();
     frontier.clear();
     for (TermId v : img.value()) {

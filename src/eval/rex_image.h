@@ -9,6 +9,7 @@
 
 #include "eval/relation_view.h"
 #include "rex/rex.h"
+#include "util/cancel_token.h"
 #include "util/status.h"
 
 namespace binchain {
@@ -16,18 +17,23 @@ namespace binchain {
 /// Terms v such that (u, v) is in the relation denoted by `e`, for some
 /// source u. Fails if `e` mentions a predicate without a registered view.
 /// `work` (optional) accumulates the number of (state, term) pairs visited
-/// in the product traversal — the set-at-a-time cost measure.
+/// in the product traversal — the set-at-a-time cost measure. `cancel`
+/// (optional, borrowed) is polled every few hundred visits; a tripped token
+/// returns Status::Cancelled — closure precomputation can run for seconds
+/// on dense data, and a deadline'd query must not be stuck inside it.
 Result<std::vector<TermId>> ImageUnderRex(const ViewRegistry& views,
                                           const RexPtr& e,
                                           const std::vector<TermId>& sources,
-                                          uint64_t* work = nullptr);
+                                          uint64_t* work = nullptr,
+                                          const CancelToken* cancel = nullptr);
 
 /// Image under e* : all terms reachable from `sources` by 0..k applications
-/// of `e`.
+/// of `e`. Same cancellation contract as ImageUnderRex.
 Result<std::vector<TermId>> ClosureUnderRex(const ViewRegistry& views,
                                             const RexPtr& e,
                                             const std::vector<TermId>& sources,
-                                            uint64_t* work = nullptr);
+                                            uint64_t* work = nullptr,
+                                            const CancelToken* cancel = nullptr);
 
 }  // namespace binchain
 

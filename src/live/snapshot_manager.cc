@@ -32,6 +32,11 @@ void SnapshotManager::SetArtifactBuilder(ArtifactBuilder builder) {
   artifact_builder_ = std::move(builder);
 }
 
+void SnapshotManager::SetDurabilitySink(DurabilitySink* sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_ = sink;
+}
+
 void SnapshotManager::Seal() {
   std::lock_guard<std::mutex> lock(mu_);
   if (genesis_ == nullptr) return;  // already sealed
@@ -41,6 +46,10 @@ void SnapshotManager::Seal() {
   }
   tip_ = std::shared_ptr<const Database>(std::move(genesis_));
   genesis_keeper_ = tip_;
+  // Durable genesis: the initial checkpoint captures everything loaded
+  // before the seal, so recovery starts from the sealed contents and only
+  // replays published batches.
+  if (sink_ != nullptr) sink_->Sealed(*tip_);
 }
 
 bool SnapshotManager::sealed() const {
@@ -48,10 +57,30 @@ bool SnapshotManager::sealed() const {
   return tip_ != nullptr;
 }
 
+void SnapshotManager::Stage(PendingFact f) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sink_ != nullptr) {
+    // Log before staging so the WAL always covers the in-memory batch. A
+    // failed append poisons the sink; the op is still staged, and the next
+    // Commit refuses, aborting the publish rather than silently dropping
+    // durability for this op.
+    if (f.is_delete) {
+      sink_->StageDelete(f.pred, f.args);
+    } else {
+      sink_->StageAdd(f.pred, f.args);
+    }
+  }
+  pending_.push_back(std::move(f));
+}
+
 void SnapshotManager::AddFact(std::string pred,
                               std::vector<std::string> args) {
-  std::lock_guard<std::mutex> lock(mu_);
-  pending_.push_back(PendingFact{std::move(pred), std::move(args)});
+  Stage(PendingFact{std::move(pred), std::move(args), /*is_delete=*/false});
+}
+
+void SnapshotManager::DeleteFact(std::string pred,
+                                 std::vector<std::string> args) {
+  Stage(PendingFact{std::move(pred), std::move(args), /*is_delete=*/true});
 }
 
 size_t SnapshotManager::PendingFacts() const {
@@ -74,12 +103,14 @@ PublishStats SnapshotManager::Publish() {
   std::vector<PendingFact> delta;
   std::shared_ptr<const Database> base;
   ArtifactBuilder builder;
+  DurabilitySink* sink = nullptr;
   {
     std::lock_guard<std::mutex> lock(mu_);
     BINCHAIN_CHECK(tip_ != nullptr);  // Seal() before publishing
     delta.swap(pending_);
     base = tip_;
     builder = artifact_builder_;
+    sink = sink_;
   }
 
   PublishStats stats;
@@ -93,6 +124,16 @@ PublishStats SnapshotManager::Publish() {
     const Relation* existing = next->Find(f.pred);
     if (existing != nullptr && existing->arity() != f.args.size()) {
       ++stats.facts_rejected;
+      continue;
+    }
+    if (f.is_delete) {
+      // DeleteFact probes before copy-on-write and never interns, so a
+      // retraction of an absent fact costs nothing and layers nothing.
+      if (next->DeleteFact(f.pred, f.args)) {
+        ++stats.facts_deleted;
+      } else {
+        ++stats.facts_delete_missing;
+      }
       continue;
     }
     if (existing != nullptr) {
@@ -149,12 +190,37 @@ PublishStats SnapshotManager::Publish() {
   if (builder) {
     next->AttachArtifact(builder(*next, base->artifact()));
   }
-  stats.artifact_ms = MsBetween(t2, std::chrono::steady_clock::now());
+  auto t3 = std::chrono::steady_clock::now();
+  stats.artifact_ms = MsBetween(t2, t3);
 
+  // Durability point: the commit record must be on stable storage *before*
+  // the tip swap — once a reader can see the epoch, a crash must recover
+  // it. A refused commit aborts the publish: the staged batch goes back to
+  // the front of the pending queue (facts staged meanwhile stay behind it,
+  // preserving staging order) and the serving tip does not move.
+  if (sink != nullptr) {
+    Status st = sink->Commit(next->epoch());
+    stats.commit_ms = MsBetween(t3, std::chrono::steady_clock::now());
+    if (!st.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      pending_.insert(pending_.begin(),
+                      std::make_move_iterator(delta.begin()),
+                      std::make_move_iterator(delta.end()));
+      stats.status = std::move(st);
+      stats.wall_ms = MsBetween(t0, std::chrono::steady_clock::now());
+      return stats;
+    }
+  }
+
+  std::shared_ptr<const Database> tip(std::move(next));
   {
     std::lock_guard<std::mutex> lock(mu_);
-    tip_ = std::shared_ptr<const Database>(std::move(next));
+    tip_ = tip;
   }
+  // Post-swap hook (checkpoint policy). Runs outside mu_ so a checkpoint's
+  // file I/O never blocks staging or Acquire; publish_mu_ still serializes
+  // it against the next publish.
+  if (sink != nullptr) sink->Published(*tip);
   stats.wall_ms = MsBetween(t0, std::chrono::steady_clock::now());
   return stats;
 }

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "storage/database.h"
+#include "util/status.h"
 
 namespace binchain {
 
@@ -38,6 +39,8 @@ struct PublishStats {
   uint64_t facts_added = 0;       // new tuples inserted into the successor
   uint64_t facts_duplicate = 0;   // staged facts already present
   uint64_t facts_rejected = 0;    // arity mismatch with the existing schema
+  uint64_t facts_deleted = 0;     // tombstones placed by staged retractions
+  uint64_t facts_delete_missing = 0;  // retractions of absent/dead facts
   uint64_t new_symbols = 0;       // fresh spellings interned by the delta
   uint64_t relations_touched = 0;    // relations that got a delta layer
   uint64_t relations_flattened = 0;  // of those, compacted to standalone
@@ -47,7 +50,35 @@ struct PublishStats {
   /// contract: untouched entries are re-shared by pointer, touched ones are
   /// invalidated or chained and rebuilt lazily off the publish path.
   double artifact_ms = 0;
+  /// Durability-sink commit time (WAL commit record + fsync). Zero without
+  /// a sink.
+  double commit_ms = 0;
   double wall_ms = 0;    // total, including the tip swap
+  /// Non-OK when the durability sink refused the commit: the tip did NOT
+  /// swap, the staged batch was re-queued, and the epoch id was not
+  /// consumed. In-memory managers always report OK.
+  Status status = Status::Ok();
+};
+
+/// Durability hook the epoch publisher drives (implemented by
+/// durability::Wal; an abstract interface here so the live layer stays
+/// below durability). Calls arrive in a strict order per batch: zero or
+/// more Stage* (as facts are staged, under the manager's staging lock,
+/// matching the in-memory staging order), then — inside Publish, after the
+/// successor froze but *before* the tip swap — exactly one Commit. A
+/// non-OK Commit aborts the publish: no swap, batch re-queued. Published
+/// fires after the swap (checkpoint policy lives behind it); Sealed fires
+/// once when the genesis becomes the first serving epoch.
+class DurabilitySink {
+ public:
+  virtual ~DurabilitySink() = default;
+  virtual Status StageAdd(const std::string& pred,
+                          const std::vector<std::string>& args) = 0;
+  virtual Status StageDelete(const std::string& pred,
+                             const std::vector<std::string>& args) = 0;
+  virtual Status Commit(uint64_t epoch) = 0;
+  virtual void Published(const Database& tip) = 0;
+  virtual void Sealed(const Database& genesis) = 0;
 };
 
 /// Owns the epoch chain and the pending delta. Constructed around an open
@@ -86,10 +117,21 @@ class SnapshotManager {
   void Seal();
   bool sealed() const;
 
+  /// Installs the write-ahead durability sink (borrowed; must outlive the
+  /// manager or be detached with nullptr). Set it before Seal() so the
+  /// genesis checkpoint is written; attach it after a recovery replay so
+  /// replayed batches are not re-logged.
+  void SetDurabilitySink(DurabilitySink* sink);
+
   /// Stages one fact for the next Publish(). Constants are carried as
   /// strings and interned during Publish (into the successor epoch's
-  /// symbol layer), so staging never touches serving state.
+  /// symbol layer), so staging never touches serving state. With a
+  /// durability sink the op is appended to the WAL before it is visible in
+  /// PendingFacts() — log order always covers staging order.
   void AddFact(std::string pred, std::vector<std::string> args);
+  /// Stages one retraction (tombstone) for the next Publish(). Retracting
+  /// an absent fact is a no-op counted in PublishStats.
+  void DeleteFact(std::string pred, std::vector<std::string> args);
   size_t PendingFacts() const;
 
   /// Merges every staged fact into a successor snapshot, freezes it
@@ -119,9 +161,14 @@ class SnapshotManager {
   struct PendingFact {
     std::string pred;
     std::vector<std::string> args;
+    bool is_delete = false;
   };
+  /// Staging tail shared by AddFact/DeleteFact: logs to the sink (in
+  /// staging order, under mu_), then stages in memory.
+  void Stage(PendingFact f);
   std::vector<PendingFact> pending_;
   ArtifactBuilder artifact_builder_;  // guarded by mu_
+  DurabilitySink* sink_ = nullptr;    // guarded by mu_; borrowed
 };
 
 }  // namespace binchain

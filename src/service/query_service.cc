@@ -7,6 +7,8 @@
 #include <thread>
 #include <utility>
 
+#include "durability/recovery.h"
+#include "durability/wal.h"
 #include "eval/eval_artifacts.h"
 #include "eval/query.h"
 #include "live/snapshot_manager.h"
@@ -205,6 +207,52 @@ QueryService::QueryService(SnapshotManager* live, const Program& program,
   AdoptSnapshot(db_);
   if (!init_status_.ok()) return;
   pool_ = std::make_unique<ThreadPool>(workers_.size(), queue_depth_);
+}
+
+QueryService::QueryService(SnapshotManager* live,
+                           durability::RecoveryManager* recovery,
+                           const Program& program, Options options)
+    : QueryService(live, program, options) {
+  BINCHAIN_CHECK(recovery != nullptr);
+  recovery_ = recovery;
+  // Close the serving gate: the sealed genesis is only the checkpoint
+  // state. Until FinishRecovery() replays the committed WAL batches, a
+  // query could observe an epoch older than what the pre-crash service
+  // already acknowledged — kUnavailable, never a stale answer.
+  serving_.store(false, std::memory_order_release);
+}
+
+Status QueryService::FinishRecovery(
+    const durability::WalOptions& wal_options) {
+  if (!init_status_.ok()) return init_status_;
+  if (recovery_ == nullptr) {
+    return Status::FailedPrecondition(
+        "FinishRecovery: service was not constructed in recovery mode");
+  }
+  durability::RecoveryManager* recovery = recovery_;
+  recovery_ = nullptr;  // single-shot
+  // Replay runs with no sink attached: every batch re-published here is
+  // already in the log, and re-appending would duplicate the history.
+  if (Status st = recovery->Replay(live_); !st.ok()) return st;
+  auto wal = recovery->OpenWal(wal_options);
+  if (!wal.ok()) return wal.status();
+  wal_ = wal.take();
+  live_->SetDurabilitySink(wal_.get());
+  serving_.store(true, std::memory_order_release);
+  return Status::Ok();
+}
+
+Status QueryService::FinishRecovery() {
+  return FinishRecovery(durability::WalOptions{});
+}
+
+Status QueryService::AdmissionStatus() const {
+  if (!init_status_.ok()) return init_status_;
+  if (!serving_.load(std::memory_order_acquire)) {
+    return Status::Unavailable(
+        "service is recovering (WAL replay in progress)");
+  }
+  return Status::Ok();
 }
 
 void QueryService::AdoptSnapshot(Database* db) {
@@ -469,6 +517,7 @@ BatchHandle QueryService::SubmitShared(std::vector<QueryRequest> batch,
   }
 
   handle.futures_.reserve(batch.size());
+  const Status admit = AdmissionStatus();
   for (QueryRequest& req : batch) {
     auto state = std::make_shared<AsyncQueryState>();
     state->batch = shared;
@@ -478,8 +527,8 @@ BatchHandle QueryService::SubmitShared(std::vector<QueryRequest> batch,
     if (req.deadline_ms > 0) state->token.SetDeadlineAfter(req.deadline_ms);
     state->request = std::move(req);
     handle.futures_.push_back(QueryFuture(state));
-    if (!init_status_.ok()) {
-      state->response.status = init_status_;
+    if (!admit.ok()) {
+      state->response.status = admit;
       state->response.epoch = shared->db->epoch();
       CompleteQuery(*state);
       continue;
@@ -539,9 +588,9 @@ std::vector<QueryResponse> QueryService::EvalBatch(
       }
       states[i].request = batch[i];
     }
-    if (!init_status_.ok()) {
+    if (const Status admit = AdmissionStatus(); !admit.ok()) {
       for (size_t i = 0; i < n; ++i) {
-        states[i].response.status = init_status_;
+        states[i].response.status = admit;
         states[i].response.epoch = shared->db->epoch();
         CompleteQuery(states[i]);
       }

@@ -49,6 +49,7 @@
 #ifndef BINCHAIN_SERVICE_QUERY_SERVICE_H_
 #define BINCHAIN_SERVICE_QUERY_SERVICE_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
@@ -65,6 +66,11 @@
 namespace binchain {
 
 class SnapshotManager;
+namespace durability {
+class RecoveryManager;
+class Wal;
+struct WalOptions;
+}  // namespace durability
 
 /// One query, by name: `pred(source, target)` with an empty string standing
 /// for a free variable. All binding patterns of Section 3 are reachable:
@@ -251,6 +257,25 @@ class QueryService {
   QueryService(SnapshotManager* live, const Program& program,
                Options options = {});
 
+  /// Durable live mode with crash recovery: `live` must be constructed
+  /// over `recovery`'s BuildGenesis() and still unsealed. The constructor
+  /// prepares and seals exactly like live mode, but the serving gate stays
+  /// *closed*: every submission is answered kUnavailable until
+  /// FinishRecovery() has replayed the committed WAL batches — readers
+  /// must never observe an epoch older than the pre-crash tip. `recovery`
+  /// is borrowed and must stay alive until FinishRecovery returns.
+  QueryService(SnapshotManager* live, durability::RecoveryManager* recovery,
+               const Program& program, Options options = {});
+
+  /// Replays the recovered batches through the manager's publish pipeline,
+  /// opens the WAL (owned by the service from here on), attaches it as the
+  /// manager's durability sink, and opens the serving gate. Call once,
+  /// from the startup thread, after the recovery constructor succeeded; on
+  /// failure the gate stays closed and the status is also what every
+  /// submission reports.
+  Status FinishRecovery(const durability::WalOptions& wal_options);
+  Status FinishRecovery();
+
   /// Drains the submission queue (cancelled work unwinds promptly) and
   /// joins the workers. Outstanding futures complete before destruction
   /// returns.
@@ -335,8 +360,19 @@ class QueryService {
   /// completion callback if it was the batch's last query.
   static void CompleteQuery(AsyncQueryState& q);
 
+  /// Admission gate shared by every submission path: init_status_ when
+  /// construction failed, kUnavailable while the recovery gate is closed,
+  /// OK otherwise.
+  Status AdmissionStatus() const;
+
   Database* db_;
   SnapshotManager* live_ = nullptr;
+  durability::RecoveryManager* recovery_ = nullptr;  // until FinishRecovery
+  std::unique_ptr<durability::Wal> wal_;  // owned sink in durable live mode
+  /// False between the recovery constructor and a successful
+  /// FinishRecovery(): submissions are answered kUnavailable, because the
+  /// tip has not caught up to the pre-crash state yet.
+  std::atomic<bool> serving_{true};
   Status init_status_ = Status::Ok();
   SymbolId var_x_ = 0, var_y_ = 0;  // free-variable symbols, interned early
   bool has_free_vars_ = false;

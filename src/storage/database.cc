@@ -90,6 +90,39 @@ bool Database::AddFact(std::string_view pred,
   return rel.Insert(t);
 }
 
+namespace {
+
+/// Shared DeleteFact body over any arg range yielding string_views.
+template <typename Args>
+bool DeleteFactImpl(Database* db, const SymbolTable& symbols,
+                    std::string_view pred, const Args& args, size_t nargs) {
+  const Relation* rel = db->Find(pred);
+  if (rel == nullptr || rel->arity() != nargs) return false;
+  Tuple t;
+  t.reserve(nargs);
+  for (const auto& a : args) {
+    auto id = symbols.Find(a);
+    if (!id) return false;  // unknown constant: the fact cannot be present
+    t.push_back(*id);
+  }
+  // Probe before copy-on-write: deleting an absent fact must not give the
+  // epoch a delta layer.
+  if (!rel->Contains(t)) return false;
+  return db->FindMutable(pred)->Delete(t);
+}
+
+}  // namespace
+
+bool Database::DeleteFact(std::string_view pred,
+                          std::initializer_list<std::string_view> args) {
+  return DeleteFactImpl(this, *symbols_, pred, args, args.size());
+}
+
+bool Database::DeleteFact(std::string_view pred,
+                          const std::vector<std::string>& args) {
+  return DeleteFactImpl(this, *symbols_, pred, args, args.size());
+}
+
 void Database::Freeze() {
   if (frozen_) return;
   // Layers inherited from the base epoch are frozen already; freezing only
@@ -119,7 +152,13 @@ void Database::PruneEmptyDeltas() {
   BINCHAIN_CHECK(!frozen_);
   for (auto& [name, rel] : relations_) {
     if (borrowed_.count(name) > 0) continue;
-    if (rel->base() != nullptr && rel->local_size() == 0) {
+    // A layer that inserted nothing but *edited tombstones* is not empty —
+    // its dead-set delta is the change — so the prune additionally requires
+    // the mutation counter to match the base's. (Counting mutations, not
+    // set size: a resurrect+delete pair keeps the cardinality while
+    // changing the membership.)
+    if (rel->base() != nullptr && rel->local_size() == 0 &&
+        rel->dead_mutations() == rel->base()->dead_mutations()) {
       // Frozen base layers are immutable; re-sharing one as this epoch's
       // relation is read-only from here on (borrowed_ guards mutation).
       rel = std::const_pointer_cast<Relation>(rel->base());

@@ -120,6 +120,23 @@ class Database {
   bool AddFact(std::string_view pred, std::initializer_list<std::string_view> args);
   bool AddFact(std::string_view pred, const std::vector<std::string>& args);
 
+  /// Retracts a fact by tombstoning its row (Relation::Delete). Returns
+  /// true if the fact was present and live. Constants are resolved through
+  /// Find, never interned — a constant the chain has never seen means the
+  /// fact cannot exist — and the relation is only copied-on-write after
+  /// the presence probe, so a miss never layers anything.
+  bool DeleteFact(std::string_view pred,
+                  std::initializer_list<std::string_view> args);
+  bool DeleteFact(std::string_view pred, const std::vector<std::string>& args);
+
+  /// Recovery-only: stamps the epoch id a durability checkpoint recorded,
+  /// so replayed publishes continue the pre-crash numbering instead of
+  /// restarting at zero. Must run before Freeze().
+  void SetRecoveredEpoch(uint64_t epoch) {
+    BINCHAIN_CHECK(!frozen_);
+    epoch_ = epoch;
+  }
+
   /// Interns a constant and returns its id.
   SymbolId Const(std::string_view name) { return symbols_->Intern(name); }
 

@@ -54,9 +54,13 @@ std::shared_ptr<Relation> Relation::Extend(
     std::shared_ptr<const Relation> base) {
   BINCHAIN_CHECK(base != nullptr);
   BINCHAIN_CHECK(base->frozen());
+  // Tombstoned rows count into the accumulated delta: they are chain
+  // overhead exactly like appended rows (every probe filters them), so a
+  // delete-heavy chain compacts on the same doubling rule as an
+  // insert-heavy one. Flatten() drops the dead rows for good.
   if (ShouldFlatten(base->chain_depth() + 1,
-                    base->size() - base->root_rows(), base->root_rows(),
-                    kMaxChainDepth, kFlattenMinRows)) {
+                    base->size() - base->root_rows() + base->dead_count(),
+                    base->root_rows(), kMaxChainDepth, kFlattenMinRows)) {
     return base->Flatten();
   }
   // make_shared needs a public constructor; the chain constructor stays
@@ -66,9 +70,11 @@ std::shared_ptr<Relation> Relation::Extend(
 
 std::shared_ptr<Relation> Relation::Flatten() const {
   auto out = std::make_shared<Relation>(arity_);
-  out->arena_.reserve(size() * arity_);
-  // Global row order in, same dense row ids out (no duplicates exist in a
-  // chain, so Insert never rejects).
+  out->arena_.reserve(live_size() * arity_);
+  // Global row order in, dense row ids out (no duplicates exist in a
+  // chain, so Insert never rejects). tuples() skips tombstoned rows, so
+  // flattening is also the compaction that drops dead rows for good — the
+  // copy re-numbers the surviving rows and starts with an empty dead set.
   for (TupleRef t : tuples()) out->Insert(t);
   // Re-demand every mask any layer of the chain had indexed. Freeze() of a
   // wide relation (arity > kEagerFreezeArity) only catches up indexes that
@@ -99,7 +105,20 @@ void Relation::Freeze() {
 bool Relation::Insert(TupleRef t) {
   BINCHAIN_CHECK(t.size() == arity_);
   BINCHAIN_CHECK(!frozen_);
-  if (base_ != nullptr && base_->Contains(t)) return false;
+  if (base_ != nullptr) {
+    uint32_t brow = base_->FindRowRaw(t);
+    if (brow != kNoRow) {
+      // Physically present in the base chain. If this layer tombstoned the
+      // row, re-inserting resurrects it in place — the row id (and every
+      // index entry threading it) is still valid, so no append, no
+      // duplicate. Otherwise it is a live duplicate.
+      if (dead_ != nullptr && dead_->erase(brow) > 0) {
+        ++dead_mutations_;
+        return true;
+      }
+      return false;
+    }
+  }
   if ((dedup_used_ + 1) * 10 >= dedup_.size() * 7) DedupGrow();
   size_t m = dedup_.size() - 1;
   for (size_t i = HashSpan(t.data(), arity_) & m;; i = (i + 1) & m) {
@@ -121,20 +140,48 @@ bool Relation::Insert(TupleRef t) {
       ++dedup_used_;
       return true;
     }
-    if (Row(r) == t) return false;
+    if (Row(r) == t) {
+      // Local physical duplicate: resurrect if tombstoned in this layer.
+      if (dead_ != nullptr &&
+          dead_->erase(static_cast<uint32_t>(base_rows_ + r)) > 0) {
+        ++dead_mutations_;
+        return true;
+      }
+      return false;
+    }
+  }
+}
+
+bool Relation::Delete(TupleRef t) {
+  BINCHAIN_CHECK(!frozen_);
+  if (t.size() != arity_) return false;
+  uint32_t row = FindRowRaw(t);
+  if (row == kNoRow) return false;  // never inserted anywhere in the chain
+  if (dead_ == nullptr) dead_ = std::make_unique<DeadSet>();
+  if (!dead_->insert(row).second) return false;  // already tombstoned
+  ++dead_mutations_;
+  return true;
+}
+
+uint32_t Relation::FindRowRaw(TupleRef t) const {
+  if (base_ != nullptr) {
+    uint32_t r = base_->FindRowRaw(t);
+    if (r != kNoRow) return r;
+  }
+  if (dedup_.empty()) return kNoRow;
+  size_t m = dedup_.size() - 1;
+  for (size_t i = HashSpan(t.data(), arity_) & m;; i = (i + 1) & m) {
+    uint32_t r = dedup_[i];
+    if (r == kNoRow) return kNoRow;
+    if (Row(r) == t) return static_cast<uint32_t>(base_rows_ + r);
   }
 }
 
 bool Relation::Contains(TupleRef t) const {
   if (t.size() != arity_) return false;
-  if (base_ != nullptr && base_->Contains(t)) return true;
-  if (dedup_.empty()) return false;
-  size_t m = dedup_.size() - 1;
-  for (size_t i = HashSpan(t.data(), arity_) & m;; i = (i + 1) & m) {
-    uint32_t r = dedup_[i];
-    if (r == kNoRow) return false;
-    if (Row(r) == t) return true;
-  }
+  uint32_t row = FindRowRaw(t);
+  if (row == kNoRow) return false;
+  return dead_ == nullptr || dead_->count(row) == 0;
 }
 
 void Relation::IndexGrow(MaskIndex& idx, size_t rows_done) const {

@@ -21,6 +21,21 @@
 // database epochs share unchanged storage. Chains are kept shallow by
 // Extend's flatten policy (see kMaxChainDepth / kFlattenMinRows).
 //
+// Tombstone retraction: Delete(t) never rewrites the arena or any index —
+// it records the tuple's *global row id* in this layer's dead set, and
+// every read entry point (Contains, ForEachMatch, tuples()) filters dead
+// rows at emission. The set is cumulative: Extend copies the base's dead
+// set into the new layer, so a probe consults exactly one set (the top
+// layer's) no matter how deep the chain, and older epochs keep serving
+// their own (smaller) sets untouched. Keying by row id rather than tuple
+// content makes delete-then-reinsert exact: Insert of a tombstoned tuple
+// *resurrects* the existing physical row (erases the tombstone) instead of
+// appending a duplicate, so row-id arithmetic — base_size() offsets, index
+// chains, the CSR memos above — never sees two rows with one content.
+// Flatten() drops dead rows for good (the compaction path), and size()
+// deliberately stays physical so layer offsets keep their meaning;
+// live_size() reports the serving cardinality.
+//
 // Concurrency: a Relation is single-writer until Freeze(). Freeze eagerly
 // completes every lazy index (and pre-builds all bound-column masks for
 // small arities), after which the read path — ForEachMatch, Contains,
@@ -39,6 +54,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -51,12 +67,15 @@ namespace binchain {
 /// (Compatible with `for (const Tuple& t : rel.tuples())`: the reference
 /// binds to a lifetime-extended materialized temporary.) A range covers the
 /// whole base chain of a layered relation as a short run of contiguous
-/// segments, bottom (oldest rows) first.
+/// segments, bottom (oldest rows) first. A range built over a relation with
+/// tombstones carries the (borrowed) dead set and skips dead rows during
+/// iteration; size() then reports live rows only.
 class RowRange {
  public:
   struct Segment {
     const SymbolId* base = nullptr;
     size_t rows = 0;
+    size_t global_start = 0;  // global row id of this segment's first row
   };
   /// Base chain depth is bounded by Relation's flatten policy; one extra
   /// slot for the local layer.
@@ -72,7 +91,7 @@ class RowRange {
 
     const_iterator(const RowRange* range, size_t seg, size_t idx)
         : range_(range), seg_(seg), idx_(idx) {
-      SkipEmpty();
+      SkipFiltered();
     }
     TupleRef operator*() const {
       const Segment& s = range_->segs_[seg_];
@@ -80,11 +99,7 @@ class RowRange {
     }
     const_iterator& operator++() {
       ++idx_;
-      if (idx_ >= range_->segs_[seg_].rows) {
-        ++seg_;
-        idx_ = 0;
-        SkipEmpty();
-      }
+      SkipFiltered();
       return *this;
     }
     bool operator==(const const_iterator& o) const {
@@ -93,39 +108,77 @@ class RowRange {
     bool operator!=(const const_iterator& o) const { return !(*this == o); }
 
    private:
-    void SkipEmpty() {
-      while (seg_ < range_->num_segs_ && range_->segs_[seg_].rows == 0) {
-        ++seg_;
+    /// Advances past empty segments and tombstoned rows to the next live
+    /// position (or end).
+    void SkipFiltered() {
+      while (seg_ < range_->num_segs_) {
+        const Segment& s = range_->segs_[seg_];
+        if (idx_ >= s.rows) {
+          ++seg_;
+          idx_ = 0;
+          continue;
+        }
+        if (range_->dead_ != nullptr &&
+            range_->dead_->count(
+                static_cast<uint32_t>(s.global_start + idx_)) > 0) {
+          ++idx_;
+          continue;
+        }
+        break;
       }
+      if (seg_ >= range_->num_segs_) idx_ = 0;  // canonical end position
     }
     const RowRange* range_;
     size_t seg_;
     size_t idx_;
   };
 
-  RowRange(const SymbolId* base, size_t arity, size_t rows) : arity_(arity) {
-    segs_[0] = Segment{base, rows};
+  /// Single-segment range. Every id in `dead` (borrowed; may be null) must
+  /// fall inside [0, rows) — the contract Relation::tuples() guarantees by
+  /// construction (a dead set only names rows of its own chain).
+  RowRange(const SymbolId* base, size_t arity, size_t rows,
+           const std::unordered_set<uint32_t>* dead = nullptr)
+      : arity_(arity), dead_(dead) {
+    segs_[0] = Segment{base, rows, 0};
     num_segs_ = 1;
     rows_ = rows;
   }
-  /// Multi-segment range; `Append` segments bottom-first.
-  explicit RowRange(size_t arity) : arity_(arity) {}
+  /// Multi-segment range; `Append` segments bottom-first. Global row ids
+  /// are assigned contiguously in append order, matching a chain walked
+  /// bottom (oldest) first.
+  explicit RowRange(size_t arity,
+                    const std::unordered_set<uint32_t>* dead = nullptr)
+      : arity_(arity), dead_(dead) {}
   void Append(const SymbolId* base, size_t rows) {
     BINCHAIN_CHECK(num_segs_ < kMaxSegments);
-    segs_[num_segs_++] = Segment{base, rows};
+    segs_[num_segs_++] = Segment{base, rows, rows_};
     rows_ += rows;
   }
 
   const_iterator begin() const { return const_iterator(this, 0, 0); }
   const_iterator end() const { return const_iterator(this, num_segs_, 0); }
-  size_t size() const { return rows_; }
-  bool empty() const { return rows_ == 0; }
+  /// Live rows (physical rows minus tombstones).
+  size_t size() const {
+    return rows_ - (dead_ == nullptr ? 0 : dead_->size());
+  }
+  bool empty() const { return size() == 0; }
+  /// The i-th *live* row. O(1) without tombstones; with a dead set it
+  /// degrades to a forward scan — fine for the diagnostic/test call sites,
+  /// while the hot paths all iterate.
   TupleRef operator[](size_t i) const {
-    for (size_t s = 0; s < num_segs_; ++s) {
-      if (i < segs_[s].rows) {
-        return TupleRef(segs_[s].base + i * arity_, arity_);
+    if (dead_ == nullptr) {
+      for (size_t s = 0; s < num_segs_; ++s) {
+        if (i < segs_[s].rows) {
+          return TupleRef(segs_[s].base + i * arity_, arity_);
+        }
+        i -= segs_[s].rows;
       }
-      i -= segs_[s].rows;
+      BINCHAIN_CHECK(false);
+      return TupleRef(nullptr, 0);
+    }
+    for (const_iterator it = begin(); it != end(); ++it) {
+      if (i == 0) return *it;
+      --i;
     }
     BINCHAIN_CHECK(false);
     return TupleRef(nullptr, 0);
@@ -135,7 +188,8 @@ class RowRange {
   Segment segs_[kMaxSegments];
   size_t num_segs_ = 0;
   size_t arity_;
-  size_t rows_ = 0;
+  size_t rows_ = 0;  // physical rows appended (dead rows included)
+  const std::unordered_set<uint32_t>* dead_ = nullptr;  // borrowed
 };
 
 /// Mutable set of same-arity tuples. Insertion preserves first-seen order
@@ -161,8 +215,29 @@ class Relation {
   std::shared_ptr<Relation> Flatten() const;
 
   size_t arity() const { return arity_; }
+  /// Physical rows of the whole chain, tombstoned rows included — the
+  /// row-id space every layer offset and memo is expressed in. Serving
+  /// cardinality is live_size().
   size_t size() const { return base_rows_ + num_rows_; }
   bool empty() const { return size() == 0; }
+
+  /// Rows this chain actually serves (physical minus tombstoned).
+  size_t live_size() const { return size() - dead_count(); }
+  /// Tombstoned rows visible through this layer (cumulative over the
+  /// chain; an older epoch's layer reports its own, smaller count).
+  size_t dead_count() const { return dead_ == nullptr ? 0 : dead_->size(); }
+  /// True if global row `row` is tombstoned as seen from this layer.
+  bool RowDead(size_t row) const {
+    return dead_ != nullptr &&
+           dead_->count(static_cast<uint32_t>(row)) > 0;
+  }
+  /// Monotone count of tombstone-set edits over the chain's history
+  /// (deletes *and* resurrections; inherited cumulatively like the set
+  /// itself). Equal counts between a layer and its base prove the two dead
+  /// sets are identical — the guard memo chaining needs, where dead_count()
+  /// alone would be fooled by a resurrect+delete pair that keeps the
+  /// cardinality while changing the membership.
+  uint64_t dead_mutations() const { return dead_mutations_; }
 
   /// Rows inherited from the base chain (0 for standalone relations).
   size_t base_size() const { return base_rows_; }
@@ -174,24 +249,38 @@ class Relation {
   size_t root_rows() const { return base_ ? base_->root_rows() : num_rows_; }
   const std::shared_ptr<const Relation>& base() const { return base_; }
 
+  /// Live rows of the whole chain in global insertion order (tombstoned
+  /// rows are skipped during iteration).
   RowRange tuples() const {
+    const DeadSet* dead = DeadOrNull();
     if (base_ == nullptr) {
-      return RowRange(arena_.data(), arity_, num_rows_);
+      return RowRange(arena_.data(), arity_, num_rows_, dead);
     }
-    RowRange range(arity_);
+    RowRange range(arity_, dead);
     AppendSegments(&range);
     return range;
   }
-  /// Row `i` of the whole chain, in global insertion order.
+  /// *Physical* row `i` of the whole chain, in global insertion order —
+  /// tombstones are not consulted (callers indexing the row-id space, e.g.
+  /// the CSR memo builds, pair this with RowDead()).
   TupleRef tuple(size_t i) const {
     return i < base_rows_ ? base_->tuple(i)
                           : Row(static_cast<uint32_t>(i - base_rows_));
   }
 
-  /// Inserts `t`; returns true if it was new anywhere in the chain.
+  /// Inserts `t`; returns true if it was new anywhere in the chain. A
+  /// tuple whose physical row is tombstoned is *resurrected* (the
+  /// tombstone is erased, no row appended) and reported as new.
   /// Invalidates no indexes (indexes absorb appended tuples on next use).
   /// Aborts after Freeze().
   bool Insert(TupleRef t);
+
+  /// Tombstones `t`'s row in this layer's dead set; returns true if the
+  /// tuple was present and live (false: absent, or already tombstoned).
+  /// The arena, the dedup table and every index are untouched — readers
+  /// filter at emission. Aborts after Freeze(); base layers are never
+  /// written (older epochs keep serving the row).
+  bool Delete(TupleRef t);
 
   bool Contains(TupleRef t) const;
 
@@ -222,35 +311,10 @@ class Relation {
   /// known at the call site, so the per-tuple call inlines.
   template <typename Fn>
   void ForEachMatch(uint32_t mask, TupleRef key, Fn&& fn) const {
-    if (base_ != nullptr) base_->ForEachMatch(mask, key, fn);
-    if (mask == 0) {  // full scan, no index needed
-      for (size_t r = 0; r < num_rows_; ++r) {
-        CountFetch();
-        fn(Row(static_cast<uint32_t>(r)));
-      }
-      return;
-    }
-    const MaskIndex* idx;
-    if (frozen_) {
-      idx = FrozenIndex(mask);
-      if (idx == nullptr) {  // mask never indexed pre-freeze: read-only scan
-        ++tls_wide_scans_;
-        for (size_t r = 0; r < num_rows_; ++r) {
-          if (MaskedEquals(mask, static_cast<uint32_t>(r), key.data())) {
-            CountFetch();
-            fn(Row(static_cast<uint32_t>(r)));
-          }
-        }
-        return;
-      }
-    } else {
-      idx = &IndexFor(mask);
-    }
-    for (uint32_t row = FindHead(*idx, mask, key); row != kNoRow;
-         row = idx->next[row]) {
-      CountFetch();
-      fn(Row(row));
-    }
+    // The top layer's cumulative dead set filters the whole chain; layers
+    // never consult their own (a base layer probed through an extension
+    // must honor tombstones the extension added above it).
+    MatchChain(mask, key, fn, DeadOrNull());
   }
 
   /// Number of single-tuple retrievals served (the paper's `t`-cost unit).
@@ -298,6 +362,62 @@ class Relation {
  private:
   static constexpr uint32_t kNoRow = 0xffffffffu;
 
+  /// Tombstoned global row ids, as seen from this layer (cumulative: an
+  /// extension starts from a copy of its base's set). Null when the chain
+  /// has never seen a Delete — the common case, kept null so every hot
+  /// path's filter is one pointer test.
+  using DeadSet = std::unordered_set<uint32_t>;
+
+  const DeadSet* DeadOrNull() const {
+    return (dead_ != nullptr && !dead_->empty()) ? dead_.get() : nullptr;
+  }
+
+  /// ForEachMatch body with the top layer's dead set threaded through the
+  /// chain recursion; each layer filters its local rows by global id
+  /// (base_rows_ + local row). Skipped dead rows count no fetch: the
+  /// chain's observable cost equals a freshly built relation without the
+  /// deleted facts.
+  template <typename Fn>
+  void MatchChain(uint32_t mask, TupleRef key, Fn&& fn,
+                  const DeadSet* dead) const {
+    if (base_ != nullptr) base_->MatchChain(mask, key, fn, dead);
+    auto alive = [&](uint32_t r) {
+      return dead == nullptr ||
+             dead->count(static_cast<uint32_t>(base_rows_ + r)) == 0;
+    };
+    if (mask == 0) {  // full scan, no index needed
+      for (size_t r = 0; r < num_rows_; ++r) {
+        if (!alive(static_cast<uint32_t>(r))) continue;
+        CountFetch();
+        fn(Row(static_cast<uint32_t>(r)));
+      }
+      return;
+    }
+    const MaskIndex* idx;
+    if (frozen_) {
+      idx = FrozenIndex(mask);
+      if (idx == nullptr) {  // mask never indexed pre-freeze: read-only scan
+        ++tls_wide_scans_;
+        for (size_t r = 0; r < num_rows_; ++r) {
+          if (MaskedEquals(mask, static_cast<uint32_t>(r), key.data()) &&
+              alive(static_cast<uint32_t>(r))) {
+            CountFetch();
+            fn(Row(static_cast<uint32_t>(r)));
+          }
+        }
+        return;
+      }
+    } else {
+      idx = &IndexFor(mask);
+    }
+    for (uint32_t row = FindHead(*idx, mask, key); row != kNoRow;
+         row = idx->next[row]) {
+      if (!alive(row)) continue;
+      CountFetch();
+      fn(Row(row));
+    }
+  }
+
   /// Open-addressed index for one bound-column mask. `slots`/`tails` hold
   /// the first/last row of each distinct key's chain; `next` threads rows
   /// sharing a key in insertion order. Rows here are *local* (this layer's
@@ -316,6 +436,14 @@ class Relation {
         base_rows_(base->size()),
         base_(std::move(base)) {
     BINCHAIN_CHECK(base_->frozen());
+    // Cumulative tombstones: start from the base's dead set so probes
+    // through this layer consult exactly one set. The copy is O(dead),
+    // charged to the deletes that created it; the base's own set stays
+    // frozen for its epoch's readers.
+    if (base_->dead_ != nullptr && !base_->dead_->empty()) {
+      dead_ = std::make_unique<DeadSet>(*base_->dead_);
+    }
+    dead_mutations_ = base_->dead_mutations_;
   }
 
   TupleRef Row(uint32_t r) const {
@@ -350,6 +478,11 @@ class Relation {
   uint64_t HashMasked(uint32_t mask, const SymbolId* t) const;
   bool MaskedEquals(uint32_t mask, uint32_t row, const SymbolId* key) const;
 
+  /// Physical lookup: global row id of `t` anywhere in the chain,
+  /// tombstones ignored; kNoRow if the tuple was never inserted. Read-only
+  /// (safe on frozen base layers).
+  uint32_t FindRowRaw(TupleRef t) const;
+
   MaskIndex& IndexFor(uint32_t mask) const;
   void IndexInsert(MaskIndex& idx, uint32_t row) const;
   void IndexGrow(MaskIndex& idx, size_t rows_done) const;
@@ -362,6 +495,10 @@ class Relation {
   size_t base_rows_ = 0;             // rows answered by the base chain
   std::shared_ptr<const Relation> base_;  // frozen; null for standalone
   std::vector<SymbolId> arena_;    // row-major tuple storage (local rows)
+  /// Cumulative tombstoned global row ids (see DeadSet); null until the
+  /// first Delete reaches this chain. Immutable once frozen.
+  std::unique_ptr<DeadSet> dead_;
+  uint64_t dead_mutations_ = 0;    // see dead_mutations()
   std::vector<uint32_t> dedup_;    // open-addressed row set over full tuples
   size_t dedup_used_ = 0;
   // Few masks per relation: linear scan beats hashing. A deque keeps

@@ -1,0 +1,111 @@
+// Fault-injection harness for the durability paths.
+//
+// A fault point is a named location compiled into production code (the WAL
+// append/commit/checkpoint sequence, the publish pipeline) that does nothing
+// unless a test has armed it. Armed points model the three failure shapes a
+// write-ahead log must survive:
+//
+//   - crash:       the process dies at exactly this point. Simulated
+//                  in-process by throwing FaultInjectedCrash, which the test
+//                  harness catches before destroying the crashed objects and
+//                  recovering from the on-disk state — the same observable
+//                  effect as SIGKILL for everything that matters (buffers
+//                  not yet written are lost, buffers written but not synced
+//                  may or may not survive; our tests treat written-as-kept,
+//                  the conservative direction for replay idempotence).
+//   - short write: the caller is told to write only a prefix of its buffer,
+//                  then the crash fires — the torn-tail record shape a real
+//                  power cut leaves behind.
+//   - error:       the operation (fsync, write) reports failure and the
+//                  caller must unwind cleanly through its Status path, with
+//                  no crash. Exercises the no-tip-swap / poisoned-log
+//                  handling.
+//
+// Arming takes a countdown so a point inside a loop can fire on its Nth
+// visit. The injector is a process-wide singleton guarded by a mutex: the
+// recovery tests arm one point, run one scenario, disarm — never
+// concurrently — but the hot-path probe is cheap enough (one relaxed atomic
+// load when nothing is armed) to stay compiled in unconditionally.
+#ifndef BINCHAIN_UTIL_FAULT_POINTS_H_
+#define BINCHAIN_UTIL_FAULT_POINTS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace binchain {
+
+/// Thrown by an armed crash point. Derives from std::exception only — the
+/// harness catches it by exact type; nothing else in the codebase throws.
+class FaultInjectedCrash : public std::runtime_error {
+ public:
+  explicit FaultInjectedCrash(const std::string& point)
+      : std::runtime_error("injected crash at fault point '" + point + "'") {}
+};
+
+class FaultInjector {
+ public:
+  static FaultInjector& Instance() {
+    static FaultInjector instance;
+    return instance;
+  }
+
+  /// Arms `point`: its countdown-th visit fires (1 = next visit). Replaces
+  /// any previously armed point — one scenario at a time.
+  void Arm(std::string_view point, uint64_t countdown = 1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    point_ = std::string(point);
+    countdown_ = countdown;
+    armed_.store(true, std::memory_order_release);
+  }
+
+  /// Clears the armed point (idempotent).
+  void Disarm() {
+    std::lock_guard<std::mutex> lock(mu_);
+    point_.clear();
+    countdown_ = 0;
+    armed_.store(false, std::memory_order_release);
+  }
+
+  /// True exactly once: when `point` is armed and its countdown reaches
+  /// zero on this visit. The fast path — nothing armed anywhere — is a
+  /// single relaxed atomic load.
+  bool ShouldFail(std::string_view point) {
+    if (!armed_.load(std::memory_order_acquire)) return false;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (point_ != point) return false;
+    if (--countdown_ > 0) return false;
+    // One-shot: the failure fires once, then the point disarms so the
+    // recovery that follows runs at full health.
+    point_.clear();
+    armed_.store(false, std::memory_order_release);
+    return true;
+  }
+
+  /// Crash-style point: throws FaultInjectedCrash if armed and due.
+  void MaybeCrash(const char* point) {
+    if (ShouldFail(point)) throw FaultInjectedCrash(point);
+  }
+
+ private:
+  FaultInjector() = default;
+  std::mutex mu_;
+  std::string point_;
+  uint64_t countdown_ = 0;
+  std::atomic<bool> armed_{false};
+};
+
+/// Free-function shims so call sites stay one line.
+inline void FaultCrashPoint(const char* point) {
+  FaultInjector::Instance().MaybeCrash(point);
+}
+inline bool FaultFailPoint(const char* point) {
+  return FaultInjector::Instance().ShouldFail(point);
+}
+
+}  // namespace binchain
+
+#endif  // BINCHAIN_UTIL_FAULT_POINTS_H_

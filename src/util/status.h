@@ -19,6 +19,7 @@ enum class StatusCode {
   kDeadlineExceeded,  // request expired before (or while) evaluating
   kCancelled,         // caller cancelled (or dropped) the request's future
   kOverloaded,        // submission queue at its high-water mark; retry later
+  kUnavailable,       // service not serving yet (e.g. recovery replay)
   kInternal,
 };
 
@@ -50,6 +51,9 @@ class Status {
   }
   static Status Overloaded(std::string m) {
     return Status(StatusCode::kOverloaded, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
   }
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));

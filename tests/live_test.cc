@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "datalog/parser.h"
+#include "eval/eval_artifacts.h"
 #include "eval/query.h"
 #include "live/snapshot_manager.h"
 #include "service/query_service.h"
@@ -427,6 +428,186 @@ TEST(LiveTest, SymbolIdsStableAcrossEpochs) {
   SymbolId gamma = *e1->symbols().Find("gamma");
   EXPECT_GE(gamma, e0->symbols().size());  // extension, not re-intern
   EXPECT_FALSE(e0->symbols().Find("gamma").has_value());  // old epoch clean
+}
+
+// Retraction equivalence: publishing tombstones must be observationally
+// identical to cold-rebuilding the database *without* the deleted facts —
+// including delete-then-reinsert inside one batch (staging order applies)
+// and resurrection across epochs.
+TEST(LiveTest, TombstonePublishMatchesColdRebuildWithoutDeletedFacts) {
+  Database workload;
+  workloads::Fig7c(workload, 12);
+  std::vector<Fact> facts = ExtractFacts(workload);
+  ASSERT_GE(facts.size(), 8u);
+
+  auto genesis = std::make_unique<Database>();
+  for (const Fact& f : facts) genesis->GetOrCreate(f.pred, f.args.size());
+  for (const Fact& f : facts) genesis->AddFact(f.pred, f.args);
+  Program program =
+      ParseProgram(workloads::SgProgramText(), genesis->symbols()).take();
+  SnapshotManager manager(std::move(genesis));
+  QueryService::Options opts;
+  opts.num_threads = 2;
+  QueryService service(&manager, program, opts);
+  ASSERT_TRUE(service.status().ok()) << service.status().message();
+
+  auto requests = SgRequests({"a1", "a2", "a5"});
+  std::vector<Fact> published = facts;
+  auto same_fact = [](const Fact& a, const Fact& b) {
+    return a.pred == b.pred && a.args == b.args;
+  };
+  auto unpublish = [&](const Fact& f) {
+    published.erase(std::remove_if(published.begin(), published.end(),
+                                   [&](const Fact& g) {
+                                     return same_fact(f, g);
+                                   }),
+                    published.end());
+  };
+  auto check_epoch = [&](uint64_t epoch) {
+    auto expected = ColdAnswers(published, facts,
+                                workloads::SgProgramText(), requests);
+    auto responses = service.EvalBatch(requests);
+    auto tip = manager.Acquire();
+    ASSERT_EQ(responses.size(), requests.size());
+    for (size_t i = 0; i < responses.size(); ++i) {
+      ASSERT_TRUE(responses[i].status.ok()) << responses[i].status.message();
+      EXPECT_EQ(responses[i].epoch, epoch) << i;
+      EXPECT_EQ(Render(responses[i].tuples, tip->symbols()), expected[i])
+          << "query " << i << " at epoch " << epoch;
+    }
+  };
+
+  // Epoch 1: retract a spread of workload facts, one unknown fact, and add
+  // a fresh one.
+  const Fact dead0 = facts[0];
+  const Fact dead1 = facts[facts.size() / 2];
+  const Fact dead2 = facts.back();
+  for (const Fact* f : {&dead0, &dead1, &dead2}) {
+    manager.DeleteFact(f->pred, f->args);
+    unpublish(*f);
+  }
+  manager.DeleteFact("up", {"nobody", "nowhere"});
+  manager.AddFact("up", {"zz1", "zz2"});
+  published.push_back(Fact{"up", {"zz1", "zz2"}});
+  PublishStats p1 = manager.Publish();
+  EXPECT_EQ(p1.facts_deleted, 3u);
+  EXPECT_EQ(p1.facts_delete_missing, 1u);
+  EXPECT_EQ(p1.facts_added, 1u);
+  check_epoch(1);
+
+  // Epoch 2: delete-then-reinsert within one batch lands live (staging
+  // order), and retracting the same fact twice is one tombstone + one miss.
+  manager.DeleteFact(dead1.pred, dead1.args);  // already gone: miss
+  manager.DeleteFact(facts[1].pred, facts[1].args);
+  manager.AddFact(facts[1].pred, facts[1].args);  // resurrected in-batch
+  PublishStats p2 = manager.Publish();
+  EXPECT_EQ(p2.facts_deleted, 1u);
+  EXPECT_EQ(p2.facts_delete_missing, 1u);
+  EXPECT_EQ(p2.facts_added, 1u);
+  check_epoch(2);
+
+  // Epoch 3: resurrect a fact retracted two epochs ago.
+  manager.AddFact(dead0.pred, dead0.args);
+  published.push_back(dead0);
+  PublishStats p3 = manager.Publish();
+  EXPECT_EQ(p3.facts_added, 1u);
+  EXPECT_EQ(p3.facts_duplicate, 0u);
+  check_epoch(3);
+}
+
+// A tombstone-only delta changes relation contents without adding rows: it
+// must survive empty-delta pruning, shrink the relation's adjacency memo
+// via a standalone rebuild (chained extension can only grow), and keep
+// every untouched relation's memo shared by pointer.
+TEST(LiveTest, TombstoneOnlyPublishShrinksMemosAndIsNotPruned) {
+  auto genesis = std::make_unique<Database>();
+  workloads::Fig7c(*genesis, 10);
+  Program program =
+      ParseProgram(workloads::SgProgramText(), genesis->symbols()).take();
+  SnapshotManager manager(std::move(genesis));
+  QueryService::Options opts;
+  opts.num_threads = 2;
+  QueryService service(&manager, program, opts);
+  ASSERT_TRUE(service.status().ok()) << service.status().message();
+
+  auto artifacts_of = [&]() {
+    auto a = std::dynamic_pointer_cast<const EvalArtifacts>(
+        manager.Acquire()->artifact());
+    EXPECT_NE(a, nullptr);
+    return a;
+  };
+  auto name_pair = [](const Database& db, TupleRef t) {
+    return std::vector<std::string>{db.symbols().Name(t[0]),
+                                    db.symbols().Name(t[1])};
+  };
+
+  auto e0 = manager.Acquire();
+  auto a0 = artifacts_of();
+  SymbolId up = *e0->symbols().Find("up");
+  SymbolId flat = *e0->symbols().Find("flat");
+  SymbolId down = *e0->symbols().Find("down");
+
+  // Epoch 1: retract exactly one "up" fact, nothing else.
+  const Relation* up0 = e0->Find("up");
+  auto it = up0->tuples().begin();
+  std::vector<std::string> victim = name_pair(*e0, *it);
+  ++it;
+  std::vector<std::string> second = name_pair(*e0, *it);
+  manager.DeleteFact("up", victim);
+  PublishStats p1 = manager.Publish();
+  EXPECT_EQ(p1.facts_deleted, 1u);
+  EXPECT_EQ(p1.relations_touched, 1u);
+  EXPECT_EQ(p1.facts_added, 0u);
+
+  auto e1 = manager.Acquire();
+  auto a1 = artifacts_of();
+  // Not pruned: the tombstone-bearing layer IS the semantic change.
+  ASSERT_NE(e1->Find("up"), e0->Find("up"));
+  EXPECT_EQ(e1->Find("up")->base().get(), e0->Find("up"));
+  EXPECT_EQ(e1->Find("up")->local_size(), 0u);
+  EXPECT_EQ(e1->Find("up")->live_size(), e0->Find("up")->live_size() - 1);
+  EXPECT_EQ(e1->Find("flat"), e0->Find("flat"));
+  EXPECT_EQ(e1->Find("down"), e0->Find("down"));
+  // Untouched memos re-shared by pointer; the shrunk relation's memo is a
+  // standalone rebuild (a chained layer could never un-index the dead row).
+  EXPECT_EQ(a1->Adjacency(flat), a0->Adjacency(flat));
+  EXPECT_EQ(a1->Adjacency(down), a0->Adjacency(down));
+  ASSERT_NE(a1->Adjacency(up), a0->Adjacency(up));
+  EXPECT_EQ(a1->Adjacency(up)->chain_depth(), 0u);
+  EXPECT_EQ(a1->refresh_stats().adjacency_shrunk, 1u);
+  EXPECT_EQ(a1->refresh_stats().adjacency_reused, 2u);
+  EXPECT_EQ(a1->refresh_stats().adjacency_extended, 0u);
+
+  // Epoch 2: resurrect the victim and retract another fact. The dead-set
+  // *cardinality* is back to the previous layer's, but the membership
+  // moved — the dead_mutations guard must keep this delta too.
+  manager.AddFact("up", victim);
+  manager.DeleteFact("up", second);
+  PublishStats p2 = manager.Publish();
+  EXPECT_EQ(p2.facts_added, 1u);
+  EXPECT_EQ(p2.facts_deleted, 1u);
+
+  auto e2 = manager.Acquire();
+  auto a2 = artifacts_of();
+  ASSERT_NE(e2->Find("up"), e1->Find("up"));
+  EXPECT_EQ(e2->Find("up")->dead_count(), e1->Find("up")->dead_count());
+  EXPECT_NE(e2->Find("up")->dead_mutations(),
+            e1->Find("up")->dead_mutations());
+  EXPECT_EQ(a2->refresh_stats().adjacency_shrunk, 1u);
+  EXPECT_EQ(e2->Find("up")->live_size(), e1->Find("up")->live_size());
+
+  // The tip answers from the shrunk memos exactly like a cold database
+  // holding the surviving facts.
+  std::vector<Fact> survivors = ExtractFacts(*e2);
+  auto requests = SgRequests({"a1", "a3"});
+  auto expected = ColdAnswers(survivors, survivors,
+                              workloads::SgProgramText(), requests);
+  auto responses = service.EvalBatch(requests);
+  ASSERT_EQ(responses.size(), requests.size());
+  for (size_t i = 0; i < responses.size(); ++i) {
+    ASSERT_TRUE(responses[i].status.ok()) << responses[i].status.message();
+    EXPECT_EQ(Render(responses[i].tuples, e2->symbols()), expected[i]) << i;
+  }
 }
 
 }  // namespace

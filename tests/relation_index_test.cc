@@ -370,6 +370,151 @@ TEST(RelationIndexTest, ExtendLayersAnswerLikeOneRelation) {
   }
 }
 
+TEST(RelationIndexTest, DeleteThenReinsertRoundTrips) {
+  Relation r(2);
+  EXPECT_TRUE(r.Insert(Tuple{1, 10}));
+  EXPECT_TRUE(r.Insert(Tuple{2, 20}));
+  const uint64_t muts0 = r.dead_mutations();
+
+  EXPECT_TRUE(r.Delete(Tuple{1, 10}));
+  EXPECT_FALSE(r.Contains(Tuple{1, 10}));
+  EXPECT_TRUE(r.Contains(Tuple{2, 20}));
+  EXPECT_EQ(r.size(), 2u);  // physical: the tombstoned row is still stored
+  EXPECT_EQ(r.live_size(), 1u);
+  EXPECT_EQ(r.dead_count(), 1u);
+  EXPECT_EQ(r.dead_mutations(), muts0 + 1);
+
+  // Deleting an absent or already-dead fact is a detectable no-op.
+  EXPECT_FALSE(r.Delete(Tuple{1, 10}));
+  EXPECT_FALSE(r.Delete(Tuple{9, 90}));
+  EXPECT_EQ(r.dead_mutations(), muts0 + 1);
+
+  // Reinsert resurrects the stored row: no duplicate, same row id, and
+  // every read path sees it again.
+  EXPECT_TRUE(r.Insert(Tuple{1, 10}));
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.live_size(), 2u);
+  EXPECT_EQ(r.dead_count(), 0u);
+  EXPECT_TRUE(r.Contains(Tuple{1, 10}));
+  EXPECT_EQ(Matches(r, 0b01, {1, 0}).size(), 1u);
+  // The resurrection is a dead-set edit too: equal cardinality must never
+  // masquerade as an unchanged set.
+  EXPECT_EQ(r.dead_mutations(), muts0 + 2);
+  // A second insert of the live fact is an ordinary duplicate.
+  EXPECT_FALSE(r.Insert(Tuple{1, 10}));
+}
+
+TEST(RelationIndexTest, TombstonesFilterEveryReadPathAcrossChain) {
+  // Mixed base + delta + tombstone chain: deletes land in the top layer's
+  // cumulative dead set and must filter Contains, indexed probes, full
+  // scans, and RowRange iteration — for base rows and local rows alike.
+  auto base = std::make_shared<Relation>(2);
+  for (SymbolId i = 0; i < 4; ++i) base->Insert(Tuple{i, i + 100});
+  base->Freeze();
+
+  auto delta = Relation::Extend(base);
+  EXPECT_TRUE(delta->Insert(Tuple{50, 150}));
+  EXPECT_TRUE(delta->Insert(Tuple{51, 151}));
+  EXPECT_TRUE(delta->Delete(Tuple{1, 101}));   // base row
+  EXPECT_TRUE(delta->Delete(Tuple{51, 151}));  // local row
+  delta->Freeze();
+
+  EXPECT_EQ(delta->size(), 6u);
+  EXPECT_EQ(delta->live_size(), 4u);
+  EXPECT_EQ(delta->dead_count(), 2u);
+  EXPECT_FALSE(delta->Contains(Tuple{1, 101}));
+  EXPECT_FALSE(delta->Contains(Tuple{51, 151}));
+  EXPECT_TRUE(delta->Contains(Tuple{0, 100}));
+  EXPECT_TRUE(delta->Contains(Tuple{50, 150}));
+
+  // Indexed probe and full scan both skip dead rows.
+  EXPECT_TRUE(Matches(*delta, 0b01, {1, 0}).empty());
+  EXPECT_TRUE(Matches(*delta, 0b01, {51, 0}).empty());
+  EXPECT_EQ(Matches(*delta, 0b01, {50, 0}).size(), 1u);
+  std::set<Tuple> scanned;
+  for (const Tuple& t : Matches(*delta, 0, {0, 0})) scanned.insert(t);
+  std::set<Tuple> expected = {{0, 100}, {2, 102}, {3, 103}, {50, 150}};
+  EXPECT_EQ(scanned, expected);
+
+  // RowRange iteration filters at emission and sizes by live rows.
+  EXPECT_EQ(delta->tuples().size(), 4u);
+  std::set<Tuple> ranged;
+  for (TupleRef t : delta->tuples()) ranged.insert(Tuple(t));
+  EXPECT_EQ(ranged, expected);
+
+  // RowDead exposes the raw row state the memo builders filter by.
+  EXPECT_TRUE(delta->RowDead(1));
+  EXPECT_TRUE(delta->RowDead(5));
+  EXPECT_FALSE(delta->RowDead(0));
+  EXPECT_FALSE(delta->RowDead(4));
+
+  // The frozen base never sees the delta's tombstones.
+  EXPECT_TRUE(base->Contains(Tuple{1, 101}));
+  EXPECT_EQ(base->dead_count(), 0u);
+}
+
+TEST(RelationIndexTest, FlattenCompactionDropsDeadRows) {
+  auto base = std::make_shared<Relation>(2);
+  for (SymbolId i = 0; i < 5; ++i) base->Insert(Tuple{i, i + 100});
+  base->Freeze();
+
+  auto delta = Relation::Extend(base);
+  EXPECT_TRUE(delta->Insert(Tuple{60, 160}));
+  EXPECT_TRUE(delta->Delete(Tuple{0, 100}));
+  EXPECT_TRUE(delta->Delete(Tuple{3, 103}));
+  delta->Freeze();
+  ASSERT_EQ(delta->live_size(), 4u);
+
+  auto flat = delta->Flatten();
+  // Dead rows are physically gone: the compacted relation is standalone,
+  // its physical size IS the live size, and the dead set is empty.
+  EXPECT_EQ(flat->chain_depth(), 0u);
+  EXPECT_EQ(flat->size(), 4u);
+  EXPECT_EQ(flat->live_size(), 4u);
+  EXPECT_EQ(flat->dead_count(), 0u);
+  std::set<Tuple> flat_rows;
+  for (TupleRef t : flat->tuples()) flat_rows.insert(Tuple(t));
+  std::set<Tuple> expected = {{1, 101}, {2, 102}, {4, 104}, {60, 160}};
+  EXPECT_EQ(flat_rows, expected);
+  EXPECT_FALSE(flat->Contains(Tuple{0, 100}));
+  EXPECT_FALSE(flat->Contains(Tuple{3, 103}));
+  // A dropped row's fact can be re-added as a brand-new row.
+  flat->Freeze();
+  auto next = Relation::Extend(flat);
+  EXPECT_TRUE(next->Insert(Tuple{0, 100}));
+  EXPECT_EQ(next->live_size(), 5u);
+}
+
+TEST(RelationIndexTest, DeadMutationsSeesThroughResurrectDeletePairs) {
+  // A resurrect + delete pair keeps dead_count() constant while changing
+  // the dead set's membership; dead_mutations() is the monotone counter
+  // that tells the two apart (the guard behind memo chain-extension and
+  // empty-delta pruning).
+  auto base = std::make_shared<Relation>(2);
+  base->Insert(Tuple{1, 10});
+  base->Insert(Tuple{2, 20});
+  base->Freeze();
+
+  auto mid = Relation::Extend(base);
+  EXPECT_TRUE(mid->Delete(Tuple{1, 10}));
+  mid->Freeze();
+  ASSERT_EQ(mid->dead_count(), 1u);
+
+  auto top = Relation::Extend(mid);
+  EXPECT_TRUE(top->Insert(Tuple{1, 10}));  // resurrect row 0
+  EXPECT_TRUE(top->Delete(Tuple{2, 20}));  // kill row 1
+  top->Freeze();
+
+  EXPECT_EQ(top->dead_count(), mid->dead_count());  // cardinality agrees...
+  EXPECT_NE(top->dead_mutations(), mid->dead_mutations());  // ...the set moved
+  EXPECT_TRUE(mid->RowDead(0));
+  EXPECT_FALSE(top->RowDead(0));
+  EXPECT_TRUE(top->RowDead(1));
+  // An untouched extension inherits the counter exactly.
+  auto quiet = Relation::Extend(top);
+  EXPECT_EQ(quiet->dead_mutations(), top->dead_mutations());
+}
+
 TEST_F(EnumerateTest, RepeatedVariableAgainstPartialBinding) {
   // With X pre-bound, e(X, X) must only match the diagonal tuple for that
   // binding (exercises the masked probe with a repeated variable).
