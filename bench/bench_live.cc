@@ -637,7 +637,8 @@ int main(int argc, char** argv) {
 
   if (json) {
     std::ofstream out(json_path);
-    out << "{\n  \"bench\": \"live\",\n  \"benchmarks\": [\n";
+    out << "{\n  \"bench\": \"live\",\n  \"host\": " << bench::HostJson()
+        << ",\n  \"benchmarks\": [\n";
     for (const PublishTrainResult& t : trains) {
       out << "    {\"name\": \"" << JsonEscape(t.name) << "\", \"ok\": "
           << (t.ok ? "true" : "false") << ", \"rows\": " << t.final_size * 3

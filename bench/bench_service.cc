@@ -36,16 +36,19 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
 #include "datalog/parser.h"
+#include "obs/metrics.h"
 #include "service/query_service.h"
 #include "workloads/workloads.h"
 
 namespace {
 
 using namespace binchain;
+using bench::HostJson;
 using bench::JsonEscape;
 using bench::MsSince;
 
@@ -80,6 +83,12 @@ struct BenchResult {
   double qps = 0;        // queries / second at the best rep (blocking path)
   double async_qps = 0;  // same batch through SubmitBatch + futures
   double speedup = 1;    // vs the 1-thread run of the same batch
+  // Per-query latency percentiles over every query of this run (all reps,
+  // blocking + async), read back from the service's own
+  // binchain_service_latency_ms registry histogram.
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
   uint64_t result_hash = 0;  // over all response tuples; order-sensitive
   StatusCounts status;   // per-query status codes of the recorded run
   bool identical = true;  // result sets match the 1-thread reference
@@ -207,6 +216,10 @@ BenchResult RunBatch(Batch& batch, size_t threads, int reps,
   r.threads = threads;
   r.queries = batch.requests.size();
 
+  // The registry is process-global and cumulative; zero it per run so the
+  // latency histogram read back below covers exactly this run's queries.
+  obs::Registry::Global().ResetForTest();
+
   QueryService::Options opts;
   opts.num_threads = threads;
   // Async submission below pushes the whole batch at once; keep the
@@ -268,6 +281,19 @@ BenchResult RunBatch(Batch& batch, size_t threads, int reps,
       r.error = "async submission diverged from blocking batch";
       return r;
     }
+  }
+
+  // Percentiles from the new observability layer rather than a bench-local
+  // sort: the same numbers an operator would scrape off /metrics.
+  {
+    obs::HistogramSnapshot lat =
+        obs::Registry::Global()
+            .GetHistogram("binchain_service_latency_ms",
+                          "Query latency, submission to completion")
+            ->Snapshot();
+    r.p50_ms = lat.P50();
+    r.p95_ms = lat.P95();
+    r.p99_ms = lat.P99();
   }
 
   if (reference != nullptr) {
@@ -348,6 +374,68 @@ CancelResult RunCancellationLatency(size_t n, int reps) {
   return cr;
 }
 
+/// Before/after cost of the observability layer on the service hot path:
+/// the same batch through two services over one frozen database, one with
+/// record_metrics off (no counters, histograms, gauge or flight recorder)
+/// and one with the production default on. Reps interleave so thermal /
+/// frequency drift hits both sides equally; best-of-reps wall times make
+/// the ratio a structural-overhead measure, not a noise sample. The
+/// regression gate bounds `ratio` (wall_on / wall_off); the design target
+/// is <= 1.01 — a handful of relaxed increments per completed query.
+struct ObsOverheadResult {
+  std::string name;
+  size_t threads = 0;
+  uint64_t queries = 0;
+  double wall_off_ms = 1e300;  // best rep, metrics disabled
+  double wall_on_ms = 1e300;   // best rep, metrics enabled
+  double ratio = 0;            // wall_on / wall_off
+  bool ok = true;
+  std::string error;
+};
+
+ObsOverheadResult RunObsOverhead(Batch& batch, size_t threads, int reps) {
+  ObsOverheadResult r;
+  r.name = batch.label + "/obs_overhead";
+  r.threads = threads;
+  r.queries = batch.requests.size();
+
+  QueryService::Options opts;
+  opts.num_threads = threads;
+  opts.queue_depth = std::max<size_t>(1024, batch.requests.size());
+  QueryService::Options off = opts;
+  off.record_metrics = false;
+  QueryService service_off(batch.db.get(), batch.program, off);
+  QueryService service_on(batch.db.get(), batch.program, opts);
+  if (!service_off.status().ok() || !service_on.status().ok()) {
+    r.ok = false;
+    r.error = (!service_off.status().ok() ? service_off.status()
+                                          : service_on.status())
+                  .message();
+    return r;
+  }
+
+  uint64_t tuples_off = 0, tuples_on = 0;
+  for (int i = 0; i < std::max(3, reps); ++i) {
+    BatchStats stats;
+    auto t0 = std::chrono::steady_clock::now();
+    service_off.EvalBatch(batch.requests, &stats);
+    r.wall_off_ms = std::min(r.wall_off_ms, MsSince(t0));
+    tuples_off = stats.tuples;
+
+    t0 = std::chrono::steady_clock::now();
+    service_on.EvalBatch(batch.requests, &stats);
+    r.wall_on_ms = std::min(r.wall_on_ms, MsSince(t0));
+    tuples_on = stats.tuples;
+  }
+  if (tuples_off != tuples_on) {
+    r.ok = false;
+    r.error = "metrics on/off runs disagree on result size";
+    return r;
+  }
+  r.ratio = r.wall_off_ms > 0 ? r.wall_on_ms / r.wall_off_ms : 0;
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -425,10 +513,30 @@ int main(int argc, char** argv) {
   CancelResult cancel = RunCancellationLatency(512, reps);
   if (!cancel.ok) ++failures;
 
-  std::printf("%-28s %8s %10s %10s %10s %12s %12s %10s %8s %10s %6s\n",
-              "batch", "queries", "tuples", "startup_ms", "wall_ms",
-              "queries/sec", "async_qps", "speedup", "fetches", "memo_hits",
-              "same");
+  // Overhead is measured on the fig8 batch (queries that do ~1 ms of real
+  // traversal each, the shape production queries have) at a thread count
+  // the hardware can actually run — oversubscribed threads on a small CI
+  // box turn any mutex into a preemption lottery and measure the
+  // scheduler, not the metrics layer.
+  ObsOverheadResult overhead;
+  overhead.ok = false;
+  overhead.error = "fig8 batch unavailable";
+  for (auto& batch : batches) {
+    if (batch == nullptr || batch->label.compare(0, 4, "fig8") != 0) continue;
+    size_t overhead_threads = std::max<size_t>(
+        1, std::min<size_t>(
+               *std::max_element(thread_counts.begin(), thread_counts.end()),
+               std::thread::hardware_concurrency()));
+    overhead = RunObsOverhead(*batch, overhead_threads, reps);
+    break;
+  }
+  if (!overhead.ok) ++failures;
+
+  std::printf(
+      "%-28s %8s %10s %10s %10s %12s %12s %10s %8s %10s %8s %8s %8s %6s\n",
+      "batch", "queries", "tuples", "startup_ms", "wall_ms", "queries/sec",
+      "async_qps", "speedup", "fetches", "memo_hits", "p50_ms", "p95_ms",
+      "p99_ms", "same");
   for (const BenchResult& r : results) {
     if (!r.ok) {
       ++failures;
@@ -438,13 +546,23 @@ int main(int argc, char** argv) {
     if (!r.identical) ++failures;
     std::printf(
         "%-28s %8llu %10llu %10.3f %10.3f %12.1f %12.1f %9.2fx %8llu %10llu "
-        "%6s\n",
+        "%8.3f %8.3f %8.3f %6s\n",
         r.name.c_str(), static_cast<unsigned long long>(r.queries),
         static_cast<unsigned long long>(r.tuples), r.startup_ms, r.wall_ms,
         r.qps, r.async_qps, r.speedup,
         static_cast<unsigned long long>(r.fetches),
-        static_cast<unsigned long long>(r.memo_hits),
-        r.identical ? "yes" : "NO");
+        static_cast<unsigned long long>(r.memo_hits), r.p50_ms, r.p95_ms,
+        r.p99_ms, r.identical ? "yes" : "NO");
+  }
+  if (overhead.ok) {
+    std::printf(
+        "obs overhead (%s, threads=%zu): metrics off %.3f ms, on %.3f ms, "
+        "ratio x%.4f over %llu queries/rep\n",
+        overhead.name.c_str(), overhead.threads, overhead.wall_off_ms,
+        overhead.wall_on_ms, overhead.ratio,
+        static_cast<unsigned long long>(overhead.queries));
+  } else {
+    std::printf("obs overhead: ERROR: %s\n", overhead.error.c_str());
   }
   if (cancel.ok) {
     std::printf(
@@ -471,7 +589,8 @@ int main(int argc, char** argv) {
     };
     char hash_buf[32];
     std::ofstream out(json_path);
-    out << "{\n  \"bench\": \"service\",\n  \"benchmarks\": [\n";
+    out << "{\n  \"bench\": \"service\",\n  \"host\": " << HostJson()
+        << ",\n  \"benchmarks\": [\n";
     for (size_t i = 0; i < results.size(); ++i) {
       const BenchResult& r = results[i];
       std::snprintf(hash_buf, sizeof(hash_buf), "0x%016llx",
@@ -482,7 +601,9 @@ int main(int argc, char** argv) {
           << ", \"startup_ms\": " << r.startup_ms
           << ", \"wall_ms\": " << r.wall_ms << ", \"qps\": " << r.qps
           << ", \"async_qps\": " << r.async_qps
-          << ", \"speedup\": " << r.speedup << ", \"tuples\": " << r.tuples
+          << ", \"speedup\": " << r.speedup << ", \"p50_ms\": " << r.p50_ms
+          << ", \"p95_ms\": " << r.p95_ms << ", \"p99_ms\": " << r.p99_ms
+          << ", \"tuples\": " << r.tuples
           << ", \"fetches\": " << r.fetches
           << ", \"memo_hits\": " << r.memo_hits
           << ", \"result_hash\": \"" << hash_buf << "\""
@@ -490,6 +611,13 @@ int main(int argc, char** argv) {
           << (i + 1 < results.size() ? "," : "") << "\n";
     }
     out << "  ],\n";
+    out << "  \"obs_overhead\": {\"name\": \"" << JsonEscape(overhead.name)
+        << "\", \"ok\": " << (overhead.ok ? "true" : "false")
+        << ", \"threads\": " << overhead.threads
+        << ", \"queries\": " << overhead.queries
+        << ", \"wall_off_ms\": " << overhead.wall_off_ms
+        << ", \"wall_on_ms\": " << overhead.wall_on_ms
+        << ", \"ratio\": " << overhead.ratio << "},\n";
     out << "  \"cancellation\": {\"ok\": " << (cancel.ok ? "true" : "false")
         << ", \"queries\": " << cancel.queries
         << ", \"deadline_ms\": " << cancel.deadline_ms

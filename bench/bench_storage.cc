@@ -258,7 +258,8 @@ int main(int argc, char** argv) {
 
   if (json) {
     std::ofstream out(json_path);
-    out << "{\n  \"bench\": \"storage\",\n  \"benchmarks\": [\n";
+    out << "{\n  \"bench\": \"storage\",\n  \"host\": " << bench::HostJson()
+        << ",\n  \"benchmarks\": [\n";
     for (size_t i = 0; i < results.size(); ++i) {
       const BenchResult& r = results[i];
       out << "    {\"name\": \"" << JsonEscape(r.name) << "\", \"ok\": "

@@ -1,11 +1,14 @@
 // Helpers shared by the standalone benchmark runners (bench_storage,
-// bench_service): wall-clock deltas and the escaping used by their
-// BENCH_*.json emitters.
+// bench_service, bench_live): wall-clock deltas, the escaping used by
+// their BENCH_*.json emitters, and the host-shape block every snapshot
+// carries so numbers from different machines are never compared blind.
 #ifndef BINCHAIN_BENCH_BENCH_UTIL_H_
 #define BINCHAIN_BENCH_BENCH_UTIL_H_
 
 #include <chrono>
+#include <fstream>
 #include <string>
+#include <thread>
 
 namespace binchain {
 namespace bench {
@@ -23,6 +26,31 @@ inline std::string JsonEscape(const std::string& s) {
     out += c;
   }
   return out;
+}
+
+/// First `model name` line from /proc/cpuinfo, or "unknown" off-Linux.
+inline std::string CpuModel() {
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.compare(0, 10, "model name") == 0) {
+      size_t colon = line.find(':');
+      if (colon == std::string::npos) break;
+      size_t start = line.find_first_not_of(" \t", colon + 1);
+      if (start == std::string::npos) break;
+      return line.substr(start);
+    }
+  }
+  return "unknown";
+}
+
+/// Host-shape block for the BENCH_*.json emitters:
+/// {"nproc": N, "cpu": "<model>"}. The regression gate ignores it (strings
+/// and host-dependent ints are not comparable fields); it exists so a
+/// human reading two snapshots knows whether the hardware moved.
+inline std::string HostJson() {
+  return "{\"nproc\": " + std::to_string(std::thread::hardware_concurrency()) +
+         ", \"cpu\": \"" + JsonEscape(CpuModel()) + "\"}";
 }
 
 }  // namespace bench

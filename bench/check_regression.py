@@ -17,6 +17,11 @@ fails (exit 1) on structural regressions that survive machine-speed noise:
 * ``bench_service``: unexpected per-query status codes — throughput
   batches must be all-OK, and the cancellation benchmark must report every
   query as ``deadline_exceeded`` (in-flight enforcement actually fired);
+* ``bench_service``: the observability before/after column — the same
+  batch with metrics recording off vs on, interleaved within one run so
+  machine speed cancels — must stay within ``OBS_OVERHEAD_BOUND``; the
+  design target is <=1% (a handful of relaxed atomics per completed
+  query), the gate bound is looser only to absorb CI-runner noise;
 * ``bench_live``: the publish-scaling sanity flag, when present in both
   files, must not regress from sublinear to superlinear;
 * ``bench_live``: the durable-publish block must report ``ok`` (the
@@ -90,11 +95,36 @@ def check_service(baseline, smoke, errors):
     for fam, entries in groups.items():
         if fam not in base_zero:
             continue
-        bad = [e["name"] for e in entries if e.get("fetches", 0) != 0]
+        bad = [(e["name"], e.get("fetches", 0))
+               for e in entries if e.get("fetches", 0) != 0]
         if bad:
             errors.append(
-                f"service: batch '{fam}' had 0 fetches in the committed "
-                f"baseline but smoke shows nonzero fetches in {bad}")
+                f"service: field 'fetches' of batch '{fam}' regressed: "
+                f"baseline=0, current={bad}")
+
+    # Observability overhead: metrics on vs off, measured within one run.
+    overhead = smoke.get("obs_overhead")
+    base_overhead = baseline.get("obs_overhead")
+    if overhead is not None:
+        if not overhead.get("ok", False):
+            errors.append(
+                f"service: obs_overhead benchmark reports ok=false "
+                f"({overhead.get('name')})")
+        else:
+            ratio = overhead.get("ratio", 0)
+            if ratio > OBS_OVERHEAD_BOUND:
+                errors.append(
+                    "service: field 'obs_overhead.ratio' regressed: "
+                    f"baseline={base_overhead.get('ratio') if base_overhead else 'n/a'}, "
+                    f"current={ratio:.4f} (metrics on "
+                    f"{overhead.get('wall_on_ms')} ms vs off "
+                    f"{overhead.get('wall_off_ms')} ms), bound is "
+                    f"x{OBS_OVERHEAD_BOUND} — metrics recording has crept "
+                    "into the query hot path")
+    elif base_overhead is not None:
+        errors.append(
+            "service: baseline has an obs_overhead block but the smoke run "
+            "produced none")
 
     # Status codes: throughput batches are all-OK...
     for b in sm:
@@ -128,6 +158,12 @@ def check_storage(baseline, smoke, errors):
 # over in-memory publish, as a within-run p50 ratio.
 DURABLE_OVERHEAD_BOUND = 1.25
 
+# Metrics-enabled service throughput may cost at most this much over the
+# same batch with recording disabled (within-run best-of-reps ratio). The
+# design target is 1.01; the slack absorbs scheduler noise on small CI
+# runners, not real overhead.
+OBS_OVERHEAD_BOUND = 1.10
+
 
 def check_live(baseline, smoke, errors):
     check_ok_flags("live", smoke.get("benchmarks", []), errors)
@@ -139,9 +175,11 @@ def check_live(baseline, smoke, errors):
                 f"({durable.get('name')}): recovery or a publish failed")
         ratio = durable.get("wal_overhead")
         if ratio is not None and ratio > DURABLE_OVERHEAD_BOUND:
+            base_durable = baseline.get("durable_publish") or {}
             errors.append(
-                "live: durable publish (WAL, no fsync) costs "
-                f"x{ratio:.2f} of in-memory publish, bound is "
+                "live: field 'durable_publish.wal_overhead' regressed: "
+                f"baseline={base_durable.get('wal_overhead', 'n/a')}, "
+                f"current=x{ratio:.2f}, bound is "
                 f"x{DURABLE_OVERHEAD_BOUND} — WAL appends have crept into "
                 "the publish critical path")
     elif baseline.get("durable_publish") is not None:
@@ -153,7 +191,9 @@ def check_live(baseline, smoke, errors):
     if base_scaling.get("sublinear") and "sublinear" in smoke_scaling:
         if not smoke_scaling["sublinear"]:
             errors.append(
-                "live: publish scaling regressed from sublinear "
+                "live: field 'publish_scaling.sublinear' regressed: "
+                f"baseline=true (latency_ratio="
+                f"{base_scaling.get('latency_ratio')}), current=false "
                 f"(latency_ratio={smoke_scaling.get('latency_ratio')} over "
                 f"size_ratio={smoke_scaling.get('size_ratio')})")
 

@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Tiny Prometheus text-exposition (0.0.4) linter for the CI scrape step.
+
+Validates the shape a scraper depends on, without needing a Prometheus
+install:
+
+* every line is a ``# HELP``/``# TYPE`` comment or a ``name[{labels}] value``
+  sample; metric names match ``[a-zA-Z_:][a-zA-Z0-9_:]*``;
+* ``# TYPE`` appears at most once per family and precedes that family's
+  samples; the declared type is one Prometheus knows;
+* sample values parse as numbers;
+* histogram families declared via ``# TYPE ... histogram`` expose
+  ``_bucket`` series with non-decreasing cumulative counts ending in an
+  ``le="+Inf"`` bucket that equals ``_count``, plus ``_sum`` and ``_count``;
+* ``--require <prefix>`` (repeatable) asserts at least one sample of that
+  family prefix is present — CI requires the ``binchain_service_``,
+  ``binchain_engine_``, ``binchain_live_`` and ``binchain_wal_`` families
+  so a refactor cannot silently drop a subsystem from the exposition.
+
+Usage:  lint_prometheus.py [--require PREFIX]... [file]
+Reads stdin when no file is given. Exit 0 clean, 1 on any violation.
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$")
+HELP_RE = re.compile(r"^# HELP (?P<name>\S+) (?P<text>.*)$")
+TYPE_RE = re.compile(r"^# TYPE (?P<name>\S+) (?P<kind>\S+)$")
+KNOWN_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def base_family(name, types):
+    """Family a sample belongs to: strips histogram suffixes when the
+    stripped name was TYPE-declared as a histogram."""
+    for suffix in HISTOGRAM_SUFFIXES:
+        if name.endswith(suffix):
+            stem = name[: -len(suffix)]
+            if types.get(stem) == "histogram":
+                return stem
+    return name
+
+
+def lint(lines):
+    errors = []
+    types = {}          # family -> declared type
+    helps = set()
+    samples = []        # (family, name, labels, float value, line number)
+    for n, raw in enumerate(lines, 1):
+        line = raw.rstrip("\n")
+        if not line:
+            errors.append(f"line {n}: empty line in exposition")
+            continue
+        if line.startswith("#"):
+            h = HELP_RE.match(line)
+            t = TYPE_RE.match(line)
+            if h:
+                name = h.group("name")
+                if not NAME_RE.match(name):
+                    errors.append(f"line {n}: bad metric name in HELP: {name}")
+                elif name in helps:
+                    errors.append(f"line {n}: duplicate HELP for {name}")
+                else:
+                    helps.add(name)
+            elif t:
+                name, kind = t.group("name"), t.group("kind")
+                if not NAME_RE.match(name):
+                    errors.append(f"line {n}: bad metric name in TYPE: {name}")
+                elif kind not in KNOWN_TYPES:
+                    errors.append(f"line {n}: unknown TYPE '{kind}' for {name}")
+                elif name in types:
+                    errors.append(f"line {n}: duplicate TYPE for {name}")
+                else:
+                    types[name] = kind
+            else:
+                errors.append(f"line {n}: comment is neither HELP nor TYPE: "
+                              f"{line[:60]}")
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"line {n}: not a valid sample line: {line[:60]}")
+            continue
+        name = m.group("name")
+        family = base_family(name, types)
+        if family not in types:
+            errors.append(f"line {n}: sample {name} has no preceding TYPE")
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            errors.append(f"line {n}: non-numeric value for {name}: "
+                          f"{m.group('value')}")
+            continue
+        samples.append((family, name, m.group("labels"), value, n))
+
+    # Histogram shape: cumulative non-decreasing buckets, +Inf == _count.
+    for family, kind in types.items():
+        if kind != "histogram":
+            continue
+        buckets = [s for s in samples if s[1] == family + "_bucket"]
+        counts = [s for s in samples if s[1] == family + "_count"]
+        sums = [s for s in samples if s[1] == family + "_sum"]
+        if not buckets or len(counts) != 1 or len(sums) != 1:
+            errors.append(
+                f"histogram {family}: expected _bucket series plus exactly "
+                f"one _sum and one _count (got {len(buckets)} buckets, "
+                f"{len(sums)} sums, {len(counts)} counts)")
+            continue
+        last = -1.0
+        inf_value = None
+        for _, _, labels, value, n in buckets:
+            le = None
+            for part in (labels or "").split(","):
+                if part.startswith("le="):
+                    le = part[3:].strip('"')
+            if le is None:
+                errors.append(f"line {n}: {family}_bucket without an le label")
+                continue
+            if value < last:
+                errors.append(
+                    f"line {n}: {family}_bucket cumulative count decreased "
+                    f"({value} after {last})")
+            last = value
+            if le == "+Inf":
+                inf_value = value
+        if inf_value is None:
+            errors.append(f"histogram {family}: missing le=\"+Inf\" bucket")
+        elif inf_value != counts[0][3]:
+            errors.append(
+                f"histogram {family}: le=\"+Inf\" bucket ({inf_value}) != "
+                f"_count ({counts[0][3]})")
+    return errors, samples
+
+
+def main(argv):
+    require = []
+    files = []
+    i = 1
+    while i < len(argv):
+        if argv[i] == "--require" and i + 1 < len(argv):
+            require.append(argv[i + 1])
+            i += 2
+        elif argv[i].startswith("--require="):
+            require.append(argv[i].split("=", 1)[1])
+            i += 1
+        elif argv[i] in ("-h", "--help"):
+            print(__doc__)
+            return 2
+        else:
+            files.append(argv[i])
+            i += 1
+
+    if files:
+        with open(files[0]) as f:
+            lines = f.readlines()
+    else:
+        lines = sys.stdin.readlines()
+
+    errors, samples = lint(lines)
+    sample_names = {s[1] for s in samples}
+    for prefix in require:
+        if not any(name.startswith(prefix) for name in sample_names):
+            errors.append(
+                f"required metric family '{prefix}*' has no samples in the "
+                f"exposition ({len(sample_names)} sample names present)")
+
+    if errors:
+        for e in errors:
+            print(f"LINT: {e}")
+        print(f"{len(errors)} exposition problem(s)")
+        return 1
+    print(f"prometheus exposition OK: {len(sample_names)} sample names, "
+          f"{len(require)} required families present")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -28,6 +28,7 @@
 //   live> publish            merge staged ops into a new serving epoch
 //   live> ?- sg(a1, Y).      query the current epoch
 //   live> epoch | pending    inspect the serving state
+//   live> metrics            Prometheus exposition of the metrics registry
 //   live> recover            show the startup recovery report (--wal)
 //   live> quit
 //
@@ -61,6 +62,7 @@
 #include "eval/dot_export.h"
 #include "eval/query.h"
 #include "live/snapshot_manager.h"
+#include "obs/metrics.h"
 #include "service/query_service.h"
 #include "transform/binarize.h"
 
@@ -161,6 +163,23 @@ bool IsVariableSpelling(const std::string& s) {
                         s[0] == '_');
 }
 
+/// --metrics-json=<path>: machine-readable dump of the metrics registry
+/// (plus the service's slow-query flight recorder, when a service exists)
+/// written on exit, so smoke tests can assert the exposition end to end
+/// without scraping REPL output.
+int DumpMetricsJson(const std::string& path, const QueryService* service) {
+  if (path.empty()) return 0;
+  std::ofstream out(path);
+  if (!out) return Fail("cannot write metrics dump to " + path);
+  out << "{\n\"metrics\": " << obs::Registry::Global().RenderJson();
+  if (service != nullptr) {
+    out << ",\n\"flight_recorder\": " << service->flight_recorder().RenderJson()
+        << "\n";
+  }
+  out << "}\n";
+  return 0;
+}
+
 /// The load/publish REPL over a live service. `recovered` carries the
 /// startup recovery report when the deployment is durable (--wal), nullptr
 /// otherwise. Returns the process exit code.
@@ -171,7 +190,8 @@ int RunLiveRepl(SnapshotManager& manager, QueryService& service,
                 const std::string& wal_dir) {
   std::printf(
       "[live%s] epoch %llu serving on %zu threads; commands: +fact(...), "
-      "-fact(...), publish, ?- query, epoch, pending, recover, quit\n",
+      "-fact(...), publish, ?- query, epoch, pending, metrics, recover, "
+      "quit\n",
       wal_dir.empty() ? "" : "/durable",
       static_cast<unsigned long long>(manager.epoch()),
       service.num_threads());
@@ -188,6 +208,12 @@ int RunLiveRepl(SnapshotManager& manager, QueryService& service,
     }
     if (cmd == "pending") {
       std::printf("%zu staged fact(s)\n", manager.PendingFacts());
+      continue;
+    }
+    if (cmd == "metrics") {
+      // Raw Prometheus text exposition: every line starts with '#' or a
+      // metric name, so a scraper can split it from the REPL prompts.
+      std::fputs(obs::Registry::Global().RenderPrometheus().c_str(), stdout);
       continue;
     }
     if (cmd == "recover") {
@@ -314,7 +340,7 @@ int RunLiveRepl(SnapshotManager& manager, QueryService& service,
     }
     std::printf(
         "commands: +fact(...), -fact(...), publish, ?- query, epoch, "
-        "pending, recover, quit\n");
+        "pending, metrics, recover, quit\n");
   }
   return 0;
 }
@@ -333,6 +359,7 @@ int main(int argc, char** argv) {
   size_t queue_depth = 0;  // 0 = service default
   size_t max_iterations = 0;
   size_t threads = 0;
+  std::string metrics_json;  // --metrics-json=<path>: dump registry on exit
   std::string path;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -358,12 +385,15 @@ int main(int argc, char** argv) {
       max_iterations = std::stoul(arg.substr(17));
     } else if (arg.rfind("--threads=", 0) == 0) {
       threads = std::stoul(arg.substr(10));
+    } else if (arg.rfind("--metrics-json=", 0) == 0) {
+      metrics_json = arg.substr(15);
     } else if (arg == "--help") {
       std::printf(
           "usage: datalog_cli [--strategy=graph|seminaive|naive|magic|"
           "transform] [--cyclic-bound] [--max-iterations=N] [--threads=N] "
           "[--async] [--deadline-ms=X] [--queue-depth=N] "
-          "[--live] [--wal=<dir>] [--stats] [--dot] <file.dl>\n");
+          "[--live] [--wal=<dir>] [--metrics-json=<path>] [--stats] [--dot] "
+          "<file.dl>\n");
       return 0;
     } else {
       path = arg;
@@ -459,8 +489,12 @@ int main(int argc, char** argv) {
       PrintAnswers(*tip, q, resp.tuples);
       if (print_stats) PrintEvalStats("live", resp.stats, resp.fetches);
     }
-    return RunLiveRepl(manager, *service, options, print_stats, deadline_ms,
-                       wal_dir.empty() ? nullptr : &recovery_stats, wal_dir);
+    int rc = RunLiveRepl(manager, *service, options, print_stats, deadline_ms,
+                         wal_dir.empty() ? nullptr : &recovery_stats, wal_dir);
+    if (int mrc = DumpMetricsJson(metrics_json, service.get()); mrc != 0) {
+      return mrc;
+    }
+    return rc;
   }
 
   Database db;
@@ -552,7 +586,7 @@ int main(int argc, char** argv) {
         stats.wall_ms > 0
             ? 1000.0 * static_cast<double>(stats.queries) / stats.wall_ms
             : 0.0);
-    return 0;
+    return DumpMetricsJson(metrics_json, &service);
   }
 
   if (strategy == "graph") {
@@ -580,7 +614,7 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(r.value().fetches),
           r.value().stats.hit_iteration_cap ? " (iteration cap hit!)" : "");
     }
-    return 0;
+    return DumpMetricsJson(metrics_json, nullptr);
   }
 
   // Bottom-up strategies need the facts in the database.
@@ -617,5 +651,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.rounds),
                 static_cast<unsigned long long>(stats.fetches));
   }
-  return 0;
+  // Engine-only strategies have no service; the registry still dumps (its
+  // families just read zero), so scripted callers get a file either way.
+  return DumpMetricsJson(metrics_json, nullptr);
 }

@@ -6,10 +6,12 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/fault_points.h"
 
@@ -19,6 +21,38 @@ namespace {
 
 constexpr char kCheckpointMagic[4] = {'B', 'C', 'K', 'P'};
 constexpr uint32_t kCheckpointVersion = 1;
+
+/// The WAL metric family. Everything here sits next to file I/O (writes,
+/// fdatasync), so the relaxed-atomic recording cost is invisible; the
+/// poisoned gauge gives scrapers the sticky-failure signal that today only
+/// surfaces through refused publishes.
+struct WalObs {
+  static WalObs& Get() {
+    static WalObs* o = new WalObs();
+    return *o;
+  }
+  obs::Counter* bytes_appended;
+  obs::Counter* commits;
+  obs::Counter* checkpoints;
+  obs::Histogram* fsync_ms;
+  obs::Gauge* poisoned;
+
+ private:
+  WalObs() {
+    obs::Registry& r = obs::Registry::Global();
+    bytes_appended = r.GetCounter("binchain_wal_bytes_appended_total",
+                                  "Bytes of framed records written to the log");
+    commits = r.GetCounter("binchain_wal_commits_total",
+                           "COMMIT records appended (publish durability points)");
+    checkpoints = r.GetCounter("binchain_wal_checkpoints_total",
+                               "Checkpoints written (log truncations)");
+    fsync_ms = r.GetHistogram("binchain_wal_commit_fsync_ms",
+                              "fdatasync latency at commit durability points");
+    poisoned = r.GetGauge(
+        "binchain_wal_poisoned",
+        "1 once the WAL hit a sticky failure and refuses further ops");
+  }
+};
 
 Status ErrnoStatus(const char* op) {
   return Status::Internal(std::string("wal: ") + op + ": " +
@@ -262,6 +296,7 @@ Status Wal::poisoned() const {
 
 Status Wal::Poison(Status st) {
   poison_ = st;
+  WalObs::Get().poisoned->Set(1);
   return st;
 }
 
@@ -289,6 +324,7 @@ Status Wal::AppendLocked(const WalRecord& rec) {
   Status st = WriteFully(fd_, frame.data(), frame.size());
   if (!st.ok()) return Poison(std::move(st));
   log_bytes_ += frame.size();
+  WalObs::Get().bytes_appended->Inc(frame.size());
   FaultCrashPoint(commit ? "wal.commit.crash_after_write"
                          : "wal.append.crash_after");
   return Status::Ok();
@@ -331,9 +367,15 @@ Status Wal::Commit(uint64_t epoch) {
       // so the manager never swaps in an epoch the log might not cover.
       return Poison(Status::Internal("wal: injected commit fsync failure"));
     }
+    auto t0 = std::chrono::steady_clock::now();
     if (::fdatasync(fd_) != 0) return Poison(ErrnoStatus("fdatasync"));
+    WalObs::Get().fsync_ms->Observe(
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
   }
   FaultCrashPoint("wal.commit.crash_after_fsync");
+  WalObs::Get().commits->Inc();
   return Status::Ok();
 }
 
@@ -430,6 +472,7 @@ Status Wal::CheckpointLocked(const Database& tip) {
   if (::ftruncate(fd_, 0) != 0) return Poison(ErrnoStatus("ftruncate"));
   log_bytes_ = 0;
   ++checkpoints_;
+  WalObs::Get().checkpoints->Inc();
   return Status::Ok();
 }
 

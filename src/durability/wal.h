@@ -105,6 +105,11 @@ class Wal : public DurabilitySink {
   Status Checkpoint(const Database& tip);
 
   /// Current size of the log file in bytes (as appended by this handle).
+  /// Monitoring note: cumulative append volume, checkpoint counts, commit
+  /// fsync latency, and the poisoned flag are also exported through the
+  /// metrics registry (`binchain_wal_*`); these accessors remain for tests
+  /// and checkpoint-policy logic that needs this handle's exact state
+  /// (log_bytes resets to 0 at each checkpoint, the counter never does).
   uint64_t log_bytes() const;
   /// Number of checkpoints written by this handle.
   uint64_t checkpoints_written() const;

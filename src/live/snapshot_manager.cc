@@ -3,6 +3,7 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace binchain {
@@ -12,6 +13,52 @@ double MsBetween(std::chrono::steady_clock::time_point a,
                  std::chrono::steady_clock::time_point b) {
   return std::chrono::duration<double, std::milli>(b - a).count();
 }
+
+/// The live metric family, registered once per process. Publish() and
+/// Seal() are slow paths (file I/O, full freeze), so recording here is
+/// pure bookkeeping noise — the point is that the counters survive the
+/// PublishStats structs that callers drop on the floor.
+struct LiveObs {
+  static LiveObs& Get() {
+    static LiveObs* o = new LiveObs();
+    return *o;
+  }
+  obs::Counter* publishes;
+  obs::Counter* refused;
+  obs::Counter* facts_added;
+  obs::Counter* facts_deleted;
+  obs::Counter* facts_duplicate;
+  obs::Counter* facts_rejected;
+  obs::Histogram* publish_ms;
+  obs::Gauge* epoch;
+  obs::Gauge* pending;
+
+ private:
+  LiveObs() {
+    obs::Registry& r = obs::Registry::Global();
+    publishes = r.GetCounter("binchain_live_publishes_total",
+                             "Publishes that swapped the serving tip");
+    refused = r.GetCounter(
+        "binchain_live_publish_refused_total",
+        "Publishes aborted by a refused durability commit (batch restaged)");
+    facts_added = r.GetCounter("binchain_live_facts_added_total",
+                               "Facts added across all publishes");
+    facts_deleted = r.GetCounter("binchain_live_facts_deleted_total",
+                                 "Facts retracted across all publishes");
+    facts_duplicate =
+        r.GetCounter("binchain_live_facts_duplicate_total",
+                     "Staged facts already present at publish time");
+    facts_rejected =
+        r.GetCounter("binchain_live_facts_rejected_total",
+                     "Staged facts rejected (arity mismatch)");
+    publish_ms = r.GetHistogram(
+        "binchain_live_publish_ms",
+        "Publish latency, stage swap to tip swap (successful publishes)");
+    epoch = r.GetGauge("binchain_live_epoch", "Epoch of the serving tip");
+    pending = r.GetGauge("binchain_live_pending_facts",
+                         "Facts staged but not yet published");
+  }
+};
 
 }  // namespace
 
@@ -46,6 +93,7 @@ void SnapshotManager::Seal() {
   }
   tip_ = std::shared_ptr<const Database>(std::move(genesis_));
   genesis_keeper_ = tip_;
+  LiveObs::Get().epoch->Set(static_cast<int64_t>(tip_->epoch()));
   // Durable genesis: the initial checkpoint captures everything loaded
   // before the seal, so recovery starts from the sealed contents and only
   // replays published batches.
@@ -71,6 +119,7 @@ void SnapshotManager::Stage(PendingFact f) {
     }
   }
   pending_.push_back(std::move(f));
+  LiveObs::Get().pending->Set(static_cast<int64_t>(pending_.size()));
 }
 
 void SnapshotManager::AddFact(std::string pred,
@@ -108,6 +157,7 @@ PublishStats SnapshotManager::Publish() {
     std::lock_guard<std::mutex> lock(mu_);
     BINCHAIN_CHECK(tip_ != nullptr);  // Seal() before publishing
     delta.swap(pending_);
+    LiveObs::Get().pending->Set(static_cast<int64_t>(pending_.size()));
     base = tip_;
     builder = artifact_builder_;
     sink = sink_;
@@ -206,6 +256,8 @@ PublishStats SnapshotManager::Publish() {
       pending_.insert(pending_.begin(),
                       std::make_move_iterator(delta.begin()),
                       std::make_move_iterator(delta.end()));
+      LiveObs::Get().refused->Inc();
+      LiveObs::Get().pending->Set(static_cast<int64_t>(pending_.size()));
       stats.status = std::move(st);
       stats.wall_ms = MsBetween(t0, std::chrono::steady_clock::now());
       return stats;
@@ -222,6 +274,14 @@ PublishStats SnapshotManager::Publish() {
   // it against the next publish.
   if (sink != nullptr) sink->Published(*tip);
   stats.wall_ms = MsBetween(t0, std::chrono::steady_clock::now());
+  LiveObs& o = LiveObs::Get();
+  o.publishes->Inc();
+  o.facts_added->Inc(stats.facts_added);
+  o.facts_deleted->Inc(stats.facts_deleted);
+  o.facts_duplicate->Inc(stats.facts_duplicate);
+  o.facts_rejected->Inc(stats.facts_rejected);
+  o.publish_ms->Observe(stats.wall_ms);
+  o.epoch->Set(static_cast<int64_t>(stats.epoch));
   return stats;
 }
 

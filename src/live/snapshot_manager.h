@@ -34,6 +34,13 @@
 namespace binchain {
 
 /// What one Publish() did, for operators and the live benchmark.
+///
+/// Scope note: these are *per-call* results. The cumulative versions of the
+/// fact counters, the publish-latency distribution, and the serving-epoch
+/// gauge now live in the process-wide metrics registry (obs/metrics.h, the
+/// `binchain_live_*` family) — prefer the registry for monitoring; keep
+/// using this struct for the return-value contract of a single publish
+/// (status, per-phase timings, relation-level touch counts).
 struct PublishStats {
   uint64_t epoch = 0;             // epoch id that became the serving tip
   uint64_t facts_added = 0;       // new tuples inserted into the successor

@@ -1,0 +1,306 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace binchain {
+namespace obs {
+
+namespace {
+
+/// Shared bound table so Observe(), UpperBound() and every test compare
+/// the *same* doubles — an observation placed exactly on a boundary lands
+/// in that boundary's bucket with no floating-point hair-splitting.
+const std::array<double, Histogram::kBuckets>& Bounds() {
+  static const std::array<double, Histogram::kBuckets> bounds = [] {
+    std::array<double, Histogram::kBuckets> b{};
+    for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+      b[i] = static_cast<double>(1ull << i) / 1000.0;  // 2^i microseconds
+    }
+    return b;
+  }();
+  return bounds;
+}
+
+/// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*.
+bool ValidName(const std::string& name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  };
+  if (!head(name[0])) return false;
+  for (char c : name) {
+    if (!head(c) && !std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+void AppendHelpType(std::string* out, const std::string& name,
+                    const std::string& help, const char* type) {
+  out->append("# HELP ").append(name).append(" ").append(help).append("\n");
+  out->append("# TYPE ").append(name).append(" ").append(type).append("\n");
+}
+
+}  // namespace
+
+size_t ThreadShard() {
+  static std::atomic<size_t> next{0};
+  // Assigned once per thread: round-robin over the shard space, so up to
+  // kShards concurrently hot threads never share a write cell.
+  thread_local const size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
+// ------------------------------------------------------------- Histogram
+
+double Histogram::UpperBound(size_t i) {
+  BINCHAIN_CHECK(i < kBuckets);
+  return Bounds()[i];
+}
+
+size_t Histogram::BucketFor(double ms) {
+  const auto& bounds = Bounds();
+  // First bucket whose upper bound is >= ms (bounds are inclusive above);
+  // past the last bound the observation overflows into +Inf.
+  auto it = std::lower_bound(bounds.begin(), bounds.end(), ms);
+  return static_cast<size_t>(it - bounds.begin());  // == kBuckets => +Inf
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.counts.assign(kBuckets + 1, 0);
+  uint64_t sum_ns = 0;
+  for (const Shard& s : shards_) {
+    for (size_t i = 0; i <= kBuckets; ++i) {
+      snap.counts[i] += s.buckets[i].load(std::memory_order_relaxed);
+    }
+    sum_ns += s.sum_ns.load(std::memory_order_relaxed);
+  }
+  for (uint64_t c : snap.counts) snap.count += c;
+  snap.sum_ms = static_cast<double>(sum_ns) / 1e6;
+  return snap;
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the q-th observation, 1-based; q=0 means the first one.
+  uint64_t target = static_cast<uint64_t>(std::ceil(q * count));
+  if (target == 0) target = 1;
+  uint64_t cum = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    if (cum + counts[i] < target) {
+      cum += counts[i];
+      continue;
+    }
+    if (i + 1 == counts.size()) {
+      // +Inf overflow: no finite upper bound to interpolate toward; the
+      // last finite boundary is the best defensible estimate.
+      return Histogram::UpperBound(Histogram::kBuckets - 1);
+    }
+    double lower = i == 0 ? 0.0 : Histogram::UpperBound(i - 1);
+    double upper = Histogram::UpperBound(i);
+    double frac =
+        static_cast<double>(target - cum) / static_cast<double>(counts[i]);
+    return lower + frac * (upper - lower);
+  }
+  return 0;  // unreachable: cum covers count
+}
+
+// -------------------------------------------------------------- Registry
+
+Registry& Registry::Global() {
+  static Registry* global = new Registry();  // never destroyed: cached
+  return *global;                            // pointers outlive any dtor order
+}
+
+Counter* Registry::GetCounter(const std::string& name,
+                              const std::string& help) {
+  BINCHAIN_CHECK(ValidName(name));
+  std::lock_guard<std::mutex> lock(mu_);
+  BINCHAIN_CHECK(gauges_.count(name) == 0 && histograms_.count(name) == 0);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::unique_ptr<Counter>(new Counter(
+                                     name, help))).first;
+  }
+  return it->second.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name, const std::string& help) {
+  BINCHAIN_CHECK(ValidName(name));
+  std::lock_guard<std::mutex> lock(mu_);
+  BINCHAIN_CHECK(counters_.count(name) == 0 && histograms_.count(name) == 0);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::unique_ptr<Gauge>(new Gauge(name, help)))
+             .first;
+  }
+  return it->second.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name,
+                                  const std::string& help) {
+  BINCHAIN_CHECK(ValidName(name));
+  std::lock_guard<std::mutex> lock(mu_);
+  BINCHAIN_CHECK(counters_.count(name) == 0 && gauges_.count(name) == 0);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(name, std::unique_ptr<Histogram>(new Histogram(name,
+                                                                     help)))
+             .first;
+  }
+  return it->second.get();
+}
+
+void Registry::RenderPrometheus(std::string* out) const {
+  // One interleaved name-sorted pass so the exposition is deterministic
+  // regardless of registration order (the golden test depends on this).
+  struct Entry {
+    const std::string* name;
+    const Counter* c = nullptr;
+    const Gauge* g = nullptr;
+    const Histogram* h = nullptr;
+  };
+  std::vector<Entry> entries;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries.reserve(counters_.size() + gauges_.size() + histograms_.size());
+    for (const auto& [name, c] : counters_) {
+      entries.push_back({&name, c.get(), nullptr, nullptr});
+    }
+    for (const auto& [name, g] : gauges_) {
+      entries.push_back({&name, nullptr, g.get(), nullptr});
+    }
+    for (const auto& [name, h] : histograms_) {
+      entries.push_back({&name, nullptr, nullptr, h.get()});
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return *a.name < *b.name; });
+  for (const Entry& e : entries) {
+    if (e.c != nullptr) {
+      AppendHelpType(out, e.c->name(), e.c->help(), "counter");
+      out->append(e.c->name())
+          .append(" ")
+          .append(std::to_string(e.c->Value()))
+          .append("\n");
+    } else if (e.g != nullptr) {
+      AppendHelpType(out, e.g->name(), e.g->help(), "gauge");
+      out->append(e.g->name())
+          .append(" ")
+          .append(std::to_string(e.g->Value()))
+          .append("\n");
+    } else {
+      AppendHelpType(out, e.h->name(), e.h->help(), "histogram");
+      HistogramSnapshot snap = e.h->Snapshot();
+      uint64_t cum = 0;
+      for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+        cum += snap.counts[i];
+        out->append(e.h->name())
+            .append("_bucket{le=\"")
+            .append(FormatDouble(Histogram::UpperBound(i)))
+            .append("\"} ")
+            .append(std::to_string(cum))
+            .append("\n");
+      }
+      out->append(e.h->name())
+          .append("_bucket{le=\"+Inf\"} ")
+          .append(std::to_string(snap.count))
+          .append("\n");
+      out->append(e.h->name())
+          .append("_sum ")
+          .append(FormatDouble(snap.sum_ms))
+          .append("\n");
+      out->append(e.h->name())
+          .append("_count ")
+          .append(std::to_string(snap.count))
+          .append("\n");
+    }
+  }
+}
+
+std::string Registry::RenderPrometheus() const {
+  std::string out;
+  RenderPrometheus(&out);
+  return out;
+}
+
+void Registry::RenderJson(std::string* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  out->append("{\n  \"counters\": {");
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out->append(first ? "\n" : ",\n");
+    first = false;
+    out->append("    \"").append(name).append("\": ").append(
+        std::to_string(c->Value()));
+  }
+  out->append(first ? "},\n" : "\n  },\n");
+  out->append("  \"gauges\": {");
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out->append(first ? "\n" : ",\n");
+    first = false;
+    out->append("    \"").append(name).append("\": ").append(
+        std::to_string(g->Value()));
+  }
+  out->append(first ? "},\n" : "\n  },\n");
+  out->append("  \"histograms\": {");
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot snap = h->Snapshot();
+    out->append(first ? "\n" : ",\n");
+    first = false;
+    out->append("    \"").append(name).append("\": {\"count\": ");
+    out->append(std::to_string(snap.count));
+    out->append(", \"sum_ms\": ").append(FormatDouble(snap.sum_ms));
+    out->append(", \"p50_ms\": ").append(FormatDouble(snap.P50()));
+    out->append(", \"p95_ms\": ").append(FormatDouble(snap.P95()));
+    out->append(", \"p99_ms\": ").append(FormatDouble(snap.P99()));
+    out->append("}");
+  }
+  out->append(first ? "}\n" : "\n  }\n");
+  out->append("}\n");
+}
+
+std::string Registry::RenderJson() const {
+  std::string out;
+  RenderJson(&out);
+  return out;
+}
+
+void Registry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) {
+    for (internal::Cell& cell : c->cells_) {
+      cell.v.store(0, std::memory_order_relaxed);
+    }
+  }
+  for (auto& [name, g] : gauges_) {
+    g->value_.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, h] : histograms_) {
+    for (Histogram::Shard& s : h->shards_) {
+      for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+      s.sum_ns.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace obs
+}  // namespace binchain

@@ -1,0 +1,210 @@
+// Unified observability: the process-wide metrics registry.
+//
+// Every subsystem PR 1-6 grew invented its own stats struct (EvalStats,
+// BatchStats, PublishStats, WAL commit timings) that lives and dies with
+// one call. This layer gives them a common spine: named counters, gauges
+// and fixed-log-bucket latency histograms, registered once by name and
+// incremented forever after through cached pointers, aggregated on read
+// into a Prometheus text exposition (the future src/server/ `/metrics`
+// endpoint is a ten-line handler over RenderPrometheus) or a
+// machine-readable JSON dump.
+//
+// Cost model — the part that has to survive the hot paths PR 1-4 spent so
+// long making fast:
+//
+//  * Writes are *sharded*: each instrument owns kShards cacheline-padded
+//    atomic cells, and every thread picks one stable cell on first use
+//    (the same stable-identity trick as ThreadPool's worker ids, extended
+//    to arbitrary threads by a monotone thread-registration counter). A
+//    hot-path Inc() is therefore one relaxed fetch_add on a cacheline no
+//    other running thread touches — no locks, no contention, no fences.
+//  * Reads aggregate: Value()/Snapshot() sum the cells with relaxed loads.
+//    Totals are exact once writers quiesce and monotonically-consistent
+//    while they run (a concurrent snapshot may miss in-flight increments,
+//    never invent them). That is the usual scrape contract.
+//  * Registration (GetCounter etc.) takes a mutex and is meant for startup
+//    paths only; callers cache the returned pointer, which stays valid for
+//    the registry's lifetime (process lifetime for Registry::Global()).
+//
+// Naming convention (docs/metrics.md has the full inventory):
+// `binchain_<subsystem>_<name>[_total|_ms]` — counters end in `_total`,
+// histograms carry their unit (`_ms`), gauges are bare. Subsystems:
+// `service`, `live`, `wal`, `engine`.
+#ifndef BINCHAIN_OBS_METRICS_H_
+#define BINCHAIN_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace binchain {
+namespace obs {
+
+/// Write-side sharding width. More shards than this many concurrently hot
+/// threads degrades gracefully (two threads sharing a cell contend on one
+/// cacheline, correctness unaffected).
+inline constexpr size_t kShards = 16;
+
+/// Stable shard index of the calling thread, assigned round-robin on first
+/// use and fixed for the thread's lifetime.
+size_t ThreadShard();
+
+namespace internal {
+/// One write cell, alone on its cacheline so shard-local increments never
+/// false-share.
+struct alignas(64) Cell {
+  std::atomic<uint64_t> v{0};
+};
+}  // namespace internal
+
+/// Monotone event count. Inc() is the uncontended hot-path write; Value()
+/// aggregates across shards.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) {
+    cells_[ThreadShard()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const {
+    uint64_t sum = 0;
+    for (const internal::Cell& c : cells_) {
+      sum += c.v.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+  const std::string& name() const { return name_; }
+  const std::string& help() const { return help_; }
+
+ private:
+  friend class Registry;
+  Counter(std::string name, std::string help)
+      : name_(std::move(name)), help_(std::move(help)) {}
+  internal::Cell cells_[kShards];
+  const std::string name_, help_;
+};
+
+/// Point-in-time signed value (queue depth, serving epoch, poisoned flag).
+/// Gauges are set from slow paths (publish, admission), so a single atomic
+/// is enough — no sharding.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+  const std::string& help() const { return help_; }
+
+ private:
+  friend class Registry;
+  Gauge(std::string name, std::string help)
+      : name_(std::move(name)), help_(std::move(help)) {}
+  std::atomic<int64_t> value_{0};
+  const std::string name_, help_;
+};
+
+/// Aggregated read of one histogram: cumulative bucket counts plus
+/// count/sum, consistent enough for percentile extraction (see class
+/// comment on concurrent-read semantics).
+struct HistogramSnapshot {
+  /// counts[i] = observations in bucket i (NOT cumulative); the last entry
+  /// is the +Inf overflow bucket.
+  std::vector<uint64_t> counts;
+  uint64_t count = 0;  // total observations
+  double sum_ms = 0;   // total observed time
+
+  /// Quantile q in [0, 1], linearly interpolated inside the winning
+  /// log-bucket (the histogram_quantile() estimate: exact to within one
+  /// bucket's width, i.e. a factor-of-2 band at worst). 0 when empty.
+  double Quantile(double q) const;
+  double P50() const { return Quantile(0.50); }
+  double P95() const { return Quantile(0.95); }
+  double P99() const { return Quantile(0.99); }
+};
+
+/// Fixed-log-bucket latency histogram over milliseconds. Bucket i holds
+/// observations v with UpperBound(i-1) < v <= UpperBound(i), where
+/// UpperBound(i) = 0.001ms * 2^i — 1 microsecond up to ~2.2 minutes across
+/// kBuckets doublings, then one +Inf overflow bucket. Fixed bounds keep
+/// Observe() allocation-free and make snapshots from different processes /
+/// runs directly comparable.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 28;
+  /// Upper bound of bucket i in milliseconds (i < kBuckets).
+  static double UpperBound(size_t i);
+  /// Bucket index for one observation (kBuckets = the +Inf bucket).
+  static size_t BucketFor(double ms);
+
+  void Observe(double ms) {
+    Shard& s = shards_[ThreadShard()];
+    s.buckets[BucketFor(ms)].fetch_add(1, std::memory_order_relaxed);
+    // Sum is carried in nanoseconds so a plain integer fetch_add works
+    // (atomic<double> has no add until C++20); 64-bit ns wraps after ~584
+    // years of accumulated latency.
+    s.sum_ns.fetch_add(static_cast<uint64_t>(ms * 1e6),
+                       std::memory_order_relaxed);
+  }
+  HistogramSnapshot Snapshot() const;
+  const std::string& name() const { return name_; }
+  const std::string& help() const { return help_; }
+
+ private:
+  friend class Registry;
+  Histogram(std::string name, std::string help)
+      : name_(std::move(name)), help_(std::move(help)) {}
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> buckets[kBuckets + 1] = {};
+    std::atomic<uint64_t> sum_ns{0};
+  };
+  Shard shards_[kShards];
+  const std::string name_, help_;
+};
+
+/// Owns every instrument, keyed by name. Get* registers on first call and
+/// returns the existing instrument after that (idempotent, so two services
+/// in one process share `binchain_service_*` the way two scrape targets
+/// never would — totals are process-wide by design). Registering one name
+/// as two different kinds aborts: that is a programming error, not input.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry every production subsystem records into.
+  static Registry& Global();
+
+  Counter* GetCounter(const std::string& name, const std::string& help);
+  Gauge* GetGauge(const std::string& name, const std::string& help);
+  Histogram* GetHistogram(const std::string& name, const std::string& help);
+
+  /// Prometheus text exposition format, version 0.0.4: HELP/TYPE comments,
+  /// cumulative `_bucket{le="..."}` series per histogram, instruments in
+  /// name order. Appends to *out.
+  void RenderPrometheus(std::string* out) const;
+  std::string RenderPrometheus() const;
+
+  /// Machine-readable dump: {"counters": {...}, "gauges": {...},
+  /// "histograms": {name: {count, sum_ms, p50_ms, p95_ms, p99_ms}}}.
+  void RenderJson(std::string* out) const;
+  std::string RenderJson() const;
+
+  /// Zeroes every value; instruments (and cached pointers) stay valid.
+  /// Test isolation only — production counters are cumulative forever.
+  void ResetForTest();
+
+ private:
+  mutable std::mutex mu_;  // guards the maps; instruments are lock-free
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace binchain
+
+#endif  // BINCHAIN_OBS_METRICS_H_

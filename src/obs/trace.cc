@@ -1,0 +1,77 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace binchain {
+namespace obs {
+
+namespace {
+
+std::string Ms(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+void QueryTrace::RenderJson(std::string* out) const {
+  out->append("{\"query_id\": ").append(std::to_string(query_id));
+  out->append(", \"pred\": ").append(std::to_string(pred));
+  out->append(", \"source\": ").append(std::to_string(source));
+  out->append(", \"queue_wait_ms\": ").append(Ms(queue_wait_ms));
+  out->append(", \"eval_ms\": ").append(Ms(eval_ms));
+  out->append(", \"total_ms\": ").append(Ms(total_ms));
+  out->append(", \"iterations\": ").append(std::to_string(iterations));
+  out->append(", \"expansions\": ").append(std::to_string(expansions));
+  out->append(", \"fetches\": ").append(std::to_string(fetches));
+  out->append(", \"memo_hits\": ").append(std::to_string(memo_hits));
+  out->append(", \"cancel_checks\": ").append(std::to_string(cancel_checks));
+  out->append(", \"answers\": ").append(std::to_string(answers));
+  out->append(", \"epoch\": ").append(std::to_string(epoch));
+  out->append(", \"timed_out\": ").append(timed_out ? "true" : "false");
+  out->append(", \"cancelled\": ").append(cancelled ? "true" : "false");
+  out->append(", \"shed\": ").append(shed ? "true" : "false");
+  out->append("}");
+}
+
+void FlightRecorder::Record(const QueryTrace& trace) {
+  if (trace.total_ms < min_record_ms_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(trace);
+    return;
+  }
+  ring_[next_] = trace;
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<QueryTrace> FlightRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<QueryTrace> out;
+  out.reserve(ring_.size());
+  // Once the ring has wrapped, ring_[next_] is the oldest retained span.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void FlightRecorder::RenderJson(std::string* out) const {
+  std::vector<QueryTrace> spans = Snapshot();
+  out->append("[");
+  for (size_t i = 0; i < spans.size(); ++i) {
+    out->append(i == 0 ? "\n  " : ",\n  ");
+    spans[i].RenderJson(out);
+  }
+  out->append(spans.empty() ? "]" : "\n]");
+}
+
+std::string FlightRecorder::RenderJson() const {
+  std::string out;
+  RenderJson(&out);
+  return out;
+}
+
+}  // namespace obs
+}  // namespace binchain

@@ -1,0 +1,98 @@
+// Per-query trace spans and the slow-query flight recorder.
+//
+// A QueryTrace is the request-scoped complement to the process-wide
+// metrics registry: where a Counter answers "how many queries timed out
+// today", the trace answers "why was *this* query slow" — it records the
+// span of one query's life through Submit -> queue -> EvalFrom ->
+// complete (threaded through the service the same way CancelToken is),
+// split into queue wait and eval wall time plus the evaluator's own
+// effort counters and the epoch the query ran against.
+//
+// Completed spans are surfaced on QueryResponse, and spans at or above a
+// latency threshold are retained in a fixed-size ring (FlightRecorder),
+// so "dump the last N slow queries" works after the fact without having
+// logged every request.
+//
+// This header is dependency-free below util/ on purpose: service, live
+// and durability all include it, so it must not pull eval/ types in.
+#ifndef BINCHAIN_OBS_TRACE_H_
+#define BINCHAIN_OBS_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace binchain {
+namespace obs {
+
+/// One query's completed span. Every field is filled in by the service
+/// completion seam — queued-then-cancelled (or shed) queries still get a
+/// complete span with eval_ms == 0, so the recorder sees admission
+/// failures too.
+struct QueryTrace {
+  uint64_t query_id = 0;  ///< unique within the process, assigned at submit
+  uint32_t pred = 0;      ///< SymbolId of the queried predicate
+  uint32_t source = 0;    ///< TermId of the source constant
+
+  double queue_wait_ms = 0;  ///< submit -> worker pickup
+  double eval_ms = 0;        ///< worker pickup -> evaluator return
+  double total_ms = 0;       ///< submit -> completion callback
+
+  uint64_t iterations = 0;     ///< fixpoint iterations
+  uint64_t expansions = 0;     ///< derived-transition machine splices
+  uint64_t fetches = 0;        ///< relation tuple retrievals
+  uint64_t memo_hits = 0;      ///< closure/adjacency memo hits
+  uint64_t cancel_checks = 0;  ///< cancellation polls observed
+  uint64_t answers = 0;        ///< result tuples produced
+  uint64_t epoch = 0;          ///< snapshot epoch the query ran against
+
+  /// Terminal disposition, mirroring QueryResponse's flags.
+  bool timed_out = false;
+  bool cancelled = false;
+  bool shed = false;  ///< rejected at admission (queue full)
+
+  /// One JSON object (no trailing newline), appended to *out.
+  void RenderJson(std::string* out) const;
+};
+
+/// Fixed-capacity ring of the most recent spans whose total latency met
+/// `min_record_ms`. Record() takes a mutex — it runs once per query at
+/// the completion seam, next to the batch bookkeeping mutex that already
+/// lives there, so it is far off the traversal hot path.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(size_t capacity = 64, double min_record_ms = 0)
+      : capacity_(capacity == 0 ? 1 : capacity),
+        min_record_ms_(min_record_ms) {}
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Retains the span if trace.total_ms >= min_record_ms, evicting the
+  /// oldest retained span once the ring is full.
+  void Record(const QueryTrace& trace);
+
+  /// Retained spans, oldest first.
+  std::vector<QueryTrace> Snapshot() const;
+
+  /// JSON array of the retained spans, oldest first, appended to *out.
+  void RenderJson(std::string* out) const;
+  std::string RenderJson() const;
+
+  size_t capacity() const { return capacity_; }
+  double min_record_ms() const { return min_record_ms_; }
+
+ private:
+  const size_t capacity_;
+  const double min_record_ms_;
+  mutable std::mutex mu_;
+  std::vector<QueryTrace> ring_;  // grows to capacity_, then wraps
+  size_t next_ = 0;               // ring_[next_] is the oldest once full
+};
+
+}  // namespace obs
+}  // namespace binchain
+
+#endif  // BINCHAIN_OBS_TRACE_H_

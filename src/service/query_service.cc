@@ -12,6 +12,7 @@
 #include "eval/eval_artifacts.h"
 #include "eval/query.h"
 #include "live/snapshot_manager.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace binchain {
@@ -25,6 +26,84 @@ double MsSince(std::chrono::steady_clock::time_point t0) {
 }
 
 }  // namespace
+
+/// Cached pointers into the global metrics registry plus the per-service
+/// flight recorder. Registered once at construction (the registry is
+/// idempotent, so two services in one process share the counters); every
+/// later touch is a pointer chase + relaxed atomic, never a registry
+/// lookup. The engine family is folded here, at the completion seam, from
+/// the EvalStats each query already collected — the traversal loops
+/// themselves carry zero new instrumentation.
+struct ServiceObs {
+  explicit ServiceObs(const QueryServiceOptions& options)
+      : enabled(options.record_metrics),
+        recorder(options.flight_recorder_capacity,
+                 options.flight_recorder_min_ms) {
+    obs::Registry& r = obs::Registry::Global();
+    queries = r.GetCounter("binchain_service_queries_total",
+                           "Queries completed, all dispositions");
+    answers = r.GetCounter(
+        "binchain_service_answers_total",
+        "Answer tuples produced across successful queries");
+    failed = r.GetCounter("binchain_service_failed_total",
+                          "Queries completed with a non-OK status");
+    shed = r.GetCounter(
+        "binchain_service_shed_total",
+        "Queries shed at admission (submission queue at high-water mark)");
+    timed_out = r.GetCounter(
+        "binchain_service_timeout_total",
+        "Queries whose deadline expired, while queued or mid-flight");
+    cancelled = r.GetCounter(
+        "binchain_service_cancelled_total",
+        "Queries cancelled through their future (or by dropping it)");
+    latency_ms = r.GetHistogram("binchain_service_latency_ms",
+                                "Query latency, submission to completion");
+    queue_wait_ms =
+        r.GetHistogram("binchain_service_queue_wait_ms",
+                       "Time from submission to worker pickup");
+    queue_depth = r.GetGauge(
+        "binchain_service_queue_depth",
+        "Tasks accepted into the submission queue but not yet claimed");
+    engine_iterations =
+        r.GetCounter("binchain_engine_iterations_total",
+                     "Fixpoint iterations across all evaluations");
+    engine_nodes = r.GetCounter(
+        "binchain_engine_node_expansions_total",
+        "(state, term) nodes inserted by traversals");
+    engine_expansions = r.GetCounter(
+        "binchain_engine_machine_expansions_total",
+        "Derived-transition machine splices (EM(p, i) growth steps)");
+    engine_fetches = r.GetCounter("binchain_engine_fetches_total",
+                                  "EDB tuple retrievals");
+    engine_memo_hits =
+        r.GetCounter("binchain_engine_memo_hits_total",
+                     "Hits on the epoch's shared closure/adjacency memos");
+    engine_cancel_checks =
+        r.GetCounter("binchain_engine_cancel_checks_total",
+                     "Cancellation polls observed by traversals");
+  }
+
+  /// QueryServiceOptions::record_metrics: false turns the completion-seam
+  /// recording and the queue-depth gauge into no-ops (bench overhead A/B).
+  const bool enabled;
+  std::atomic<uint64_t> next_query_id{1};
+  obs::FlightRecorder recorder;
+  obs::Counter* queries;
+  obs::Counter* answers;
+  obs::Counter* failed;
+  obs::Counter* shed;
+  obs::Counter* timed_out;
+  obs::Counter* cancelled;
+  obs::Histogram* latency_ms;
+  obs::Histogram* queue_wait_ms;
+  obs::Gauge* queue_depth;
+  obs::Counter* engine_iterations;
+  obs::Counter* engine_nodes;
+  obs::Counter* engine_expansions;
+  obs::Counter* engine_fetches;
+  obs::Counter* engine_memo_hits;
+  obs::Counter* engine_cancel_checks;
+};
 
 /// Per-batch shared state: the completion rendezvous (mutex + condvar over
 /// `remaining`), the order-independent aggregates folded in as queries
@@ -42,6 +121,9 @@ struct BatchShared {
   /// until the batch's last response is written.
   std::shared_ptr<const Database> epoch_handle;
   const Database* db = nullptr;  // the epoch all queries evaluate against
+  /// The owning service's instruments; raw because the service destructor
+  /// drains every batch before its members die.
+  ServiceObs* obs = nullptr;
   /// Claim cursor for the blocking-batch runner path (see EvalBatch).
   std::atomic<size_t> next{0};
   /// Future-based submissions have waiters per query, so every completion
@@ -58,6 +140,10 @@ struct AsyncQueryState {
   CancelToken token;
   QueryResponse response;
   bool done = false;  // guarded by batch->mu
+  /// Whether a worker picked the query up (RunOne ran). Shed and
+  /// cancelled-while-queued requests never set this; their span charges the
+  /// whole lifetime to queue wait.
+  bool ran = false;
   std::shared_ptr<BatchShared> batch;
 };
 
@@ -192,14 +278,55 @@ QueryService::QueryService(SnapshotManager* live, const Program& program,
   if (!Init(program, options)) return;
   // The artifact lifecycle rides the epoch chain: Seal() builds the genesis
   // epoch's artifacts through this hook, and every later Publish() derives
-  // the successor's set from the predecessor's in O(delta).
+  // the successor's set from the predecessor's in O(delta). The refresh
+  // outcome is folded into the live metric family here because this lambda
+  // is the one place that sees eval-layer artifacts from the live pipeline
+  // (live/ itself cannot depend on eval/).
+  struct ArtifactObs {
+    obs::Counter* reused;
+    obs::Counter* extended;
+    obs::Counter* rebuilt;
+    obs::Counter* derived_reused;
+    obs::Counter* derived_invalidated;
+  };
+  auto artifact_obs = std::make_shared<ArtifactObs>();
+  {
+    obs::Registry& r = obs::Registry::Global();
+    artifact_obs->reused =
+        r.GetCounter("binchain_live_artifact_adjacency_reused_total",
+                     "Adjacency memos shared by pointer across a publish");
+    artifact_obs->extended =
+        r.GetCounter("binchain_live_artifact_adjacency_extended_total",
+                     "Adjacency memos extended with an O(delta) layer");
+    artifact_obs->rebuilt = r.GetCounter(
+        "binchain_live_artifact_adjacency_rebuilt_total",
+        "Adjacency memos rebuilt (new, flattened, or retraction-shrunk "
+        "relations)");
+    artifact_obs->derived_reused =
+        r.GetCounter("binchain_live_artifact_derived_reused_total",
+                     "Closure/source cells carried over unchanged");
+    artifact_obs->derived_invalidated =
+        r.GetCounter("binchain_live_artifact_derived_invalidated_total",
+                     "Closure/source cells invalidated by a publish");
+  }
   live_->SetArtifactBuilder(
-      [plan = plan_](const Database& epoch,
-                     const std::shared_ptr<const SnapshotArtifact>& prev)
+      [plan = plan_, artifact_obs](
+          const Database& epoch,
+          const std::shared_ptr<const SnapshotArtifact>& prev)
           -> std::shared_ptr<const SnapshotArtifact> {
-        return EvalArtifacts::BuildFor(
+        auto built = EvalArtifacts::BuildFor(
             epoch, plan,
             std::dynamic_pointer_cast<const EvalArtifacts>(prev));
+        if (built != nullptr) {
+          const EvalArtifacts::RefreshStats& rs = built->refresh_stats();
+          artifact_obs->reused->Inc(rs.adjacency_reused);
+          artifact_obs->extended->Inc(rs.adjacency_extended);
+          artifact_obs->rebuilt->Inc(rs.adjacency_rebuilt +
+                                     rs.adjacency_shrunk);
+          artifact_obs->derived_reused->Inc(rs.derived_reused);
+          artifact_obs->derived_invalidated->Inc(rs.derived_invalidated);
+        }
+        return built;
       });
   // Seal instead of a bare freeze: the genesis becomes epoch 0 of the
   // manager's chain, and every batch from here on acquires the tip.
@@ -277,6 +404,9 @@ void QueryService::AdoptSnapshot(Database* db) {
 
 bool QueryService::Init(const Program& program, const Options& options) {
   queue_depth_ = options.queue_depth > 0 ? options.queue_depth : 1024;
+  // Instruments first, even on failed construction: submissions against a
+  // failed service still complete (with init_status_) and record spans.
+  obs_ = std::make_unique<ServiceObs>(options);
   Program prog = program;
   prog.queries.clear();
   if (!prog.facts.empty() && db_->frozen()) {
@@ -332,6 +462,10 @@ size_t QueryService::pending() const {
   return pool_ ? pool_->pending() : 0;
 }
 
+const obs::FlightRecorder& QueryService::flight_recorder() const {
+  return obs_->recorder;
+}
+
 Status QueryService::BuildLiteral(const Database& db,
                                   const QueryRequest& request, Literal* out,
                                   bool* empty_ok) const {
@@ -377,6 +511,11 @@ void QueryService::RunOne(size_t worker_id, AsyncQueryState& q) {
   QueryResponse& resp = q.response;
   const Database* qdb = q.batch->db;
   resp.epoch = qdb->epoch();
+  // Span: the time up to this pickup was queue wait; everything after is
+  // eval (CompleteQuery derives eval_ms from the completion timestamp, so
+  // the hot path pays exactly one extra clock read here).
+  q.ran = true;
+  resp.trace.queue_wait_ms = MsSince(q.batch->t0);
   // Token check at pickup: a request cancelled or expired while queued is
   // answered without evaluating (or rebinding) anything.
   if (q.token.cancelled()) {
@@ -407,6 +546,10 @@ void QueryService::RunOne(size_t worker_id, AsyncQueryState& q) {
   if (Status s = BuildLiteral(*qdb, q.request, &lit, &empty_ok); !s.ok()) {
     resp.status = s;
     return;
+  }
+  resp.trace.pred = lit.predicate;
+  if (!lit.args.empty() && lit.args[0].IsConst()) {
+    resp.trace.source = lit.args[0].symbol;
   }
   if (empty_ok) return;  // unknown constant: empty answer set
   // Thread the token into the engine: the traversal polls it at decimated
@@ -448,7 +591,51 @@ void QueryService::CompleteQuery(AsyncQueryState& q) {
   {
     std::lock_guard<std::mutex> lock(b.mu);
     q.done = true;
-    const QueryResponse& r = q.response;
+    QueryResponse& r = q.response;
+    // Close the span. Every query gets a complete one — a request shed at
+    // admission or cancelled while queued never ran, so its whole lifetime
+    // was queue wait and eval_ms stays 0.
+    obs::QueryTrace& t = r.trace;
+    t.total_ms = MsSince(b.t0);
+    if (q.ran) {
+      t.eval_ms = std::max(0.0, t.total_ms - t.queue_wait_ms);
+    } else {
+      t.queue_wait_ms = t.total_ms;
+    }
+    t.iterations = r.stats.iterations;
+    t.expansions = r.stats.expansions;
+    t.fetches = r.fetches;
+    t.memo_hits = r.stats.memo_hits;
+    t.cancel_checks = r.stats.cancel_checks;
+    t.answers = r.tuples.size();
+    t.epoch = r.epoch;
+    t.timed_out = r.timed_out;
+    t.cancelled = r.cancelled;
+    t.shed = r.status.code() == StatusCode::kOverloaded;
+    // Record while still holding b.mu, *before* the remaining-decrement
+    // below can unblock a waiter: anyone who observes the query complete
+    // (EvalBatch returning, Take() succeeding) is then guaranteed to see
+    // its metrics in the registry and its span in the recorder. ~15
+    // relaxed increments plus one recorder mutex, once per query — the
+    // same order of work as the batch bookkeeping this lock already
+    // covers.
+    if (ServiceObs* o = b.obs) {
+      o->queries->Inc();
+      if (!r.status.ok()) o->failed->Inc();
+      if (t.shed) o->shed->Inc();
+      if (t.timed_out) o->timed_out->Inc();
+      if (t.cancelled) o->cancelled->Inc();
+      o->answers->Inc(t.answers);
+      o->latency_ms->Observe(t.total_ms);
+      o->queue_wait_ms->Observe(t.queue_wait_ms);
+      o->engine_iterations->Inc(t.iterations);
+      o->engine_nodes->Inc(r.stats.nodes);
+      o->engine_expansions->Inc(t.expansions);
+      o->engine_fetches->Inc(t.fetches);
+      o->engine_memo_hits->Inc(t.memo_hits);
+      o->engine_cancel_checks->Inc(t.cancel_checks);
+      o->recorder.Record(t);
+    }
     BatchStats& s = b.stats;
     if (!r.status.ok()) {
       ++s.failed;
@@ -469,6 +656,21 @@ void QueryService::CompleteQuery(AsyncQueryState& q) {
       s.total.memo_hits += r.stats.memo_hits;
       s.total.cancel_checks += r.stats.cancel_checks;
       s.total.hit_iteration_cap |= r.stats.hit_iteration_cap;
+      // Elementwise: entry i = answers known after iteration i, summed over
+      // the batch. A query that converged earlier contributes its final
+      // count to the later entries (its curve continues flat), which keeps
+      // the sum order-independent and makes the last entry equal s.tuples.
+      const auto& api = r.stats.answers_per_iteration;
+      auto& acc = s.total.answers_per_iteration;
+      if (!api.empty()) {
+        if (api.size() > acc.size()) {
+          const uint64_t tail = acc.empty() ? 0 : acc.back();
+          acc.resize(api.size(), tail);
+        }
+        for (size_t i = 0; i < acc.size(); ++i) {
+          acc[i] += i < api.size() ? api[i] : api.back();
+        }
+      }
     }
     if (--b.remaining == 0) {
       last = true;
@@ -486,6 +688,7 @@ void QueryService::CompleteQuery(AsyncQueryState& q) {
 std::shared_ptr<BatchShared> QueryService::MakeBatchShared(size_t queries) {
   auto shared = std::make_shared<BatchShared>();
   shared->t0 = std::chrono::steady_clock::now();
+  shared->obs = obs_->enabled ? obs_.get() : nullptr;
   shared->remaining = queries;
   shared->stats.queries = queries;
   // One epoch per batch, acquired once at submission: every query of the
@@ -521,6 +724,8 @@ BatchHandle QueryService::SubmitShared(std::vector<QueryRequest> batch,
   for (QueryRequest& req : batch) {
     auto state = std::make_shared<AsyncQueryState>();
     state->batch = shared;
+    state->response.trace.query_id =
+        obs_->next_query_id.fetch_add(1, std::memory_order_relaxed);
     // The deadline clock starts at submission: time spent queued counts
     // against the request's budget, so queue delay cannot launder an
     // expired request into a fresh one.
@@ -534,10 +739,15 @@ BatchHandle QueryService::SubmitShared(std::vector<QueryRequest> batch,
       continue;
     }
     ThreadPool::Task task = [this, state](size_t worker_id) {
+      if (obs_->enabled) obs_->queue_depth->Add(-1);  // claimed
       RunOne(worker_id, *state);
       CompleteQuery(*state);
     };
+    // Increment-before-submit so a worker's claim-time decrement (which can
+    // run the instant TrySubmit accepts) never observes the gauge low.
+    if (obs_->enabled) obs_->queue_depth->Add(1);
     if (!pool_->TrySubmit(std::move(task))) {
+      if (obs_->enabled) obs_->queue_depth->Add(-1);  // never enqueued
       // Admission control: the queue is at its high-water mark. Shed this
       // request immediately — an honest kOverloaded now beats an unbounded
       // queue that deadlines everything later.
@@ -583,6 +793,8 @@ std::vector<QueryResponse> QueryService::EvalBatch(
     std::unique_ptr<AsyncQueryState[]> states(new AsyncQueryState[n]);
     for (size_t i = 0; i < n; ++i) {
       states[i].batch = shared;
+      states[i].response.trace.query_id =
+          obs_->next_query_id.fetch_add(1, std::memory_order_relaxed);
       if (batch[i].deadline_ms > 0) {
         states[i].token.SetDeadlineAfter(batch[i].deadline_ms);
       }

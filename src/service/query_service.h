@@ -58,6 +58,7 @@
 #include "datalog/ast.h"
 #include "eval/engine.h"
 #include "eval/query.h"
+#include "obs/trace.h"
 #include "service/thread_pool.h"
 #include "storage/database.h"
 #include "util/cancel_token.h"
@@ -113,6 +114,11 @@ struct QueryResponse {
   /// incomplete prefix of the answer set (every tuple reported is a true
   /// answer). Only ever set together with timed_out or cancelled.
   bool partial = false;
+  /// The query's completed trace span: queue wait vs eval wall time, the
+  /// evaluator's effort counters, the epoch, and the terminal disposition.
+  /// Filled for every response, including queries shed at admission or
+  /// cancelled while queued (those have eval_ms == 0).
+  obs::QueryTrace trace;
 };
 
 /// Order-independent aggregates over one batch: every field is a sum (or
@@ -140,7 +146,11 @@ struct BatchStats {
   uint64_t tuples = 0;   // answers over all successful queries
   uint64_t fetches = 0;
   uint64_t epoch = 0;    // snapshot the whole batch evaluated against
-  EvalStats total;       // scalar fields summed; answers_per_iteration unused
+  /// Scalar fields summed; answers_per_iteration is the *elementwise* sum
+  /// over the batch's successful queries (entry i = answers known after
+  /// iteration i, totalled across queries), so its last entry matches
+  /// `tuples` and the growth curve stays schedule-independent.
+  EvalStats total;
   double wall_ms = 0;    // batch wall time (submission to last completion)
 };
 
@@ -153,11 +163,23 @@ struct QueryServiceOptions {
   /// claimed) requests past this are shed with kOverloaded on the async
   /// paths; the blocking paths wait for room instead.
   size_t queue_depth = 1024;
+  /// Slow-query flight recorder: spans of the last `flight_recorder_capacity`
+  /// queries whose total latency reached `flight_recorder_min_ms` are
+  /// retained for post-hoc inspection (see QueryService::flight_recorder).
+  /// The default threshold of 0 retains every query's span.
+  size_t flight_recorder_capacity = 64;
+  double flight_recorder_min_ms = 0;
+  /// When false, completed queries skip the registry counters/histograms,
+  /// the queue-depth gauge, and the flight recorder (response traces are
+  /// still filled). The off position exists for the before/after overhead
+  /// column in bench_service; production keeps it on.
+  bool record_metrics = true;
 };
 
 class QueryService;
 struct AsyncQueryState;  // one submitted query (opaque; query_service.cc)
 struct BatchShared;      // per-batch aggregates + completion (opaque)
+struct ServiceObs;       // cached registry instruments (opaque)
 
 /// Handle to one submitted query. Move-only; the result must be claimed
 /// with Take() (or the future dropped, which *cancels* the query — an
@@ -293,6 +315,9 @@ class QueryService {
   /// The database the service was prepared against (the genesis epoch in
   /// live mode — later epochs are reached through the manager).
   const Database& database() const { return *db_; }
+  /// Spans of recent queries whose latency reached the configured
+  /// flight-recorder threshold (oldest first via Snapshot()).
+  const obs::FlightRecorder& flight_recorder() const;
 
   /// Async submission: enqueues the request and returns immediately. If
   /// the queue is at its high-water mark the future is already completed
@@ -379,6 +404,11 @@ class QueryService {
   std::shared_ptr<const PreparedProgram> plan_;  // shared by all workers
   std::vector<std::unique_ptr<Worker>> workers_;
   size_t queue_depth_ = 1024;  // submission-queue high-water mark
+  /// Cached pointers into obs::Registry::Global() plus the per-service
+  /// flight recorder; batches carry a raw pointer to this. Declared before
+  /// pool_ so destruction joins the workers (who record spans in
+  /// CompleteQuery) before the instruments die.
+  std::unique_ptr<ServiceObs> obs_;
   std::unique_ptr<ThreadPool> pool_;
 };
 
