@@ -39,9 +39,47 @@ Usage:  check_regression.py <baseline.json> <smoke.json>
 """
 
 import json
+import os
 import re
 import sys
 from collections import defaultdict
+
+
+def current_cpu_model():
+    """Best-effort CPU model string, matching bench_util.h's CpuModel()."""
+    try:
+        with open("/proc/cpuinfo") as f:
+            for line in f:
+                if line.startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return ""
+
+
+def warn_host_mismatch(baseline):
+    """Non-fatal: flag a baseline recorded on different hardware.
+
+    The gate itself only checks machine-independent invariants, but the
+    numbers humans read next to a failure (wall times, ratios near their
+    bounds) are only comparable on like hardware — so say so out loud
+    instead of leaving the mismatch to be discovered mid-investigation.
+    """
+    host = baseline.get("host")
+    if not isinstance(host, dict):
+        return
+    mismatches = []
+    nproc = os.cpu_count()
+    if host.get("nproc") not in (None, 0) and nproc and host["nproc"] != nproc:
+        mismatches.append(f"nproc {host['nproc']} vs {nproc}")
+    cpu = current_cpu_model()
+    if host.get("cpu") and cpu and host["cpu"] != cpu:
+        mismatches.append(f"cpu '{host['cpu']}' vs '{cpu}'")
+    if mismatches:
+        print(
+            "WARNING: baseline host differs from this machine "
+            f"({'; '.join(mismatches)}). Invariant checks below are still "
+            "valid; absolute timings in the baseline are not comparable.")
 
 
 def fail(errors):
@@ -211,6 +249,7 @@ def main(argv):
     kind_s = smoke.get("bench")
     if kind_b != kind_s:
         fail([f"baseline is a '{kind_b}' snapshot but smoke is '{kind_s}'"])
+    warn_host_mismatch(baseline)
 
     errors = []
     if kind_s == "service":

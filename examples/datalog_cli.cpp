@@ -41,7 +41,15 @@
 // carries everything ingested after it. Restarting with the same directory
 // replays the committed batches — the service answers kUnavailable until
 // the replay lands back on the pre-crash tip — so `publish`ed epochs
-// survive a crash or quit.
+// survive a crash or quit. --hold-recovery keeps that gate closed until
+// the REPL `recover` command runs the replay, so probes can observe the
+// not-ready window.
+//
+// With --serve-obs=<port> (live mode only) the process also runs the
+// admin-plane HTTP server on loopback: /metrics, /metrics.json, /healthz,
+// /readyz, /debug/queries, /debug/epochs, /debug/trace (see
+// src/server/admin_endpoints.h). Port 0 picks an ephemeral port; the
+// bound port is printed as `[admin] listening on ...`.
 #include <sys/stat.h>
 
 #include <cctype>
@@ -63,6 +71,8 @@
 #include "eval/query.h"
 #include "live/snapshot_manager.h"
 #include "obs/metrics.h"
+#include "server/admin_endpoints.h"
+#include "server/admin_server.h"
 #include "service/query_service.h"
 #include "transform/binarize.h"
 
@@ -187,7 +197,8 @@ int RunLiveRepl(SnapshotManager& manager, QueryService& service,
                 const EvalOptions& options, bool print_stats,
                 double deadline_ms,
                 const durability::RecoveryStats* recovered,
-                const std::string& wal_dir) {
+                const std::string& wal_dir,
+                std::function<Status()> finish_recovery) {
   std::printf(
       "[live%s] epoch %llu serving on %zu threads; commands: +fact(...), "
       "-fact(...), publish, ?- query, epoch, pending, metrics, recover, "
@@ -217,6 +228,19 @@ int RunLiveRepl(SnapshotManager& manager, QueryService& service,
       continue;
     }
     if (cmd == "recover") {
+      if (finish_recovery) {
+        // --hold-recovery: the replay was deferred to this command so the
+        // not-ready window is observable (e.g. by /readyz probes).
+        Status st = finish_recovery();
+        if (!st.ok()) {
+          std::printf("recovery FAILED: %s\n", st.message().c_str());
+          continue;
+        }
+        finish_recovery = nullptr;
+        std::printf("[wal] recovery finished; serving epoch %llu\n",
+                    static_cast<unsigned long long>(manager.epoch()));
+        continue;
+      }
       if (recovered == nullptr) {
         std::printf("not durable; restart with --wal=<dir> to enable\n");
         continue;
@@ -360,6 +384,8 @@ int main(int argc, char** argv) {
   size_t max_iterations = 0;
   size_t threads = 0;
   std::string metrics_json;  // --metrics-json=<path>: dump registry on exit
+  int serve_obs = -1;        // --serve-obs=<port>: admin HTTP server (-1 off)
+  bool hold_recovery = false;  // --hold-recovery: defer replay to `recover`
   std::string path;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -387,12 +413,17 @@ int main(int argc, char** argv) {
       threads = std::stoul(arg.substr(10));
     } else if (arg.rfind("--metrics-json=", 0) == 0) {
       metrics_json = arg.substr(15);
+    } else if (arg.rfind("--serve-obs=", 0) == 0) {
+      serve_obs = std::stoi(arg.substr(12));
+    } else if (arg == "--hold-recovery") {
+      hold_recovery = true;
     } else if (arg == "--help") {
       std::printf(
           "usage: datalog_cli [--strategy=graph|seminaive|naive|magic|"
           "transform] [--cyclic-bound] [--max-iterations=N] [--threads=N] "
           "[--async] [--deadline-ms=X] [--queue-depth=N] "
-          "[--live] [--wal=<dir>] [--metrics-json=<path>] [--stats] [--dot] "
+          "[--live] [--wal=<dir>] [--hold-recovery] [--serve-obs=<port>] "
+          "[--metrics-json=<path>] [--stats] [--dot] "
           "<file.dl>\n");
       return 0;
     } else {
@@ -405,6 +436,15 @@ int main(int argc, char** argv) {
   }
   if (!wal_dir.empty() && !live) {
     return Fail("--wal requires --live (durability covers published epochs)");
+  }
+  if (serve_obs >= 0 && !live) {
+    // The admin server needs a long-lived process behind it; the live REPL
+    // is the only CLI mode with one.
+    return Fail("--serve-obs requires --live");
+  }
+  if (serve_obs > 65535) return Fail("--serve-obs: port out of range");
+  if (hold_recovery && wal_dir.empty()) {
+    return Fail("--hold-recovery requires --wal (there is no replay to hold)");
   }
   // Deadlines and queue depth are service-layer machinery; rejecting them
   // elsewhere beats silently running an unbounded query.
@@ -455,13 +495,26 @@ int main(int argc, char** argv) {
     }
     if (!service->status().ok()) return Fail(service->status().message());
 
+    // The admin plane starts *before* recovery finishes, so /healthz is
+    // already 200 (alive) while /readyz still reports 503 (not serving) —
+    // the distinction the two probes exist for.
+    std::unique_ptr<server::AdminServer> admin;
+    if (serve_obs >= 0) {
+      server::AdminServerOptions aopts;
+      aopts.port = static_cast<uint16_t>(serve_obs);
+      admin = std::make_unique<server::AdminServer>(aopts);
+      server::RegisterAdminEndpoints(admin.get(), service.get(), &manager);
+      if (Status st = admin->Start(); !st.ok()) return Fail(st.message());
+      std::printf("[admin] listening on http://127.0.0.1:%u\n",
+                  static_cast<unsigned>(admin->port()));
+    }
+
     durability::RecoveryStats recovery_stats;
-    if (recovery != nullptr) {
+    auto finish = [&service, &recovery, &recovery_stats, &manager,
+                   &wal_dir]() -> Status {
       // Replays the committed WAL batches and opens the serving gate; the
       // WAL is owned by the service (and drives every publish) from here.
-      if (Status st = service->FinishRecovery(); !st.ok()) {
-        return Fail(st.message());
-      }
+      if (Status st = service->FinishRecovery(); !st.ok()) return st;
       recovery_stats = recovery->stats();
       recovery.reset();
       std::printf(
@@ -471,10 +524,30 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(recovery_stats.batches_replayed),
           static_cast<unsigned long long>(recovery_stats.batches_skipped),
           recovery_stats.tail_truncated ? " (torn tail truncated)" : "");
+      return Status::Ok();
+    };
+    std::function<Status()> held_recovery;
+    if (recovery != nullptr) {
+      if (hold_recovery) {
+        // Replay deferred to the REPL `recover` command; until then every
+        // submission (and /readyz) reports the closed gate.
+        held_recovery = finish;
+        std::printf(
+            "[wal] recovery held: not serving until `recover` runs\n");
+      } else if (Status st = finish(); !st.ok()) {
+        return Fail(st.message());
+      }
     }
 
-    // The file's own queries run once against the serving tip.
+    // The file's own queries run once against the serving tip — unless the
+    // recovery gate is still closed (they would all answer kUnavailable).
     auto tip = manager.Acquire();
+    if (!service->serving() && !program.queries.empty()) {
+      std::printf("[wal] %zu file quer%s skipped while recovery is held\n",
+                  program.queries.size(),
+                  program.queries.size() == 1 ? "y" : "ies");
+      program.queries.clear();
+    }
     for (const Literal& q : program.queries) {
       if (q.arity() != 2) return Fail("live queries must be binary");
       QueryRequest req;
@@ -490,7 +563,8 @@ int main(int argc, char** argv) {
       if (print_stats) PrintEvalStats("live", resp.stats, resp.fetches);
     }
     int rc = RunLiveRepl(manager, *service, options, print_stats, deadline_ms,
-                         wal_dir.empty() ? nullptr : &recovery_stats, wal_dir);
+                         wal_dir.empty() ? nullptr : &recovery_stats, wal_dir,
+                         std::move(held_recovery));
     if (int mrc = DumpMetricsJson(metrics_json, service.get()); mrc != 0) {
       return mrc;
     }

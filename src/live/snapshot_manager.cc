@@ -147,6 +147,7 @@ uint64_t SnapshotManager::epoch() const { return Acquire()->epoch(); }
 
 PublishStats SnapshotManager::Publish() {
   std::lock_guard<std::mutex> publish_lock(publish_mu_);
+  const uint64_t start_us = obs::SteadyNowUs();
   auto t0 = std::chrono::steady_clock::now();
 
   std::vector<PendingFact> delta;
@@ -164,6 +165,33 @@ PublishStats SnapshotManager::Publish() {
   }
 
   PublishStats stats;
+  // Publish-pipeline span for the recorder, shared by the refused and
+  // successful exits. Reads the phase timings out of `stats` at call time,
+  // so it must run after wall_ms is final. swap_ms is the un-attributed
+  // remainder (tip swap + Published hook + bookkeeping); a refused publish
+  // never swapped, so its remainder is dropped rather than mislabeled.
+  auto record_span = [&](bool refused) {
+    obs::PublishTrace span;
+    span.publish_id = ++next_publish_id_;  // publish_mu_ held
+    span.epoch = stats.epoch;
+    span.start_us = start_us;
+    span.stage_ms = stats.build_ms;
+    span.freeze_ms = stats.freeze_ms;
+    span.artifact_ms = stats.artifact_ms;
+    span.commit_ms = stats.commit_ms;
+    if (!refused) {
+      double attributed = stats.build_ms + stats.freeze_ms +
+                          stats.artifact_ms + stats.commit_ms;
+      span.swap_ms = stats.wall_ms > attributed ? stats.wall_ms - attributed
+                                                : 0;
+    }
+    span.total_ms = stats.wall_ms;
+    span.facts_added = stats.facts_added;
+    span.facts_deleted = stats.facts_deleted;
+    span.relations_touched = stats.relations_touched;
+    span.refused = refused;
+    publish_recorder_.Record(span);
+  };
   // Build the successor: shared relations, extended symbol space. Only the
   // facts of `delta` cost anything; readers keep serving `base` untouched.
   std::unique_ptr<Database> next = Database::BeginDelta(base);
@@ -260,6 +288,7 @@ PublishStats SnapshotManager::Publish() {
       LiveObs::Get().pending->Set(static_cast<int64_t>(pending_.size()));
       stats.status = std::move(st);
       stats.wall_ms = MsBetween(t0, std::chrono::steady_clock::now());
+      record_span(/*refused=*/true);
       return stats;
     }
   }
@@ -282,6 +311,7 @@ PublishStats SnapshotManager::Publish() {
   o.facts_rejected->Inc(stats.facts_rejected);
   o.publish_ms->Observe(stats.wall_ms);
   o.epoch->Set(static_cast<int64_t>(stats.epoch));
+  record_span(/*refused=*/false);
   return stats;
 }
 

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
 #include "storage/database.h"
 #include "util/status.h"
 
@@ -156,6 +157,14 @@ class SnapshotManager {
   /// Epoch id of the current serving tip.
   uint64_t epoch() const;
 
+  /// Ring of recent publish-pipeline spans (stage → freeze → artifact →
+  /// commit → swap per-phase wall times), refused publishes included —
+  /// the publish-side twin of the service's query flight recorder.
+  /// Surfaced by /debug/epochs and /debug/trace on the admin plane.
+  const obs::PublishRecorder& publish_recorder() const {
+    return publish_recorder_;
+  }
+
  private:
   mutable std::mutex mu_;  // guards tip_, pending_, genesis_/sealed state
   std::mutex publish_mu_;  // serializes Publish pipelines
@@ -176,6 +185,8 @@ class SnapshotManager {
   std::vector<PendingFact> pending_;
   ArtifactBuilder artifact_builder_;  // guarded by mu_
   DurabilitySink* sink_ = nullptr;    // guarded by mu_; borrowed
+  obs::PublishRecorder publish_recorder_;  // internally synchronized
+  uint64_t next_publish_id_ = 0;           // guarded by publish_mu_
 };
 
 }  // namespace binchain

@@ -3,8 +3,13 @@
 #include <algorithm>
 #include <array>
 #include <cctype>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+
+#ifdef __linux__
+#include <unistd.h>
+#endif
 
 #include "util/check.h"
 
@@ -51,6 +56,71 @@ void AppendHelpType(std::string* out, const std::string& name,
   out->append("# HELP ").append(name).append(" ").append(help).append("\n");
   out->append("# TYPE ").append(name).append(" ").append(type).append("\n");
 }
+
+/// Resident set size in bytes, or -1 where /proc isn't available.
+int64_t ReadRssBytes() {
+#ifdef __linux__
+  // /proc/self/statm: size resident shared text lib data dt (pages).
+  FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return -1;
+  long long size_pages = 0, resident_pages = 0;
+  int matched = std::fscanf(f, "%lld %lld", &size_pages, &resident_pages);
+  std::fclose(f);
+  if (matched != 2) return -1;
+  static const long page = sysconf(_SC_PAGESIZE);
+  return static_cast<int64_t>(resident_pages) * static_cast<int64_t>(page);
+#else
+  return -1;
+#endif
+}
+
+/// The self-describing `binchain_process_*` family: who is this scrape
+/// target and how long has it been up. Registered once at first
+/// Registry::Global() use (never on local registries — golden-exposition
+/// tests build their own Registry precisely so this family stays out),
+/// and refreshed by a render hook so every scrape sees current values —
+/// including right after ResetForTest zeroes the gauges.
+class ProcessMetrics {
+ public:
+  explicit ProcessMetrics(Registry* registry)
+      : start_steady_(std::chrono::steady_clock::now()),
+        start_unix_s_(std::chrono::duration_cast<std::chrono::seconds>(
+                          std::chrono::system_clock::now().time_since_epoch())
+                          .count()),
+        start_time_(registry->GetGauge(
+            "binchain_process_start_time_seconds",
+            "Unix time the process registered its metrics, in seconds")),
+        uptime_(registry->GetGauge(
+            "binchain_process_uptime_seconds",
+            "Seconds since the process registered its metrics")),
+        rss_(registry->GetGauge(
+            "binchain_process_resident_memory_bytes",
+            "Resident set size in bytes (-1 where /proc is unavailable)")),
+        build_info_(registry->GetGauge(
+            "binchain_process_build_info",
+            "Always 1; a scrape-visible marker that the binchain "
+            "exposition is live")) {
+    Refresh();
+  }
+
+  /// Re-stamps all four gauges; installed as a render hook.
+  void Refresh() {
+    start_time_->Set(start_unix_s_);
+    uptime_->Set(std::chrono::duration_cast<std::chrono::seconds>(
+                     std::chrono::steady_clock::now() - start_steady_)
+                     .count());
+    rss_->Set(ReadRssBytes());
+    build_info_->Set(1);
+  }
+
+ private:
+  const std::chrono::steady_clock::time_point start_steady_;
+  const int64_t start_unix_s_;
+  Gauge* const start_time_;
+  Gauge* const uptime_;
+  Gauge* const rss_;
+  Gauge* const build_info_;
+};
 
 }  // namespace
 
@@ -123,8 +193,16 @@ double HistogramSnapshot::Quantile(double q) const {
 // -------------------------------------------------------------- Registry
 
 Registry& Registry::Global() {
-  static Registry* global = new Registry();  // never destroyed: cached
-  return *global;                            // pointers outlive any dtor order
+  // Never destroyed: cached instrument pointers outlive any dtor order.
+  static Registry* global = [] {
+    Registry* r = new Registry();
+    // Process metrics exist exactly once, tied to the global registry's
+    // lifetime (leaked with it), refreshed on every render.
+    ProcessMetrics* process = new ProcessMetrics(r);
+    r->AddRenderHook(process, [process] { process->Refresh(); });
+    return r;
+  }();
+  return *global;
 }
 
 Counter* Registry::GetCounter(const std::string& name,
@@ -167,7 +245,41 @@ Histogram* Registry::GetHistogram(const std::string& name,
   return it->second.get();
 }
 
+void Registry::RunHooks(
+    const std::map<void*, std::function<void()>>& hooks) const {
+  // Copy under mu_, run outside it: hooks set gauges (lock-free) or clear
+  // span rings (their own mutex) and must not re-enter the registry lock.
+  std::vector<std::function<void()>> copies;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    copies.reserve(hooks.size());
+    for (const auto& [owner, hook] : hooks) copies.push_back(hook);
+  }
+  for (const auto& hook : copies) hook();
+}
+
+void Registry::AddResetHook(void* owner, std::function<void()> hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  reset_hooks_[owner] = std::move(hook);
+}
+
+void Registry::RemoveResetHook(void* owner) {
+  std::lock_guard<std::mutex> lock(mu_);
+  reset_hooks_.erase(owner);
+}
+
+void Registry::AddRenderHook(void* owner, std::function<void()> hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  render_hooks_[owner] = std::move(hook);
+}
+
+void Registry::RemoveRenderHook(void* owner) {
+  std::lock_guard<std::mutex> lock(mu_);
+  render_hooks_.erase(owner);
+}
+
 void Registry::RenderPrometheus(std::string* out) const {
+  RunHooks(render_hooks_);
   // One interleaved name-sorted pass so the exposition is deterministic
   // regardless of registration order (the golden test depends on this).
   struct Entry {
@@ -241,6 +353,7 @@ std::string Registry::RenderPrometheus() const {
 }
 
 void Registry::RenderJson(std::string* out) const {
+  RunHooks(render_hooks_);
   std::lock_guard<std::mutex> lock(mu_);
   out->append("{\n  \"counters\": {");
   bool first = true;
@@ -285,21 +398,26 @@ std::string Registry::RenderJson() const {
 }
 
 void Registry::ResetForTest() {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto& [name, c] : counters_) {
-    for (internal::Cell& cell : c->cells_) {
-      cell.v.store(0, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [name, c] : counters_) {
+      for (internal::Cell& cell : c->cells_) {
+        cell.v.store(0, std::memory_order_relaxed);
+      }
+    }
+    for (auto& [name, g] : gauges_) {
+      g->value_.store(0, std::memory_order_relaxed);
+    }
+    for (auto& [name, h] : histograms_) {
+      for (Histogram::Shard& s : h->shards_) {
+        for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+        s.sum_ns.store(0, std::memory_order_relaxed);
+      }
     }
   }
-  for (auto& [name, g] : gauges_) {
-    g->value_.store(0, std::memory_order_relaxed);
-  }
-  for (auto& [name, h] : histograms_) {
-    for (Histogram::Shard& s : h->shards_) {
-      for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
-      s.sum_ns.store(0, std::memory_order_relaxed);
-    }
-  }
+  // Registered rings (flight recorders, publish recorders) reset with the
+  // instruments, so one hook clears the whole observability plane.
+  RunHooks(reset_hooks_);
 }
 
 }  // namespace obs

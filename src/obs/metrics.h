@@ -36,6 +36,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -193,15 +194,36 @@ class Registry {
   void RenderJson(std::string* out) const;
   std::string RenderJson() const;
 
-  /// Zeroes every value; instruments (and cached pointers) stay valid.
-  /// Test isolation only — production counters are cumulative forever.
+  /// Zeroes every value and runs every registered reset hook; instruments
+  /// (and cached pointers) stay valid. Test isolation only — production
+  /// counters are cumulative forever.
   void ResetForTest();
 
+  /// Reset hooks extend ResetForTest beyond the instruments this registry
+  /// owns: obs::SpanRing registers one per ring, so a single test hook
+  /// clears metrics *and* flight recorders. Keyed by owner pointer;
+  /// owners must RemoveResetHook before they die. Hooks run outside mu_
+  /// (they may take their own locks) after the instruments are zeroed.
+  void AddResetHook(void* owner, std::function<void()> hook);
+  void RemoveResetHook(void* owner);
+
+  /// Render hooks run before each RenderPrometheus/RenderJson pass —
+  /// point-in-time gauges that are *sampled* rather than maintained
+  /// (process uptime, RSS) refresh themselves here so scrapes are always
+  /// current. Same ownership contract as reset hooks.
+  void AddRenderHook(void* owner, std::function<void()> hook);
+  void RemoveRenderHook(void* owner);
+
  private:
+  /// Snapshots the hooks under mu_ and runs them outside it.
+  void RunHooks(const std::map<void*, std::function<void()>>& hooks) const;
+
   mutable std::mutex mu_;  // guards the maps; instruments are lock-free
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<void*, std::function<void()>> reset_hooks_;
+  std::map<void*, std::function<void()>> render_hooks_;
 };
 
 }  // namespace obs

@@ -1,0 +1,76 @@
+#include "obs/slow_log.h"
+
+#include <chrono>
+
+namespace binchain {
+namespace obs {
+
+SlowQueryLog::~SlowQueryLog() { Close(); }
+
+Status SlowQueryLog::Open(const std::string& path, double min_ms,
+                          uint64_t sample_every) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) {
+    return Status::Internal("slow-query log: cannot open " + path);
+  }
+  file_ = f;
+  min_ms_ = min_ms;
+  sample_every_ = sample_every == 0 ? 1 : sample_every;
+  return Status::Ok();
+}
+
+void SlowQueryLog::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+void SlowQueryLog::MaybeRecord(const QueryTrace& trace) {
+  if (!enabled()) return;  // racy pre-check; re-checked under the lock
+  if (trace.total_ms < min_ms_) return;
+  std::string line;
+  line.reserve(512);
+  // Wall-clock stamp so offline readers can line entries up with other
+  // logs; start_us stays steady-clock for intra-process timelines.
+  const int64_t unix_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  line.append("{\"unix_ms\": ").append(std::to_string(unix_ms));
+  line.append(", \"trace\": ");
+  trace.RenderJson(&line);
+  line.append("}\n");
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return;
+  ++seen_;
+  if ((seen_ - 1) % sample_every_ != 0) return;  // 1-in-N, first one writes
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
+      std::fflush(file_) != 0) {
+    // A sick log must not take the service down with it: drop the sink.
+    std::fclose(file_);
+    file_ = nullptr;
+    return;
+  }
+  ++written_;
+}
+
+uint64_t SlowQueryLog::written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return written_;
+}
+
+uint64_t SlowQueryLog::seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seen_;
+}
+
+}  // namespace obs
+}  // namespace binchain

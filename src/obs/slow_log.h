@@ -1,0 +1,72 @@
+// Structured slow-query log: one JSON object per line (JSONL), appended
+// to a file as queries complete.
+//
+// The flight recorder answers "what were the last N slow queries" from
+// inside the process; this sink answers the operational complement —
+// "what were the slow queries *last Tuesday*" — by durably appending the
+// same QueryTrace spans to disk, filtered by a latency threshold and an
+// optional 1-in-N sampler so a hot service doesn't turn its log into a
+// second write amplifier. Lines are self-contained JSON objects (the
+// QueryTrace::RenderJson shape plus a wall-clock `unix_ms` stamp), so
+// `jq`/`grep` work without a reader library.
+//
+// Threading: MaybeRecord serializes on an internal mutex and performs
+// file I/O, so the service calls it *off* the batch completion lock
+// (after the completion is already observable) with a copy of the trace.
+#ifndef BINCHAIN_OBS_SLOW_LOG_H_
+#define BINCHAIN_OBS_SLOW_LOG_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "obs/trace.h"
+#include "util/status.h"
+
+namespace binchain {
+namespace obs {
+
+/// Append-only JSONL sink for slow QueryTrace spans. Default-constructed
+/// it is disabled and MaybeRecord is a cheap no-op; Open() arms it.
+class SlowQueryLog {
+ public:
+  SlowQueryLog() = default;
+  ~SlowQueryLog();
+  SlowQueryLog(const SlowQueryLog&) = delete;
+  SlowQueryLog& operator=(const SlowQueryLog&) = delete;
+
+  /// Opens `path` for appending. A span is written when its total_ms is
+  /// >= min_ms AND it is the sample_every-th such span (sample_every=1
+  /// writes every one; 0 is treated as 1). Re-opening closes the
+  /// previous file first.
+  Status Open(const std::string& path, double min_ms, uint64_t sample_every);
+
+  /// Flushes and closes; MaybeRecord becomes a no-op again.
+  void Close();
+
+  bool enabled() const { return file_ != nullptr; }
+
+  /// Appends the span as one JSONL line if it passes the threshold and
+  /// the sampler. Never fails the caller: a write error closes the sink
+  /// and bumps the dropped counter instead.
+  void MaybeRecord(const QueryTrace& trace);
+
+  /// Spans actually written / spans that met the threshold (written +
+  /// sampled-away + dropped-on-error).
+  uint64_t written() const;
+  uint64_t seen() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::FILE* file_ = nullptr;
+  double min_ms_ = 0;
+  uint64_t sample_every_ = 1;
+  uint64_t seen_ = 0;     // spans at/above threshold while enabled
+  uint64_t written_ = 0;  // lines appended
+};
+
+}  // namespace obs
+}  // namespace binchain
+
+#endif  // BINCHAIN_OBS_SLOW_LOG_H_

@@ -1,0 +1,132 @@
+#include "server/admin_endpoints.h"
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "durability/wal.h"
+#include "live/snapshot_manager.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "service/query_service.h"
+
+namespace binchain {
+namespace server {
+
+namespace {
+
+/// Keeps the `n` most recent entries (the rings snapshot oldest-first).
+template <typename T>
+void KeepLast(std::vector<T>* v, size_t n) {
+  if (v->size() > n) v->erase(v->begin(), v->end() - n);
+}
+
+size_t ParseLast(const HttpRequest& req, size_t fallback) {
+  auto it = req.params.find("last");
+  if (it == req.params.end() || it->second.empty()) return fallback;
+  char* end = nullptr;
+  unsigned long long n = std::strtoull(it->second.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return fallback;
+  return static_cast<size_t>(n);
+}
+
+}  // namespace
+
+void RegisterAdminEndpoints(AdminServer* srv, const QueryService* service,
+                            const SnapshotManager* live) {
+  srv->Handle("/metrics", [](const HttpRequest&) {
+    HttpResponse resp;
+    // The version parameter is part of the exposition-format contract;
+    // Prometheus content-negotiates on it.
+    resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    resp.body = obs::Registry::Global().RenderPrometheus();
+    return resp;
+  });
+
+  srv->Handle("/metrics.json", [](const HttpRequest&) {
+    HttpResponse resp;
+    resp.content_type = "application/json";
+    resp.body = obs::Registry::Global().RenderJson();
+    return resp;
+  });
+
+  // Liveness and readiness are distinct probes on purpose: a process
+  // mid-recovery is alive (do not restart it — replay would start over)
+  // but not ready (do not route queries to it).
+  srv->Handle("/healthz", [](const HttpRequest&) {
+    HttpResponse resp;
+    resp.body = "ok\n";
+    return resp;
+  });
+
+  srv->Handle("/readyz", [service](const HttpRequest&) {
+    HttpResponse resp;
+    if (service->serving()) {
+      resp.body = "ready\n";
+    } else {
+      resp.status = 503;
+      resp.body = service->status().ok()
+                      ? "recovery in progress\n"
+                      : "service failed: " + service->status().message() + "\n";
+    }
+    return resp;
+  });
+
+  srv->Handle("/debug/queries", [service](const HttpRequest&) {
+    HttpResponse resp;
+    resp.content_type = "application/json";
+    resp.body = service->flight_recorder().RenderJson();
+    resp.body.push_back('\n');
+    return resp;
+  });
+
+  srv->Handle("/debug/epochs", [service, live](const HttpRequest&) {
+    HttpResponse resp;
+    resp.content_type = "application/json";
+    std::string& b = resp.body;
+    b.append("{\n  \"serving\": ")
+        .append(service->serving() ? "true" : "false");
+    if (live != nullptr) {
+      b.append(",\n  \"epoch\": ").append(std::to_string(live->epoch()));
+      b.append(",\n  \"pending_facts\": ")
+          .append(std::to_string(live->PendingFacts()));
+    } else {
+      b.append(",\n  \"epoch\": ")
+          .append(std::to_string(service->database().epoch()));
+    }
+    if (const durability::Wal* wal = service->wal()) {
+      b.append(",\n  \"wal\": {\"log_bytes\": ")
+          .append(std::to_string(wal->log_bytes()))
+          .append(", \"checkpoints_written\": ")
+          .append(std::to_string(wal->checkpoints_written()))
+          .append(", \"poisoned\": ")
+          .append(wal->poisoned().ok() ? "false" : "true")
+          .append("}");
+    }
+    if (live != nullptr) {
+      b.append(",\n  \"publishes\": ");
+      live->publish_recorder().RenderJson(&b);
+    }
+    b.append("\n}\n");
+    return resp;
+  });
+
+  srv->Handle("/debug/trace", [service, live](const HttpRequest& req) {
+    HttpResponse resp;
+    resp.content_type = "application/json";
+    std::vector<obs::QueryTrace> queries =
+        service->flight_recorder().Snapshot();
+    std::vector<obs::PublishTrace> publishes;
+    if (live != nullptr) publishes = live->publish_recorder().Snapshot();
+    // ?last=N bounds *each* ring: the N most recent queries plus the N
+    // most recent publishes, so neither side can crowd the other out.
+    size_t last = ParseLast(req, obs::kSpanRingCapacity);
+    KeepLast(&queries, last);
+    KeepLast(&publishes, last);
+    obs::RenderChromeTrace(queries, publishes, &resp.body);
+    return resp;
+  });
+}
+
+}  // namespace server
+}  // namespace binchain

@@ -1,0 +1,38 @@
+// The binchain admin-plane route table: binds the observability payloads
+// the process already renders (Prometheus exposition, flight-recorder
+// JSON, Chrome traces, epoch/WAL state) to paths on an AdminServer.
+//
+// Endpoints:
+//   /metrics        Prometheus 0.0.4 text exposition (the scrape target)
+//   /metrics.json   the same registry as machine-readable JSON
+//   /healthz        liveness: 200 whenever the process answers at all
+//   /readyz         readiness: 200 once QueryService::serving(), 503
+//                   before (recovery gate closed, or failed construction)
+//   /debug/queries  flight-recorder spans, newest-capacity window, JSON
+//   /debug/epochs   serving epoch, pending delta, WAL state, recent
+//                   publish-pipeline spans
+//   /debug/trace    Chrome trace-event JSON over query + publish spans
+//                   (?last=N limits each ring to its N most recent)
+#ifndef BINCHAIN_SERVER_ADMIN_ENDPOINTS_H_
+#define BINCHAIN_SERVER_ADMIN_ENDPOINTS_H_
+
+#include "server/admin_server.h"
+
+namespace binchain {
+
+class QueryService;
+class SnapshotManager;
+
+namespace server {
+
+/// Registers every admin route on `srv`. `service` must outlive the
+/// server; `live` may be nullptr (frozen-database services: /debug/epochs
+/// then reports the prepared snapshot only and /debug/trace carries query
+/// spans alone). Call before Start().
+void RegisterAdminEndpoints(AdminServer* srv, const QueryService* service,
+                            const SnapshotManager* live);
+
+}  // namespace server
+}  // namespace binchain
+
+#endif  // BINCHAIN_SERVER_ADMIN_ENDPOINTS_H_

@@ -1,0 +1,330 @@
+#include "server/admin_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace binchain {
+namespace server {
+
+namespace {
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default:  return "Unknown";
+  }
+}
+
+/// Minimal percent-decoding for query parameter values ('+' => space).
+std::string UrlDecode(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    if (in[i] == '+') {
+      out.push_back(' ');
+    } else if (in[i] == '%' && i + 2 < in.size()) {
+      auto hex = [](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+        return -1;
+      };
+      int hi = hex(in[i + 1]), lo = hex(in[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>(hi * 16 + lo));
+        i += 2;
+      } else {
+        out.push_back('%');
+      }
+    } else {
+      out.push_back(in[i]);
+    }
+  }
+  return out;
+}
+
+void ParseQueryString(const std::string& qs, HttpRequest* req) {
+  size_t pos = 0;
+  while (pos < qs.size()) {
+    size_t amp = qs.find('&', pos);
+    if (amp == std::string::npos) amp = qs.size();
+    std::string pair = qs.substr(pos, amp - pos);
+    size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      if (!pair.empty()) req->params[UrlDecode(pair)] = "";
+    } else {
+      req->params[UrlDecode(pair.substr(0, eq))] =
+          UrlDecode(pair.substr(eq + 1));
+    }
+    pos = amp + 1;
+  }
+}
+
+/// Writes the whole buffer, tolerating short sends. MSG_NOSIGNAL: a
+/// client that hung up mid-response must surface as EPIPE, not SIGPIPE.
+bool SendAll(int fd, const char* data, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    ssize_t w = send(fd, data + off, n - off, MSG_NOSIGNAL);
+    if (w <= 0) {
+      if (w < 0 && errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(w);
+  }
+  return true;
+}
+
+/// Plain fixed responses for connections the handler pool never sees
+/// (accept-queue overflow, oversized heads, parse failures).
+void SendBareStatus(int fd, int status) {
+  std::string head = "HTTP/1.1 " + std::to_string(status) + " " +
+                     ReasonPhrase(status) +
+                     "\r\nContent-Length: 0\r\nConnection: close\r\n\r\n";
+  SendAll(fd, head.data(), head.size());
+}
+
+}  // namespace
+
+AdminServer::AdminServer(AdminServerOptions options)
+    : options_(std::move(options)) {}
+
+AdminServer::~AdminServer() { Stop(); }
+
+void AdminServer::Handle(const std::string& path, HttpHandler handler) {
+  handlers_[path] = std::move(handler);
+}
+
+Status AdminServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("admin server already running");
+  }
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::InvalidArgument("bad bind address '" +
+                                   options_.bind_address + "'");
+  }
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = Status::Internal(std::string("bind: ") + std::strerror(errno));
+    close(fd);
+    return s;
+  }
+  if (listen(fd, options_.accept_backlog) != 0) {
+    Status s = Status::Internal(std::string("listen: ") + std::strerror(errno));
+    close(fd);
+    return s;
+  }
+  // Resolve an ephemeral bind (option port 0) to the kernel's pick.
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    Status s =
+        Status::Internal(std::string("getsockname: ") + std::strerror(errno));
+    close(fd);
+    return s;
+  }
+  port_ = ntohs(bound.sin_port);
+  listen_fd_.store(fd, std::memory_order_release);
+
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  size_t n = options_.handler_threads == 0 ? 1 : options_.handler_threads;
+  handler_threads_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    handler_threads_.emplace_back([this] { HandlerLoop(); });
+  }
+  return Status::Ok();
+}
+
+void AdminServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  // Unblock the accept loop: shutdown makes the blocking accept() return
+  // with an error on every platform; close releases the port.
+  int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
+    shutdown(fd, SHUT_RDWR);
+    close(fd);
+  }
+  queue_cv_.notify_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (std::thread& t : handler_threads_) {
+    if (t.joinable()) t.join();
+  }
+  handler_threads_.clear();
+  // Connections accepted but never served: close without answering.
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  for (int fd : conn_queue_) close(fd);
+  conn_queue_.clear();
+  port_ = 0;
+}
+
+void AdminServer::AcceptLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    int listen_fd = listen_fd_.load(std::memory_order_acquire);
+    if (listen_fd < 0) return;  // Stop() already took the socket away
+    int fd = accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // Stop() shut the listener down (or it broke); either way, done.
+      return;
+    }
+    // Slowloris guard: every read and write on this connection gets the
+    // configured timeout. A stalled client errors out of recv/send and
+    // the handler drops it — it cannot pin a pool thread indefinitely.
+    timeval tv{};
+    tv.tv_sec = options_.io_timeout_ms / 1000;
+    tv.tv_usec = (options_.io_timeout_ms % 1000) * 1000;
+    setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+    bool enqueued = false;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (conn_queue_.size() < options_.queue_capacity) {
+        conn_queue_.push_back(fd);
+        enqueued = true;
+      }
+    }
+    if (enqueued) {
+      queue_cv_.notify_one();
+    } else {
+      // Burst past the hand-off queue: shed on the accept thread itself,
+      // mirroring the query service's kOverloaded admission control.
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      SendBareStatus(fd, 503);
+      close(fd);
+    }
+  }
+}
+
+void AdminServer::HandlerLoop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] {
+        return !conn_queue_.empty() ||
+               !running_.load(std::memory_order_acquire);
+      });
+      if (conn_queue_.empty()) return;  // shutdown with nothing left to do
+      fd = conn_queue_.front();
+      conn_queue_.pop_front();
+    }
+    ServeConnection(fd);
+    close(fd);
+  }
+}
+
+void AdminServer::ServeConnection(int fd) {
+  // Read the request head: everything up to the blank line, capped at
+  // max_request_bytes. The admin plane is GET-only, so any body a client
+  // sends past the head is simply never read.
+  std::string head;
+  head.reserve(512);
+  bool complete = false;
+  char buf[1024];
+  while (head.size() <= options_.max_request_bytes) {
+    ssize_t r = recv(fd, buf, sizeof(buf), 0);
+    if (r <= 0) {
+      if (r < 0 && errno == EINTR) continue;
+      // Timeout (slowloris), reset, or EOF before the head completed:
+      // nothing worth answering.
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    head.append(buf, static_cast<size_t>(r));
+    if (head.find("\r\n\r\n") != std::string::npos ||
+        head.find("\n\n") != std::string::npos) {
+      complete = true;
+      break;
+    }
+  }
+  if (!complete) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    SendBareStatus(fd, 431);
+    return;
+  }
+
+  // Request line: METHOD SP target SP version.
+  size_t line_end = head.find("\r\n");
+  if (line_end == std::string::npos) line_end = head.find('\n');
+  std::string line = head.substr(0, line_end);
+  size_t sp1 = line.find(' ');
+  size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                        : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    SendBareStatus(fd, 400);
+    return;
+  }
+  std::string method = line.substr(0, sp1);
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (method != "GET") {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    SendBareStatus(fd, 405);
+    return;
+  }
+
+  HttpRequest req;
+  size_t qmark = target.find('?');
+  req.path = target.substr(0, qmark);
+  if (qmark != std::string::npos) {
+    ParseQueryString(target.substr(qmark + 1), &req);
+  }
+
+  auto it = handlers_.find(req.path);
+  if (it == handlers_.end()) {
+    // WriteResponse counts the non-2xx into errors_.
+    HttpResponse not_found;
+    not_found.status = 404;
+    not_found.body = "no handler for " + req.path + "\n";
+    WriteResponse(fd, not_found);
+    return;
+  }
+  WriteResponse(fd, it->second(req));
+}
+
+void AdminServer::WriteResponse(int fd, const HttpResponse& resp) {
+  std::string out;
+  out.reserve(resp.body.size() + 160);
+  out.append("HTTP/1.1 ")
+      .append(std::to_string(resp.status))
+      .append(" ")
+      .append(ReasonPhrase(resp.status))
+      .append("\r\nContent-Type: ")
+      .append(resp.content_type)
+      .append("\r\nContent-Length: ")
+      .append(std::to_string(resp.body.size()))
+      .append("\r\nConnection: close\r\n\r\n")
+      .append(resp.body);
+  SendAll(fd, out.data(), out.size());
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (resp.status < 200 || resp.status >= 300) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace server
+}  // namespace binchain

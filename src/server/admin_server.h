@@ -1,0 +1,152 @@
+// Admin-plane HTTP server: the process's observability socket.
+//
+// ROADMAP item 1 ("make it a server") splits naturally into two planes.
+// The *data* plane — streaming answers, rate limiting, retry-after — needs
+// design work (chunk sinks threaded through the engine). The *admin*
+// plane does not: every payload already exists as a string renderer
+// (RenderPrometheus, flight-recorder JSON, Chrome traces), so what is
+// missing is only a socket that speaks enough HTTP/1.1 for curl,
+// Prometheus, and kubelet-style probes. AdminServer is that socket, and
+// deliberately nothing more:
+//
+//  * GET only, one request per connection (`Connection: close`), no
+//    keep-alive, no TLS, no chunked bodies. Scrapers and probes retry;
+//    none of them need connection reuse against a process-local port.
+//  * Dependency-free: POSIX sockets under a std::thread accept loop and
+//    a small handler pool. No event loop — handler concurrency equals
+//    pool size, which is plenty for scrape traffic and keeps slow
+//    clients from ever touching the query service's threads.
+//  * Defensive by construction: bounded request size (oversized heads are
+//    answered 431 and dropped), SO_RCVTIMEO/SO_SNDTIMEO on every accepted
+//    connection (a slowloris client times out and is closed, it cannot
+//    pin a handler forever), bounded hand-off queue (bursts past it are
+//    answered 503 by the accept thread itself).
+//
+// Routing is exact-match on the path (query params are parsed off and
+// handed to the handler). Handlers run on pool threads concurrently with
+// each other and with everything else in the process, so they must only
+// touch thread-safe state — the registry, the span rings and the service
+// accessors they serve all are.
+#ifndef BINCHAIN_SERVER_ADMIN_SERVER_H_
+#define BINCHAIN_SERVER_ADMIN_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+
+namespace binchain {
+namespace server {
+
+struct AdminServerOptions {
+  /// Address to bind. The default stays loopback-only: the admin plane
+  /// exposes internals and has no auth, so exposing it wider is an
+  /// explicit operator decision.
+  std::string bind_address = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+  /// Threads serving parsed requests. Scrape + probe traffic is light;
+  /// two threads mean a slow scrape never blocks a readiness probe.
+  size_t handler_threads = 2;
+  /// Hard cap on the request head (request line + headers). Anything
+  /// larger is answered 431 and the connection dropped.
+  size_t max_request_bytes = 8192;
+  /// Per-connection socket send/receive timeout. A client that neither
+  /// finishes its request nor drains the response within this window is
+  /// closed (slowloris guard).
+  int io_timeout_ms = 5000;
+  /// listen(2) backlog.
+  int accept_backlog = 16;
+  /// Accepted connections waiting for a handler. The accept thread
+  /// answers 503 beyond this instead of queueing without bound.
+  size_t queue_capacity = 64;
+};
+
+/// A parsed GET request: the path, plus decoded query parameters
+/// (`?last=25` => params["last"] == "25"; bare keys map to "").
+struct HttpRequest {
+  std::string path;
+  std::map<std::string, std::string> params;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+class AdminServer {
+ public:
+  explicit AdminServer(AdminServerOptions options = {});
+  /// Stops and joins if still running.
+  ~AdminServer();
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// Registers `handler` for exact-match `path` (no patterns; query
+  /// strings are stripped before matching). Call before Start().
+  void Handle(const std::string& path, HttpHandler handler);
+
+  /// Binds, listens, and launches the accept + handler threads. On OK the
+  /// socket is live and port() reports the bound port.
+  Status Start();
+
+  /// Shuts the listener down and joins every thread. In-flight responses
+  /// finish; queued-but-unserved connections are closed. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The bound port (resolves option port 0 to the kernel's pick); 0
+  /// before a successful Start().
+  uint16_t port() const { return port_; }
+
+  /// Requests answered, by outcome. `errors` counts every non-2xx plus
+  /// dropped connections (timeout, oversized, parse failure).
+  uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+  uint64_t request_errors() const {
+    return errors_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void HandlerLoop();
+  /// Reads, parses, dispatches and answers one connection, then closes it.
+  void ServeConnection(int fd);
+  /// Best-effort write of a full response; counts into the atomics.
+  void WriteResponse(int fd, const HttpResponse& resp);
+
+  const AdminServerOptions options_;
+  std::map<std::string, HttpHandler> handlers_;  // frozen at Start()
+
+  /// Atomic: Stop() swaps it to -1 (then shuts the socket down) while the
+  /// accept loop is still blocked reading it for the next accept(2).
+  std::atomic<int> listen_fd_{-1};
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+  std::vector<std::thread> handler_threads_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> conn_queue_;  // accepted fds awaiting a handler
+
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> errors_{0};
+};
+
+}  // namespace server
+}  // namespace binchain
+
+#endif  // BINCHAIN_SERVER_ADMIN_SERVER_H_

@@ -13,6 +13,7 @@
 #include "eval/query.h"
 #include "live/snapshot_manager.h"
 #include "obs/metrics.h"
+#include "obs/slow_log.h"
 #include "util/check.h"
 
 namespace binchain {
@@ -88,6 +89,9 @@ struct ServiceObs {
   const bool enabled;
   std::atomic<uint64_t> next_query_id{1};
   obs::FlightRecorder recorder;
+  /// JSONL sink for slow spans (disabled unless slow_query_log_path was
+  /// set). Written *off* the batch completion lock — see CompleteQuery.
+  obs::SlowQueryLog slow_log;
   obs::Counter* queries;
   obs::Counter* answers;
   obs::Counter* failed;
@@ -117,6 +121,7 @@ struct BatchShared {
   BatchStats stats;      // folded under mu; final once remaining hits 0
   BatchCallback on_complete;  // moved out and invoked by the last finisher
   std::chrono::steady_clock::time_point t0;  // submission time
+  uint64_t start_us = 0;  // t0 on the shared span clock (obs::SteadyNowUs)
   /// Live mode: pins the acquired epoch (and every storage layer it reads)
   /// until the batch's last response is written.
   std::shared_ptr<const Database> epoch_handle;
@@ -407,6 +412,15 @@ bool QueryService::Init(const Program& program, const Options& options) {
   // Instruments first, even on failed construction: submissions against a
   // failed service still complete (with init_status_) and record spans.
   obs_ = std::make_unique<ServiceObs>(options);
+  if (!options.slow_query_log_path.empty()) {
+    Status s = obs_->slow_log.Open(options.slow_query_log_path,
+                                   options.slow_query_log_min_ms,
+                                   options.slow_query_log_sample);
+    if (!s.ok()) {
+      init_status_ = s;
+      return false;
+    }
+  }
   Program prog = program;
   prog.queries.clear();
   if (!prog.facts.empty() && db_->frozen()) {
@@ -588,6 +602,12 @@ void QueryService::CompleteQuery(AsyncQueryState& q) {
   BatchCallback callback;
   BatchStats aggregates;
   bool last = false;
+  /// Copy of the closed span for the slow-query log, taken under the lock
+  /// (once a waiter is notified it may move the response out) but written
+  /// after it — the sink does file I/O, which must never extend the
+  /// completion critical section.
+  obs::QueryTrace slow_copy;
+  bool log_slow = false;
   {
     std::lock_guard<std::mutex> lock(b.mu);
     q.done = true;
@@ -596,6 +616,7 @@ void QueryService::CompleteQuery(AsyncQueryState& q) {
     // admission or cancelled while queued never ran, so its whole lifetime
     // was queue wait and eval_ms stays 0.
     obs::QueryTrace& t = r.trace;
+    t.start_us = b.start_us;
     t.total_ms = MsSince(b.t0);
     if (q.ran) {
       t.eval_ms = std::max(0.0, t.total_ms - t.queue_wait_ms);
@@ -635,6 +656,10 @@ void QueryService::CompleteQuery(AsyncQueryState& q) {
       o->engine_memo_hits->Inc(t.memo_hits);
       o->engine_cancel_checks->Inc(t.cancel_checks);
       o->recorder.Record(t);
+      if (o->slow_log.enabled()) {
+        slow_copy = t;
+        log_slow = true;
+      }
     }
     BatchStats& s = b.stats;
     if (!r.status.ok()) {
@@ -680,13 +705,16 @@ void QueryService::CompleteQuery(AsyncQueryState& q) {
     }
   }
   if (b.notify_each || last) b.cv.notify_all();
-  // Outside the lock: the callback may wait on other futures or submit
-  // follow-up work (but must not block on this service's own queue).
+  // Outside the lock: the sink applies its own threshold/sampling and
+  // appends one JSONL line; the callback may wait on other futures or
+  // submit follow-up work (but must not block on this service's queue).
+  if (log_slow) b.obs->slow_log.MaybeRecord(slow_copy);
   if (last && callback) callback(aggregates);
 }
 
 std::shared_ptr<BatchShared> QueryService::MakeBatchShared(size_t queries) {
   auto shared = std::make_shared<BatchShared>();
+  shared->start_us = obs::SteadyNowUs();
   shared->t0 = std::chrono::steady_clock::now();
   shared->obs = obs_->enabled ? obs_.get() : nullptr;
   shared->remaining = queries;

@@ -167,13 +167,25 @@ struct QueryServiceOptions {
   /// queries whose total latency reached `flight_recorder_min_ms` are
   /// retained for post-hoc inspection (see QueryService::flight_recorder).
   /// The default threshold of 0 retains every query's span.
-  size_t flight_recorder_capacity = 64;
+  size_t flight_recorder_capacity = obs::kSpanRingCapacity;
   double flight_recorder_min_ms = 0;
   /// When false, completed queries skip the registry counters/histograms,
   /// the queue-depth gauge, and the flight recorder (response traces are
   /// still filled). The off position exists for the before/after overhead
   /// column in bench_service; production keeps it on.
   bool record_metrics = true;
+  /// Structured slow-query log: when non-empty, completed queries whose
+  /// total latency reaches `slow_query_log_min_ms` are appended to this
+  /// file as JSONL (one `{"unix_ms": ..., "trace": {...}}` object per
+  /// line), downsampled to every `slow_query_log_sample`-th qualifying
+  /// span (1 = log them all). The write happens off the completion lock,
+  /// after the response is already observable. An unwritable path fails
+  /// construction (check status()).
+  ///
+  /// New options append here: callers aggregate-initialize this struct.
+  std::string slow_query_log_path;
+  double slow_query_log_min_ms = 0;
+  uint64_t slow_query_log_sample = 1;
 };
 
 class QueryService;
@@ -318,6 +330,20 @@ class QueryService {
   /// Spans of recent queries whose latency reached the configured
   /// flight-recorder threshold (oldest first via Snapshot()).
   const obs::FlightRecorder& flight_recorder() const;
+
+  /// Whether the service currently accepts queries: construction
+  /// succeeded and the recovery gate (if any) has opened. This is the
+  /// /readyz predicate on the admin plane — liveness without readiness is
+  /// exactly the window between the recovery constructor and
+  /// FinishRecovery().
+  bool serving() const {
+    return init_status_.ok() && serving_.load(std::memory_order_acquire);
+  }
+
+  /// The WAL this service owns in durable live mode (nullptr otherwise or
+  /// before FinishRecovery()). Read-only peek for the admin plane's
+  /// /debug/epochs; the manager keeps driving writes through its sink.
+  const durability::Wal* wal() const { return wal_.get(); }
 
   /// Async submission: enqueues the request and returns immediately. If
   /// the queue is at its high-water mark the future is already completed

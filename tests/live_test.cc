@@ -547,9 +547,11 @@ TEST(LiveTest, TombstoneOnlyPublishShrinksMemosAndIsNotPruned) {
   SymbolId flat = *e0->symbols().Find("flat");
   SymbolId down = *e0->symbols().Find("down");
 
-  // Epoch 1: retract exactly one "up" fact, nothing else.
+  // Epoch 1: retract exactly one "up" fact, nothing else. The RowRange
+  // must outlive its iterators (they point back into it).
   const Relation* up0 = e0->Find("up");
-  auto it = up0->tuples().begin();
+  RowRange up0_rows = up0->tuples();
+  auto it = up0_rows.begin();
   std::vector<std::string> victim = name_pair(*e0, *it);
   ++it;
   std::vector<std::string> second = name_pair(*e0, *it);

@@ -5,17 +5,24 @@
 // completion seam fills — including for queries that never ran (queued
 // then cancelled, or shed at admission).
 #include <gtest/gtest.h>
+#include <stdlib.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
 #include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "datalog/parser.h"
+#include "live/snapshot_manager.h"
 #include "obs/metrics.h"
+#include "obs/slow_log.h"
 #include "obs/trace.h"
 #include "service/query_service.h"
 #include "workloads/workloads.h"
@@ -26,8 +33,38 @@ namespace {
 using obs::FlightRecorder;
 using obs::Histogram;
 using obs::HistogramSnapshot;
+using obs::PublishRecorder;
+using obs::PublishTrace;
 using obs::QueryTrace;
 using obs::Registry;
+
+/// A scratch file path that cleans itself up (for the slow-query sink).
+class TempFile {
+ public:
+  TempFile() {
+    char tmpl[] = "/tmp/binchain_obs_XXXXXX";
+    int fd = mkstemp(tmpl);
+    EXPECT_GE(fd, 0);
+    if (fd >= 0) {
+      close(fd);
+      path_ = tmpl;
+    }
+  }
+  ~TempFile() {
+    if (!path_.empty()) unlink(path_.c_str());
+  }
+  const std::string& path() const { return path_; }
+  std::vector<std::string> Lines() const {
+    std::vector<std::string> lines;
+    std::ifstream in(path_);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+    return lines;
+  }
+
+ private:
+  std::string path_;
+};
 
 TEST(ObsShardTest, ThreadShardIsStableAndBounded) {
   size_t first = obs::ThreadShard();
@@ -434,6 +471,262 @@ TEST(TraceSpanTest, QueuedCancelledAndShedQueriesProduceCompleteSpans) {
   EXPECT_EQ(recorded.count(shed_resp.trace.query_id), 1u);
   EXPECT_EQ(recorded.count(queued_resp.trace.query_id), 1u);
   EXPECT_EQ(recorded.count(running_resp.trace.query_id), 1u);
+}
+
+// ------------------------------------------------ span rings & reset hooks
+
+TEST(SpanRingTest, DefaultCapacityIsTheSharedConstantEverywhere) {
+  // Before this PR the recorder default (256) and the service option (64)
+  // disagreed; both now cite obs::kSpanRingCapacity.
+  FlightRecorder queries;
+  PublishRecorder publishes;
+  EXPECT_EQ(queries.capacity(), obs::kSpanRingCapacity);
+  EXPECT_EQ(publishes.capacity(), obs::kSpanRingCapacity);
+  QueryServiceOptions opts;
+  EXPECT_EQ(opts.flight_recorder_capacity, obs::kSpanRingCapacity);
+}
+
+TEST(SpanRingTest, GlobalResetForTestClearsLiveRings) {
+  // Every SpanRing registers a reset hook with the global registry, so the
+  // single test hook clears counters AND recorders in one call.
+  FlightRecorder queries(4, 0);
+  PublishRecorder publishes(4, 0);
+  queries.Record(QueryTrace{});
+  publishes.Record(PublishTrace{});
+  ASSERT_EQ(queries.Snapshot().size(), 1u);
+  ASSERT_EQ(publishes.Snapshot().size(), 1u);
+  Registry::Global().ResetForTest();
+  EXPECT_TRUE(queries.Snapshot().empty());
+  EXPECT_TRUE(publishes.Snapshot().empty());
+  // Rings keep working after the reset, and destruction unregisters the
+  // hook (a second reset after scope exit must not touch freed memory —
+  // ASan would catch it via the rings destroyed at the end of this test).
+  queries.Record(QueryTrace{});
+  EXPECT_EQ(queries.Snapshot().size(), 1u);
+}
+
+TEST(ProcessMetricsTest, GlobalRegistryServesTheProcessFamily) {
+  std::string out = Registry::Global().RenderPrometheus();
+  EXPECT_NE(out.find("binchain_process_start_time_seconds"),
+            std::string::npos);
+  EXPECT_NE(out.find("binchain_process_uptime_seconds"), std::string::npos);
+  EXPECT_NE(out.find("binchain_process_build_info 1"), std::string::npos);
+#ifdef __linux__
+  // RSS is only readable via /proc; elsewhere the gauge reports -1. The
+  // leading newline skips past the # HELP/# TYPE comment lines.
+  size_t pos = out.find("\nbinchain_process_resident_memory_bytes ");
+  ASSERT_NE(pos, std::string::npos);
+  EXPECT_GT(atoll(out.c_str() + pos +
+                  strlen("\nbinchain_process_resident_memory_bytes ")),
+            0);
+#endif
+  // The render hook survives ResetForTest: values are re-stamped on the
+  // next render rather than staying zeroed.
+  Registry::Global().ResetForTest();
+  out = Registry::Global().RenderPrometheus();
+  size_t start_pos = out.find("\nbinchain_process_start_time_seconds ");
+  ASSERT_NE(start_pos, std::string::npos);
+  EXPECT_GT(atoll(out.c_str() + start_pos +
+                  strlen("\nbinchain_process_start_time_seconds ")),
+            0);
+}
+
+// -------------------------------------------------- publish-pipeline spans
+
+TEST(PublishTraceTest, PublishRecordsAPipelineSpanPerBatch) {
+  auto genesis = std::make_unique<Database>();
+  workloads::Fig7a(*genesis, 8);
+  SnapshotManager manager(std::move(genesis));
+  manager.Seal();
+
+  const uint64_t before_us = obs::SteadyNowUs();
+  manager.AddFact("up", {"p1", "p2"});
+  ASSERT_TRUE(manager.Publish().status.ok());
+  manager.AddFact("up", {"p2", "p3"});
+  ASSERT_TRUE(manager.Publish().status.ok());
+
+  std::vector<PublishTrace> spans = manager.publish_recorder().Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].publish_id, 1u);
+  EXPECT_EQ(spans[1].publish_id, 2u);
+  EXPECT_EQ(spans[0].epoch, 1u);
+  EXPECT_EQ(spans[1].epoch, 2u);
+  for (const PublishTrace& s : spans) {
+    EXPECT_FALSE(s.refused);
+    EXPECT_EQ(s.facts_added, 1u);
+    EXPECT_EQ(s.relations_touched, 1u);
+    EXPECT_GE(s.start_us, before_us);
+    EXPECT_GT(s.total_ms, 0);
+    // Attributed phases never exceed the wall time they partition.
+    EXPECT_LE(s.stage_ms + s.freeze_ms + s.artifact_ms + s.commit_ms +
+                  s.swap_ms,
+              s.total_ms + 1e-9);
+  }
+  EXPECT_GT(spans[1].start_us, spans[0].start_us);
+}
+
+/// A durability sink that refuses every commit, to drive the refused-span
+/// path without fault-injection machinery.
+class RefusingSink : public DurabilitySink {
+ public:
+  Status StageAdd(const std::string&,
+                  const std::vector<std::string>&) override {
+    return Status::Ok();
+  }
+  Status StageDelete(const std::string&,
+                     const std::vector<std::string>&) override {
+    return Status::Ok();
+  }
+  Status Commit(uint64_t) override {
+    return Status::Internal("sink refuses");
+  }
+  void Published(const Database&) override {}
+  void Sealed(const Database&) override {}
+};
+
+TEST(PublishTraceTest, RefusedCommitRecordsARefusedSpan) {
+  auto genesis = std::make_unique<Database>();
+  workloads::Fig7a(*genesis, 8);
+  SnapshotManager manager(std::move(genesis));
+  RefusingSink sink;
+  manager.SetDurabilitySink(&sink);
+  manager.Seal();
+
+  manager.AddFact("up", {"p1", "p2"});
+  EXPECT_FALSE(manager.Publish().status.ok());
+
+  std::vector<PublishTrace> spans = manager.publish_recorder().Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_TRUE(spans[0].refused);
+  // No tip swap happened, so no time is attributed to one.
+  EXPECT_EQ(spans[0].swap_ms, 0);
+  EXPECT_GT(spans[0].total_ms, 0);
+}
+
+// ------------------------------------------------------- slow-query sink
+
+TEST(SlowLogTest, ThresholdAndSamplingGateWrites) {
+  TempFile file;
+  obs::SlowQueryLog log;
+  ASSERT_TRUE(log.Open(file.path(), /*min_ms=*/5.0, /*sample_every=*/2).ok());
+  ASSERT_TRUE(log.enabled());
+
+  QueryTrace fast;
+  fast.query_id = 1;
+  fast.total_ms = 1.0;
+  log.MaybeRecord(fast);  // below threshold: not even counted as seen
+
+  for (uint64_t id = 2; id <= 5; ++id) {
+    QueryTrace slow;
+    slow.query_id = id;
+    slow.total_ms = 50.0;
+    log.MaybeRecord(slow);
+  }
+  EXPECT_EQ(log.seen(), 4u);
+  EXPECT_EQ(log.written(), 2u);  // every 2nd qualifying span: ids 2 and 4
+  log.Close();
+  EXPECT_FALSE(log.enabled());
+
+  std::vector<std::string> lines = file.Lines();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].rfind("{\"unix_ms\": ", 0), 0u) << lines[0];
+  EXPECT_NE(lines[0].find("\"query_id\": 2"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"query_id\": 4"), std::string::npos);
+}
+
+TEST(SlowLogTest, ServiceAppendsQualifyingSpansAsJsonl) {
+  TempFile file;
+  Database db;
+  workloads::Fig7a(db, 32);
+  Program program = SgProgram(db);
+  QueryServiceOptions opts;
+  opts.num_threads = 2;
+  opts.slow_query_log_path = file.path();
+  opts.slow_query_log_min_ms = 0;  // everything qualifies
+  QueryResponse resp;
+  {
+    QueryService service(&db, program, opts);
+    ASSERT_TRUE(service.status().ok()) << service.status().message();
+    QueryRequest req{"sg", "", "", {}};
+    resp = service.Eval(req);
+    ASSERT_TRUE(resp.status.ok());
+    // The sink writes after the completion notify, off the batch lock —
+    // the destructor joins the workers, so the line is durable past here.
+  }
+
+  std::vector<std::string> lines = file.Lines();
+  ASSERT_GE(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"trace\": {\"query_id\": "), std::string::npos)
+      << lines[0];
+  EXPECT_NE(
+      lines[0].find("\"query_id\": " + std::to_string(resp.trace.query_id)),
+      std::string::npos);
+}
+
+// ------------------------------------------------------ Chrome trace JSON
+
+TEST(ChromeTraceTest, EmptyRingsStillRenderAValidDocument) {
+  std::string out = obs::RenderChromeTrace({}, {});
+  EXPECT_NE(out.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+  EXPECT_NE(out.find("\"traceEvents\": ["), std::string::npos);
+  EXPECT_NE(out.find("\"process_name\""), std::string::npos);
+  EXPECT_EQ(out.substr(out.size() - 4), "]\n}\n");
+}
+
+TEST(ChromeTraceTest, OverlappingQueriesSpreadAcrossLanes) {
+  // q1 [0, 10ms) and q2 [1ms, 11ms) overlap -> distinct lanes; q3 starts
+  // at 50ms, after both ended -> reuses the first lane.
+  QueryTrace q1, q2, q3;
+  q1.query_id = 1;
+  q1.start_us = 0;
+  q1.total_ms = 10;
+  q2.query_id = 2;
+  q2.start_us = 1000;
+  q2.total_ms = 10;
+  q3.query_id = 3;
+  q3.start_us = 50000;
+  q3.total_ms = 1;
+  std::string out = obs::RenderChromeTrace({q1, q2, q3}, {});
+  EXPECT_NE(out.find("\"queries-0\""), std::string::npos);
+  EXPECT_NE(out.find("\"queries-1\""), std::string::npos);
+  EXPECT_EQ(out.find("\"queries-2\""), std::string::npos);  // two lanes only
+  // Lane assignment: q1 tid 2, q2 tid 3, q3 back on tid 2.
+  EXPECT_NE(out.find("\"tid\": 2, \"cat\": \"query\", \"name\": \"query 1\""),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("\"tid\": 3, \"cat\": \"query\", \"name\": \"query 2\""),
+            std::string::npos);
+  EXPECT_NE(out.find("\"tid\": 2, \"cat\": \"query\", \"name\": \"query 3\""),
+            std::string::npos);
+}
+
+TEST(ChromeTraceTest, PublishSlicesCarryPipelinePhaseChildren) {
+  PublishTrace p;
+  p.publish_id = 1;
+  p.epoch = 4;
+  p.start_us = 2000;
+  p.stage_ms = 1;
+  p.freeze_ms = 2;
+  p.artifact_ms = 0;  // zero phases are elided, not rendered as 0-width
+  p.commit_ms = 3;
+  p.swap_ms = 0.5;
+  p.total_ms = 7;
+  p.facts_added = 9;
+  std::string out = obs::RenderChromeTrace({}, {p});
+  EXPECT_NE(out.find("\"name\": \"publish e4\""), std::string::npos);
+  EXPECT_NE(out.find("\"name\": \"stage\""), std::string::npos);
+  EXPECT_NE(out.find("\"name\": \"freeze\""), std::string::npos);
+  EXPECT_EQ(out.find("\"name\": \"artifact_refresh\""), std::string::npos);
+  EXPECT_NE(out.find("\"name\": \"wal_commit\""), std::string::npos);
+  EXPECT_NE(out.find("\"name\": \"tip_swap\""), std::string::npos);
+  // Phases lay end-to-end from the parent's start: wal_commit begins after
+  // stage (1ms) + freeze (2ms) => ts 2000 + 3000 us.
+  EXPECT_NE(out.find("\"name\": \"wal_commit\", \"ts\": 5000.0"),
+            std::string::npos)
+      << out;
+  // All publish slices share the dedicated publish lane (tid 1).
+  EXPECT_NE(out.find("\"thread_name\", \"args\": {\"name\": \"publish\"}"),
+            std::string::npos);
 }
 
 TEST(TraceSpanTest, RecordMetricsOffStillFillsResponseTraces) {
