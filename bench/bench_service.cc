@@ -15,6 +15,13 @@
 // query (Figure 7 (b)) actually runs before the engine's cancellation
 // points unwind it.
 //
+// Two answer-cache benchmarks ride along: a skewed-repeat (Zipf) stream
+// evaluated one query at a time against a cache-off and a cache-on
+// service (qps / p50 / hit-rate A/B with byte-identical result hashes),
+// and a publish-heavy live run demonstrating selective invalidation —
+// publishes touching only `down` retire exactly the pdown entries while
+// every pup entry keeps hitting.
+//
 // The JSON snapshot carries, per benchmark, a `status` object counting
 // per-query status codes and a `result_hash` over the response tuples, so
 // the CI regression gate (bench/check_regression.py) can assert that
@@ -29,6 +36,7 @@
 // track the throughput trajectory alongside BENCH_storage.json.
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -40,9 +48,12 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "cache/answer_cache.h"
 #include "datalog/parser.h"
+#include "live/snapshot_manager.h"
 #include "obs/metrics.h"
 #include "service/query_service.h"
+#include "util/rng.h"
 #include "workloads/workloads.h"
 
 namespace {
@@ -436,6 +447,251 @@ ObsOverheadResult RunObsOverhead(Batch& batch, size_t threads, int reps) {
   return r;
 }
 
+/// Skewed-repeat workload: queries drawn one at a time from a Zipf
+/// distribution over the ranked constants, the request shape the answer
+/// cache exists for. The same deterministic stream runs against a
+/// cache-off and a cache-on service over one shared frozen database;
+/// one-at-a-time submission keeps in-batch dedup out of the picture, so
+/// the A/B isolates the cache itself. Responses are hashed in stream
+/// order on both sides — the cache must never change an answer.
+struct SkewedCacheResult {
+  std::string name;
+  uint64_t queries = 0;
+  uint64_t distinct = 0;       // population the Zipf ranks draw from
+  double zipf_s = 0;
+  double wall_off_ms = 1e300;  // best rep, cache disabled
+  double wall_on_ms = 1e300;   // best rep, cache enabled
+  double qps_off = 0;
+  double qps_on = 0;
+  double speedup = 0;          // qps_on / qps_off
+  double p50_off_ms = 0;       // per-query latency, best rep
+  double p50_on_ms = 0;
+  double hit_rate = 0;         // over every cache-on rep
+  uint64_t result_hash_off = 0;
+  uint64_t result_hash_on = 0;
+  bool hashes_match = false;
+  bool ok = true;
+  std::string error;
+};
+
+SkewedCacheResult RunSkewedCache(size_t n, int reps) {
+  SkewedCacheResult r;
+  r.name = "skewed/fig7b/n=" + std::to_string(n);
+  r.zipf_s = 1.07;
+  Database db;
+  workloads::Fig7b(db, n);
+  auto parsed = ParseProgram(workloads::SgProgramText(), db.symbols());
+  if (!parsed.ok()) {
+    r.ok = false;
+    r.error = parsed.status().message();
+    return r;
+  }
+  Program program = parsed.take();
+
+  // Rank every constant and draw a fixed stream from the Zipf CDF; the
+  // seed makes the stream identical across sides, reps, and PRs.
+  std::vector<std::string> sources = AllConstants(db);
+  r.distinct = sources.size();
+  std::vector<double> cdf;
+  cdf.reserve(sources.size());
+  double acc = 0;
+  for (size_t i = 0; i < sources.size(); ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), r.zipf_s);
+    cdf.push_back(acc);
+  }
+  const size_t kStream = 512;
+  r.queries = kStream;
+  Rng rng(0x5eedcafe);
+  std::vector<const std::string*> stream;
+  stream.reserve(kStream);
+  for (size_t i = 0; i < kStream; ++i) {
+    double u = static_cast<double>(rng.Next() >> 11) * 0x1.0p-53 * acc;
+    size_t idx = static_cast<size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+    if (idx >= sources.size()) idx = sources.size() - 1;
+    stream.push_back(&sources[idx]);
+  }
+
+  QueryService::Options off_opts;
+  off_opts.num_threads = 2;
+  QueryService::Options on_opts = off_opts;
+  on_opts.answer_cache_bytes = 64 << 20;
+  QueryService service_off(&db, program, off_opts);
+  QueryService service_on(&db, program, on_opts);
+  if (!service_off.status().ok() || !service_on.status().ok()) {
+    r.ok = false;
+    r.error = (!service_off.status().ok() ? service_off.status()
+                                          : service_on.status())
+                  .message();
+    return r;
+  }
+
+  // One pass of the stream, one query at a time (the serving shape —
+  // cache hits complete on the caller thread, misses go through the
+  // workers). Returns false on any failed query.
+  auto run_stream = [&](QueryService& service, double* wall_ms, double* p50,
+                        uint64_t* hash) {
+    std::vector<QueryResponse> responses;
+    responses.reserve(stream.size());
+    std::vector<double> lat;
+    lat.reserve(stream.size());
+    auto t0 = std::chrono::steady_clock::now();
+    for (const std::string* source : stream) {
+      QueryRequest req;
+      req.pred = "sg";
+      req.source = *source;
+      auto q0 = std::chrono::steady_clock::now();
+      responses.push_back(service.Eval(req));
+      lat.push_back(MsSince(q0));
+      if (!responses.back().status.ok()) {
+        r.ok = false;
+        r.error = responses.back().status.message();
+        return false;
+      }
+    }
+    double ms = MsSince(t0);
+    if (ms < *wall_ms) {
+      *wall_ms = ms;
+      std::sort(lat.begin(), lat.end());
+      *p50 = lat[lat.size() / 2];
+    }
+    uint64_t h = HashResponses(responses);
+    if (*hash != 0 && *hash != h) {
+      r.ok = false;
+      r.error = "skewed stream hash drifted across reps";
+      return false;
+    }
+    *hash = h;
+    return true;
+  };
+
+  // Reps interleave so machine drift hits both sides equally. The cache
+  // stays warm across cache-on reps — steady-state behavior is exactly
+  // what the benchmark is after.
+  for (int i = 0; i < std::max(3, reps); ++i) {
+    if (!run_stream(service_off, &r.wall_off_ms, &r.p50_off_ms,
+                    &r.result_hash_off) ||
+        !run_stream(service_on, &r.wall_on_ms, &r.p50_on_ms,
+                    &r.result_hash_on)) {
+      return r;
+    }
+  }
+  r.qps_off = r.wall_off_ms > 0
+                  ? 1000.0 * static_cast<double>(kStream) / r.wall_off_ms
+                  : 0;
+  r.qps_on = r.wall_on_ms > 0
+                 ? 1000.0 * static_cast<double>(kStream) / r.wall_on_ms
+                 : 0;
+  r.speedup = r.qps_off > 0 ? r.qps_on / r.qps_off : 0;
+  r.hashes_match = r.result_hash_on == r.result_hash_off;
+  cache::CacheSnapshot snap = service_on.answer_cache()->Snapshot();
+  r.hit_rate = snap.HitRate();
+  return r;
+}
+
+/// Publish-heavy selective invalidation: two independent closures over
+/// disjoint base relations (support(pup) = {up}, support(pdown) = {down})
+/// on a live service, publishes that grow only the down-chain. Each
+/// publish must invalidate exactly the pdown entries (the up side keeps
+/// hitting off the copy-on-write re-shared relation), so the steady-state
+/// hit rate under a write stream is 1/2, not 0.
+struct CacheInvalidationResult {
+  std::string name;
+  uint64_t warm_entries = 0;      // entries after the warming pass
+  uint64_t publishes = 0;
+  uint64_t invalidated = 0;       // total across all publishes
+  uint64_t surviving_hits = 0;    // pup hits recorded after publishes
+  uint64_t expected_per_publish = 0;  // pdown entry count
+  bool selective = false;  // every publish retired exactly the pdown side
+  bool ok = true;
+  std::string error;
+};
+
+CacheInvalidationResult RunCacheInvalidation(size_t chain, int cycles) {
+  CacheInvalidationResult r;
+  r.name = "cache_invalidation/chain=" + std::to_string(chain);
+  r.publishes = static_cast<uint64_t>(cycles);
+  r.expected_per_publish = chain;  // one pdown entry per source d1..d<chain>
+
+  static const char* kTwoClosures =
+      "pup(X, Y) :- up(X, Y).\n"
+      "pup(X, Y) :- up(X, Z), pup(Z, Y).\n"
+      "pdown(X, Y) :- down(X, Y).\n"
+      "pdown(X, Y) :- down(X, Z), pdown(Z, Y).\n";
+  auto genesis = std::make_unique<Database>();
+  genesis->GetOrCreate("up", 2);
+  genesis->GetOrCreate("down", 2);
+  for (size_t i = 1; i <= chain; ++i) {
+    genesis->AddFact("up", {"u" + std::to_string(i),
+                            "u" + std::to_string(i + 1)});
+    genesis->AddFact("down", {"d" + std::to_string(i),
+                              "d" + std::to_string(i + 1)});
+  }
+  auto parsed = ParseProgram(kTwoClosures, genesis->symbols());
+  if (!parsed.ok()) {
+    r.ok = false;
+    r.error = parsed.status().message();
+    return r;
+  }
+  Program program = parsed.take();
+  SnapshotManager manager(std::move(genesis));
+  QueryService::Options opts;
+  opts.num_threads = 2;
+  opts.answer_cache_bytes = 16 << 20;
+  QueryService service(&manager, program, opts);
+  if (!service.status().ok()) {
+    r.ok = false;
+    r.error = service.status().message();
+    return r;
+  }
+
+  auto query_all = [&](const char* pred, const char* prefix) {
+    for (size_t i = 1; i <= chain; ++i) {
+      QueryRequest req;
+      req.pred = pred;
+      req.source = prefix + std::to_string(i);
+      QueryResponse resp = service.Eval(req);
+      if (!resp.status.ok()) {
+        r.ok = false;
+        r.error = resp.status.message();
+        return false;
+      }
+    }
+    return true;
+  };
+
+  if (!query_all("pup", "u") || !query_all("pdown", "d")) return r;
+  const cache::AnswerCache* cache = service.answer_cache();
+  r.warm_entries = cache->Snapshot().entries;
+
+  r.selective = true;
+  size_t next_down = chain + 1;
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    cache::CacheSnapshot before = cache->Snapshot();
+    manager.AddFact("down", {"d" + std::to_string(next_down),
+                             "d" + std::to_string(next_down + 1)});
+    ++next_down;
+    PublishStats ps = manager.Publish();
+    if (!ps.status.ok()) {
+      r.ok = false;
+      r.error = ps.status.message();
+      return r;
+    }
+    cache::CacheSnapshot after = cache->Snapshot();
+    uint64_t dropped = after.invalidations - before.invalidations;
+    r.invalidated += dropped;
+    // Selectivity: the publish touched only `down`, so exactly the pdown
+    // entries may go; every pup entry must survive and keep hitting.
+    if (dropped != r.expected_per_publish) r.selective = false;
+    if (!query_all("pup", "u") || !query_all("pdown", "d")) return r;
+    cache::CacheSnapshot served = cache->Snapshot();
+    uint64_t pup_hits = served.hits - after.hits;
+    r.surviving_hits += pup_hits;
+    if (pup_hits < chain) r.selective = false;  // a pup entry was dropped
+  }
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -532,6 +788,13 @@ int main(int argc, char** argv) {
   }
   if (!overhead.ok) ++failures;
 
+  SkewedCacheResult skewed = RunSkewedCache(n / 2, reps);
+  if (!skewed.ok || !skewed.hashes_match) ++failures;
+  CacheInvalidationResult invalidation =
+      RunCacheInvalidation(/*chain=*/std::max<size_t>(8, n / 8),
+                           /*cycles=*/4);
+  if (!invalidation.ok || !invalidation.selective) ++failures;
+
   std::printf(
       "%-28s %8s %10s %10s %10s %12s %12s %10s %8s %10s %8s %8s %8s %6s\n",
       "batch", "queries", "tuples", "startup_ms", "wall_ms", "queries/sec",
@@ -575,6 +838,35 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(cancel.partial_tuples));
   } else {
     std::printf("cancellation latency: ERROR: %s\n", cancel.error.c_str());
+  }
+  if (skewed.ok) {
+    std::printf(
+        "skewed repeats (%s, zipf s=%.2f, %llu queries over %llu keys): "
+        "cache off %.1f qps / p50 %.3f ms, on %.1f qps / p50 %.3f ms, "
+        "speedup x%.2f, hit rate %.3f, results %s\n",
+        skewed.name.c_str(), skewed.zipf_s,
+        static_cast<unsigned long long>(skewed.queries),
+        static_cast<unsigned long long>(skewed.distinct), skewed.qps_off,
+        skewed.p50_off_ms, skewed.qps_on, skewed.p50_on_ms, skewed.speedup,
+        skewed.hit_rate, skewed.hashes_match ? "identical" : "DIVERGED");
+  } else {
+    std::printf("skewed repeats: ERROR: %s\n", skewed.error.c_str());
+  }
+  if (invalidation.ok) {
+    std::printf(
+        "cache invalidation (%s): %llu warm entries, %llu publishes "
+        "touching only `down`, %llu invalidated (expected %llu/publish), "
+        "%llu surviving pup hits — %s\n",
+        invalidation.name.c_str(),
+        static_cast<unsigned long long>(invalidation.warm_entries),
+        static_cast<unsigned long long>(invalidation.publishes),
+        static_cast<unsigned long long>(invalidation.invalidated),
+        static_cast<unsigned long long>(invalidation.expected_per_publish),
+        static_cast<unsigned long long>(invalidation.surviving_hits),
+        invalidation.selective ? "selective" : "NOT SELECTIVE");
+  } else {
+    std::printf("cache invalidation: ERROR: %s\n",
+                invalidation.error.c_str());
   }
 
   if (json) {
@@ -624,7 +916,38 @@ int main(int argc, char** argv) {
         << ", \"uncancelled_ms\": " << cancel.uncancelled_ms
         << ", \"latency_p50_ms\": " << cancel.latency_p50_ms
         << ", \"latency_max_ms\": " << cancel.latency_max_ms
-        << ", \"status\": " << status_json(cancel.status) << "}\n";
+        << ", \"status\": " << status_json(cancel.status) << "},\n";
+    char off_hash[32], on_hash[32];
+    std::snprintf(off_hash, sizeof(off_hash), "0x%016llx",
+                  static_cast<unsigned long long>(skewed.result_hash_off));
+    std::snprintf(on_hash, sizeof(on_hash), "0x%016llx",
+                  static_cast<unsigned long long>(skewed.result_hash_on));
+    out << "  \"skewed\": {\"name\": \"" << JsonEscape(skewed.name)
+        << "\", \"ok\": " << (skewed.ok ? "true" : "false")
+        << ", \"queries\": " << skewed.queries
+        << ", \"distinct\": " << skewed.distinct
+        << ", \"zipf_s\": " << skewed.zipf_s
+        << ", \"qps_off\": " << skewed.qps_off
+        << ", \"qps_on\": " << skewed.qps_on
+        << ", \"speedup\": " << skewed.speedup
+        << ", \"p50_off_ms\": " << skewed.p50_off_ms
+        << ", \"p50_on_ms\": " << skewed.p50_on_ms
+        << ", \"hit_rate\": " << skewed.hit_rate
+        << ", \"result_hash_off\": \"" << off_hash << "\""
+        << ", \"result_hash_on\": \"" << on_hash << "\""
+        << ", \"hashes_match\": "
+        << (skewed.hashes_match ? "true" : "false") << "},\n";
+    out << "  \"cache_invalidation\": {\"name\": \""
+        << JsonEscape(invalidation.name)
+        << "\", \"ok\": " << (invalidation.ok ? "true" : "false")
+        << ", \"warm_entries\": " << invalidation.warm_entries
+        << ", \"publishes\": " << invalidation.publishes
+        << ", \"invalidated\": " << invalidation.invalidated
+        << ", \"expected_per_publish\": "
+        << invalidation.expected_per_publish
+        << ", \"surviving_hits\": " << invalidation.surviving_hits
+        << ", \"selective\": "
+        << (invalidation.selective ? "true" : "false") << "}\n";
     out << "}\n";
     std::printf("wrote %s\n", json_path.c_str());
   }

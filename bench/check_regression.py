@@ -22,6 +22,11 @@ fails (exit 1) on structural regressions that survive machine-speed noise:
   machine speed cancels — must stay within ``OBS_OVERHEAD_BOUND``; the
   design target is <=1% (a handful of relaxed atomics per completed
   query), the gate bound is looser only to absorb CI-runner noise;
+* ``bench_service``: the answer-cache A/B — the skewed-repeat stream must
+  hash identically with the cache on and off (the cache may never change
+  an answer), the cache-on side must be at least as fast as cache-off,
+  and the publish-heavy invalidation rep must stay selective (publishes
+  touching only one base relation retire only the entries it supports);
 * ``bench_live``: the publish-scaling sanity flag, when present in both
   files, must not regress from sublinear to superlinear;
 * ``bench_live``: the durable-publish block must report ``ok`` (the
@@ -163,6 +168,52 @@ def check_service(baseline, smoke, errors):
         errors.append(
             "service: baseline has an obs_overhead block but the smoke run "
             "produced none")
+
+    # Answer cache: the skewed-repeat stream must answer identically with
+    # the cache on, and a cache that slows the repeat-heavy shape down has
+    # lost its reason to exist (wall-noise-proof: both sides run
+    # interleaved within the same process on the same frozen database).
+    skewed = smoke.get("skewed")
+    if skewed is not None:
+        if not skewed.get("ok", False):
+            errors.append(
+                f"service: skewed cache benchmark reports ok=false "
+                f"({skewed.get('name')})")
+        else:
+            if not skewed.get("hashes_match", False):
+                errors.append(
+                    "service: skewed cache benchmark diverged: cache-on "
+                    f"hash {skewed.get('result_hash_on')} != cache-off "
+                    f"hash {skewed.get('result_hash_off')} — the cache "
+                    "changed an answer")
+            if skewed.get("qps_on", 0) < skewed.get("qps_off", 0):
+                errors.append(
+                    "service: field 'skewed.qps_on' regressed below "
+                    f"qps_off: on={skewed.get('qps_on'):.1f}, "
+                    f"off={skewed.get('qps_off'):.1f} — the answer cache "
+                    "costs more than it saves on its home workload")
+    elif baseline.get("skewed") is not None:
+        errors.append(
+            "service: baseline has a skewed cache block but the smoke run "
+            "produced none")
+
+    invalidation = smoke.get("cache_invalidation")
+    if invalidation is not None:
+        if not invalidation.get("ok", False):
+            errors.append(
+                f"service: cache_invalidation benchmark reports ok=false "
+                f"({invalidation.get('name')})")
+        elif not invalidation.get("selective", False):
+            errors.append(
+                "service: cache invalidation lost selectivity: "
+                f"{invalidation.get('invalidated')} entries invalidated "
+                f"over {invalidation.get('publishes')} publishes, expected "
+                f"{invalidation.get('expected_per_publish')} per publish "
+                "with every unaffected entry still hitting")
+    elif baseline.get("cache_invalidation") is not None:
+        errors.append(
+            "service: baseline has a cache_invalidation block but the "
+            "smoke run produced none")
 
     # Status codes: throughput batches are all-OK...
     for b in sm:

@@ -3,7 +3,14 @@
 //   ./datalog_cli [--strategy=graph|seminaive|naive|magic|transform]
 //                 [--cyclic-bound] [--max-iterations=N] [--threads=N]
 //                 [--async] [--deadline-ms=X] [--queue-depth=N]
+//                 [--answer-cache-mb=N]
 //                 [--live] [--wal=<dir>] [--stats] [--dot] <file.dl>
+//
+// --answer-cache-mb=N (service and live modes) puts an N-MiB exact-match
+// answer cache in front of submission: repeats are served on the caller
+// thread, and in live mode publishes invalidate only the entries whose
+// supporting relations changed. The REPL `cache` command prints its
+// statistics; `cache clear` drops every entry.
 //
 // The file contains rules, facts, and `?- query.` lines; every query is
 // evaluated with the chosen strategy and the answers plus work counters are
@@ -29,6 +36,8 @@
 //   live> ?- sg(a1, Y).      query the current epoch
 //   live> epoch | pending    inspect the serving state
 //   live> metrics            Prometheus exposition of the metrics registry
+//   live> cache [clear]      answer-cache statistics / drop every entry
+//                            (requires --answer-cache-mb=N)
 //   live> recover            show the startup recovery report (--wal)
 //   live> quit
 //
@@ -64,6 +73,7 @@
 
 #include "baselines/bottom_up.h"
 #include "baselines/magic.h"
+#include "cache/answer_cache.h"
 #include "datalog/parser.h"
 #include "datalog/printer.h"
 #include "durability/recovery.h"
@@ -227,6 +237,23 @@ int RunLiveRepl(SnapshotManager& manager, QueryService& service,
       std::fputs(obs::Registry::Global().RenderPrometheus().c_str(), stdout);
       continue;
     }
+    if (cmd == "cache" || cmd == "cache clear") {
+      cache::AnswerCache* c = service.answer_cache();
+      if (c == nullptr) {
+        std::printf(
+            "no answer cache; restart with --answer-cache-mb=N to enable\n");
+        continue;
+      }
+      if (cmd == "cache clear") {
+        c->Clear();
+        std::printf("cache cleared\n");
+        continue;
+      }
+      std::string json;
+      c->Snapshot().RenderJson(&json);
+      std::printf("%s\n", json.c_str());
+      continue;
+    }
     if (cmd == "recover") {
       if (finish_recovery) {
         // --hold-recovery: the replay was deferred to this command so the
@@ -364,7 +391,7 @@ int RunLiveRepl(SnapshotManager& manager, QueryService& service,
     }
     std::printf(
         "commands: +fact(...), -fact(...), publish, ?- query, epoch, "
-        "pending, metrics, recover, quit\n");
+        "pending, metrics, cache [clear], recover, quit\n");
   }
   return 0;
 }
@@ -383,6 +410,7 @@ int main(int argc, char** argv) {
   size_t queue_depth = 0;  // 0 = service default
   size_t max_iterations = 0;
   size_t threads = 0;
+  size_t answer_cache_mb = 0;  // --answer-cache-mb=N: 0 keeps the cache off
   std::string metrics_json;  // --metrics-json=<path>: dump registry on exit
   int serve_obs = -1;        // --serve-obs=<port>: admin HTTP server (-1 off)
   bool hold_recovery = false;  // --hold-recovery: defer replay to `recover`
@@ -411,6 +439,8 @@ int main(int argc, char** argv) {
       max_iterations = std::stoul(arg.substr(17));
     } else if (arg.rfind("--threads=", 0) == 0) {
       threads = std::stoul(arg.substr(10));
+    } else if (arg.rfind("--answer-cache-mb=", 0) == 0) {
+      answer_cache_mb = std::stoul(arg.substr(18));
     } else if (arg.rfind("--metrics-json=", 0) == 0) {
       metrics_json = arg.substr(15);
     } else if (arg.rfind("--serve-obs=", 0) == 0) {
@@ -422,6 +452,7 @@ int main(int argc, char** argv) {
           "usage: datalog_cli [--strategy=graph|seminaive|naive|magic|"
           "transform] [--cyclic-bound] [--max-iterations=N] [--threads=N] "
           "[--async] [--deadline-ms=X] [--queue-depth=N] "
+          "[--answer-cache-mb=N] "
           "[--live] [--wal=<dir>] [--hold-recovery] [--serve-obs=<port>] "
           "[--metrics-json=<path>] [--stats] [--dot] "
           "<file.dl>\n");
@@ -486,6 +517,7 @@ int main(int argc, char** argv) {
     QueryService::Options opts;
     opts.num_threads = threads;
     if (queue_depth > 0) opts.queue_depth = queue_depth;
+    opts.answer_cache_bytes = answer_cache_mb << 20;
     std::unique_ptr<QueryService> service;
     if (recovery != nullptr) {
       service = std::make_unique<QueryService>(&manager, recovery.get(),
@@ -588,6 +620,7 @@ int main(int argc, char** argv) {
     QueryService::Options opts;
     opts.num_threads = threads;
     if (queue_depth > 0) opts.queue_depth = queue_depth;
+    opts.answer_cache_bytes = answer_cache_mb << 20;
     QueryService service(&db, rules_only, opts);
     if (!service.status().ok()) return Fail(service.status().message());
     EvalOptions options;

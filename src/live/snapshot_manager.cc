@@ -79,6 +79,11 @@ void SnapshotManager::SetArtifactBuilder(ArtifactBuilder builder) {
   artifact_builder_ = std::move(builder);
 }
 
+void SnapshotManager::SetPublishListener(PublishListener listener) {
+  std::lock_guard<std::mutex> lock(mu_);
+  publish_listener_ = std::move(listener);
+}
+
 void SnapshotManager::SetDurabilitySink(DurabilitySink* sink) {
   std::lock_guard<std::mutex> lock(mu_);
   sink_ = sink;
@@ -153,6 +158,7 @@ PublishStats SnapshotManager::Publish() {
   std::vector<PendingFact> delta;
   std::shared_ptr<const Database> base;
   ArtifactBuilder builder;
+  PublishListener listener;
   DurabilitySink* sink = nullptr;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -161,6 +167,7 @@ PublishStats SnapshotManager::Publish() {
     LiveObs::Get().pending->Set(static_cast<int64_t>(pending_.size()));
     base = tip_;
     builder = artifact_builder_;
+    listener = publish_listener_;
     sink = sink_;
   }
 
@@ -298,9 +305,12 @@ PublishStats SnapshotManager::Publish() {
     std::lock_guard<std::mutex> lock(mu_);
     tip_ = tip;
   }
-  // Post-swap hook (checkpoint policy). Runs outside mu_ so a checkpoint's
-  // file I/O never blocks staging or Acquire; publish_mu_ still serializes
-  // it against the next publish.
+  // Post-swap hooks. Both run outside mu_ so a checkpoint's file I/O or a
+  // cache sweep never blocks staging or Acquire; publish_mu_ still
+  // serializes them against the next publish. The listener runs first:
+  // invalidation promptness is a serving-correctness nicety (lookups
+  // self-validate regardless), checkpointing is pure background policy.
+  if (listener) listener(*tip);
   if (sink != nullptr) sink->Published(*tip);
   stats.wall_ms = MsBetween(t0, std::chrono::steady_clock::now());
   LiveObs& o = LiveObs::Get();

@@ -120,6 +120,15 @@ class SnapshotManager {
   /// construction).
   void SetArtifactBuilder(ArtifactBuilder builder);
 
+  /// Post-swap notification: invoked by every successful Publish() with
+  /// the new serving tip, after the swap, off the manager's locks (the
+  /// next publish still serializes behind it). One listener per manager —
+  /// the query service hangs its answer-cache invalidation sweep here, the
+  /// same layering move as SetArtifactBuilder (live/ cannot depend on the
+  /// cache layer). The listener must not call back into Publish().
+  using PublishListener = std::function<void(const Database& tip)>;
+  void SetPublishListener(PublishListener listener);
+
   /// Freezes the genesis database and publishes it as the first serving
   /// epoch. Idempotent.
   void Seal();
@@ -184,6 +193,7 @@ class SnapshotManager {
   void Stage(PendingFact f);
   std::vector<PendingFact> pending_;
   ArtifactBuilder artifact_builder_;  // guarded by mu_
+  PublishListener publish_listener_;  // guarded by mu_
   DurabilitySink* sink_ = nullptr;    // guarded by mu_; borrowed
   obs::PublishRecorder publish_recorder_;  // internally synchronized
   uint64_t next_publish_id_ = 0;           // guarded by publish_mu_

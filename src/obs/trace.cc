@@ -67,6 +67,8 @@ void QueryTrace::RenderJson(std::string* out) const {
   out->append(", \"timed_out\": ").append(timed_out ? "true" : "false");
   out->append(", \"cancelled\": ").append(cancelled ? "true" : "false");
   out->append(", \"shed\": ").append(shed ? "true" : "false");
+  out->append(", \"cache_hit\": ").append(cache_hit ? "true" : "false");
+  out->append(", \"collapsed\": ").append(collapsed ? "true" : "false");
   out->append("}");
 }
 

@@ -71,6 +71,13 @@ struct QueryTrace {
   bool timed_out = false;
   bool cancelled = false;
   bool shed = false;  ///< rejected at admission (queue full)
+  /// Served from the answer cache on the caller thread — no queue, no
+  /// evaluation; eval_ms is 0 and the effort counters replay the original
+  /// evaluation's.
+  bool cache_hit = false;
+  /// Result replayed from another query's evaluation: a single-flight
+  /// waiter fanned out by its leader, or an in-batch dedup follower.
+  bool collapsed = false;
 
   /// One JSON object (no trailing newline), appended to *out.
   void RenderJson(std::string* out) const;

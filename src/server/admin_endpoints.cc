@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/answer_cache.h"
 #include "durability/wal.h"
 #include "live/snapshot_manager.h"
 #include "obs/metrics.h"
@@ -108,6 +109,19 @@ void RegisterAdminEndpoints(AdminServer* srv, const QueryService* service,
       live->publish_recorder().RenderJson(&b);
     }
     b.append("\n}\n");
+    return resp;
+  });
+
+  srv->Handle("/debug/cache", [service](const HttpRequest&) {
+    HttpResponse resp;
+    resp.content_type = "application/json";
+    if (const cache::AnswerCache* c = service->answer_cache()) {
+      resp.body.append("{\n  \"enabled\": true,\n  \"stats\": ");
+      c->Snapshot().RenderJson(&resp.body);
+      resp.body.append("\n}\n");
+    } else {
+      resp.body = "{\n  \"enabled\": false\n}\n";
+    }
     return resp;
   });
 

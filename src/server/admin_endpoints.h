@@ -11,6 +11,9 @@
 //   /debug/queries  flight-recorder spans, newest-capacity window, JSON
 //   /debug/epochs   serving epoch, pending delta, WAL state, recent
 //                   publish-pipeline spans
+//   /debug/cache    answer-cache statistics (hit rate, residency,
+//                   invalidations); {"enabled": false} when the service
+//                   runs without a cache
 //   /debug/trace    Chrome trace-event JSON over query + publish spans
 //                   (?last=N limits each ring to its N most recent)
 #ifndef BINCHAIN_SERVER_ADMIN_ENDPOINTS_H_

@@ -3,10 +3,14 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 
+#include "cache/answer_cache.h"
+#include "datalog/printer.h"
 #include "durability/recovery.h"
 #include "durability/wal.h"
 #include "eval/eval_artifacts.h"
@@ -24,6 +28,19 @@ double MsSince(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(
              std::chrono::steady_clock::now() - t0)
       .count();
+}
+
+/// FNV-1a over the canonical program rendering: the answer cache's
+/// program fingerprint. Two services prepared over the same rendered
+/// program derive the same keys (the same CompatiblePlan currency that
+/// lets a second service adopt an epoch's artifacts).
+uint64_t FingerprintProgram(const std::string& rendered) {
+  uint64_t h = 1469598103934665603ull;
+  for (const char c : rendered) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
 }
 
 }  // namespace
@@ -150,6 +167,27 @@ struct AsyncQueryState {
   /// whole lifetime to queue wait.
   bool ran = false;
   std::shared_ptr<BatchShared> batch;
+
+  /// Exact-match key (QueryService::RequestKey). Empty when neither the
+  /// cache nor in-batch dedup applies to this submission.
+  std::string cache_key;
+  /// This query leads a single-flight: FinishEval (or the shed path) must
+  /// FinishFlight and fan the outcome out to the parked waiters.
+  bool flight_leader = false;
+  /// The response replays an answer that was evaluated elsewhere (cache
+  /// hit, single-flight waiter, dedup follower): CompleteQuery skips the
+  /// engine_* registry fold — that work was accounted when it actually ran
+  /// — and MaybeCacheInsert never re-inserts it.
+  bool replayed = false;
+  /// EvalBatch only: completed at submission (cache hit) or owned by an
+  /// in-batch dedup leader; claim-cursor runners pass it over.
+  bool skip = false;
+  /// In-batch dedup: identical requests of one batch attach here and the
+  /// leader's FinishEval fans its answer out to them. Both fields are
+  /// guarded by batch->mu; once fanout_started is set attachment is over
+  /// and late duplicates submit themselves.
+  bool fanout_started = false;
+  std::vector<std::shared_ptr<AsyncQueryState>> followers;
 };
 
 // ----------------------------------------------------------- QueryFuture
@@ -333,6 +371,16 @@ QueryService::QueryService(SnapshotManager* live, const Program& program,
         }
         return built;
       });
+  // The answer cache invalidates through the same layering seam: live/
+  // cannot depend on cache/, so the manager just calls back with the new
+  // tip and the sweep (support-set re-validation, selective by
+  // construction) runs here. The listener owns a shared_ptr so a publish
+  // racing service teardown sweeps a still-alive cache.
+  if (answer_cache_ != nullptr) {
+    live_->SetPublishListener([cache = answer_cache_](const Database& tip) {
+      cache->OnPublish(tip);
+    });
+  }
   // Seal instead of a bare freeze: the genesis becomes epoch 0 of the
   // manager's chain, and every batch from here on acquires the tip.
   live_->Seal();
@@ -457,6 +505,21 @@ bool QueryService::Init(const Program& program, const Options& options) {
   }
   plan_ = plan.take();
 
+  if (options.answer_cache_bytes > 0) {
+    // Key prefix = the plan fingerprint over the same canonical program
+    // rendering CompatiblePlan compares, so keys from a service with a
+    // different rule set can never collide into this cache's entries.
+    const uint64_t fp =
+        FingerprintProgram(ProgramToString(plan_->program, db_->symbols()));
+    answer_cache_ =
+        std::make_shared<cache::AnswerCache>(options.answer_cache_bytes, fp);
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(fp));
+    cache_key_prefix_.assign(buf);
+    cache_key_prefix_ += '\x1f';
+  }
+
   size_t n = options.num_threads;
   if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
   workers_.reserve(n);
@@ -466,7 +529,15 @@ bool QueryService::Init(const Program& program, const Options& options) {
   return true;
 }
 
-QueryService::~QueryService() = default;
+QueryService::~QueryService() {
+  // Detach the publish listener before members die: the manager outlives
+  // the service by contract, and without this every later publish would
+  // keep sweeping a cache nobody reads (the listener's shared_ptr keeps it
+  // alive, so it is waste, not unsafety).
+  if (live_ != nullptr && answer_cache_ != nullptr) {
+    live_->SetPublishListener(nullptr);
+  }
+}
 
 size_t QueryService::num_threads() const {
   return pool_ ? pool_->size() : 0;
@@ -597,6 +668,203 @@ void QueryService::RunOne(size_t worker_id, AsyncQueryState& q) {
   }
 }
 
+std::string QueryService::RequestKey(const QueryRequest& req) const {
+  // Fingerprint prefix, then every request field that selects a distinct
+  // answer set, '\x1f'-separated (the separator cannot occur in interned
+  // spellings' role here — pred/source/target are caller strings, and a
+  // '\x1f' inside one still keys deterministically, just conservatively).
+  std::string key;
+  key.reserve(cache_key_prefix_.size() + req.pred.size() +
+              req.source.size() + req.target.size() + 16);
+  key += cache_key_prefix_;
+  key += req.pred;
+  key += '\x1f';
+  key += req.source;
+  key += '\x1f';
+  key += req.target;
+  key += '\x1f';
+  key += req.diagonal ? 'D' : '-';
+  key += req.options.use_cyclic_bound ? 'c' : '-';
+  key += req.options.disable_closure_sharing ? 'n' : '-';
+  key += '\x1f';
+  key += std::to_string(req.options.max_iterations);
+  return key;
+}
+
+bool QueryService::TryServeFromCache(AsyncQueryState& q) {
+  if (answer_cache_ == nullptr) return false;
+  auto ans = answer_cache_->Lookup(q.cache_key, *q.batch->db);
+  if (ans == nullptr) return false;
+  QueryResponse& r = q.response;
+  r.tuples = ans->tuples;
+  r.stats = ans->stats;
+  r.fetches = ans->fetches;
+  r.epoch = q.batch->db->epoch();
+  r.trace.cache_hit = true;
+  // Trace identity fields, resolved read-only (both resolve iff the
+  // original evaluation resolved them — a key match implies the same
+  // spellings).
+  if (auto p = q.batch->db->symbols().Find(q.request.pred)) r.trace.pred = *p;
+  if (!q.request.source.empty()) {
+    if (auto c = q.batch->db->symbols().Find(q.request.source)) {
+      r.trace.source = *c;
+    }
+  }
+  q.replayed = true;
+  CompleteQuery(q);
+  // Safe to read the closed span here: the hit completed on the caller
+  // thread before any future was handed out, so no waiter can move the
+  // response yet.
+  answer_cache_->ObserveHitLatency(r.trace.total_ms);
+  return true;
+}
+
+void QueryService::MaybeCacheInsert(AsyncQueryState& q) {
+  if (answer_cache_ == nullptr || !q.ran || q.replayed) return;
+  const QueryResponse& r = q.response;
+  // Only complete, successful evaluations: partial prefixes and failures
+  // are about *this* request's budget, not the answer set.
+  if (!r.status.ok() || r.partial) return;
+  const Database& db = *q.batch->db;
+  auto pred = db.symbols().Find(q.request.pred);
+  if (!pred) return;
+  // Support set: the transitive base (EDB) predicates this query's
+  // evaluation can read — the same single-source-of-truth dependency data
+  // EvalArtifacts invalidates by. Pinning the relation handles makes the
+  // later pointer comparisons ABA-safe. An unknown-constant empty answer
+  // gets the same deps: it stays valid exactly while its relations do.
+  std::vector<SymbolId> base =
+      TransitiveBasePreds(plan_->lemma1.final_system, *pred);
+  std::vector<cache::SupportDep> deps;
+  deps.reserve(base.size());
+  for (SymbolId p : base) {
+    cache::SupportDep d;
+    d.pred = p;
+    d.rel = db.FindSharedById(p);
+    d.dead_mutations = d.rel != nullptr ? d.rel->dead_mutations() : 0;
+    deps.push_back(std::move(d));
+  }
+  auto ans = std::make_shared<cache::CachedAnswer>();
+  ans->tuples = r.tuples;
+  ans->stats = r.stats;
+  ans->fetches = r.fetches;
+  ans->result_hash = cache::AnswerCache::HashTuples(r.tuples);
+  answer_cache_->Insert(q.cache_key, std::move(deps), std::move(ans),
+                        db.epoch());
+}
+
+void QueryService::FanOutOne(size_t worker_id, const AsyncQueryState& leader,
+                             AsyncQueryState& w) {
+  QueryResponse& r = w.response;
+  r.epoch = w.batch->db->epoch();
+  // The recipient's own token rules first — a replayed answer must not
+  // resurrect a request its caller already cancelled or deadlined.
+  if (w.token.cancelled()) {
+    r.cancelled = true;
+    r.status = Status::Cancelled("request cancelled before evaluation");
+    return;
+  }
+  if (w.token.Expired()) {
+    r.timed_out = true;
+    r.status = Status::DeadlineExceeded(
+        "request deadline expired before evaluation");
+    return;
+  }
+  if (leader.response.status.ok()) {
+    const QueryResponse& lr = leader.response;
+    r.tuples = lr.tuples;
+    r.stats = lr.stats;
+    r.fetches = lr.fetches;
+    r.trace.pred = lr.trace.pred;
+    r.trace.source = lr.trace.source;
+    r.trace.collapsed = true;
+    w.replayed = true;
+    return;
+  }
+  // The leader failed (cancelled, deadlined, errored) — its failure is its
+  // own, not this request's. Evaluate for real, inline on this worker.
+  RunOne(worker_id, w);
+}
+
+void QueryService::FinishEval(size_t worker_id, AsyncQueryState& q) {
+  MaybeCacheInsert(q);
+  // In-batch dedup fan-out. Take the follower list once, under the batch
+  // lock (the submitting thread may still be attaching), then replay
+  // outside it; from here on late duplicates submit themselves.
+  std::vector<std::shared_ptr<AsyncQueryState>> followers;
+  {
+    std::lock_guard<std::mutex> lock(q.batch->mu);
+    q.fanout_started = true;
+    followers.swap(q.followers);
+  }
+  for (auto& f : followers) {
+    if (answer_cache_ != nullptr) answer_cache_->NoteCollapsed();
+    FanOutOne(worker_id, q, *f);
+    MaybeCacheInsert(*f);  // no-op unless the leader failed and f ran
+    CompleteQuery(*f);
+  }
+  // Single-flight fan-out: waiters parked by other submissions while this
+  // evaluation was in flight. A waiter can itself be some batch's dedup
+  // leader, so it gets the full FinishEval treatment (recursion is bounded:
+  // waiters never lead flights, and followers never have followers).
+  if (q.flight_leader) {
+    q.flight_leader = false;
+    auto waiters =
+        answer_cache_->FinishFlight(q.cache_key, q.batch->db->epoch());
+    for (auto& vw : waiters) {
+      auto w = std::static_pointer_cast<AsyncQueryState>(vw);
+      FanOutOne(worker_id, q, *w);
+      FinishEval(worker_id, *w);
+      CompleteQuery(*w);
+    }
+  }
+}
+
+void QueryService::DispatchOrShed(std::shared_ptr<AsyncQueryState> state) {
+  ThreadPool::Task task = [this, state](size_t worker_id) {
+    if (obs_->enabled) obs_->queue_depth->Add(-1);  // claimed
+    RunOne(worker_id, *state);
+    FinishEval(worker_id, *state);
+    CompleteQuery(*state);
+  };
+  // Increment-before-submit so a worker's claim-time decrement (which can
+  // run the instant TrySubmit accepts) never observes the gauge low.
+  if (obs_->enabled) obs_->queue_depth->Add(1);
+  if (pool_->TrySubmit(std::move(task))) return;
+  if (obs_->enabled) obs_->queue_depth->Add(-1);  // never enqueued
+  // Admission control: the queue is at its high-water mark. Shed this
+  // request immediately — an honest kOverloaded now beats an unbounded
+  // queue that deadlines everything later.
+  AsyncQueryState& q = *state;
+  q.response.status =
+      Status::Overloaded("submission queue at high-water mark (" +
+                         std::to_string(queue_depth_) + " pending)");
+  q.response.epoch = q.batch->db->epoch();
+  // Dedup followers share the verdict (pre-cache behavior: each duplicate
+  // would have hit the same full queue); flight waiters were admitted
+  // independently, so the dissolved flight re-dispatches each on its own.
+  std::vector<std::shared_ptr<AsyncQueryState>> followers;
+  {
+    std::lock_guard<std::mutex> lock(q.batch->mu);
+    q.fanout_started = true;
+    followers.swap(q.followers);
+  }
+  for (auto& f : followers) {
+    f->response.status = q.response.status;
+    f->response.epoch = q.response.epoch;
+    CompleteQuery(*f);
+  }
+  if (q.flight_leader) {
+    q.flight_leader = false;
+    auto waiters =
+        answer_cache_->FinishFlight(q.cache_key, q.batch->db->epoch());
+    for (auto& vw : waiters) {
+      DispatchOrShed(std::static_pointer_cast<AsyncQueryState>(vw));
+    }
+  }
+  CompleteQuery(q);
+}
+
 void QueryService::CompleteQuery(AsyncQueryState& q) {
   BatchShared& b = *q.batch;
   BatchCallback callback;
@@ -649,12 +917,18 @@ void QueryService::CompleteQuery(AsyncQueryState& q) {
       o->answers->Inc(t.answers);
       o->latency_ms->Observe(t.total_ms);
       o->queue_wait_ms->Observe(t.queue_wait_ms);
-      o->engine_iterations->Inc(t.iterations);
-      o->engine_nodes->Inc(r.stats.nodes);
-      o->engine_expansions->Inc(t.expansions);
-      o->engine_fetches->Inc(t.fetches);
-      o->engine_memo_hits->Inc(t.memo_hits);
-      o->engine_cancel_checks->Inc(t.cancel_checks);
+      // Replayed responses (cache hits, single-flight waiters, dedup
+      // followers) carry the original evaluation's effort counters so batch
+      // totals stay byte-identical — but that work already hit the engine_*
+      // family when it actually ran; folding it again would double-count.
+      if (!q.replayed) {
+        o->engine_iterations->Inc(t.iterations);
+        o->engine_nodes->Inc(r.stats.nodes);
+        o->engine_expansions->Inc(t.expansions);
+        o->engine_fetches->Inc(t.fetches);
+        o->engine_memo_hits->Inc(t.memo_hits);
+        o->engine_cancel_checks->Inc(t.cancel_checks);
+      }
       o->recorder.Record(t);
       if (o->slow_log.enabled()) {
         slow_copy = t;
@@ -749,6 +1023,14 @@ BatchHandle QueryService::SubmitShared(std::vector<QueryRequest> batch,
 
   handle.futures_.reserve(batch.size());
   const Status admit = AdmissionStatus();
+  // Keys are needed for the cache and for in-batch dedup; with the cache
+  // off and a single-query batch neither applies and key-building is
+  // skipped entirely (the pre-cache hot path).
+  const bool want_keys = answer_cache_ != nullptr || batch.size() > 1;
+  // In-batch dedup: the first submission of each distinct key evaluates,
+  // identical later ones attach to it as followers and replay its answer
+  // (Fig8-style overlap batches stop paying per-duplicate traversals).
+  std::unordered_map<std::string, std::shared_ptr<AsyncQueryState>> leaders;
   for (QueryRequest& req : batch) {
     auto state = std::make_shared<AsyncQueryState>();
     state->batch = shared;
@@ -761,30 +1043,46 @@ BatchHandle QueryService::SubmitShared(std::vector<QueryRequest> batch,
     state->request = std::move(req);
     handle.futures_.push_back(QueryFuture(state));
     if (!admit.ok()) {
+      // Admission precedes every cache path: a recovering service answers
+      // kUnavailable even for answers it has cached.
       state->response.status = admit;
       state->response.epoch = shared->db->epoch();
       CompleteQuery(*state);
       continue;
     }
-    ThreadPool::Task task = [this, state](size_t worker_id) {
-      if (obs_->enabled) obs_->queue_depth->Add(-1);  // claimed
-      RunOne(worker_id, *state);
-      CompleteQuery(*state);
-    };
-    // Increment-before-submit so a worker's claim-time decrement (which can
-    // run the instant TrySubmit accepts) never observes the gauge low.
-    if (obs_->enabled) obs_->queue_depth->Add(1);
-    if (!pool_->TrySubmit(std::move(task))) {
-      if (obs_->enabled) obs_->queue_depth->Add(-1);  // never enqueued
-      // Admission control: the queue is at its high-water mark. Shed this
-      // request immediately — an honest kOverloaded now beats an unbounded
-      // queue that deadlines everything later.
-      state->response.status = Status::Overloaded(
-          "submission queue at high-water mark (" +
-          std::to_string(queue_depth_) + " pending)");
-      state->response.epoch = shared->db->epoch();
-      CompleteQuery(*state);
+    if (want_keys) state->cache_key = RequestKey(state->request);
+    // Cache fast path: a hit completes on this thread, right here — no
+    // queue traffic, no worker handoff.
+    if (TryServeFromCache(*state)) continue;
+    if (batch.size() > 1) {
+      auto [it, fresh] = leaders.try_emplace(state->cache_key, state);
+      if (!fresh) {
+        bool attached = false;
+        {
+          std::lock_guard<std::mutex> lock(shared->mu);
+          if (!it->second->fanout_started) {
+            it->second->followers.push_back(state);
+            attached = true;
+          }
+        }
+        if (attached) continue;
+        // The leader already finished (workers are fast, batches are
+        // long): this duplicate just submits itself.
+      }
     }
+    // Single-flight: concurrent identical misses across batches collapse
+    // onto one in-flight evaluation. Joined waiters are fanned out by the
+    // leader's FinishEval; an epoch-mismatched flight leaves this request
+    // standalone (a cached answer must never cross epochs).
+    if (answer_cache_ != nullptr) {
+      const auto decision = answer_cache_->JoinFlight(
+          state->cache_key, shared->db->epoch(), state);
+      if (decision == cache::AnswerCache::FlightDecision::kJoined) continue;
+      if (decision == cache::AnswerCache::FlightDecision::kLeader) {
+        state->flight_leader = true;
+      }
+    }
+    DispatchOrShed(std::move(state));
   }
   return handle;
 }
@@ -814,11 +1112,14 @@ std::vector<QueryResponse> QueryService::EvalBatch(
   shared->notify_each = false;  // no per-query waiters on this path
   std::vector<QueryResponse> responses(n);
   if (n > 0) {
-    // One state per query in a single allocation. No futures exist here,
-    // so the (blocking) call owns the states for the batch's whole
-    // lifetime: the cv wait below synchronizes with the last
-    // CompleteQuery, after which no runner touches them.
-    std::unique_ptr<AsyncQueryState[]> states(new AsyncQueryState[n]);
+    // One state per query in a single allocation. The array owner is a
+    // shared_ptr for two reasons: dedup followers are handed to their
+    // leader as aliasing shared_ptrs into this array (still zero extra
+    // allocations), and runners capture the owner so a late claim-loop
+    // pass over pre-completed (skipped) indexes can never outlive the
+    // states. The cv wait below still synchronizes with the last
+    // CompleteQuery before responses are moved out.
+    std::shared_ptr<AsyncQueryState[]> states(new AsyncQueryState[n]);
     for (size_t i = 0; i < n; ++i) {
       states[i].batch = shared;
       states[i].response.trace.query_id =
@@ -835,19 +1136,49 @@ std::vector<QueryResponse> QueryService::EvalBatch(
         CompleteQuery(states[i]);
       }
     } else {
+      // Cache lookups and in-batch dedup, resolved up front on the calling
+      // thread (runners have not been launched, so no locking subtleties):
+      // hits complete immediately, duplicates attach to their leader, and
+      // both are marked for the claim loop to pass over. No single-flight
+      // on this path — blocking batches pay no per-query queue traffic, so
+      // the flight table's cross-batch rendezvous is not worth its lock
+      // here (documented in the cache header).
+      size_t live = n;
+      if (answer_cache_ != nullptr || n > 1) {
+        std::unordered_map<std::string, size_t> leaders;
+        for (size_t i = 0; i < n; ++i) {
+          states[i].cache_key = RequestKey(states[i].request);
+          if (TryServeFromCache(states[i])) {
+            states[i].skip = true;
+            --live;
+            continue;
+          }
+          if (n > 1) {
+            auto [it, fresh] = leaders.try_emplace(states[i].cache_key, i);
+            if (!fresh) {
+              states[it->second].followers.push_back(
+                  std::shared_ptr<AsyncQueryState>(states, &states[i]));
+              states[i].skip = true;
+              --live;
+            }
+          }
+        }
+      }
       // Claim-cursor runners instead of one queued closure per query: the
       // blocking path enqueues at most one task per worker, and workers
       // claim batch indexes from the shared cursor (self-balancing, FIFO).
       // Per-query heap/queue traffic stays off this hot path; backpressure
       // comes from SubmitBlocking when other batches own the queue.
-      AsyncQueryState* raw = states.get();
-      size_t runners = std::min(workers_.size(), n);
+      size_t runners = std::min(workers_.size(), live);
       for (size_t r = 0; r < runners; ++r) {
-        pool_->SubmitBlocking([this, shared, raw, n](size_t worker_id) {
+        pool_->SubmitBlocking([this, shared, states, n](size_t worker_id) {
+          AsyncQueryState* raw = states.get();
           for (size_t i = shared->next.fetch_add(1, std::memory_order_relaxed);
                i < n;
                i = shared->next.fetch_add(1, std::memory_order_relaxed)) {
+            if (raw[i].skip) continue;
             RunOne(worker_id, raw[i]);
+            FinishEval(worker_id, raw[i]);
             CompleteQuery(raw[i]);
           }
         });

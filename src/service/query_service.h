@@ -67,6 +67,9 @@
 namespace binchain {
 
 class SnapshotManager;
+namespace cache {
+class AnswerCache;
+}  // namespace cache
 namespace durability {
 class RecoveryManager;
 class Wal;
@@ -186,6 +189,14 @@ struct QueryServiceOptions {
   std::string slow_query_log_path;
   double slow_query_log_min_ms = 0;
   uint64_t slow_query_log_sample = 1;
+  /// Answer-cache byte budget; 0 (the default) disables the cache
+  /// entirely — no lookups, no single-flight table, behavior identical to
+  /// pre-cache builds. When set, exact-match repeats are served on the
+  /// caller thread (bypassing the submission queue), concurrent identical
+  /// misses collapse onto one evaluation, and publishes invalidate only
+  /// the entries whose supporting relations changed (see
+  /// cache::AnswerCache).
+  size_t answer_cache_bytes = 0;
 };
 
 class QueryService;
@@ -345,6 +356,11 @@ class QueryService {
   /// /debug/epochs; the manager keeps driving writes through its sink.
   const durability::Wal* wal() const { return wal_.get(); }
 
+  /// The answer cache, or nullptr when Options::answer_cache_bytes was 0.
+  /// Thread-safe (internally sharded); exposed for /debug/cache, the CLI's
+  /// `cache` command, and tests.
+  cache::AnswerCache* answer_cache() const { return answer_cache_.get(); }
+
   /// Async submission: enqueues the request and returns immediately. If
   /// the queue is at its high-water mark the future is already completed
   /// with kOverloaded (admission control); a failed service completes it
@@ -411,6 +427,48 @@ class QueryService {
   /// completion callback if it was the batch's last query.
   static void CompleteQuery(AsyncQueryState& q);
 
+  /// Canonical exact-match key of a request against the prepared program:
+  /// the plan fingerprint plus every request field that selects a distinct
+  /// answer set (pred, source, target, diagonal, and the EvalOptions value
+  /// fields). Deadline and cancel state are deliberately excluded — they
+  /// select *when* a request fails, never *what* it answers.
+  std::string RequestKey(const QueryRequest& request) const;
+
+  /// Cache fast path, called on the submission thread after admission
+  /// passed and q.batch is bound. On a hit: fills the response from the
+  /// cached answer (trace.cache_hit set), completes the query on the
+  /// caller thread, and returns true — the request never touches the
+  /// queue. Returns false on miss or when the cache is off.
+  bool TryServeFromCache(AsyncQueryState& q);
+
+  /// Inserts q's answer into the cache when it is cacheable: a complete,
+  /// successful evaluation that actually ran here (replayed responses are
+  /// the cache's own output, never re-inserted). Support set = the
+  /// transitive base predicates of the queried predicate, pinned from the
+  /// batch's epoch.
+  void MaybeCacheInsert(AsyncQueryState& q);
+
+  /// Post-evaluation fan-out seam, run on the worker right after RunOne
+  /// (before CompleteQuery): cache insert, then replay the answer to this
+  /// query's in-batch dedup followers and single-flight waiters. Each
+  /// recipient's own token is honored (cancelled/expired recipients get
+  /// their own failure), and if the leader itself failed the recipients
+  /// are evaluated for real, inline on this worker.
+  void FinishEval(size_t worker_id, AsyncQueryState& q);
+
+  /// One fan-out recipient: replay `leader`'s answer into `w`
+  /// (trace.collapsed), or evaluate `w` inline when its token tripped is
+  /// moot — token failures answer without work, leader failures evaluate.
+  void FanOutOne(size_t worker_id, const AsyncQueryState& leader,
+                 AsyncQueryState& w);
+
+  /// Async dispatch tail shared by SubmitShared and the flight-dissolve
+  /// path: enqueues the evaluate/fan-out/complete task, or sheds with
+  /// kOverloaded past the high-water mark — draining the query's dedup
+  /// followers and re-dispatching its flight waiters so nobody waits on a
+  /// leader that never ran.
+  void DispatchOrShed(std::shared_ptr<AsyncQueryState> state);
+
   /// Admission gate shared by every submission path: init_status_ when
   /// construction failed, kUnavailable while the recovery gate is closed,
   /// OK otherwise.
@@ -435,6 +493,14 @@ class QueryService {
   /// pool_ so destruction joins the workers (who record spans in
   /// CompleteQuery) before the instruments die.
   std::unique_ptr<ServiceObs> obs_;
+  /// Exact-match answer cache (nullptr when disabled). shared_ptr because
+  /// the snapshot manager's publish listener captures it — a publish
+  /// racing service teardown sweeps a still-alive cache. Declared before
+  /// pool_ so workers (who insert and fan out) join first.
+  std::shared_ptr<cache::AnswerCache> answer_cache_;
+  /// RequestKey prefix: the plan fingerprint as 16 hex chars + separator,
+  /// precomputed once in Init.
+  std::string cache_key_prefix_;
   std::unique_ptr<ThreadPool> pool_;
 };
 

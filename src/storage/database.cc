@@ -68,6 +68,13 @@ const Relation* Database::Find(std::string_view pred) const {
   return it == relations_.end() ? nullptr : it->second.get();
 }
 
+std::shared_ptr<const Relation> Database::FindSharedById(
+    SymbolId pred) const {
+  if (by_id_.find(pred) == by_id_.end()) return nullptr;
+  auto it = relations_.find(symbols_->Name(pred));
+  return it == relations_.end() ? nullptr : it->second;
+}
+
 Relation* Database::FindMutable(std::string_view pred) {
   return MutableRelation(std::string(pred));
 }

@@ -114,6 +114,12 @@ class Database {
     return it == by_id_.end() ? nullptr : it->second;
   }
 
+  /// Like FindById, but returns the owning handle, so a caller can pin the
+  /// relation object past this epoch's lifetime (the answer cache's
+  /// support sets do: a pinned pointer compared equal across epochs is
+  /// provably the same object, never an address reuse).
+  std::shared_ptr<const Relation> FindSharedById(SymbolId pred) const;
+
   /// Convenience: insert a fact with string constants. Returns true if the
   /// tuple was new (false: duplicate of an existing row anywhere in the
   /// relation's epoch chain).

@@ -20,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "cache/answer_cache.h"
 #include "datalog/parser.h"
 #include "durability/recovery.h"
 #include "live/snapshot_manager.h"
@@ -425,6 +426,70 @@ TEST(AdminEndpointsTest, DebugTraceIsChromeTraceJsonWithBothSpanKinds) {
   ASSERT_TRUE(q.ok);
   EXPECT_TRUE(JsonBalanced(q.body)) << q.body.substr(0, 200);
   EXPECT_NE(q.body.find("\"query_id\": "), std::string::npos);
+}
+
+// /debug/cache on a cache-less service must say so (and stay valid JSON)
+// rather than 404 or fabricate stats.
+TEST(AdminEndpointsTest, DebugCacheReportsDisabledWithoutACache) {
+  LiveFixture fx;
+  FetchResult r = Get(fx.srv.port(), "/debug/cache");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.status, 200);
+  EXPECT_TRUE(JsonBalanced(r.body)) << r.body;
+  EXPECT_NE(r.body.find("\"enabled\": false"), std::string::npos);
+}
+
+// Regression guard for the answer cache vs the recovery gate: admission is
+// checked before the cache, so a cache-enabled service must keep answering
+// kUnavailable until FinishRecovery() — a cache hit must never leak a
+// pre-recovery answer. After the gate opens, repeats hit as usual and
+// /debug/cache exposes the stats.
+TEST(AdminEndpointsTest, CacheEnabledServiceStaysGatedUntilRecovery) {
+  TempDir dir;
+  auto rm = durability::RecoveryManager::Load(dir.path()).take();
+  auto genesis = rm->BuildGenesis();
+  workloads::Fig7a(*genesis, 16);
+  Program program =
+      ParseProgram(workloads::SgProgramText(), genesis->symbols()).take();
+  SnapshotManager manager(std::move(genesis));
+  QueryServiceOptions opts;
+  opts.num_threads = 2;
+  opts.answer_cache_bytes = 1 << 20;
+  QueryService service(&manager, rm.get(), program, opts);
+  ASSERT_TRUE(service.status().ok()) << service.status().message();
+  ASSERT_NE(service.answer_cache(), nullptr);
+
+  AdminServer srv;
+  server::RegisterAdminEndpoints(&srv, &service, &manager);
+  ASSERT_TRUE(srv.Start().ok());
+
+  QueryRequest req{"sg", "a", "", {}};
+  // Gate closed: both submission paths refuse, and nothing reaches the
+  // cache (no lookups, no fills a later hit could replay).
+  QueryResponse gated = service.Eval(req);
+  EXPECT_EQ(gated.status.code(), StatusCode::kUnavailable);
+  QueryResponse gated_async = service.Submit(req).Take();
+  EXPECT_EQ(gated_async.status.code(), StatusCode::kUnavailable);
+  cache::CacheSnapshot snap = service.answer_cache()->Snapshot();
+  EXPECT_EQ(snap.hits + snap.misses, 0u);
+  EXPECT_EQ(snap.entries, 0u);
+
+  ASSERT_TRUE(service.FinishRecovery().ok());
+
+  QueryResponse first = service.Eval(req);
+  ASSERT_TRUE(first.status.ok()) << first.status.message();
+  EXPECT_FALSE(first.trace.cache_hit);
+  QueryResponse second = service.Eval(req);
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_TRUE(second.trace.cache_hit);
+  EXPECT_EQ(second.tuples, first.tuples);
+  EXPECT_GE(service.answer_cache()->Snapshot().hits, 1u);
+
+  FetchResult r = Get(srv.port(), "/debug/cache");
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE(JsonBalanced(r.body)) << r.body;
+  EXPECT_NE(r.body.find("\"enabled\": true"), std::string::npos);
+  EXPECT_NE(r.body.find("\"hits\": "), std::string::npos);
 }
 
 }  // namespace

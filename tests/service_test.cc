@@ -501,7 +501,14 @@ TEST(AsyncServiceTest, BatchAdmissionShedsOverflowAndReportsCallback) {
   std::condition_variable cv;
   bool fired = false;
   BatchStats from_callback;
+  // Distinct iteration caps (all far beyond what the query needs) give the
+  // five requests distinct keys: identical requests would be collapsed by
+  // in-batch dedup into a single submission, and this test is about the
+  // queue overflowing.
   std::vector<QueryRequest> batch(5, rig.Request());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    batch[i].options.max_iterations = 1 << (20 + i);
+  }
   BatchHandle handle =
       service.SubmitBatch(batch, [&](const BatchStats& stats) {
         std::lock_guard<std::mutex> lock(mu);
