@@ -50,6 +50,7 @@
 #include "bench_util.h"
 #include "cache/answer_cache.h"
 #include "datalog/parser.h"
+#include "eval/answer_sink.h"
 #include "live/snapshot_manager.h"
 #include "obs/metrics.h"
 #include "service/query_service.h"
@@ -153,7 +154,7 @@ struct Batch {
 
 std::unique_ptr<Batch> MakeSgBatch(const std::string& label,
                                    std::string (*build)(Database&, size_t),
-                                   size_t n, const EvalOptions& options) {
+                                   size_t n, const QueryOptions& options) {
   auto b = std::make_unique<Batch>();
   b->label = label;
   b->db = std::make_unique<Database>();
@@ -200,7 +201,7 @@ std::unique_ptr<Batch> MakeFig8Batch(size_t m, size_t n, int overlap) {
   auto parsed = ParseProgram(workloads::SgProgramText(), b->db->symbols());
   if (!parsed.ok()) return nullptr;
   b->program = parsed.take();
-  EvalOptions options;
+  QueryOptions options;
   options.use_cyclic_bound = true;
   // Overlapping sources: every up-cycle node, `overlap` times over, so
   // several workers traverse the same cyclic region simultaneously.
@@ -365,7 +366,7 @@ CancelResult RunCancellationLatency(size_t n, int reps) {
   std::vector<double> overshoot;
   for (uint64_t i = 0; i < cr.queries; ++i) {
     QueryRequest limited = req;
-    limited.deadline_ms = cr.deadline_ms;
+    limited.options.deadline_ms = cr.deadline_ms;
     t0 = std::chrono::steady_clock::now();
     QueryResponse resp = service.Eval(limited);
     double ms = MsSince(t0);
@@ -383,6 +384,90 @@ CancelResult RunCancellationLatency(size_t n, int reps) {
   cr.latency_p50_ms = overshoot[overshoot.size() / 2];
   cr.latency_max_ms = overshoot.back();
   return cr;
+}
+
+/// Streamed-delivery latency: the ladder query (Figure 7 (b), one answer
+/// per fixpoint iteration) evaluated with an AnswerSink attached, timing
+/// the first chunk's arrival against the full response. The data plane's
+/// whole point is that first_chunk <= total with room to spare — the
+/// regression gate asserts the p50s keep that order, which can only hold
+/// if chunks really leave the engine mid-fixpoint.
+struct StreamingResult {
+  std::string name;
+  uint64_t queries = 0;
+  uint64_t chunks = 0;  // total over all queries (>= 2 per query required)
+  double first_chunk_p50_ms = 0;
+  double first_chunk_p95_ms = 0;
+  double total_p50_ms = 0;
+  double total_p95_ms = 0;
+  bool ok = true;
+  std::string error;
+};
+
+StreamingResult RunStreaming(size_t n, int reps) {
+  StreamingResult sr;
+  sr.name = "streaming/fig7b/n=" + std::to_string(n);
+  Database db;
+  std::string source = workloads::Fig7b(db, n);
+  auto parsed = ParseProgram(workloads::SgProgramText(), db.symbols());
+  if (!parsed.ok()) {
+    sr.ok = false;
+    sr.error = parsed.status().message();
+    return sr;
+  }
+  QueryService service(&db, parsed.take(), {1, 64});
+  if (!service.status().ok()) {
+    sr.ok = false;
+    sr.error = service.status().message();
+    return sr;
+  }
+
+  /// Stamps the arrival of the first chunk relative to submission.
+  struct TimingSink : AnswerSink {
+    std::chrono::steady_clock::time_point t0;
+    double first_ms = -1;
+    uint64_t chunks = 0;
+    void OnAnswers(const Tuple*, size_t, const SymbolTable&) override {
+      if (first_ms < 0) first_ms = MsSince(t0);
+      ++chunks;
+    }
+  };
+
+  sr.queries = static_cast<uint64_t>(std::max(8, reps * 8));
+  std::vector<double> first, total;
+  QueryRequest req{"sg", source, "", {}};
+  for (uint64_t i = 0; i < sr.queries; ++i) {
+    TimingSink sink;
+    QueryRequest q = req;
+    q.sink = &sink;
+    sink.t0 = std::chrono::steady_clock::now();
+    QueryResponse resp = service.Eval(q);
+    double tot = MsSince(sink.t0);
+    if (!resp.status.ok()) {
+      sr.ok = false;
+      sr.error = resp.status.message();
+      return sr;
+    }
+    if (sink.first_ms < 0 || sink.chunks < 2) {
+      sr.ok = false;
+      sr.error = "expected >= 2 streamed chunks on the ladder, got " +
+                 std::to_string(sink.chunks);
+      return sr;
+    }
+    first.push_back(sink.first_ms);
+    total.push_back(tot);
+    sr.chunks += sink.chunks;
+  }
+  std::sort(first.begin(), first.end());
+  std::sort(total.begin(), total.end());
+  auto pct = [](const std::vector<double>& v, size_t p) {
+    return v[std::min(v.size() - 1, v.size() * p / 100)];
+  };
+  sr.first_chunk_p50_ms = pct(first, 50);
+  sr.first_chunk_p95_ms = pct(first, 95);
+  sr.total_p50_ms = pct(total, 50);
+  sr.total_p95_ms = pct(total, 95);
+  return sr;
 }
 
 /// Before/after cost of the observability layer on the service hot path:
@@ -769,6 +854,9 @@ int main(int argc, char** argv) {
   CancelResult cancel = RunCancellationLatency(512, reps);
   if (!cancel.ok) ++failures;
 
+  StreamingResult streaming = RunStreaming(std::max<size_t>(16, n / 2), reps);
+  if (!streaming.ok) ++failures;
+
   // Overhead is measured on the fig8 batch (queries that do ~1 ms of real
   // traversal each, the shape production queries have) at a thread count
   // the hardware can actually run — oversubscribed threads on a small CI
@@ -838,6 +926,19 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(cancel.partial_tuples));
   } else {
     std::printf("cancellation latency: ERROR: %s\n", cancel.error.c_str());
+  }
+  if (streaming.ok) {
+    std::printf(
+        "streamed delivery (%s): first chunk p50 %.3f ms / p95 %.3f ms, "
+        "full response p50 %.3f ms / p95 %.3f ms, %llu chunks over %llu "
+        "queries\n",
+        streaming.name.c_str(), streaming.first_chunk_p50_ms,
+        streaming.first_chunk_p95_ms, streaming.total_p50_ms,
+        streaming.total_p95_ms,
+        static_cast<unsigned long long>(streaming.chunks),
+        static_cast<unsigned long long>(streaming.queries));
+  } else {
+    std::printf("streamed delivery: ERROR: %s\n", streaming.error.c_str());
   }
   if (skewed.ok) {
     std::printf(
@@ -917,6 +1018,14 @@ int main(int argc, char** argv) {
         << ", \"latency_p50_ms\": " << cancel.latency_p50_ms
         << ", \"latency_max_ms\": " << cancel.latency_max_ms
         << ", \"status\": " << status_json(cancel.status) << "},\n";
+    out << "  \"streaming\": {\"name\": \"" << JsonEscape(streaming.name)
+        << "\", \"ok\": " << (streaming.ok ? "true" : "false")
+        << ", \"queries\": " << streaming.queries
+        << ", \"chunks\": " << streaming.chunks
+        << ", \"first_chunk_p50_ms\": " << streaming.first_chunk_p50_ms
+        << ", \"first_chunk_p95_ms\": " << streaming.first_chunk_p95_ms
+        << ", \"total_p50_ms\": " << streaming.total_p50_ms
+        << ", \"total_p95_ms\": " << streaming.total_p95_ms << "},\n";
     char off_hash[32], on_hash[32];
     std::snprintf(off_hash, sizeof(off_hash), "0x%016llx",
                   static_cast<unsigned long long>(skewed.result_hash_off));

@@ -215,6 +215,36 @@ def check_service(baseline, smoke, errors):
             "service: baseline has a cache_invalidation block but the "
             "smoke run produced none")
 
+    # Streamed delivery: the first chunk must land strictly before the
+    # full response on the ladder (the structural claim of the data
+    # plane — chunks leave the engine mid-fixpoint). Wall-noise-proof:
+    # both numbers come from the same queries in the same process.
+    streaming = smoke.get("streaming")
+    if streaming is not None:
+        if not streaming.get("ok", False):
+            errors.append(
+                f"service: streaming benchmark reports ok=false "
+                f"({streaming.get('name')})")
+        else:
+            first = streaming.get("first_chunk_p50_ms", 0)
+            total = streaming.get("total_p50_ms", 0)
+            if first >= total:
+                errors.append(
+                    "service: field 'streaming.first_chunk_p50_ms' "
+                    f"regressed: first chunk p50 {first} ms >= full "
+                    f"response p50 {total} ms on '{streaming.get('name')}' "
+                    "— streamed chunks no longer leave mid-evaluation")
+            queries = streaming.get("queries", 0)
+            if streaming.get("chunks", 0) < 2 * queries:
+                errors.append(
+                    "service: streaming benchmark averaged fewer than 2 "
+                    f"chunks per query ({streaming.get('chunks')} over "
+                    f"{queries}) — incremental delivery collapsed")
+    elif baseline.get("streaming") is not None:
+        errors.append(
+            "service: baseline has a streaming block but the smoke run "
+            "produced none")
+
     # Status codes: throughput batches are all-OK...
     for b in sm:
         status = b.get("status")

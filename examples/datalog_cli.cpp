@@ -83,6 +83,7 @@
 #include "obs/metrics.h"
 #include "server/admin_endpoints.h"
 #include "server/admin_server.h"
+#include "server/data_server.h"
 #include "service/query_service.h"
 #include "transform/binarize.h"
 
@@ -204,8 +205,7 @@ int DumpMetricsJson(const std::string& path, const QueryService* service) {
 /// startup recovery report when the deployment is durable (--wal), nullptr
 /// otherwise. Returns the process exit code.
 int RunLiveRepl(SnapshotManager& manager, QueryService& service,
-                const EvalOptions& options, bool print_stats,
-                double deadline_ms,
+                const QueryOptions& options, bool print_stats,
                 const durability::RecoveryStats* recovered,
                 const std::string& wal_dir,
                 std::function<Status()> finish_recovery) {
@@ -354,7 +354,6 @@ int RunLiveRepl(SnapshotManager& manager, QueryService& service,
       QueryRequest req;
       req.pred = pred;
       req.options = options;
-      req.deadline_ms = deadline_ms;
       if (!IsVariableSpelling(args[0])) req.source = args[0];
       if (!IsVariableSpelling(args[1])) req.target = args[1];
       req.diagonal = IsVariableSpelling(args[0]) && args[0] == args[1];
@@ -413,6 +412,8 @@ int main(int argc, char** argv) {
   size_t answer_cache_mb = 0;  // --answer-cache-mb=N: 0 keeps the cache off
   std::string metrics_json;  // --metrics-json=<path>: dump registry on exit
   int serve_obs = -1;        // --serve-obs=<port>: admin HTTP server (-1 off)
+  int serve_data = -1;       // --serve=<port>: data-plane HTTP server (-1 off)
+  double serve_qps = 0;      // --serve-qps=N: per-client rate limit (0 off)
   bool hold_recovery = false;  // --hold-recovery: defer replay to `recover`
   std::string path;
   for (int i = 1; i < argc; ++i) {
@@ -445,6 +446,10 @@ int main(int argc, char** argv) {
       metrics_json = arg.substr(15);
     } else if (arg.rfind("--serve-obs=", 0) == 0) {
       serve_obs = std::stoi(arg.substr(12));
+    } else if (arg.rfind("--serve-qps=", 0) == 0) {
+      serve_qps = std::stod(arg.substr(12));
+    } else if (arg.rfind("--serve=", 0) == 0) {
+      serve_data = std::stoi(arg.substr(8));
     } else if (arg == "--hold-recovery") {
       hold_recovery = true;
     } else if (arg == "--help") {
@@ -454,6 +459,7 @@ int main(int argc, char** argv) {
           "[--async] [--deadline-ms=X] [--queue-depth=N] "
           "[--answer-cache-mb=N] "
           "[--live] [--wal=<dir>] [--hold-recovery] [--serve-obs=<port>] "
+          "[--serve=<port>] [--serve-qps=<N>] "
           "[--metrics-json=<path>] [--stats] [--dot] "
           "<file.dl>\n");
       return 0;
@@ -474,6 +480,15 @@ int main(int argc, char** argv) {
     return Fail("--serve-obs requires --live");
   }
   if (serve_obs > 65535) return Fail("--serve-obs: port out of range");
+  if (serve_data >= 0 && !live) {
+    // Streaming queries need the live REPL's long-lived service behind
+    // them, same as the admin plane.
+    return Fail("--serve requires --live");
+  }
+  if (serve_data > 65535) return Fail("--serve: port out of range");
+  if (serve_qps > 0 && serve_data < 0) {
+    return Fail("--serve-qps requires --serve (it limits data-plane clients)");
+  }
   if (hold_recovery && wal_dir.empty()) {
     return Fail("--hold-recovery requires --wal (there is no replay to hold)");
   }
@@ -509,9 +524,10 @@ int main(int argc, char** argv) {
     Program program = parsed.take();
     Program rules_only = program;
     rules_only.queries.clear();
-    EvalOptions options;
+    QueryOptions options;
     options.use_cyclic_bound = cyclic_bound;
     options.max_iterations = max_iterations;
+    options.deadline_ms = deadline_ms;
 
     SnapshotManager manager(std::move(genesis));
     QueryService::Options opts;
@@ -539,6 +555,22 @@ int main(int argc, char** argv) {
       if (Status st = admin->Start(); !st.ok()) return Fail(st.message());
       std::printf("[admin] listening on http://127.0.0.1:%u\n",
                   static_cast<unsigned>(admin->port()));
+    }
+
+    // The data plane serves POST /v1/query — streamed NDJSON answer
+    // chunks with per-client rate limiting (docs/wire_protocol.md).
+    std::unique_ptr<server::DataServer> data_server;
+    if (serve_data >= 0) {
+      server::DataServerOptions dopts;
+      dopts.port = static_cast<uint16_t>(serve_data);
+      dopts.rate_limit.qps = serve_qps;
+      data_server =
+          std::make_unique<server::DataServer>(service.get(), dopts);
+      if (Status st = data_server->Start(); !st.ok()) {
+        return Fail(st.message());
+      }
+      std::printf("[data] listening on http://127.0.0.1:%u (POST /v1/query)\n",
+                  static_cast<unsigned>(data_server->port()));
     }
 
     durability::RecoveryStats recovery_stats;
@@ -588,13 +620,12 @@ int main(int argc, char** argv) {
       if (q.args[1].IsConst()) req.target = tip->symbols().Name(q.args[1].symbol);
       req.diagonal = q.args[0].IsVar() && q.args[0] == q.args[1];
       req.options = options;
-      req.deadline_ms = deadline_ms;
       QueryResponse resp = service->Eval(req);
       if (!resp.status.ok()) return Fail(resp.status.message());
       PrintAnswers(*tip, q, resp.tuples);
       if (print_stats) PrintEvalStats("live", resp.stats, resp.fetches);
     }
-    int rc = RunLiveRepl(manager, *service, options, print_stats, deadline_ms,
+    int rc = RunLiveRepl(manager, *service, options, print_stats,
                          wal_dir.empty() ? nullptr : &recovery_stats, wal_dir,
                          std::move(held_recovery));
     if (int mrc = DumpMetricsJson(metrics_json, service.get()); mrc != 0) {
@@ -623,9 +654,10 @@ int main(int argc, char** argv) {
     opts.answer_cache_bytes = answer_cache_mb << 20;
     QueryService service(&db, rules_only, opts);
     if (!service.status().ok()) return Fail(service.status().message());
-    EvalOptions options;
+    QueryOptions options;
     options.use_cyclic_bound = cyclic_bound;
     options.max_iterations = max_iterations;
+    options.deadline_ms = deadline_ms;
     std::vector<QueryRequest> batch;
     for (const Literal& q : program.queries) {
       if (q.arity() != 2) return Fail("service queries must be binary");
@@ -634,7 +666,6 @@ int main(int argc, char** argv) {
       if (q.args[0].IsConst()) req.source = db.symbols().Name(q.args[0].symbol);
       if (q.args[1].IsConst()) req.target = db.symbols().Name(q.args[1].symbol);
       req.diagonal = q.args[0].IsVar() && q.args[0] == q.args[1];
-      req.deadline_ms = deadline_ms;
       req.options = options;
       batch.push_back(std::move(req));
     }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "eval/answer_sink.h"
 #include "eval/eval_artifacts.h"
 #include "eval/rex_image.h"
 #include "util/check.h"
@@ -132,6 +133,17 @@ Result<std::vector<TermId>> Engine::EvalFrom(SymbolId pred, TermId source,
   em.set_final(machine.value()->final() + off);
 
   std::vector<TermId> answers;
+  // Streaming: answers[flushed..] are derived but not yet delivered to the
+  // term sink. Flushes ride the cancellation-point cadence below, so the
+  // no-sink hot path pays nothing beyond the poll branch it already had.
+  AnswerTermSink* term_sink = options.term_sink;
+  size_t flushed = 0;
+  auto flush_answers = [&] {
+    if (term_sink != nullptr && flushed < answers.size()) {
+      term_sink->OnTerms(answers.data() + flushed, answers.size() - flushed);
+      flushed = answers.size();
+    }
+  };
 
   // Transition predicates repeat across nodes; resolve each view once
   // through a dense SymbolId-indexed cache instead of a map lookup per arc.
@@ -160,15 +172,23 @@ Result<std::vector<TermId>> Engine::EvalFrom(SymbolId pred, TermId source,
   // expansions (stack pops), so the steady_clock read amortizes to noise.
   // With no token the whole machinery is one never-taken branch per pop.
   const CancelToken* cancel = options.cancel;
+  // The sink shares the token's decimated schedule: with either present
+  // the stride countdown runs; a stride tick first flushes new answers
+  // (streamed latency is bounded by the same few-ms worst case the token
+  // doc argues), then polls the token if one rides the query.
+  const bool stride_active = cancel != nullptr || term_sink != nullptr;
   size_t cancel_countdown = kCancelCheckStride;
   auto traverse = [&]() {
     while (!stack_.empty()) {
-      if (cancel != nullptr && --cancel_countdown == 0) {
+      if (stride_active && --cancel_countdown == 0) {
         cancel_countdown = kCancelCheckStride;
-        ++st.cancel_checks;
-        if (cancel->ShouldStop()) {
-          st.cancelled = true;
-          return;
+        flush_answers();
+        if (cancel != nullptr) {
+          ++st.cancel_checks;
+          if (cancel->ShouldStop()) {
+            st.cancelled = true;
+            return;
+          }
         }
       }
       auto [q, u] = stack_.back();
@@ -227,6 +247,10 @@ Result<std::vector<TermId>> Engine::EvalFrom(SymbolId pred, TermId source,
     if (!view_error.ok()) return view_error;
     ++st.iterations;
     st.answers_per_iteration.push_back(answers.size());
+    // Iteration boundary: everything this iteration derived is a valid
+    // answer prefix (Lemma 2), so it streams now — before the cancelled /
+    // C = 0 breaks, keeping the chunk stream a true prefix on every exit.
+    flush_answers();
     seeds_.clear();
     if (st.cancelled) break;  // unwind with the partial answer set
     if (c_by_state_.empty()) break;  // C = 0: done
@@ -283,6 +307,9 @@ Result<std::vector<TermId>> Engine::EvalFrom(SymbolId pred, TermId source,
   st.fetches = Relation::ThreadFetchCount() - tls_fetches_before;
   st.wide_mask_scans = Relation::ThreadWideScanCount() - tls_wide_before;
   st.memo_hits = EvalArtifacts::ThreadMemoHits() - tls_memo_before;
+  // Last flush strictly before the sort: the stream is in derivation
+  // order, exactly once per term; the returned vector stays sorted.
+  flush_answers();
   std::sort(answers.begin(), answers.end());
   return answers;
 }

@@ -31,6 +31,9 @@
 
 namespace binchain {
 
+class AnswerTermSink;  // eval/answer_sink.h (engine-level chunk consumer)
+class AnswerSink;      // eval/answer_sink.h (tuple-level, QueryEngine)
+
 struct EvalStats {
   uint64_t nodes = 0;        // |G|: (state, term) pairs created
   uint64_t arcs = 0;         // arc traversals (edge enumerations)
@@ -90,6 +93,21 @@ struct EvalOptions {
   /// Borrowed — must outlive the evaluation call. nullptr disables polling
   /// entirely (the only residual cost is one pointer test per expansion).
   const CancelToken* cancel = nullptr;
+
+  /// Streaming: newly derived answer tuples are delivered in chunks while
+  /// the evaluation runs, shaped per the query's binding pattern. Consumed
+  /// by QueryEngine::Query (which installs the term-level adapter below);
+  /// Engine::EvalFrom itself never reads this field. Borrowed — must
+  /// outlive the evaluating call. See eval/answer_sink.h.
+  AnswerSink* sink = nullptr;
+
+  /// Engine-level streaming: EvalFrom flushes newly derived answer terms
+  /// here at its cancellation points (every kCancelCheckStride node
+  /// expansions, once per fixpoint iteration, and once before the final
+  /// sort), exactly once per term, in derivation order. Set by
+  /// QueryEngine's shaping adapters; direct EvalFrom callers may install
+  /// their own. Borrowed — must outlive the evaluating call.
+  AnswerTermSink* term_sink = nullptr;
 };
 
 class Engine {

@@ -3,11 +3,65 @@
 #include <algorithm>
 
 #include "datalog/parser.h"
+#include "eval/answer_sink.h"
 #include "eval/closure.h"
 #include "eval/eval_artifacts.h"
 #include "util/check.h"
 
 namespace binchain {
+
+namespace {
+
+/// Bridges the engine's TermId flushes to the request's tuple-level sink,
+/// applying the same shaping and filtering as the blocking result loops
+/// in QueryEngine::Query — so a streamed chunk carries exactly the tuples
+/// the final answer will. Stack-local per EvalFrom call; the buffer is
+/// reused across chunks.
+class ShapingTermSink : public AnswerTermSink {
+ public:
+  /// kForward emits {fixed, term}; kInverted emits {term, fixed}.
+  enum class Shape { kForward, kInverted };
+
+  ShapingTermSink(AnswerSink* sink, TermPool* pool,
+                  const SymbolTable* symbols, Shape shape, SymbolId fixed)
+      : sink_(sink), pool_(pool), symbols_(symbols), shape_(shape),
+        fixed_(fixed) {}
+
+  /// Drops terms whose constant differs from `to` (the p(a, b) membership
+  /// filter, or the diagonal's y == x).
+  void FilterTo(SymbolId to) {
+    filter_ = true;
+    filter_to_ = to;
+  }
+
+  void OnTerms(const TermId* terms, size_t count) override {
+    buf_.clear();
+    for (size_t i = 0; i < count; ++i) {
+      SymbolId c = pool_->AsUnary(terms[i]);
+      if (filter_ && c != filter_to_) continue;
+      if (shape_ == Shape::kForward) {
+        buf_.push_back(Tuple{fixed_, c});
+      } else {
+        buf_.push_back(Tuple{c, fixed_});
+      }
+    }
+    // Chunks are never empty: a flush whose terms all failed the filter
+    // simply produces nothing.
+    if (!buf_.empty()) sink_->OnAnswers(buf_.data(), buf_.size(), *symbols_);
+  }
+
+ private:
+  AnswerSink* sink_;
+  TermPool* pool_;
+  const SymbolTable* symbols_;
+  Shape shape_;
+  SymbolId fixed_;
+  bool filter_ = false;
+  SymbolId filter_to_ = 0;
+  std::vector<Tuple> buf_;
+};
+
+}  // namespace
 
 void LoadFactsInto(Database& db, const std::vector<Literal>& facts) {
   for (const Literal& f : facts) {
@@ -281,6 +335,11 @@ Result<QueryAnswer> QueryEngine::Query(const Literal& query,
       if (match) answer.tuples.push_back(Tuple(t));
     }
     std::sort(answer.tuples.begin(), answer.tuples.end());
+    // No traversal to stream from: the whole (sorted) scan is one chunk.
+    if (options.sink != nullptr && !answer.tuples.empty()) {
+      options.sink->OnAnswers(answer.tuples.data(), answer.tuples.size(),
+                              db_->symbols());
+    }
     answer.fetches = fetch_total() - fetches_before;
     answer.stats.fetches = answer.fetches;
     answer.stats.wide_mask_scans =
@@ -297,7 +356,12 @@ Result<QueryAnswer> QueryEngine::Query(const Literal& query,
 
   if (a0.IsConst()) {
     // p(a, Y) or p(a, b).
-    auto r = engine_->EvalFrom(pred, pool.Unary(a0.symbol), options,
+    EvalOptions opts = options;
+    ShapingTermSink shaping(options.sink, &pool, &db_->symbols(),
+                            ShapingTermSink::Shape::kForward, a0.symbol);
+    if (a1.IsConst()) shaping.FilterTo(a1.symbol);
+    if (options.sink != nullptr) opts.term_sink = &shaping;
+    auto r = engine_->EvalFrom(pred, pool.Unary(a0.symbol), opts,
                                &answer.stats);
     if (!r.ok()) return r.status();
     for (TermId y : r.value()) {
@@ -307,8 +371,12 @@ Result<QueryAnswer> QueryEngine::Query(const Literal& query,
     }
   } else if (a1.IsConst()) {
     // p(X, b): evaluate the inverted system from b.
+    EvalOptions opts = options;
+    ShapingTermSink shaping(options.sink, &pool, &db_->symbols(),
+                            ShapingTermSink::Shape::kInverted, a1.symbol);
+    if (options.sink != nullptr) opts.term_sink = &shaping;
     auto r = inv_engine_->EvalFrom(plan_->inverse_of.at(pred),
-                                   pool.Unary(a1.symbol), options,
+                                   pool.Unary(a1.symbol), opts,
                                    &answer.stats);
     if (!r.ok()) return r.status();
     for (TermId x : r.value()) {
@@ -316,13 +384,23 @@ Result<QueryAnswer> QueryEngine::Query(const Literal& query,
     }
   } else if (!options.disable_closure_sharing &&
              TryAllPairsClosure(pred, query, options, &answer)) {
-    // Handled by the shared Tarjan-condensation closure.
+    // Handled by the shared Tarjan-condensation closure: no traversal to
+    // stream from, so the whole (already sorted) answer set is one chunk.
+    if (options.sink != nullptr && !answer.tuples.empty()) {
+      options.sink->OnAnswers(answer.tuples.data(), answer.tuples.size(),
+                              db_->symbols());
+    }
   } else {
     // p(X, Y) / p(X, X): evaluate from every candidate source.
     bool diagonal = (a0 == a1);
     for (SymbolId c : CandidateSources(pred)) {
       EvalStats stats;
-      auto r = engine_->EvalFrom(pred, pool.Unary(c), options, &stats);
+      EvalOptions opts = options;
+      ShapingTermSink shaping(options.sink, &pool, &db_->symbols(),
+                              ShapingTermSink::Shape::kForward, c);
+      if (diagonal) shaping.FilterTo(c);
+      if (options.sink != nullptr) opts.term_sink = &shaping;
+      auto r = engine_->EvalFrom(pred, pool.Unary(c), opts, &stats);
       if (!r.ok()) return r.status();
       answer.stats.nodes += stats.nodes;
       answer.stats.arcs += stats.arcs;

@@ -63,6 +63,7 @@ void QueryTrace::RenderJson(std::string* out) const {
   out->append(", \"memo_hits\": ").append(std::to_string(memo_hits));
   out->append(", \"cancel_checks\": ").append(std::to_string(cancel_checks));
   out->append(", \"answers\": ").append(std::to_string(answers));
+  out->append(", \"chunks\": ").append(std::to_string(chunks));
   out->append(", \"epoch\": ").append(std::to_string(epoch));
   out->append(", \"timed_out\": ").append(timed_out ? "true" : "false");
   out->append(", \"cancelled\": ").append(cancelled ? "true" : "false");

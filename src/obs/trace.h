@@ -65,6 +65,10 @@ struct QueryTrace {
   uint64_t memo_hits = 0;      ///< closure/adjacency memo hits
   uint64_t cancel_checks = 0;  ///< cancellation polls observed
   uint64_t answers = 0;        ///< result tuples produced
+  /// Streamed answer chunks delivered to the request's AnswerSink (0 for
+  /// non-streaming requests; 1 for replayed answers — cache hits and
+  /// collapsed queries arrive as a single chunk).
+  uint64_t chunks = 0;
   uint64_t epoch = 0;          ///< snapshot epoch the query ran against
 
   /// Terminal disposition, mirroring QueryResponse's flags.

@@ -12,91 +12,9 @@
 namespace binchain {
 namespace server {
 
-namespace {
-
-const char* ReasonPhrase(int status) {
-  switch (status) {
-    case 200: return "OK";
-    case 400: return "Bad Request";
-    case 404: return "Not Found";
-    case 405: return "Method Not Allowed";
-    case 431: return "Request Header Fields Too Large";
-    case 500: return "Internal Server Error";
-    case 503: return "Service Unavailable";
-    default:  return "Unknown";
-  }
-}
-
-/// Minimal percent-decoding for query parameter values ('+' => space).
-std::string UrlDecode(const std::string& in) {
-  std::string out;
-  out.reserve(in.size());
-  for (size_t i = 0; i < in.size(); ++i) {
-    if (in[i] == '+') {
-      out.push_back(' ');
-    } else if (in[i] == '%' && i + 2 < in.size()) {
-      auto hex = [](char c) -> int {
-        if (c >= '0' && c <= '9') return c - '0';
-        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
-        if (c >= 'A' && c <= 'F') return c - 'A' + 10;
-        return -1;
-      };
-      int hi = hex(in[i + 1]), lo = hex(in[i + 2]);
-      if (hi >= 0 && lo >= 0) {
-        out.push_back(static_cast<char>(hi * 16 + lo));
-        i += 2;
-      } else {
-        out.push_back('%');
-      }
-    } else {
-      out.push_back(in[i]);
-    }
-  }
-  return out;
-}
-
-void ParseQueryString(const std::string& qs, HttpRequest* req) {
-  size_t pos = 0;
-  while (pos < qs.size()) {
-    size_t amp = qs.find('&', pos);
-    if (amp == std::string::npos) amp = qs.size();
-    std::string pair = qs.substr(pos, amp - pos);
-    size_t eq = pair.find('=');
-    if (eq == std::string::npos) {
-      if (!pair.empty()) req->params[UrlDecode(pair)] = "";
-    } else {
-      req->params[UrlDecode(pair.substr(0, eq))] =
-          UrlDecode(pair.substr(eq + 1));
-    }
-    pos = amp + 1;
-  }
-}
-
-/// Writes the whole buffer, tolerating short sends. MSG_NOSIGNAL: a
-/// client that hung up mid-response must surface as EPIPE, not SIGPIPE.
-bool SendAll(int fd, const char* data, size_t n) {
-  size_t off = 0;
-  while (off < n) {
-    ssize_t w = send(fd, data + off, n - off, MSG_NOSIGNAL);
-    if (w <= 0) {
-      if (w < 0 && errno == EINTR) continue;
-      return false;
-    }
-    off += static_cast<size_t>(w);
-  }
-  return true;
-}
-
-/// Plain fixed responses for connections the handler pool never sees
-/// (accept-queue overflow, oversized heads, parse failures).
-void SendBareStatus(int fd, int status) {
-  std::string head = "HTTP/1.1 " + std::to_string(status) + " " +
-                     ReasonPhrase(status) +
-                     "\r\nContent-Length: 0\r\nConnection: close\r\n\r\n";
-  SendAll(fd, head.data(), head.size());
-}
-
-}  // namespace
+// Wire helpers (ReasonPhrase, UrlDecode, ParseQueryString, SendAll,
+// SendBareStatus, OpenListenSocket) are shared with the data plane and
+// live in http_common.cc.
 
 AdminServer::AdminServer(AdminServerOptions options)
     : options_(std::move(options)) {}
@@ -111,42 +29,10 @@ Status AdminServer::Start() {
   if (running_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition("admin server already running");
   }
-  int fd = socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return Status::Internal(std::string("socket: ") + std::strerror(errno));
-  }
-  int one = 1;
-  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(options_.port);
-  if (inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
-    close(fd);
-    return Status::InvalidArgument("bad bind address '" +
-                                   options_.bind_address + "'");
-  }
-  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    Status s = Status::Internal(std::string("bind: ") + std::strerror(errno));
-    close(fd);
-    return s;
-  }
-  if (listen(fd, options_.accept_backlog) != 0) {
-    Status s = Status::Internal(std::string("listen: ") + std::strerror(errno));
-    close(fd);
-    return s;
-  }
-  // Resolve an ephemeral bind (option port 0) to the kernel's pick.
-  sockaddr_in bound{};
-  socklen_t len = sizeof(bound);
-  if (getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
-    Status s =
-        Status::Internal(std::string("getsockname: ") + std::strerror(errno));
-    close(fd);
-    return s;
-  }
-  port_ = ntohs(bound.sin_port);
-  listen_fd_.store(fd, std::memory_order_release);
+  Result<int> opened = OpenListenSocket(options_.bind_address, options_.port,
+                                        options_.accept_backlog, &port_);
+  if (!opened.ok()) return opened.status();
+  listen_fd_.store(opened.value(), std::memory_order_release);
 
   running_.store(true, std::memory_order_release);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
@@ -211,9 +97,11 @@ void AdminServer::AcceptLoop() {
       queue_cv_.notify_one();
     } else {
       // Burst past the hand-off queue: shed on the accept thread itself,
-      // mirroring the query service's kOverloaded admission control.
+      // mirroring the query service's kOverloaded admission control. The
+      // Retry-After tells scrapers the overload is momentary — the queue
+      // drains in well under a second once the burst passes.
       errors_.fetch_add(1, std::memory_order_relaxed);
-      SendBareStatus(fd, 503);
+      SendBareStatus(fd, 503, /*retry_after_s=*/1);
       close(fd);
     }
   }
@@ -267,31 +155,16 @@ void AdminServer::ServeConnection(int fd) {
     return;
   }
 
-  // Request line: METHOD SP target SP version.
-  size_t line_end = head.find("\r\n");
-  if (line_end == std::string::npos) line_end = head.find('\n');
-  std::string line = head.substr(0, line_end);
-  size_t sp1 = line.find(' ');
-  size_t sp2 = sp1 == std::string::npos ? std::string::npos
-                                        : line.find(' ', sp1 + 1);
-  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+  HttpRequest req;
+  if (!ParseRequestHead(head, &req)) {
     errors_.fetch_add(1, std::memory_order_relaxed);
     SendBareStatus(fd, 400);
     return;
   }
-  std::string method = line.substr(0, sp1);
-  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
-  if (method != "GET") {
+  if (req.method != "GET") {
     errors_.fetch_add(1, std::memory_order_relaxed);
     SendBareStatus(fd, 405);
     return;
-  }
-
-  HttpRequest req;
-  size_t qmark = target.find('?');
-  req.path = target.substr(0, qmark);
-  if (qmark != std::string::npos) {
-    ParseQueryString(target.substr(qmark + 1), &req);
   }
 
   auto it = handlers_.find(req.path);
@@ -316,9 +189,11 @@ void AdminServer::WriteResponse(int fd, const HttpResponse& resp) {
       .append("\r\nContent-Type: ")
       .append(resp.content_type)
       .append("\r\nContent-Length: ")
-      .append(std::to_string(resp.body.size()))
-      .append("\r\nConnection: close\r\n\r\n")
-      .append(resp.body);
+      .append(std::to_string(resp.body.size()));
+  if (resp.retry_after_s > 0) {
+    out.append("\r\nRetry-After: ").append(std::to_string(resp.retry_after_s));
+  }
+  out.append("\r\nConnection: close\r\n\r\n").append(resp.body);
   SendAll(fd, out.data(), out.size());
   requests_.fetch_add(1, std::memory_order_relaxed);
   if (resp.status < 200 || resp.status >= 300) {

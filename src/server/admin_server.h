@@ -34,13 +34,13 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "server/http_common.h"
 #include "util/status.h"
 
 namespace binchain {
@@ -70,20 +70,8 @@ struct AdminServerOptions {
   size_t queue_capacity = 64;
 };
 
-/// A parsed GET request: the path, plus decoded query parameters
-/// (`?last=25` => params["last"] == "25"; bare keys map to "").
-struct HttpRequest {
-  std::string path;
-  std::map<std::string, std::string> params;
-};
-
-struct HttpResponse {
-  int status = 200;
-  std::string content_type = "text/plain; charset=utf-8";
-  std::string body;
-};
-
-using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+// HttpRequest / HttpResponse / HttpHandler live in http_common.h — one
+// wire vocabulary shared with the data plane (DataServer).
 
 class AdminServer {
  public:

@@ -1,0 +1,945 @@
+#include "server/data_server.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <arpa/inet.h>
+
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "eval/answer_sink.h"
+#include "obs/metrics.h"
+#include "service/query_service.h"
+#include "storage/symbol_table.h"
+#include "storage/tuple.h"
+
+namespace binchain {
+namespace server {
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Wire name of a terminal status, used in the trailer and error bodies.
+const char* StatusWireName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid_argument";
+    case StatusCode::kUnsupported: return "unsupported";
+    case StatusCode::kNotFound: return "not_found";
+    case StatusCode::kFailedPrecondition: return "failed_precondition";
+    case StatusCode::kDeadlineExceeded: return "deadline_exceeded";
+    case StatusCode::kCancelled: return "cancelled";
+    case StatusCode::kOverloaded: return "overloaded";
+    case StatusCode::kUnavailable: return "unavailable";
+    case StatusCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string EscapeJson(const std::string& in) {
+  std::string out;
+  out.reserve(in.size() + 2);
+  for (char c : in) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------------------ JSON input
+//
+// A deliberately small recursive-descent parser for the request body —
+// objects, strings (with the escapes EscapeJson emits), numbers, bools,
+// null, and arrays (parsed, but no request field wants one). Depth is
+// bounded; anything malformed fails the whole parse and the request is
+// answered 400. Not a general JSON library and not trying to be one: the
+// body grammar is fixed by docs/wire_protocol.md.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool b = false;
+  double num = 0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::map<std::string, JsonValue> obj;
+
+  const JsonValue* Get(const std::string& key) const {
+    auto it = obj.find(key);
+    return it == obj.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text)
+      : p_(text.data()), end_(text.data() + text.size()) {}
+
+  bool Parse(JsonValue* out) {
+    SkipWs();
+    if (!ParseValue(out, /*depth=*/0)) return false;
+    SkipWs();
+    return p_ == end_;  // trailing garbage is an error
+  }
+
+ private:
+  static constexpr int kMaxDepth = 16;
+
+  void SkipWs() {
+    while (p_ < end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' ||
+                         *p_ == '\r')) {
+      ++p_;
+    }
+  }
+
+  bool Literal(const char* lit) {
+    size_t n = std::strlen(lit);
+    if (static_cast<size_t>(end_ - p_) < n || std::strncmp(p_, lit, n) != 0) {
+      return false;
+    }
+    p_ += n;
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth || p_ == end_) return false;
+    switch (*p_) {
+      case '{': return ParseObject(out, depth);
+      case '[': return ParseArray(out, depth);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return ParseString(&out->str);
+      case 't':
+        out->kind = JsonValue::Kind::kBool;
+        out->b = true;
+        return Literal("true");
+      case 'f':
+        out->kind = JsonValue::Kind::kBool;
+        out->b = false;
+        return Literal("false");
+      case 'n':
+        out->kind = JsonValue::Kind::kNull;
+        return Literal("null");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(JsonValue* out, int depth) {
+    out->kind = JsonValue::Kind::kObject;
+    ++p_;  // '{'
+    SkipWs();
+    if (p_ < end_ && *p_ == '}') {
+      ++p_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      std::string key;
+      if (p_ == end_ || *p_ != '"' || !ParseString(&key)) return false;
+      SkipWs();
+      if (p_ == end_ || *p_ != ':') return false;
+      ++p_;
+      SkipWs();
+      if (!ParseValue(&out->obj[key], depth + 1)) return false;
+      SkipWs();
+      if (p_ == end_) return false;
+      if (*p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (*p_ == '}') {
+        ++p_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseArray(JsonValue* out, int depth) {
+    out->kind = JsonValue::Kind::kArray;
+    ++p_;  // '['
+    SkipWs();
+    if (p_ < end_ && *p_ == ']') {
+      ++p_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      out->arr.emplace_back();
+      if (!ParseValue(&out->arr.back(), depth + 1)) return false;
+      SkipWs();
+      if (p_ == end_) return false;
+      if (*p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (*p_ == ']') {
+        ++p_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    ++p_;  // opening quote
+    while (p_ < end_) {
+      char c = *p_++;
+      if (c == '"') return true;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (p_ == end_) return false;
+      char esc = *p_++;
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'u': {
+          if (end_ - p_ < 4) return false;
+          int cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = *p_++;
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= h - '0';
+            else if (h >= 'a' && h <= 'f') cp |= h - 'a' + 10;
+            else if (h >= 'A' && h <= 'F') cp |= h - 'A' + 10;
+            else return false;
+          }
+          // Constants are ASCII in practice; encode BMP code points as
+          // UTF-8 so round-trips stay lossless.
+          if (cp < 0x80) {
+            out->push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default: return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const char* start = p_;
+    if (p_ < end_ && (*p_ == '-' || *p_ == '+')) ++p_;
+    bool digits = false;
+    while (p_ < end_ && ((*p_ >= '0' && *p_ <= '9') || *p_ == '.' ||
+                         *p_ == 'e' || *p_ == 'E' || *p_ == '-' ||
+                         *p_ == '+')) {
+      if (*p_ >= '0' && *p_ <= '9') digits = true;
+      ++p_;
+    }
+    if (!digits) return false;
+    out->kind = JsonValue::Kind::kNumber;
+    out->num = std::strtod(std::string(start, p_).c_str(), nullptr);
+    return true;
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+/// Decodes the wire body into the canonical QueryRequest (sink left
+/// unset). Returns a non-OK status with a client-facing message on any
+/// shape violation; unknown top-level keys are rejected so typos fail
+/// loudly instead of silently evaluating something else.
+Status DecodeQueryBody(const std::string& body, QueryRequest* out,
+                       bool* stream, std::string* client_id) {
+  JsonValue root;
+  if (!JsonParser(body).Parse(&root) ||
+      root.kind != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument("body is not a JSON object");
+  }
+  auto want_string = [](const JsonValue* v) {
+    return v != nullptr && v->kind == JsonValue::Kind::kString;
+  };
+  auto want_bool = [](const JsonValue* v) {
+    return v != nullptr && v->kind == JsonValue::Kind::kBool;
+  };
+  auto want_number = [](const JsonValue* v) {
+    return v != nullptr && v->kind == JsonValue::Kind::kNumber;
+  };
+
+  for (const auto& [key, value] : root.obj) {
+    if (key == "pred" || key == "source" || key == "target" ||
+        key == "client_id") {
+      if (value.kind != JsonValue::Kind::kString) {
+        return Status::InvalidArgument("\"" + key + "\" must be a string");
+      }
+    } else if (key == "diagonal" || key == "stream") {
+      if (value.kind != JsonValue::Kind::kBool) {
+        return Status::InvalidArgument("\"" + key + "\" must be a boolean");
+      }
+    } else if (key == "options") {
+      if (value.kind != JsonValue::Kind::kObject) {
+        return Status::InvalidArgument("\"options\" must be an object");
+      }
+    } else {
+      return Status::InvalidArgument("unknown field \"" + key + "\"");
+    }
+  }
+
+  const JsonValue* pred = root.Get("pred");
+  if (!want_string(pred) || pred->str.empty()) {
+    return Status::InvalidArgument("\"pred\" (non-empty string) is required");
+  }
+  out->pred = pred->str;
+  if (const JsonValue* v = root.Get("source"); want_string(v)) {
+    out->source = v->str;
+  }
+  if (const JsonValue* v = root.Get("target"); want_string(v)) {
+    out->target = v->str;
+  }
+  if (const JsonValue* v = root.Get("diagonal"); want_bool(v)) {
+    out->diagonal = v->b;
+  }
+  if (out->diagonal && (!out->source.empty() || !out->target.empty())) {
+    return Status::InvalidArgument(
+        "\"diagonal\" requires free source and target");
+  }
+  if (const JsonValue* v = root.Get("stream"); want_bool(v)) *stream = v->b;
+  if (const JsonValue* v = root.Get("client_id"); want_string(v)) {
+    *client_id = v->str;
+  }
+
+  if (const JsonValue* opts = root.Get("options")) {
+    for (const auto& [key, value] : opts->obj) {
+      if (key == "deadline_ms") {
+        if (!want_number(&value) || value.num < 0) {
+          return Status::InvalidArgument(
+              "\"options.deadline_ms\" must be a non-negative number");
+        }
+        out->options.deadline_ms = value.num;
+      } else if (key == "max_iterations") {
+        if (!want_number(&value) || value.num < 0) {
+          return Status::InvalidArgument(
+              "\"options.max_iterations\" must be a non-negative number");
+        }
+        out->options.max_iterations = static_cast<size_t>(value.num);
+      } else if (key == "use_cyclic_bound") {
+        if (!want_bool(&value)) {
+          return Status::InvalidArgument(
+              "\"options.use_cyclic_bound\" must be a boolean");
+        }
+        out->options.use_cyclic_bound = value.b;
+      } else if (key == "disable_closure_sharing") {
+        if (!want_bool(&value)) {
+          return Status::InvalidArgument(
+              "\"options.disable_closure_sharing\" must be a boolean");
+        }
+        out->options.disable_closure_sharing = value.b;
+      } else {
+        return Status::InvalidArgument("unknown field \"options." + key +
+                                       "\"");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------- answer stream
+
+/// Hand-off buffer between the evaluating worker (the sink's producer
+/// side) and the HTTP handler draining lines to the socket. `done` is set
+/// by the batch completion callback — strictly after the last sink call,
+/// so `done && lines.empty()` means the stream is complete.
+struct StreamState {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::string> lines;
+  bool done = false;
+};
+
+/// Renders each answer chunk as one NDJSON line. Runs on the evaluating
+/// worker thread; keeps only the rendered string under the lock.
+class NdjsonSink : public AnswerSink {
+ public:
+  explicit NdjsonSink(StreamState* state) : state_(state) {}
+
+  void OnAnswers(const Tuple* tuples, size_t count,
+                 const SymbolTable& symbols) override {
+    std::string line = "{\"tuples\": [";
+    for (size_t i = 0; i < count; ++i) {
+      if (i > 0) line += ", ";
+      line += "[\"";
+      line += EscapeJson(symbols.Name(tuples[i][0]));
+      line += "\", \"";
+      line += EscapeJson(symbols.Name(tuples[i][1]));
+      line += "\"]";
+    }
+    line += "]}\n";
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      state_->lines.push_back(std::move(line));
+    }
+    state_->cv.notify_one();
+  }
+
+ private:
+  StreamState* state_;
+};
+
+/// The stream's final NDJSON line: terminal status, epoch, and the
+/// evaluation's effort counters. `chunks` counts the answer lines (the
+/// trailer itself excluded), matching QueryTrace::chunks.
+std::string RenderTrailer(const QueryResponse& resp) {
+  char ms[64];
+  std::string out = "{\"trailer\": {\"status\": \"";
+  out += StatusWireName(resp.status.code());
+  out += "\"";
+  if (!resp.status.ok()) {
+    out += ", \"message\": \"" + EscapeJson(resp.status.message()) + "\"";
+  }
+  out += ", \"epoch\": " + std::to_string(resp.epoch);
+  out += ", \"answers\": " + std::to_string(resp.tuples.size());
+  out += ", \"chunks\": " + std::to_string(resp.trace.chunks);
+  out += resp.timed_out ? ", \"timed_out\": true" : ", \"timed_out\": false";
+  out += resp.cancelled ? ", \"cancelled\": true" : ", \"cancelled\": false";
+  out += resp.partial ? ", \"partial\": true" : ", \"partial\": false";
+  out += ", \"stats\": {\"nodes\": " + std::to_string(resp.stats.nodes);
+  out += ", \"iterations\": " + std::to_string(resp.stats.iterations);
+  out += ", \"fetches\": " + std::to_string(resp.fetches) + "}";
+  std::snprintf(ms, sizeof(ms), "%.3f", resp.trace.eval_ms);
+  out += std::string(", \"eval_ms\": ") + ms;
+  std::snprintf(ms, sizeof(ms), "%.3f", resp.trace.total_ms);
+  out += std::string(", \"total_ms\": ") + ms;
+  out += "}}\n";
+  return out;
+}
+
+// ------------------------------------------------------- response framing
+
+bool SendResponseHead(int fd, int status, bool keep_alive, bool chunked,
+                      size_t content_length, int retry_after_s) {
+  std::string head = "HTTP/1.1 " + std::to_string(status) + " " +
+                     ReasonPhrase(status) +
+                     "\r\nContent-Type: application/x-ndjson\r\n";
+  if (chunked) {
+    head += "Transfer-Encoding: chunked\r\n";
+  } else {
+    head += "Content-Length: " + std::to_string(content_length) + "\r\n";
+  }
+  if (retry_after_s > 0) {
+    head += "Retry-After: " + std::to_string(retry_after_s) + "\r\n";
+  }
+  head += keep_alive ? "Connection: keep-alive\r\n\r\n"
+                     : "Connection: close\r\n\r\n";
+  return SendAll(fd, head.data(), head.size());
+}
+
+/// One HTTP chunk: hex size line, payload, CRLF.
+bool SendChunk(int fd, const std::string& payload) {
+  char size_line[32];
+  int n = std::snprintf(size_line, sizeof(size_line), "%zx\r\n",
+                        payload.size());
+  std::string frame;
+  frame.reserve(payload.size() + n + 2);
+  frame.append(size_line, static_cast<size_t>(n));
+  frame.append(payload);
+  frame.append("\r\n");
+  return SendAll(fd, frame.data(), frame.size());
+}
+
+bool SendLastChunk(int fd) { return SendAll(fd, "0\r\n\r\n", 5); }
+
+}  // namespace
+
+DataServer::DataServer(QueryService* service, DataServerOptions options)
+    : options_(std::move(options)),
+      service_(service),
+      limiter_(options_.rate_limit) {
+  obs::Registry& reg = obs::Registry::Global();
+  m_requests_ = reg.GetCounter("binchain_dataplane_requests_total",
+                               "Data-plane HTTP requests decoded and routed");
+  m_streamed_ = reg.GetCounter(
+      "binchain_dataplane_streamed_total",
+      "Data-plane queries answered with chunked streaming responses");
+  m_chunks_ = reg.GetCounter(
+      "binchain_dataplane_chunks_total",
+      "Answer chunks written to data-plane sockets (trailers excluded)");
+  m_rate_limited_ = reg.GetCounter(
+      "binchain_dataplane_rate_limited_total",
+      "Data-plane requests answered 429 by the per-client token bucket");
+  m_overloaded_ = reg.GetCounter(
+      "binchain_dataplane_overloaded_total",
+      "Data-plane requests answered 503 (service shed or not serving)");
+  m_errors_ = reg.GetCounter(
+      "binchain_dataplane_errors_total",
+      "Data-plane requests answered with a non-2xx status or dropped");
+  m_active_connections_ =
+      reg.GetGauge("binchain_dataplane_active_connections",
+                   "Data-plane connections currently held by a handler");
+  m_request_ms_ = reg.GetHistogram(
+      "binchain_dataplane_request_ms",
+      "Data-plane request wall time, decode to last byte written");
+  m_first_chunk_ms_ = reg.GetHistogram(
+      "binchain_dataplane_first_chunk_ms",
+      "Decode-to-first-answer-chunk latency of streamed data-plane queries");
+}
+
+DataServer::~DataServer() { Stop(); }
+
+Status DataServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("data server already running");
+  }
+  Result<int> opened = OpenListenSocket(options_.bind_address, options_.port,
+                                        options_.accept_backlog, &port_);
+  if (!opened.ok()) return opened.status();
+  listen_fd_.store(opened.value(), std::memory_order_release);
+
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  size_t n = options_.handler_threads == 0 ? 1 : options_.handler_threads;
+  handler_threads_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    handler_threads_.emplace_back([this] { HandlerLoop(); });
+  }
+  return Status::Ok();
+}
+
+void DataServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
+    shutdown(fd, SHUT_RDWR);
+    close(fd);
+  }
+  queue_cv_.notify_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (std::thread& t : handler_threads_) {
+    if (t.joinable()) t.join();
+  }
+  handler_threads_.clear();
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  for (int queued : conn_queue_) close(queued);
+  conn_queue_.clear();
+  port_ = 0;
+}
+
+void DataServer::AcceptLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    int listen_fd = listen_fd_.load(std::memory_order_acquire);
+    if (listen_fd < 0) return;
+    int fd = accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    timeval tv{};
+    tv.tv_sec = options_.io_timeout_ms / 1000;
+    tv.tv_usec = (options_.io_timeout_ms % 1000) * 1000;
+    setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+    bool enqueued = false;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (conn_queue_.size() < options_.queue_capacity) {
+        conn_queue_.push_back(fd);
+        enqueued = true;
+      }
+    }
+    if (enqueued) {
+      queue_cv_.notify_one();
+    } else {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      m_errors_->Inc();
+      SendBareStatus(fd, 503, /*retry_after_s=*/1);
+      close(fd);
+    }
+  }
+}
+
+void DataServer::HandlerLoop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] {
+        return !conn_queue_.empty() ||
+               !running_.load(std::memory_order_acquire);
+      });
+      if (conn_queue_.empty()) return;
+      fd = conn_queue_.front();
+      conn_queue_.pop_front();
+    }
+    m_active_connections_->Add(1);
+    ServeConnection(fd);
+    close(fd);
+    m_active_connections_->Add(-1);
+  }
+}
+
+void DataServer::ServeConnection(int fd) {
+  // Peer identity once per connection: the rate-limit fallback when the
+  // client sends no X-Client-Id.
+  std::string peer = "unknown";
+  sockaddr_in sa{};
+  socklen_t sa_len = sizeof(sa);
+  if (getpeername(fd, reinterpret_cast<sockaddr*>(&sa), &sa_len) == 0 &&
+      sa.sin_family == AF_INET) {
+    char buf[INET_ADDRSTRLEN] = {0};
+    if (inet_ntop(AF_INET, &sa.sin_addr, buf, sizeof(buf)) != nullptr) {
+      peer = buf;
+    }
+  }
+
+  std::string carry;  // bytes read past the previous request's end
+  for (size_t served = 0; served < options_.max_requests_per_connection;
+       ++served) {
+    if (!running_.load(std::memory_order_acquire)) return;
+    if (!ServeOne(fd, peer, &carry)) return;
+  }
+}
+
+bool DataServer::ServeOne(int fd, const std::string& peer,
+                          std::string* carry) {
+  // Read the request head (tolerating bytes of it already in *carry from
+  // the previous read).
+  size_t head_end;
+  size_t sep_len = 4;
+  char buf[4096];
+  for (;;) {
+    sep_len = 4;
+    head_end = carry->find("\r\n\r\n");
+    if (head_end == std::string::npos) {
+      head_end = carry->find("\n\n");
+      sep_len = 2;
+    }
+    if (head_end != std::string::npos) break;
+    if (carry->size() > options_.max_request_bytes) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      m_errors_->Inc();
+      SendBareStatus(fd, 431);
+      return false;
+    }
+    ssize_t r = recv(fd, buf, sizeof(buf), 0);
+    if (r <= 0) {
+      if (r < 0 && errno == EINTR) continue;
+      // Clean EOF between keep-alive requests is the normal way a client
+      // ends the conversation — only a mid-request cut counts as an error.
+      if (!carry->empty()) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        m_errors_->Inc();
+      }
+      return false;
+    }
+    carry->append(buf, static_cast<size_t>(r));
+  }
+
+  HttpRequest req;
+  bool parsed = ParseRequestHead(carry->substr(0, head_end), &req);
+  carry->erase(0, head_end + sep_len);
+  if (!parsed) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    m_errors_->Inc();
+    SendBareStatus(fd, 400);
+    return false;
+  }
+
+  // Keep-alive is the HTTP/1.1 default; HTTP/1.0 must opt in. The
+  // connection budget caps reuse regardless.
+  std::string connection;
+  if (auto it = req.headers.find("connection"); it != req.headers.end()) {
+    connection = it->second;
+    for (char& c : connection) c = static_cast<char>(std::tolower(c));
+  }
+  bool keep_alive = req.version == "HTTP/1.1" ? connection != "close"
+                                              : connection == "keep-alive";
+
+  if (req.path != "/v1/query") {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    m_errors_->Inc();
+    std::string body = "{\"error\": \"no handler for " +
+                       EscapeJson(req.path) + "\"}\n";
+    if (!SendResponseHead(fd, 404, keep_alive, /*chunked=*/false, body.size(),
+                          0) ||
+        !SendAll(fd, body.data(), body.size())) {
+      return false;
+    }
+    return keep_alive;
+  }
+  if (req.method != "POST") {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    m_errors_->Inc();
+    SendBareStatus(fd, 405);
+    return false;
+  }
+
+  // The body needs a declared length: this server does not decode chunked
+  // request bodies, and reading to EOF would break keep-alive.
+  auto cl = req.headers.find("content-length");
+  if (cl == req.headers.end()) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    m_errors_->Inc();
+    SendBareStatus(fd, 411);
+    return false;
+  }
+  char* cl_end = nullptr;
+  unsigned long long body_len = std::strtoull(cl->second.c_str(), &cl_end, 10);
+  if (cl_end == cl->second.c_str() || (cl_end != nullptr && *cl_end != '\0')) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    m_errors_->Inc();
+    SendBareStatus(fd, 400);
+    return false;
+  }
+  if (body_len > options_.max_body_bytes) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    m_errors_->Inc();
+    // The body is never read, so the connection cannot be reused.
+    SendBareStatus(fd, 413);
+    return false;
+  }
+
+  // A client waiting on 100-continue before sending the body would
+  // otherwise deadlock against our body read.
+  if (auto it = req.headers.find("expect");
+      it != req.headers.end() &&
+      it->second.find("100-continue") != std::string::npos) {
+    const char kContinue[] = "HTTP/1.1 100 Continue\r\n\r\n";
+    if (!SendAll(fd, kContinue, sizeof(kContinue) - 1)) return false;
+  }
+
+  while (carry->size() < body_len) {
+    ssize_t r = recv(fd, buf, sizeof(buf), 0);
+    if (r <= 0) {
+      if (r < 0 && errno == EINTR) continue;
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      m_errors_->Inc();
+      return false;
+    }
+    carry->append(buf, static_cast<size_t>(r));
+  }
+  req.body = carry->substr(0, body_len);
+  carry->erase(0, body_len);
+
+  return HandleQuery(fd, req, peer, keep_alive) && keep_alive;
+}
+
+bool DataServer::HandleQuery(int fd, const HttpRequest& req,
+                             const std::string& peer, bool keep_alive) {
+  auto t0 = std::chrono::steady_clock::now();
+  m_requests_->Inc();
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  auto send_error = [&](int status, const Status& why,
+                        int retry_after_s) -> bool {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    m_errors_->Inc();
+    std::string body = "{\"error\": \"" + EscapeJson(why.message()) +
+                       "\", \"status\": \"" + StatusWireName(why.code()) +
+                       "\"}\n";
+    if (!SendResponseHead(fd, status, keep_alive, /*chunked=*/false,
+                          body.size(), retry_after_s) ||
+        !SendAll(fd, body.data(), body.size())) {
+      return false;
+    }
+    m_request_ms_->Observe(MsSince(t0));
+    return true;
+  };
+
+  QueryRequest query;
+  bool stream = true;
+  std::string client_id;
+  if (Status st = DecodeQueryBody(req.body, &query, &stream, &client_id);
+      !st.ok()) {
+    return send_error(400, st, 0);
+  }
+
+  // Identity precedence: explicit body field, then header, then peer
+  // address — so proxied clients can be told apart when they cooperate,
+  // and are lumped per proxy when they do not.
+  if (client_id.empty()) {
+    if (auto it = req.headers.find("x-client-id"); it != req.headers.end()) {
+      client_id = it->second;
+    }
+  }
+  if (client_id.empty()) client_id = peer;
+
+  RateLimiter::Decision admit = limiter_.TryAcquire(client_id);
+  if (!admit.allowed) {
+    m_rate_limited_->Inc();
+    int retry_s = static_cast<int>(std::ceil(admit.retry_after_s));
+    if (retry_s < 1) retry_s = 1;
+    return send_error(
+        429, Status::Overloaded("client \"" + client_id + "\" rate-limited"),
+        retry_s);
+  }
+
+  StreamState state;
+  NdjsonSink sink(&state);
+  query.sink = &sink;
+
+  std::vector<QueryRequest> batch;
+  batch.push_back(std::move(query));
+  BatchHandle handle =
+      service_->SubmitBatch(std::move(batch), [&state](const BatchStats&) {
+        {
+          std::lock_guard<std::mutex> lock(state.mu);
+          state.done = true;
+        }
+        state.cv.notify_all();
+      });
+  QueryFuture& future = handle.future(0);
+
+  // Wait for the first event: an answer chunk (the stream is live — commit
+  // to 200) or completion with nothing emitted (failures and empty answer
+  // sets — the terminal status can still pick the HTTP status line).
+  bool done_first = false;
+  {
+    std::unique_lock<std::mutex> lock(state.mu);
+    state.cv.wait(lock, [&state] { return !state.lines.empty() || state.done; });
+    done_first = state.done && state.lines.empty();
+  }
+
+  if (done_first) {
+    QueryResponse resp = future.Take();
+    StatusCode code = resp.status.code();
+    if (code == StatusCode::kOverloaded || code == StatusCode::kUnavailable) {
+      m_overloaded_->Inc();
+      return send_error(503, resp.status, /*retry_after_s=*/1);
+    }
+    if (code == StatusCode::kNotFound) return send_error(404, resp.status, 0);
+    if (code == StatusCode::kInvalidArgument ||
+        code == StatusCode::kUnsupported) {
+      return send_error(400, resp.status, 0);
+    }
+    // Admitted and evaluated (ok, or expired/cancelled before any flush):
+    // 200, with the whole story in the trailer.
+    std::string body = RenderTrailer(resp);
+    if (stream) {
+      if (!SendResponseHead(fd, 200, keep_alive, /*chunked=*/true, 0, 0) ||
+          !SendChunk(fd, body) || !SendLastChunk(fd)) {
+        return false;
+      }
+      m_streamed_->Inc();
+    } else {
+      if (!SendResponseHead(fd, 200, keep_alive, /*chunked=*/false,
+                            body.size(), 0) ||
+          !SendAll(fd, body.data(), body.size())) {
+        return false;
+      }
+    }
+    m_request_ms_->Observe(MsSince(t0));
+    return true;
+  }
+
+  if (!stream) {
+    // Buffered mode: let the evaluation finish, then frame the exact same
+    // NDJSON lines as one Content-Length body. Byte-identical to the
+    // streamed payload by construction — same sink, same renderer.
+    {
+      std::unique_lock<std::mutex> lock(state.mu);
+      state.cv.wait(lock, [&state] { return state.done; });
+    }
+    QueryResponse resp = future.Take();
+    std::string body;
+    for (const std::string& line : state.lines) body += line;
+    m_chunks_->Inc(state.lines.size());
+    body += RenderTrailer(resp);
+    if (!SendResponseHead(fd, 200, keep_alive, /*chunked=*/false, body.size(),
+                          0) ||
+        !SendAll(fd, body.data(), body.size())) {
+      return false;
+    }
+    m_request_ms_->Observe(MsSince(t0));
+    return true;
+  }
+
+  // Streaming: commit to 200 + chunked and relay lines as they land. On
+  // any write failure the client is gone — cancel the query, then drain
+  // to completion so the sink is provably idle before it leaves scope.
+  bool write_ok = SendResponseHead(fd, 200, keep_alive, /*chunked=*/true, 0, 0);
+  bool first_chunk = true;
+  std::deque<std::string> ready;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(state.mu);
+      state.cv.wait(lock,
+                    [&state] { return !state.lines.empty() || state.done; });
+      ready.swap(state.lines);
+      if (ready.empty() && state.done) break;
+    }
+    for (const std::string& line : ready) {
+      if (!write_ok) break;
+      write_ok = SendChunk(fd, line);
+      if (write_ok && first_chunk) {
+        first_chunk = false;
+        m_first_chunk_ms_->Observe(MsSince(t0));
+      }
+      if (write_ok) m_chunks_->Inc();
+    }
+    ready.clear();
+    if (!write_ok) {
+      future.Cancel();
+      {
+        std::unique_lock<std::mutex> lock(state.mu);
+        state.cv.wait(lock, [&state] { return state.done; });
+      }
+      break;
+    }
+  }
+  QueryResponse resp = future.Take();
+  if (!write_ok) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    m_errors_->Inc();
+    return false;
+  }
+  if (!SendChunk(fd, RenderTrailer(resp)) || !SendLastChunk(fd)) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    m_errors_->Inc();
+    return false;
+  }
+  m_streamed_->Inc();
+  m_request_ms_->Observe(MsSince(t0));
+  return true;
+}
+
+}  // namespace server
+}  // namespace binchain

@@ -1,0 +1,167 @@
+// Data-plane HTTP server: the process's query socket.
+//
+// The admin plane (AdminServer) serves strings that already exist; the
+// data plane serves *evaluations* — requests that run for milliseconds to
+// seconds and produce answer sets of unknown size. That difference drives
+// every design choice here:
+//
+//  * POST /v1/query with a JSON body decoding to the canonical
+//    QueryRequest (the same struct the CLI and in-process callers build —
+//    one option surface, documented in docs/wire_protocol.md).
+//  * Streaming by default: the response is NDJSON answer chunks under
+//    chunked transfer encoding, delivered *while the fixpoint runs*. The
+//    handler threads an AnswerSink through the request the same way the
+//    CancelToken is threaded, so the first chunk leaves the socket at the
+//    engine's first flush point, strictly before evaluation completes on
+//    multi-iteration workloads. A final trailer line carries the terminal
+//    status, epoch, and EvalStats. `"stream": false` buffers the same
+//    lines into one Content-Length response — byte-identical payload, no
+//    incremental delivery.
+//  * Keep-alive: queries are request/response conversations, so (unlike
+//    the admin plane) connections are reused up to
+//    max_requests_per_connection; chunked framing makes each response
+//    self-delimiting.
+//  * Admission control in two layers: a per-client token bucket
+//    (RateLimiter — identity is the X-Client-Id header, else the peer
+//    address) answering 429 with a computed Retry-After, and the query
+//    service's own queue high-water mark surfacing as 503 + Retry-After.
+//    A request that passes admission is answered 200 even if evaluation
+//    later fails — the terminal status travels in the trailer, because
+//    the HTTP status line has already been sent by then.
+//
+// Threading mirrors AdminServer: a std::thread accept loop hands
+// connections to a small handler pool over a bounded queue. A handler
+// blocks on its query's chunks, so handler_threads bounds concurrent
+// HTTP-driven evaluations — set it below the service's worker count to
+// keep in-process callers from starving.
+#ifndef BINCHAIN_SERVER_DATA_SERVER_H_
+#define BINCHAIN_SERVER_DATA_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/http_common.h"
+#include "server/rate_limiter.h"
+#include "util/status.h"
+
+namespace binchain {
+
+class QueryService;
+
+namespace obs {
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace obs
+
+namespace server {
+
+struct DataServerOptions {
+  /// Loopback by default, like the admin plane: exposing an unauthenticated
+  /// query socket wider is an explicit operator decision.
+  std::string bind_address = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+  /// Handler threads — the bound on concurrent HTTP-driven queries (each
+  /// handler blocks on one query's stream at a time).
+  size_t handler_threads = 4;
+  /// Cap on the request head (request line + headers); larger heads are
+  /// answered 431 and the connection dropped.
+  size_t max_request_bytes = 64 * 1024;
+  /// Cap on the JSON body; a Content-Length past this is answered 413.
+  size_t max_body_bytes = 1024 * 1024;
+  /// Per-connection socket send/receive timeout (slowloris guard). Also
+  /// bounds how long a dead client can stall a streaming handler.
+  int io_timeout_ms = 10000;
+  /// listen(2) backlog.
+  int accept_backlog = 64;
+  /// Accepted connections waiting for a handler; past this the accept
+  /// thread sheds with 503 + Retry-After.
+  size_t queue_capacity = 256;
+  /// Keep-alive budget: requests served on one connection before the
+  /// server closes it (`Connection: close` on the last response).
+  size_t max_requests_per_connection = 256;
+  /// Per-client admission (defaults to disabled: qps 0).
+  RateLimiterOptions rate_limit;
+};
+
+class DataServer {
+ public:
+  /// `service` is borrowed and must outlive the server (Stop() joins every
+  /// handler before returning, so no request outlives either).
+  explicit DataServer(QueryService* service, DataServerOptions options = {});
+  ~DataServer();
+  DataServer(const DataServer&) = delete;
+  DataServer& operator=(const DataServer&) = delete;
+
+  /// Binds, listens, and launches the accept + handler threads.
+  Status Start();
+  /// Shuts the listener down and joins every thread. In-flight streams
+  /// finish (their queries complete or get cancelled by client drop);
+  /// queued-but-unserved connections are closed. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The bound port (resolves option port 0); 0 before a successful Start().
+  uint16_t port() const { return port_; }
+
+  uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+  uint64_t request_errors() const {
+    return errors_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void HandlerLoop();
+  /// Serves up to max_requests_per_connection requests on one connection,
+  /// then closes it. Returns when the client hangs up, errors, or asks
+  /// `Connection: close`.
+  void ServeConnection(int fd);
+  /// One request/response exchange. Returns whether the connection is
+  /// still healthy enough for another request.
+  bool ServeOne(int fd, const std::string& peer, std::string* carry);
+  /// Parses, admits, submits, and streams (or buffers) one query.
+  bool HandleQuery(int fd, const HttpRequest& req, const std::string& peer,
+                   bool keep_alive);
+
+  const DataServerOptions options_;
+  QueryService* const service_;
+  RateLimiter limiter_;
+
+  std::atomic<int> listen_fd_{-1};
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+  std::vector<std::thread> handler_threads_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> conn_queue_;  // accepted fds awaiting a handler
+
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> errors_{0};
+
+  /// binchain_dataplane_* instruments, registered at construction.
+  obs::Counter* m_requests_;
+  obs::Counter* m_streamed_;
+  obs::Counter* m_chunks_;
+  obs::Counter* m_rate_limited_;
+  obs::Counter* m_overloaded_;
+  obs::Counter* m_errors_;
+  obs::Gauge* m_active_connections_;
+  obs::Histogram* m_request_ms_;
+  obs::Histogram* m_first_chunk_ms_;
+};
+
+}  // namespace server
+}  // namespace binchain
+
+#endif  // BINCHAIN_SERVER_DATA_SERVER_H_

@@ -1,0 +1,196 @@
+#include "server/http_common.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+namespace binchain {
+namespace server {
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 100: return "Continue";
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 411: return "Length Required";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    default:  return "Unknown";
+  }
+}
+
+std::string UrlDecode(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    if (in[i] == '+') {
+      out.push_back(' ');
+    } else if (in[i] == '%' && i + 2 < in.size()) {
+      auto hex = [](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+        return -1;
+      };
+      int hi = hex(in[i + 1]), lo = hex(in[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>(hi * 16 + lo));
+        i += 2;
+      } else {
+        out.push_back('%');
+      }
+    } else {
+      out.push_back(in[i]);
+    }
+  }
+  return out;
+}
+
+void ParseQueryString(const std::string& qs,
+                      std::map<std::string, std::string>* params) {
+  size_t pos = 0;
+  while (pos < qs.size()) {
+    size_t amp = qs.find('&', pos);
+    if (amp == std::string::npos) amp = qs.size();
+    std::string pair = qs.substr(pos, amp - pos);
+    size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      if (!pair.empty()) (*params)[UrlDecode(pair)] = "";
+    } else {
+      (*params)[UrlDecode(pair.substr(0, eq))] = UrlDecode(pair.substr(eq + 1));
+    }
+    pos = amp + 1;
+  }
+}
+
+namespace {
+
+std::string TrimSpace(const std::string& s) {
+  size_t b = 0, e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r')) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+}  // namespace
+
+bool ParseRequestHead(const std::string& head, HttpRequest* req) {
+  // Request line: METHOD SP target SP version.
+  size_t line_end = head.find("\r\n");
+  if (line_end == std::string::npos) line_end = head.find('\n');
+  if (line_end == std::string::npos) line_end = head.size();
+  std::string line = head.substr(0, line_end);
+  size_t sp1 = line.find(' ');
+  size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) return false;
+  req->method = line.substr(0, sp1);
+  req->version = TrimSpace(line.substr(sp2 + 1));
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (req->method.empty() || target.empty()) return false;
+
+  size_t qmark = target.find('?');
+  req->path = target.substr(0, qmark);
+  if (qmark != std::string::npos) {
+    ParseQueryString(target.substr(qmark + 1), &req->params);
+  }
+
+  // Header fields: `Name: value` per line, names lowercased. Tolerates
+  // bare-\n line endings the same way the head read loop does.
+  size_t pos = line_end;
+  while (pos < head.size()) {
+    if (head[pos] == '\r') ++pos;
+    if (pos < head.size() && head[pos] == '\n') ++pos;
+    size_t eol = head.find('\n', pos);
+    if (eol == std::string::npos) eol = head.size();
+    std::string field = head.substr(pos, eol - pos);
+    pos = eol;
+    size_t colon = field.find(':');
+    if (colon == std::string::npos) continue;  // blank line or junk: skip
+    std::string name = TrimSpace(field.substr(0, colon));
+    for (char& c : name) c = static_cast<char>(std::tolower(c));
+    if (!name.empty()) {
+      req->headers[name] = TrimSpace(field.substr(colon + 1));
+    }
+  }
+  return true;
+}
+
+bool SendAll(int fd, const char* data, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    ssize_t w = send(fd, data + off, n - off, MSG_NOSIGNAL);
+    if (w <= 0) {
+      if (w < 0 && errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(w);
+  }
+  return true;
+}
+
+void SendBareStatus(int fd, int status, int retry_after_s) {
+  std::string head = "HTTP/1.1 " + std::to_string(status) + " " +
+                     ReasonPhrase(status) + "\r\nContent-Length: 0\r\n";
+  if (retry_after_s > 0) {
+    head += "Retry-After: " + std::to_string(retry_after_s) + "\r\n";
+  }
+  head += "Connection: close\r\n\r\n";
+  SendAll(fd, head.data(), head.size());
+}
+
+Result<int> OpenListenSocket(const std::string& bind_address, uint16_t port,
+                             int backlog, uint16_t* bound_port) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, bind_address.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::InvalidArgument("bad bind address '" + bind_address + "'");
+  }
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = Status::Internal(std::string("bind: ") + std::strerror(errno));
+    close(fd);
+    return s;
+  }
+  if (listen(fd, backlog) != 0) {
+    Status s = Status::Internal(std::string("listen: ") + std::strerror(errno));
+    close(fd);
+    return s;
+  }
+  // Resolve an ephemeral bind (port 0) to the kernel's pick.
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    Status s =
+        Status::Internal(std::string("getsockname: ") + std::strerror(errno));
+    close(fd);
+    return s;
+  }
+  *bound_port = ntohs(bound.sin_port);
+  return fd;
+}
+
+}  // namespace server
+}  // namespace binchain

@@ -1,0 +1,96 @@
+// Shared HTTP/1.1 plumbing for the process's two server planes.
+//
+// AdminServer (GET-only observability socket) and DataServer (streaming
+// query plane) speak the same minimal dialect of HTTP: a blocking POSIX
+// socket, a request head parsed by hand, and hand-assembled response
+// framing. This header is the one copy of that dialect — status reason
+// phrases, percent-decoding, query-string and header parsing, short-send
+// tolerant writes, and the listener bring-up sequence — so the two planes
+// cannot drift apart on wire details (a 429's Retry-After must mean the
+// same thing whichever socket emitted it).
+//
+// Everything here is connection-scoped and stateless: no locks, no
+// globals. The servers own their sockets and threading; these helpers
+// only read and write byte streams they are handed.
+#ifndef BINCHAIN_SERVER_HTTP_COMMON_H_
+#define BINCHAIN_SERVER_HTTP_COMMON_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "util/status.h"
+
+namespace binchain {
+namespace server {
+
+/// A parsed request head plus (for the data plane) its body. The admin
+/// plane fills method/path/params and ignores the rest; the data plane
+/// additionally reads headers (names lowercased at parse time, values
+/// trimmed) and the Content-Length body.
+struct HttpRequest {
+  std::string method;   ///< verb as sent ("GET", "POST", ...)
+  std::string path;     ///< target with the query string stripped
+  std::string version;  ///< "HTTP/1.0" or "HTTP/1.1"
+  /// Decoded query parameters (`?last=25` => params["last"] == "25";
+  /// bare keys map to "").
+  std::map<std::string, std::string> params;
+  /// Header fields, names lowercased ("content-length", "x-client-id").
+  /// Repeated fields keep the last value — none of the headers either
+  /// plane reads are list-valued.
+  std::map<std::string, std::string> headers;
+  std::string body;  ///< filled by the data plane's body read, else empty
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+  /// When > 0, the response carries `Retry-After: <n>` — set on 429
+  /// (rate-limited) and 503 (shed) so well-behaved clients back off for a
+  /// bounded, server-chosen interval instead of hammering.
+  int retry_after_s = 0;
+};
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+/// Canonical reason phrase for every status either plane emits.
+const char* ReasonPhrase(int status);
+
+/// Minimal percent-decoding for query parameter values ('+' => space).
+std::string UrlDecode(const std::string& in);
+
+/// Parses `a=1&b=c%20d` into *params (decoded; bare keys map to "").
+void ParseQueryString(const std::string& qs,
+                      std::map<std::string, std::string>* params);
+
+/// Parses a full request head (request line + header fields, excluding
+/// the terminating blank line — the caller splits the byte stream).
+/// Fills method/path/version/params/headers; returns false on a
+/// malformed request line (the caller answers 400).
+bool ParseRequestHead(const std::string& head, HttpRequest* req);
+
+/// Writes the whole buffer, tolerating short sends. MSG_NOSIGNAL: a
+/// client that hung up mid-response must surface as EPIPE, not SIGPIPE.
+bool SendAll(int fd, const char* data, size_t n);
+
+/// Plain fixed response for connections a handler never sees
+/// (accept-queue overflow, oversized heads, parse failures). Always
+/// closes the HTTP exchange (`Connection: close`); a positive
+/// retry_after_s adds the back-off header (503 sheds, 429 limits).
+void SendBareStatus(int fd, int status, int retry_after_s = 0);
+
+/// socket/bind/listen bring-up shared by both planes: binds
+/// `bind_address:port` (port 0 picks an ephemeral port), listens with
+/// `backlog`, and reports the resolved port through *bound_port. Returns
+/// the listening fd, or a Status describing which step failed (the fd is
+/// closed on every failure path).
+Result<int> OpenListenSocket(const std::string& bind_address, uint16_t port,
+                             int backlog, uint16_t* bound_port);
+
+}  // namespace server
+}  // namespace binchain
+
+#endif  // BINCHAIN_SERVER_HTTP_COMMON_H_

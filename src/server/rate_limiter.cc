@@ -1,0 +1,73 @@
+#include "server/rate_limiter.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace binchain {
+namespace server {
+
+namespace {
+
+double SteadyNowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+RateLimiter::RateLimiter(RateLimiterOptions options)
+    : options_(options),
+      burst_(options.burst > 0 ? options.burst
+                               : std::max(options.qps, 1.0)) {}
+
+RateLimiter::Decision RateLimiter::TryAcquire(const std::string& client_id) {
+  return TryAcquire(client_id, SteadyNowSeconds());
+}
+
+RateLimiter::Decision RateLimiter::TryAcquire(const std::string& client_id,
+                                              double now_s) {
+  if (options_.qps <= 0) return Decision{};
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = buckets_.find(client_id);
+  if (it == buckets_.end()) {
+    if (buckets_.size() >= options_.max_clients) {
+      // Evict the fullest bucket: a full (idle) bucket carries no debt, so
+      // dropping it loses nothing — if that client returns it starts full
+      // again, exactly the state we deleted.
+      auto victim = buckets_.begin();
+      for (auto b = buckets_.begin(); b != buckets_.end(); ++b) {
+        if (b->second.tokens > victim->second.tokens) victim = b;
+      }
+      buckets_.erase(victim);
+    }
+    it = buckets_.emplace(client_id, Bucket{burst_, now_s}).first;
+  }
+
+  Bucket& bucket = it->second;
+  // Refill for the elapsed interval; a non-monotone caller clock (tests
+  // replaying timestamps) simply refills nothing.
+  double elapsed = now_s - bucket.last_refill_s;
+  if (elapsed > 0) {
+    bucket.tokens = std::min(burst_, bucket.tokens + elapsed * options_.qps);
+    bucket.last_refill_s = now_s;
+  }
+
+  if (bucket.tokens >= 1.0) {
+    bucket.tokens -= 1.0;
+    return Decision{};
+  }
+  Decision denied;
+  denied.allowed = false;
+  denied.retry_after_s = (1.0 - bucket.tokens) / options_.qps;
+  return denied;
+}
+
+size_t RateLimiter::tracked_clients() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buckets_.size();
+}
+
+}  // namespace server
+}  // namespace binchain

@@ -1,0 +1,80 @@
+// Per-client token-bucket rate limiting for the data plane.
+//
+// The data plane serves queries, and queries are expensive in a way the
+// admin plane's string renders are not: one hot client replaying a
+// fixpoint-heavy request in a loop can starve every other caller's
+// worker time. RateLimiter is the admission valve in front of the query
+// service: each client identity (the X-Client-Id header, or the peer
+// address when the client sends none) gets an independent token bucket
+// refilled at `qps` tokens per second up to `burst`. A request that
+// finds the bucket empty is answered 429 with a Retry-After computed
+// from the actual deficit — the earliest instant a retry can succeed —
+// so well-behaved clients back off exactly as long as needed and no
+// longer.
+//
+// Thread-safe: TryAcquire takes one mutex. The data plane calls it once
+// per request on handler threads, far from any evaluation hot path.
+#ifndef BINCHAIN_SERVER_RATE_LIMITER_H_
+#define BINCHAIN_SERVER_RATE_LIMITER_H_
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace binchain {
+namespace server {
+
+struct RateLimiterOptions {
+  /// Sustained tokens (requests) per second granted to each client
+  /// identity. <= 0 disables limiting entirely: every acquire succeeds.
+  double qps = 0;
+  /// Bucket capacity — the burst a client can spend instantly after an
+  /// idle period. <= 0 defaults to max(qps, 1), i.e. about one second of
+  /// sustained rate.
+  double burst = 0;
+  /// Bound on tracked client identities. At the cap, admitting a new
+  /// identity evicts the fullest existing bucket (the client who would
+  /// miss its state the least — a full bucket reconstructs losslessly).
+  size_t max_clients = 4096;
+};
+
+class RateLimiter {
+ public:
+  struct Decision {
+    bool allowed = true;
+    /// On denial: seconds until the bucket will hold a full token again.
+    /// Callers round up for the integral Retry-After header.
+    double retry_after_s = 0;
+  };
+
+  explicit RateLimiter(RateLimiterOptions options = {});
+
+  /// Spends one token from `client_id`'s bucket at the current wall
+  /// (steady) clock.
+  Decision TryAcquire(const std::string& client_id);
+
+  /// Clock-explicit overload for deterministic tests: `now_s` is seconds
+  /// on any monotone clock (only differences matter). Callers must use a
+  /// consistent clock per limiter.
+  Decision TryAcquire(const std::string& client_id, double now_s);
+
+  bool enabled() const { return options_.qps > 0; }
+  size_t tracked_clients() const;
+
+ private:
+  struct Bucket {
+    double tokens = 0;
+    double last_refill_s = 0;
+  };
+
+  const RateLimiterOptions options_;
+  const double burst_;  // resolved: options_.burst defaulted to max(qps, 1)
+  mutable std::mutex mu_;
+  std::map<std::string, Bucket> buckets_;
+};
+
+}  // namespace server
+}  // namespace binchain
+
+#endif  // BINCHAIN_SERVER_RATE_LIMITER_H_

@@ -11,6 +11,7 @@
 
 #include "cache/answer_cache.h"
 #include "datalog/printer.h"
+#include "eval/answer_sink.h"
 #include "durability/recovery.h"
 #include "durability/wal.h"
 #include "eval/eval_artifacts.h"
@@ -42,6 +43,23 @@ uint64_t FingerprintProgram(const std::string& rendered) {
   }
   return h;
 }
+
+/// Wraps a request's streaming sink for one evaluation: counts delivered
+/// chunks (QueryTrace::chunks) on the way through. Stack-local in RunOne.
+class CountingSink : public AnswerSink {
+ public:
+  explicit CountingSink(AnswerSink* inner) : inner_(inner) {}
+  uint64_t chunks = 0;
+  void OnAnswers(const Tuple* tuples, size_t count,
+                 const SymbolTable& symbols) override {
+    if (count == 0) return;
+    ++chunks;
+    inner_->OnAnswers(tuples, count, symbols);
+  }
+
+ private:
+  AnswerSink* inner_;
+};
 
 }  // namespace
 
@@ -189,6 +207,22 @@ struct AsyncQueryState {
   bool fanout_started = false;
   std::vector<std::shared_ptr<AsyncQueryState>> followers;
 };
+
+namespace {
+
+/// Replays an already-materialized answer set to the request's streaming
+/// sink as one chunk (cache hits, single-flight waiters, dedup followers):
+/// streaming consumers still receive every tuple, just without incremental
+/// boundaries — the answer existed in full before this request saw it.
+void ReplayToSink(AsyncQueryState& q) {
+  if (q.request.sink == nullptr || q.response.tuples.empty()) return;
+  q.response.trace.chunks = 1;
+  q.request.sink->OnAnswers(q.response.tuples.data(),
+                            q.response.tuples.size(),
+                            q.batch->db->symbols());
+}
+
+}  // namespace
 
 // ----------------------------------------------------------- QueryFuture
 
@@ -637,12 +671,16 @@ void QueryService::RunOne(size_t worker_id, AsyncQueryState& q) {
     resp.trace.source = lit.args[0].symbol;
   }
   if (empty_ok) return;  // unknown constant: empty answer set
-  // Thread the token into the engine: the traversal polls it at decimated
-  // cancellation points and unwinds with a partial answer set when it
-  // trips.
-  EvalOptions options = q.request.options;
+  // Thread the token and the streaming sink into the engine: the traversal
+  // polls the token at decimated cancellation points (unwinding with a
+  // partial answer set when it trips) and flushes newly derived answer
+  // chunks to the sink at those same points.
+  EvalOptions options = q.request.options.ToEvalOptions();
   options.cancel = &q.token;
+  CountingSink counting(q.request.sink);
+  if (q.request.sink != nullptr) options.sink = &counting;
   auto r = w.engine.Query(lit, options);
+  resp.trace.chunks = counting.chunks;
   if (!r.ok()) {
     resp.status = r.status();
     return;
@@ -711,6 +749,7 @@ bool QueryService::TryServeFromCache(AsyncQueryState& q) {
     }
   }
   q.replayed = true;
+  ReplayToSink(q);
   CompleteQuery(q);
   // Safe to read the closed span here: the hit completed on the caller
   // thread before any future was handed out, so no waiter can move the
@@ -779,6 +818,7 @@ void QueryService::FanOutOne(size_t worker_id, const AsyncQueryState& leader,
     r.trace.source = lr.trace.source;
     r.trace.collapsed = true;
     w.replayed = true;
+    ReplayToSink(w);
     return;
   }
   // The leader failed (cancelled, deadlined, errored) — its failure is its
@@ -1039,7 +1079,9 @@ BatchHandle QueryService::SubmitShared(std::vector<QueryRequest> batch,
     // The deadline clock starts at submission: time spent queued counts
     // against the request's budget, so queue delay cannot launder an
     // expired request into a fresh one.
-    if (req.deadline_ms > 0) state->token.SetDeadlineAfter(req.deadline_ms);
+    if (req.options.deadline_ms > 0) {
+      state->token.SetDeadlineAfter(req.options.deadline_ms);
+    }
     state->request = std::move(req);
     handle.futures_.push_back(QueryFuture(state));
     if (!admit.ok()) {
@@ -1124,8 +1166,8 @@ std::vector<QueryResponse> QueryService::EvalBatch(
       states[i].batch = shared;
       states[i].response.trace.query_id =
           obs_->next_query_id.fetch_add(1, std::memory_order_relaxed);
-      if (batch[i].deadline_ms > 0) {
-        states[i].token.SetDeadlineAfter(batch[i].deadline_ms);
+      if (batch[i].options.deadline_ms > 0) {
+        states[i].token.SetDeadlineAfter(batch[i].options.deadline_ms);
       }
       states[i].request = batch[i];
     }

@@ -76,18 +76,14 @@ class Wal;
 struct WalOptions;
 }  // namespace durability
 
-/// One query, by name: `pred(source, target)` with an empty string standing
-/// for a free variable. All binding patterns of Section 3 are reachable:
-/// {pred, "a", ""} is p(a, Y); {pred, "", "b"} is p(X, b) (inverted
-/// system); {pred, "a", "b"} is the membership test; {pred, "", ""} is the
-/// all-pairs query, or the diagonal p(X, X) when `diagonal` is set.
-struct QueryRequest {
-  std::string pred;
-  std::string source;  // empty => first argument free
-  std::string target;  // empty => second argument free
-  /// Both arguments are the same free variable (p(X, X)). Requires empty
-  /// source and target.
-  bool diagonal = false;
+/// Evaluation knobs of one query — the single option surface every entry
+/// path shares: the wire JSON's "options" object, the CLI's flags, and
+/// in-process callers all construct this one type (there used to be three
+/// overlapping shapes: a service-level deadline field, an embedded
+/// engine-level EvalOptions, and ad-hoc per-caller plumbing). Plain
+/// aggregate initialization works; the chained setters exist so call
+/// sites can build a request as one expression.
+struct QueryOptions {
   /// Evaluation budget in milliseconds, measured from submission. Enforced
   /// twice: a request whose deadline has already passed when a worker picks
   /// it up is answered without evaluating, and an in-flight traversal whose
@@ -95,7 +91,92 @@ struct QueryRequest {
   /// partial answer set. Either way the response carries kDeadlineExceeded
   /// and timed_out. <= 0 disables the deadline.
   double deadline_ms = 0;
-  EvalOptions options;
+  /// Hard cap on fixpoint iterations; 0 = none (see EvalOptions).
+  size_t max_iterations = 0;
+  /// Compute the |D1| * |D2| cyclic termination bound (Figure 8 data).
+  bool use_cyclic_bound = false;
+  /// Force per-source evaluation for all-free queries (the ablation).
+  bool disable_closure_sharing = false;
+
+  QueryOptions& set_deadline_ms(double v) {
+    deadline_ms = v;
+    return *this;
+  }
+  QueryOptions& set_max_iterations(size_t v) {
+    max_iterations = v;
+    return *this;
+  }
+  QueryOptions& set_use_cyclic_bound(bool v) {
+    use_cyclic_bound = v;
+    return *this;
+  }
+  QueryOptions& set_disable_closure_sharing(bool v) {
+    disable_closure_sharing = v;
+    return *this;
+  }
+
+  /// Projection onto the engine-level knobs. The deadline stays at the
+  /// service layer (it becomes the request token's deadline); the sink is
+  /// threaded separately (the service wraps it to count chunks).
+  EvalOptions ToEvalOptions() const {
+    EvalOptions o;
+    o.max_iterations = max_iterations;
+    o.use_cyclic_bound = use_cyclic_bound;
+    o.disable_closure_sharing = disable_closure_sharing;
+    return o;
+  }
+};
+
+/// One query, by name: `pred(source, target)` with an empty string standing
+/// for a free variable. All binding patterns of Section 3 are reachable:
+/// {pred, "a", ""} is p(a, Y); {pred, "", "b"} is p(X, b) (inverted
+/// system); {pred, "a", "b"} is the membership test; {pred, "", ""} is the
+/// all-pairs query, or the diagonal p(X, X) when `diagonal` is set.
+///
+/// The canonical request type: the data plane's JSON body, the CLI, and
+/// in-process callers all decode/construct exactly this struct.
+struct QueryRequest {
+  std::string pred;
+  std::string source;  // empty => first argument free
+  std::string target;  // empty => second argument free
+  /// Both arguments are the same free variable (p(X, X)). Requires empty
+  /// source and target.
+  bool diagonal = false;
+  QueryOptions options;
+  /// Streaming: when set, newly derived answer chunks are delivered to
+  /// this sink *while the evaluation runs* (on the worker thread), shaped
+  /// per the binding pattern; QueryResponse::tuples still carries the
+  /// complete sorted set at the end. Replayed answers (cache hits,
+  /// single-flight waiters, dedup followers) arrive as one chunk.
+  /// Borrowed: must stay alive until the response is observable (the
+  /// future completed / the blocking call returned). Never part of the
+  /// request's cache identity.
+  AnswerSink* sink = nullptr;
+
+  QueryRequest& set_pred(std::string v) {
+    pred = std::move(v);
+    return *this;
+  }
+  QueryRequest& set_source(std::string v) {
+    source = std::move(v);
+    return *this;
+  }
+  QueryRequest& set_target(std::string v) {
+    target = std::move(v);
+    return *this;
+  }
+  QueryRequest& set_diagonal(bool v) {
+    diagonal = v;
+    return *this;
+  }
+  QueryRequest& set_options(QueryOptions v) {
+    options = v;
+    return *this;
+  }
+  QueryRequest& set_sink(AnswerSink* v) {
+    sink = v;
+    return *this;
+  }
 };
 
 struct QueryResponse {
@@ -429,9 +510,10 @@ class QueryService {
 
   /// Canonical exact-match key of a request against the prepared program:
   /// the plan fingerprint plus every request field that selects a distinct
-  /// answer set (pred, source, target, diagonal, and the EvalOptions value
-  /// fields). Deadline and cancel state are deliberately excluded — they
-  /// select *when* a request fails, never *what* it answers.
+  /// answer set (pred, source, target, diagonal, and the QueryOptions
+  /// value fields). Deadline, sink, and cancel state are deliberately
+  /// excluded — they select *when* a request fails or *how* its answer is
+  /// delivered, never *what* it answers.
   std::string RequestKey(const QueryRequest& request) const;
 
   /// Cache fast path, called on the submission thread after admission

@@ -88,7 +88,7 @@ std::vector<std::vector<std::string>> ColdAnswers(
   EXPECT_TRUE(engine.LoadProgramText(program_text).ok());
   std::vector<std::vector<std::string>> answers;
   for (const QueryRequest& req : requests) {
-    auto r = engine.Query(RequestLiteral(req), req.options);
+    auto r = engine.Query(RequestLiteral(req), req.options.ToEvalOptions());
     EXPECT_TRUE(r.ok()) << r.status().message();
     answers.push_back(
         r.ok() ? Render(r.value().tuples, db.symbols())
@@ -157,7 +157,7 @@ void RunPublishEquivalence(const Database& workload, const char* program_text,
 }
 
 std::vector<QueryRequest> SgRequests(const std::vector<std::string>& sources,
-                                     const EvalOptions& options = {}) {
+                                     const QueryOptions& options = {}) {
   std::vector<QueryRequest> out;
   for (const std::string& s : sources) {
     QueryRequest req;
@@ -186,7 +186,7 @@ TEST(LiveTest, LadderPublishMatchesColdRebuild) {
 TEST(LiveTest, Fig8CyclicPublishMatchesColdRebuild) {
   Database workload;
   workloads::Fig8(workload, 5, 7);
-  EvalOptions options;
+  QueryOptions options;
   options.use_cyclic_bound = true;
   RunPublishEquivalence(workload, workloads::SgProgramText(),
                         SgRequests({"a1", "a2"}, options), 3);

@@ -31,7 +31,7 @@ Program SgProgram(Database& db) {
 
 /// All-sources batch over every constant of the database.
 std::vector<QueryRequest> AllSourcesBatch(const Database& db,
-                                          const EvalOptions& options = {}) {
+                                          const QueryOptions& options = {}) {
   std::set<std::string> constants;
   for (const std::string& name : db.relation_names()) {
     for (TupleRef t : db.Find(name)->tuples()) {
@@ -275,7 +275,7 @@ TEST(ServiceTest, Fig8CyclicStressWithOverlappingSources) {
   Database db;
   workloads::Fig8(db, 7, 9);
   Program program = SgProgram(db);
-  EvalOptions options;
+  QueryOptions options;
   options.use_cyclic_bound = true;
   std::vector<QueryRequest> batch;
   for (int rep = 0; rep < 6; ++rep) {
@@ -315,10 +315,10 @@ TEST(ServiceTest, ExpiredDeadlineReturnsTimedOutWithoutEvaluating) {
   // worker picks the request up (the clock has nanosecond resolution), so
   // the outcome is deterministic; zero disables the deadline entirely.
   QueryRequest expired{"sg", a, "", {}};
-  expired.deadline_ms = 1e-9;
+  expired.options.deadline_ms = 1e-9;
   QueryRequest unlimited{"sg", a, "", {}};
   QueryRequest generous{"sg", a, "", {}};
-  generous.deadline_ms = 1e9;
+  generous.options.deadline_ms = 1e9;
 
   BatchStats stats;
   auto responses = service.EvalBatch({expired, unlimited, generous}, &stats);
@@ -357,7 +357,7 @@ struct LongQueryRig {
   LongQueryRig() : source(workloads::Fig7b(db, 1024)), program(SgProgram(db)) {}
   QueryRequest Request(double deadline_ms = 0) const {
     QueryRequest req{"sg", source, "", {}};
-    req.deadline_ms = deadline_ms;
+    req.options.deadline_ms = deadline_ms;
     return req;
   }
 };
