@@ -6,6 +6,7 @@
 
 #include <arpa/inet.h>
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
 #include <chrono>
@@ -15,7 +16,9 @@
 #include <cstdlib>
 #include <cstring>
 #include <deque>
+#include <limits>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <utility>
 #include <vector>
@@ -213,6 +216,22 @@ class JsonParser {
     }
   }
 
+  /// Consumes exactly four hex digits (the XXXX of a \uXXXX escape).
+  bool ParseHex4(unsigned* out) {
+    if (end_ - p_ < 4) return false;
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      char h = *p_++;
+      v <<= 4;
+      if (h >= '0' && h <= '9') v |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') v |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') v |= static_cast<unsigned>(h - 'A' + 10);
+      else return false;
+    }
+    *out = v;
+    return true;
+  }
+
   bool ParseString(std::string* out) {
     ++p_;  // opening quote
     while (p_ < end_) {
@@ -234,25 +253,36 @@ class JsonParser {
         case 'b': out->push_back('\b'); break;
         case 'f': out->push_back('\f'); break;
         case 'u': {
-          if (end_ - p_ < 4) return false;
-          int cp = 0;
-          for (int i = 0; i < 4; ++i) {
-            char h = *p_++;
-            cp <<= 4;
-            if (h >= '0' && h <= '9') cp |= h - '0';
-            else if (h >= 'a' && h <= 'f') cp |= h - 'a' + 10;
-            else if (h >= 'A' && h <= 'F') cp |= h - 'A' + 10;
-            else return false;
+          unsigned cp;
+          if (!ParseHex4(&cp)) return false;
+          // UTF-16 escapes: a high surrogate must be immediately followed
+          // by a \uDC00-\uDFFF low surrogate, and the pair combines into
+          // one supplementary code point. Encoding the halves separately
+          // would produce CESU-8 (invalid UTF-8) that flows into symbol
+          // lookups and response echoes, so unpaired halves are rejected
+          // and the request answered 400.
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            if (end_ - p_ < 2 || p_[0] != '\\' || p_[1] != 'u') return false;
+            p_ += 2;
+            unsigned lo;
+            if (!ParseHex4(&lo)) return false;
+            if (lo < 0xDC00 || lo > 0xDFFF) return false;
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return false;  // low surrogate with no preceding high half
           }
-          // Constants are ASCII in practice; encode BMP code points as
-          // UTF-8 so round-trips stay lossless.
           if (cp < 0x80) {
             out->push_back(static_cast<char>(cp));
           } else if (cp < 0x800) {
             out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
             out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
-          } else {
+          } else if (cp < 0x10000) {
             out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+            out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
             out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
             out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
           }
@@ -360,7 +390,15 @@ Status DecodeQueryBody(const std::string& body, QueryRequest* out,
           return Status::InvalidArgument(
               "\"options.max_iterations\" must be a non-negative number");
         }
-        out->options.max_iterations = static_cast<size_t>(value.num);
+        // The parser accepts any non-negative double (1e300, say), and
+        // casting a value past the size_t range is UB — clamp at the
+        // type's ceiling first; either way the budget is effectively
+        // unbounded.
+        constexpr double kSizeCeiling =
+            static_cast<double>(std::numeric_limits<size_t>::max());
+        out->options.max_iterations =
+            value.num >= kSizeCeiling ? std::numeric_limits<size_t>::max()
+                                      : static_cast<size_t>(value.num);
       } else if (key == "use_cyclic_bound") {
         if (!want_bool(&value)) {
           return Status::InvalidArgument(
@@ -388,6 +426,16 @@ Status DecodeQueryBody(const std::string& body, QueryRequest* out,
 /// side) and the HTTP handler draining lines to the socket. `done` is set
 /// by the batch completion callback — strictly after the last sink call,
 /// so `done && lines.empty()` means the stream is complete.
+///
+/// Lifetime: always heap-owned through a shared_ptr held by the handler,
+/// the sink, AND the completion callback, and every producer-side notify
+/// happens with `mu` held. Both halves close the same race: the handler
+/// can wake (spuriously, or off an earlier notify), see `done`, and
+/// return — if the callback notified after unlocking a stack-owned
+/// state, it would then touch a destroyed mu/cv. Shared ownership keeps
+/// the state alive past the handler's return; notifying under the lock
+/// means the predicate cannot become observable before the notify has
+/// finished.
 struct StreamState {
   std::mutex mu;
   std::condition_variable cv;
@@ -396,10 +444,11 @@ struct StreamState {
 };
 
 /// Renders each answer chunk as one NDJSON line. Runs on the evaluating
-/// worker thread; keeps only the rendered string under the lock.
+/// worker thread; shares ownership of the stream state (see above).
 class NdjsonSink : public AnswerSink {
  public:
-  explicit NdjsonSink(StreamState* state) : state_(state) {}
+  explicit NdjsonSink(std::shared_ptr<StreamState> state)
+      : state_(std::move(state)) {}
 
   void OnAnswers(const Tuple* tuples, size_t count,
                  const SymbolTable& symbols) override {
@@ -413,15 +462,13 @@ class NdjsonSink : public AnswerSink {
       line += "\"]";
     }
     line += "]}\n";
-    {
-      std::lock_guard<std::mutex> lock(state_->mu);
-      state_->lines.push_back(std::move(line));
-    }
+    std::lock_guard<std::mutex> lock(state_->mu);
+    state_->lines.push_back(std::move(line));
     state_->cv.notify_one();
   }
 
  private:
-  StreamState* state_;
+  std::shared_ptr<StreamState> state_;
 };
 
 /// The stream's final NDJSON line: terminal status, epoch, and the
@@ -487,12 +534,32 @@ bool SendChunk(int fd, const std::string& payload) {
 
 bool SendLastChunk(int fd) { return SendAll(fd, "0\r\n\r\n", 5); }
 
+// ---------------------------------------------------------------- admission
+
+/// The peer-aggregate layer's budget: the per-identity limits scaled by
+/// `multiplier` (burst resolved the way RateLimiter itself resolves it).
+/// A non-positive multiplier disables the layer — qps 0 admits everything.
+RateLimiterOptions PeerLayerLimits(const RateLimiterOptions& base,
+                                   double multiplier) {
+  RateLimiterOptions peer = base;
+  if (base.qps <= 0 || multiplier <= 0) {
+    peer.qps = 0;
+    return peer;
+  }
+  peer.qps = base.qps * multiplier;
+  peer.burst =
+      (base.burst > 0 ? base.burst : std::max(base.qps, 1.0)) * multiplier;
+  return peer;
+}
+
 }  // namespace
 
 DataServer::DataServer(QueryService* service, DataServerOptions options)
     : options_(std::move(options)),
       service_(service),
-      limiter_(options_.rate_limit) {
+      limiter_(options_.rate_limit),
+      peer_limiter_(PeerLayerLimits(options_.rate_limit,
+                                    options_.peer_qps_multiplier)) {
   obs::Registry& reg = obs::Registry::Global();
   m_requests_ = reg.GetCounter("binchain_dataplane_requests_total",
                                "Data-plane HTTP requests decoded and routed");
@@ -617,8 +684,8 @@ void DataServer::HandlerLoop() {
 }
 
 void DataServer::ServeConnection(int fd) {
-  // Peer identity once per connection: the rate-limit fallback when the
-  // client sends no X-Client-Id.
+  // Peer identity once per connection: the key of the peer-aggregate
+  // admission bucket and the trust scope for any claimed client id.
   std::string peer = "unknown";
   sockaddr_in sa{};
   socklen_t sa_len = sizeof(sa);
@@ -802,7 +869,16 @@ bool DataServer::HandleQuery(int fd, const HttpRequest& req,
   }
   if (client_id.empty()) client_id = peer;
 
-  RateLimiter::Decision admit = limiter_.TryAcquire(client_id);
+  // Two bucket layers, peer first. The claimed identity is an
+  // unauthenticated string, so it only ever *refines* the peer's budget:
+  // identity buckets are keyed (peer, client_id) — one peer cannot spend
+  // another's tokens by borrowing its id — and the peer-aggregate bucket
+  // is charged for every request regardless of the id presented, so
+  // rotating a fresh client_id per request cannot mint unlimited full
+  // buckets (each mint costs a peer token) or evict honest clients'
+  // buckets faster than the peer budget allows.
+  RateLimiter::Decision admit = peer_limiter_.TryAcquire(peer);
+  if (admit.allowed) admit = limiter_.TryAcquire(peer + "|" + client_id);
   if (!admit.allowed) {
     m_rate_limited_->Inc();
     int retry_s = static_cast<int>(std::ceil(admit.retry_after_s));
@@ -812,19 +888,17 @@ bool DataServer::HandleQuery(int fd, const HttpRequest& req,
         retry_s);
   }
 
-  StreamState state;
-  NdjsonSink sink(&state);
+  auto state = std::make_shared<StreamState>();
+  NdjsonSink sink(state);
   query.sink = &sink;
 
   std::vector<QueryRequest> batch;
   batch.push_back(std::move(query));
   BatchHandle handle =
-      service_->SubmitBatch(std::move(batch), [&state](const BatchStats&) {
-        {
-          std::lock_guard<std::mutex> lock(state.mu);
-          state.done = true;
-        }
-        state.cv.notify_all();
+      service_->SubmitBatch(std::move(batch), [state](const BatchStats&) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->done = true;
+        state->cv.notify_all();
       });
   QueryFuture& future = handle.future(0);
 
@@ -833,9 +907,10 @@ bool DataServer::HandleQuery(int fd, const HttpRequest& req,
   // sets — the terminal status can still pick the HTTP status line).
   bool done_first = false;
   {
-    std::unique_lock<std::mutex> lock(state.mu);
-    state.cv.wait(lock, [&state] { return !state.lines.empty() || state.done; });
-    done_first = state.done && state.lines.empty();
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->cv.wait(lock,
+                   [&state] { return !state->lines.empty() || state->done; });
+    done_first = state->done && state->lines.empty();
   }
 
   if (done_first) {
@@ -875,13 +950,13 @@ bool DataServer::HandleQuery(int fd, const HttpRequest& req,
     // NDJSON lines as one Content-Length body. Byte-identical to the
     // streamed payload by construction — same sink, same renderer.
     {
-      std::unique_lock<std::mutex> lock(state.mu);
-      state.cv.wait(lock, [&state] { return state.done; });
+      std::unique_lock<std::mutex> lock(state->mu);
+      state->cv.wait(lock, [&state] { return state->done; });
     }
     QueryResponse resp = future.Take();
     std::string body;
-    for (const std::string& line : state.lines) body += line;
-    m_chunks_->Inc(state.lines.size());
+    for (const std::string& line : state->lines) body += line;
+    m_chunks_->Inc(state->lines.size());
     body += RenderTrailer(resp);
     if (!SendResponseHead(fd, 200, keep_alive, /*chunked=*/false, body.size(),
                           0) ||
@@ -900,11 +975,11 @@ bool DataServer::HandleQuery(int fd, const HttpRequest& req,
   std::deque<std::string> ready;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(state.mu);
-      state.cv.wait(lock,
-                    [&state] { return !state.lines.empty() || state.done; });
-      ready.swap(state.lines);
-      if (ready.empty() && state.done) break;
+      std::unique_lock<std::mutex> lock(state->mu);
+      state->cv.wait(lock,
+                     [&state] { return !state->lines.empty() || state->done; });
+      ready.swap(state->lines);
+      if (ready.empty() && state->done) break;
     }
     for (const std::string& line : ready) {
       if (!write_ok) break;
@@ -919,8 +994,8 @@ bool DataServer::HandleQuery(int fd, const HttpRequest& req,
     if (!write_ok) {
       future.Cancel();
       {
-        std::unique_lock<std::mutex> lock(state.mu);
-        state.cv.wait(lock, [&state] { return state.done; });
+        std::unique_lock<std::mutex> lock(state->mu);
+        state->cv.wait(lock, [&state] { return state->done; });
       }
       break;
     }

@@ -21,10 +21,12 @@
 //    the admin plane) connections are reused up to
 //    max_requests_per_connection; chunked framing makes each response
 //    self-delimiting.
-//  * Admission control in two layers: a per-client token bucket
-//    (RateLimiter — identity is the X-Client-Id header, else the peer
-//    address) answering 429 with a computed Retry-After, and the query
-//    service's own queue high-water mark surfacing as 503 + Retry-After.
+//  * Admission control in layers: token buckets (RateLimiter — a
+//    peer-aggregate bucket charged first, then a per-identity bucket
+//    keyed (peer, client_id), so a client-chosen id can never escape its
+//    peer's budget) answering 429 with a computed Retry-After, and the
+//    query service's own queue high-water mark surfacing as
+//    503 + Retry-After.
 //    A request that passes admission is answered 200 even if evaluation
 //    later fails — the terminal status travels in the trailer, because
 //    the HTTP status line has already been sent by then.
@@ -87,8 +89,18 @@ struct DataServerOptions {
   /// Keep-alive budget: requests served on one connection before the
   /// server closes it (`Connection: close` on the last response).
   size_t max_requests_per_connection = 256;
-  /// Per-client admission (defaults to disabled: qps 0).
+  /// Per-client admission (defaults to disabled: qps 0). Identity buckets
+  /// are keyed (peer address, claimed client id) — a client id is an
+  /// unauthenticated claim, so it refines the peer's budget rather than
+  /// escaping it.
   RateLimiterOptions rate_limit;
+  /// The aggregate budget one peer address gets across all client ids it
+  /// presents, as a multiple of the per-client limits (qps and burst both
+  /// scale). Charged before the identity bucket, so rotating client ids
+  /// cannot mint fresh buckets faster than this. <= 0 disables the peer
+  /// layer (e.g. when everything arrives via one trusted proxy that
+  /// vouches for its ids). Ignored while rate_limit.qps <= 0.
+  double peer_qps_multiplier = 16;
 };
 
 class DataServer {
@@ -134,7 +146,8 @@ class DataServer {
 
   const DataServerOptions options_;
   QueryService* const service_;
-  RateLimiter limiter_;
+  RateLimiter limiter_;       // per (peer, client_id) identity buckets
+  RateLimiter peer_limiter_;  // per-peer aggregate layer, charged first
 
   std::atomic<int> listen_fd_{-1};
   uint16_t port_ = 0;

@@ -4,13 +4,16 @@
 // admin plane's string renders are not: one hot client replaying a
 // fixpoint-heavy request in a loop can starve every other caller's
 // worker time. RateLimiter is the admission valve in front of the query
-// service: each client identity (the X-Client-Id header, or the peer
-// address when the client sends none) gets an independent token bucket
-// refilled at `qps` tokens per second up to `burst`. A request that
-// finds the bucket empty is answered 429 with a Retry-After computed
-// from the actual deficit — the earliest instant a retry can succeed —
-// so well-behaved clients back off exactly as long as needed and no
-// longer.
+// service: each key gets an independent token bucket refilled at `qps`
+// tokens per second up to `burst`. The limiter is key-agnostic; the
+// data plane runs two instances — a peer-aggregate layer keyed by the
+// socket's peer address, charged first, and an identity layer keyed
+// (peer, client_id), so a client-chosen id refines the peer's budget
+// but can never escape it or evict other peers' buckets at will. A
+// request that finds a bucket empty is answered 429 with a Retry-After
+// computed from the actual deficit — the earliest instant a retry can
+// succeed — so well-behaved clients back off exactly as long as needed
+// and no longer.
 //
 // Thread-safe: TryAcquire takes one mutex. The data plane calls it once
 // per request on handler threads, far from any evaluation hot path.

@@ -513,6 +513,81 @@ TEST(DataServerTest, RateLimitedClientGets429WhileOthersKeepServing) {
   EXPECT_EQ(other.status, 200);
 }
 
+TEST(DataServerTest, RotatingClientIdsCannotMintFreshBuckets) {
+  // The identity is client-controlled, so a fresh id per request would
+  // mean a fresh full bucket per request — admission bypassed. The
+  // peer-aggregate layer closes that: every request is charged against
+  // the peer's budget first, whatever id it claims.
+  DataServerOptions opts;
+  opts.rate_limit.qps = 0.001;  // no meaningful refill inside the test
+  opts.rate_limit.burst = 1;
+  opts.peer_qps_multiplier = 3;  // peer bucket: burst 3
+  DataFixture fx(16, opts);
+  std::string body = "{\"pred\": \"sg\", \"source\": \"" + fx.source + "\"}";
+
+  int served = 0;
+  HttpResult last_limited;
+  for (int i = 0; i < 8; ++i) {
+    HttpResult r =
+        PostQuery(fx.server->port(), body, "rotate-" + std::to_string(i));
+    ASSERT_TRUE(r.ok) << i;
+    if (r.status == 200) {
+      ++served;
+    } else {
+      EXPECT_EQ(r.status, 429) << i;
+      last_limited = r;
+    }
+  }
+  // Exactly the peer burst is admitted; every rotation past it is 429
+  // with the peer bucket's computed Retry-After.
+  EXPECT_EQ(served, 3);
+  ASSERT_NE(last_limited.headers.count("retry-after"), 0u);
+  EXPECT_GE(std::atoi(last_limited.headers["retry-after"].c_str()), 1);
+}
+
+TEST(DataServerTest, SurrogatePairEscapesDecodeAndHalvesAreRejected) {
+  DataFixture fx(8);
+  uint16_t port = fx.server->port();
+
+  // A paired \uD83D\uDE00 escape decodes to one supplementary code point
+  // (U+1F600): the request is well-formed, the constant merely unknown —
+  // an empty answer set, not an error.
+  HttpResult paired = PostQuery(
+      port, "{\"pred\": \"sg\", \"source\": \"\\ud83d\\ude00\"}");
+  ASSERT_TRUE(paired.ok);
+  EXPECT_EQ(paired.status, 200);
+  EXPECT_NE(paired.body.find("\"status\": \"ok\""), std::string::npos);
+  EXPECT_NE(paired.body.find("\"answers\": 0"), std::string::npos);
+
+  // Unpaired halves would encode as CESU-8 (invalid UTF-8 flowing into
+  // symbol lookups and echoes): rejected outright.
+  const char* broken[] = {
+      "{\"pred\": \"sg\", \"source\": \"\\ud83d\"}",          // lone high
+      "{\"pred\": \"sg\", \"source\": \"\\ude00\"}",          // lone low
+      "{\"pred\": \"sg\", \"source\": \"\\ud83d\\u0041\"}",   // high + BMP
+      "{\"pred\": \"sg\", \"source\": \"\\ud83d\\ud83d\"}"};  // high + high
+  for (const char* body : broken) {
+    HttpResult r = PostQuery(port, body);
+    ASSERT_TRUE(r.ok) << body;
+    EXPECT_EQ(r.status, 400) << body;
+  }
+}
+
+TEST(DataServerTest, HugeMaxIterationsClampsInsteadOfOverflowing) {
+  DataFixture fx(16);
+  // 1e300 is far outside the size_t range; the decoder must clamp it to
+  // the type's ceiling (effectively unbounded) instead of performing an
+  // undefined cast — the query then simply runs to its natural fixpoint.
+  HttpResult r = PostQuery(
+      fx.server->port(),
+      "{\"pred\": \"sg\", \"source\": \"" + fx.source +
+          "\", \"options\": {\"max_iterations\": 1e300}, \"stream\": false}");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.status, 200);
+  EXPECT_NE(r.body.find("\"status\": \"ok\""), std::string::npos);
+  EXPECT_EQ(r.body.find("\"answers\": 0"), std::string::npos);
+}
+
 /// Self-cleaning scratch directory for the recovery-gated scenario.
 class TempDir {
  public:
